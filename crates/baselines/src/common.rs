@@ -1,0 +1,109 @@
+//! Shared baseline infrastructure: the predictor trait and the
+//! hand-crafted OD feature vector used by LR / GBM / STNN.
+
+use deepod_traffic::{NUM_WEATHER_TYPES, SECONDS_PER_DAY, SECONDS_PER_WEEK};
+use deepod_traj::{CityDataset, OdInput};
+
+/// Width of [`extract_features`]'s output: origin (2) + destination (2) +
+/// euclidean distance (1) + hour sin/cos (2) + day-of-week one-hot (7) +
+/// weather one-hot (16).
+pub const NUM_OD_FEATURES: usize = 2 + 2 + 1 + 2 + 7 + NUM_WEATHER_TYPES;
+
+/// A fixed-width OD feature vector.
+pub type FeatureVec = Vec<f32>;
+
+/// Extracts the baseline feature vector from an OD input. Coordinates and
+/// distance are scaled to kilometers so all features are O(1)–O(10).
+pub fn extract_features(od: &OdInput) -> FeatureVec {
+    let mut f = Vec::with_capacity(NUM_OD_FEATURES);
+    f.push((od.origin.x / 1000.0) as f32);
+    f.push((od.origin.y / 1000.0) as f32);
+    f.push((od.destination.x / 1000.0) as f32);
+    f.push((od.destination.y / 1000.0) as f32);
+    f.push((od.origin.dist(&od.destination) / 1000.0) as f32);
+
+    let tod = od.depart.rem_euclid(SECONDS_PER_DAY) / SECONDS_PER_DAY;
+    f.push((tod * std::f64::consts::TAU).sin() as f32);
+    f.push((tod * std::f64::consts::TAU).cos() as f32);
+
+    let dow = (od.depart.rem_euclid(SECONDS_PER_WEEK) / SECONDS_PER_DAY) as usize % 7;
+    for d in 0..7 {
+        f.push(if d == dow { 1.0 } else { 0.0 });
+    }
+    for w in 0..NUM_WEATHER_TYPES {
+        f.push(if w == od.weather.idx() { 1.0 } else { 0.0 });
+    }
+    debug_assert_eq!(f.len(), NUM_OD_FEATURES);
+    f
+}
+
+/// Uniform interface over all travel-time estimators (baselines and, via a
+/// wrapper in the eval crate, DeepOD).
+pub trait TtePredictor {
+    /// Human-readable method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Fits the predictor on the dataset's training split.
+    fn fit(&mut self, ds: &CityDataset);
+
+    /// Predicts travel time (seconds) for an OD input; `None` when the
+    /// method cannot produce an estimate (e.g. TEMP finds no neighbors).
+    fn predict(&mut self, od: &OdInput) -> Option<f32>;
+
+    /// Approximate in-memory model size in bytes (Table 5).
+    fn size_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::Point;
+    use deepod_traffic::WeatherType;
+
+    fn od(depart: f64, weather: u8) -> OdInput {
+        OdInput {
+            origin: Point::new(1000.0, 2000.0),
+            destination: Point::new(4000.0, 6000.0),
+            depart,
+            weather: WeatherType(weather),
+        }
+    }
+
+    #[test]
+    fn feature_width_and_scaling() {
+        let f = extract_features(&od(3600.0, 2));
+        assert_eq!(f.len(), NUM_OD_FEATURES);
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[3], 6.0);
+        assert!((f[4] - 5.0).abs() < 1e-5, "euclidean distance in km");
+    }
+
+    #[test]
+    fn day_of_week_one_hot() {
+        // depart at day 0 (Monday) vs day 2.
+        let f0 = extract_features(&od(100.0, 0));
+        let f2 = extract_features(&od(2.0 * SECONDS_PER_DAY + 100.0, 0));
+        let dow0: Vec<f32> = f0[7..14].to_vec();
+        let dow2: Vec<f32> = f2[7..14].to_vec();
+        assert_eq!(dow0[0], 1.0);
+        assert_eq!(dow2[2], 1.0);
+        assert_eq!(dow0.iter().sum::<f32>(), 1.0);
+        assert_eq!(dow2.iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn hour_encoding_periodic() {
+        let f_a = extract_features(&od(6.0 * 3600.0, 0));
+        let f_b = extract_features(&od(6.0 * 3600.0 + SECONDS_PER_DAY, 0));
+        assert!((f_a[5] - f_b[5]).abs() < 1e-6);
+        assert!((f_a[6] - f_b[6]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weather_one_hot_position() {
+        let f = extract_features(&od(0.0, 7));
+        let wea = &f[14..];
+        assert_eq!(wea[7], 1.0);
+        assert_eq!(wea.iter().sum::<f32>(), 1.0);
+    }
+}

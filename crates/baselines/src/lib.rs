@@ -1,0 +1,33 @@
+//! Baseline OD travel-time estimators the paper compares against (§6.1):
+//!
+//! * [`TempPredictor`] — the non-learning nearest-neighbor method of Wang
+//!   et al.: average the travel time of historical trips with a similar
+//!   origin, destination and time slot.
+//! * [`LinearRegression`] — ridge regression on hand-crafted OD features.
+//! * [`GbmPredictor`] — gradient-boosted regression trees (our
+//!   self-contained XGBoost stand-in).
+//! * [`StnnPredictor`] — the deep model of Jindal et al.: one network
+//!   predicts trip distance from the OD pair, a second combines the
+//!   predicted distance with temporal features to predict travel time.
+//! * [`MuratPredictor`] — the multi-task representation-learning model of
+//!   Li et al.: road-segment and time-slot embeddings (undirected-graph
+//!   initialization) feeding a joint travel-time + distance objective.
+//!
+//! All baselines implement [`TtePredictor`], so the evaluation harness
+//! treats them and DeepOD uniformly.
+
+mod common;
+mod gbm;
+mod linreg;
+mod murat;
+mod route_tte;
+mod stnn;
+mod temp;
+
+pub use common::{extract_features, FeatureVec, TtePredictor, NUM_OD_FEATURES};
+pub use gbm::{GbmConfig, GbmPredictor};
+pub use linreg::LinearRegression;
+pub use murat::{MuratConfig, MuratPredictor};
+pub use route_tte::RouteTtePredictor;
+pub use stnn::{StnnConfig, StnnPredictor};
+pub use temp::{TempConfig, TempPredictor};

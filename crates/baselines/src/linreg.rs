@@ -1,0 +1,202 @@
+//! Ridge linear regression on the hand-crafted OD features — the paper's
+//! LR baseline, solved in closed form via the normal equations with a
+//! small in-crate Cholesky factorization.
+
+use crate::common::{extract_features, TtePredictor, NUM_OD_FEATURES};
+use deepod_traj::{CityDataset, OdInput};
+
+/// Ridge regression `y ≈ wᵀx + b`.
+pub struct LinearRegression {
+    /// L2 regularization strength.
+    pub lambda: f64,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model with ridge strength `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        LinearRegression { lambda, weights: vec![0.0; NUM_OD_FEATURES], bias: 0.0, fitted: false }
+    }
+
+    /// The fitted weights (tests / diagnostics).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` (n×n, row-major)
+/// via Cholesky. Panics when `A` is not SPD (cannot happen with a positive
+/// ridge term).
+fn cholesky_solve(a: &mut [f64], b: &mut [f64], n: usize) {
+    // In-place LLᵀ factorization.
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                assert!(s > 0.0, "matrix not positive definite");
+                a[i * n + j] = s.sqrt();
+            } else {
+                a[i * n + j] = s / a[j * n + j];
+            }
+        }
+    }
+    // Forward substitution L y = b.
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= a[i * n + k] * b[k];
+        }
+        b[i] = s / a[i * n + i];
+    }
+    // Back substitution Lᵀ x = y.
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= a[k * n + i] * b[k];
+        }
+        b[i] = s / a[i * n + i];
+    }
+}
+
+impl TtePredictor for LinearRegression {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn fit(&mut self, ds: &CityDataset) {
+        let n = NUM_OD_FEATURES + 1; // + bias column
+        let mut xtx = vec![0.0f64; n * n];
+        let mut xty = vec![0.0f64; n];
+        for o in &ds.train {
+            let mut f: Vec<f64> =
+                extract_features(&o.od).into_iter().map(|v| v as f64).collect();
+            f.push(1.0);
+            let y = o.travel_time;
+            for i in 0..n {
+                xty[i] += f[i] * y;
+                for j in 0..n {
+                    xtx[i * n + j] += f[i] * f[j];
+                }
+            }
+        }
+        for (i, d) in (0..n).map(|i| (i, i * n + i)) {
+            // Don't regularize the bias.
+            if i < NUM_OD_FEATURES {
+                xtx[d] += self.lambda;
+            } else {
+                xtx[d] += 1e-9;
+            }
+        }
+        cholesky_solve(&mut xtx, &mut xty, n);
+        self.weights = xty[..NUM_OD_FEATURES].to_vec();
+        self.bias = xty[NUM_OD_FEATURES];
+        self.fitted = true;
+    }
+
+    fn predict(&mut self, od: &OdInput) -> Option<f32> {
+        if !self.fitted {
+            return None;
+        }
+        let f = extract_features(od);
+        let y: f64 = self
+            .weights
+            .iter()
+            .zip(&f)
+            .map(|(&w, &x)| w * x as f64)
+            .sum::<f64>()
+            + self.bias;
+        Some(y.max(0.0) as f32)
+    }
+
+    fn size_bytes(&self) -> usize {
+        (self.weights.len() + 1) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::CityProfile;
+    use deepod_traj::{DatasetBuilder, DatasetConfig};
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let mut b = vec![10.0, 8.0];
+        cholesky_solve(&mut a, &mut b, 2);
+        assert!((b[0] - 1.75).abs() < 1e-10);
+        assert!((b[1] - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn recovers_linear_ground_truth() {
+        // Synthetic labels that are exactly linear in the distance feature:
+        // LR must recover them almost perfectly.
+        let mut ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 150));
+        for o in &mut ds.train {
+            let dist_km = o.od.origin.dist(&o.od.destination) / 1000.0;
+            o.travel_time = 100.0 + 120.0 * dist_km;
+        }
+        let mut lr = LinearRegression::new(1e-6);
+        lr.fit(&ds);
+        for o in ds.train.iter().step_by(17) {
+            let pred = lr.predict(&o.od).unwrap() as f64;
+            assert!(
+                (pred - o.travel_time).abs() < 2.0,
+                "pred {pred:.1} vs truth {:.1}",
+                o.travel_time
+            );
+        }
+    }
+
+    #[test]
+    fn beats_mean_on_real_data() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
+        let mut lr = LinearRegression::new(1e-3);
+        lr.fit(&ds);
+        let mean = ds.mean_train_travel_time() as f32;
+        let mae_lr: f32 = ds
+            .test
+            .iter()
+            .map(|o| (lr.predict(&o.od).unwrap() - o.travel_time as f32).abs())
+            .sum::<f32>()
+            / ds.test.len() as f32;
+        let mae_mean: f32 = ds
+            .test
+            .iter()
+            .map(|o| (mean - o.travel_time as f32).abs())
+            .sum::<f32>()
+            / ds.test.len() as f32;
+        assert!(mae_lr < mae_mean, "LR {mae_lr:.1} should beat mean {mae_mean:.1}");
+    }
+
+    #[test]
+    fn unfitted_returns_none_and_size_constant() {
+        let mut lr = LinearRegression::new(1.0);
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 30));
+        assert!(lr.predict(&ds.train[0].od).is_none());
+        let size_before = lr.size_bytes();
+        lr.fit(&ds);
+        assert_eq!(lr.size_bytes(), size_before, "LR size is data-independent");
+    }
+
+    #[test]
+    fn predictions_nonnegative() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
+        let mut lr = LinearRegression::new(1e-3);
+        lr.fit(&ds);
+        for o in &ds.test {
+            assert!(lr.predict(&o.od).unwrap() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! STNN (Jindal et al. 2017): a two-stage deep baseline — a first MLP
+//! predicts the trip *distance* from the raw OD coordinates, a second MLP
+//! combines the predicted distance with temporal features to predict the
+//! travel time. STNN deliberately ignores the road network (the paper
+//! cites this as its main weakness, §6.4.1).
+
+use crate::common::TtePredictor;
+use deepod_nn::layers::Mlp2;
+use deepod_nn::{AdamOptimizer, Graph, ParamStore};
+use deepod_tensor::Tensor;
+use deepod_traffic::{SECONDS_PER_DAY, SECONDS_PER_WEEK};
+use deepod_traj::{CityDataset, OdInput};
+use rand::Rng;
+
+/// STNN hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct StnnConfig {
+    /// Hidden width of both MLPs.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StnnConfig {
+    fn default() -> Self {
+        StnnConfig { hidden: 32, epochs: 8, batch_size: 16, lr: 0.01, seed: 0x57AA }
+    }
+}
+
+/// The STNN predictor.
+pub struct StnnPredictor {
+    cfg: StnnConfig,
+    store: ParamStore,
+    dist_net: Option<Mlp2>,
+    time_net: Option<Mlp2>,
+    y_mean: f32,
+    y_std: f32,
+}
+
+/// Spatial input: origin + destination in km (4 features).
+fn spatial_features(od: &OdInput) -> Vec<f32> {
+    vec![
+        (od.origin.x / 1000.0) as f32,
+        (od.origin.y / 1000.0) as f32,
+        (od.destination.x / 1000.0) as f32,
+        (od.destination.y / 1000.0) as f32,
+    ]
+}
+
+/// Temporal input: hour sin/cos + weekday flag (3 features).
+fn temporal_features(od: &OdInput) -> Vec<f32> {
+    let tod = od.depart.rem_euclid(SECONDS_PER_DAY) / SECONDS_PER_DAY;
+    let dow = (od.depart.rem_euclid(SECONDS_PER_WEEK) / SECONDS_PER_DAY) as usize % 7;
+    vec![
+        (tod * std::f64::consts::TAU).sin() as f32,
+        (tod * std::f64::consts::TAU).cos() as f32,
+        if dow >= 5 { 1.0 } else { 0.0 },
+    ]
+}
+
+impl StnnPredictor {
+    /// Creates an unfitted predictor.
+    pub fn new(cfg: StnnConfig) -> Self {
+        StnnPredictor {
+            cfg,
+            store: ParamStore::new(),
+            dist_net: None,
+            time_net: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    fn forward(&mut self, od: &OdInput) -> f32 {
+        let (dist_net, time_net) = match (&self.dist_net, &self.time_net) {
+            (Some(d), Some(t)) => (*d, *t),
+            _ => return 0.0,
+        };
+        let mut g = Graph::new();
+        let sx = g.input(Tensor::from_vec(spatial_features(od), &[4]));
+        let dist = dist_net.forward(&mut g, &self.store, sx);
+        let tfeat = g.input(Tensor::from_vec(temporal_features(od), &[3]));
+        let cat = g.concat(&[dist, tfeat]);
+        let y = time_net.forward(&mut g, &self.store, cat);
+        g.value(y).item() * self.y_std + self.y_mean
+    }
+
+    fn validation_mae(&mut self, ds: &CityDataset) -> f32 {
+        let n = ds.validation.len().min(256);
+        if n == 0 {
+            return f32::NAN;
+        }
+        let mut acc = 0.0;
+        for o in &ds.validation[..n] {
+            acc += (self.forward(&o.od).max(0.0) - o.travel_time as f32).abs();
+        }
+        acc / n as f32
+    }
+
+    /// Fits while recording `(step, validation MAE)` points every
+    /// `eval_every` optimizer steps — the Fig. 10 training-curve hook.
+    /// `eval_every = 0` records nothing (plain fit).
+    pub fn fit_with_validation(
+        &mut self,
+        ds: &CityDataset,
+        eval_every: usize,
+    ) -> Vec<(usize, f32)> {
+        let mut rng = deepod_tensor::rng_from_seed(self.cfg.seed);
+        self.store = ParamStore::new();
+        let dist_net = Mlp2::new(&mut self.store, "stnn.dist", 4, self.cfg.hidden, 1, &mut rng);
+        let time_net =
+            Mlp2::new(&mut self.store, "stnn.time", 1 + 3, self.cfg.hidden, 1, &mut rng);
+
+        // Standardize time labels so the network trains in O(1) units.
+        let mean_y = ds.mean_train_travel_time() as f32;
+        let var_y = ds
+            .train
+            .iter()
+            .map(|o| {
+                let d = o.travel_time as f32 - mean_y;
+                d * d
+            })
+            .sum::<f32>()
+            / ds.train.len().max(1) as f32;
+        self.y_mean = mean_y;
+        self.y_std = var_y.sqrt().max(1.0);
+        let mean_d = (ds
+            .train
+            .iter()
+            .map(|o| o.od.origin.dist(&o.od.destination))
+            .sum::<f64>()
+            / ds.train.len().max(1) as f64
+            / 1000.0) as f32;
+        self.store.set_value(dist_net.l2.b, Tensor::from_vec(vec![mean_d], &[1]));
+        self.dist_net = Some(dist_net);
+        self.time_net = Some(time_net);
+
+        let mut curve = Vec::new();
+        let mut opt = AdamOptimizer::new(self.cfg.lr);
+        let n = ds.train.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut step = 0usize;
+        for epoch in 0..self.cfg.epochs {
+            opt.set_lr(self.cfg.lr / 5.0f32.powi((epoch / 2) as i32));
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let mut grads = deepod_nn::Gradients::new();
+                for &idx in chunk {
+                    let o = &ds.train[idx];
+                    // Joint loss: supervise the first stage with the trip's
+                    // straight-line distance, the second with travel time.
+                    let mut g = Graph::new();
+                    let sx = g.input(Tensor::from_vec(spatial_features(&o.od), &[4]));
+                    let dist = dist_net.forward(&mut g, &self.store, sx);
+                    let true_d = (o.od.origin.dist(&o.od.destination) / 1000.0) as f32;
+                    let dtarget = g.input(Tensor::from_vec(vec![true_d], &[1]));
+                    let dloss = g.mean_abs_error(dist, dtarget);
+
+                    let tfeat = g.input(Tensor::from_vec(temporal_features(&o.od), &[3]));
+                    let cat = g.concat(&[dist, tfeat]);
+                    let y = time_net.forward(&mut g, &self.store, cat);
+                    let y_norm = (o.travel_time as f32 - self.y_mean) / self.y_std;
+                    let target = g.input(Tensor::from_vec(vec![y_norm], &[1]));
+                    let tloss = g.mean_abs_error(y, target);
+
+                    let dw = g.scale(dloss, 0.5); // auxiliary distance task
+                    let loss = g.add(dw, tloss);
+                    grads.merge(g.backward(loss));
+                }
+                grads.scale(1.0 / chunk.len() as f32);
+                grads.clip_global_norm(5.0);
+                opt.step(&mut self.store, &grads);
+                step += 1;
+                if eval_every > 0 && step % eval_every == 0 {
+                    let mae = self.validation_mae(ds);
+                    curve.push((step, mae));
+                }
+            }
+        }
+        curve
+    }
+}
+
+impl TtePredictor for StnnPredictor {
+    fn name(&self) -> &'static str {
+        "STNN"
+    }
+
+    fn fit(&mut self, ds: &CityDataset) {
+        self.fit_with_validation(ds, 0);
+    }
+
+    fn predict(&mut self, od: &OdInput) -> Option<f32> {
+        if self.dist_net.is_none() {
+            return None;
+        }
+        Some(self.forward(od).max(0.0))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.store.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::CityProfile;
+    use deepod_traj::{DatasetBuilder, DatasetConfig};
+
+    #[test]
+    fn trains_and_beats_mean() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
+        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 16, ..Default::default() });
+        stnn.fit(&ds);
+        let mean = ds.mean_train_travel_time() as f32;
+        let mut mae = 0.0;
+        let mut mae_mean = 0.0;
+        for o in &ds.test {
+            mae += (stnn.predict(&o.od).unwrap() - o.travel_time as f32).abs();
+            mae_mean += (mean - o.travel_time as f32).abs();
+        }
+        mae /= ds.test.len() as f32;
+        mae_mean /= ds.test.len() as f32;
+        assert!(mae < mae_mean, "STNN {mae:.1} should beat mean {mae_mean:.1}");
+    }
+
+    #[test]
+    fn unfitted_returns_none() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
+        let mut stnn = StnnPredictor::new(StnnConfig::default());
+        assert!(stnn.predict(&ds.train[0].od).is_none());
+    }
+
+    #[test]
+    fn size_independent_of_dataset() {
+        let small =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 50));
+        let big =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
+        let mut a = StnnPredictor::new(StnnConfig::default());
+        a.fit(&small);
+        let mut b = StnnPredictor::new(StnnConfig::default());
+        b.fit(&big);
+        assert_eq!(a.size_bytes(), b.size_bytes());
+    }
+
+    #[test]
+    fn longer_trips_predicted_longer() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
+        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 16, ..Default::default() });
+        stnn.fit(&ds);
+        // Compare a short and a long trip at the same departure time.
+        let mut short = ds.test[0].od;
+        let mut long = short;
+        long.destination = deepod_roadnet::Point::new(
+            short.origin.x + 4000.0,
+            short.origin.y + 4000.0,
+        );
+        short.destination =
+            deepod_roadnet::Point::new(short.origin.x + 400.0, short.origin.y + 400.0);
+        let ps = stnn.predict(&short).unwrap();
+        let pl = stnn.predict(&long).unwrap();
+        assert!(pl > ps, "long trip {pl:.0}s should exceed short trip {ps:.0}s");
+    }
+
+    #[test]
+    fn curve_recorded_and_not_diverging() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
+        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 10, ..Default::default() });
+        let curve = stnn.fit_with_validation(&ds, 5);
+        assert!(curve.len() >= 4, "curve too short: {}", curve.len());
+        for w in curve.windows(2) {
+            assert!(w[0].0 < w[1].0, "steps must increase");
+        }
+        assert!(
+            curve.last().unwrap().1 <= curve[0].1 * 1.2,
+            "validation MAE diverged: {} -> {}",
+            curve[0].1,
+            curve.last().unwrap().1
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! TEMP (Wang et al., SIGSPATIAL '16): a non-learning neighbor average —
+//! for a query OD pair, average the travel time of historical trips whose
+//! origin and destination both fall within a radius of the query's, in the
+//! same time-of-week slot; widen the slot and radius when too few
+//! neighbors exist.
+
+use crate::common::TtePredictor;
+use deepod_roadnet::Point;
+use deepod_traffic::SECONDS_PER_WEEK;
+use deepod_traj::{CityDataset, OdInput};
+
+/// TEMP parameters.
+#[derive(Clone, Debug)]
+pub struct TempConfig {
+    /// Endpoint match radius in meters.
+    pub radius: f64,
+    /// Time-slot width in seconds for temporal matching.
+    pub slot_seconds: f64,
+    /// Minimum neighbors before falling back to wider matching.
+    pub min_neighbors: usize,
+    /// Spatial bucket size of the internal index (meters).
+    pub bucket: f64,
+}
+
+impl Default for TempConfig {
+    fn default() -> Self {
+        TempConfig { radius: 600.0, slot_seconds: 1800.0, min_neighbors: 3, bucket: 600.0 }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Record {
+    origin: Point,
+    destination: Point,
+    week_slot: usize,
+    travel_time: f32,
+}
+
+/// The TEMP predictor: stores all historical trip records in a spatial
+/// hash over origins.
+pub struct TempPredictor {
+    cfg: TempConfig,
+    records: Vec<Record>,
+    /// Origin-bucket index: (bx, by) -> record indices.
+    buckets: std::collections::HashMap<(i64, i64), Vec<u32>>,
+    slots_per_week: usize,
+}
+
+impl TempPredictor {
+    /// Creates an unfitted predictor.
+    pub fn new(cfg: TempConfig) -> Self {
+        let slots_per_week = (SECONDS_PER_WEEK / cfg.slot_seconds).round() as usize;
+        TempPredictor {
+            cfg,
+            records: Vec::new(),
+            buckets: std::collections::HashMap::new(),
+            slots_per_week,
+        }
+    }
+
+    fn bucket_of(&self, p: &Point) -> (i64, i64) {
+        ((p.x / self.cfg.bucket).floor() as i64, (p.y / self.cfg.bucket).floor() as i64)
+    }
+
+    fn week_slot(&self, t: f64) -> usize {
+        ((t.rem_euclid(SECONDS_PER_WEEK)) / self.cfg.slot_seconds) as usize % self.slots_per_week
+    }
+
+    /// Circular slot distance on the weekly ring.
+    fn slot_dist(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(self.slots_per_week - d)
+    }
+
+    /// Collects neighbor travel times within `radius` and `slot_window`.
+    fn neighbors(&self, od: &OdInput, radius: f64, slot_window: usize) -> Vec<f32> {
+        let qslot = self.week_slot(od.depart);
+        let (bx, by) = self.bucket_of(&od.origin);
+        let reach = (radius / self.cfg.bucket).ceil() as i64;
+        let mut out = Vec::new();
+        for dy in -reach..=reach {
+            for dx in -reach..=reach {
+                let Some(ids) = self.buckets.get(&(bx + dx, by + dy)) else { continue };
+                for &i in ids {
+                    let r = &self.records[i as usize];
+                    if r.origin.dist(&od.origin) <= radius
+                        && r.destination.dist(&od.destination) <= radius
+                        && self.slot_dist(r.week_slot, qslot) <= slot_window
+                    {
+                        out.push(r.travel_time);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl TtePredictor for TempPredictor {
+    fn name(&self) -> &'static str {
+        "TEMP"
+    }
+
+    fn fit(&mut self, ds: &CityDataset) {
+        self.records = ds
+            .train
+            .iter()
+            .map(|o| Record {
+                origin: o.od.origin,
+                destination: o.od.destination,
+                week_slot: self.week_slot(o.od.depart),
+                travel_time: o.travel_time as f32,
+            })
+            .collect();
+        self.buckets.clear();
+        for (i, r) in self.records.iter().enumerate() {
+            let key = (
+                (r.origin.x / self.cfg.bucket).floor() as i64,
+                (r.origin.y / self.cfg.bucket).floor() as i64,
+            );
+            self.buckets.entry(key).or_default().push(i as u32);
+        }
+    }
+
+    fn predict(&mut self, od: &OdInput) -> Option<f32> {
+        // Progressive widening: radius ×1, ×2, ×4 and slot window 0, 2, 8,
+        // then all slots; finally give up to the global average.
+        for (rmul, win) in [(1.0, 0), (1.0, 2), (2.0, 8), (4.0, self.slots_per_week)] {
+            let ns = self.neighbors(od, self.cfg.radius * rmul, win);
+            if ns.len() >= self.cfg.min_neighbors {
+                return Some(ns.iter().sum::<f32>() / ns.len() as f32);
+            }
+        }
+        if self.records.is_empty() {
+            None
+        } else {
+            Some(
+                self.records.iter().map(|r| r.travel_time).sum::<f32>()
+                    / self.records.len() as f32,
+            )
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // TEMP must keep every historical trip resident (the paper's
+        // Table 5 notes its size is proportional to the data).
+        self.records.len() * std::mem::size_of::<Record>()
+            + self.buckets.len() * 24
+            + self.buckets.values().map(|v| v.len() * 4).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::CityProfile;
+    use deepod_traj::{DatasetBuilder, DatasetConfig};
+
+    fn fitted() -> (CityDataset, TempPredictor) {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
+        let mut p = TempPredictor::new(TempConfig::default());
+        p.fit(&ds);
+        (ds, p)
+    }
+
+    #[test]
+    fn predicts_training_neighborhood() {
+        let (ds, mut p) = fitted();
+        // Querying a training OD exactly should find at least itself after
+        // widening and produce a plausible time.
+        let o = &ds.train[0];
+        let pred = p.predict(&o.od).expect("TEMP should always fall back");
+        assert!(pred > 0.0);
+        let mean = ds.mean_train_travel_time() as f32;
+        assert!(pred < mean * 5.0);
+    }
+
+    #[test]
+    fn exact_repeat_trips_average() {
+        // Two synthetic records at the same OD/slot: prediction = mean.
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 30));
+        let mut p = TempPredictor::new(TempConfig { min_neighbors: 1, ..Default::default() });
+        let mut clone_ds = ds;
+        let a = clone_ds.train[0].clone();
+        let mut b = a.clone();
+        b.travel_time = a.travel_time + 100.0;
+        clone_ds.train = vec![a.clone(), b];
+        p.fit(&clone_ds);
+        let pred = p.predict(&a.od).unwrap();
+        assert!((pred - (a.travel_time as f32 + 50.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn size_proportional_to_records() {
+        let (ds, p) = fitted();
+        assert!(p.size_bytes() >= ds.train.len() * std::mem::size_of::<Record>());
+    }
+
+    #[test]
+    fn far_query_falls_back_to_global_mean() {
+        let (ds, mut p) = fitted();
+        let mut od = ds.train[0].od;
+        od.origin = Point::new(1e7, 1e7);
+        od.destination = Point::new(1.1e7, 1.1e7);
+        let pred = p.predict(&od).unwrap();
+        let mean = ds.train.iter().map(|o| o.travel_time as f32).sum::<f32>()
+            / ds.train.len() as f32;
+        assert!((pred - mean).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unfitted_returns_none() {
+        let mut p = TempPredictor::new(TempConfig::default());
+        let od = OdInput {
+            origin: Point::new(0.0, 0.0),
+            destination: Point::new(100.0, 100.0),
+            depart: 0.0,
+            weather: deepod_traffic::WeatherType(0),
+        };
+        assert!(p.predict(&od).is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks: the per-component costs behind Table 5's
+//! efficiency numbers — online estimation latency per method, encoder
+//! forward passes, routing, map matching and random-walk generation.
+//!
+//! Run with `cargo bench -p deepod-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deepod_baselines::{
+    GbmConfig, GbmPredictor, LinearRegression, TempConfig, TempPredictor, TtePredictor,
+};
+use deepod_core::{DeepOdConfig, EmbeddingInit, TrainOptions, Trainer};
+use deepod_graphembed::{DeepWalk, EmbedGraph, GraphEmbedder};
+use deepod_roadnet::{dijkstra_shortest_path, CityConfig, CityProfile, NodeId, SpatialGrid};
+use deepod_traj::{
+    sample_gps, DatasetBuilder, DatasetConfig, GpsNoise, HmmMapMatcher, MapMatchConfig,
+};
+use std::hint::black_box;
+
+fn small_dataset() -> deepod_traj::CityDataset {
+    DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400))
+}
+
+fn small_config() -> DeepOdConfig {
+    DeepOdConfig {
+        epochs: 1,
+        batch_size: 16,
+        init: EmbeddingInit::Random,
+        ..DeepOdConfig::default()
+    }
+}
+
+/// Online estimation latency (Table 5's "estimation time" column).
+fn bench_estimation(c: &mut Criterion) {
+    let ds = small_dataset();
+    let mut group = c.benchmark_group("estimation_latency");
+
+    let mut trainer = Trainer::new(&ds, small_config(), TrainOptions::default());
+    trainer.train();
+    let od = ds.test.first().unwrap_or(&ds.train[0]).od;
+    group.bench_function("deepod", |b| {
+        b.iter(|| black_box(trainer.predict_od(black_box(&od))));
+    });
+
+    let mut temp = TempPredictor::new(TempConfig::default());
+    temp.fit(&ds);
+    group.bench_function("temp", |b| {
+        b.iter(|| black_box(temp.predict(black_box(&od))));
+    });
+
+    let mut lr = LinearRegression::new(1e-3);
+    lr.fit(&ds);
+    group.bench_function("linear_regression", |b| {
+        b.iter(|| black_box(lr.predict(black_box(&od))));
+    });
+
+    let mut gbm = GbmPredictor::new(GbmConfig { num_trees: 30, ..Default::default() });
+    gbm.fit(&ds);
+    group.bench_function("gbm", |b| {
+        b.iter(|| black_box(gbm.predict(black_box(&od))));
+    });
+
+    group.finish();
+}
+
+/// One training step (forward + backward + Adam) per sample.
+fn bench_training_step(c: &mut Criterion) {
+    let ds = small_dataset();
+    let mut trainer = Trainer::new(&ds, small_config(), TrainOptions::default());
+    let sample = trainer.train_samples()[0].clone();
+    c.bench_function("deepod_sample_gradients", |b| {
+        b.iter(|| black_box(trainer.model().sample_gradients(black_box(&sample))));
+    });
+}
+
+/// Routing throughput on the Chengdu-sized network.
+fn bench_routing(c: &mut Criterion) {
+    let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+    let n = net.num_nodes() as u32;
+    let mut i = 0u32;
+    c.bench_function("dijkstra_cross_town", |b| {
+        b.iter(|| {
+            i = (i + 7) % n;
+            let from = NodeId(i);
+            let to = NodeId((i + n / 2) % n);
+            black_box(dijkstra_shortest_path(&net, from, to, |e| net.edge(e).length))
+        });
+    });
+}
+
+/// Map matching throughput (points per second backing the fleet example).
+fn bench_map_matching(c: &mut Criterion) {
+    let ds = small_dataset();
+    let grid = SpatialGrid::build(&ds.net, 250.0);
+    let matcher = HmmMapMatcher::new(&ds.net, &grid, MapMatchConfig::default());
+    let mut rng = deepod_tensor::rng_from_seed(0xBE);
+    let raw = sample_gps(&ds.net, &ds.train[0].trajectory, 3.0, GpsNoise { sigma: 6.0 }, &mut rng);
+    c.bench_function("hmm_map_match_one_trip", |b| {
+        b.iter(|| black_box(matcher.match_trajectory(black_box(&raw))));
+    });
+}
+
+/// DeepWalk embedding of a temporal-graph-sized ring.
+fn bench_graph_embedding(c: &mut Criterion) {
+    let mut g = EmbedGraph::with_nodes(288);
+    for i in 0..288 {
+        g.add_link(i, (i + 1) % 288, 1.0);
+        g.add_link((i + 1) % 288, i, 1.0);
+    }
+    c.bench_function("deepwalk_day_graph_16d", |b| {
+        b.iter_batched(
+            || deepod_tensor::rng_from_seed(1),
+            |mut rng| black_box(DeepWalk::default().embed(&g, 16, &mut rng)),
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_estimation, bench_training_step, bench_routing, bench_map_matching, bench_graph_embedding
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Extensions beyond the paper's evaluation (DESIGN.md §6): the
+//! route-based TTE reference predictor and goal-directed routing
+//! (A*/ALT vs Dijkstra) — ablation-style evidence for two design choices
+//! the core system makes (OD-only inputs; plain Dijkstra in the
+//! simulator).
+
+use deepod_baselines::RouteTtePredictor;
+use deepod_bench::{banner, city_name, dataset, Scale};
+use deepod_eval::{run_method, write_csv, Method, TextTable};
+use deepod_roadnet::{
+    alt_shortest_path, astar_shortest_path, dijkstra_shortest_path, CityProfile, Landmarks,
+    NodeId,
+};
+use rand::Rng;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Extensions: RouteTTE reference + goal-directed routing", scale);
+
+    // 1. RouteTTE vs the OD-only regime: how much of the error comes from
+    //    not knowing the route? RouteTTE routes at query time over learned
+    //    per-segment speeds, an upper-bound-ish reference for OD methods.
+    let mut table = TextTable::new(&["City", "Method", "MAE(s)", "MAPE(%)"]);
+    for profile in [CityProfile::SynthChengdu, CityProfile::SynthXian] {
+        let ds = dataset(profile, scale);
+        let r = run_method(Method::Baseline(Box::new(RouteTtePredictor::new())), &ds);
+        println!(
+            "{} RouteTTE: MAE {:.1}s MAPE {:.1}% (size {} B)",
+            city_name(profile),
+            r.metrics.mae,
+            r.metrics.mape_pct,
+            r.model_size_bytes
+        );
+        table.row(&[
+            city_name(profile).into(),
+            "RouteTTE".into(),
+            format!("{:.1}", r.metrics.mae),
+            format!("{:.2}", r.metrics.mape_pct),
+        ]);
+    }
+    let _ = write_csv("ext_route_tte", &table);
+
+    // 2. Goal-directed routing: settled-node counts and wall-clock for
+    //    Dijkstra vs A* vs ALT on the Beijing-analogue network.
+    let net = deepod_roadnet::CityConfig::profile(CityProfile::SynthBeijing).generate();
+    println!("\nrouting on Beijing-analogue ({} nodes):", net.num_nodes());
+    let t0 = Instant::now();
+    let landmarks = Landmarks::build(&net, 6);
+    println!("  landmark preprocessing: {:.2}s (6 landmarks)", t0.elapsed().as_secs_f64());
+
+    let mut rng = deepod_tensor::rng_from_seed(0xA57);
+    let n = net.num_nodes();
+    let queries: Vec<(NodeId, NodeId)> = (0..200)
+        .map(|_| {
+            (
+                NodeId(rng.gen_range(0..n) as u32),
+                NodeId(rng.gen_range(0..n) as u32),
+            )
+        })
+        .collect();
+
+    let mut rows = TextTable::new(&["algorithm", "mean_settled", "total_ms"]);
+    // Dijkstra baseline (count settles by running to completion per query).
+    let t0 = Instant::now();
+    let mut d_ok = 0usize;
+    for &(a, b) in &queries {
+        if dijkstra_shortest_path(&net, a, b, |e| net.edge(e).length).is_some() {
+            d_ok += 1;
+        }
+    }
+    let d_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut a_settled = 0usize;
+    let mut a_ok = 0usize;
+    for &(a, b) in &queries {
+        if let Some((_, s)) = astar_shortest_path(&net, a, b) {
+            a_settled += s;
+            a_ok += 1;
+        }
+    }
+    let a_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut l_settled = 0usize;
+    let mut l_ok = 0usize;
+    for &(a, b) in &queries {
+        if let Some((_, s)) = alt_shortest_path(&net, &landmarks, a, b) {
+            l_settled += s;
+            l_ok += 1;
+        }
+    }
+    let l_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(d_ok, a_ok);
+    assert_eq!(d_ok, l_ok);
+    println!("  dijkstra: {d_ms:.0} ms for {d_ok} routable queries");
+    println!("  a*      : {a_ms:.0} ms, mean settled {}", a_settled / a_ok.max(1));
+    println!("  alt     : {l_ms:.0} ms, mean settled {}", l_settled / l_ok.max(1));
+    rows.row(&["dijkstra".into(), "-".into(), format!("{d_ms:.1}")]);
+    rows.row(&["astar".into(), (a_settled / a_ok.max(1)).to_string(), format!("{a_ms:.1}")]);
+    rows.row(&["alt".into(), (l_settled / l_ok.max(1)).to_string(), format!("{l_ms:.1}")]);
+    let _ = write_csv("ext_routing", &rows);
+    println!("\n{}", rows.render());
+}

@@ -1,0 +1,87 @@
+//! Figure 10 + Table 3 inputs — validation MAE vs. training steps for the
+//! three deep methods (STNN, MURAT, DeepOD) on Chengdu and Xi'an.
+
+use deepod_baselines::{MuratConfig, MuratPredictor, StnnConfig, StnnPredictor};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_core::Trainer;
+use deepod_eval::{write_csv, TextTable};
+use deepod_roadnet::CityProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 10: validation MAE vs training steps", scale);
+
+    let mut table = TextTable::new(&["City", "Method", "step", "val_mae", "elapsed_s"]);
+
+    for profile in [CityProfile::SynthChengdu, CityProfile::SynthXian] {
+        let ds = dataset(profile, scale);
+        println!("{} ({} train orders)", city_name(profile), ds.train.len());
+
+        // STNN.
+        let t0 = std::time::Instant::now();
+        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 12, ..Default::default() });
+        let curve = stnn.fit_with_validation(&ds, 10);
+        let stnn_time = t0.elapsed().as_secs_f64();
+        for &(step, mae) in &curve {
+            table.row(&[
+                city_name(profile).into(),
+                "STNN".into(),
+                step.to_string(),
+                format!("{mae:.1}"),
+                format!("{:.2}", stnn_time * step as f64 / curve.last().unwrap().0 as f64),
+            ]);
+        }
+        println!(
+            "  STNN:   {} curve points, final val MAE {:.1}s ({stnn_time:.0}s)",
+            curve.len(),
+            curve.last().map(|c| c.1).unwrap_or(f32::NAN)
+        );
+
+        // MURAT.
+        let t0 = std::time::Instant::now();
+        let mut murat = MuratPredictor::new(MuratConfig { epochs: 12, ..Default::default() });
+        let curve = murat.fit_with_validation(&ds, 10);
+        let murat_time = t0.elapsed().as_secs_f64();
+        for &(step, mae) in &curve {
+            table.row(&[
+                city_name(profile).into(),
+                "MURAT".into(),
+                step.to_string(),
+                format!("{mae:.1}"),
+                format!("{:.2}", murat_time * step as f64 / curve.last().unwrap().0 as f64),
+            ]);
+        }
+        println!(
+            "  MURAT:  {} curve points, final val MAE {:.1}s ({murat_time:.0}s)",
+            curve.len(),
+            curve.last().map(|c| c.1).unwrap_or(f32::NAN)
+        );
+
+        // DeepOD.
+        let mut opts = train_options();
+        opts.eval_every = 10;
+        opts.patience = 0; // full curve, no early stop
+        let mut trainer = Trainer::new(&ds, tuned_config(profile, scale), opts);
+        let report = trainer.train();
+        for p in &report.curve {
+            table.row(&[
+                city_name(profile).into(),
+                "DeepOD".into(),
+                p.step.to_string(),
+                format!("{:.1}", p.val_mae),
+                format!("{:.2}", p.elapsed_s),
+            ]);
+        }
+        println!(
+            "  DeepOD: {} curve points, best val MAE {:.1}s ({:.0}s)",
+            report.curve.len(),
+            report.best_val_mae,
+            report.total_time_s
+        );
+    }
+
+    match write_csv("fig10_training_curves", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

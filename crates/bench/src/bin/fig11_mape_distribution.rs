@@ -1,0 +1,59 @@
+//! Figure 11 — the empirical distribution (PDF) of per-trip MAPE on the
+//! test data for every method, on Chengdu and Xi'an. The paper's claim:
+//! DeepOD's distribution has both a smaller mean and smaller variance.
+
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_eval::{all_baselines, histogram, run_method, write_csv, DeepOdMethod, Method, TextTable};
+use deepod_roadnet::CityProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 11: MAPE distribution per method", scale);
+
+    let mut table = TextTable::new(&["City", "Method", "bin_center", "density"]);
+    let mut summary = TextTable::new(&["City", "Method", "mean_ape(%)", "std_ape(%)"]);
+
+    for profile in [CityProfile::SynthChengdu, CityProfile::SynthXian] {
+        let ds = dataset(profile, scale);
+        println!("{}", city_name(profile));
+
+        let mut methods: Vec<Method> = all_baselines();
+        methods.push(Method::DeepOd(DeepOdMethod {
+            name: "DeepOD".into(),
+            config: tuned_config(profile, scale),
+            options: train_options(),
+        }));
+
+        for m in methods {
+            let r = run_method(m, &ds);
+            let apes: Vec<f32> = r.pairs.iter().map(|p| 100.0 * p.ape()).collect();
+            let mean = apes.iter().sum::<f32>() / apes.len().max(1) as f32;
+            let var = apes.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
+                / apes.len().max(1) as f32;
+            println!("  {:8} mean APE {:5.1}%  std {:5.1}%", r.name, mean, var.sqrt());
+            summary.row(&[
+                city_name(profile).into(),
+                r.name.clone(),
+                format!("{mean:.2}"),
+                format!("{:.2}", var.sqrt()),
+            ]);
+
+            let (centers, density) = histogram(&apes, 0.0, 120.0, 24);
+            for (c, d) in centers.iter().zip(&density) {
+                table.row(&[
+                    city_name(profile).into(),
+                    r.name.clone(),
+                    format!("{c:.1}"),
+                    format!("{d:.5}"),
+                ]);
+            }
+        }
+    }
+
+    println!("\n{}", summary.render());
+    match write_csv("fig11_mape_distribution", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+    let _ = write_csv("fig11_summary", &summary);
+}

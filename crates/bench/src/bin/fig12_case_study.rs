@@ -1,0 +1,73 @@
+//! Figure 12 — case study: 50 random test trips (travel time < 1 h) per
+//! city, with estimated vs. actual travel time for every method. The
+//! paper plots these as scatter points against the y = x reference line.
+
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
+use deepod_roadnet::CityProfile;
+use rand::Rng;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 12: estimated vs actual (50 random test trips)", scale);
+
+    let mut table = TextTable::new(&["City", "Method", "actual_s", "estimated_s"]);
+
+    for profile in [CityProfile::SynthChengdu, CityProfile::SynthXian] {
+        let ds = dataset(profile, scale);
+
+        let mut methods: Vec<Method> = all_baselines();
+        methods.push(Method::DeepOd(DeepOdMethod {
+            name: "DeepOD".into(),
+            config: tuned_config(profile, scale),
+            options: train_options(),
+        }));
+
+        // Pick 50 random test indices with travel time < 1 hour, shared by
+        // all methods (the paper samples once and plots every method).
+        let mut rng = deepod_tensor::rng_from_seed(0xF16_12);
+        let eligible: Vec<usize> = (0..ds.test.len())
+            .filter(|&i| ds.test[i].travel_time < 3600.0)
+            .collect();
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < 50.min(eligible.len()) {
+            chosen.insert(eligible[rng.gen_range(0..eligible.len())]);
+        }
+
+        for m in methods {
+            let r = run_method(m, &ds);
+            // `pairs` is aligned with test order indices only when every
+            // prediction succeeded; recompute the mapping defensively.
+            let mut close_count = 0usize;
+            for (k, &i) in chosen.iter().enumerate() {
+                // Pair index: count how many of the first i test orders got
+                // predictions. For our predictors all of them do.
+                if i < r.pairs.len() {
+                    let p = r.pairs[i];
+                    table.row(&[
+                        city_name(profile).into(),
+                        r.name.clone(),
+                        format!("{:.0}", p.actual),
+                        format!("{:.0}", p.predicted),
+                    ]);
+                    if (p.predicted - p.actual).abs() / p.actual < 0.2 {
+                        close_count += 1;
+                    }
+                }
+                let _ = k;
+            }
+            println!(
+                "{} {:8}: {}/{} within 20% of y=x",
+                city_name(profile),
+                r.name,
+                close_count,
+                chosen.len()
+            );
+        }
+    }
+
+    match write_csv("fig12_case_study", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

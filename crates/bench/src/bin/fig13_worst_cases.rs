@@ -1,0 +1,64 @@
+//! Figure 13 — worst-case study: for each method, the 50 test trips with
+//! the highest MAPE, with estimated vs. actual time. The paper finds the
+//! worst cases concentrate in the up-left corner (short actual, long
+//! estimate) and that TEMP's extreme cases reach 200–300 % MAPE.
+
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
+use deepod_roadnet::CityProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 13: worst 50 cases per method (by MAPE)", scale);
+
+    let mut table = TextTable::new(&["City", "Method", "actual_s", "estimated_s", "ape(%)"]);
+    let mut summary = TextTable::new(&["City", "Method", "worst50_mean_ape(%)", "max_ape(%)"]);
+
+    for profile in [CityProfile::SynthChengdu, CityProfile::SynthXian] {
+        let ds = dataset(profile, scale);
+        println!("{}", city_name(profile));
+
+        let mut methods: Vec<Method> = all_baselines();
+        methods.push(Method::DeepOd(DeepOdMethod {
+            name: "DeepOD".into(),
+            config: tuned_config(profile, scale),
+            options: train_options(),
+        }));
+
+        for m in methods {
+            let r = run_method(m, &ds);
+            let mut ranked = r.pairs.clone();
+            ranked.sort_by(|a, b| b.ape().total_cmp(&a.ape()));
+            ranked.truncate(50);
+            let mean_ape =
+                100.0 * ranked.iter().map(|p| p.ape()).sum::<f32>() / ranked.len().max(1) as f32;
+            let max_ape = 100.0 * ranked.first().map(|p| p.ape()).unwrap_or(0.0);
+            println!(
+                "  {:8} worst-50 mean APE {:6.1}%  max {:6.1}%",
+                r.name, mean_ape, max_ape
+            );
+            summary.row(&[
+                city_name(profile).into(),
+                r.name.clone(),
+                format!("{mean_ape:.1}"),
+                format!("{max_ape:.1}"),
+            ]);
+            for p in &ranked {
+                table.row(&[
+                    city_name(profile).into(),
+                    r.name.clone(),
+                    format!("{:.0}", p.actual),
+                    format!("{:.0}", p.predicted),
+                    format!("{:.1}", 100.0 * p.ape()),
+                ]);
+            }
+        }
+    }
+
+    println!("\n{}", summary.render());
+    match write_csv("fig13_worst_cases", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+    let _ = write_csv("fig13_summary", &summary);
+}

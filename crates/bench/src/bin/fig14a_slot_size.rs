@@ -1,0 +1,43 @@
+//! Figure 14(a) — effect of the time-slot size Δt: MAPE on Chengdu for
+//! Δt ∈ {1, 5, 10, 30, 60} minutes. The paper finds a U-shape with the
+//! optimum at 5 minutes (finer slots are sparser, coarser slots blur the
+//! temporal signal).
+
+use deepod_bench::{banner, sweep_config, sweep_dataset, train_options, Scale};
+use deepod_eval::{run_method, write_csv, DeepOdMethod, Method, TextTable};
+use deepod_roadnet::CityProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 14a: MAPE vs time-slot size", scale);
+
+    let minutes = [1.0f64, 5.0, 10.0, 30.0, 60.0];
+    let ds = sweep_dataset(CityProfile::SynthChengdu, scale);
+    println!("Chengdu ({} train orders)", ds.train.len());
+
+    let mut table = TextTable::new(&["slot_minutes", "MAPE(%)", "MAE(s)"]);
+    for &m in &minutes {
+        let mut cfg = sweep_config(CityProfile::SynthChengdu, scale);
+        cfg.slot_seconds = m * 60.0;
+        let r = run_method(
+            Method::DeepOd(DeepOdMethod {
+                name: format!("DeepOD Δt={m}min"),
+                config: cfg,
+                options: train_options(),
+            }),
+            &ds,
+        );
+        println!("  Δt = {m:>4} min: MAPE {:5.1}%  MAE {:6.1}s", r.metrics.mape_pct, r.metrics.mae);
+        table.row(&[
+            format!("{m}"),
+            format!("{:.2}", r.metrics.mape_pct),
+            format!("{:.1}", r.metrics.mae),
+        ]);
+    }
+
+    println!("\n{}", table.render());
+    match write_csv("fig14a_slot_size", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 14(b) — heat map of the learned time-slot embeddings: train
+//! DeepOD on Chengdu, project every weekly slot embedding to 1-D with
+//! t-SNE, average over 2-hour buckets, and print the (day × hour-bucket)
+//! grid. The paper's finding: neighboring slots are smooth and weekdays
+//! resemble each other (daily/weekly periodicity visible).
+
+use deepod_bench::{banner, sweep_config, sweep_dataset, train_options, Scale};
+use deepod_core::Trainer;
+use deepod_eval::{write_csv, TextTable};
+use deepod_graphembed::{tsne_1d, TsneConfig};
+use deepod_roadnet::CityProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 14b: t-SNE heat map of time-slot embeddings", scale);
+
+    let ds = sweep_dataset(CityProfile::SynthChengdu, scale);
+    let cfg = sweep_config(CityProfile::SynthChengdu, scale);
+    let slot_seconds = cfg.slot_seconds;
+    let mut trainer = Trainer::new(&ds, cfg, train_options());
+    trainer.train();
+
+    let model = trainer.model();
+    let table_param = model.slot_emb.table;
+    let emb = model.store.value(table_param).clone();
+    println!("slot embedding table: {} x {}", emb.dim(0), emb.dim(1));
+
+    let mut rng = deepod_tensor::rng_from_seed(0xF16_14B);
+    let coords = tsne_1d(&emb, &TsneConfig::default(), &mut rng);
+
+    // Average into (day, 2-hour bucket) cells.
+    let slots_per_day = (86_400.0 / slot_seconds).round() as usize;
+    let buckets_per_day = 12; // 2-hour buckets
+    let per_bucket = slots_per_day / buckets_per_day;
+    let mut grid = vec![vec![0.0f64; buckets_per_day]; 7];
+    for day in 0..7 {
+        for b in 0..buckets_per_day {
+            let start = day * slots_per_day + b * per_bucket;
+            let end = start + per_bucket;
+            let vals = &coords[start..end.min(coords.len())];
+            grid[day][b] = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+        }
+    }
+
+    // Normalize to [-10, 10] for display parity with the paper's colorbar.
+    let maxabs = grid
+        .iter()
+        .flatten()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1e-9);
+    let mut csv = TextTable::new(&["day", "hour_bucket", "tsne_value"]);
+    let days = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+    println!("\n        {}", (0..buckets_per_day).map(|b| format!("{:>6}", b * 2)).collect::<String>());
+    for (d, row) in grid.iter().enumerate() {
+        let mut line = format!("{:>6}  ", days[d]);
+        for (b, &v) in row.iter().enumerate() {
+            let scaled = 10.0 * v / maxabs;
+            line.push_str(&format!("{scaled:>6.1}"));
+            csv.row(&[days[d].into(), format!("{}", b * 2), format!("{scaled:.3}")]);
+        }
+        println!("{line}");
+    }
+
+    // Smoothness + periodicity diagnostics (the paper's qualitative claims).
+    let mut neighbor_diff = 0.0;
+    let mut random_diff = 0.0;
+    let n = coords.len();
+    for i in 0..n {
+        neighbor_diff += (coords[i] - coords[(i + 1) % n]).abs();
+        random_diff += (coords[i] - coords[(i + n / 2) % n]).abs();
+    }
+    println!(
+        "\nneighbor-slot mean |Δtsne| {:.3} vs antipodal {:.3} (smooth ⇔ smaller)",
+        neighbor_diff / n as f64,
+        random_diff / n as f64
+    );
+    let mut day_corr = 0.0;
+    for day in 0..6 {
+        for b in 0..buckets_per_day {
+            day_corr += (grid[day][b] - grid[day + 1][b]).abs();
+        }
+    }
+    println!(
+        "mean |adjacent-day difference| per bucket: {:.3} (daily periodicity ⇔ small)",
+        day_corr / (6 * buckets_per_day) as f64
+    );
+
+    match write_csv("fig14b_slot_heatmap", &csv) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

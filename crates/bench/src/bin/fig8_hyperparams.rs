@@ -1,0 +1,126 @@
+//! Figure 8 — hyper-parameter sensitivity: validation MAPE and MARE when
+//! varying each of the twelve layer widths (d_s, d_t, d¹_m … d⁹_m, d_h,
+//! d_traf) independently around the tuned point, on Chengdu and Xi'an.
+//!
+//! Quick scale sweeps {8, 16, 32, 64}; full scale sweeps the paper's
+//! {32, 64, 128, 256}.
+
+use deepod_bench::{banner, city_name, sweep_config, sweep_dataset, train_options, Scale};
+use deepod_core::{DeepOdConfig, Trainer};
+use deepod_eval::{write_csv, TextTable};
+use deepod_roadnet::CityProfile;
+
+/// Which hyper-parameter a sweep entry varies.
+#[derive(Clone, Copy)]
+enum Param {
+    Ds,
+    Dt,
+    D1m,
+    D2m,
+    D3m,
+    D4m,
+    D5m,
+    D6m,
+    D7m,
+    D9m,
+    Dh,
+    Dtraf,
+}
+
+impl Param {
+    fn all() -> [(Param, &'static str); 12] {
+        [
+            (Param::Ds, "ds"),
+            (Param::Dt, "dt"),
+            (Param::D1m, "d1m"),
+            (Param::D2m, "d2m"),
+            (Param::D3m, "d3m"),
+            (Param::D4m, "d4m_d8m"),
+            (Param::D5m, "d5m"),
+            (Param::D6m, "d6m"),
+            (Param::D7m, "d7m"),
+            (Param::D9m, "d9m"),
+            (Param::Dh, "dh"),
+            (Param::Dtraf, "dtraf"),
+        ]
+    }
+
+    fn apply(self, cfg: &mut DeepOdConfig, v: usize) {
+        match self {
+            Param::Ds => cfg.ds = v,
+            Param::Dt => cfg.dt_dim = v,
+            Param::D1m => cfg.d1m = v,
+            Param::D2m => cfg.d2m = v,
+            Param::D3m => cfg.d3m = v,
+            Param::D4m => cfg.d4m = v, // d8m is tied to d4m by construction
+            Param::D5m => cfg.d5m = v,
+            Param::D6m => cfg.d6m = v,
+            Param::D7m => cfg.d7m = v,
+            Param::D9m => cfg.d9m = v,
+            Param::Dh => cfg.dh = v,
+            Param::Dtraf => cfg.dtraf = v,
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 8: hyper-parameter sweeps", scale);
+
+    let values: Vec<usize> = match scale {
+        Scale::Quick => vec![8, 16, 32, 64],
+        Scale::Full => vec![32, 64, 128, 256],
+    };
+
+    let mut table = TextTable::new(&["City", "param", "value", "MAPE(%)", "MARE(%)"]);
+
+    // Chengdu by default (the paper's primary sweep target); pass
+    // FIG8_BOTH=1 to also sweep Xi'an as in the paper's figure.
+    let cities: &[CityProfile] = if std::env::var("FIG8_BOTH").is_ok() {
+        &[CityProfile::SynthChengdu, CityProfile::SynthXian]
+    } else {
+        &[CityProfile::SynthChengdu]
+    };
+    for &profile in cities {
+        let ds = sweep_dataset(profile, scale);
+        println!("{} ({} train orders)", city_name(profile), ds.train.len());
+
+        for (param, name) in Param::all() {
+            print!("  {name:>8}:");
+            for &v in &values {
+                let mut cfg = sweep_config(profile, scale);
+                param.apply(&mut cfg, v);
+                let mut trainer = Trainer::new(&ds, cfg, train_options());
+                trainer.train();
+                // Validation metrics (the paper tunes on validation data).
+                let samples = trainer.validation_samples().to_vec();
+                let mut mape = 0.0f32;
+                let mut abs = 0.0f32;
+                let mut tot = 0.0f32;
+                for s in &samples {
+                    let p = trainer.model().estimate_encoded(&s.od);
+                    mape += (p - s.travel_time).abs() / s.travel_time.max(1.0);
+                    abs += (p - s.travel_time).abs();
+                    tot += s.travel_time;
+                }
+                let mape = 100.0 * mape / samples.len().max(1) as f32;
+                let mare = 100.0 * abs / tot.max(1.0);
+                print!(" {v}→{mape:.1}%");
+                table.row(&[
+                    city_name(profile).into(),
+                    name.into(),
+                    v.to_string(),
+                    format!("{mape:.2}"),
+                    format!("{mare:.2}"),
+                ]);
+            }
+            println!();
+        }
+    }
+
+    println!("\n{}", table.render());
+    match write_csv("fig8_hyperparams", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 9 — MAPE vs. the auxiliary-loss weight w ∈ {0.1 … 0.9} on all
+//! three cities, reported as per-minibatch box-plot statistics (min, Q1,
+//! median, Q3, max) over the validation data like the paper's Box-plots.
+
+use deepod_bench::{banner, city_name, sweep_config, sweep_dataset, train_options, Scale, CITIES};
+use deepod_core::Trainer;
+use deepod_eval::{write_csv, TextTable};
+
+/// Quartile summary of a sample.
+fn quartiles(mut v: Vec<f32>) -> (f32, f32, f32, f32, f32) {
+    v.sort_by(f32::total_cmp);
+    let q = |p: f64| -> f32 {
+        if v.is_empty() {
+            return f32::NAN;
+        }
+        let idx = ((v.len() - 1) as f64 * p).round() as usize;
+        v[idx]
+    };
+    (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 9: MAPE vs loss weight w", scale);
+
+    let weights: Vec<f32> = match scale {
+        Scale::Quick => vec![0.1, 0.3, 0.5, 0.7, 0.9],
+        Scale::Full => (1..=9).map(|i| i as f32 / 10.0).collect(),
+    };
+
+    let mut table = TextTable::new(&[
+        "City", "w", "min", "q1", "median", "q3", "max", "mean",
+    ]);
+
+    for profile in CITIES {
+        let ds = sweep_dataset(profile, scale);
+        println!("{} ({} train orders)", city_name(profile), ds.train.len());
+        let mut best = (f32::INFINITY, 0.0f32);
+        for &w in &weights {
+            let mut cfg = sweep_config(profile, scale);
+            cfg.loss_weight = w;
+            let mut trainer = Trainer::new(&ds, cfg, train_options());
+            trainer.train();
+
+            // Per-minibatch MAPE over validation (batches of 64, like the
+            // paper's per-minibatch boxes).
+            let samples = trainer.validation_samples().to_vec();
+            let mut batch_mapes = Vec::new();
+            for chunk in samples.chunks(64) {
+                let mut acc = 0.0f32;
+                for s in chunk {
+                    let pred = trainer.model().estimate_encoded(&s.od);
+                    acc += (pred - s.travel_time).abs() / s.travel_time.max(1.0);
+                }
+                batch_mapes.push(100.0 * acc / chunk.len() as f32);
+            }
+            let mean = batch_mapes.iter().sum::<f32>() / batch_mapes.len().max(1) as f32;
+            let (mn, q1, med, q3, mx) = quartiles(batch_mapes);
+            println!(
+                "  w={w:.1}: median MAPE {med:.1}% (q1 {q1:.1}, q3 {q3:.1}, mean {mean:.1})"
+            );
+            if mean < best.0 {
+                best = (mean, w);
+            }
+            table.row(&[
+                city_name(profile).into(),
+                format!("{w:.1}"),
+                format!("{mn:.2}"),
+                format!("{q1:.2}"),
+                format!("{med:.2}"),
+                format!("{q3:.2}"),
+                format!("{mx:.2}"),
+                format!("{mean:.2}"),
+            ]);
+        }
+        println!("  -> best w for {} : {:.1}", city_name(profile), best.1);
+    }
+
+    println!("\n{}", table.render());
+    match write_csv("fig9_loss_weight", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

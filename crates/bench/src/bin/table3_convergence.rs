@@ -1,0 +1,94 @@
+//! Table 3 — convergence steps and convergence wall-clock time for the
+//! three deep methods (STNN, MURAT, DeepOD) on Chengdu and Xi'an.
+//!
+//! Convergence is defined as the first recorded step whose validation MAE
+//! is within 2 % of the run's best (the paper reports "steps/time to
+//! stabilize").
+
+use deepod_baselines::{MuratConfig, MuratPredictor, StnnConfig, StnnPredictor};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_core::Trainer;
+use deepod_eval::{write_csv, TextTable};
+use deepod_roadnet::CityProfile;
+
+/// First step within 2 % of the best MAE on the curve.
+fn convergence(curve: &[(usize, f32)]) -> (usize, f32) {
+    let best = curve.iter().map(|c| c.1).fold(f32::INFINITY, f32::min);
+    for &(step, mae) in curve {
+        if mae <= best * 1.02 {
+            return (step, mae);
+        }
+    }
+    curve.last().copied().unwrap_or((0, f32::NAN))
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 3: convergence steps and time", scale);
+
+    let mut table =
+        TextTable::new(&["City", "Method", "conv_steps", "conv_time_s", "total_time_s"]);
+
+    for profile in [CityProfile::SynthChengdu, CityProfile::SynthXian] {
+        let ds = dataset(profile, scale);
+        println!("{} ({} train orders)", city_name(profile), ds.train.len());
+
+        // STNN.
+        let t0 = std::time::Instant::now();
+        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 12, ..Default::default() });
+        let curve = stnn.fit_with_validation(&ds, 10);
+        let total = t0.elapsed().as_secs_f64();
+        let (cstep, _) = convergence(&curve);
+        let last_step = curve.last().map(|c| c.0).unwrap_or(1).max(1);
+        let ctime = total * cstep as f64 / last_step as f64;
+        println!("  STNN:   {cstep} steps, {ctime:.1}s (total {total:.1}s)");
+        table.row(&[
+            city_name(profile).into(),
+            "STNN".into(),
+            cstep.to_string(),
+            format!("{ctime:.1}"),
+            format!("{total:.1}"),
+        ]);
+
+        // MURAT.
+        let t0 = std::time::Instant::now();
+        let mut murat = MuratPredictor::new(MuratConfig { epochs: 12, ..Default::default() });
+        let curve = murat.fit_with_validation(&ds, 10);
+        let total = t0.elapsed().as_secs_f64();
+        let (cstep, _) = convergence(&curve);
+        let last_step = curve.last().map(|c| c.0).unwrap_or(1).max(1);
+        let ctime = total * cstep as f64 / last_step as f64;
+        println!("  MURAT:  {cstep} steps, {ctime:.1}s (total {total:.1}s)");
+        table.row(&[
+            city_name(profile).into(),
+            "MURAT".into(),
+            cstep.to_string(),
+            format!("{ctime:.1}"),
+            format!("{total:.1}"),
+        ]);
+
+        // DeepOD (the Trainer computes convergence itself).
+        let mut opts = train_options();
+        opts.eval_every = 10;
+        opts.patience = 0;
+        let mut trainer = Trainer::new(&ds, tuned_config(profile, scale), opts);
+        let report = trainer.train();
+        println!(
+            "  DeepOD: {} steps, {:.1}s (total {:.1}s)",
+            report.convergence_step, report.convergence_time_s, report.total_time_s
+        );
+        table.row(&[
+            city_name(profile).into(),
+            "DeepOD".into(),
+            report.convergence_step.to_string(),
+            format!("{:.1}", report.convergence_time_s),
+            format!("{:.1}", report.total_time_s),
+        ]);
+    }
+
+    println!("\n{}", table.render());
+    match write_csv("table3_convergence", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 4 — test errors (MAE / MAPE / MARE) of every baseline, every
+//! DeepOD ablation, and full DeepOD on the three city datasets.
+//!
+//! Usage: `cargo run --release -p deepod-bench --bin table4_test_errors
+//! [quick|full]`.
+
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale, CITIES};
+use deepod_core::Variant;
+use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 4: test errors", scale);
+
+    let mut table = TextTable::new(&[
+        "City", "Method", "MAE(s)", "MAPE(%)", "MARE(%)",
+    ]);
+
+    for profile in CITIES {
+        let ds = dataset(profile, scale);
+        println!(
+            "{}: {} train / {} val / {} test orders, {} road segments",
+            city_name(profile),
+            ds.train.len(),
+            ds.validation.len(),
+            ds.test.len(),
+            ds.net.num_edges()
+        );
+
+        // Five baselines.
+        for m in all_baselines() {
+            let r = run_method(m, &ds);
+            println!(
+                "  {:8} MAE {:7.1}  MAPE {:5.1}%  MARE {:5.1}%",
+                r.name, r.metrics.mae, r.metrics.mape_pct, r.metrics.mare_pct
+            );
+            table.row(&[
+                city_name(profile).into(),
+                r.name.clone(),
+                format!("{:.1}", r.metrics.mae),
+                format!("{:.2}", r.metrics.mape_pct),
+                format!("{:.2}", r.metrics.mare_pct),
+            ]);
+        }
+
+        // Ablations + full model.
+        let variants = [
+            (Variant::NoTrajectory, "N-st"),
+            (Variant::NoSpatialPath, "N-sp"),
+            (Variant::NoTemporalPath, "N-tp"),
+            (Variant::NoExternal, "N-other"),
+            (Variant::Full, "DeepOD"),
+        ];
+        for (variant, name) in variants {
+            let mut cfg = tuned_config(profile, scale);
+            cfg.variant = variant;
+            let r = run_method(
+                Method::DeepOd(DeepOdMethod {
+                    name: name.to_string(),
+                    config: cfg,
+                    options: train_options(),
+                }),
+                &ds,
+            );
+            println!(
+                "  {:8} MAE {:7.1}  MAPE {:5.1}%  MARE {:5.1}%  (train {:.0}s)",
+                r.name, r.metrics.mae, r.metrics.mape_pct, r.metrics.mare_pct, r.train_time_s
+            );
+            table.row(&[
+                city_name(profile).into(),
+                r.name.clone(),
+                format!("{:.1}", r.metrics.mae),
+                format!("{:.2}", r.metrics.mape_pct),
+                format!("{:.2}", r.metrics.mare_pct),
+            ]);
+        }
+    }
+
+    println!("\n{}", table.render());
+    match write_csv("table4_test_errors", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 5 — efficiency: model size (bytes), offline training time and
+//! online estimation latency per 1 000 queries for every method on the
+//! three cities.
+
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale, CITIES};
+use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
+
+fn human_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2}M", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.2}K", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 5: efficiency (size / training / estimation)", scale);
+
+    let mut table = TextTable::new(&[
+        "City", "Method", "size_bytes", "size", "train_s", "est_s_per_1k",
+    ]);
+
+    for profile in CITIES {
+        let ds = dataset(profile, scale);
+        println!("{} ({} road segments)", city_name(profile), ds.net.num_edges());
+
+        let mut methods: Vec<Method> = all_baselines();
+        methods.push(Method::DeepOd(DeepOdMethod {
+            name: "DeepOD".into(),
+            config: tuned_config(profile, scale),
+            options: train_options(),
+        }));
+
+        for m in methods {
+            let r = run_method(m, &ds);
+            println!(
+                "  {:8} size {:>9}  train {:7.1}s  est {:6.3}s/1k",
+                r.name,
+                human_size(r.model_size_bytes),
+                r.train_time_s,
+                r.est_time_s_per_k
+            );
+            table.row(&[
+                city_name(profile).into(),
+                r.name.clone(),
+                r.model_size_bytes.to_string(),
+                human_size(r.model_size_bytes),
+                format!("{:.2}", r.train_time_s),
+                format!("{:.4}", r.est_time_s_per_k),
+            ]);
+        }
+    }
+
+    println!("\n{}", table.render());
+    match write_csv("table5_efficiency", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

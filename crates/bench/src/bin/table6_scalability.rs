@@ -1,0 +1,67 @@
+//! Table 6 — scalability: test MAPE of every method when trained on
+//! 20 / 40 / 60 / 80 / 100 % of the Beijing training data.
+
+use deepod_bench::{banner, dataset, sweep_config, train_options, Scale};
+use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
+use deepod_roadnet::CityProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 6: scalability on Beijing", scale);
+
+    let full = dataset(CityProfile::SynthBeijing, scale);
+    println!(
+        "Beijing: {} train / {} test orders",
+        full.train.len(),
+        full.test.len()
+    );
+
+    let fractions = [0.2f64, 0.4, 0.6, 0.8, 1.0];
+    let mut table = TextTable::new(&["scale", "Method", "MAPE(%)", "MAE(s)"]);
+
+    for &frac in &fractions {
+        // Chronological prefix (the paper samples; a prefix preserves the
+        // time ordering that the chronological split depends on).
+        let keep = (full.train.len() as f64 * frac).round() as usize;
+        let mut ds = deepod_traj::CityDataset {
+            net: full.net.clone(),
+            traffic: full.traffic.clone(),
+            train: full.train[full.train.len() - keep..].to_vec(),
+            validation: full.validation.clone(),
+            test: full.test.clone(),
+            config: full.config.clone(),
+        };
+        // Keep the most recent `keep` orders (closest to the test period).
+        ds.train.sort_by(|a, b| a.od.depart.total_cmp(&b.od.depart));
+        println!("-- {:.0}% ({} train orders)", frac * 100.0, ds.train.len());
+
+        let mut methods: Vec<Method> = all_baselines();
+        methods.push(Method::DeepOd(DeepOdMethod {
+            // Sweep-scale config: five fractions × six methods must finish
+            // in minutes; relative MAPE vs data fraction is what Table 6
+            // reports.
+            name: "DeepOD".into(),
+            config: sweep_config(CityProfile::SynthBeijing, scale),
+            options: train_options(),
+        }));
+        for m in methods {
+            let r = run_method(m, &ds);
+            println!(
+                "   {:8} MAPE {:5.1}%  MAE {:6.1}s",
+                r.name, r.metrics.mape_pct, r.metrics.mae
+            );
+            table.row(&[
+                format!("{:.0}%", frac * 100.0),
+                r.name.clone(),
+                format!("{:.2}", r.metrics.mape_pct),
+                format!("{:.1}", r.metrics.mae),
+            ]);
+        }
+    }
+
+    println!("\n{}", table.render());
+    match write_csv("table6_scalability", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,58 @@
+//! Table 7 — embedding-initialization ablations: T-one (random time-slot
+//! init), T-day (day-only temporal graph), T-stamp (raw timestamps), and
+//! R-one (random road init) vs. full DeepOD, reported as MAPE with the
+//! percentage increase over DeepOD.
+
+use deepod_bench::{banner, city_name, sweep_config, sweep_dataset, train_options, Scale, CITIES};
+use deepod_core::EmbeddingInit;
+use deepod_eval::{run_method, write_csv, DeepOdMethod, Method, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 7: embedding-initialization ablations", scale);
+
+    let variants = [
+        (EmbeddingInit::Node2Vec, "DeepOD"),
+        (EmbeddingInit::TimeRandom, "T-one"),
+        (EmbeddingInit::TimeDayGraph, "T-day"),
+        (EmbeddingInit::TimeStamp, "T-stamp"),
+        (EmbeddingInit::RoadRandom, "R-one"),
+    ];
+
+    let mut table = TextTable::new(&["City", "Variant", "MAPE(%)", "vs_DeepOD(%)"]);
+
+    for profile in CITIES {
+        let ds = sweep_dataset(profile, scale);
+        println!("{} ({} train orders)", city_name(profile), ds.train.len());
+        let mut base_mape = f32::NAN;
+        for (init, name) in variants {
+            let mut cfg = sweep_config(profile, scale);
+            cfg.init = init;
+            let r = run_method(
+                Method::DeepOd(DeepOdMethod {
+                    name: name.to_string(),
+                    config: cfg,
+                    options: train_options(),
+                }),
+                &ds,
+            );
+            if name == "DeepOD" {
+                base_mape = r.metrics.mape_pct;
+            }
+            let delta = 100.0 * (r.metrics.mape_pct - base_mape) / base_mape;
+            println!("  {:8} MAPE {:5.1}%  ({:+.1}%)", name, r.metrics.mape_pct, delta);
+            table.row(&[
+                city_name(profile).into(),
+                name.into(),
+                format!("{:.2}", r.metrics.mape_pct),
+                format!("{delta:+.1}"),
+            ]);
+        }
+    }
+
+    println!("\n{}", table.render());
+    match write_csv("table7_embedding_ablations", &table) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,228 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::dataset_io::{load_dataset, save_dataset};
+use deepod_core::{DeepOdConfig, DeepOdModel, FeatureContext, TrainOptions, Trainer};
+use deepod_roadnet::{CityProfile, Point};
+use deepod_traj::{DatasetBuilder, DatasetConfig, OdInput};
+
+/// Usage text printed on errors and by `deepod help`.
+pub const USAGE: &str = "\
+deepod — OD travel time estimation (DeepOD, SIGMOD 2020 reproduction)
+
+USAGE:
+  deepod simulate --profile <chengdu|xian|beijing> [--orders N] --out FILE
+  deepod train    --data FILE [--epochs N] [--loss-weight W] [--seed S] --out FILE
+  deepod predict  --data FILE --model FILE --from X,Y --to X,Y --depart T
+  deepod eval     --data FILE --model FILE
+  deepod info     --data FILE
+  deepod help
+";
+
+fn profile_of(name: &str) -> Result<CityProfile, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "chengdu" => Ok(CityProfile::SynthChengdu),
+        "xian" | "xi'an" => Ok(CityProfile::SynthXian),
+        "beijing" => Ok(CityProfile::SynthBeijing),
+        other => Err(format!("unknown profile '{other}' (chengdu|xian|beijing)")),
+    }
+}
+
+/// Dispatches to the subcommand handlers.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("no subcommand given".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "simulate" => simulate(&Args::parse(rest)?),
+        "train" => train(&Args::parse(rest)?),
+        "predict" => predict(&Args::parse(rest)?),
+        "eval" => eval_cmd(&Args::parse(rest)?),
+        "info" => info(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let profile = profile_of(args.require("profile")?)?;
+    let orders = args.get_parsed("orders", 1_000usize)?;
+    let out = args.require("out")?;
+    println!("simulating {profile:?} with {orders} orders ...");
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(profile, orders));
+    println!(
+        "  {} segments | {} train / {} val / {} test orders",
+        ds.net.num_edges(),
+        ds.train.len(),
+        ds.validation.len(),
+        ds.test.len()
+    );
+    save_dataset(&ds, out)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn train(args: &Args) -> Result<(), String> {
+    let data = args.require("data")?;
+    let out = args.require("out")?;
+    let ds = load_dataset(data)?;
+    let mut cfg = DeepOdConfig::default();
+    cfg.epochs = args.get_parsed("epochs", 8usize)?;
+    cfg.loss_weight = args.get_parsed("loss-weight", 0.3f32)?;
+    cfg.seed = args.get_parsed("seed", cfg.seed)?;
+    cfg.validate()?;
+
+    println!(
+        "training DeepOD on {} orders ({} epochs, w = {}) ...",
+        ds.train.len(),
+        cfg.epochs,
+        cfg.loss_weight
+    );
+    let opts = TrainOptions { verbose: args.has_switch("verbose"), ..Default::default() };
+    let mut trainer = Trainer::new(&ds, cfg, opts);
+    let report = trainer.train();
+    println!(
+        "  done in {:.1}s — best validation MAE {:.1}s over {} steps",
+        report.total_time_s, report.best_val_mae, report.total_steps
+    );
+    std::fs::write(out, trainer.model().save_json())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<DeepOdModel, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    DeepOdModel::load_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn predict(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("data")?)?;
+    let mut model = load_model(args.require("model")?)?;
+    let (fx, fy) = args.get_point("from")?;
+    let (tx, ty) = args.get_point("to")?;
+    let depart: f64 = args.get_parsed("depart", 0.0f64)?;
+
+    let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
+    let od = OdInput {
+        origin: Point::new(fx, fy),
+        destination: Point::new(tx, ty),
+        depart,
+        weather: ds.traffic.weather().at(depart),
+    };
+    match model.estimate(&ctx, &ds.net, &od) {
+        Some(eta) => {
+            println!(
+                "ETA: {eta:.0}s ({:.1} min) for {:.1} km crow-fly, departing t = {depart:.0}s ({})",
+                eta / 60.0,
+                od.origin.dist(&od.destination) / 1000.0,
+                od.weather.label()
+            );
+            Ok(())
+        }
+        None => Err("origin or destination could not be matched to the road network".into()),
+    }
+}
+
+fn eval_cmd(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("data")?)?;
+    let mut model = load_model(args.require("model")?)?;
+    let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
+
+    let mut pairs = Vec::new();
+    for o in &ds.test {
+        if let Some(p) = model.estimate(&ctx, &ds.net, &o.od) {
+            pairs.push(deepod_eval::PredPair { actual: o.travel_time as f32, predicted: p });
+        }
+    }
+    if pairs.is_empty() {
+        return Err("no test order could be evaluated".into());
+    }
+    let m = deepod_eval::Metrics::from_pairs(&pairs);
+    println!(
+        "test metrics over {} trips: MAE {:.1}s | MAPE {:.2}% | MARE {:.2}%",
+        pairs.len(),
+        m.mae,
+        m.mape_pct,
+        m.mare_pct
+    );
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("data")?)?;
+    let (min, max) = ds.net.bounding_box();
+    println!("profile: {:?}", ds.config.profile);
+    println!(
+        "network: {} nodes, {} segments, {:.1} x {:.1} km",
+        ds.net.num_nodes(),
+        ds.net.num_edges(),
+        (max.x - min.x) / 1000.0,
+        (max.y - min.y) / 1000.0
+    );
+    println!(
+        "orders:  {} train / {} validation / {} test",
+        ds.train.len(),
+        ds.validation.len(),
+        ds.test.len()
+    );
+    println!("mean train travel time: {:.0}s", ds.mean_train_travel_time());
+    let mean_len: f64 = ds
+        .train
+        .iter()
+        .map(|o| {
+            o.trajectory
+                .edges()
+                .iter()
+                .map(|&e| ds.net.edge(e).length)
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        / ds.train.len().max(1) as f64;
+    println!("mean trip length: {:.0} m", mean_len);
+    let mean_segs: f64 = ds
+        .train
+        .iter()
+        .map(|o| o.trajectory.path.len() as f64)
+        .sum::<f64>()
+        / ds.train.len().max(1) as f64;
+    println!("mean segments per trip: {mean_segs:.1}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_parsing() {
+        assert_eq!(profile_of("chengdu").unwrap(), CityProfile::SynthChengdu);
+        assert_eq!(profile_of("CHENGDU").unwrap(), CityProfile::SynthChengdu);
+        assert_eq!(profile_of("xi'an").unwrap(), CityProfile::SynthXian);
+        assert_eq!(profile_of("beijing").unwrap(), CityProfile::SynthBeijing);
+        assert!(profile_of("gotham").is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_and_empty() {
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&["destroy".into()]).is_err());
+    }
+
+    #[test]
+    fn dispatch_help_ok() {
+        assert!(dispatch(&["help".into()]).is_ok());
+    }
+
+    #[test]
+    fn missing_required_flags_reported() {
+        let err = dispatch(&["simulate".into()]).unwrap_err();
+        assert!(err.contains("--profile"), "unexpected error: {err}");
+        let err = dispatch(&["train".into()]).unwrap_err();
+        assert!(err.contains("--data"), "unexpected error: {err}");
+    }
+}

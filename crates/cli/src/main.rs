@@ -1,0 +1,38 @@
+//! `deepod` — the command-line interface to the DeepOD stack.
+//!
+//! Subcommands:
+//!
+//! * `simulate` — generate a synthetic city dataset and write it as JSON.
+//! * `train`    — train a DeepOD model on a dataset file, save the model.
+//! * `predict`  — load a model + dataset and answer one OD query.
+//! * `eval`     — load a model + dataset and report test MAE/MAPE/MARE.
+//! * `info`     — print summary statistics of a dataset or model file.
+//!
+//! Example round trip:
+//!
+//! ```text
+//! deepod simulate --profile chengdu --orders 1500 --out city.json
+//! deepod train    --data city.json --epochs 8 --out model.json
+//! deepod eval     --data city.json --model model.json
+//! deepod predict  --data city.json --model model.json \
+//!                 --from 1200,3400 --to 4100,800 --depart 1468800
+//! ```
+
+mod args;
+mod commands;
+mod dataset_io;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Model variants and embedding-initialization choices for the paper's
+//! ablation studies (Table 4's N-* rows and Table 7's T-*/R-one rows).
+
+use serde::{Deserialize, Serialize};
+
+/// Structural model variants (§6.4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Variant {
+    /// The full DeepOD model.
+    Full,
+    /// N-st: the trajectory encoding (and hence the auxiliary loss) is
+    /// removed — training reduces to the main MAE loss on M_O + M_E.
+    NoTrajectory,
+    /// N-sp: the spatial (road-segment) encoding is removed from the
+    /// trajectory encoder; the LSTM sees only temporal representations.
+    NoSpatialPath,
+    /// N-tp: the temporal (time-interval) encoding is removed from the
+    /// trajectory encoder; the LSTM sees only road-segment embeddings.
+    NoTemporalPath,
+    /// N-other: the external-feature encoding (weather + traffic matrix)
+    /// is removed from the OD encoder.
+    NoExternal,
+}
+
+impl Variant {
+    /// Paper name for reports (Table 4).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Variant::Full => "DeepOD",
+            Variant::NoTrajectory => "N-st",
+            Variant::NoSpatialPath => "N-sp",
+            Variant::NoTemporalPath => "N-tp",
+            Variant::NoExternal => "N-other",
+        }
+    }
+
+    /// Whether this variant trains the trajectory encoder at all.
+    pub fn uses_trajectory(self) -> bool {
+        self != Variant::NoTrajectory
+    }
+
+    /// Whether the trajectory encoder includes road-segment embeddings.
+    pub fn traj_uses_spatial(self) -> bool {
+        self != Variant::NoSpatialPath
+    }
+
+    /// Whether the trajectory encoder includes time-interval encodings.
+    pub fn traj_uses_temporal(self) -> bool {
+        self != Variant::NoTemporalPath
+    }
+
+    /// Whether the OD encoder includes external features.
+    pub fn uses_external(self) -> bool {
+        self != Variant::NoExternal
+    }
+}
+
+/// Embedding-initialization strategies (§6.5, Table 7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EmbeddingInit {
+    /// Paper default: node2vec on the line graph and the weekly temporal
+    /// graph (Alg. 1 lines 1–4).
+    Node2Vec,
+    /// DeepWalk pre-training (evaluated in §5; slightly worse).
+    DeepWalk,
+    /// LINE pre-training.
+    Line,
+    /// T-one + R-one combined: both embedding matrices start from random
+    /// (one-hot-equivalent) initialization, no graph pre-training.
+    Random,
+    /// T-one: random time-slot embeddings, node2vec road embeddings.
+    TimeRandom,
+    /// R-one: random road embeddings, node2vec time-slot embeddings.
+    RoadRandom,
+    /// T-day: temporal graph over one day only (daily periodicity only).
+    TimeDayGraph,
+    /// T-stamp: no time-slot embedding at all — raw timestamps fed as
+    /// scalar features (the paper's worst variant).
+    TimeStamp,
+}
+
+impl EmbeddingInit {
+    /// Paper name for reports (Table 7).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            EmbeddingInit::Node2Vec => "DeepOD",
+            EmbeddingInit::DeepWalk => "DeepWalk-init",
+            EmbeddingInit::Line => "LINE-init",
+            EmbeddingInit::Random => "T-one+R-one",
+            EmbeddingInit::TimeRandom => "T-one",
+            EmbeddingInit::RoadRandom => "R-one",
+            EmbeddingInit::TimeDayGraph => "T-day",
+            EmbeddingInit::TimeStamp => "T-stamp",
+        }
+    }
+
+    /// Whether time slots are embedded at all (false only for T-stamp).
+    pub fn embeds_time(self) -> bool {
+        self != EmbeddingInit::TimeStamp
+    }
+
+    /// Whether the time-slot table is pre-trained on a temporal graph.
+    pub fn pretrains_time(self) -> bool {
+        matches!(
+            self,
+            EmbeddingInit::Node2Vec
+                | EmbeddingInit::DeepWalk
+                | EmbeddingInit::Line
+                | EmbeddingInit::RoadRandom
+                | EmbeddingInit::TimeDayGraph
+        )
+    }
+
+    /// Whether the road table is pre-trained on the line graph.
+    pub fn pretrains_road(self) -> bool {
+        matches!(
+            self,
+            EmbeddingInit::Node2Vec
+                | EmbeddingInit::DeepWalk
+                | EmbeddingInit::Line
+                | EmbeddingInit::TimeRandom
+                | EmbeddingInit::TimeDayGraph
+                | EmbeddingInit::TimeStamp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_flags() {
+        assert!(Variant::Full.uses_trajectory());
+        assert!(!Variant::NoTrajectory.uses_trajectory());
+        assert!(!Variant::NoSpatialPath.traj_uses_spatial());
+        assert!(Variant::NoSpatialPath.traj_uses_temporal());
+        assert!(!Variant::NoTemporalPath.traj_uses_temporal());
+        assert!(Variant::NoTemporalPath.traj_uses_spatial());
+        assert!(!Variant::NoExternal.uses_external());
+        assert!(Variant::Full.uses_external());
+    }
+
+    #[test]
+    fn init_flags() {
+        assert!(EmbeddingInit::Node2Vec.pretrains_time());
+        assert!(EmbeddingInit::Node2Vec.pretrains_road());
+        assert!(!EmbeddingInit::TimeRandom.pretrains_time());
+        assert!(EmbeddingInit::TimeRandom.pretrains_road());
+        assert!(EmbeddingInit::RoadRandom.pretrains_time());
+        assert!(!EmbeddingInit::RoadRandom.pretrains_road());
+        assert!(!EmbeddingInit::TimeStamp.embeds_time());
+        assert!(!EmbeddingInit::Random.pretrains_time());
+        assert!(!EmbeddingInit::Random.pretrains_road());
+    }
+
+    #[test]
+    fn names_unique() {
+        let names = [
+            Variant::Full.paper_name(),
+            Variant::NoTrajectory.paper_name(),
+            Variant::NoSpatialPath.paper_name(),
+            Variant::NoTemporalPath.paper_name(),
+            Variant::NoExternal.paper_name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,205 @@
+//! Model and training hyper-parameters.
+//!
+//! Field names mirror the paper's notation (Table 1 / §6.2): `d_s`/`d_t`
+//! are the road-segment and time-slot embedding widths; `d1m..d9m` the
+//! per-MLP layer widths; `d_h` the LSTM state width; `d_traf` the
+//! traffic-CNN output width. The defaults are scaled down from the paper's
+//! tuned values (§6.2: d_s = d_t = 64, d_h = 128 …) so a full training run
+//! finishes in seconds on one CPU core; `DeepOdConfig::paper_scale()`
+//! restores the published sizes.
+
+use crate::ablation::{EmbeddingInit, Variant};
+use serde::{Deserialize, Serialize};
+
+/// All DeepOD hyper-parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeepOdConfig {
+    /// Road-segment embedding width d_s.
+    pub ds: usize,
+    /// Time-slot embedding width d_t.
+    pub dt_dim: usize,
+    /// Interval-encoder MLP hidden width d¹_m.
+    pub d1m: usize,
+    /// Interval-encoder MLP output width d²_m (tcode width).
+    pub d2m: usize,
+    /// Trajectory-encoder MLP hidden width d³_m.
+    pub d3m: usize,
+    /// Representation width d⁴_m = d⁸_m (stcode and code must match).
+    pub d4m: usize,
+    /// External-encoder MLP hidden width d⁵_m.
+    pub d5m: usize,
+    /// External-encoder output width d⁶_m (ocode width).
+    pub d6m: usize,
+    /// MLP1 hidden width d⁷_m.
+    pub d7m: usize,
+    /// MLP2 hidden width d⁹_m.
+    pub d9m: usize,
+    /// LSTM hidden width d_h.
+    pub dh: usize,
+    /// Traffic-CNN output width d_traf.
+    pub dtraf: usize,
+    /// Time-slot size Δt in seconds (paper default 300 s).
+    pub slot_seconds: f64,
+    /// Auxiliary-loss weight w (paper: 0.7 Chengdu / 0.3 Xi'an / 0.5
+    /// Beijing; tuned per dataset in Fig. 9).
+    pub loss_weight: f32,
+    /// Training epochs I.
+    pub epochs: usize,
+    /// Minibatch size bs (paper: 1024; scaled down by default).
+    pub batch_size: usize,
+    /// Initial learning rate (paper: 0.01, /5 every 2 epochs).
+    pub lr: f32,
+    /// Model variant (ablations N-st / N-sp / N-tp / N-other).
+    pub variant: Variant,
+    /// Embedding initialization (node2vec default; T-one/R-one/T-day/
+    /// T-stamp ablations of §6.5).
+    pub init: EmbeddingInit,
+    /// Training refinement: also supervise M_E on `stcode` (teaches the
+    /// regression head the stcode → time mapping directly, which at small
+    /// data scales stabilizes the paper's code↔stcode binding; online
+    /// estimation still uses only M_O + M_E). See DESIGN.md.
+    pub stcode_supervision: bool,
+    /// Parameter-init RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeepOdConfig {
+    fn default() -> Self {
+        DeepOdConfig {
+            ds: 16,
+            dt_dim: 16,
+            d1m: 32,
+            d2m: 16,
+            d3m: 32,
+            d4m: 16,
+            d5m: 32,
+            d6m: 16,
+            d7m: 32,
+            d9m: 32,
+            dh: 32,
+            dtraf: 16,
+            slot_seconds: 300.0,
+            loss_weight: 0.5,
+            epochs: 3,
+            batch_size: 32,
+            lr: 0.01,
+            variant: Variant::Full,
+            init: EmbeddingInit::Node2Vec,
+            stcode_supervision: true,
+            seed: 0xDEE9_0D,
+        }
+    }
+}
+
+impl DeepOdConfig {
+    /// The paper's tuned hyper-parameters (§6.2): d_s = d_t = 64,
+    /// d¹_m = 128, d²_m = 64, d_h = 128, d³_m = 128, d⁴_m = d⁸_m = 64,
+    /// d⁵_m = 128, d⁶_m = 64, d⁷_m = 128, d⁹_m = 128, d_traf = 128,
+    /// batch 1024.
+    pub fn paper_scale() -> Self {
+        DeepOdConfig {
+            ds: 64,
+            dt_dim: 64,
+            d1m: 128,
+            d2m: 64,
+            d3m: 128,
+            d4m: 64,
+            d5m: 128,
+            d6m: 64,
+            d7m: 128,
+            d9m: 128,
+            dh: 128,
+            dtraf: 128,
+            batch_size: 1024,
+            epochs: 10,
+            ..Default::default()
+        }
+    }
+
+    /// The width of `code`/`stcode` (d⁸_m is tied to d⁴_m per §4.6).
+    pub fn code_dim(&self) -> usize {
+        self.d4m
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("ds", self.ds),
+            ("dt_dim", self.dt_dim),
+            ("d1m", self.d1m),
+            ("d2m", self.d2m),
+            ("d3m", self.d3m),
+            ("d4m", self.d4m),
+            ("d5m", self.d5m),
+            ("d6m", self.d6m),
+            ("d7m", self.d7m),
+            ("d9m", self.d9m),
+            ("dh", self.dh),
+            ("dtraf", self.dtraf),
+            ("epochs", self.epochs),
+            ("batch_size", self.batch_size),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.loss_weight) {
+            return Err(format!("loss_weight {} outside [0,1]", self.loss_weight));
+        }
+        if self.slot_seconds <= 0.0 {
+            return Err("slot_seconds must be positive".into());
+        }
+        if self.lr <= 0.0 {
+            return Err("lr must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(DeepOdConfig::default().validate().is_ok());
+        assert!(DeepOdConfig::paper_scale().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_scale_matches_section_6_2() {
+        let c = DeepOdConfig::paper_scale();
+        assert_eq!((c.ds, c.dt_dim), (64, 64));
+        assert_eq!((c.d1m, c.d2m), (128, 64));
+        assert_eq!((c.d3m, c.d4m), (128, 64));
+        assert_eq!((c.d5m, c.d6m), (128, 64));
+        assert_eq!((c.d7m, c.d9m), (128, 128));
+        assert_eq!(c.dh, 128);
+        assert_eq!(c.dtraf, 128);
+        assert_eq!(c.batch_size, 1024);
+        assert_eq!(c.code_dim(), 64);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = DeepOdConfig::default();
+        c.loss_weight = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = DeepOdConfig::default();
+        c.ds = 0;
+        assert!(c.validate().is_err());
+        let mut c = DeepOdConfig::default();
+        c.slot_seconds = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = DeepOdConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DeepOdConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ds, c.ds);
+        assert_eq!(back.loss_weight, c.loss_weight);
+    }
+}

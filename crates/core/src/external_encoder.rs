@@ -1,0 +1,188 @@
+//! The External Features Encoder of §4.5: weather as a one-hot code and
+//! the current traffic condition as a grid speed matrix pushed through a
+//! small CNN (three Conv→BatchNorm→ReLU blocks and an average pool),
+//! concatenated and encoded into `ocode` by a two-layer MLP (Eq. 18).
+
+use deepod_nn::layers::{BatchNorm2d, Mlp2};
+use deepod_nn::{Graph, ParamId, ParamStore, VarId};
+use deepod_tensor::Tensor;
+use deepod_traffic::NUM_WEATHER_TYPES;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// The external-feature encoder's parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExternalFeaturesEncoder {
+    /// Conv kernels: 1→4, 4→8, 8→d_traf channels, 3×3 each.
+    pub k1: ParamId,
+    /// Second conv kernel.
+    pub k2: ParamId,
+    /// Third conv kernel.
+    pub k3: ParamId,
+    /// Per-block batch norms.
+    pub bn1: BatchNorm2d,
+    /// Second batch norm.
+    pub bn2: BatchNorm2d,
+    /// Third batch norm.
+    pub bn3: BatchNorm2d,
+    /// Final MLP (N_wea + d_traf → d⁵_m → d⁶_m), producing ocode.
+    pub mlp: Mlp2,
+    /// Traffic-feature width d_traf (conv output channels).
+    pub dtraf: usize,
+}
+
+impl ExternalFeaturesEncoder {
+    /// Registers all parameters; `dtraf` is the traffic-CNN output width,
+    /// `d5m`/`d6m` the MLP widths of Eq. 18.
+    pub fn new(
+        store: &mut ParamStore,
+        dtraf: usize,
+        d5m: usize,
+        d6m: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let kinit = |store: &mut ParamStore, name: &str, dims: &[usize], rng: &mut StdRng| {
+            let fan_in: usize = dims[1] * dims[2] * dims[3];
+            let bound = (2.0 / fan_in as f32).sqrt();
+            store.register(name, Tensor::rand_uniform(dims, -bound, bound, rng))
+        };
+        ExternalFeaturesEncoder {
+            k1: kinit(store, "ext.k1", &[4, 1, 3, 3], rng),
+            k2: kinit(store, "ext.k2", &[8, 4, 3, 3], rng),
+            k3: kinit(store, "ext.k3", &[dtraf, 8, 3, 3], rng),
+            bn1: BatchNorm2d::new(store, "ext.bn1", 4),
+            bn2: BatchNorm2d::new(store, "ext.bn2", 8),
+            bn3: BatchNorm2d::new(store, "ext.bn3", dtraf),
+            mlp: Mlp2::new(store, "ext.mlp", NUM_WEATHER_TYPES + dtraf, d5m, d6m, rng),
+            dtraf,
+        }
+    }
+
+    /// Output width of `ocode` (= d⁶_m).
+    pub fn out_dim(&self) -> usize {
+        self.mlp.out_dim()
+    }
+
+    /// Encodes weather one-hot + speed matrix `[1, h, w]` into `ocode`.
+    pub fn encode(
+        &mut self,
+        g: &mut Graph,
+        store: &ParamStore,
+        weather_onehot: &[f32],
+        speed_matrix: &Tensor,
+        training: bool,
+    ) -> VarId {
+        assert_eq!(weather_onehot.len(), NUM_WEATHER_TYPES, "weather one-hot width");
+        assert_eq!(speed_matrix.rank(), 3, "speed matrix must be [1, h, w]");
+        let x = g.input(speed_matrix.clone());
+
+        let k1 = g.param(store, self.k1);
+        let z = g.conv2d(x, k1);
+        let z = self.bn1.forward(g, store, z, training);
+        let z = g.relu(z);
+        let k2 = g.param(store, self.k2);
+        let z = g.conv2d(z, k2);
+        let z = self.bn2.forward(g, store, z, training);
+        let z = g.relu(z);
+        let k3 = g.param(store, self.k3);
+        let z = g.conv2d(z, k3);
+        let z = self.bn3.forward(g, store, z, training);
+        let z = g.relu(z);
+
+        // Global average pool per channel: [d_traf, h, w] -> [d_traf].
+        let (h, w) = (g.value(z).dim(1), g.value(z).dim(2));
+        let zm = g.reshape(z, &[self.dtraf, h * w]);
+        let zt = {
+            // mean over the second axis == mean_rows of the transpose; we
+            // avoid a transpose op by pooling manually through reshape:
+            // mean_rows works on [rows, cols] averaging rows, so reshape to
+            // [h*w, d_traf] is wrong (interleaved). Instead pool with a
+            // matmul against a constant 1/(h·w) vector.
+            let ones = g.input(Tensor::full(&[h * w, 1], 1.0 / (h * w) as f32));
+            let pooled = g.matmul(zm, ones); // [d_traf, 1]
+            g.reshape(pooled, &[self.dtraf])
+        };
+
+        let wea = g.input(Tensor::from_vec(weather_onehot.to_vec(), &[NUM_WEATHER_TYPES]));
+        let z8 = g.concat(&[wea, zt]);
+        self.mlp.forward(g, store, z8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_tensor::rng_from_seed;
+
+    fn setup() -> (ParamStore, ExternalFeaturesEncoder) {
+        let mut rng = rng_from_seed(9);
+        let mut store = ParamStore::new();
+        let enc = ExternalFeaturesEncoder::new(&mut store, 6, 24, 10, &mut rng);
+        (store, enc)
+    }
+
+    fn onehot(i: usize) -> Vec<f32> {
+        let mut v = vec![0.0; NUM_WEATHER_TYPES];
+        v[i] = 1.0;
+        v
+    }
+
+    #[test]
+    fn ocode_shape() {
+        let (store, mut enc) = setup();
+        let mut rng = rng_from_seed(2);
+        let m = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.5, &mut rng);
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &store, &onehot(0), &m, false);
+        assert_eq!(g.value(out).dims(), &[10]);
+        assert!(!g.value(out).has_non_finite());
+    }
+
+    #[test]
+    fn weather_changes_output() {
+        let (store, mut enc) = setup();
+        let m = Tensor::full(&[1, 6, 6], 0.8);
+        let mut g = Graph::new();
+        let clear = enc.encode(&mut g, &store, &onehot(0), &m, false);
+        let storm = enc.encode(&mut g, &store, &onehot(11), &m, false);
+        assert_ne!(g.value(clear).as_slice(), g.value(storm).as_slice());
+    }
+
+    #[test]
+    fn traffic_matrix_changes_output() {
+        let (store, mut enc) = setup();
+        let free = Tensor::full(&[1, 6, 6], 1.2);
+        let jammed = Tensor::full(&[1, 6, 6], 0.2);
+        let mut g = Graph::new();
+        let a = enc.encode(&mut g, &store, &onehot(0), &free, false);
+        let b = enc.encode(&mut g, &store, &onehot(0), &jammed, false);
+        let (va, vb) = (g.value(a).as_slice(), g.value(b).as_slice());
+        assert!(va.iter().zip(vb).any(|(x, y)| (x - y).abs() > 1e-6));
+    }
+
+    #[test]
+    fn gradients_reach_all_kernels() {
+        let (store, mut enc) = setup();
+        let m = Tensor::full(&[1, 6, 6], 0.5);
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &store, &onehot(3), &m, true);
+        let s = g.sum_all(out);
+        let grads = g.backward(s);
+        for (name, pid) in
+            [("k1", enc.k1), ("k2", enc.k2), ("k3", enc.k3), ("mlp", enc.mlp.l1.w)]
+        {
+            assert!(grads.get(pid).is_some(), "no grad to {name}");
+        }
+    }
+
+    #[test]
+    fn works_with_varied_grid_sizes() {
+        let (store, mut enc) = setup();
+        for (h, w) in [(4usize, 4usize), (12, 12), (5, 9)] {
+            let m = Tensor::full(&[1, h, w], 0.7);
+            let mut g = Graph::new();
+            let out = enc.encode(&mut g, &store, &onehot(1), &m, false);
+            assert_eq!(g.value(out).numel(), 10, "grid {h}x{w}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The Time Interval Encoder of §4.3 (Fig. 6): a time interval
+//! `[t[1], t[-1]]` covering Δd slots is embedded slot-by-slot, stacked into
+//! a `Δd × d_t` matrix, passed through a ResNet block whose residual branch
+//! is three convolutions (3×1 ×4 channels → 3×1 ×8 → 1×1 ×1, each with
+//! BatchNorm+ReLU except the last), average-pooled over Δd (Eq. 10), then
+//! concatenated with the two normalized remainders and encoded by a
+//! two-layer MLP into `tcode` (Eq. 11).
+
+use deepod_nn::layers::{BatchNorm2d, Embedding, Mlp2};
+use deepod_nn::{Graph, ParamId, ParamStore, VarId};
+use deepod_tensor::Tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// The interval encoder's parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimeIntervalEncoder {
+    /// Conv kernel K¹ `[4, 1, 3, 1]`.
+    pub k1: ParamId,
+    /// Conv kernel K² `[8, 4, 3, 1]`.
+    pub k2: ParamId,
+    /// Conv kernel K³ `[1, 8, 1, 1]`.
+    pub k3: ParamId,
+    /// BatchNorm after conv 1.
+    pub bn1: BatchNorm2d,
+    /// BatchNorm after conv 2.
+    pub bn2: BatchNorm2d,
+    /// The final two-layer MLP (d_t + 2 → d¹_m → d²_m).
+    pub mlp: Mlp2,
+    /// Slot embedding width d_t.
+    pub dt_dim: usize,
+}
+
+impl TimeIntervalEncoder {
+    /// Registers all parameters. `dt_dim` is the slot-embedding width,
+    /// `d1m`/`d2m` the MLP widths of Eq. 11.
+    pub fn new(
+        store: &mut ParamStore,
+        dt_dim: usize,
+        d1m: usize,
+        d2m: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        // Kaiming-ish kernel init scaled by fan-in.
+        let kinit = |store: &mut ParamStore, name: &str, dims: &[usize], rng: &mut StdRng| {
+            let fan_in: usize = dims[1] * dims[2] * dims[3];
+            let bound = (2.0 / fan_in as f32).sqrt();
+            store.register(name, Tensor::rand_uniform(dims, -bound, bound, rng))
+        };
+        TimeIntervalEncoder {
+            k1: kinit(store, "tie.k1", &[4, 1, 3, 1], rng),
+            k2: kinit(store, "tie.k2", &[8, 4, 3, 1], rng),
+            k3: kinit(store, "tie.k3", &[1, 8, 1, 1], rng),
+            bn1: BatchNorm2d::new(store, "tie.bn1", 4),
+            bn2: BatchNorm2d::new(store, "tie.bn2", 8),
+            // + 3: the two remainders of Eq. 11 plus ln(1+Δd). The paper's
+            // Z⁶ has only the remainders, but its average pooling (Eq. 10)
+            // discards the slot count Δd computed in Eq. 4, leaving the
+            // encoder blind to interval length; reinjecting Δd restores the
+            // quantity Eq. 4 derives. Documented in DESIGN.md.
+            mlp: Mlp2::new(store, "tie.mlp", dt_dim + 3, d1m, d2m, rng),
+            dt_dim,
+        }
+    }
+
+    /// Output width of `tcode` (= d²_m).
+    pub fn out_dim(&self) -> usize {
+        self.mlp.out_dim()
+    }
+
+    /// Encodes one interval: `slot_nodes` are the Δd weekly slot indices,
+    /// `rem_enter`/`rem_exit` the normalized remainders. `slot_emb` is the
+    /// shared time-slot embedding table W_t.
+    pub fn encode(
+        &mut self,
+        g: &mut Graph,
+        store: &ParamStore,
+        slot_emb: &Embedding,
+        slot_nodes: &[usize],
+        rem_enter: f32,
+        rem_exit: f32,
+        training: bool,
+    ) -> VarId {
+        assert!(!slot_nodes.is_empty(), "interval covers no slots");
+        // Dt: [Δd, d_t] stacked slot embeddings, viewed as [1, Δd, d_t].
+        let dt_matrix = slot_emb.lookup_many(g, store, slot_nodes);
+        let dd = slot_nodes.len();
+        let x = g.reshape(dt_matrix, &[1, dd, self.dt_dim]);
+
+        // Residual branch: conv(3×1,4) → BN → ReLU → conv(3×1,8) → BN →
+        // ReLU → conv(1×1,1)  (Eq. 5–7).
+        let k1 = g.param(store, self.k1);
+        let z1 = g.conv2d(x, k1);
+        let z1 = self.bn1.forward(g, store, z1, training);
+        let z1 = g.relu(z1);
+        let k2 = g.param(store, self.k2);
+        let z2 = g.conv2d(z1, k2);
+        let z2 = self.bn2.forward(g, store, z2, training);
+        let z2 = g.relu(z2);
+        let k3 = g.param(store, self.k3);
+        let z3 = g.conv2d(z2, k3);
+
+        // Z⁴ = Dt ⊕ Z³ (Eq. 8): the identity shortcut.
+        let z4 = g.add(x, z3);
+
+        // Average pooling over Δd (Eq. 10).
+        let z4m = g.reshape(z4, &[dd, self.dt_dim]);
+        let z5 = g.mean_rows(z4m);
+
+        // Z⁶ = concat(Z⁵, t_r[1], t_r[-1], ln(1+Δd)) → MLP (Eq. 11 plus the
+        // Δd scalar of Eq. 4; see the constructor comment).
+        let dd_feat = (1.0 + dd as f32).ln();
+        let rems = g.input(Tensor::from_vec(vec![rem_enter, rem_exit, dd_feat], &[3]));
+        let z6 = g.concat(&[z5, rems]);
+        self.mlp.forward(g, store, z6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_tensor::rng_from_seed;
+
+    fn setup(dt_dim: usize) -> (ParamStore, TimeIntervalEncoder, Embedding) {
+        let mut rng = rng_from_seed(1);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "slots", 50, dt_dim, &mut rng);
+        let enc = TimeIntervalEncoder::new(&mut store, dt_dim, 24, 12, &mut rng);
+        (store, enc, emb)
+    }
+
+    #[test]
+    fn output_width_fixed_across_interval_lengths() {
+        let (store, mut enc, emb) = setup(8);
+        for nodes in [vec![3], vec![3, 4], vec![3, 4, 5, 6, 7, 8, 9]] {
+            let mut g = Graph::new();
+            let out = enc.encode(&mut g, &store, &emb, &nodes, 0.2, 0.8, false);
+            assert_eq!(g.value(out).dims(), &[12], "Δd = {}", nodes.len());
+            assert!(!g.value(out).has_non_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_eval_mode() {
+        let (store, mut enc, emb) = setup(8);
+        let mut g1 = Graph::new();
+        let a = enc.encode(&mut g1, &store, &emb, &[1, 2, 3], 0.1, 0.9, false);
+        let mut g2 = Graph::new();
+        let b = enc.encode(&mut g2, &store, &emb, &[1, 2, 3], 0.1, 0.9, false);
+        assert_eq!(g1.value(a).as_slice(), g2.value(b).as_slice());
+    }
+
+    #[test]
+    fn different_slots_different_codes() {
+        let (store, mut enc, emb) = setup(8);
+        let mut g = Graph::new();
+        let a = enc.encode(&mut g, &store, &emb, &[1, 2], 0.0, 0.5, false);
+        let b = enc.encode(&mut g, &store, &emb, &[30, 31], 0.0, 0.5, false);
+        let da = g.value(a).as_slice();
+        let db = g.value(b).as_slice();
+        assert!(da.iter().zip(db).any(|(x, y)| (x - y).abs() > 1e-6));
+    }
+
+    #[test]
+    fn remainders_affect_output() {
+        let (store, mut enc, emb) = setup(8);
+        let mut g = Graph::new();
+        let a = enc.encode(&mut g, &store, &emb, &[5], 0.0, 0.1, false);
+        let b = enc.encode(&mut g, &store, &emb, &[5], 0.9, 1.0, false);
+        assert_ne!(g.value(a).as_slice(), g.value(b).as_slice());
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parts() {
+        let (mut store, mut enc, emb) = setup(8);
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &store, &emb, &[2, 3, 4], 0.3, 0.7, true);
+        let s = g.sum_all(out);
+        let grads = g.backward(s);
+        // Embedding rows, all three kernels, BN affine and MLP must all
+        // receive gradient.
+        assert!(grads.get(emb.table).is_some(), "no grad to slot embedding");
+        assert!(grads.get(enc.k1).is_some());
+        assert!(grads.get(enc.k2).is_some());
+        assert!(grads.get(enc.k3).is_some());
+        assert!(grads.get(enc.bn1.gamma).is_some());
+        assert!(grads.get(enc.mlp.l1.w).is_some());
+        // And an optimizer step must change the output.
+        let before = g.value(out).as_slice().to_vec();
+        let mut opt = deepod_nn::AdamOptimizer::new(0.05);
+        opt.step(&mut store, &grads);
+        let mut g2 = Graph::new();
+        let out2 = enc.encode(&mut g2, &store, &emb, &[2, 3, 4], 0.3, 0.7, false);
+        assert_ne!(before, g2.value(out2).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "no slots")]
+    fn empty_interval_panics() {
+        let (store, mut enc, emb) = setup(8);
+        let mut g = Graph::new();
+        let _ = enc.encode(&mut g, &store, &emb, &[], 0.0, 0.0, false);
+    }
+}

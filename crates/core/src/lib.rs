@@ -1,0 +1,56 @@
+//! DeepOD — origin–destination travel time estimation that exploits
+//! historical trajectories over road networks (reproduction of the SIGMOD
+//! 2020 paper).
+//!
+//! The model has three modules (Fig. 3 of the paper):
+//!
+//! * **M_O** ([`OdEncoder`]) encodes the OD input — origin/destination road
+//!   segments with position ratios, departure time slot + remainder,
+//!   external features — into a hidden representation `code`.
+//! * **M_T** ([`TrajectoryEncoder`]) encodes the affiliated trajectory (a
+//!   spatio-temporal path) into `stcode`.
+//! * **M_E** (inside [`DeepOdModel`]) regresses travel time from `code`.
+//!
+//! Training minimizes `w · ‖code − stcode‖₂ + (1 − w) · MAE(ŷ, y)` so the
+//! OD representation is pulled toward the representation of the route the
+//! trip actually took; at prediction time only M_O and M_E run.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use deepod_core::{DeepOdConfig, Trainer, TrainOptions};
+//! use deepod_traj::{DatasetBuilder, DatasetConfig};
+//! use deepod_roadnet::CityProfile;
+//!
+//! let ds = DatasetBuilder::build(&DatasetConfig::for_profile(
+//!     CityProfile::SynthChengdu, 2_000));
+//! let cfg = DeepOdConfig::default();
+//! let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default());
+//! let report = trainer.train();
+//! println!("validation MAE: {:.1}s", report.best_val_mae);
+//! let preds = trainer.predict_orders(&ds.test);
+//! ```
+
+mod ablation;
+mod config;
+mod external_encoder;
+mod features;
+mod interval_encoder;
+mod model;
+mod od_encoder;
+mod temporal_graph;
+mod timeslot;
+mod train;
+mod trajectory_encoder;
+
+pub use ablation::{EmbeddingInit, Variant};
+pub use config::DeepOdConfig;
+pub use external_encoder::ExternalFeaturesEncoder;
+pub use features::{EncodedOd, EncodedSample, FeatureContext};
+pub use interval_encoder::TimeIntervalEncoder;
+pub use model::DeepOdModel;
+pub use od_encoder::OdEncoder;
+pub use temporal_graph::{build_temporal_graph, temporal_graph_day_only};
+pub use timeslot::TimeSlots;
+pub use train::{TrainOptions, TrainReport, Trainer};
+pub use trajectory_encoder::TrajectoryEncoder;

@@ -1,0 +1,516 @@
+//! The assembled DeepOD model: parameter store, embeddings with
+//! graph-embedding initialization (Alg. 1 lines 1–5), the three modules
+//! M_O / M_T / M_E, and the online estimation path.
+
+use crate::ablation::EmbeddingInit;
+use crate::config::DeepOdConfig;
+use crate::external_encoder::ExternalFeaturesEncoder;
+use crate::features::{EncodedOd, EncodedSample, FeatureContext};
+use crate::interval_encoder::TimeIntervalEncoder;
+use crate::od_encoder::OdEncoder;
+use crate::temporal_graph::{build_temporal_graph, temporal_graph_day_only};
+use crate::timeslot::TimeSlots;
+use crate::trajectory_encoder::TrajectoryEncoder;
+use deepod_graphembed::{DeepWalk, EmbedGraph, GraphEmbedder, Line, Node2Vec, WalkConfig};
+use deepod_nn::layers::{Embedding, Mlp2};
+use deepod_nn::{Graph, Gradients, ParamStore, VarId};
+use deepod_roadnet::LineGraph;
+use deepod_tensor::Tensor;
+use deepod_traj::{CityDataset, OdInput, TaxiOrder};
+use serde::{Deserialize, Serialize};
+
+/// The DeepOD model (all three modules plus shared embeddings).
+#[derive(Serialize, Deserialize)]
+pub struct DeepOdModel {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// Road-segment embedding table W_s.
+    pub road_emb: Embedding,
+    /// Time-slot embedding table W_t.
+    pub slot_emb: Embedding,
+    /// Time Interval Encoder (shared between M_T steps).
+    pub interval_enc: TimeIntervalEncoder,
+    /// Trajectory encoder M_T.
+    pub traj_enc: TrajectoryEncoder,
+    /// External-features encoder.
+    pub external_enc: ExternalFeaturesEncoder,
+    /// OD encoder M_O.
+    pub od_enc: OdEncoder,
+    /// M_E: MLP2 regressing travel time from `code` (Eq. 20).
+    pub head: Mlp2,
+    /// Train-only head supervising `stcode` (anti-collapse for the
+    /// auxiliary binding; discarded at estimation time). Present unless
+    /// the config disables stcode supervision.
+    pub st_head: Mlp2,
+    /// Config the model was built with.
+    pub config: DeepOdConfig,
+    /// Mean of the training travel times (labels are standardized so the
+    /// network trains in O(1) units; predictions are de-standardized).
+    pub y_mean: f32,
+    /// Std-dev of the training travel times.
+    pub y_std: f32,
+}
+
+/// Forward outputs for one training sample.
+pub struct SampleForward {
+    /// Predicted travel time node.
+    pub prediction: VarId,
+    /// `code` node (M_O output).
+    pub code: VarId,
+    /// `stcode` node (M_T output), absent for the N-st variant.
+    pub stcode: Option<VarId>,
+}
+
+impl DeepOdModel {
+    /// Builds the model and initializes both embedding tables per the
+    /// configured policy, pre-training on the road line graph and the
+    /// temporal graph where applicable (Alg. 1 lines 1–5).
+    pub fn new(cfg: &DeepOdConfig, ds: &CityDataset, ctx: &FeatureContext) -> Self {
+        cfg.validate().expect("invalid config");
+        let mut rng = deepod_tensor::rng_from_seed(cfg.seed);
+        let mut store = ParamStore::new();
+
+        let road_emb =
+            Embedding::new(&mut store, "W_s", ctx.num_edges(), cfg.ds, &mut rng);
+        // T-day uses a one-day slot vocabulary wrapped at day boundaries;
+        // all other inits use the weekly vocabulary. We keep the weekly
+        // table size in every case (lookup stays uniform) but pre-train on
+        // the chosen graph.
+        let slot_emb =
+            Embedding::new(&mut store, "W_t", ctx.num_slot_nodes(), cfg.dt_dim, &mut rng);
+
+        if cfg.init.pretrains_road() {
+            let trajs: Vec<Vec<deepod_roadnet::EdgeId>> =
+                ds.train.iter().map(|o| o.trajectory.edges()).collect();
+            let lg = LineGraph::from_trajectories(
+                &ds.net,
+                trajs.iter().map(|t| t.as_slice()),
+                1.0,
+            );
+            let eg = line_graph_to_embed(&lg);
+            let mut vectors = run_embedder(cfg.init, &eg, cfg.ds, &mut rng);
+            // Seed the first two dimensions with the segment midpoint in a
+            // normalized city frame. With the paper's data volume the
+            // fine-tuned embeddings converge to position-aware vectors;
+            // at laptop scale we inject that geometry at initialization
+            // (the dimensions remain fully trainable). See DESIGN.md.
+            if cfg.ds >= 2 {
+                let (min, max) = ds.net.bounding_box();
+                let sx = (max.x - min.x).max(1.0);
+                let sy = (max.y - min.y).max(1.0);
+                for i in 0..ds.net.num_edges() {
+                    let mid = ds.net.edge_midpoint(deepod_roadnet::EdgeId(i as u32));
+                    let row = vectors.row_mut(i);
+                    row[0] = (2.0 * (mid.x - min.x) / sx - 1.0) as f32;
+                    row[1] = (2.0 * (mid.y - min.y) / sy - 1.0) as f32;
+                }
+            }
+            road_emb.load_pretrained(&mut store, vectors);
+        }
+        if cfg.init.pretrains_time() {
+            let slots = TimeSlots::new(0.0, cfg.slot_seconds);
+            let tg = if cfg.init == EmbeddingInit::TimeDayGraph {
+                temporal_graph_day_only(&slots)
+            } else {
+                build_temporal_graph(&slots)
+            };
+            let vec_small = run_embedder(cfg.init, &tg, cfg.dt_dim, &mut rng);
+            // T-day: tile the one-day embedding across the week.
+            let vectors = if cfg.init == EmbeddingInit::TimeDayGraph {
+                let per_day = slots.slots_per_day();
+                let mut data = Vec::with_capacity(ctx.num_slot_nodes() * cfg.dt_dim);
+                for node in 0..ctx.num_slot_nodes() {
+                    data.extend_from_slice(vec_small.row(node % per_day));
+                }
+                Tensor::from_vec(data, &[ctx.num_slot_nodes(), cfg.dt_dim])
+            } else {
+                vec_small
+            };
+            slot_emb.load_pretrained(&mut store, vectors);
+        }
+
+        let interval_enc =
+            TimeIntervalEncoder::new(&mut store, cfg.dt_dim, cfg.d1m, cfg.d2m, &mut rng);
+        let traj_enc = TrajectoryEncoder::new(
+            &mut store,
+            cfg.ds,
+            cfg.d2m,
+            cfg.dh,
+            cfg.d3m,
+            cfg.d4m,
+            cfg.variant,
+            &mut rng,
+        );
+        let external_enc =
+            ExternalFeaturesEncoder::new(&mut store, cfg.dtraf, cfg.d5m, cfg.d6m, &mut rng);
+        let od_enc = OdEncoder::new(
+            &mut store,
+            cfg.ds,
+            cfg.dt_dim,
+            cfg.d6m,
+            cfg.d7m,
+            cfg.code_dim(),
+            cfg.variant,
+            cfg.init,
+            &mut rng,
+        );
+        let head = Mlp2::new(&mut store, "me.mlp2", cfg.code_dim(), cfg.d9m, 1, &mut rng);
+        let st_head = Mlp2::new(&mut store, "st.head", cfg.code_dim(), cfg.d9m, 1, &mut rng);
+
+        // Label standardization: the head is trained on (y - mean)/std so
+        // every layer works in O(1) units (raw seconds would need weight
+        // magnitudes far beyond what lr = 0.01 can reach).
+        let y_mean = ds.mean_train_travel_time() as f32;
+        let y_var = if ds.train.is_empty() {
+            1.0
+        } else {
+            ds.train
+                .iter()
+                .map(|o| {
+                    let d = o.travel_time as f32 - y_mean;
+                    d * d
+                })
+                .sum::<f32>()
+                / ds.train.len() as f32
+        };
+        let y_std = y_var.sqrt().max(1.0);
+
+        DeepOdModel {
+            store,
+            road_emb,
+            slot_emb,
+            interval_enc,
+            traj_enc,
+            external_enc,
+            od_enc,
+            head,
+            st_head,
+            config: cfg.clone(),
+            y_mean,
+            y_std,
+        }
+    }
+
+    /// Standardizes a label into training units.
+    pub fn normalize_y(&self, y: f32) -> f32 {
+        (y - self.y_mean) / self.y_std
+    }
+
+    /// Converts a network output back to seconds.
+    pub fn denormalize_y(&self, y: f32) -> f32 {
+        y * self.y_std + self.y_mean
+    }
+
+    /// Full training forward pass for one sample: prediction, `code`, and
+    /// (unless N-st) `stcode`.
+    pub fn forward_sample(
+        &mut self,
+        g: &mut Graph,
+        sample: &EncodedSample,
+        training: bool,
+    ) -> SampleForward {
+        let code = self.od_enc.encode(
+            g,
+            &self.store,
+            &self.road_emb,
+            &self.slot_emb,
+            &mut self.external_enc,
+            &sample.od,
+            training,
+        );
+        let stcode = if self.config.variant.uses_trajectory() && !sample.steps.is_empty() {
+            Some(self.traj_enc.encode(
+                g,
+                &self.store,
+                &mut self.interval_enc,
+                &self.road_emb,
+                &self.slot_emb,
+                &sample.steps,
+                sample.traj_r_start,
+                sample.traj_r_end,
+                training,
+            ))
+        } else {
+            None
+        };
+        let prediction = self.head.forward(g, &self.store, code);
+        SampleForward { prediction, code, stcode }
+    }
+
+    /// Training loss for one sample:
+    /// `w · ‖code − stcode‖ + (1 − w) · |ŷ − y|` (Alg. 1 lines 10–12).
+    pub fn sample_loss(&mut self, g: &mut Graph, sample: &EncodedSample) -> VarId {
+        let fwd = self.forward_sample(g, sample, true);
+        let y_norm = self.normalize_y(sample.travel_time);
+        let target = g.input(Tensor::from_vec(vec![y_norm], &[1]));
+        let main = g.mean_abs_error(fwd.prediction, target);
+        match fwd.stcode {
+            Some(st) => {
+                // Per-dimension RMS distance: the paper's Euclidean binding
+                // rescaled to O(1) so it mixes with the standardized main
+                // loss the way the raw-seconds formulation mixes in the
+                // paper (see DESIGN.md on label standardization).
+                let aux = g.euclidean_distance(fwd.code, st);
+                let aux = g.scale(aux, 1.0 / (self.config.code_dim() as f32).sqrt());
+                let w = self.config.loss_weight;
+                let aux_w = g.scale(aux, w);
+                let main_w = g.scale(main, 1.0 - w);
+                let combined = g.add(aux_w, main_w);
+                if self.config.stcode_supervision {
+                    // Anti-collapse term: the trivial minimizer of the
+                    // auxiliary distance is a constant stcode. A dedicated
+                    // train-only head supervises stcode so the trajectory
+                    // representation stays informative about travel time
+                    // without tearing M_E between two input distributions;
+                    // the binding then pulls `code` toward something worth
+                    // matching.
+                    let st_pred = self.st_head.forward(g, &self.store, st);
+                    let st_main = g.mean_abs_error(st_pred, target);
+                    let st_w = g.scale(st_main, 1.0 - w);
+                    g.add(combined, st_w)
+                } else {
+                    combined
+                }
+            }
+            None => main,
+        }
+    }
+
+    /// Trajectory-branch-only loss: supervise st_head on stcode, ignore
+    /// the OD path entirely (diagnostic / pre-training use).
+    pub fn sample_loss_st_only(&mut self, g: &mut Graph, sample: &EncodedSample) -> VarId {
+        let st = self.traj_enc.encode(
+            g,
+            &self.store,
+            &mut self.interval_enc,
+            &self.road_emb,
+            &self.slot_emb,
+            &sample.steps,
+            sample.traj_r_start,
+            sample.traj_r_end,
+            true,
+        );
+        let y_norm = self.normalize_y(sample.travel_time);
+        let target = g.input(Tensor::from_vec(vec![y_norm], &[1]));
+        let pred = self.st_head.forward(g, &self.store, st);
+        g.mean_abs_error(pred, target)
+    }
+
+    /// Gradients for one sample (builds and differentiates a fresh tape).
+    pub fn sample_gradients(&mut self, sample: &EncodedSample) -> (f32, Gradients) {
+        let mut g = Graph::new();
+        let loss = self.sample_loss(&mut g, sample);
+        let l = g.value(loss).item();
+        (l, g.backward(loss))
+    }
+
+    /// Online estimation (Alg. 1, `Estimation`): only M_O and M_E run.
+    pub fn estimate_encoded(&mut self, od: &EncodedOd) -> f32 {
+        let mut g = Graph::new();
+        let code = self.od_enc.encode(
+            &mut g,
+            &self.store,
+            &self.road_emb,
+            &self.slot_emb,
+            &mut self.external_enc,
+            od,
+            false,
+        );
+        let y = self.head.forward(&mut g, &self.store, code);
+        self.denormalize_y(g.value(y).item()).max(0.0)
+    }
+
+    /// Estimates travel time for a raw OD input; `None` when the endpoints
+    /// cannot be matched to the road network.
+    pub fn estimate(&mut self, ctx: &FeatureContext, net: &deepod_roadnet::RoadNetwork, od: &OdInput) -> Option<f32> {
+        let enc = ctx.encode_od(net, od)?;
+        Some(self.estimate_encoded(&enc))
+    }
+
+    /// Estimates travel times for a batch of taxi orders (using only their
+    /// OD inputs); unmatchable orders yield `None`.
+    pub fn estimate_orders(
+        &mut self,
+        bundle: (&FeatureContext, &deepod_roadnet::RoadNetwork),
+        orders: &[TaxiOrder],
+    ) -> Vec<Option<f32>> {
+        let (ctx, net) = bundle;
+        orders.iter().map(|o| self.estimate(ctx, net, &o.od)).collect()
+    }
+
+    /// Serialized model size in bytes (Table 5's memory column).
+    pub fn size_bytes(&self) -> usize {
+        self.store.size_bytes()
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Saves the model as JSON.
+    pub fn save_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization")
+    }
+
+    /// Loads a model from JSON.
+    pub fn load_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+fn line_graph_to_embed(lg: &LineGraph) -> EmbedGraph {
+    let mut g = EmbedGraph::with_nodes(lg.num_nodes());
+    for i in 0..lg.num_nodes() {
+        for l in lg.neighbors(deepod_roadnet::EdgeId(i as u32)) {
+            g.add_link(i, l.to.idx(), l.weight.max(1e-6));
+        }
+    }
+    g
+}
+
+fn run_embedder(
+    init: EmbeddingInit,
+    graph: &EmbedGraph,
+    dim: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Tensor {
+    // Light walk settings: initialization only needs coarse structure; the
+    // supervised phase fine-tunes (§4.1 "initialize or pre-train ... then
+    // fine-tune").
+    let cfg = WalkConfig { walks_per_node: 4, walk_length: 12, window: 3, ..Default::default() };
+    match init {
+        EmbeddingInit::DeepWalk => DeepWalk { cfg }.embed(graph, dim, rng),
+        EmbeddingInit::Line => Line::default().embed(graph, dim, rng),
+        // Node2Vec is both the paper default and what T-one/R-one/T-day
+        // variants use for whichever table they do pre-train.
+        _ => Node2Vec { cfg, p: 1.0, q: 0.5 }.embed(graph, dim, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ablation::Variant;
+    use deepod_roadnet::CityProfile;
+    use deepod_traj::{DatasetBuilder, DatasetConfig};
+
+    fn tiny_setup() -> (CityDataset, FeatureContext, DeepOdConfig) {
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
+        let mut cfg = DeepOdConfig::default();
+        // Shrink for test speed and skip pre-training by default.
+        cfg.init = EmbeddingInit::Random;
+        cfg.ds = 6;
+        cfg.dt_dim = 6;
+        cfg.d1m = 8;
+        cfg.d2m = 6;
+        cfg.d3m = 8;
+        cfg.d4m = 6;
+        cfg.d5m = 8;
+        cfg.d6m = 6;
+        cfg.d7m = 8;
+        cfg.d9m = 8;
+        cfg.dh = 8;
+        cfg.dtraf = 4;
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        (ds, ctx, cfg)
+    }
+
+    #[test]
+    fn model_builds_and_forwards() {
+        let (ds, ctx, cfg) = tiny_setup();
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let samples = ctx.encode_orders(&ds.net, &ds.train[..5.min(ds.train.len())]);
+        assert!(!samples.is_empty());
+        let mut g = Graph::new();
+        let fwd = model.forward_sample(&mut g, &samples[0], false);
+        assert_eq!(g.value(fwd.prediction).numel(), 1);
+        assert_eq!(g.value(fwd.code).numel(), cfg.code_dim());
+        let st = fwd.stcode.expect("full model produces stcode");
+        assert_eq!(g.value(st).numel(), cfg.code_dim());
+    }
+
+    #[test]
+    fn label_standardization_round_trip() {
+        let (ds, ctx, cfg) = tiny_setup();
+        let model = DeepOdModel::new(&cfg, &ds, &ctx);
+        assert!(model.y_std >= 1.0);
+        let y = 777.0;
+        let back = model.denormalize_y(model.normalize_y(y));
+        assert!((back - y).abs() < 1e-3);
+        // Untrained predictions start near the mean (output layer ~ 0 in
+        // normalized units).
+        let mean = ds.mean_train_travel_time() as f32;
+        let enc = ctx.encode_od(&ds.net, &ds.train[0].od).unwrap();
+        let mut model = model;
+        let pred = model.estimate_encoded(&enc);
+        assert!((pred - mean).abs() < 2.0 * model.y_std, "pred {pred} vs mean {mean}");
+    }
+
+    #[test]
+    fn loss_and_gradients_produced() {
+        let (ds, ctx, cfg) = tiny_setup();
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let samples = ctx.encode_orders(&ds.net, &ds.train[..3.min(ds.train.len())]);
+        let (loss, grads) = model.sample_gradients(&samples[0]);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!(grads.len() > 10, "only {} params received grads", grads.len());
+    }
+
+    #[test]
+    fn nst_variant_has_no_stcode_and_no_traj_grads() {
+        let (ds, ctx, mut cfg) = tiny_setup();
+        cfg.variant = Variant::NoTrajectory;
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let samples = ctx.encode_orders(&ds.net, &ds.train[..2]);
+        let mut g = Graph::new();
+        let fwd = model.forward_sample(&mut g, &samples[0], true);
+        assert!(fwd.stcode.is_none());
+        let (_, grads) = model.sample_gradients(&samples[0]);
+        assert!(grads.get(model.traj_enc.lstm.wf).is_none(), "N-st must not train the LSTM");
+    }
+
+    #[test]
+    fn estimation_is_deterministic_and_nonnegative() {
+        let (ds, ctx, cfg) = tiny_setup();
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let od = &ds.test.first().unwrap_or(&ds.train[0]).od;
+        let a = model.estimate(&ctx, &ds.net, od).unwrap();
+        let b = model.estimate(&ctx, &ds.net, od).unwrap();
+        assert_eq!(a, b);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn node2vec_init_changes_embeddings() {
+        let (ds, ctx, mut cfg) = tiny_setup();
+        cfg.init = EmbeddingInit::Node2Vec;
+        let model_init = DeepOdModel::new(&cfg, &ds, &ctx);
+        cfg.init = EmbeddingInit::Random;
+        let model_rand = DeepOdModel::new(&cfg, &ds, &ctx);
+        let a = model_init.store.value(model_init.road_emb.table);
+        let b = model_rand.store.value(model_rand.road_emb.table);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let (ds, ctx, cfg) = tiny_setup();
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let od = &ds.train[0].od;
+        let before = model.estimate(&ctx, &ds.net, od).unwrap();
+        let json = model.save_json();
+        let mut loaded = DeepOdModel::load_json(&json).unwrap();
+        let after = loaded.estimate(&ctx, &ds.net, od).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn model_size_scales_with_network() {
+        let (ds, ctx, cfg) = tiny_setup();
+        let model = DeepOdModel::new(&cfg, &ds, &ctx);
+        // W_s alone: num_edges × ds floats.
+        assert!(model.size_bytes() > ctx.num_edges() * cfg.ds * 4);
+        assert!(model.num_parameters() > 0);
+    }
+}

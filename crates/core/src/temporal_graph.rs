@@ -1,0 +1,105 @@
+//! The temporal graph of §4.2 (Fig. 5b): one node per time slot of a week,
+//! with two families of directed edges —
+//!
+//! 1. **neighboring-slot** edges (slot → next slot), encoding that adjacent
+//!    slots should have smooth representations;
+//! 2. **neighboring-day** edges (slot → same slot next day), encoding daily
+//!    periodicity (the improvement over MURAT's undirected day-only graph).
+//!
+//! The graph wraps around the week so Sunday's last slot links to Monday's
+//! first. We also add the reverse direction of each link at a smaller
+//! weight: the paper's graph is directed (to capture sequence), but the
+//! random-walk embedding methods need non-sink nodes in both directions to
+//! mix well.
+
+use crate::timeslot::TimeSlots;
+use deepod_graphembed::EmbedGraph;
+
+/// Weight of forward links (next slot, next day).
+const FORWARD_W: f64 = 1.0;
+/// Weight of the added reverse links.
+const BACKWARD_W: f64 = 0.5;
+
+/// Builds the weekly temporal graph for a slot discretization.
+pub fn build_temporal_graph(slots: &TimeSlots) -> EmbedGraph {
+    let n = slots.slots_per_week();
+    let per_day = slots.slots_per_day();
+    let mut g = EmbedGraph::with_nodes(n);
+    for i in 0..n {
+        let next = (i + 1) % n;
+        g.add_link(i, next, FORWARD_W);
+        g.add_link(next, i, BACKWARD_W);
+        let next_day = (i + per_day) % n;
+        if next_day != next {
+            g.add_link(i, next_day, FORWARD_W);
+            g.add_link(next_day, i, BACKWARD_W);
+        }
+    }
+    g
+}
+
+/// The T-day ablation of §6.5: daily periodicity only — a one-day ring of
+/// slots (every weekday collapses onto the same node set).
+pub fn temporal_graph_day_only(slots: &TimeSlots) -> EmbedGraph {
+    let n = slots.slots_per_day();
+    let mut g = EmbedGraph::with_nodes(n);
+    for i in 0..n {
+        let next = (i + 1) % n;
+        g.add_link(i, next, FORWARD_W);
+        g.add_link(next, i, BACKWARD_W);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekly_graph_size_matches_paper() {
+        let g = build_temporal_graph(&TimeSlots::five_minutes());
+        assert_eq!(g.num_nodes(), 2016);
+        // Each node: next-slot fwd+bwd, next-day fwd+bwd = 4 outgoing links
+        // counted once per direction from each side => num_links = 4 * n.
+        assert_eq!(g.num_links(), 4 * 2016);
+    }
+
+    #[test]
+    fn neighbor_and_day_links_present() {
+        let slots = TimeSlots::five_minutes();
+        let g = build_temporal_graph(&slots);
+        let per_day = slots.slots_per_day();
+        assert!(g.has_link(0, 1), "missing neighboring-slot link");
+        assert!(g.has_link(0, per_day), "missing neighboring-day link");
+        assert!(g.has_link(1, 0), "missing reverse link");
+        // Week wrap: last slot links to slot 0.
+        assert!(g.has_link(2015, 0));
+        // Sunday slot k links to Monday slot k.
+        assert!(g.has_link(6 * per_day + 5, 5));
+    }
+
+    #[test]
+    fn day_only_graph_is_a_ring() {
+        let slots = TimeSlots::five_minutes();
+        let g = temporal_graph_day_only(&slots);
+        assert_eq!(g.num_nodes(), 288);
+        assert_eq!(g.num_links(), 2 * 288);
+        assert!(g.has_link(287, 0));
+        assert!(g.has_link(0, 287));
+    }
+
+    #[test]
+    fn no_sinks_anywhere() {
+        let g = build_temporal_graph(&TimeSlots::five_minutes());
+        for i in 0..g.num_nodes() {
+            assert!(g.out_degree(i) > 0, "node {i} is a sink");
+        }
+    }
+
+    #[test]
+    fn coarse_slots_small_graph() {
+        let slots = TimeSlots::new(0.0, 3600.0); // hourly
+        let g = build_temporal_graph(&slots);
+        assert_eq!(g.num_nodes(), 168);
+    }
+}

@@ -1,0 +1,167 @@
+//! Time slots and remainders (§4.2, Def. 4): a timestamp `t` is projected
+//! onto a slot `t_p = ⌊(t − t₀)/Δt⌋` and a remainder `t_r = t − t₀ − t_p·Δt`;
+//! slots wrap onto a weekly temporal graph of `week/Δt` nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per week (temporal-graph period).
+const WEEK: f64 = 7.0 * 86_400.0;
+
+/// The slot discretization of one experiment: base timestamp `t0` and slot
+/// size `Δt` seconds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TimeSlots {
+    /// Base timestamp t₀; must be ≤ every timestamp in the data.
+    pub t0: f64,
+    /// Slot size Δt in seconds.
+    pub dt: f64,
+}
+
+impl TimeSlots {
+    /// Creates a discretization. Panics on non-positive Δt or a Δt that
+    /// does not divide a week into whole slots (the weekly wrap would skew).
+    pub fn new(t0: f64, dt: f64) -> Self {
+        assert!(dt > 0.0, "slot size must be positive");
+        let per_week = WEEK / dt;
+        assert!(
+            (per_week - per_week.round()).abs() < 1e-9,
+            "slot size {dt}s must divide a week exactly"
+        );
+        TimeSlots { t0, dt }
+    }
+
+    /// The paper's default: 5-minute slots (288/day, 2016/week).
+    pub fn five_minutes() -> Self {
+        TimeSlots::new(0.0, 300.0)
+    }
+
+    /// Absolute slot index t_p of a timestamp (Eq. 2). Panics when
+    /// `t < t0` in debug builds; clamps in release.
+    pub fn slot(&self, t: f64) -> usize {
+        debug_assert!(t >= self.t0, "timestamp {t} before base {}", self.t0);
+        (((t - self.t0) / self.dt).floor().max(0.0)) as usize
+    }
+
+    /// Remainder t_r of a timestamp within its slot (Eq. 3).
+    pub fn remainder(&self, t: f64) -> f64 {
+        let tp = self.slot(t);
+        (t - self.t0 - tp as f64 * self.dt).clamp(0.0, self.dt)
+    }
+
+    /// Remainder normalized to `[0, 1)` — what the encoders consume so the
+    /// feature scale is independent of Δt.
+    pub fn remainder_norm(&self, t: f64) -> f32 {
+        (self.remainder(t) / self.dt) as f32
+    }
+
+    /// Slots per day.
+    pub fn slots_per_day(&self) -> usize {
+        (86_400.0 / self.dt).round() as usize
+    }
+
+    /// Slots per week — the temporal graph's node count.
+    pub fn slots_per_week(&self) -> usize {
+        (WEEK / self.dt).round() as usize
+    }
+
+    /// Weekly temporal-graph node of an absolute slot (`t_p mod week`).
+    pub fn week_node(&self, tp: usize) -> usize {
+        tp % self.slots_per_week()
+    }
+
+    /// Weekly node of a timestamp directly.
+    pub fn week_node_of(&self, t: f64) -> usize {
+        self.week_node(self.slot(t))
+    }
+
+    /// The inclusive list of weekly nodes covered by `[a, b]` — the Δd
+    /// slots of §4.3, Eq. 4. Capped at one week of slots (an interval
+    /// longer than a week covers every node anyway).
+    pub fn interval_week_nodes(&self, a: f64, b: f64) -> Vec<usize> {
+        assert!(b >= a, "interval end before start");
+        let (sa, sb) = (self.slot(a), self.slot(b));
+        let count = (sb - sa + 1).min(self.slots_per_week());
+        (0..count).map(|k| self.week_node(sa + k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_default_2016_nodes() {
+        let ts = TimeSlots::five_minutes();
+        assert_eq!(ts.slots_per_day(), 288);
+        assert_eq!(ts.slots_per_week(), 2016);
+    }
+
+    #[test]
+    fn slot_and_remainder() {
+        let ts = TimeSlots::new(100.0, 300.0);
+        assert_eq!(ts.slot(100.0), 0);
+        assert_eq!(ts.slot(399.9), 0);
+        assert_eq!(ts.slot(400.0), 1);
+        assert!((ts.remainder(250.0) - 150.0).abs() < 1e-9);
+        assert!((ts.remainder_norm(250.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn week_wrap() {
+        let ts = TimeSlots::five_minutes();
+        let monday_8am = 8.0 * 3600.0;
+        let next_monday_8am = monday_8am + WEEK;
+        assert_eq!(ts.week_node_of(monday_8am), ts.week_node_of(next_monday_8am));
+        assert_ne!(ts.week_node_of(monday_8am), ts.week_node_of(monday_8am + 86_400.0));
+    }
+
+    #[test]
+    fn interval_nodes() {
+        let ts = TimeSlots::new(0.0, 300.0);
+        // [10, 910] spans slots 0..=3.
+        let nodes = ts.interval_week_nodes(10.0, 910.0);
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        // Degenerate interval: one slot.
+        assert_eq!(ts.interval_week_nodes(50.0, 50.0), vec![0]);
+    }
+
+    #[test]
+    fn interval_capped_at_one_week() {
+        let ts = TimeSlots::new(0.0, 21_600.0); // 6 h slots, 28/week
+        let nodes = ts.interval_week_nodes(0.0, 3.0 * WEEK);
+        assert_eq!(nodes.len(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide a week")]
+    fn non_divisor_slot_rejected() {
+        let _ = TimeSlots::new(0.0, 1234.5);
+    }
+
+    proptest! {
+        /// Reconstruction invariant of Eq. 2+3: t = t0 + tp·Δt + tr.
+        #[test]
+        fn slot_remainder_reconstruct(t in 0.0f64..10.0 * WEEK) {
+            let ts = TimeSlots::five_minutes();
+            let tp = ts.slot(t);
+            let tr = ts.remainder(t);
+            prop_assert!((ts.t0 + tp as f64 * ts.dt + tr - t).abs() < 1e-6);
+            prop_assert!(tr >= 0.0 && tr < ts.dt + 1e-9);
+        }
+
+        /// Weekly node is always in range.
+        #[test]
+        fn week_node_in_range(t in 0.0f64..50.0 * WEEK) {
+            let ts = TimeSlots::five_minutes();
+            prop_assert!(ts.week_node_of(t) < ts.slots_per_week());
+        }
+
+        /// Consecutive timestamps map to the same or the next slot.
+        #[test]
+        fn slots_monotone(t in 0.0f64..WEEK, d in 0.0f64..600.0) {
+            let ts = TimeSlots::five_minutes();
+            prop_assert!(ts.slot(t + d) >= ts.slot(t));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The method registry: every baseline plus every DeepOD variant behind
+//! one interface, with timing and size accounting so a single call
+//! produces a full row of the paper's Tables 4 and 5.
+
+use crate::metrics::{Metrics, PredPair};
+use deepod_baselines::{
+    GbmConfig, GbmPredictor, LinearRegression, MuratConfig, MuratPredictor, StnnConfig,
+    StnnPredictor, TempConfig, TempPredictor, TtePredictor,
+};
+use deepod_core::{DeepOdConfig, TrainOptions, Trainer};
+use deepod_traj::CityDataset;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A method under evaluation.
+pub enum Method {
+    /// Any [`TtePredictor`] baseline.
+    Baseline(Box<dyn TtePredictor>),
+    /// DeepOD (any config/variant/init).
+    DeepOd(DeepOdMethod),
+}
+
+/// DeepOD wrapped for the harness.
+pub struct DeepOdMethod {
+    /// Display name (e.g. "DeepOD", "N-st", "T-one").
+    pub name: String,
+    /// Model + training config.
+    pub config: DeepOdConfig,
+    /// Training-loop options.
+    pub options: TrainOptions,
+}
+
+/// One full evaluation row: metrics + efficiency numbers + raw pairs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method display name.
+    pub name: String,
+    /// Table 4 metrics on the test split.
+    pub metrics: Metrics,
+    /// Offline training wall-clock seconds (Table 5).
+    pub train_time_s: f64,
+    /// Online estimation seconds per 1 000 queries (Table 5).
+    pub est_time_s_per_k: f64,
+    /// Model size in bytes (Table 5).
+    pub model_size_bytes: usize,
+    /// Per-test-sample prediction pairs (Figs. 11–13).
+    pub pairs: Vec<PredPair>,
+    /// Validation-MAE curve for deep methods (Fig. 10), empty otherwise.
+    pub curve: Vec<(usize, f32, f64)>,
+}
+
+/// Collects prediction pairs from any closure that maps an order index to
+/// a prediction.
+fn collect_pairs(
+    ds: &CityDataset,
+    mut predict: impl FnMut(usize) -> Option<f32>,
+) -> Vec<PredPair> {
+    ds.test
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| {
+            predict(i).map(|p| PredPair { actual: o.travel_time as f32, predicted: p })
+        })
+        .collect()
+}
+
+/// Trains and evaluates a method on a dataset, producing a result row.
+pub fn run_method(method: Method, ds: &CityDataset) -> MethodResult {
+    match method {
+        Method::Baseline(mut p) => {
+            let t0 = Instant::now();
+            p.fit(ds);
+            let train_time_s = t0.elapsed().as_secs_f64();
+
+            let t1 = Instant::now();
+            let pairs = collect_pairs(ds, |i| p.predict(&ds.test[i].od));
+            let est_elapsed = t1.elapsed().as_secs_f64();
+            let est_time_s_per_k = est_elapsed / ds.test.len().max(1) as f64 * 1000.0;
+
+            MethodResult {
+                name: p.name().to_string(),
+                metrics: Metrics::from_pairs(&pairs),
+                train_time_s,
+                est_time_s_per_k,
+                model_size_bytes: p.size_bytes(),
+                pairs,
+                curve: Vec::new(),
+            }
+        }
+        Method::DeepOd(m) => {
+            let t0 = Instant::now();
+            let mut trainer = Trainer::new(ds, m.config, m.options);
+            let report = trainer.train();
+            let train_time_s = t0.elapsed().as_secs_f64();
+
+            let t1 = Instant::now();
+            let preds = trainer.predict_orders(&ds.test);
+            let est_elapsed = t1.elapsed().as_secs_f64();
+            let est_time_s_per_k = est_elapsed / ds.test.len().max(1) as f64 * 1000.0;
+
+            let pairs = collect_pairs(ds, |i| preds[i]);
+            let model_size = trainer.model().size_bytes();
+            MethodResult {
+                name: m.name,
+                metrics: Metrics::from_pairs(&pairs),
+                train_time_s,
+                est_time_s_per_k,
+                model_size_bytes: model_size,
+                pairs,
+                curve: report
+                    .curve
+                    .iter()
+                    .map(|p| (p.step, p.val_mae, p.elapsed_s))
+                    .collect(),
+            }
+        }
+    }
+}
+
+/// The five baselines of §6.1 with laptop-scale settings.
+pub fn all_baselines() -> Vec<Method> {
+    vec![
+        Method::Baseline(Box::new(TempPredictor::new(TempConfig::default()))),
+        Method::Baseline(Box::new(LinearRegression::new(1e-3))),
+        Method::Baseline(Box::new(GbmPredictor::new(GbmConfig::default()))),
+        Method::Baseline(Box::new(StnnPredictor::new(StnnConfig::default()))),
+        Method::Baseline(Box::new(MuratPredictor::new(MuratConfig::default()))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::CityProfile;
+    use deepod_traj::{DatasetBuilder, DatasetConfig};
+
+    #[test]
+    fn baseline_row_complete() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 120));
+        let res = run_method(
+            Method::Baseline(Box::new(LinearRegression::new(1e-3))),
+            &ds,
+        );
+        assert_eq!(res.name, "LR");
+        assert!(res.metrics.mae.is_finite());
+        assert!(res.metrics.mape_pct > 0.0);
+        assert!(res.train_time_s >= 0.0);
+        assert!(res.est_time_s_per_k >= 0.0);
+        assert!(res.model_size_bytes > 0);
+        assert!(!res.pairs.is_empty());
+        assert!(res.curve.is_empty());
+    }
+
+    #[test]
+    fn deepod_row_has_curve() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 100));
+        let mut cfg = DeepOdConfig::default();
+        cfg.epochs = 1;
+        cfg.init = deepod_core::EmbeddingInit::Random;
+        cfg.ds = 6;
+        cfg.dt_dim = 6;
+        cfg.d1m = 8;
+        cfg.d2m = 6;
+        cfg.d3m = 8;
+        cfg.d4m = 6;
+        cfg.d5m = 8;
+        cfg.d6m = 6;
+        cfg.d7m = 8;
+        cfg.d9m = 8;
+        cfg.dh = 8;
+        cfg.dtraf = 4;
+        let res = run_method(
+            Method::DeepOd(DeepOdMethod {
+                name: "DeepOD".into(),
+                config: cfg,
+                options: TrainOptions::default(),
+            }),
+            &ds,
+        );
+        assert_eq!(res.name, "DeepOD");
+        assert!(!res.curve.is_empty(), "deep methods must expose a curve");
+        assert!(res.metrics.mae.is_finite());
+    }
+
+    #[test]
+    fn route_tte_extension_runs_through_harness() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 120));
+        let r = run_method(
+            Method::Baseline(Box::new(deepod_baselines::RouteTtePredictor::new())),
+            &ds,
+        );
+        assert_eq!(r.name, "RouteTTE");
+        assert!(r.metrics.mae.is_finite());
+        assert!(r.model_size_bytes > 0);
+    }
+
+    #[test]
+    fn all_baselines_present() {
+        let names: Vec<&str> = all_baselines()
+            .iter()
+            .map(|m| match m {
+                Method::Baseline(b) => b.name(),
+                Method::DeepOd(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["TEMP", "LR", "GBM", "STNN", "MURAT"]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Evaluation harness for the DeepOD reproduction: the three paper metrics
+//! (MAE / MAPE / MARE, §6.1), a uniform method registry covering every
+//! baseline and DeepOD variant, distribution and case-study utilities, and
+//! plain-text/CSV reporting used by the per-table/figure binaries in
+//! `deepod-bench`.
+
+mod harness;
+mod metrics;
+mod report;
+
+pub use harness::{DeepOdMethod, Method, MethodResult, run_method, all_baselines};
+pub use metrics::{
+    histogram, mae, mape, mare, Metrics, PredPair,
+};
+pub use report::{write_csv, TextTable};

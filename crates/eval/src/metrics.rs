@@ -1,0 +1,187 @@
+//! The paper's three evaluation metrics (§6.1):
+//! `MAE = mean |y − ŷ|`, `MAPE = mean |y − ŷ| / y`,
+//! `MARE = Σ|y − ŷ| / Σ y`, plus histogram utilities for the Fig. 11
+//! MAPE-distribution plot.
+
+use serde::{Deserialize, Serialize};
+
+/// A (ground truth, prediction) pair in seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredPair {
+    /// Ground-truth travel time.
+    pub actual: f32,
+    /// Predicted travel time.
+    pub predicted: f32,
+}
+
+impl PredPair {
+    /// Absolute error.
+    pub fn abs_err(&self) -> f32 {
+        (self.actual - self.predicted).abs()
+    }
+
+    /// Absolute percentage error (the per-sample MAPE term).
+    pub fn ape(&self) -> f32 {
+        self.abs_err() / self.actual.max(1e-6)
+    }
+}
+
+/// Mean Absolute Error in seconds.
+pub fn mae(pairs: &[PredPair]) -> f32 {
+    if pairs.is_empty() {
+        return f32::NAN;
+    }
+    pairs.iter().map(PredPair::abs_err).sum::<f32>() / pairs.len() as f32
+}
+
+/// Mean Absolute Percentage Error (fraction; multiply by 100 for %).
+pub fn mape(pairs: &[PredPair]) -> f32 {
+    if pairs.is_empty() {
+        return f32::NAN;
+    }
+    pairs.iter().map(PredPair::ape).sum::<f32>() / pairs.len() as f32
+}
+
+/// Mean Absolute Relative Error: Σ|err| / Σ actual (fraction).
+pub fn mare(pairs: &[PredPair]) -> f32 {
+    let num: f32 = pairs.iter().map(PredPair::abs_err).sum();
+    let den: f32 = pairs.iter().map(|p| p.actual).sum();
+    if den <= 0.0 {
+        return f32::NAN;
+    }
+    num / den
+}
+
+/// All three metrics bundled (one row of the paper's Table 4).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Metrics {
+    /// MAE in seconds.
+    pub mae: f32,
+    /// MAPE as a percentage.
+    pub mape_pct: f32,
+    /// MARE as a percentage.
+    pub mare_pct: f32,
+}
+
+impl Metrics {
+    /// Computes all three metrics from prediction pairs.
+    pub fn from_pairs(pairs: &[PredPair]) -> Metrics {
+        Metrics {
+            mae: mae(pairs),
+            mape_pct: 100.0 * mape(pairs),
+            mare_pct: 100.0 * mare(pairs),
+        }
+    }
+}
+
+/// Normalized histogram (an empirical PDF) of `values` over `bins` equal
+/// bins spanning `[lo, hi)`; returns `(bin_centers, densities)`. Used for
+/// the Fig. 11 MAPE-distribution curves.
+pub fn histogram(values: &[f32], lo: f32, hi: f32, bins: usize) -> (Vec<f32>, Vec<f32>) {
+    assert!(bins > 0 && hi > lo, "invalid histogram spec");
+    let width = (hi - lo) / bins as f32;
+    let mut counts = vec![0usize; bins];
+    let mut total = 0usize;
+    for &v in values {
+        if v < lo || v >= hi {
+            continue;
+        }
+        counts[((v - lo) / width) as usize] += 1;
+        total += 1;
+    }
+    let centers = (0..bins).map(|b| lo + (b as f32 + 0.5) * width).collect();
+    let density = counts
+        .iter()
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f32 / (total as f32 * width)
+            }
+        })
+        .collect();
+    (centers, density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs() -> Vec<PredPair> {
+        vec![
+            PredPair { actual: 100.0, predicted: 110.0 },
+            PredPair { actual: 200.0, predicted: 180.0 },
+            PredPair { actual: 400.0, predicted: 430.0 },
+        ]
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&pairs()) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // (0.1 + 0.1 + 0.075) / 3
+        assert!((mape(&pairs()) - 0.091666).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mare_known_value() {
+        // 60 / 700
+        assert!((mare(&pairs()) - 60.0 / 700.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_bundle() {
+        let m = Metrics::from_pairs(&pairs());
+        assert!((m.mae - 20.0).abs() < 1e-5);
+        assert!((m.mape_pct - 9.1666).abs() < 1e-2);
+        assert!((m.mare_pct - 100.0 * 60.0 / 700.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(mae(&[]).is_nan());
+        assert!(mape(&[]).is_nan());
+        assert!(mare(&[]).is_nan());
+    }
+
+    #[test]
+    fn perfect_predictions_zero_error() {
+        let p = vec![PredPair { actual: 123.0, predicted: 123.0 }];
+        let m = Metrics::from_pairs(&p);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.mape_pct, 0.0);
+        assert_eq!(m.mare_pct, 0.0);
+    }
+
+    #[test]
+    fn mape_vs_mare_asymmetry() {
+        // The paper's observation (6): errors on short trips inflate MAPE
+        // relative to MARE.
+        let short_trip_errors = vec![
+            PredPair { actual: 60.0, predicted: 120.0 }, // 100 % APE
+            PredPair { actual: 1000.0, predicted: 1000.0 },
+        ];
+        let m = Metrics::from_pairs(&short_trip_errors);
+        assert!(m.mape_pct > m.mare_pct);
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_one() {
+        let vals: Vec<f32> = (0..1000).map(|i| (i % 100) as f32 / 100.0).collect();
+        let (centers, dens) = histogram(&vals, 0.0, 1.0, 20);
+        assert_eq!(centers.len(), 20);
+        let integral: f32 = dens.iter().map(|d| d * 0.05).sum();
+        assert!((integral - 1.0).abs() < 1e-5, "integral {integral}");
+    }
+
+    #[test]
+    fn histogram_ignores_out_of_range() {
+        let vals = vec![-1.0, 0.5, 2.0];
+        let (_, dens) = histogram(&vals, 0.0, 1.0, 2);
+        let integral: f32 = dens.iter().map(|d| d * 0.5).sum();
+        assert!((integral - 1.0).abs() < 1e-6);
+    }
+}

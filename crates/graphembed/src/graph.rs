@@ -1,0 +1,138 @@
+//! Generic weighted directed graph consumed by the embedding methods.
+//!
+//! Both inputs DeepOD embeds — the road-segment line graph (§4.1) and the
+//! temporal graph (§4.2) — are converted into this adjacency-list form.
+
+use serde::{Deserialize, Serialize};
+
+/// A weighted directed graph with `usize` node ids `0..n`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EmbedGraph {
+    /// `adj[u]` = list of `(v, weight)` out-links.
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl EmbedGraph {
+    /// Creates an empty graph with `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        EmbedGraph { adj: vec![Vec::new(); n] }
+    }
+
+    /// Adds a weighted directed link.
+    pub fn add_link(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(weight > 0.0, "weights must be positive");
+        self.adj[u].push((v, weight));
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Out-links of `u`.
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.adj[u]
+    }
+
+    /// Out-degree (link count) of `u`.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Total out-weight of `u`.
+    pub fn out_weight(&self, u: usize) -> f64 {
+        self.adj[u].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// All links as `(u, v, w)` triples (LINE's edge sampling).
+    pub fn links(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ls)| ls.iter().map(move |&(v, w)| (u, v, w)))
+    }
+
+    /// True if a link `u -> v` exists (used by node2vec's return bias).
+    pub fn has_link(&self, u: usize, v: usize) -> bool {
+        self.adj[u].iter().any(|&(x, _)| x == v)
+    }
+
+    /// Unigram node distribution ∝ (total out-weight)^0.75, the standard
+    /// negative-sampling distribution.
+    pub fn negative_sampling_table(&self, table_size: usize) -> Vec<usize> {
+        let pow: Vec<f64> = (0..self.num_nodes())
+            .map(|u| self.out_weight(u).max(1e-3).powf(0.75))
+            .collect();
+        let total: f64 = pow.iter().sum();
+        let mut table = Vec::with_capacity(table_size);
+        for (u, &p) in pow.iter().enumerate() {
+            let count = ((p / total) * table_size as f64).ceil() as usize;
+            for _ in 0..count {
+                if table.len() >= table_size {
+                    break;
+                }
+                table.push(u);
+            }
+        }
+        while table.len() < table_size {
+            table.push(table.len() % self.num_nodes());
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> EmbedGraph {
+        let mut g = EmbedGraph::with_nodes(3);
+        g.add_link(0, 1, 1.0);
+        g.add_link(1, 2, 2.0);
+        g.add_link(2, 0, 3.0);
+        g
+    }
+
+    #[test]
+    fn construction() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_links(), 3);
+        assert_eq!(g.neighbors(1), &[(2, 2.0)]);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_weight(2), 3.0);
+        assert!(g.has_link(0, 1));
+        assert!(!g.has_link(1, 0));
+    }
+
+    #[test]
+    fn links_iterator() {
+        let g = triangle();
+        let links: Vec<_> = g.links().collect();
+        assert_eq!(links.len(), 3);
+        assert!(links.contains(&(1, 2, 2.0)));
+    }
+
+    #[test]
+    fn negative_table_covers_all_nodes() {
+        let g = triangle();
+        let t = g.negative_sampling_table(1000);
+        assert_eq!(t.len(), 1000);
+        for u in 0..3 {
+            assert!(t.contains(&u), "node {u} missing from table");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let mut g = EmbedGraph::with_nodes(2);
+        g.add_link(0, 1, 0.0);
+    }
+}

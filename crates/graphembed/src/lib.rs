@@ -1,0 +1,31 @@
+//! Unsupervised graph embeddings used to *initialize* DeepOD's road-segment
+//! and time-slot embedding matrices (§4.1, §4.2, Alg. 1 lines 1–4), plus an
+//! exact t-SNE used to render the Fig. 14b time-slot heat map.
+//!
+//! Three methods, as evaluated in the paper (§5 notes node2vec worked
+//! best): [`DeepWalk`] (uniform random walks), [`Node2Vec`] (p/q-biased
+//! walks), and [`Line`] (edge-sampled first/second-order proximity). All
+//! three train a skip-gram model with negative sampling over a generic
+//! weighted directed graph supplied as adjacency lists, so the same code
+//! embeds both the road-segment line graph and the temporal graph.
+
+mod graph;
+mod skipgram;
+mod tsne;
+#[cfg(test)]
+mod tsne2d_test;
+mod walks;
+
+pub use graph::EmbedGraph;
+pub use skipgram::{SkipGramConfig, SkipGramModel};
+pub use tsne::{tsne, tsne_1d, TsneConfig};
+pub use walks::{DeepWalk, Line, Node2Vec, WalkConfig};
+
+use deepod_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Common interface: produce a `[num_nodes, dim]` embedding matrix.
+pub trait GraphEmbedder {
+    /// Trains embeddings for every node of `graph`.
+    fn embed(&self, graph: &EmbedGraph, dim: usize, rng: &mut StdRng) -> Tensor;
+}

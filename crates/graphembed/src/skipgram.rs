@@ -1,0 +1,196 @@
+//! Skip-gram with negative sampling (SGNS): the shared training core of
+//! DeepWalk, node2vec and LINE.
+//!
+//! Two embedding tables (input and output vectors) trained by logistic
+//! loss over (center, context) pairs with `k` negative samples each; the
+//! input table is returned as the node embedding. Plain SGD, as in the
+//! original word2vec formulation — no autograd needed at this scale.
+
+use crate::graph::EmbedGraph;
+use deepod_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// SGNS hyper-parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SkipGramConfig {
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Initial learning rate (linearly decayed to 10 %).
+    pub lr: f32,
+    /// Training epochs over the supplied pair stream.
+    pub epochs: usize,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig { negatives: 5, lr: 0.025, epochs: 3 }
+    }
+}
+
+/// The two-table SGNS model.
+pub struct SkipGramModel {
+    input: Vec<f32>,
+    output: Vec<f32>,
+    dim: usize,
+    n: usize,
+    neg_table: Vec<usize>,
+    cfg: SkipGramConfig,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl SkipGramModel {
+    /// Initializes tables for `graph` with small random input vectors.
+    pub fn new(graph: &EmbedGraph, dim: usize, cfg: SkipGramConfig, rng: &mut StdRng) -> Self {
+        let n = graph.num_nodes();
+        let mut input = vec![0.0f32; n * dim];
+        for v in &mut input {
+            *v = (rng.gen::<f32>() - 0.5) / dim as f32;
+        }
+        let output = vec![0.0f32; n * dim];
+        let neg_table = graph.negative_sampling_table(100_000.min(50 * n + 1000));
+        SkipGramModel { input, output, dim, n, neg_table, cfg }
+    }
+
+    /// One SGD update on a positive (center, context) pair plus sampled
+    /// negatives. Returns the pair loss (for monitoring).
+    pub fn train_pair(&mut self, center: usize, context: usize, lr: f32, rng: &mut StdRng) -> f32 {
+        debug_assert!(center < self.n && context < self.n);
+        let d = self.dim;
+        let ci = center * d;
+        let mut grad_center = vec![0.0f32; d];
+        let mut loss = 0.0f32;
+
+        // Positive + negatives share the same inner loop; label 1 then 0s.
+        let update = |this: &mut Self, target: usize, label: f32, grad_center: &mut [f32]| {
+            let ti = target * d;
+            let dot: f32 = (0..d).map(|k| this.input[ci + k] * this.output[ti + k]).sum();
+            let p = sigmoid(dot);
+            let g = (p - label) * lr;
+            for k in 0..d {
+                grad_center[k] += g * this.output[ti + k];
+                this.output[ti + k] -= g * this.input[ci + k];
+            }
+            -(if label > 0.5 { p } else { 1.0 - p }).max(1e-7).ln()
+        };
+
+        loss += update(self, context, 1.0, &mut grad_center);
+        for _ in 0..self.cfg.negatives {
+            let neg = self.neg_table[rng.gen_range(0..self.neg_table.len())];
+            if neg == context {
+                continue;
+            }
+            loss += update(self, neg, 0.0, &mut grad_center);
+        }
+        for k in 0..d {
+            self.input[ci + k] -= grad_center[k];
+        }
+        loss
+    }
+
+    /// Trains over a stream of positive pairs for the configured number of
+    /// epochs with linear LR decay; `pairs` is re-iterated per epoch.
+    pub fn train_pairs(&mut self, pairs: &[(usize, usize)], rng: &mut StdRng) {
+        let total = (pairs.len() * self.cfg.epochs).max(1);
+        let mut seen = 0usize;
+        for _ in 0..self.cfg.epochs {
+            for &(c, x) in pairs {
+                let progress = seen as f32 / total as f32;
+                let lr = self.cfg.lr * (1.0 - 0.9 * progress);
+                self.train_pair(c, x, lr, rng);
+                seen += 1;
+            }
+        }
+    }
+
+    /// The input-table embeddings as a `[n, dim]` tensor.
+    pub fn embeddings(&self) -> Tensor {
+        Tensor::from_vec(self.input.clone(), &[self.n, self.dim])
+    }
+
+    /// Cosine similarity between two node embeddings.
+    pub fn cosine(&self, a: usize, b: usize) -> f32 {
+        let d = self.dim;
+        let (ai, bi) = (a * d, b * d);
+        let dot: f32 = (0..d).map(|k| self.input[ai + k] * self.input[bi + k]).sum();
+        let na: f32 = (0..d).map(|k| self.input[ai + k].powi(2)).sum::<f32>().sqrt();
+        let nb: f32 = (0..d).map(|k| self.input[bi + k].powi(2)).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_tensor::rng_from_seed;
+
+    /// Two 4-cliques joined by a single weak link: SGNS on co-occurrence
+    /// pairs must place same-clique nodes closer than cross-clique nodes.
+    fn two_cliques() -> (EmbedGraph, Vec<(usize, usize)>) {
+        let mut g = EmbedGraph::with_nodes(8);
+        let mut pairs = Vec::new();
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        g.add_link(base + i, base + j, 1.0);
+                        for _ in 0..40 {
+                            pairs.push((base + i, base + j));
+                        }
+                    }
+                }
+            }
+        }
+        g.add_link(3, 4, 1.0);
+        g.add_link(4, 3, 1.0);
+        pairs.push((3, 4));
+        pairs.push((4, 3));
+        (g, pairs)
+    }
+
+    #[test]
+    fn clusters_separate_cliques() {
+        let (g, mut pairs) = two_cliques();
+        let mut rng = rng_from_seed(1);
+        // Shuffle pairs so updates interleave.
+        for i in (1..pairs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pairs.swap(i, j);
+        }
+        let mut m = SkipGramModel::new(&g, 8, SkipGramConfig::default(), &mut rng);
+        m.train_pairs(&pairs, &mut rng);
+
+        let within = (m.cosine(0, 1) + m.cosine(1, 2) + m.cosine(5, 6)) / 3.0;
+        let across = (m.cosine(0, 5) + m.cosine(1, 6) + m.cosine(2, 7)) / 3.0;
+        assert!(
+            within > across + 0.2,
+            "within {within:.3} should exceed across {across:.3}"
+        );
+    }
+
+    #[test]
+    fn embeddings_shape() {
+        let (g, _) = two_cliques();
+        let mut rng = rng_from_seed(2);
+        let m = SkipGramModel::new(&g, 16, SkipGramConfig::default(), &mut rng);
+        let e = m.embeddings();
+        assert_eq!(e.dims(), &[8, 16]);
+    }
+
+    #[test]
+    fn loss_decreases_on_repeated_pair() {
+        let (g, _) = two_cliques();
+        let mut rng = rng_from_seed(3);
+        let mut m = SkipGramModel::new(&g, 8, SkipGramConfig::default(), &mut rng);
+        let first = m.train_pair(0, 1, 0.05, &mut rng);
+        for _ in 0..200 {
+            m.train_pair(0, 1, 0.05, &mut rng);
+        }
+        let last = m.train_pair(0, 1, 0.05, &mut rng);
+        assert!(last < first, "loss should shrink: {first} -> {last}");
+    }
+}

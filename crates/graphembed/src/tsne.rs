@@ -1,0 +1,240 @@
+//! Exact 1-D t-SNE, used to project the 2016 time-slot embeddings into the
+//! Fig. 14b heat map. At ~2000 points the exact O(n²) algorithm runs in
+//! well under a second, so no Barnes–Hut approximation is needed.
+
+use deepod_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Early-exaggeration factor applied for the first quarter of training.
+    pub exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig { perplexity: 30.0, iterations: 300, lr: 50.0, exaggeration: 4.0 }
+    }
+}
+
+/// Binary-searches the Gaussian bandwidth for one point so the conditional
+/// distribution hits the target perplexity; returns the row of p_{j|i}.
+fn conditional_probs(d2_row: &[f64], i: usize, perplexity: f64) -> Vec<f64> {
+    let n = d2_row.len();
+    let target_entropy = perplexity.ln();
+    let (mut beta_lo, mut beta_hi) = (1e-12f64, 1e12f64);
+    let mut beta = 1.0f64;
+    let mut probs = vec![0.0; n];
+    for _ in 0..64 {
+        let mut sum = 0.0;
+        for j in 0..n {
+            probs[j] = if j == i { 0.0 } else { (-beta * d2_row[j]).exp() };
+            sum += probs[j];
+        }
+        if sum <= 0.0 {
+            beta_hi = beta;
+            beta = 0.5 * (beta_lo + beta_hi);
+            continue;
+        }
+        let mut entropy = 0.0;
+        for p in probs.iter_mut() {
+            *p /= sum;
+            if *p > 1e-12 {
+                entropy -= *p * p.ln();
+            }
+        }
+        if (entropy - target_entropy).abs() < 1e-4 {
+            break;
+        }
+        if entropy > target_entropy {
+            beta_lo = beta;
+            beta = if beta_hi >= 1e12 { beta * 2.0 } else { 0.5 * (beta_lo + beta_hi) };
+        } else {
+            beta_hi = beta;
+            beta = 0.5 * (beta_lo + beta_hi);
+        }
+    }
+    probs
+}
+
+/// Projects the rows of a `[n, d]` embedding matrix onto `dim`-D with
+/// t-SNE. Returns row-major coordinates (`n × dim`).
+pub fn tsne(embeddings: &Tensor, dim: usize, cfg: &TsneConfig, rng: &mut StdRng) -> Vec<f64> {
+    assert!(dim >= 1, "target dimension must be >= 1");
+    run_tsne(embeddings, dim, cfg, rng)
+}
+
+/// Projects the rows of a `[n, d]` embedding matrix onto 1-D with t-SNE.
+/// Returns one coordinate per row.
+pub fn tsne_1d(embeddings: &Tensor, cfg: &TsneConfig, rng: &mut StdRng) -> Vec<f64> {
+    run_tsne(embeddings, 1, cfg, rng)
+}
+
+fn run_tsne(embeddings: &Tensor, odim: usize, cfg: &TsneConfig, rng: &mut StdRng) -> Vec<f64> {
+    assert_eq!(embeddings.rank(), 2, "tsne input must be [n, d]");
+    let n = embeddings.dim(0);
+    if n <= 1 {
+        return vec![0.0; n * odim];
+    }
+    let d = embeddings.dim(1);
+    let x = embeddings.as_slice();
+
+    // Pairwise squared distances in the high-dimensional space.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0f64;
+            for k in 0..d {
+                let diff = (x[i * d + k] - x[j * d + k]) as f64;
+                s += diff * diff;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+
+    // Symmetrized joint probabilities.
+    let perplexity = cfg.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let row = conditional_probs(&d2[i * n..(i + 1) * n], i, perplexity);
+        for j in 0..n {
+            p[i * n + j] = row[j];
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = (p[i * n + j] + p[j * n + i]) / (2.0 * n as f64);
+            p[i * n + j] = v.max(1e-12);
+            p[j * n + i] = p[i * n + j];
+        }
+        p[i * n + i] = 0.0;
+    }
+
+    // odim-D embedding, gradient descent with momentum.
+    let mut y: Vec<f64> = (0..n * odim).map(|_| rng.gen_range(-1e-2..1e-2)).collect();
+    let mut vel = vec![0.0f64; n * odim];
+    let exag_end = cfg.iterations / 4;
+
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_end { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities.
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut d2 = 0.0;
+                for k in 0..odim {
+                    let diff = y[i * odim + k] - y[j * odim + k];
+                    d2 += diff * diff;
+                }
+                let v = 1.0 / (1.0 + d2);
+                qnum[i * n + j] = v;
+                qnum[j * n + i] = v;
+                qsum += 2.0 * v;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+
+        let momentum = if iter < 40 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = vec![0.0f64; odim];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = (qnum[i * n + j] / qsum).max(1e-12);
+                let mult = (exag * p[i * n + j] - q) * qnum[i * n + j];
+                for k in 0..odim {
+                    grad[k] += 4.0 * mult * (y[i * odim + k] - y[j * odim + k]);
+                }
+            }
+            for k in 0..odim {
+                vel[i * odim + k] = momentum * vel[i * odim + k] - cfg.lr * grad[k];
+            }
+        }
+        for (yv, v) in y.iter_mut().zip(&vel) {
+            *yv += v;
+        }
+        // Re-center per output dimension.
+        for k in 0..odim {
+            let mean = (0..n).map(|i| y[i * odim + k]).sum::<f64>() / n as f64;
+            for i in 0..n {
+                y[i * odim + k] -= mean;
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_tensor::rng_from_seed;
+
+    #[test]
+    fn separates_two_gaussian_clusters() {
+        let mut rng = rng_from_seed(1);
+        let n_per = 20;
+        let mut data = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                for k in 0..4 {
+                    let center = if c == 0 { 0.0 } else { 8.0 };
+                    let jitter: f32 = rng.gen_range(-0.5..0.5);
+                    data.push(center + jitter + k as f32 * 0.0);
+                }
+            }
+        }
+        let emb = Tensor::from_vec(data, &[2 * n_per, 4]);
+        let y = tsne_1d(&emb, &TsneConfig { iterations: 250, ..Default::default() }, &mut rng);
+
+        let m0: f64 = y[..n_per].iter().sum::<f64>() / n_per as f64;
+        let m1: f64 = y[n_per..].iter().sum::<f64>() / n_per as f64;
+        let spread0 =
+            (y[..n_per].iter().map(|v| (v - m0).powi(2)).sum::<f64>() / n_per as f64).sqrt();
+        let spread1 =
+            (y[n_per..].iter().map(|v| (v - m1).powi(2)).sum::<f64>() / n_per as f64).sqrt();
+        assert!(
+            (m0 - m1).abs() > 2.0 * (spread0 + spread1),
+            "clusters overlap: means {m0:.2}/{m1:.2}, spreads {spread0:.2}/{spread1:.2}"
+        );
+    }
+
+    #[test]
+    fn output_centered_and_sized() {
+        let mut rng = rng_from_seed(2);
+        let emb = Tensor::rand_uniform(&[15, 3], -1.0, 1.0, &mut rng);
+        let y = tsne_1d(&emb, &TsneConfig::default(), &mut rng);
+        assert_eq!(y.len(), 15);
+        let mean = y.iter().sum::<f64>() / 15.0;
+        assert!(mean.abs() < 1e-6, "not centered: {mean}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = rng_from_seed(3);
+        assert_eq!(tsne_1d(&Tensor::zeros(&[1, 4]), &TsneConfig::default(), &mut rng), vec![0.0]);
+        let y = tsne_1d(&Tensor::zeros(&[0, 4]), &TsneConfig::default(), &mut rng);
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    fn perplexity_search_returns_distribution() {
+        let d2 = vec![0.0, 1.0, 4.0, 9.0, 16.0];
+        let p = conditional_probs(&d2, 0, 2.0);
+        assert_eq!(p[0], 0.0);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "not normalized: {sum}");
+        assert!(p[1] > p[4], "closer points must get higher probability");
+    }
+}

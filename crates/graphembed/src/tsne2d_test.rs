@@ -1,0 +1,56 @@
+//! 2-D t-SNE cluster separation test (the N-D generalization).
+
+use crate::tsne::{tsne, TsneConfig};
+use deepod_tensor::{rng_from_seed, Tensor};
+use rand::Rng;
+
+#[test]
+fn tsne_2d_separates_three_clusters() {
+    let mut rng = rng_from_seed(5);
+    let n_per = 15;
+    let mut data = Vec::new();
+    for c in 0..3 {
+        for _ in 0..n_per {
+            for _ in 0..4 {
+                let center = c as f32 * 9.0;
+                data.push(center + rng.gen_range(-0.5..0.5));
+            }
+        }
+    }
+    let emb = Tensor::from_vec(data, &[3 * n_per, 4]);
+    let y = tsne(&emb, 2, &TsneConfig { iterations: 250, ..Default::default() }, &mut rng);
+    assert_eq!(y.len(), 3 * n_per * 2);
+
+    // Cluster centroids must be pairwise farther apart than the mean
+    // intra-cluster spread.
+    let centroid = |c: usize| -> (f64, f64) {
+        let xs: f64 = (0..n_per).map(|i| y[(c * n_per + i) * 2]).sum();
+        let ys: f64 = (0..n_per).map(|i| y[(c * n_per + i) * 2 + 1]).sum();
+        (xs / n_per as f64, ys / n_per as f64)
+    };
+    let spread = |c: usize| -> f64 {
+        let (cx, cy) = centroid(c);
+        ((0..n_per)
+            .map(|i| {
+                let dx = y[(c * n_per + i) * 2] - cx;
+                let dy = y[(c * n_per + i) * 2 + 1] - cy;
+                dx * dx + dy * dy
+            })
+            .sum::<f64>()
+            / n_per as f64)
+            .sqrt()
+    };
+    for a in 0..3 {
+        for b in (a + 1)..3 {
+            let (ax, ay) = centroid(a);
+            let (bx, by) = centroid(b);
+            let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+            assert!(
+                dist > 1.5 * (spread(a) + spread(b)),
+                "clusters {a}/{b} overlap: dist {dist:.2}, spreads {:.2}/{:.2}",
+                spread(a),
+                spread(b)
+            );
+        }
+    }
+}

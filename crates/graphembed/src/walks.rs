@@ -1,0 +1,374 @@
+//! Random-walk and edge-sampling front ends over the SGNS core: DeepWalk,
+//! node2vec (with p/q biases), and LINE.
+
+use crate::graph::EmbedGraph;
+use crate::skipgram::{SkipGramConfig, SkipGramModel};
+use crate::GraphEmbedder;
+use deepod_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Shared random-walk parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WalkConfig {
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Walk length in nodes.
+    pub walk_length: usize,
+    /// Skip-gram window size.
+    pub window: usize,
+    /// SGNS training parameters.
+    pub sgns: SkipGramConfig,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { walks_per_node: 8, walk_length: 20, window: 4, sgns: SkipGramConfig::default() }
+    }
+}
+
+/// Weighted choice among out-links scaled by a per-link bias.
+fn weighted_step(
+    graph: &EmbedGraph,
+    u: usize,
+    bias: impl Fn(usize) -> f64,
+    rng: &mut StdRng,
+) -> Option<usize> {
+    let links = graph.neighbors(u);
+    if links.is_empty() {
+        return None;
+    }
+    let total: f64 = links.iter().map(|&(v, w)| w * bias(v)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut r = rng.gen_range(0.0..total);
+    for &(v, w) in links {
+        r -= w * bias(v);
+        if r <= 0.0 {
+            return Some(v);
+        }
+    }
+    Some(links.last().unwrap().0)
+}
+
+/// Converts a set of walks into skip-gram (center, context) pairs.
+fn walks_to_pairs(walks: &[Vec<usize>], window: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for walk in walks {
+        for (i, &c) in walk.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(walk.len());
+            for (j, &x) in walk.iter().enumerate().take(hi).skip(lo) {
+                if i != j {
+                    pairs.push((c, x));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+fn train_on_walks(
+    graph: &EmbedGraph,
+    walks: &[Vec<usize>],
+    dim: usize,
+    cfg: &WalkConfig,
+    rng: &mut StdRng,
+) -> Tensor {
+    let mut pairs = walks_to_pairs(walks, cfg.window);
+    shuffle(&mut pairs, rng);
+    let mut model = SkipGramModel::new(graph, dim, cfg.sgns.clone(), rng);
+    model.train_pairs(&pairs, rng);
+    model.embeddings()
+}
+
+/// DeepWalk: uniform (weight-proportional) random walks.
+#[derive(Clone, Debug, Default)]
+pub struct DeepWalk {
+    /// Walk parameters.
+    pub cfg: WalkConfig,
+}
+
+impl GraphEmbedder for DeepWalk {
+    fn embed(&self, graph: &EmbedGraph, dim: usize, rng: &mut StdRng) -> Tensor {
+        let mut walks = Vec::new();
+        for _ in 0..self.cfg.walks_per_node {
+            for start in 0..graph.num_nodes() {
+                let mut walk = vec![start];
+                let mut cur = start;
+                for _ in 1..self.cfg.walk_length {
+                    match weighted_step(graph, cur, |_| 1.0, rng) {
+                        Some(v) => {
+                            walk.push(v);
+                            cur = v;
+                        }
+                        None => break,
+                    }
+                }
+                if walk.len() > 1 {
+                    walks.push(walk);
+                }
+            }
+        }
+        train_on_walks(graph, &walks, dim, &self.cfg, rng)
+    }
+}
+
+/// node2vec: second-order biased walks with return parameter `p` and
+/// in-out parameter `q` (Grover & Leskovec). `p` penalizes immediate
+/// returns; `q` trades off BFS-like vs DFS-like exploration.
+#[derive(Clone, Debug)]
+pub struct Node2Vec {
+    /// Walk parameters.
+    pub cfg: WalkConfig,
+    /// Return parameter p.
+    pub p: f64,
+    /// In-out parameter q.
+    pub q: f64,
+}
+
+impl Default for Node2Vec {
+    fn default() -> Self {
+        Node2Vec { cfg: WalkConfig::default(), p: 1.0, q: 0.5 }
+    }
+}
+
+impl GraphEmbedder for Node2Vec {
+    fn embed(&self, graph: &EmbedGraph, dim: usize, rng: &mut StdRng) -> Tensor {
+        let mut walks = Vec::new();
+        for _ in 0..self.cfg.walks_per_node {
+            for start in 0..graph.num_nodes() {
+                let mut walk = vec![start];
+                let mut prev: Option<usize> = None;
+                let mut cur = start;
+                for _ in 1..self.cfg.walk_length {
+                    let step = match prev {
+                        None => weighted_step(graph, cur, |_| 1.0, rng),
+                        Some(pr) => weighted_step(
+                            graph,
+                            cur,
+                            |v| {
+                                if v == pr {
+                                    1.0 / self.p
+                                } else if graph.has_link(pr, v) {
+                                    1.0
+                                } else {
+                                    1.0 / self.q
+                                }
+                            },
+                            rng,
+                        ),
+                    };
+                    match step {
+                        Some(v) => {
+                            walk.push(v);
+                            prev = Some(cur);
+                            cur = v;
+                        }
+                        None => break,
+                    }
+                }
+                if walk.len() > 1 {
+                    walks.push(walk);
+                }
+            }
+        }
+        train_on_walks(graph, &walks, dim, &self.cfg, rng)
+    }
+}
+
+/// LINE: first/second-order proximity via direct edge sampling (no walks);
+/// each sampled link is a positive skip-gram pair.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// Number of link samples per link in the graph.
+    pub samples_per_link: usize,
+    /// SGNS parameters.
+    pub sgns: SkipGramConfig,
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line { samples_per_link: 40, sgns: SkipGramConfig::default() }
+    }
+}
+
+impl GraphEmbedder for Line {
+    fn embed(&self, graph: &EmbedGraph, dim: usize, rng: &mut StdRng) -> Tensor {
+        // Alias-free weighted edge sampling: cumulative weights.
+        let links: Vec<(usize, usize, f64)> = graph.links().collect();
+        if links.is_empty() {
+            return Tensor::zeros(&[graph.num_nodes(), dim]);
+        }
+        let mut cum = Vec::with_capacity(links.len());
+        let mut acc = 0.0;
+        for &(_, _, w) in &links {
+            acc += w;
+            cum.push(acc);
+        }
+        let total = acc;
+        let n_samples = self.samples_per_link * links.len();
+        let mut pairs = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let r = rng.gen_range(0.0..total);
+            let idx = cum.partition_point(|&c| c < r).min(links.len() - 1);
+            let (u, v, _) = links[idx];
+            pairs.push((u, v));
+        }
+        let mut model = SkipGramModel::new(graph, dim, self.sgns.clone(), rng);
+        model.train_pairs(&pairs, rng);
+        model.embeddings()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_tensor::rng_from_seed;
+
+    /// Ring of 12 nodes: neighbors should embed closer than antipodes.
+    fn ring(n: usize) -> EmbedGraph {
+        let mut g = EmbedGraph::with_nodes(n);
+        for i in 0..n {
+            g.add_link(i, (i + 1) % n, 1.0);
+            g.add_link((i + 1) % n, i, 1.0);
+        }
+        g
+    }
+
+    fn cosine(e: &Tensor, a: usize, b: usize) -> f32 {
+        let (ra, rb) = (e.row(a), e.row(b));
+        let dot: f32 = ra.iter().zip(rb).map(|(&x, &y)| x * y).sum();
+        let na: f32 = ra.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = rb.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-12)
+    }
+
+    fn neighbors_closer_than_antipodes(e: &Tensor, n: usize) -> bool {
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for i in 0..n {
+            near += cosine(e, i, (i + 1) % n);
+            far += cosine(e, i, (i + n / 2) % n);
+        }
+        near / n as f32 > far / n as f32 + 0.1
+    }
+
+    #[test]
+    fn deepwalk_ring_structure() {
+        let g = ring(12);
+        let mut rng = rng_from_seed(1);
+        let e = DeepWalk::default().embed(&g, 8, &mut rng);
+        assert_eq!(e.dims(), &[12, 8]);
+        assert!(neighbors_closer_than_antipodes(&e, 12));
+    }
+
+    #[test]
+    fn node2vec_ring_structure() {
+        let g = ring(12);
+        let mut rng = rng_from_seed(2);
+        let e = Node2Vec::default().embed(&g, 8, &mut rng);
+        assert!(neighbors_closer_than_antipodes(&e, 12));
+    }
+
+    #[test]
+    fn line_ring_structure() {
+        // LINE only sees direct links (first-order proximity), so the ring
+        // signal is weaker than for walk-based methods; give it more
+        // samples and require a smaller margin.
+        let g = ring(12);
+        let mut rng = rng_from_seed(3);
+        let line = Line { samples_per_link: 150, sgns: SkipGramConfig::default() };
+        let e = line.embed(&g, 8, &mut rng);
+        let n = 12;
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for i in 0..n {
+            near += cosine(&e, i, (i + 1) % n);
+            far += cosine(&e, i, (i + n / 2) % n);
+        }
+        assert!(
+            near / n as f32 > far / n as f32,
+            "near {} vs far {}",
+            near / n as f32,
+            far / n as f32
+        );
+    }
+
+    #[test]
+    fn walks_respect_weights() {
+        // Node 0 links to 1 (weight 99) and 2 (weight 1): walks must pick 1
+        // overwhelmingly.
+        let mut g = EmbedGraph::with_nodes(3);
+        g.add_link(0, 1, 99.0);
+        g.add_link(0, 2, 1.0);
+        let mut rng = rng_from_seed(4);
+        let mut to1 = 0;
+        for _ in 0..500 {
+            if weighted_step(&g, 0, |_| 1.0, &mut rng) == Some(1) {
+                to1 += 1;
+            }
+        }
+        assert!(to1 > 450, "only {to1}/500 steps to the heavy neighbor");
+    }
+
+    #[test]
+    fn pairs_window() {
+        let walks = vec![vec![0, 1, 2, 3]];
+        let pairs = walks_to_pairs(&walks, 1);
+        assert!(pairs.contains(&(1, 0)));
+        assert!(pairs.contains(&(1, 2)));
+        assert!(!pairs.contains(&(0, 2)));
+        assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn dead_end_walks_truncate() {
+        let mut g = EmbedGraph::with_nodes(3);
+        g.add_link(0, 1, 1.0); // 1 and 2 are sinks
+        let mut rng = rng_from_seed(5);
+        let e = DeepWalk::default().embed(&g, 4, &mut rng);
+        assert_eq!(e.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn node2vec_bias_avoids_backtracking() {
+        // Path graph 0-1-2; from 1 arriving from 0, high p discourages
+        // returning to 0.
+        let mut g = EmbedGraph::with_nodes(3);
+        g.add_link(1, 0, 1.0);
+        g.add_link(1, 2, 1.0);
+        let n2v = Node2Vec { cfg: WalkConfig::default(), p: 100.0, q: 1.0 };
+        let mut rng = rng_from_seed(6);
+        let mut returns = 0;
+        for _ in 0..300 {
+            let step = weighted_step(
+                &g,
+                1,
+                |v| {
+                    if v == 0 {
+                        1.0 / n2v.p
+                    } else if g.has_link(0, v) {
+                        1.0
+                    } else {
+                        1.0 / n2v.q
+                    }
+                },
+                &mut rng,
+            );
+            if step == Some(0) {
+                returns += 1;
+            }
+        }
+        assert!(returns < 30, "{returns}/300 backtracks despite p=100");
+    }
+}

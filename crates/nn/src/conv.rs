@@ -1,0 +1,264 @@
+//! 2-D convolution kernels used by the Time Interval Encoder (§4.3) and the
+//! External Features Encoder (§4.5).
+//!
+//! Layout conventions: inputs are `[in_c, h, w]`, kernels are
+//! `[out_c, in_c, kh, kw]`, outputs `[out_c, h, w]`. Convolutions use
+//! "same" zero padding (stride 1), which matches the paper's Eq. 5–7 where
+//! a Δd×d_t tensor keeps its spatial size through the ResNet block.
+
+use deepod_tensor::Tensor;
+
+/// Forward 2-D convolution with same padding and stride 1.
+pub fn conv2d_forward(input: &Tensor, kernel: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 3, "conv input must be [in_c, h, w]");
+    assert_eq!(kernel.rank(), 4, "conv kernel must be [out_c, in_c, kh, kw]");
+    let (in_c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let (out_c, k_in_c, kh, kw) = (kernel.dim(0), kernel.dim(1), kernel.dim(2), kernel.dim(3));
+    assert_eq!(in_c, k_in_c, "channel mismatch: input {in_c}, kernel {k_in_c}");
+    let (ph, pw) = (kh / 2, kw / 2);
+
+    let x = input.as_slice();
+    let k = kernel.as_slice();
+    let mut out = vec![0.0f32; out_c * h * w];
+
+    for oc in 0..out_c {
+        for ic in 0..in_c {
+            let kbase = ((oc * in_c) + ic) * kh * kw;
+            let xbase = ic * h * w;
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    let kv = k[kbase + dy * kw + dx];
+                    if kv == 0.0 {
+                        continue;
+                    }
+                    // Output (i, j) reads input (i + dy - ph, j + dx - pw).
+                    let oy_lo = ph.saturating_sub(dy);
+                    let oy_hi = (h + ph).min(h + dy).saturating_sub(dy).min(h);
+                    for i in oy_lo..oy_hi {
+                        let iy = i + dy - ph;
+                        if iy >= h {
+                            continue;
+                        }
+                        for j in 0..w {
+                            let jx = j + dx;
+                            if jx < pw || jx - pw >= w {
+                                continue;
+                            }
+                            out[(oc * h + i) * w + j] += kv * x[xbase + iy * w + (jx - pw)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[out_c, h, w])
+}
+
+/// Gradient of the convolution with respect to its input.
+pub fn conv2d_grad_input(grad_out: &Tensor, kernel: &Tensor) -> Tensor {
+    let (out_c, h, w) = (grad_out.dim(0), grad_out.dim(1), grad_out.dim(2));
+    let (k_out_c, in_c, kh, kw) = (kernel.dim(0), kernel.dim(1), kernel.dim(2), kernel.dim(3));
+    assert_eq!(out_c, k_out_c, "grad/kernel out-channel mismatch");
+    let (ph, pw) = (kh / 2, kw / 2);
+
+    let go = grad_out.as_slice();
+    let k = kernel.as_slice();
+    let mut gi = vec![0.0f32; in_c * h * w];
+
+    for oc in 0..out_c {
+        for ic in 0..in_c {
+            let kbase = ((oc * in_c) + ic) * kh * kw;
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    let kv = k[kbase + dy * kw + dx];
+                    if kv == 0.0 {
+                        continue;
+                    }
+                    for i in 0..h {
+                        let iy = i + dy;
+                        if iy < ph || iy - ph >= h {
+                            continue;
+                        }
+                        let iy = iy - ph;
+                        for j in 0..w {
+                            let jx = j + dx;
+                            if jx < pw || jx - pw >= w {
+                                continue;
+                            }
+                            gi[(ic * h + iy) * w + (jx - pw)] += kv * go[(oc * h + i) * w + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(gi, &[in_c, h, w])
+}
+
+/// Gradient of the convolution with respect to its kernel.
+pub fn conv2d_grad_kernel(grad_out: &Tensor, input: &Tensor, kh: usize, kw: usize) -> Tensor {
+    let (out_c, h, w) = (grad_out.dim(0), grad_out.dim(1), grad_out.dim(2));
+    let in_c = input.dim(0);
+    assert_eq!(input.dim(1), h, "spatial mismatch");
+    assert_eq!(input.dim(2), w, "spatial mismatch");
+    let (ph, pw) = (kh / 2, kw / 2);
+
+    let go = grad_out.as_slice();
+    let x = input.as_slice();
+    let mut gk = vec![0.0f32; out_c * in_c * kh * kw];
+
+    for oc in 0..out_c {
+        for ic in 0..in_c {
+            let kbase = ((oc * in_c) + ic) * kh * kw;
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    let mut acc = 0.0f32;
+                    for i in 0..h {
+                        let iy = i + dy;
+                        if iy < ph || iy - ph >= h {
+                            continue;
+                        }
+                        let iy = iy - ph;
+                        for j in 0..w {
+                            let jx = j + dx;
+                            if jx < pw || jx - pw >= w {
+                                continue;
+                            }
+                            acc += go[(oc * h + i) * w + j] * x[(ic * h + iy) * w + (jx - pw)];
+                        }
+                    }
+                    gk[kbase + dy * kw + dx] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(gk, &[out_c, in_c, kh, kw])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference (slow, obviously-correct) forward used to validate the
+    /// optimized loops above.
+    fn conv2d_reference(input: &Tensor, kernel: &Tensor) -> Tensor {
+        let (in_c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+        let (out_c, _, kh, kw) = (kernel.dim(0), kernel.dim(1), kernel.dim(2), kernel.dim(3));
+        let (ph, pw) = (kh as isize / 2, kw as isize / 2);
+        let mut out = Tensor::zeros(&[out_c, h, w]);
+        for oc in 0..out_c {
+            for i in 0..h as isize {
+                for j in 0..w as isize {
+                    let mut acc = 0.0;
+                    for ic in 0..in_c {
+                        for dy in 0..kh as isize {
+                            for dx in 0..kw as isize {
+                                let (iy, jx) = (i + dy - ph, j + dx - pw);
+                                if iy < 0 || iy >= h as isize || jx < 0 || jx >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at(&[ic, iy as usize, jx as usize])
+                                    * kernel.at(&[oc, ic, dy as usize, dx as usize]);
+                            }
+                        }
+                    }
+                    *out.at_mut(&[oc, i as usize, j as usize]) = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_t(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = deepod_tensor::rng_from_seed(seed);
+        Tensor::rand_uniform(dims, -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn forward_matches_reference_3x1() {
+        let x = rand_t(&[1, 5, 4], 1);
+        let k = rand_t(&[4, 1, 3, 1], 2);
+        let fast = conv2d_forward(&x, &k);
+        let slow = conv2d_reference(&x, &k);
+        deepod_tensor::assert_close(fast.as_slice(), slow.as_slice(), 1e-5);
+    }
+
+    #[test]
+    fn forward_matches_reference_1x1() {
+        let x = rand_t(&[8, 3, 6], 3);
+        let k = rand_t(&[1, 8, 1, 1], 4);
+        let fast = conv2d_forward(&x, &k);
+        let slow = conv2d_reference(&x, &k);
+        deepod_tensor::assert_close(fast.as_slice(), slow.as_slice(), 1e-5);
+    }
+
+    #[test]
+    fn forward_matches_reference_3x3() {
+        let x = rand_t(&[2, 6, 6], 5);
+        let k = rand_t(&[3, 2, 3, 3], 6);
+        let fast = conv2d_forward(&x, &k);
+        let slow = conv2d_reference(&x, &k);
+        deepod_tensor::assert_close(fast.as_slice(), slow.as_slice(), 1e-5);
+    }
+
+    #[test]
+    fn single_row_input_with_3x1_kernel() {
+        // Δd = 1 intervals are the common case in DeepOD: the 3×1 kernel
+        // only sees the center tap.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]);
+        let mut k = Tensor::zeros(&[1, 1, 3, 1]);
+        *k.at_mut(&[0, 0, 0, 0]) = 10.0; // top tap: zero-padded out
+        *k.at_mut(&[0, 0, 1, 0]) = 2.0; // center tap
+        *k.at_mut(&[0, 0, 2, 0]) = 10.0; // bottom tap: zero-padded out
+        let y = conv2d_forward(&x, &k);
+        assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn grad_input_matches_finite_difference() {
+        let x = rand_t(&[2, 4, 3], 7);
+        let k = rand_t(&[3, 2, 3, 1], 8);
+        let go = rand_t(&[3, 4, 3], 9);
+        let gi = conv2d_grad_input(&go, &k);
+
+        let eps = 1e-2f32;
+        for idx in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp = conv2d_forward(&xp, &k).dot(&go);
+            let fm = conv2d_forward(&xm, &k).dot(&go);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - gi.as_slice()[idx]).abs() < 1e-2,
+                "input grad {idx}: fd {fd} vs {}",
+                gi.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_kernel_matches_finite_difference() {
+        let x = rand_t(&[2, 4, 3], 10);
+        let k = rand_t(&[2, 2, 3, 1], 11);
+        let go = rand_t(&[2, 4, 3], 12);
+        let gk = conv2d_grad_kernel(&go, &x, 3, 1);
+
+        let eps = 1e-2f32;
+        for idx in 0..k.numel() {
+            let mut kp = k.clone();
+            kp.as_mut_slice()[idx] += eps;
+            let mut km = k.clone();
+            km.as_mut_slice()[idx] -= eps;
+            let fp = conv2d_forward(&x, &kp).dot(&go);
+            let fm = conv2d_forward(&x, &km).dot(&go);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - gk.as_slice()[idx]).abs() < 1e-2,
+                "kernel grad {idx}: fd {fd} vs {}",
+                gk.as_slice()[idx]
+            );
+        }
+    }
+}

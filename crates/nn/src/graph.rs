@@ -1,0 +1,418 @@
+//! The define-by-run computation tape.
+//!
+//! A [`Graph`] records every operation of one forward pass as a node;
+//! [`Graph::backward`](crate::Graph::backward) (implemented in the
+//! `backward` module) replays the tape in reverse to produce parameter
+//! gradients. Graphs are cheap to build and are thrown away after each
+//! minibatch sample.
+
+use crate::param::{ParamId, ParamStore};
+use deepod_tensor::Tensor;
+use std::rc::Rc;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VarId(pub(crate) usize);
+
+/// Operation tag recorded per node; carries whatever metadata the backward
+/// pass needs beyond the parent values.
+#[derive(Debug)]
+pub(crate) enum Op {
+    /// Leaf constant — no gradient flows past it.
+    Input,
+    /// Leaf bound to a parameter in the store.
+    Param(ParamId),
+    Add,
+    Sub,
+    Mul,
+    Neg,
+    Scale(f32),
+    /// Matrix product `[m,k] x [k,n]`.
+    MatMul,
+    /// Adds a `[n]` bias to every row of a `[m,n]` matrix.
+    AddBiasRows,
+    Sigmoid,
+    Tanh,
+    Relu,
+    Abs,
+    Sqrt,
+    /// Concatenation of rank-1 parents; stores each part's length.
+    ConcatVecs(Vec<usize>),
+    /// Stacks rank-1 parents of equal length into a matrix.
+    StackRows,
+    /// Column mean of a matrix (`[r,c] -> [c]`, the paper's avg pooling).
+    MeanRows,
+    SumAll,
+    MeanAll,
+    /// Shape change with identical element count; stores the input dims.
+    Reshape(Vec<usize>),
+    /// Row gather from a `[n,d]` matrix; stores the looked-up row indices.
+    Gather(Vec<usize>),
+    /// Same-padded stride-1 conv; parents are (input, kernel).
+    Conv2d { kh: usize, kw: usize },
+    /// Channel-wise affine normalization `(x - mu) / sqrt(var + eps)`
+    /// followed by `gamma * xhat + beta`; parents are (input, gamma, beta)
+    /// and mu/var are captured constants (running statistics — see
+    /// DESIGN.md §2.1 for why).
+    BatchNorm { mu: Vec<f32>, var: Vec<f32>, eps: f32 },
+}
+
+pub(crate) struct Node {
+    pub value: Rc<Tensor>,
+    pub op: Op,
+    pub parents: Vec<VarId>,
+}
+
+/// A recorded forward computation.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Number of recorded nodes (useful in tests and perf diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The tensor value of a node.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, parents: Vec<VarId>) -> VarId {
+        self.push_rc(Rc::new(value), op, parents)
+    }
+
+    fn push_rc(&mut self, value: Rc<Tensor>, op: Op, parents: Vec<VarId>) -> VarId {
+        let id = VarId(self.nodes.len());
+        self.nodes.push(Node { value, op, parents });
+        id
+    }
+
+    /// Records a constant leaf.
+    pub fn input(&mut self, value: Tensor) -> VarId {
+        self.push(value, Op::Input, vec![])
+    }
+
+    /// Records a scalar constant leaf.
+    pub fn constant(&mut self, v: f32) -> VarId {
+        self.input(Tensor::scalar(v))
+    }
+
+    /// Records a leaf bound to `store[id]`; gradients reaching it are
+    /// accumulated for the optimizer.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        self.push_rc(store.value_rc(id), Op::Param(id), vec![])
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add, vec![a, b])
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub, vec![a, b])
+    }
+
+    /// Element-wise product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul, vec![a, b])
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).scale(-1.0);
+        self.push(v, Op::Neg, vec![a])
+    }
+
+    /// Multiplication by a compile-time scalar.
+    pub fn scale(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(s), vec![a])
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul, vec![a, b])
+    }
+
+    /// `W x + b` for a rank-1 `x`: the fully-connected primitive. `w` is
+    /// `[out, in]`, `x` is `[in]`, `b` is `[out]`.
+    pub fn linear(&mut self, w: VarId, x: VarId, b: VarId) -> VarId {
+        let n = self.value(x).numel();
+        let xm = self.reshape(x, &[n, 1]);
+        let wx = self.matmul(w, xm);
+        let out = self.value(wx).dim(0);
+        let wxv = self.reshape(wx, &[out]);
+        self.add(wxv, b)
+    }
+
+    /// Adds a `[n]` bias vector to every row of a `[m,n]` matrix.
+    pub fn add_bias_rows(&mut self, m: VarId, bias: VarId) -> VarId {
+        let (rows, cols) = (self.value(m).dim(0), self.value(m).dim(1));
+        assert_eq!(self.value(bias).numel(), cols, "bias length mismatch");
+        let mut v = self.value(m).clone();
+        for r in 0..rows {
+            let row = v.row_mut(r);
+            for (x, &b) in row.iter_mut().zip(self.value(bias).as_slice()) {
+                *x += b;
+            }
+        }
+        self.push(v, Op::AddBiasRows, vec![m, bias])
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid, vec![a])
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh, vec![a])
+    }
+
+    /// Rectified linear unit (Eq. 9).
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu, vec![a])
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::abs);
+        self.push(v, Op::Abs, vec![a])
+    }
+
+    /// Element-wise square root; inputs must be non-negative.
+    pub fn sqrt(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::sqrt);
+        self.push(v, Op::Sqrt, vec![a])
+    }
+
+    /// Concatenates rank-1 vectors.
+    pub fn concat(&mut self, parts: &[VarId]) -> VarId {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let lens: Vec<usize> = tensors.iter().map(|t| t.numel()).collect();
+        let v = Tensor::concat_vecs(&tensors);
+        self.push(v, Op::ConcatVecs(lens), parts.to_vec())
+    }
+
+    /// Stacks equal-length rank-1 vectors into a `[rows, cols]` matrix.
+    pub fn stack_rows(&mut self, parts: &[VarId]) -> VarId {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::stack_rows(&tensors);
+        self.push(v, Op::StackRows, parts.to_vec())
+    }
+
+    /// Column-wise mean (`[r,c] -> [c]`): the avg pooling of Eq. 10.
+    pub fn mean_rows(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).mean_rows();
+        self.push(v, Op::MeanRows, vec![a])
+    }
+
+    /// Sum of all elements, producing a scalar node.
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll, vec![a])
+    }
+
+    /// Mean of all elements, producing a scalar node.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll, vec![a])
+    }
+
+    /// Reshape (element count preserved).
+    pub fn reshape(&mut self, a: VarId, dims: &[usize]) -> VarId {
+        let old = self.value(a).dims().to_vec();
+        let v = self.value(a).reshape(dims);
+        self.push(v, Op::Reshape(old), vec![a])
+    }
+
+    /// Gathers rows `indices` from a `[n,d]` matrix into a `[k,d]` matrix —
+    /// the embedding lookup of §4.1/§4.2 (one-hot × W without materializing
+    /// the one-hot).
+    pub fn gather(&mut self, matrix: VarId, indices: &[usize]) -> VarId {
+        let m = self.value(matrix);
+        assert_eq!(m.rank(), 2, "gather source must be a matrix");
+        let d = m.dim(1);
+        let n = m.dim(0);
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            assert!(i < n, "gather index {i} out of range ({n} rows)");
+            data.extend_from_slice(m.row(i));
+        }
+        let v = Tensor::from_vec(data, &[indices.len(), d]);
+        self.push(v, Op::Gather(indices.to_vec()), vec![matrix])
+    }
+
+    /// Gathers a single row as a rank-1 vector.
+    pub fn gather_row(&mut self, matrix: VarId, index: usize) -> VarId {
+        let g = self.gather(matrix, &[index]);
+        let d = self.value(g).dim(1);
+        self.reshape(g, &[d])
+    }
+
+    /// Same-padded stride-1 2-D convolution; `input` is `[in_c,h,w]`,
+    /// `kernel` is `[out_c,in_c,kh,kw]`.
+    pub fn conv2d(&mut self, input: VarId, kernel: VarId) -> VarId {
+        let (kh, kw) = (self.value(kernel).dim(2), self.value(kernel).dim(3));
+        let v = crate::conv::conv2d_forward(self.value(input), self.value(kernel));
+        self.push(v, Op::Conv2d { kh, kw }, vec![input, kernel])
+    }
+
+    /// Channel-wise batch normalization of a `[c,h,w]` tensor using the
+    /// supplied per-channel statistics (running stats in this codebase —
+    /// see DESIGN.md), with learnable `gamma`/`beta` of shape `[c]`.
+    pub fn batch_norm(
+        &mut self,
+        input: VarId,
+        gamma: VarId,
+        beta: VarId,
+        mu: &[f32],
+        var: &[f32],
+        eps: f32,
+    ) -> VarId {
+        let x = self.value(input);
+        assert_eq!(x.rank(), 3, "batch_norm input must be [c,h,w]");
+        let c = x.dim(0);
+        assert_eq!(mu.len(), c, "mu length mismatch");
+        assert_eq!(var.len(), c, "var length mismatch");
+        assert_eq!(self.value(gamma).numel(), c, "gamma length mismatch");
+        assert_eq!(self.value(beta).numel(), c, "beta length mismatch");
+        let hw = x.dim(1) * x.dim(2);
+        let g = self.value(gamma).as_slice().to_vec();
+        let b = self.value(beta).as_slice().to_vec();
+        let mut out = x.clone();
+        for ch in 0..c {
+            let inv_std = 1.0 / (var[ch] + eps).sqrt();
+            let slice = &mut out.as_mut_slice()[ch * hw..(ch + 1) * hw];
+            for v in slice {
+                *v = g[ch] * ((*v - mu[ch]) * inv_std) + b[ch];
+            }
+        }
+        self.push(
+            out,
+            Op::BatchNorm { mu: mu.to_vec(), var: var.to_vec(), eps },
+            vec![input, gamma, beta],
+        )
+    }
+
+    // ----- composite losses -----
+
+    /// Mean absolute error between two same-shape nodes (the paper's main
+    /// loss, Alg. 1 line 11).
+    pub fn mean_abs_error(&mut self, pred: VarId, target: VarId) -> VarId {
+        let d = self.sub(pred, target);
+        let a = self.abs(d);
+        self.mean_all(a)
+    }
+
+    /// Euclidean distance `||a - b||₂` between two same-shape nodes (the
+    /// auxiliary loss binding `code` to `stcode`, Alg. 1 line 10).
+    pub fn euclidean_distance(&mut self, a: VarId, b: VarId) -> VarId {
+        let d = self.sub(a, b);
+        let sq = self.mul(d, d);
+        let s = self.sum_all(sq);
+        // Guard the sqrt against a zero input (derivative would be inf).
+        let eps = self.constant(1e-8);
+        let s = self.add(s, eps);
+        self.sqrt(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(vec![1.0, -2.0], &[2]));
+        let b = g.input(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let s = g.add(a, b);
+        assert_eq!(g.value(s).as_slice(), &[4.0, 2.0]);
+        let r = g.relu(a);
+        assert_eq!(g.value(r).as_slice(), &[1.0, 0.0]);
+        let m = g.mul(a, b);
+        assert_eq!(g.value(m).as_slice(), &[3.0, -8.0]);
+    }
+
+    #[test]
+    fn linear_matches_manual() {
+        let mut g = Graph::new();
+        let w = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let x = g.input(Tensor::from_vec(vec![5.0, 6.0], &[2]));
+        let b = g.input(Tensor::from_vec(vec![0.5, -0.5], &[2]));
+        let y = g.linear(w, x, b);
+        assert_eq!(g.value(y).as_slice(), &[17.5, 38.5]);
+    }
+
+    #[test]
+    fn gather_rows() {
+        let mut g = Graph::new();
+        let m = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let picked = g.gather(m, &[2, 0]);
+        assert_eq!(g.value(picked).dims(), &[2, 2]);
+        assert_eq!(g.value(picked).as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+        let row = g.gather_row(m, 1);
+        assert_eq!(g.value(row).as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_and_stack_shapes() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = g.input(Tensor::from_vec(vec![3.0], &[1]));
+        let c = g.concat(&[&a, &b].map(|v| *v));
+        assert_eq!(g.value(c).as_slice(), &[1.0, 2.0, 3.0]);
+
+        let d = g.input(Tensor::from_vec(vec![4.0, 5.0], &[2]));
+        let m = g.stack_rows(&[a, d]);
+        assert_eq!(g.value(m).dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn batch_norm_normalizes() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 2, 2]));
+        let gamma = g.input(Tensor::ones(&[1]));
+        let beta = g.input(Tensor::zeros(&[1]));
+        let y = g.batch_norm(x, gamma, beta, &[5.0], &[5.0], 0.0);
+        let inv = 1.0 / 5.0f32.sqrt();
+        deepod_tensor::assert_close(
+            g.value(y).as_slice(),
+            &[-3.0 * inv, -1.0 * inv, 1.0 * inv, 3.0 * inv],
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn losses() {
+        let mut g = Graph::new();
+        let p = g.input(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let t = g.input(Tensor::from_vec(vec![2.0, 4.0], &[2]));
+        let mae = g.mean_abs_error(p, t);
+        assert_eq!(g.value(mae).item(), 1.5);
+        let eu = g.euclidean_distance(p, t);
+        deepod_tensor::assert_close(&[g.value(eu).item()], &[5.0f32.sqrt()], 1e-3);
+    }
+}

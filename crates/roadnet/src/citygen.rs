@@ -1,0 +1,258 @@
+//! Synthetic city generator — the substitution for the paper's
+//! OpenStreetMap extracts (CRN/XRN/BRN, §6.1).
+//!
+//! Cities are irregular lattices: a grid of intersections with jittered
+//! positions, a ring-and-spine of arterials, a sparse highway skeleton, and
+//! randomly removed local streets so the graph is not a perfect grid. All
+//! edges are bidirectional (two directed segments) except a fraction of
+//! one-way locals, mirroring real urban networks.
+
+use crate::geometry::Point;
+use crate::graph::{NodeId, RoadClass, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Named profiles mirroring the paper's three datasets at laptop scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CityProfile {
+    /// Analogue of Chengdu (CRN): mid-size, dense trips.
+    SynthChengdu,
+    /// Analogue of Xi'an (XRN): slightly larger network, fewer trips.
+    SynthXian,
+    /// Analogue of Beijing (BRN): the largest network, longest trips.
+    SynthBeijing,
+}
+
+/// Parameters of the generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// Intersections along x.
+    pub grid_x: usize,
+    /// Intersections along y.
+    pub grid_y: usize,
+    /// Block edge length in meters.
+    pub block: f64,
+    /// Std-dev of intersection position jitter, meters.
+    pub jitter: f64,
+    /// Probability of dropping a local street (irregularity).
+    pub drop_prob: f64,
+    /// Probability that a kept local street is one-way.
+    pub one_way_prob: f64,
+    /// Every `arterial_every`-th row/column is an arterial.
+    pub arterial_every: usize,
+    /// A river runs between grid rows `river_row` and `river_row + 1`
+    /// (when `Some`): only every `bridge_every`-th column crosses it.
+    /// Real cities' waterways are what make network distance deviate
+    /// sharply from straight-line distance.
+    pub river_row: Option<usize>,
+    /// Column stride between bridges over the river.
+    pub bridge_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CityConfig {
+    /// Config for a named profile. Sizes are scaled so experiments run on a
+    /// single CPU core; relative ordering follows the paper (BRN ≫ CRN ≈
+    /// XRN; XRN slightly larger than CRN).
+    pub fn profile(p: CityProfile) -> Self {
+        match p {
+            CityProfile::SynthChengdu => CityConfig {
+                grid_x: 12,
+                grid_y: 12,
+                block: 400.0,
+                jitter: 45.0,
+                drop_prob: 0.08,
+                one_way_prob: 0.10,
+                arterial_every: 4,
+                river_row: Some(5),
+                bridge_every: 4,
+                seed: 0xC4E6_0001,
+            },
+            CityProfile::SynthXian => CityConfig {
+                grid_x: 14,
+                grid_y: 13,
+                block: 420.0,
+                jitter: 50.0,
+                drop_prob: 0.10,
+                one_way_prob: 0.12,
+                arterial_every: 4,
+                river_row: Some(6),
+                bridge_every: 5,
+                seed: 0x71A6_0002,
+            },
+            CityProfile::SynthBeijing => CityConfig {
+                grid_x: 22,
+                grid_y: 20,
+                block: 500.0,
+                jitter: 55.0,
+                drop_prob: 0.09,
+                one_way_prob: 0.10,
+                arterial_every: 5,
+                river_row: Some(9),
+                bridge_every: 5,
+                seed: 0xBE11_0003,
+            },
+        }
+    }
+
+    /// Generates the road network for this config.
+    pub fn generate(&self) -> RoadNetwork {
+        let mut rng = deepod_tensor::rng_from_seed(self.seed);
+        let mut net = RoadNetwork::new();
+        let (gx, gy) = (self.grid_x, self.grid_y);
+        assert!(gx >= 2 && gy >= 2, "grid must be at least 2x2");
+
+        // Intersections with jitter.
+        let mut ids: Vec<NodeId> = Vec::with_capacity(gx * gy);
+        for y in 0..gy {
+            for x in 0..gx {
+                let jx: f64 = rng.gen_range(-self.jitter..=self.jitter);
+                let jy: f64 = rng.gen_range(-self.jitter..=self.jitter);
+                let p = Point::new(x as f64 * self.block + jx, y as f64 * self.block + jy);
+                ids.push(net.add_node(p));
+            }
+        }
+        let at = |x: usize, y: usize| ids[y * gx + x];
+
+        let class_for = |x: usize, y: usize, horizontal: bool| -> RoadClass {
+            let on_arterial = if horizontal {
+                y % self.arterial_every == 0
+            } else {
+                x % self.arterial_every == 0
+            };
+            // Outer ring is a highway.
+            let on_ring = if horizontal { y == 0 || y == gy - 1 } else { x == 0 || x == gx - 1 };
+            if on_ring {
+                RoadClass::Highway
+            } else if on_arterial {
+                RoadClass::Arterial
+            } else if (x + y) % 3 == 0 {
+                RoadClass::Collector
+            } else {
+                RoadClass::Local
+            }
+        };
+
+        let add_street =
+            |net: &mut RoadNetwork, rng: &mut StdRng, a: NodeId, b: NodeId, class: RoadClass| {
+                let droppable = matches!(class, RoadClass::Local | RoadClass::Collector);
+                if droppable && rng.gen_bool(self.drop_prob) {
+                    return;
+                }
+                net.add_edge(a, b, class);
+                let one_way = droppable && rng.gen_bool(self.one_way_prob);
+                if !one_way {
+                    net.add_edge(b, a, class);
+                }
+            };
+
+        for y in 0..gy {
+            for x in 0..gx {
+                if x + 1 < gx {
+                    add_street(&mut net, &mut rng, at(x, y), at(x + 1, y), class_for(x, y, true));
+                }
+                if y + 1 < gy {
+                    // The river blocks all north-south streets between
+                    // river_row and river_row+1 except bridge columns.
+                    let blocked = self
+                        .river_row
+                        .is_some_and(|r| y == r && x % self.bridge_every.max(1) != 0);
+                    if blocked {
+                        continue;
+                    }
+                    let class = if self.river_row == Some(y) {
+                        RoadClass::Arterial // bridges are arterials
+                    } else {
+                        class_for(x, y, false)
+                    };
+                    add_street(&mut net, &mut rng, at(x, y), at(x, y + 1), class);
+                }
+            }
+        }
+
+        // A couple of diagonal expressways through the center for route
+        // diversity (so the fastest path is not always the Manhattan one).
+        let step = self.arterial_every.max(2);
+        let mut d = 1;
+        while d + step < gx.min(gy) {
+            let crosses_river =
+                self.river_row.is_some_and(|r| d <= r && r < d + step);
+            if !crosses_river {
+                net.add_edge(at(d, d), at(d + step, d + step), RoadClass::Highway);
+                net.add_edge(at(d + step, d + step), at(d, d), RoadClass::Highway);
+            }
+            d += step;
+        }
+
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::Router;
+
+    #[test]
+    fn profiles_generate_expected_scale() {
+        let crn = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let xrn = CityConfig::profile(CityProfile::SynthXian).generate();
+        let brn = CityConfig::profile(CityProfile::SynthBeijing).generate();
+        assert!(crn.num_edges() > 300, "CRN edges {}", crn.num_edges());
+        assert!(xrn.num_edges() > crn.num_edges(), "XRN should be larger than CRN");
+        assert!(brn.num_edges() > 2 * crn.num_edges(), "BRN should dwarf CRN");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let b = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.edge(crate::EdgeId(5)).from, b.edge(crate::EdgeId(5)).from);
+    }
+
+    #[test]
+    fn strongly_connected_enough_for_routing() {
+        // The ring is never dropped, so any two ring-adjacent corners must
+        // be mutually reachable; sample a few random node pairs too.
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let r = Router::new(&net);
+        let mut rng = deepod_tensor::rng_from_seed(9);
+        let mut ok = 0;
+        let trials = 40;
+        for _ in 0..trials {
+            let a = NodeId(rand::Rng::gen_range(&mut rng, 0..net.num_nodes()) as u32);
+            let b = NodeId(rand::Rng::gen_range(&mut rng, 0..net.num_nodes()) as u32);
+            if r.shortest_by_distance(a, b).is_some() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials * 9 / 10, "only {ok}/{trials} routable pairs");
+    }
+
+    #[test]
+    fn has_all_road_classes() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut seen = std::collections::HashSet::new();
+        for e in net.edges() {
+            seen.insert(e.class);
+        }
+        assert!(seen.contains(&RoadClass::Highway));
+        assert!(seen.contains(&RoadClass::Arterial));
+        assert!(seen.contains(&RoadClass::Local));
+    }
+
+    #[test]
+    fn edge_lengths_reasonable() {
+        let cfg = CityConfig::profile(CityProfile::SynthChengdu);
+        let net = cfg.generate();
+        for e in net.edges() {
+            assert!(e.length > 0.0);
+            // Jittered blocks and diagonals: nothing should exceed ~6 blocks.
+            assert!(e.length < cfg.block * 6.0, "edge length {}", e.length);
+        }
+    }
+}

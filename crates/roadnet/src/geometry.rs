@@ -1,0 +1,114 @@
+//! Planar geometry: points in a local metric frame plus the point-to-segment
+//! projection used by map matching and by the OD-input matching step.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the city's local planar frame, in meters.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        let (dx, dy) = (self.x - other.x, self.y - other.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared distance (avoids the sqrt in comparisons).
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let (dx, dy) = (self.x - other.x, self.y - other.y);
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+}
+
+/// Result of projecting a point onto a segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegmentProjection {
+    /// Closest point on the segment.
+    pub point: Point,
+    /// Parameter along the segment in `[0, 1]` (0 = start, 1 = end).
+    pub t: f64,
+    /// Distance from the query point to `point`.
+    pub distance: f64,
+}
+
+/// Projects `p` onto the segment `a -> b`.
+pub fn project_onto_segment(p: &Point, a: &Point, b: &Point) -> SegmentProjection {
+    let (abx, aby) = (b.x - a.x, b.y - a.y);
+    let len2 = abx * abx + aby * aby;
+    let t = if len2 <= f64::EPSILON {
+        0.0
+    } else {
+        (((p.x - a.x) * abx + (p.y - a.y) * aby) / len2).clamp(0.0, 1.0)
+    };
+    let point = a.lerp(b, t);
+    SegmentProjection { point, t, distance: p.dist(&point) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        assert!((a.dist2(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn projection_interior() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let p = Point::new(4.0, 3.0);
+        let pr = project_onto_segment(&p, &a, &b);
+        assert!((pr.t - 0.4).abs() < 1e-12);
+        assert!((pr.distance - 3.0).abs() < 1e-12);
+        assert_eq!(pr.point, Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let before = project_onto_segment(&Point::new(-5.0, 1.0), &a, &b);
+        assert_eq!(before.t, 0.0);
+        assert_eq!(before.point, a);
+        let after = project_onto_segment(&Point::new(15.0, 1.0), &a, &b);
+        assert_eq!(after.t, 1.0);
+        assert_eq!(after.point, b);
+    }
+
+    #[test]
+    fn projection_degenerate_segment() {
+        let a = Point::new(2.0, 2.0);
+        let pr = project_onto_segment(&Point::new(5.0, 6.0), &a, &a);
+        assert_eq!(pr.t, 0.0);
+        assert!((pr.distance - 5.0).abs() < 1e-12);
+    }
+}

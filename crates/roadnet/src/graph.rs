@@ -1,0 +1,286 @@
+//! The directed, weighted road-network graph of §2: vertices are road-segment
+//! end points, edges are road segments.
+
+use crate::geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// Index of a vertex in a [`RoadNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of a directed road segment in a [`RoadNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Index as usize.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Index as usize.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Functional class of a road segment; drives free-flow speed and congestion
+/// sensitivity in the traffic model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RoadClass {
+    /// Grade-separated, high speed.
+    Highway,
+    /// Major urban road.
+    Arterial,
+    /// Connector between arterials and locals.
+    Collector,
+    /// Residential / service street.
+    Local,
+}
+
+impl RoadClass {
+    /// Free-flow speed in m/s for this class.
+    pub fn free_flow_speed(self) -> f64 {
+        match self {
+            RoadClass::Highway => 27.8,   // ~100 km/h
+            RoadClass::Arterial => 16.7,  // ~60 km/h
+            RoadClass::Collector => 11.1, // ~40 km/h
+            RoadClass::Local => 8.3,      // ~30 km/h
+        }
+    }
+
+    /// How strongly rush-hour congestion slows this class down (multiplier
+    /// on the congestion term; highways congest hardest in relative terms).
+    pub fn congestion_sensitivity(self) -> f64 {
+        match self {
+            RoadClass::Highway => 1.0,
+            RoadClass::Arterial => 0.85,
+            RoadClass::Collector => 0.6,
+            RoadClass::Local => 0.4,
+        }
+    }
+}
+
+/// A vertex: an end point of one or more road segments.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadNode {
+    /// Planar position.
+    pub pos: Point,
+}
+
+/// A directed road segment `⟨v¹ → v⁻¹, w⟩`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadEdge {
+    /// First end point (the paper's v¹).
+    pub from: NodeId,
+    /// Last end point (the paper's v⁻¹).
+    pub to: NodeId,
+    /// Length in meters (the weight w in §2).
+    pub length: f64,
+    /// Functional class.
+    pub class: RoadClass,
+}
+
+/// A directed, weighted road network `G = ⟨V, E⟩`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    nodes: Vec<RoadNode>,
+    edges: Vec<RoadEdge>,
+    /// Outgoing edge ids per node.
+    out_edges: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per node.
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl RoadNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex and returns its id.
+    pub fn add_node(&mut self, pos: Point) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(RoadNode { pos });
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed road segment; its length is the Euclidean distance
+    /// between the end points.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, class: RoadClass) -> EdgeId {
+        let length = self.nodes[from.idx()].pos.dist(&self.nodes[to.idx()].pos);
+        self.add_edge_with_length(from, to, class, length)
+    }
+
+    /// Adds a directed road segment with an explicit length (e.g. a curved
+    /// road longer than the straight-line distance).
+    pub fn add_edge_with_length(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: RoadClass,
+        length: f64,
+    ) -> EdgeId {
+        assert!(from.idx() < self.nodes.len(), "from node out of range");
+        assert!(to.idx() < self.nodes.len(), "to node out of range");
+        assert!(length >= 0.0, "negative edge length");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(RoadEdge { from, to, length, class });
+        self.out_edges[from.idx()].push(id);
+        self.in_edges[to.idx()].push(id);
+        id
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed road segments.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertex accessor.
+    pub fn node(&self, id: NodeId) -> &RoadNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// Edge accessor.
+    pub fn edge(&self, id: EdgeId) -> &RoadEdge {
+        &self.edges[id.idx()]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[RoadEdge] {
+        &self.edges
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[RoadNode] {
+        &self.nodes
+    }
+
+    /// Outgoing edges of a vertex.
+    pub fn out_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.out_edges[id.idx()]
+    }
+
+    /// Incoming edges of a vertex.
+    pub fn in_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.in_edges[id.idx()]
+    }
+
+    /// Geometric midpoint of an edge (used when an edge stands in for a
+    /// matched GPS point).
+    pub fn edge_midpoint(&self, id: EdgeId) -> Point {
+        let e = self.edge(id);
+        self.node(e.from).pos.lerp(&self.node(e.to).pos, 0.5)
+    }
+
+    /// Point at fraction `t ∈ [0,1]` along an edge.
+    pub fn point_on_edge(&self, id: EdgeId, t: f64) -> Point {
+        let e = self.edge(id);
+        self.node(e.from).pos.lerp(&self.node(e.to).pos, t.clamp(0.0, 1.0))
+    }
+
+    /// Edges whose head is the tail of `next`, i.e. `e.to == next.from`
+    /// (adjacency in the paper's Fig. 4 sense).
+    pub fn edges_are_consecutive(&self, prev: EdgeId, next: EdgeId) -> bool {
+        self.edge(prev).to == self.edge(next).from
+    }
+
+    /// Bounding box `(min, max)` over all node positions. Panics on an empty
+    /// network.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        assert!(!self.nodes.is_empty(), "bounding box of empty network");
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for n in &self.nodes {
+            min.x = min.x.min(n.pos.x);
+            min.y = min.y.min(n.pos.y);
+            max.x = max.x.max(n.pos.x);
+            max.y = max.y.max(n.pos.y);
+        }
+        (min, max)
+    }
+
+    /// Total length of all road segments in meters.
+    pub fn total_length(&self) -> f64 {
+        self.edges.iter().map(|e| e.length).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (RoadNetwork, Vec<NodeId>, Vec<EdgeId>) {
+        let mut g = RoadNetwork::new();
+        let a = g.add_node(Point::new(0.0, 0.0));
+        let b = g.add_node(Point::new(100.0, 0.0));
+        let c = g.add_node(Point::new(100.0, 100.0));
+        let e0 = g.add_edge(a, b, RoadClass::Arterial);
+        let e1 = g.add_edge(b, c, RoadClass::Local);
+        let e2 = g.add_edge(b, a, RoadClass::Arterial);
+        (g, vec![a, b, c], vec![e0, e1, e2])
+    }
+
+    #[test]
+    fn construction_and_adjacency() {
+        let (g, ns, es) = tiny();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_edges(ns[1]), &[es[1], es[2]]);
+        assert_eq!(g.in_edges(ns[0]), &[es[2]]);
+        assert!((g.edge(es[0]).length - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consecutive_edges() {
+        let (g, _, es) = tiny();
+        assert!(g.edges_are_consecutive(es[0], es[1]));
+        assert!(g.edges_are_consecutive(es[0], es[2]));
+        assert!(!g.edges_are_consecutive(es[1], es[0]));
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let (g, _, es) = tiny();
+        let mid = g.edge_midpoint(es[0]);
+        assert_eq!(mid, Point::new(50.0, 0.0));
+        let q = g.point_on_edge(es[1], 0.25);
+        assert_eq!(q, Point::new(100.0, 25.0));
+        // Clamping.
+        assert_eq!(g.point_on_edge(es[1], 2.0), Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn bounding_box_and_total_length() {
+        let (g, _, _) = tiny();
+        let (min, max) = g.bounding_box();
+        assert_eq!(min, Point::new(0.0, 0.0));
+        assert_eq!(max, Point::new(100.0, 100.0));
+        assert!((g.total_length() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn road_class_speeds_ordered() {
+        assert!(RoadClass::Highway.free_flow_speed() > RoadClass::Arterial.free_flow_speed());
+        assert!(RoadClass::Arterial.free_flow_speed() > RoadClass::Collector.free_flow_speed());
+        assert!(RoadClass::Collector.free_flow_speed() > RoadClass::Local.free_flow_speed());
+    }
+
+    #[test]
+    fn explicit_length_edge() {
+        let mut g = RoadNetwork::new();
+        let a = g.add_node(Point::new(0.0, 0.0));
+        let b = g.add_node(Point::new(100.0, 0.0));
+        let e = g.add_edge_with_length(a, b, RoadClass::Local, 140.0);
+        assert_eq!(g.edge(e).length, 140.0);
+    }
+}

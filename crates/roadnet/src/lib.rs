@@ -1,0 +1,25 @@
+//! Road-network substrate for DeepOD: graph structures, a synthetic city
+//! generator (our stand-in for the OpenStreetMap extracts the paper uses),
+//! the edge-to-node "line graph" conversion of §4.1 (Fig. 4), shortest-path
+//! routing (static and time-dependent), and a uniform-grid spatial index
+//! used by map matching and the TEMP baseline.
+//!
+//! Geometry is planar: positions are meters in a local city frame, which
+//! keeps distance math exact and fast (the paper's cities span < 100 km, so
+//! a projected frame is what any production system would use internally).
+
+mod astar;
+mod citygen;
+mod geometry;
+mod graph;
+mod line_graph;
+mod routing;
+mod spatial;
+
+pub use astar::{alt_shortest_path, astar_shortest_path, Landmarks};
+pub use citygen::{CityConfig, CityProfile};
+pub use geometry::{Point, SegmentProjection};
+pub use graph::{EdgeId, NodeId, RoadClass, RoadEdge, RoadNetwork, RoadNode};
+pub use line_graph::{LineGraph, LineGraphEdge};
+pub use routing::{dijkstra_shortest_path, time_dependent_route, RoutePath, Router};
+pub use spatial::SpatialGrid;

@@ -1,0 +1,184 @@
+//! The edge-to-node graph conversion of §4.1 (Fig. 4): to embed *road
+//! segments* with node-embedding techniques (node2vec/DeepWalk/LINE), the
+//! road network is converted into a new graph whose nodes are the original
+//! directed edges, with a link `⟨v_ik, v_kj⟩` whenever segments `⟨v_i,v_k⟩`
+//! and `⟨v_k,v_j⟩` are consecutive. Link weights are the co-occurrence
+//! frequency of the two segments on the same historical trajectory.
+
+use crate::graph::{EdgeId, RoadNetwork};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A weighted directed link in the line graph.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LineGraphEdge {
+    /// Target node (a road segment id in the original network).
+    pub to: EdgeId,
+    /// Link weight (trajectory co-occurrence count, or 1 baseline).
+    pub weight: f64,
+}
+
+/// Line graph of the road network: one node per road segment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LineGraph {
+    /// Outgoing weighted links per road segment.
+    adj: Vec<Vec<LineGraphEdge>>,
+}
+
+impl LineGraph {
+    /// Builds the line graph with all structural links at weight
+    /// `base_weight` (the paper implicitly smooths unseen transitions: a
+    /// positive base weight keeps random walks able to traverse roads no
+    /// historical trajectory covered).
+    pub fn from_network(net: &RoadNetwork, base_weight: f64) -> Self {
+        let mut adj = vec![Vec::new(); net.num_edges()];
+        for (i, e) in net.edges().iter().enumerate() {
+            for &next in net.out_edges(e.to) {
+                // Skip immediate U-turns (the reverse directed edge): they
+                // are physically possible but pollute the embedding
+                // neighborhoods and essentially never appear in map-matched
+                // trajectories.
+                let ne = net.edge(next);
+                if ne.to == e.from && ne.from == e.to {
+                    continue;
+                }
+                adj[i].push(LineGraphEdge { to: next, weight: base_weight });
+            }
+        }
+        LineGraph { adj }
+    }
+
+    /// Builds the line graph and sets link weights from trajectory
+    /// co-occurrence counts: for every consecutive pair `(e_i, e_{i+1})` in
+    /// a historical trajectory's edge sequence, the link weight increases
+    /// by 1 (Fig. 4's example). Pairs not linked structurally are ignored.
+    pub fn from_trajectories<'a>(
+        net: &RoadNetwork,
+        trajectories: impl Iterator<Item = &'a [EdgeId]>,
+        base_weight: f64,
+    ) -> Self {
+        let mut g = Self::from_network(net, base_weight);
+        let mut counts: HashMap<(EdgeId, EdgeId), f64> = HashMap::new();
+        for traj in trajectories {
+            for w in traj.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0.0) += 1.0;
+            }
+        }
+        for ((from, to), c) in counts {
+            if let Some(link) = g.adj[from.idx()].iter_mut().find(|l| l.to == to) {
+                link.weight += c;
+            }
+        }
+        g
+    }
+
+    /// Number of nodes (road segments).
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Total number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing links of a segment-node.
+    pub fn neighbors(&self, id: EdgeId) -> &[LineGraphEdge] {
+        &self.adj[id.idx()]
+    }
+
+    /// The weight of the link `from -> to`, if present.
+    pub fn link_weight(&self, from: EdgeId, to: EdgeId) -> Option<f64> {
+        self.adj[from.idx()].iter().find(|l| l.to == to).map(|l| l.weight)
+    }
+
+    /// Nodes with no outgoing links (dead ends); useful to diagnose
+    /// generated cities.
+    pub fn num_sinks(&self) -> usize {
+        self.adj.iter().filter(|a| a.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::graph::RoadClass;
+
+    /// a -> b -> c plus b -> d, with reverse edges.
+    fn net() -> (RoadNetwork, Vec<EdgeId>) {
+        let mut g = RoadNetwork::new();
+        let a = g.add_node(Point::new(0.0, 0.0));
+        let b = g.add_node(Point::new(100.0, 0.0));
+        let c = g.add_node(Point::new(200.0, 0.0));
+        let d = g.add_node(Point::new(100.0, 100.0));
+        let e_ab = g.add_edge(a, b, RoadClass::Local);
+        let e_bc = g.add_edge(b, c, RoadClass::Local);
+        let e_bd = g.add_edge(b, d, RoadClass::Local);
+        let e_ba = g.add_edge(b, a, RoadClass::Local);
+        (g, vec![e_ab, e_bc, e_bd, e_ba])
+    }
+
+    #[test]
+    fn structural_links() {
+        let (g, es) = net();
+        let lg = LineGraph::from_network(&g, 1.0);
+        assert_eq!(lg.num_nodes(), 4);
+        // e_ab links to e_bc and e_bd, but NOT to e_ba (U-turn).
+        let n: Vec<EdgeId> = lg.neighbors(es[0]).iter().map(|l| l.to).collect();
+        assert!(n.contains(&es[1]));
+        assert!(n.contains(&es[2]));
+        assert!(!n.contains(&es[3]));
+    }
+
+    #[test]
+    fn co_occurrence_weights() {
+        let (g, es) = net();
+        // Two trajectories pass a->b->c, one passes a->b->d.
+        let t1 = vec![es[0], es[1]];
+        let t2 = vec![es[0], es[1]];
+        let t3 = vec![es[0], es[2]];
+        let lg = LineGraph::from_trajectories(
+            &g,
+            [t1.as_slice(), t2.as_slice(), t3.as_slice()].into_iter(),
+            1.0,
+        );
+        assert_eq!(lg.link_weight(es[0], es[1]), Some(3.0)); // base 1 + 2
+        assert_eq!(lg.link_weight(es[0], es[2]), Some(2.0)); // base 1 + 1
+    }
+
+    #[test]
+    fn unknown_link_ignored() {
+        let (g, es) = net();
+        // e_bc -> e_ab is not structurally consecutive (c has no out-edges).
+        let t = vec![es[1], es[0]];
+        let lg = LineGraph::from_trajectories(&g, [t.as_slice()].into_iter(), 1.0);
+        assert_eq!(lg.link_weight(es[1], es[0]), None);
+    }
+
+    #[test]
+    fn sinks_counted() {
+        let (g, _) = net();
+        let lg = LineGraph::from_network(&g, 1.0);
+        // e_bc and e_bd end at degree-0-out nodes; e_ba's only continuation
+        // is the U-turn back onto e_ab, which is excluded => 3 sinks.
+        assert_eq!(lg.num_sinks(), 3);
+    }
+
+    #[test]
+    fn paper_fig4_example_weighting() {
+        // Rebuild the Fig. 4 micro-example: edges (4,6) and (6,3) co-passed
+        // by two historical trajectories -> weight 2 on ⟨v46, v63⟩.
+        let mut g = RoadNetwork::new();
+        let v4 = g.add_node(Point::new(0.0, 0.0));
+        let v6 = g.add_node(Point::new(100.0, 0.0));
+        let v3 = g.add_node(Point::new(200.0, 0.0));
+        let e46 = g.add_edge(v4, v6, RoadClass::Local);
+        let e63 = g.add_edge(v6, v3, RoadClass::Local);
+        let t1 = vec![e46, e63];
+        let t2 = vec![e46, e63];
+        let lg =
+            LineGraph::from_trajectories(&g, [t1.as_slice(), t2.as_slice()].into_iter(), 0.0);
+        assert_eq!(lg.link_weight(e46, e63), Some(2.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Uniform-grid spatial index over road-segment geometry.
+//!
+//! Used by the HMM map matcher (candidate segment lookup per GPS point), by
+//! the OD-input matching step (snap an origin/destination point to its road
+//! segment), and by the TEMP baseline (nearby historical origins and
+//! destinations).
+
+use crate::geometry::{project_onto_segment, Point, SegmentProjection};
+use crate::graph::{EdgeId, RoadNetwork};
+
+/// A uniform grid over the network's bounding box, bucketing edge ids by the
+/// cells their segment passes through.
+#[derive(Clone, Debug)]
+pub struct SpatialGrid {
+    min: Point,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    buckets: Vec<Vec<EdgeId>>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid with the given cell size (meters) over `net`.
+    pub fn build(net: &RoadNetwork, cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        let (min, max) = net.bounding_box();
+        let nx = (((max.x - min.x) / cell).ceil() as usize).max(1);
+        let ny = (((max.y - min.y) / cell).ceil() as usize).max(1);
+        let mut grid = SpatialGrid { min, cell, nx, ny, buckets: vec![Vec::new(); nx * ny] };
+        for (i, e) in net.edges().iter().enumerate() {
+            let id = EdgeId(i as u32);
+            let a = net.node(e.from).pos;
+            let b = net.node(e.to).pos;
+            // Walk the segment at half-cell resolution and insert into every
+            // cell touched; cheap and conservative for segments ≤ a few km.
+            let steps = ((a.dist(&b) / (cell * 0.5)).ceil() as usize).max(1);
+            let mut last = usize::MAX;
+            for s in 0..=steps {
+                let p = a.lerp(&b, s as f64 / steps as f64);
+                let idx = grid.cell_index(&p);
+                if idx != last {
+                    if grid.buckets[idx].last() != Some(&id) {
+                        grid.buckets[idx].push(id);
+                    }
+                    last = idx;
+                }
+            }
+        }
+        grid
+    }
+
+    fn clampi(&self, v: f64, n: usize) -> usize {
+        if v < 0.0 {
+            0
+        } else {
+            (v as usize).min(n - 1)
+        }
+    }
+
+    fn cell_index(&self, p: &Point) -> usize {
+        let cx = self.clampi((p.x - self.min.x) / self.cell, self.nx);
+        let cy = self.clampi((p.y - self.min.y) / self.cell, self.ny);
+        cy * self.nx + cx
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Edge ids whose geometry passes within roughly `radius` of `p`
+    /// (superset: grid-cell resolution, caller filters by exact distance).
+    pub fn edges_near(&self, p: &Point, radius: f64) -> Vec<EdgeId> {
+        let r = (radius / self.cell).ceil() as isize + 1;
+        let cx = self.clampi((p.x - self.min.x) / self.cell, self.nx) as isize;
+        let cy = self.clampi((p.y - self.min.y) / self.cell, self.ny) as isize;
+        let mut out = Vec::new();
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let (x, y) = (cx + dx, cy + dy);
+                if x < 0 || y < 0 || x >= self.nx as isize || y >= self.ny as isize {
+                    continue;
+                }
+                out.extend_from_slice(&self.buckets[y as usize * self.nx + x as usize]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The nearest edge to `p` within `radius`, with its projection; `None`
+    /// when no edge geometry lies within the radius.
+    pub fn nearest_edge(
+        &self,
+        net: &RoadNetwork,
+        p: &Point,
+        radius: f64,
+    ) -> Option<(EdgeId, SegmentProjection)> {
+        let mut best: Option<(EdgeId, SegmentProjection)> = None;
+        for id in self.edges_near(p, radius) {
+            let e = net.edge(id);
+            let pr = project_onto_segment(p, &net.node(e.from).pos, &net.node(e.to).pos);
+            if pr.distance <= radius
+                && best.as_ref().is_none_or(|(_, b)| pr.distance < b.distance)
+            {
+                best = Some((id, pr));
+            }
+        }
+        best
+    }
+
+    /// The `k` nearest edges within `radius`, closest first.
+    pub fn k_nearest_edges(
+        &self,
+        net: &RoadNetwork,
+        p: &Point,
+        radius: f64,
+        k: usize,
+    ) -> Vec<(EdgeId, SegmentProjection)> {
+        let mut cands: Vec<(EdgeId, SegmentProjection)> = self
+            .edges_near(p, radius)
+            .into_iter()
+            .map(|id| {
+                let e = net.edge(id);
+                (id, project_onto_segment(p, &net.node(e.from).pos, &net.node(e.to).pos))
+            })
+            .filter(|(_, pr)| pr.distance <= radius)
+            .collect();
+        cands.sort_by(|a, b| a.1.distance.total_cmp(&b.1.distance));
+        cands.truncate(k);
+        cands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadClass;
+
+    fn grid_city() -> RoadNetwork {
+        // 3x3 lattice, 100 m spacing, bidirectional edges.
+        let mut g = RoadNetwork::new();
+        let mut ids = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                ids.push(g.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        let at = |x: usize, y: usize| ids[y * 3 + x];
+        for y in 0..3 {
+            for x in 0..3 {
+                if x + 1 < 3 {
+                    g.add_edge(at(x, y), at(x + 1, y), RoadClass::Local);
+                    g.add_edge(at(x + 1, y), at(x, y), RoadClass::Local);
+                }
+                if y + 1 < 3 {
+                    g.add_edge(at(x, y), at(x, y + 1), RoadClass::Local);
+                    g.add_edge(at(x, y + 1), at(x, y), RoadClass::Local);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn nearest_edge_snaps_to_closest_road() {
+        let net = grid_city();
+        let grid = SpatialGrid::build(&net, 50.0);
+        // A point 10 m above the bottom row between x=0 and x=100.
+        let (id, pr) = grid.nearest_edge(&net, &Point::new(50.0, 10.0), 100.0).unwrap();
+        let e = net.edge(id);
+        let a = net.node(e.from).pos;
+        let b = net.node(e.to).pos;
+        // Must be one of the two directed edges along y=0.
+        assert_eq!(a.y, 0.0);
+        assert_eq!(b.y, 0.0);
+        assert!((pr.distance - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_edge_none_outside_radius() {
+        let net = grid_city();
+        let grid = SpatialGrid::build(&net, 50.0);
+        assert!(grid.nearest_edge(&net, &Point::new(50.0, 60.0), 5.0).is_none());
+    }
+
+    #[test]
+    fn k_nearest_sorted() {
+        let net = grid_city();
+        let grid = SpatialGrid::build(&net, 50.0);
+        let res = grid.k_nearest_edges(&net, &Point::new(50.0, 50.0), 80.0, 6);
+        assert!(!res.is_empty());
+        for w in res.windows(2) {
+            assert!(w[0].1.distance <= w[1].1.distance);
+        }
+    }
+
+    #[test]
+    fn edges_near_dedups() {
+        let net = grid_city();
+        let grid = SpatialGrid::build(&net, 50.0);
+        let edges = grid.edges_near(&Point::new(100.0, 100.0), 150.0);
+        let mut sorted = edges.clone();
+        sorted.dedup();
+        assert_eq!(edges.len(), sorted.len());
+    }
+
+    #[test]
+    fn all_edges_findable_from_their_midpoint() {
+        let net = grid_city();
+        let grid = SpatialGrid::build(&net, 40.0);
+        for i in 0..net.num_edges() {
+            let id = EdgeId(i as u32);
+            let mid = net.edge_midpoint(id);
+            let near = grid.edges_near(&mid, 10.0);
+            assert!(near.contains(&id), "edge {id:?} missing near its own midpoint");
+        }
+    }
+}

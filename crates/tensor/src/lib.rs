@@ -1,0 +1,49 @@
+//! Dense `f32` tensors for the DeepOD travel-time-estimation stack.
+//!
+//! This crate is the numeric substrate every other crate in the workspace
+//! builds on: row-major, contiguous, CPU-resident tensors with the exact
+//! operation set DeepOD's neural encoders need (element-wise arithmetic,
+//! matrix multiplication, reductions, concatenation, 2-D convolution
+//! helpers, and random initialization).
+//!
+//! The design intentionally avoids generic element types and stride tricks:
+//! everything in the paper is `f32`, and keeping the storage contiguous makes
+//! the backward passes in [`deepod-nn`](../deepod_nn/index.html) simple to
+//! verify against finite differences.
+//!
+//! # Example
+//!
+//! ```
+//! use deepod_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+mod ops;
+mod random;
+mod shape;
+mod tensor;
+
+pub use random::{rng_from_seed, sample_distinct};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Numerical tolerance used across the workspace when comparing floats in
+/// tests (forward/backward checks, metric assertions).
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts two float slices are element-wise close; used by tests in several
+/// crates so the tolerance logic lives in one place.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        let scale = 1.0f32.max(x.abs()).max(y.abs());
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "element {i} differs: {x} vs {y} (tol {tol})"
+        );
+    }
+}

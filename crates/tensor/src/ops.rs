@@ -1,0 +1,314 @@
+//! Tensor math: element-wise arithmetic, matmul, reductions, concatenation,
+//! transpose, and the convolution geometry helpers shared with `deepod-nn`.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Element-wise binary op; panics on shape mismatch.
+    fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.dims())
+    }
+
+    /// Element-wise unary op.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.as_slice().iter().map(|&a| f(a)).collect();
+        Tensor::from_vec(data, self.dims())
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|a| a * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|a| a + s)
+    }
+
+    /// In-place `self += other * s` (axpy); panics on shape mismatch.
+    /// Used for gradient accumulation and optimizer updates.
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += s * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements; 0.0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Dot product of two tensors flattened; panics on element-count
+    /// mismatch.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.numel(), other.numel(), "dot length mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// Plain ikj-ordered triple loop: with the workspace's dimensions
+    /// (≤ a few hundred) this stays within L1/L2 and vectorizes well.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product: `[m,k] x [k] -> [m]`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec lhs must be rank-2");
+        assert_eq!(v.rank(), 1, "matvec rhs must be rank-1");
+        let (m, k) = (self.dim(0), self.dim(1));
+        assert_eq!(k, v.numel(), "matvec inner dims differ");
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(&r, &xv)| r * xv).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose requires a matrix");
+        let (m, n) = (self.dim(0), self.dim(1));
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Concatenates rank-1 tensors end to end.
+    pub fn concat_vecs(parts: &[&Tensor]) -> Tensor {
+        let mut data = Vec::with_capacity(parts.iter().map(|t| t.numel()).sum());
+        for p in parts {
+            assert_eq!(p.rank(), 1, "concat_vecs requires rank-1 inputs");
+            data.extend_from_slice(p.as_slice());
+        }
+        let n = data.len();
+        Tensor::from_vec(data, &[n])
+    }
+
+    /// Stacks rank-1 tensors of equal length into a `[rows, cols]` matrix.
+    pub fn stack_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack_rows on empty list");
+        let cols = parts[0].numel();
+        let mut data = Vec::with_capacity(parts.len() * cols);
+        for p in parts {
+            assert_eq!(p.rank(), 1, "stack_rows requires rank-1 inputs");
+            assert_eq!(p.numel(), cols, "stack_rows length mismatch");
+            data.extend_from_slice(p.as_slice());
+        }
+        Tensor::from_vec(data, &[parts.len(), cols])
+    }
+
+    /// Column-wise mean of a rank-2 tensor: `[r,c] -> [c]`. This is the
+    /// average pooling of the paper's Eq. 10.
+    pub fn mean_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "mean_rows requires a matrix");
+        let (r, c) = (self.dim(0), self.dim(1));
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / r as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    /// Maximum element; NaN-free inputs assumed. Panics on empty tensors.
+    pub fn max(&self) -> f32 {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Panics on empty tensors.
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn elementwise() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).as_slice(), &[4.0, 2.5, 2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn elementwise_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[3]);
+        let b = Tensor::zeros(&[4]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let g = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        a.axpy(0.5, &g);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_close(&[a.norm()], &[30.0f32.sqrt()], 1e-6);
+    }
+
+    #[test]
+    fn matmul_identity_and_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).as_slice(), a.as_slice());
+
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let v = Tensor::from_vec(vec![5.0, 6.0], &[2]);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshape(&[2, 1]));
+        assert_eq!(mv.as_slice(), mm.as_slice());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn concat_and_stack() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0], &[1]);
+        let c = Tensor::concat_vecs(&[&a, &b]);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0]);
+
+        let r = Tensor::from_vec(vec![4.0, 5.0], &[2]);
+        let m = Tensor::stack_rows(&[&a, &r]);
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.row(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn mean_rows_pooling() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 5.0], &[2, 2]);
+        let p = m.mean_rows();
+        assert_eq!(p.as_slice(), &[2.0, 3.5]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+}

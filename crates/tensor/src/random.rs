@@ -1,0 +1,120 @@
+//! Random tensor construction and the deterministic RNG policy.
+//!
+//! All stochastic code in the workspace (initializers, simulators, random
+//! walks, training shuffles) takes an explicit `StdRng` seeded by the
+//! caller, so every experiment is reproducible from its config seed.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Creates the workspace-standard RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+impl Tensor {
+    /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+        assert!(lo < hi, "empty uniform range");
+        let dist = Uniform::new(lo, hi);
+        let mut t = Tensor::zeros(dims);
+        for v in t.as_mut_slice() {
+            *v = dist.sample(rng);
+        }
+        t
+    }
+
+    /// Tensor with i.i.d. normal entries.
+    pub fn rand_normal(dims: &[usize], mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+        assert!(std >= 0.0, "negative std");
+        let dist = Normal::new(mean, std).expect("valid normal parameters");
+        let mut t = Tensor::zeros(dims);
+        for v in t.as_mut_slice() {
+            *v = dist.sample(rng);
+        }
+        t
+    }
+
+    /// Xavier/Glorot uniform initialization for a `[fan_out, fan_in]` weight
+    /// matrix — the workspace default for MLP and recurrent weights.
+    pub fn xavier_uniform(fan_out: usize, fan_in: usize, rng: &mut StdRng) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(&[fan_out, fan_in], -bound, bound, rng)
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (k ≤ n) — used for negative
+/// sampling and dataset subsampling.
+pub fn sample_distinct(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct values from {n}");
+    // Floyd's algorithm: O(k) expected time, no O(n) allocation.
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut r1 = rng_from_seed(7);
+        let mut r2 = rng_from_seed(7);
+        let a = Tensor::rand_uniform(&[4, 4], -1.0, 1.0, &mut r1);
+        let b = Tensor::rand_uniform(&[4, 4], -1.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = rng_from_seed(1);
+        let t = Tensor::rand_uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = rng_from_seed(2);
+        let t = Tensor::rand_normal(&[20_000], 3.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = rng_from_seed(3);
+        let t = Tensor::xavier_uniform(64, 64, &mut rng);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= bound));
+        assert_eq!(t.dims(), &[64, 64]);
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = rng_from_seed(4);
+        let s = sample_distinct(100, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = rng_from_seed(5);
+        let mut s = sample_distinct(10, 10, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,148 @@
+//! Shape bookkeeping for row-major tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a tensor: a small vector of dimension sizes, row-major.
+///
+/// A scalar has an empty dims list; vectors have one dim; matrices two;
+/// the interval encoder's channel tensors three (`[channels, rows, cols]`).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The scalar shape (zero dimensions, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`. Panics when out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (i, d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-dimensional index. Panics on rank mismatch or
+    /// out-of-range coordinates in debug builds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut acc = 1;
+        for i in (0..self.0.len()).rev() {
+            debug_assert!(index[i] < self.0[i], "index out of range in dim {i}");
+            off += index[i] * acc;
+            acc *= self.0[i];
+        }
+        off
+    }
+
+    /// True when both shapes have the same element count, i.e. a reshape
+    /// between them is legal.
+    pub fn reshape_compatible(&self, other: &Shape) -> bool {
+        self.numel() == other.numel()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offsets() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[0, 2]), 2);
+        assert_eq!(s.offset(&[1, 0]), 3);
+        assert_eq!(s.offset(&[1, 2]), 5);
+    }
+
+    #[test]
+    fn reshape_compat() {
+        assert!(Shape::new(&[2, 6]).reshape_compatible(&Shape::new(&[3, 4])));
+        assert!(!Shape::new(&[2, 6]).reshape_compatible(&Shape::new(&[3, 5])));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

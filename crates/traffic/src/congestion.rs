@@ -1,0 +1,270 @@
+//! Time-of-week congestion and the combined ground-truth traffic model.
+//!
+//! The congestion profile reproduces the structure of the paper's Fig. 5a:
+//! weekday mornings and evenings have pronounced rush-hour peaks, weekends
+//! a flatter midday bump; the profile repeats weekly. The combined
+//! [`TrafficModel`] multiplies free-flow speed by congestion, weather and a
+//! fixed per-road factor, plus smooth per-road noise so two roads of the
+//! same class still differ — exactly the variation DeepOD's road-segment
+//! embeddings are supposed to absorb.
+
+use crate::incidents::IncidentModel;
+use crate::weather::WeatherProcess;
+use deepod_roadnet::{EdgeId, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+/// Seconds in one week.
+pub const SECONDS_PER_WEEK: f64 = 7.0 * SECONDS_PER_DAY;
+
+/// Deterministic time-of-week congestion profile: a speed multiplier in
+/// `(0, 1]` as a function of the time of week.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CongestionModel {
+    /// Depth of the weekday morning rush (0 = none).
+    pub morning_depth: f64,
+    /// Depth of the weekday evening rush.
+    pub evening_depth: f64,
+    /// Depth of the weekend midday bump.
+    pub weekend_depth: f64,
+    /// Depth of the overnight near-free-flow "negative congestion" bonus.
+    pub night_bonus: f64,
+}
+
+impl Default for CongestionModel {
+    fn default() -> Self {
+        CongestionModel {
+            morning_depth: 0.45,
+            evening_depth: 0.50,
+            weekend_depth: 0.25,
+            night_bonus: 0.05,
+        }
+    }
+}
+
+fn gaussian_bump(hour: f64, center: f64, width: f64) -> f64 {
+    let d = hour - center;
+    (-(d * d) / (2.0 * width * width)).exp()
+}
+
+impl CongestionModel {
+    /// Speed multiplier at absolute time `t` seconds (period: one week,
+    /// week starts Monday 00:00).
+    pub fn speed_factor(&self, t: f64) -> f64 {
+        let tow = t.rem_euclid(SECONDS_PER_WEEK);
+        let day = (tow / SECONDS_PER_DAY) as usize; // 0 = Monday
+        let hour = (tow % SECONDS_PER_DAY) / 3600.0;
+        let weekend = day >= 5;
+
+        let mut slowdown = 0.0;
+        if weekend {
+            slowdown += self.weekend_depth * gaussian_bump(hour, 13.0, 3.0);
+            // Milder evening activity on weekends.
+            slowdown += 0.5 * self.weekend_depth * gaussian_bump(hour, 19.0, 2.0);
+        } else {
+            slowdown += self.morning_depth * gaussian_bump(hour, 8.0, 1.3);
+            slowdown += self.evening_depth * gaussian_bump(hour, 18.0, 1.6);
+            // Fridays bleed into a longer evening peak.
+            if day == 4 {
+                slowdown += 0.15 * self.evening_depth * gaussian_bump(hour, 20.5, 1.5);
+            }
+        }
+        // Overnight bonus: slightly faster than nominal free flow.
+        let night = gaussian_bump(hour, 3.0, 2.0);
+        let factor = (1.0 - slowdown) * (1.0 + self.night_bonus * night);
+        factor.clamp(0.15, 1.1)
+    }
+}
+
+/// The full ground-truth traffic model used by the trip simulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrafficModel {
+    congestion: CongestionModel,
+    weather: WeatherProcess,
+    incidents: IncidentModel,
+    /// Per-road static speed factor in `[0.8, 1.2]` (quality, lanes, …).
+    road_factor: Vec<f64>,
+    /// Per-road phase for smooth temporal noise.
+    road_phase: Vec<f64>,
+    /// Amplitude of the per-road temporal noise.
+    noise_amp: f64,
+}
+
+impl TrafficModel {
+    /// Builds a model for `net` with sampled per-road heterogeneity.
+    pub fn new(
+        net: &RoadNetwork,
+        congestion: CongestionModel,
+        weather: WeatherProcess,
+        rng: &mut StdRng,
+    ) -> Self {
+        let n = net.num_edges();
+        let road_factor = (0..n).map(|_| rng.gen_range(0.8..1.2)).collect();
+        let road_phase = (0..n).map(|_| rng.gen_range(0.0..std::f64::consts::TAU)).collect();
+        TrafficModel {
+            congestion,
+            weather,
+            incidents: IncidentModel::none(),
+            road_factor,
+            road_phase,
+            noise_amp: 0.06,
+        }
+    }
+
+    /// Attaches a stochastic incident timeline (accidents/closures) to the
+    /// model; see [`IncidentModel`].
+    pub fn with_incidents(mut self, incidents: IncidentModel) -> Self {
+        self.incidents = incidents;
+        self
+    }
+
+    /// Ground-truth speed (m/s) on edge `e` at absolute time `t`.
+    pub fn speed(&self, net: &RoadNetwork, e: EdgeId, t: f64) -> f64 {
+        let edge = net.edge(e);
+        let base = edge.class.free_flow_speed();
+        let sens = edge.class.congestion_sensitivity();
+        let cong = self.congestion.speed_factor(t);
+        // Sensitivity interpolates between full congestion and none.
+        let cong = 1.0 - sens * (1.0 - cong);
+        let wea = self.weather.speed_factor(t);
+        // Smooth pseudo-random temporal ripple, period ~35 min, per-road phase.
+        let ripple =
+            1.0 + self.noise_amp * (t / 2100.0 * std::f64::consts::TAU + self.road_phase[e.idx()]).sin();
+        let inc = if self.incidents.is_empty() {
+            1.0
+        } else {
+            self.incidents.factor_at(&net.edge_midpoint(e), t)
+        };
+        (base * self.road_factor[e.idx()] * cong * wea * ripple * inc).max(0.5)
+    }
+
+    /// The incident timeline backing this model.
+    pub fn incidents(&self) -> &IncidentModel {
+        &self.incidents
+    }
+
+    /// Ground-truth traversal time (s) of edge `e` when entered at `t`,
+    /// integrated across speed changes at 60 s resolution (speeds change
+    /// smoothly, so piecewise-constant integration at 1 min is accurate to
+    /// well under a percent).
+    pub fn traversal_time(&self, net: &RoadNetwork, e: EdgeId, t: f64) -> f64 {
+        let mut remaining = net.edge(e).length;
+        let mut now = t;
+        let step = 60.0;
+        let mut total = 0.0;
+        // Hard cap to keep pathological configurations finite.
+        for _ in 0..10_000 {
+            let v = self.speed(net, e, now);
+            let can = v * step;
+            if can >= remaining {
+                total += remaining / v;
+                return total;
+            }
+            remaining -= can;
+            total += step;
+            now += step;
+        }
+        total
+    }
+
+    /// The weather process backing this model.
+    pub fn weather(&self) -> &WeatherProcess {
+        &self.weather
+    }
+
+    /// The congestion profile backing this model.
+    pub fn congestion(&self) -> &CongestionModel {
+        &self.congestion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::{CityConfig, CityProfile};
+    use deepod_tensor::rng_from_seed;
+
+    fn hour_on(day: usize, hour: f64) -> f64 {
+        day as f64 * SECONDS_PER_DAY + hour * 3600.0
+    }
+
+    #[test]
+    fn rush_hours_slower_than_night() {
+        let c = CongestionModel::default();
+        let rush = c.speed_factor(hour_on(1, 8.0)); // Tuesday 8 am
+        let night = c.speed_factor(hour_on(1, 3.0)); // Tuesday 3 am
+        let evening = c.speed_factor(hour_on(1, 18.0));
+        assert!(rush < 0.7, "morning rush factor {rush}");
+        assert!(evening < 0.7, "evening rush factor {evening}");
+        assert!(night > 0.95, "night factor {night}");
+    }
+
+    #[test]
+    fn weekly_periodicity_exact() {
+        let c = CongestionModel::default();
+        for h in [0.0, 8.0, 13.5, 18.0, 23.0] {
+            let a = c.speed_factor(hour_on(2, h));
+            let b = c.speed_factor(hour_on(2, h) + SECONDS_PER_WEEK);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weekday_weekend_differ() {
+        let c = CongestionModel::default();
+        let tue_8 = c.speed_factor(hour_on(1, 8.0));
+        let sat_8 = c.speed_factor(hour_on(5, 8.0));
+        assert!(sat_8 > tue_8 + 0.1, "Saturday 8 am should be much freer");
+        let sat_13 = c.speed_factor(hour_on(5, 13.0));
+        assert!(sat_13 < sat_8, "weekend midday bump missing");
+    }
+
+    #[test]
+    fn traffic_model_speed_bounds_and_determinism() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut rng = rng_from_seed(5);
+        let weather = WeatherProcess::constant_clear(SECONDS_PER_WEEK, 300.0);
+        let tm = TrafficModel::new(&net, CongestionModel::default(), weather, &mut rng);
+        for i in (0..net.num_edges()).step_by(37) {
+            let e = EdgeId(i as u32);
+            for t in [0.0, hour_on(1, 8.0), hour_on(6, 14.0)] {
+                let v = tm.speed(&net, e, t);
+                assert!((0.5..=35.0).contains(&v), "speed {v}");
+                assert_eq!(v, tm.speed(&net, e, t), "speed must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn traversal_time_close_to_length_over_speed_for_short_edges() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut rng = rng_from_seed(6);
+        let weather = WeatherProcess::constant_clear(SECONDS_PER_WEEK, 300.0);
+        let tm = TrafficModel::new(&net, CongestionModel::default(), weather, &mut rng);
+        let e = EdgeId(0);
+        let t0 = hour_on(2, 11.0);
+        let tt = tm.traversal_time(&net, e, t0);
+        let approx = net.edge(e).length / tm.speed(&net, e, t0);
+        assert!((tt - approx).abs() / approx < 0.1, "tt {tt} vs approx {approx}");
+        assert!(tt > 0.0);
+    }
+
+    #[test]
+    fn rush_hour_trip_takes_longer() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut rng = rng_from_seed(7);
+        let weather = WeatherProcess::constant_clear(SECONDS_PER_WEEK, 300.0);
+        let tm = TrafficModel::new(&net, CongestionModel::default(), weather, &mut rng);
+        // Pick an arterial edge: most congestion-sensitive after highways.
+        let e = (0..net.num_edges())
+            .map(|i| EdgeId(i as u32))
+            .find(|&e| net.edge(e).class == deepod_roadnet::RoadClass::Arterial)
+            .unwrap();
+        let rush = tm.traversal_time(&net, e, hour_on(1, 8.0));
+        let night = tm.traversal_time(&net, e, hour_on(1, 3.0));
+        assert!(rush > night * 1.3, "rush {rush} vs night {night}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Stochastic traffic incidents: accidents, breakdowns and closures that
+//! slow a neighborhood of roads for tens of minutes.
+//!
+//! Incidents are the *unpredictable* component of traffic: they cannot be
+//! inferred from the clock or the weather, only observed through the live
+//! speed matrices — which is precisely the information channel DeepOD's
+//! External Features Encoder consumes (§4.5) and the coordinate/time
+//! feature baselines do not.
+
+use deepod_roadnet::{Point, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One incident: a localized multiplicative slowdown.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Incident {
+    /// Center of the affected area.
+    pub center: Point,
+    /// Radius of effect in meters.
+    pub radius: f64,
+    /// Start time (seconds).
+    pub start: f64,
+    /// End time (seconds).
+    pub end: f64,
+    /// Speed multiplier at the center (e.g. 0.3 = heavy blockage).
+    pub severity: f64,
+}
+
+impl Incident {
+    /// Speed multiplier this incident applies at point `p`, time `t`
+    /// (1.0 = no effect). The effect fades linearly with distance.
+    pub fn factor_at(&self, p: &Point, t: f64) -> f64 {
+        if t < self.start || t >= self.end {
+            return 1.0;
+        }
+        let d = self.center.dist(p);
+        if d >= self.radius {
+            return 1.0;
+        }
+        let fade = 1.0 - d / self.radius;
+        1.0 - (1.0 - self.severity) * fade
+    }
+}
+
+/// A pre-sampled incident timeline for one city.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IncidentModel {
+    incidents: Vec<Incident>,
+}
+
+impl IncidentModel {
+    /// No incidents (ablations, deterministic tests).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Samples incidents over `[0, horizon)` seconds with an average of
+    /// `rate_per_day` incidents per day. Durations are 20–70 minutes,
+    /// radii 400–1200 m, severities 0.25–0.6.
+    pub fn sample(net: &RoadNetwork, horizon: f64, rate_per_day: f64, rng: &mut StdRng) -> Self {
+        let (min, max) = net.bounding_box();
+        let days = horizon / 86_400.0;
+        let n = (days * rate_per_day).round() as usize;
+        let incidents = (0..n)
+            .map(|_| {
+                let start = rng.gen_range(0.0..horizon);
+                Incident {
+                    center: Point::new(
+                        rng.gen_range(min.x..max.x),
+                        rng.gen_range(min.y..max.y),
+                    ),
+                    radius: rng.gen_range(400.0..1200.0),
+                    start,
+                    end: start + rng.gen_range(1200.0..4200.0),
+                    severity: rng.gen_range(0.25..0.6),
+                }
+            })
+            .collect();
+        IncidentModel { incidents }
+    }
+
+    /// Number of sampled incidents.
+    pub fn len(&self) -> usize {
+        self.incidents.len()
+    }
+
+    /// True when the timeline has no incidents.
+    pub fn is_empty(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    /// Combined speed factor at a point and time (product over overlapping
+    /// incidents, floored at 0.15).
+    pub fn factor_at(&self, p: &Point, t: f64) -> f64 {
+        let mut f = 1.0;
+        for i in &self.incidents {
+            f *= i.factor_at(p, t);
+            if f <= 0.15 {
+                return 0.15;
+            }
+        }
+        f
+    }
+
+    /// All incidents active at time `t`.
+    pub fn active_at(&self, t: f64) -> impl Iterator<Item = &Incident> {
+        self.incidents.iter().filter(move |i| (i.start..i.end).contains(&t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::{CityConfig, CityProfile};
+    use deepod_tensor::rng_from_seed;
+
+    fn incident() -> Incident {
+        Incident {
+            center: Point::new(1000.0, 1000.0),
+            radius: 500.0,
+            start: 100.0,
+            end: 1000.0,
+            severity: 0.4,
+        }
+    }
+
+    #[test]
+    fn factor_zero_outside_time_window() {
+        let i = incident();
+        let at_center = Point::new(1000.0, 1000.0);
+        assert_eq!(i.factor_at(&at_center, 50.0), 1.0);
+        assert_eq!(i.factor_at(&at_center, 1000.0), 1.0);
+        assert!((i.factor_at(&at_center, 500.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_fades_with_distance() {
+        let i = incident();
+        let near = i.factor_at(&Point::new(1100.0, 1000.0), 500.0);
+        let far = i.factor_at(&Point::new(1450.0, 1000.0), 500.0);
+        let outside = i.factor_at(&Point::new(1600.0, 1000.0), 500.0);
+        assert!(near < far, "closer point should be slower");
+        assert_eq!(outside, 1.0);
+    }
+
+    #[test]
+    fn model_samples_expected_count() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut rng = rng_from_seed(4);
+        let m = IncidentModel::sample(&net, 10.0 * 86_400.0, 3.0, &mut rng);
+        assert_eq!(m.len(), 30);
+        assert!(!m.is_empty());
+        assert_eq!(IncidentModel::none().len(), 0);
+    }
+
+    #[test]
+    fn combined_factor_floored() {
+        let mut m = IncidentModel::none();
+        for _ in 0..10 {
+            m.incidents.push(incident());
+        }
+        let f = m.factor_at(&Point::new(1000.0, 1000.0), 500.0);
+        assert!(f >= 0.15);
+    }
+
+    #[test]
+    fn active_at_filters() {
+        let m = IncidentModel { incidents: vec![incident()] };
+        assert_eq!(m.active_at(500.0).count(), 1);
+        assert_eq!(m.active_at(5000.0).count(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Traffic ground truth for the DeepOD reproduction: a congestion model
+//! with the daily/weekly periodicity the paper exploits (Fig. 5a), a
+//! 16-type weather process (§6.1), and grid speed matrices — the "current
+//! traffic condition" external feature of §4.5.
+//!
+//! This crate is the substitution for the real-world traffic implicit in
+//! the Didi/Beijing GPS data (DESIGN.md §2): travel speed on a road
+//! segment is `free_flow(class) × congestion(time-of-week) ×
+//! weather(t) × per-road factor × noise`, so travel time genuinely depends
+//! on the route taken and the clock — the structure DeepOD is designed to
+//! learn.
+
+mod congestion;
+mod incidents;
+mod speed_matrix;
+mod weather;
+
+pub use congestion::{CongestionModel, TrafficModel, SECONDS_PER_DAY, SECONDS_PER_WEEK};
+pub use incidents::{Incident, IncidentModel};
+pub use speed_matrix::{SpeedMatrixBuilder, SpeedMatrixStore};
+pub use weather::{WeatherProcess, WeatherType, NUM_WEATHER_TYPES};

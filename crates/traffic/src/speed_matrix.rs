@@ -1,0 +1,198 @@
+//! Grid speed matrices — the "current traffic condition" external feature
+//! of §4.5: the city is split into fixed-size grid cells and the average
+//! observed speed per cell is recorded every Δt minutes; the matrix nearest
+//! before a trip's departure time is fed to the External Features Encoder.
+
+use deepod_roadnet::{Point, RoadNetwork};
+use deepod_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates speed observations into per-(slot, cell) averages.
+#[derive(Clone, Debug)]
+pub struct SpeedMatrixBuilder {
+    min: Point,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    slot_len: f64,
+    num_slots: usize,
+    sums: Vec<f64>,
+    counts: Vec<u32>,
+}
+
+impl SpeedMatrixBuilder {
+    /// Creates a builder over the network's bounding box with `cell`-meter
+    /// cells, `slot_len`-second slots, covering `[0, horizon)` seconds.
+    pub fn new(net: &RoadNetwork, cell: f64, slot_len: f64, horizon: f64) -> Self {
+        assert!(cell > 0.0 && slot_len > 0.0 && horizon > 0.0);
+        let (min, max) = net.bounding_box();
+        let nx = (((max.x - min.x) / cell).ceil() as usize).max(1);
+        let ny = (((max.y - min.y) / cell).ceil() as usize).max(1);
+        let num_slots = (horizon / slot_len).ceil() as usize;
+        SpeedMatrixBuilder {
+            min,
+            cell,
+            nx,
+            ny,
+            slot_len,
+            num_slots,
+            sums: vec![0.0; nx * ny * num_slots],
+            counts: vec![0; nx * ny * num_slots],
+        }
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Records one speed observation (m/s) at position `p`, time `t`.
+    /// Observations outside the horizon are ignored.
+    pub fn observe(&mut self, p: &Point, t: f64, speed: f64) {
+        if t < 0.0 {
+            return;
+        }
+        let slot = (t / self.slot_len) as usize;
+        if slot >= self.num_slots {
+            return;
+        }
+        let cx = (((p.x - self.min.x) / self.cell).max(0.0) as usize).min(self.nx - 1);
+        let cy = (((p.y - self.min.y) / self.cell).max(0.0) as usize).min(self.ny - 1);
+        let idx = (slot * self.ny + cy) * self.nx + cx;
+        self.sums[idx] += speed;
+        self.counts[idx] += 1;
+    }
+
+    /// Finalizes into a store of per-slot matrices. Empty cells get the
+    /// city-wide per-slot average (falling back to the global average), so
+    /// the CNN input has no holes.
+    pub fn build(self) -> SpeedMatrixStore {
+        let cells = self.nx * self.ny;
+        let global_sum: f64 = self.sums.iter().sum();
+        let global_cnt: u32 = self.counts.iter().sum();
+        let global_avg = if global_cnt > 0 { global_sum / global_cnt as f64 } else { 10.0 };
+
+        let mut matrices = Vec::with_capacity(self.num_slots);
+        for s in 0..self.num_slots {
+            let base = s * cells;
+            let slot_sum: f64 = self.sums[base..base + cells].iter().sum();
+            let slot_cnt: u32 = self.counts[base..base + cells].iter().sum();
+            let slot_avg = if slot_cnt > 0 { slot_sum / slot_cnt as f64 } else { global_avg };
+            let mut data = Vec::with_capacity(cells);
+            for c in 0..cells {
+                let v = if self.counts[base + c] > 0 {
+                    self.sums[base + c] / self.counts[base + c] as f64
+                } else {
+                    slot_avg
+                };
+                data.push(v as f32);
+            }
+            matrices.push(Tensor::from_vec(data, &[self.ny, self.nx]));
+        }
+        SpeedMatrixStore { slot_len: self.slot_len, matrices, nx: self.nx, ny: self.ny }
+    }
+}
+
+/// Finalized per-slot speed matrices for one city.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpeedMatrixStore {
+    slot_len: f64,
+    matrices: Vec<Tensor>,
+    nx: usize,
+    ny: usize,
+}
+
+impl SpeedMatrixStore {
+    /// The matrix nearest *before* time `t` (the paper picks the closest
+    /// matrix before the departure time). Clamps to the covered range.
+    pub fn nearest_before(&self, t: f64) -> &Tensor {
+        let slot = if t <= 0.0 { 0 } else { (t / self.slot_len) as usize };
+        &self.matrices[slot.min(self.matrices.len() - 1)]
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of time slots covered.
+    pub fn num_slots(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Slot length in seconds.
+    pub fn slot_len(&self) -> f64 {
+        self.slot_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::{CityConfig, CityProfile};
+
+    #[test]
+    fn observe_and_average() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut b = SpeedMatrixBuilder::new(&net, 1000.0, 300.0, 1200.0);
+        let p = net.node(deepod_roadnet::NodeId(0)).pos;
+        b.observe(&p, 10.0, 10.0);
+        b.observe(&p, 20.0, 20.0);
+        let store = b.build();
+        let m = store.nearest_before(100.0);
+        // Cell containing p averaged to 15.
+        assert!(m.as_slice().iter().any(|&v| (v - 15.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn empty_cells_filled_with_slot_average() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut b = SpeedMatrixBuilder::new(&net, 2000.0, 300.0, 600.0);
+        let p = net.node(deepod_roadnet::NodeId(0)).pos;
+        b.observe(&p, 10.0, 12.0);
+        let store = b.build();
+        let m = store.nearest_before(0.0);
+        // Every cell is either the observation or the slot average (12.0).
+        assert!(m.as_slice().iter().all(|&v| (v - 12.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn out_of_range_observations_ignored() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut b = SpeedMatrixBuilder::new(&net, 2000.0, 300.0, 600.0);
+        let p = net.node(deepod_roadnet::NodeId(0)).pos;
+        b.observe(&p, -5.0, 99.0);
+        b.observe(&p, 1e9, 99.0);
+        let store = b.build();
+        // No observation landed: all cells fall back to the default.
+        assert!(store.nearest_before(0.0).as_slice().iter().all(|&v| (v - 10.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn nearest_before_slot_selection() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut b = SpeedMatrixBuilder::new(&net, 2000.0, 300.0, 900.0);
+        let p = net.node(deepod_roadnet::NodeId(0)).pos;
+        b.observe(&p, 10.0, 5.0); // slot 0
+        b.observe(&p, 400.0, 25.0); // slot 1
+        let store = b.build();
+        assert_eq!(store.num_slots(), 3);
+        let m0 = store.nearest_before(299.0);
+        let m1 = store.nearest_before(301.0);
+        assert!(m0.as_slice().iter().any(|&v| (v - 5.0).abs() < 1e-4));
+        assert!(m1.as_slice().iter().any(|&v| (v - 25.0).abs() < 1e-4));
+        // Far future clamps to the last slot.
+        let _ = store.nearest_before(1e12);
+    }
+
+    #[test]
+    fn paper_grid_shape_for_200m_cells() {
+        // CRN analogue with 200 m cells: grid dims follow ceil(extent/cell).
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let b = SpeedMatrixBuilder::new(&net, 200.0, 300.0, 600.0);
+        let (nx, ny) = b.dims();
+        let (min, max) = net.bounding_box();
+        assert_eq!(nx, ((max.x - min.x) / 200.0).ceil() as usize);
+        assert_eq!(ny, ((max.y - min.y) / 200.0).ceil() as usize);
+    }
+}

@@ -1,0 +1,190 @@
+//! Weather process: the substitution for the paper's scraped weather
+//! records (§6.1 uses N_wea = 16 discrete types).
+//!
+//! Weather evolves as a first-order Markov chain over 16 types sampled at a
+//! fixed period; each type carries a speed multiplier that feeds the ground
+//! truth, so the external-feature encoder has real signal to learn.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of discrete weather types (matches the paper's N_wea = 16).
+pub const NUM_WEATHER_TYPES: usize = 16;
+
+/// A discrete weather condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct WeatherType(pub u8);
+
+impl WeatherType {
+    /// Index into one-hot encodings.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Ground-truth speed multiplier of this weather type. Types are laid
+    /// out from benign (≈1.0) to severe (≈0.55): clear variants first, then
+    /// cloud/rain/snow/fog grades.
+    pub fn speed_factor(self) -> f64 {
+        const FACTORS: [f64; NUM_WEATHER_TYPES] = [
+            1.00, 0.99, 0.98, 0.97, // clear / mostly clear
+            0.95, 0.93, 0.91, // cloudy grades
+            0.88, 0.84, 0.80, // light..moderate rain
+            0.75, 0.70, // heavy rain / storm
+            0.68, 0.62, // light / heavy snow
+            0.60, 0.55, // fog / severe
+        ];
+        FACTORS[self.idx()]
+    }
+
+    /// Human-readable label (diagnostics and example output).
+    pub fn label(self) -> &'static str {
+        const LABELS: [&str; NUM_WEATHER_TYPES] = [
+            "clear",
+            "mostly-clear",
+            "partly-cloudy",
+            "hazy",
+            "cloudy",
+            "overcast",
+            "drizzle",
+            "light-rain",
+            "rain",
+            "moderate-rain",
+            "heavy-rain",
+            "storm",
+            "light-snow",
+            "snow",
+            "fog",
+            "severe",
+        ];
+        LABELS[self.idx()]
+    }
+}
+
+/// A pre-sampled weather timeline for one city.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WeatherProcess {
+    /// Seconds per sample.
+    period: f64,
+    /// Weather type per sample, covering `[0, period * len)`.
+    samples: Vec<WeatherType>,
+}
+
+impl WeatherProcess {
+    /// Samples a weather timeline of `horizon` seconds with one state per
+    /// `period` seconds. The chain is sticky (stays in the current state
+    /// with high probability) and drifts between neighboring severities,
+    /// which mimics real multi-hour weather episodes.
+    pub fn sample(horizon: f64, period: f64, rng: &mut StdRng) -> Self {
+        assert!(period > 0.0 && horizon > 0.0, "invalid weather horizon/period");
+        let n = (horizon / period).ceil() as usize + 1;
+        let mut samples = Vec::with_capacity(n);
+        let mut state: i32 = rng.gen_range(0..4); // start benign
+        for _ in 0..n {
+            samples.push(WeatherType(state as u8));
+            let r: f64 = rng.gen();
+            state = if r < 0.80 {
+                state // persist
+            } else if r < 0.90 {
+                (state + 1).min(NUM_WEATHER_TYPES as i32 - 1) // worsen
+            } else if r < 0.99 {
+                (state - 1).max(0) // improve
+            } else {
+                rng.gen_range(0..NUM_WEATHER_TYPES as i32) // abrupt change
+            };
+        }
+        WeatherProcess { period, samples }
+    }
+
+    /// A constant-clear process (unit tests, ablations with weather off).
+    pub fn constant_clear(horizon: f64, period: f64) -> Self {
+        let n = (horizon / period).ceil() as usize + 1;
+        WeatherProcess { period, samples: vec![WeatherType(0); n] }
+    }
+
+    /// Weather at absolute time `t` (clamped to the sampled horizon).
+    pub fn at(&self, t: f64) -> WeatherType {
+        let i = if t <= 0.0 { 0 } else { (t / self.period) as usize };
+        self.samples[i.min(self.samples.len() - 1)]
+    }
+
+    /// Ground-truth speed multiplier at time `t`.
+    pub fn speed_factor(&self, t: f64) -> f64 {
+        self.at(t).speed_factor()
+    }
+
+    /// Sampling period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Number of samples in the timeline.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the timeline is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_tensor::rng_from_seed;
+
+    #[test]
+    fn factors_monotone_by_severity_groups() {
+        // Severe weather must be slower than clear.
+        assert!(WeatherType(0).speed_factor() > WeatherType(15).speed_factor());
+        for i in 0..NUM_WEATHER_TYPES {
+            let f = WeatherType(i as u8).speed_factor();
+            assert!((0.5..=1.0).contains(&f), "factor {f} out of range");
+        }
+    }
+
+    #[test]
+    fn timeline_lookup_and_clamp() {
+        let w = WeatherProcess::constant_clear(3600.0, 300.0);
+        assert_eq!(w.at(0.0), WeatherType(0));
+        assert_eq!(w.at(-5.0), WeatherType(0));
+        assert_eq!(w.at(1e9), WeatherType(0)); // clamps
+        assert!((w.speed_factor(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_chain_is_sticky() {
+        let mut rng = rng_from_seed(11);
+        let w = WeatherProcess::sample(7.0 * 86_400.0, 1800.0, &mut rng);
+        let mut changes = 0;
+        let mut total = 0;
+        for i in 1..w.len() {
+            total += 1;
+            if w.samples[i] != w.samples[i - 1] {
+                changes += 1;
+            }
+        }
+        let rate = changes as f64 / total as f64;
+        assert!(rate < 0.35, "weather flips too often: {rate}");
+        assert!(rate > 0.02, "weather never changes: {rate}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut r1 = rng_from_seed(3);
+        let mut r2 = rng_from_seed(3);
+        let a = WeatherProcess::sample(86_400.0, 600.0, &mut r1);
+        let b = WeatherProcess::sample(86_400.0, 600.0, &mut r2);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..NUM_WEATHER_TYPES {
+            set.insert(WeatherType(i as u8).label());
+        }
+        assert_eq!(set.len(), NUM_WEATHER_TYPES);
+    }
+}

@@ -1,0 +1,159 @@
+//! Linear interpolation of per-segment entry/exit timestamps from a raw
+//! GPS trace, as prescribed in §2: "we use the linear interpolation
+//! technique to calculate t_i[1] and t_i[-1]".
+//!
+//! Given the matched edge sequence and the raw points (each point assigned
+//! to an edge by the matcher), the boundary crossing time between two
+//! consecutive edges is interpolated from the surrounding fixes in
+//! proportion to distance traveled.
+
+use crate::types::{RawTrajectory, SpatioTemporalStep};
+use deepod_roadnet::{EdgeId, RoadNetwork};
+
+/// Builds the spatio-temporal path from a matched edge sequence and the
+/// per-point edge assignment produced by the map matcher.
+///
+/// `assignment[i]` is the index into `edges` of the edge GPS point `i` was
+/// matched to; assignments must be non-decreasing (the Viterbi path is).
+pub fn interpolate_intervals(
+    net: &RoadNetwork,
+    raw: &RawTrajectory,
+    edges: &[EdgeId],
+    assignment: &[usize],
+) -> Vec<SpatioTemporalStep> {
+    assert_eq!(raw.points.len(), assignment.len(), "assignment length mismatch");
+    assert!(!edges.is_empty(), "empty edge sequence");
+    debug_assert!(assignment.windows(2).all(|w| w[0] <= w[1]), "assignment not monotone");
+
+    let t_start = raw.points.first().map(|p| p.t).unwrap_or(0.0);
+    let t_end = raw.points.last().map(|p| p.t).unwrap_or(0.0);
+
+    // Boundary k sits between edges[k] and edges[k+1]. Find, for each
+    // boundary, the last point on an edge ≤ k and the first point on an
+    // edge > k, then interpolate the crossing time by the distance from
+    // each point to the shared vertex.
+    let mut boundaries = Vec::with_capacity(edges.len().saturating_sub(1));
+    for k in 0..edges.len() - 1 {
+        let before = assignment.iter().rposition(|&a| a <= k);
+        let after = assignment.iter().position(|&a| a > k);
+        let t = match (before, after) {
+            (Some(bi), Some(ai)) => {
+                let pb = &raw.points[bi];
+                let pa = &raw.points[ai];
+                // Shared vertex between edge k and k+1.
+                let v = net.node(net.edge(edges[k]).to).pos;
+                let db = pb.pos.dist(&v);
+                let da = pa.pos.dist(&v);
+                if db + da < 1e-9 {
+                    0.5 * (pb.t + pa.t)
+                } else {
+                    pb.t + (pa.t - pb.t) * db / (db + da)
+                }
+            }
+            // Degenerate traces (all points on one side): spread uniformly.
+            _ => t_start + (t_end - t_start) * (k + 1) as f64 / edges.len() as f64,
+        };
+        boundaries.push(t);
+    }
+
+    // Enforce monotonicity (noise can locally invert interpolations).
+    let mut prev = t_start;
+    for b in &mut boundaries {
+        if *b < prev {
+            *b = prev;
+        }
+        if *b > t_end {
+            *b = t_end;
+        }
+        prev = *b;
+    }
+
+    let mut steps = Vec::with_capacity(edges.len());
+    let mut enter = t_start;
+    for (k, &e) in edges.iter().enumerate() {
+        let exit = if k < boundaries.len() { boundaries[k] } else { t_end };
+        steps.push(SpatioTemporalStep { edge: e, enter, exit });
+        enter = exit;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RawGpsPoint;
+    use deepod_roadnet::{Point, RoadClass, RoadNetwork};
+
+    /// Two 100 m edges in a straight line along x.
+    fn line_net() -> (RoadNetwork, Vec<EdgeId>) {
+        let mut g = RoadNetwork::new();
+        let a = g.add_node(Point::new(0.0, 0.0));
+        let b = g.add_node(Point::new(100.0, 0.0));
+        let c = g.add_node(Point::new(200.0, 0.0));
+        let e0 = g.add_edge(a, b, RoadClass::Local);
+        let e1 = g.add_edge(b, c, RoadClass::Local);
+        (g, vec![e0, e1])
+    }
+
+    fn pt(x: f64, t: f64) -> RawGpsPoint {
+        RawGpsPoint { pos: Point::new(x, 0.0), t }
+    }
+
+    #[test]
+    fn midpoint_crossing_interpolated() {
+        let (net, edges) = line_net();
+        // Points at x = 50 (t=0, edge 0) and x = 150 (t=10, edge 1): the
+        // boundary at x = 100 is equidistant → crossing at t = 5.
+        let raw = RawTrajectory { points: vec![pt(50.0, 0.0), pt(150.0, 10.0)] };
+        let steps = interpolate_intervals(&net, &raw, &edges, &[0, 1]);
+        assert_eq!(steps.len(), 2);
+        assert!((steps[0].exit - 5.0).abs() < 1e-9);
+        assert_eq!(steps[0].enter, 0.0);
+        assert_eq!(steps[1].exit, 10.0);
+        assert_eq!(steps[1].enter, steps[0].exit);
+    }
+
+    #[test]
+    fn asymmetric_crossing() {
+        let (net, edges) = line_net();
+        // Point at x = 90 (10 m before boundary) and x = 130 (30 m after):
+        // crossing at t = 0 + 10/(10+30) * 8 = 2.
+        let raw = RawTrajectory { points: vec![pt(90.0, 0.0), pt(130.0, 8.0)] };
+        let steps = interpolate_intervals(&net, &raw, &edges, &[0, 1]);
+        assert!((steps[0].exit - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_points_per_edge() {
+        let (net, edges) = line_net();
+        let raw = RawTrajectory {
+            points: vec![pt(10.0, 0.0), pt(60.0, 4.0), pt(95.0, 8.0), pt(110.0, 10.0), pt(190.0, 20.0)],
+        };
+        let steps = interpolate_intervals(&net, &raw, &edges, &[0, 0, 0, 1, 1]);
+        // Crossing between t=8 (5 m away) and t=10 (10 m away): 8 + 2*5/15.
+        assert!((steps[0].exit - (8.0 + 2.0 * 5.0 / 15.0)).abs() < 1e-9);
+        assert_eq!(steps[1].exit, 20.0);
+    }
+
+    #[test]
+    fn degenerate_all_points_on_first_edge() {
+        let (net, edges) = line_net();
+        let raw = RawTrajectory { points: vec![pt(10.0, 0.0), pt(50.0, 10.0)] };
+        let steps = interpolate_intervals(&net, &raw, &edges, &[0, 0]);
+        assert_eq!(steps.len(), 2);
+        // Uniform fallback puts the boundary mid-trace.
+        assert!((steps[0].exit - 5.0).abs() < 1e-9);
+        // Intervals remain contiguous and monotone.
+        assert!(steps[0].exit <= steps[1].exit);
+    }
+
+    #[test]
+    fn monotonicity_enforced_under_noise() {
+        let (net, edges) = line_net();
+        // Badly noisy: second point apparently *behind* the first.
+        let raw = RawTrajectory { points: vec![pt(99.0, 0.0), pt(101.0, 0.1), pt(190.0, 20.0)] };
+        let steps = interpolate_intervals(&net, &raw, &edges, &[0, 1, 1]);
+        assert!(steps[0].exit >= steps[0].enter);
+        assert!(steps[1].exit >= steps[1].enter);
+    }
+}

@@ -1,0 +1,33 @@
+//! Trajectories over road networks: the data substrate of the DeepOD
+//! reproduction.
+//!
+//! Implements the paper's §2 data model — raw GPS trajectories,
+//! spatio-temporal paths (`⟨edge, [t₁, t₋₁]⟩` sequences), position ratios —
+//! plus everything needed to *produce* such data without the proprietary
+//! Didi/Beijing datasets (DESIGN.md §2):
+//!
+//! * [`OrderSimulator`] samples taxi orders against the ground-truth
+//!   traffic model, routes them with per-driver perturbed time-dependent
+//!   shortest paths, and integrates per-segment traversal times.
+//! * [`sample_gps`] emits raw GPS points along a trip at a configurable
+//!   period with position noise (3 s for the Chengdu/Xi'an analogues,
+//!   60 s for Beijing, like the paper's Table 2).
+//! * [`HmmMapMatcher`] recovers the edge sequence from raw GPS (standing in
+//!   for Valhalla) and [`interpolate_intervals`] assigns entry/exit
+//!   timestamps per edge by linear interpolation, as §2 prescribes.
+//! * [`DatasetBuilder`] assembles whole city datasets with the paper's
+//!   42:7:12 train/validation/test split.
+
+mod dataset;
+mod interpolate;
+mod mapmatch;
+mod simulate;
+mod types;
+
+pub use dataset::{CityDataset, DatasetBuilder, DatasetConfig, Split};
+pub use interpolate::interpolate_intervals;
+pub use mapmatch::{HmmMapMatcher, MapMatchConfig};
+pub use simulate::{sample_gps, GpsNoise, OrderSimulator, SimConfig};
+pub use types::{
+    MatchedTrajectory, OdInput, RawGpsPoint, RawTrajectory, SpatioTemporalStep, TaxiOrder,
+};

@@ -1,0 +1,292 @@
+//! HMM map matching — the stand-in for the Valhalla matcher the paper uses
+//! to align GPS points and OD inputs with road networks (§6.1).
+//!
+//! Standard formulation (Newson–Krumme style): candidate road segments per
+//! GPS point come from the spatial index; emission probability decays with
+//! the point-to-segment distance; transition probability decays with the
+//! difference between the straight-line distance of consecutive fixes and
+//! the network distance between their candidate projections. Viterbi
+//! decoding yields the most likely edge sequence, which
+//! [`interpolate_intervals`](crate::interpolate_intervals) then converts
+//! into a spatio-temporal path.
+
+use crate::interpolate::interpolate_intervals;
+use crate::types::{MatchedTrajectory, RawTrajectory};
+use deepod_roadnet::{
+    dijkstra_shortest_path, EdgeId, RoadNetwork, SegmentProjection, SpatialGrid,
+};
+use serde::{Deserialize, Serialize};
+
+/// Map-matching parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MapMatchConfig {
+    /// Candidate search radius in meters.
+    pub radius: f64,
+    /// Max candidates per point.
+    pub max_candidates: usize,
+    /// Emission sigma (GPS noise scale), meters.
+    pub sigma: f64,
+    /// Transition beta (route-vs-line distance tolerance), meters.
+    pub beta: f64,
+    /// Points are thinned so consecutive matched fixes are at least this
+    /// far apart (meters); dense 3-s traces don't need every fix.
+    pub min_point_spacing: f64,
+}
+
+impl Default for MapMatchConfig {
+    fn default() -> Self {
+        MapMatchConfig {
+            radius: 120.0,
+            max_candidates: 5,
+            sigma: 15.0,
+            beta: 40.0,
+            min_point_spacing: 60.0,
+        }
+    }
+}
+
+struct Candidate {
+    edge: EdgeId,
+    proj: SegmentProjection,
+    emission_logp: f64,
+}
+
+/// Hidden-Markov-model map matcher.
+pub struct HmmMapMatcher<'a> {
+    net: &'a RoadNetwork,
+    grid: &'a SpatialGrid,
+    cfg: MapMatchConfig,
+}
+
+impl<'a> HmmMapMatcher<'a> {
+    /// Creates a matcher over a network and its spatial index.
+    pub fn new(net: &'a RoadNetwork, grid: &'a SpatialGrid, cfg: MapMatchConfig) -> Self {
+        HmmMapMatcher { net, grid, cfg }
+    }
+
+    /// Network distance from a position on `from` (fraction `ft`) to a
+    /// position on `to` (fraction `tt`), bounded to keep Viterbi cheap.
+    fn route_distance(&self, from: EdgeId, ft: f64, to: EdgeId, tt: f64, bound: f64) -> f64 {
+        if from == to {
+            return ((tt - ft) * self.net.edge(from).length).abs();
+        }
+        let fe = self.net.edge(from);
+        let te = self.net.edge(to);
+        let head = fe.length * (1.0 - ft); // remaining on the first edge
+        let tail = te.length * tt; // consumed on the last edge
+        if fe.to == te.from {
+            return head + tail;
+        }
+        let net = self.net;
+        let mid = dijkstra_shortest_path(net, fe.to, te.from, |e| net.edge(e).length)
+            .map(|p| p.cost)
+            .unwrap_or(f64::INFINITY);
+        (head + mid + tail).min(bound * 4.0 + 1.0)
+    }
+
+    /// Matches a raw trajectory. Returns `None` when fewer than two points
+    /// have candidates or Viterbi finds no connected hypothesis.
+    pub fn match_trajectory(&self, raw: &RawTrajectory) -> Option<MatchedTrajectory> {
+        if raw.points.len() < 2 {
+            return None;
+        }
+
+        // Thin dense traces (keeping first and last points).
+        let mut kept: Vec<usize> = vec![0];
+        for i in 1..raw.points.len() - 1 {
+            let last = &raw.points[*kept.last().unwrap()];
+            if raw.points[i].pos.dist(&last.pos) >= self.cfg.min_point_spacing {
+                kept.push(i);
+            }
+        }
+        kept.push(raw.points.len() - 1);
+
+        // Candidates per kept point.
+        let mut all_cands: Vec<Vec<Candidate>> = Vec::with_capacity(kept.len());
+        for &i in &kept {
+            let p = &raw.points[i];
+            let cands: Vec<Candidate> = self
+                .grid
+                .k_nearest_edges(self.net, &p.pos, self.cfg.radius, self.cfg.max_candidates)
+                .into_iter()
+                .map(|(edge, proj)| {
+                    let z = proj.distance / self.cfg.sigma;
+                    Candidate { edge, proj, emission_logp: -0.5 * z * z }
+                })
+                .collect();
+            if cands.is_empty() {
+                return None; // off-network point
+            }
+            all_cands.push(cands);
+        }
+
+        // Viterbi.
+        let n = all_cands.len();
+        let mut score: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(n);
+        score.push(all_cands[0].iter().map(|c| c.emission_logp).collect());
+        back.push(vec![0; all_cands[0].len()]);
+
+        for step in 1..n {
+            let gps_dist =
+                raw.points[kept[step]].pos.dist(&raw.points[kept[step - 1]].pos).max(1.0);
+            let mut row = vec![f64::NEG_INFINITY; all_cands[step].len()];
+            let mut brow = vec![0usize; all_cands[step].len()];
+            for (j, cj) in all_cands[step].iter().enumerate() {
+                for (i, ci) in all_cands[step - 1].iter().enumerate() {
+                    if score[step - 1][i] == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let rd = self.route_distance(
+                        ci.edge,
+                        ci.proj.t,
+                        cj.edge,
+                        cj.proj.t,
+                        gps_dist + 4.0 * self.cfg.beta,
+                    );
+                    let trans = -(rd - gps_dist).abs() / self.cfg.beta;
+                    let s = score[step - 1][i] + trans + cj.emission_logp;
+                    if s > row[j] {
+                        row[j] = s;
+                        brow[j] = i;
+                    }
+                }
+            }
+            score.push(row);
+            back.push(brow);
+        }
+
+        // Backtrack the best terminal candidate.
+        let (mut best_j, best_s) = score[n - 1]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(j, &s)| (j, s))?;
+        if best_s == f64::NEG_INFINITY {
+            return None;
+        }
+        let mut chosen = vec![0usize; n];
+        for step in (0..n).rev() {
+            chosen[step] = best_j;
+            if step > 0 {
+                best_j = back[step][best_j];
+            }
+        }
+
+        // Expand candidate edges into a connected edge sequence, filling
+        // gaps with shortest paths; build the per-point assignment.
+        let mut edges: Vec<EdgeId> = Vec::new();
+        let mut assignment_kept: Vec<usize> = Vec::with_capacity(n);
+        for (step, &jc) in chosen.iter().enumerate() {
+            let e = all_cands[step][jc].edge;
+            if edges.is_empty() {
+                edges.push(e);
+            } else if *edges.last().unwrap() != e {
+                let last = *edges.last().unwrap();
+                if self.net.edges_are_consecutive(last, e) {
+                    edges.push(e);
+                } else {
+                    let net = self.net;
+                    let gap = dijkstra_shortest_path(
+                        net,
+                        net.edge(last).to,
+                        net.edge(e).from,
+                        |x| net.edge(x).length,
+                    )?;
+                    for ge in gap.edges {
+                        edges.push(ge);
+                    }
+                    edges.push(e);
+                }
+            }
+            assignment_kept.push(edges.len() - 1);
+        }
+
+        // Spread kept-point assignments back over all raw points.
+        let mut assignment = vec![0usize; raw.points.len()];
+        for (w, pair) in kept.windows(2).enumerate() {
+            for i in pair[0]..pair[1] {
+                assignment[i] = assignment_kept[w];
+            }
+        }
+        assignment[raw.points.len() - 1] = *assignment_kept.last().unwrap();
+
+        let path = interpolate_intervals(self.net, raw, &edges, &assignment);
+        let r_start = all_cands[0][chosen[0]].proj.t;
+        let r_end = 1.0 - all_cands[n - 1][chosen[n - 1]].proj.t;
+        Some(MatchedTrajectory { path, r_start, r_end })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{sample_gps, GpsNoise, OrderSimulator, SimConfig};
+    use deepod_roadnet::{CityConfig, CityProfile};
+    use deepod_traffic::{CongestionModel, TrafficModel, WeatherProcess, SECONDS_PER_WEEK};
+    use deepod_tensor::rng_from_seed;
+
+    #[test]
+    fn recovers_simulated_routes() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut rng = rng_from_seed(42);
+        let weather = WeatherProcess::constant_clear(2.0 * SECONDS_PER_WEEK, 300.0);
+        let tm = TrafficModel::new(&net, CongestionModel::default(), weather, &mut rng);
+        let mut sim = OrderSimulator::new(&net, &tm, SimConfig::default());
+        let orders = sim.simulate_orders(8, 0.0, 3);
+        assert!(!orders.is_empty());
+
+        let grid = SpatialGrid::build(&net, 250.0);
+        let matcher = HmmMapMatcher::new(&net, &grid, MapMatchConfig::default());
+
+        let mut gps_rng = rng_from_seed(7);
+        let mut jaccard_sum = 0.0;
+        let mut matched = 0;
+        for o in &orders {
+            let raw = sample_gps(&net, &o.trajectory, 3.0, GpsNoise { sigma: 6.0 }, &mut gps_rng);
+            let Some(m) = matcher.match_trajectory(&raw) else { continue };
+            matched += 1;
+            m.validate().expect("matched trajectory invalid");
+            // Edge-set overlap with ground truth.
+            let truth: std::collections::HashSet<_> = o.trajectory.edges().into_iter().collect();
+            let got: std::collections::HashSet<_> = m.edges().into_iter().collect();
+            let inter = truth.intersection(&got).count() as f64;
+            let union = truth.union(&got).count() as f64;
+            jaccard_sum += inter / union;
+            // Travel time preserved up to the GPS period.
+            assert!((m.travel_time() - o.travel_time).abs() <= 6.0 + 1e-6);
+        }
+        assert!(matched >= orders.len() * 3 / 4, "only {matched} matched");
+        let avg_jaccard = jaccard_sum / matched as f64;
+        assert!(avg_jaccard > 0.6, "avg edge-set Jaccard {avg_jaccard:.2}");
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let grid = SpatialGrid::build(&net, 250.0);
+        let matcher = HmmMapMatcher::new(&net, &grid, MapMatchConfig::default());
+        let raw = RawTrajectory { points: vec![] };
+        assert!(matcher.match_trajectory(&raw).is_none());
+    }
+
+    #[test]
+    fn off_network_points_rejected() {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let grid = SpatialGrid::build(&net, 250.0);
+        let matcher = HmmMapMatcher::new(&net, &grid, MapMatchConfig::default());
+        let raw = RawTrajectory {
+            points: vec![
+                crate::types::RawGpsPoint {
+                    pos: deepod_roadnet::Point::new(-9e5, -9e5),
+                    t: 0.0,
+                },
+                crate::types::RawGpsPoint {
+                    pos: deepod_roadnet::Point::new(-9e5, -9e5 + 10.0),
+                    t: 3.0,
+                },
+            ],
+        };
+        assert!(matcher.match_trajectory(&raw).is_none());
+    }
+}

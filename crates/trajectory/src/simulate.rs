@@ -1,0 +1,410 @@
+//! Taxi-order simulator: the stand-in for the Didi/Beijing trip records
+//! (DESIGN.md §2).
+//!
+//! Orders are sampled from hotspot-weighted origin/destination
+//! distributions with a departure-time profile that peaks at rush hours.
+//! Each driver routes with a time-dependent shortest path whose edge costs
+//! are perturbed per driver, so the *same OD pair at the same hour* can
+//! still take different routes — and at different hours systematically
+//! does (the paper's Fig. 1 motivation). Per-segment traversal times are
+//! integrated from the ground-truth traffic model.
+
+use crate::types::{MatchedTrajectory, OdInput, RawGpsPoint, RawTrajectory, SpatioTemporalStep, TaxiOrder};
+use deepod_roadnet::{
+    time_dependent_route, EdgeId, NodeId, Point, RoadNetwork, SpatialGrid,
+};
+use deepod_traffic::{TrafficModel, SECONDS_PER_DAY};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// GPS noise model for raw-point emission.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GpsNoise {
+    /// Std-dev of the position error in meters.
+    pub sigma: f64,
+}
+
+/// Simulation parameters for one city.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of hotspots (business districts, stations, …).
+    pub num_hotspots: usize,
+    /// Probability that an endpoint is drawn from a hotspot (vs. uniform).
+    pub hotspot_prob: f64,
+    /// Std-dev of positions around a hotspot, meters.
+    pub hotspot_sigma: f64,
+    /// Per-driver multiplicative cost-perturbation std-dev (route
+    /// diversity; 0 = everyone takes the optimal route).
+    pub route_noise: f64,
+    /// Minimum trip network distance in meters (too-short trips dropped).
+    pub min_trip_dist: f64,
+    /// GPS sampling period in seconds.
+    pub gps_period: f64,
+    /// GPS position noise.
+    pub gps_noise: GpsNoise,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_hotspots: 6,
+            hotspot_prob: 0.7,
+            hotspot_sigma: 500.0,
+            route_noise: 0.25,
+            min_trip_dist: 800.0,
+            gps_period: 3.0,
+            gps_noise: GpsNoise { sigma: 8.0 },
+            seed: 0xD1D1,
+        }
+    }
+}
+
+/// Samples taxi orders against a network + traffic model.
+pub struct OrderSimulator<'a> {
+    net: &'a RoadNetwork,
+    traffic: &'a TrafficModel,
+    grid: SpatialGrid,
+    hotspots: Vec<Point>,
+    cfg: SimConfig,
+    rng: StdRng,
+}
+
+impl<'a> OrderSimulator<'a> {
+    /// Creates a simulator; hotspot locations are sampled from the seed.
+    pub fn new(net: &'a RoadNetwork, traffic: &'a TrafficModel, cfg: SimConfig) -> Self {
+        let mut rng = deepod_tensor::rng_from_seed(cfg.seed);
+        let (min, max) = net.bounding_box();
+        let hotspots = (0..cfg.num_hotspots)
+            .map(|_| {
+                Point::new(rng.gen_range(min.x..max.x), rng.gen_range(min.y..max.y))
+            })
+            .collect();
+        let grid = SpatialGrid::build(net, 250.0);
+        OrderSimulator { net, traffic, grid, hotspots, cfg, rng }
+    }
+
+    /// The spatial grid (shared with map matching in tests).
+    pub fn grid(&self) -> &SpatialGrid {
+        &self.grid
+    }
+
+    fn sample_endpoint(&mut self) -> Point {
+        let (min, max) = self.net.bounding_box();
+        if self.rng.gen_bool(self.cfg.hotspot_prob) && !self.hotspots.is_empty() {
+            let h = self.hotspots[self.rng.gen_range(0..self.hotspots.len())];
+            let n = Normal::new(0.0, self.cfg.hotspot_sigma).unwrap();
+            Point::new(
+                (h.x + n.sample(&mut self.rng)).clamp(min.x, max.x),
+                (h.y + n.sample(&mut self.rng)).clamp(min.y, max.y),
+            )
+        } else {
+            Point::new(self.rng.gen_range(min.x..max.x), self.rng.gen_range(min.y..max.y))
+        }
+    }
+
+    /// Samples a departure time within `[day_start, day_start + days)`,
+    /// weighted toward daytime with rush-hour peaks.
+    fn sample_departure(&mut self, day_start: f64, days: usize) -> f64 {
+        loop {
+            let day = self.rng.gen_range(0..days) as f64;
+            let hour: f64 = self.rng.gen_range(0.0..24.0);
+            // Acceptance weight: base 0.15, peaks at 8 and 18, midday shelf.
+            let w = 0.15
+                + 0.9 * (-(hour - 8.0) * (hour - 8.0) / 4.0).exp()
+                + 1.0 * (-(hour - 18.0) * (hour - 18.0) / 5.0).exp()
+                + 0.4 * (-(hour - 13.0) * (hour - 13.0) / 18.0).exp();
+            if self.rng.gen_range(0.0..2.1) < w {
+                return day_start + day * SECONDS_PER_DAY + hour * 3600.0;
+            }
+        }
+    }
+
+    /// Simulates one taxi order departing within `[day_start, day_start +
+    /// days)`; `None` when the sampled OD pair is unroutable or too short.
+    pub fn simulate_order(&mut self, day_start: f64, days: usize) -> Option<TaxiOrder> {
+        let origin = self.sample_endpoint();
+        let destination = self.sample_endpoint();
+        let depart = self.sample_departure(day_start, days);
+
+        // Snap endpoints to road segments (the paper map-matches OD points).
+        let (oe, opr) = self.grid.nearest_edge(self.net, &origin, 600.0)?;
+        let (de, dpr) = self.grid.nearest_edge(self.net, &destination, 600.0)?;
+        if oe == de {
+            return None; // same-segment micro trip
+        }
+
+        // Route from the head of the origin edge to the tail of the
+        // destination edge, then complete both ends.
+        let from: NodeId = self.net.edge(oe).to;
+        let to: NodeId = self.net.edge(de).from;
+
+        // Per-driver route preference: a fixed multiplicative perturbation
+        // per edge id (hashed), scaled by route_noise.
+        let noise = self.cfg.route_noise;
+        let driver_salt: u64 = self.rng.gen();
+        let perturb = move |e: EdgeId| -> f64 {
+            if noise == 0.0 {
+                return 1.0;
+            }
+            // Cheap deterministic hash -> [1-noise, 1+noise].
+            let h = (e.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ driver_salt;
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            1.0 + noise * (2.0 * u - 1.0)
+        };
+
+        let net = self.net;
+        let traffic = self.traffic;
+        let mid_route = time_dependent_route(net, from, to, depart, |e, t| {
+            traffic.traversal_time(net, e, t) * perturb(e)
+        })?;
+
+        // Assemble full edge sequence: origin edge, middle, destination edge.
+        let mut edges = Vec::with_capacity(mid_route.edges.len() + 2);
+        edges.push(oe);
+        edges.extend_from_slice(&mid_route.edges);
+        if edges.last() != Some(&de) {
+            edges.push(de);
+        }
+
+        // Integrate ground-truth traversal times; the partial first/last
+        // edges contribute proportionally to the fraction traveled.
+        let mut path = Vec::with_capacity(edges.len());
+        let mut now = depart;
+        let last_idx = edges.len() - 1;
+        let mut dist = 0.0;
+        for (i, &e) in edges.iter().enumerate() {
+            let full = self.traffic.traversal_time(self.net, e, now);
+            let frac = if i == 0 {
+                1.0 - opr.t // origin enters mid-segment
+            } else if i == last_idx {
+                dpr.t // destination leaves mid-segment
+            } else {
+                1.0
+            };
+            let dt = full * frac.clamp(0.02, 1.0);
+            path.push(SpatioTemporalStep { edge: e, enter: now, exit: now + dt });
+            dist += self.net.edge(e).length * frac.clamp(0.02, 1.0);
+            now += dt;
+        }
+
+        if dist < self.cfg.min_trip_dist {
+            return None;
+        }
+
+        // Position ratios per Def. 1: r[1] measures |v¹→g[1]| on the first
+        // segment; r[-1] measures |g[-1]→v⁻¹| on the last.
+        let r_start = opr.t;
+        let r_end = 1.0 - dpr.t;
+
+        let trajectory = MatchedTrajectory { path, r_start, r_end };
+        let travel_time = trajectory.travel_time();
+        let weather = self.traffic.weather().at(depart);
+        Some(TaxiOrder {
+            od: OdInput { origin, destination, depart, weather },
+            trajectory,
+            travel_time,
+        })
+    }
+
+    /// Simulates until `n` valid orders have been produced (or the attempt
+    /// budget `10 n + 100` is exhausted).
+    pub fn simulate_orders(&mut self, n: usize, day_start: f64, days: usize) -> Vec<TaxiOrder> {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < 10 * n + 100 {
+            attempts += 1;
+            if let Some(o) = self.simulate_order(day_start, days) {
+                out.push(o);
+            }
+        }
+        out
+    }
+}
+
+/// Emits raw GPS points for a trip by walking its spatio-temporal path at
+/// `period`-second intervals, adding Gaussian position noise.
+pub fn sample_gps(
+    net: &RoadNetwork,
+    traj: &MatchedTrajectory,
+    period: f64,
+    noise: GpsNoise,
+    rng: &mut StdRng,
+) -> RawTrajectory {
+    assert!(period > 0.0, "GPS period must be positive");
+    let mut points = Vec::new();
+    let start = traj.path.first().map(|s| s.enter).unwrap_or(0.0);
+    let end = traj.path.last().map(|s| s.exit).unwrap_or(0.0);
+    let n = Normal::new(0.0, noise.sigma.max(0.0)).unwrap();
+    let mut t = start;
+    let mut step_idx = 0;
+    while t <= end + 1e-9 {
+        while step_idx + 1 < traj.path.len() && traj.path[step_idx].exit < t {
+            step_idx += 1;
+        }
+        let s = &traj.path[step_idx];
+        let frac = if s.duration() <= 1e-9 {
+            0.5
+        } else {
+            ((t - s.enter) / s.duration()).clamp(0.0, 1.0)
+        };
+        let mut p = net.point_on_edge(s.edge, frac);
+        p.x += n.sample(rng);
+        p.y += n.sample(rng);
+        points.push(RawGpsPoint { pos: p, t });
+        t += period;
+    }
+    RawTrajectory { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepod_roadnet::{CityConfig, CityProfile};
+    use deepod_traffic::{CongestionModel, WeatherProcess, SECONDS_PER_WEEK};
+    use deepod_tensor::rng_from_seed;
+
+    fn setup() -> (RoadNetwork, TrafficModel) {
+        let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+        let mut rng = rng_from_seed(77);
+        let weather = WeatherProcess::sample(9.0 * SECONDS_PER_WEEK, 1800.0, &mut rng);
+        let tm = TrafficModel::new(&net, CongestionModel::default(), weather, &mut rng);
+        (net, tm)
+    }
+
+    #[test]
+    fn orders_are_valid() {
+        let (net, tm) = setup();
+        let mut sim = OrderSimulator::new(&net, &tm, SimConfig::default());
+        let orders = sim.simulate_orders(25, 0.0, 7);
+        assert!(orders.len() >= 20, "only {} orders", orders.len());
+        for o in &orders {
+            o.trajectory.validate().expect("invalid trajectory");
+            assert!(o.travel_time > 0.0);
+            assert!(o.od.depart >= 0.0);
+            assert!((o.trajectory.travel_time() - o.travel_time).abs() < 1e-6);
+            // Consecutive edges must connect on the network.
+            let edges = o.trajectory.edges();
+            for w in edges.windows(2) {
+                assert!(net.edges_are_consecutive(w[0], w[1]), "disconnected path");
+            }
+        }
+    }
+
+    #[test]
+    fn rush_hour_orders_slower_on_average() {
+        let (net, tm) = setup();
+        let mut cfg = SimConfig::default();
+        cfg.route_noise = 0.0;
+        cfg.hotspot_prob = 0.0;
+        let mut sim = OrderSimulator::new(&net, &tm, cfg);
+        // Manufacture matched OD pairs at 8am vs 3am of day 1 by sampling
+        // many orders and comparing normalized speed (dist / time).
+        let orders = sim.simulate_orders(150, 0.0, 5);
+        let mut rush_speed = vec![];
+        let mut night_speed = vec![];
+        for o in &orders {
+            let hour = (o.od.depart % SECONDS_PER_DAY) / 3600.0;
+            let day = ((o.od.depart % SECONDS_PER_WEEK) / SECONDS_PER_DAY) as usize;
+            if day >= 5 {
+                continue;
+            }
+            let dist: f64 =
+                o.trajectory.edges().iter().map(|&e| net.edge(e).length).sum();
+            let v = dist / o.travel_time;
+            if (7.0..9.5).contains(&hour) {
+                rush_speed.push(v);
+            } else if !(6.0..22.0).contains(&hour) {
+                night_speed.push(v);
+            }
+        }
+        if rush_speed.len() >= 3 && night_speed.len() >= 3 {
+            let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+            assert!(
+                avg(&night_speed) > avg(&rush_speed),
+                "night {:.2} should beat rush {:.2}",
+                avg(&night_speed),
+                avg(&rush_speed)
+            );
+        }
+    }
+
+    #[test]
+    fn same_od_different_time_different_duration() {
+        // The Fig. 1 motivation: identical OD, different departure hour →
+        // different travel time on congested networks.
+        let (net, tm) = setup();
+        let from = deepod_roadnet::NodeId(5);
+        let to = deepod_roadnet::NodeId((net.num_nodes() - 5) as u32);
+        let route_at = |depart: f64| {
+            time_dependent_route(&net, from, to, depart, |e, t| tm.traversal_time(&net, e, t))
+                .expect("routable")
+        };
+        let rush = route_at(SECONDS_PER_DAY + 8.0 * 3600.0);
+        let night = route_at(SECONDS_PER_DAY + 3.0 * 3600.0);
+        assert!(
+            rush.cost > night.cost * 1.1,
+            "rush {:.0}s vs night {:.0}s",
+            rush.cost,
+            night.cost
+        );
+    }
+
+    #[test]
+    fn gps_sampling_covers_trip() {
+        let (net, tm) = setup();
+        let mut sim = OrderSimulator::new(&net, &tm, SimConfig::default());
+        let order = sim
+            .simulate_orders(1, 0.0, 3)
+            .into_iter()
+            .next()
+            .expect("one order");
+        let mut rng = rng_from_seed(1);
+        let raw =
+            sample_gps(&net, &order.trajectory, 3.0, GpsNoise { sigma: 5.0 }, &mut rng);
+        assert!(raw.points.len() as f64 >= order.travel_time / 3.0 - 2.0);
+        // Duration of the GPS trace ≈ travel time.
+        assert!((raw.duration() - order.travel_time).abs() <= 3.0 + 1e-6);
+        // Points near the trip's roads: each within ~5 sigma + block size.
+        let grid = SpatialGrid::build(&net, 250.0);
+        for p in raw.points.iter().step_by(7) {
+            assert!(grid.nearest_edge(&net, &p.pos, 120.0).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, tm) = setup();
+        let mut s1 = OrderSimulator::new(&net, &tm, SimConfig::default());
+        let mut s2 = OrderSimulator::new(&net, &tm, SimConfig::default());
+        let a = s1.simulate_orders(5, 0.0, 3);
+        let b = s2.simulate_orders(5, 0.0, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.travel_time, y.travel_time);
+            assert_eq!(x.od.depart, y.od.depart);
+        }
+    }
+
+    #[test]
+    fn departure_profile_prefers_daytime() {
+        let (net, tm) = setup();
+        let mut sim = OrderSimulator::new(&net, &tm, SimConfig::default());
+        let orders = sim.simulate_orders(200, 0.0, 7);
+        let day = orders
+            .iter()
+            .filter(|o| {
+                let h = (o.od.depart % SECONDS_PER_DAY) / 3600.0;
+                (7.0..21.0).contains(&h)
+            })
+            .count();
+        assert!(
+            day * 10 >= orders.len() * 6,
+            "only {day}/{} daytime orders",
+            orders.len()
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Core data types mirroring §2 of the paper: raw trajectories,
+//! spatio-temporal paths, position ratios, OD inputs and taxi orders.
+
+use deepod_roadnet::{EdgeId, Point};
+use deepod_traffic::WeatherType;
+use serde::{Deserialize, Serialize};
+
+/// One raw GPS fix: position plus timestamp (seconds in the city epoch).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RawGpsPoint {
+    /// Planar position.
+    pub pos: Point,
+    /// Timestamp in seconds.
+    pub t: f64,
+}
+
+/// A raw trajectory: the GPS point sequence of one trip.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RawTrajectory {
+    /// GPS fixes in time order.
+    pub points: Vec<RawGpsPoint>,
+}
+
+impl RawTrajectory {
+    /// Trip duration in seconds (0 for < 2 points).
+    pub fn duration(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Sum of straight-line distances between consecutive fixes.
+    pub fn approx_length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].pos.dist(&w[1].pos)).sum()
+    }
+}
+
+/// One element of a spatio-temporal path: a road segment and the time
+/// interval `[t[1], t[-1]]` during which the trip occupied it (Def. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpatioTemporalStep {
+    /// The road segment.
+    pub edge: EdgeId,
+    /// Entry timestamp.
+    pub enter: f64,
+    /// Exit timestamp.
+    pub exit: f64,
+}
+
+impl SpatioTemporalStep {
+    /// Occupancy duration on this segment.
+    pub fn duration(&self) -> f64 {
+        self.exit - self.enter
+    }
+}
+
+/// A trajectory matched to the road network: a spatio-temporal path plus
+/// the two position ratios `⟨r[1], r[-1]⟩` locating the true origin and
+/// destination within the first and last segment (Def. 1).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatchedTrajectory {
+    /// The spatio-temporal path SP.
+    pub path: Vec<SpatioTemporalStep>,
+    /// Position ratio of the origin on the first segment.
+    pub r_start: f64,
+    /// Position ratio of the destination on the last segment (measured from
+    /// the far end, as in the paper: `|g[-1] → v⁻¹₋₁| / |segment|`).
+    pub r_end: f64,
+}
+
+impl MatchedTrajectory {
+    /// The edge sequence of the path.
+    pub fn edges(&self) -> Vec<EdgeId> {
+        self.path.iter().map(|s| s.edge).collect()
+    }
+
+    /// Total travel time: last exit minus first entry.
+    pub fn travel_time(&self) -> f64 {
+        match (self.path.first(), self.path.last()) {
+            (Some(a), Some(b)) => b.exit - a.enter,
+            _ => 0.0,
+        }
+    }
+
+    /// Checks structural invariants: non-empty, time-monotone, contiguous
+    /// intervals, ratios in [0, 1]. Returns a description of the first
+    /// violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.path.is_empty() {
+            return Err("empty spatio-temporal path".into());
+        }
+        if !(0.0..=1.0).contains(&self.r_start) || !(0.0..=1.0).contains(&self.r_end) {
+            return Err(format!("ratios out of range: {} / {}", self.r_start, self.r_end));
+        }
+        for (i, s) in self.path.iter().enumerate() {
+            if s.exit < s.enter {
+                return Err(format!("step {i} exits before entering"));
+            }
+        }
+        for (i, w) in self.path.windows(2).enumerate() {
+            if (w[1].enter - w[0].exit).abs() > 1.0 {
+                return Err(format!("gap between steps {i} and {} exceeds 1 s", i + 1));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The OD input of Def. 2: origin, destination, departure time, and the
+/// external weather feature (the traffic-condition matrix is looked up from
+/// the departure time at encoding time).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OdInput {
+    /// Origin point g\[1\].
+    pub origin: Point,
+    /// Destination point g[-1].
+    pub destination: Point,
+    /// Departure timestamp t (seconds in the city epoch).
+    pub depart: f64,
+    /// Weather at departure.
+    pub weather: WeatherType,
+}
+
+/// One historical trip record: the OD input, its affiliated trajectory, and
+/// the ground-truth travel time (the label).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaxiOrder {
+    /// The OD input available at prediction time.
+    pub od: OdInput,
+    /// The trajectory, available only during training.
+    pub trajectory: MatchedTrajectory,
+    /// Actual travel time in seconds.
+    pub travel_time: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(e: u32, a: f64, b: f64) -> SpatioTemporalStep {
+        SpatioTemporalStep { edge: EdgeId(e), enter: a, exit: b }
+    }
+
+    #[test]
+    fn raw_trajectory_stats() {
+        let t = RawTrajectory {
+            points: vec![
+                RawGpsPoint { pos: Point::new(0.0, 0.0), t: 100.0 },
+                RawGpsPoint { pos: Point::new(30.0, 40.0), t: 110.0 },
+                RawGpsPoint { pos: Point::new(30.0, 100.0), t: 125.0 },
+            ],
+        };
+        assert_eq!(t.duration(), 25.0);
+        assert!((t.approx_length() - 110.0).abs() < 1e-9);
+        assert_eq!(RawTrajectory::default().duration(), 0.0);
+    }
+
+    #[test]
+    fn matched_trajectory_travel_time_and_edges() {
+        let m = MatchedTrajectory {
+            path: vec![step(3, 0.0, 10.0), step(5, 10.0, 25.0)],
+            r_start: 0.2,
+            r_end: 0.7,
+        };
+        assert_eq!(m.travel_time(), 25.0);
+        assert_eq!(m.edges(), vec![EdgeId(3), EdgeId(5)]);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let empty = MatchedTrajectory { path: vec![], r_start: 0.0, r_end: 0.0 };
+        assert!(empty.validate().is_err());
+
+        let bad_ratio =
+            MatchedTrajectory { path: vec![step(0, 0.0, 1.0)], r_start: 1.5, r_end: 0.0 };
+        assert!(bad_ratio.validate().is_err());
+
+        let backwards =
+            MatchedTrajectory { path: vec![step(0, 5.0, 1.0)], r_start: 0.0, r_end: 0.0 };
+        assert!(backwards.validate().is_err());
+
+        let gap = MatchedTrajectory {
+            path: vec![step(0, 0.0, 1.0), step(1, 5.0, 6.0)],
+            r_start: 0.0,
+            r_end: 0.0,
+        };
+        assert!(gap.validate().is_err());
+    }
+
+    #[test]
+    fn step_duration() {
+        assert_eq!(step(0, 2.0, 7.5).duration(), 5.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! City explorer: inspect the synthetic substrate itself — the road
+//! network, the routing engine, the traffic model's weekly rhythm and the
+//! weather process. Useful for understanding what the learning problem
+//! actually looks like before training anything.
+//!
+//! Run with: `cargo run --release -p deepod-bench --example city_explorer`
+
+use deepod_roadnet::{time_dependent_route, CityConfig, CityProfile, NodeId, RoadClass, Router};
+use deepod_traffic::{CongestionModel, IncidentModel, TrafficModel, WeatherProcess};
+
+fn main() {
+    for profile in [
+        CityProfile::SynthChengdu,
+        CityProfile::SynthXian,
+        CityProfile::SynthBeijing,
+    ] {
+        let net = CityConfig::profile(profile).generate();
+        let (min, max) = net.bounding_box();
+        let mut by_class = std::collections::HashMap::new();
+        for e in net.edges() {
+            *by_class.entry(format!("{:?}", e.class)).or_insert(0usize) += 1;
+        }
+        println!(
+            "{profile:?}: {} nodes, {} segments, {:.1} x {:.1} km, {:.0} km of road",
+            net.num_nodes(),
+            net.num_edges(),
+            (max.x - min.x) / 1000.0,
+            (max.y - min.y) / 1000.0,
+            net.total_length() / 1000.0
+        );
+        let mut classes: Vec<_> = by_class.into_iter().collect();
+        classes.sort();
+        for (c, n) in classes {
+            println!("    {c:<10} {n}");
+        }
+    }
+
+    // Deep dive on Chengdu: routing and traffic.
+    println!("\n--- synthetic Chengdu deep dive ---");
+    let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
+    let mut rng = deepod_tensor::rng_from_seed(0xC17E);
+    let weather = WeatherProcess::sample(14.0 * 86_400.0, 1800.0, &mut rng);
+    let incidents = IncidentModel::sample(&net, 14.0 * 86_400.0, 6.0, &mut rng);
+    let traffic = TrafficModel::new(&net, CongestionModel::default(), weather, &mut rng)
+        .with_incidents(incidents);
+
+    // A cross-river trip: compare static vs time-dependent routes.
+    let router = Router::new(&net);
+    let from = NodeId(3);
+    let to = NodeId((net.num_nodes() - 4) as u32);
+    if let Some(static_route) = router.shortest_by_distance(from, to) {
+        println!(
+            "cross-town trip: {:.1} km over {} segments (shortest by distance)",
+            static_route.length(&net) / 1000.0,
+            static_route.edges.len()
+        );
+        for (label, depart) in [("3 am", 3.0 * 3600.0), ("8 am", 8.0 * 3600.0), ("6 pm", 18.0 * 3600.0)] {
+            let depart = 86_400.0 + depart; // Tuesday
+            if let Some(r) = time_dependent_route(&net, from, to, depart, |e, t| {
+                traffic.traversal_time(&net, e, t)
+            }) {
+                println!(
+                    "  depart Tue {label:>5}: {:.0}s ({:.1} km route, {} segments)",
+                    r.cost,
+                    r.length(&net) / 1000.0,
+                    r.edges.len()
+                );
+            }
+        }
+    }
+
+    // Weekly speed rhythm of one arterial.
+    let arterial = (0..net.num_edges())
+        .map(|i| deepod_roadnet::EdgeId(i as u32))
+        .find(|&e| net.edge(e).class == RoadClass::Arterial)
+        .expect("city has arterials");
+    println!("\nweekly speed rhythm of one arterial (m/s, Tue + Sat):");
+    for day in [1usize, 5] {
+        let name = if day == 1 { "Tue" } else { "Sat" };
+        print!("  {name}: ");
+        for hour in (0..24).step_by(3) {
+            let t = day as f64 * 86_400.0 + hour as f64 * 3600.0;
+            print!("{:>5.1}", traffic.speed(&net, arterial, t));
+        }
+        println!("   (00 03 06 09 12 15 18 21 h)");
+    }
+
+    // Weather timeline sample.
+    println!("\nweather over the first three days (every 6 h):");
+    for step in 0..12 {
+        let t = step as f64 * 6.0 * 3600.0;
+        let w = traffic.weather().at(t);
+        print!("{}({:.2}) ", w.label(), w.speed_factor());
+    }
+    println!();
+
+    println!("\nactive incidents at Tue 8 am: {}", traffic.incidents().active_at(86_400.0 + 8.0 * 3600.0).count());
+}

@@ -1,0 +1,97 @@
+//! ETA service: a ride-hailing-style scenario. Trains DeepOD once, then
+//! serves a stream of simulated ride requests, comparing its live ETAs
+//! against the TEMP fallback a cold-start deployment would use, and
+//! measuring serving latency.
+//!
+//! Run with: `cargo run --release -p deepod-bench --example eta_service`
+
+use deepod_baselines::{TempConfig, TempPredictor, TtePredictor};
+use deepod_core::{DeepOdConfig, TrainOptions, Trainer};
+use deepod_roadnet::{CityProfile, Point};
+use deepod_traffic::WeatherType;
+use deepod_traj::{DatasetBuilder, DatasetConfig, OdInput};
+use rand::Rng;
+use std::time::Instant;
+
+fn main() {
+    println!("ETA service demo — synthetic Xi'an");
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthXian, 1_200));
+    println!(
+        "  {} segments, {} historical orders",
+        ds.net.num_edges(),
+        ds.train.len() + ds.validation.len() + ds.test.len()
+    );
+
+    // Train the production model.
+    let cfg = DeepOdConfig { epochs: 8, batch_size: 16, loss_weight: 0.3, ..Default::default() };
+    let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default());
+    let report = trainer.train();
+    println!("  model trained: best val MAE {:.1}s", report.best_val_mae);
+
+    // Cold-start fallback: TEMP over the same history.
+    let mut temp = TempPredictor::new(TempConfig::default());
+    temp.fit(&ds);
+
+    // Serve a stream of requests in the test window.
+    let (min, max) = ds.net.bounding_box();
+    let mut rng = deepod_tensor::rng_from_seed(0xE7A);
+    let t_start = (ds.config.train_days + ds.config.val_days) as f64 * 86_400.0;
+    let n_requests = 200;
+
+    println!("\nserving {n_requests} ride requests ...");
+    let mut served = 0u32;
+    let mut latency_model = 0.0f64;
+    let mut latency_temp = 0.0f64;
+    let mut disagreement = 0.0f32;
+
+    for i in 0..n_requests {
+        let req = OdInput {
+            origin: Point::new(rng.gen_range(min.x..max.x), rng.gen_range(min.y..max.y)),
+            destination: Point::new(rng.gen_range(min.x..max.x), rng.gen_range(min.y..max.y)),
+            depart: t_start + rng.gen_range(0.0..ds.config.test_days as f64 * 86_400.0),
+            weather: WeatherType(rng.gen_range(0..4)),
+        };
+
+        let t0 = Instant::now();
+        let eta_model = trainer.predict_od(&req);
+        latency_model += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let eta_temp = temp.predict(&req);
+        latency_temp += t0.elapsed().as_secs_f64();
+
+        if let (Some(m), Some(t)) = (eta_model, eta_temp) {
+            served += 1;
+            disagreement += (m - t).abs();
+            if i < 5 {
+                println!(
+                    "  request {i}: DeepOD {m:>6.0}s | TEMP {t:>6.0}s | {:.1} km crow-fly",
+                    req.origin.dist(&req.destination) / 1000.0
+                );
+            }
+        }
+    }
+
+    println!("\nserved {served}/{n_requests} requests (rest off-network)");
+    println!(
+        "mean latency: DeepOD {:.2} ms, TEMP {:.2} ms",
+        1e3 * latency_model / n_requests as f64,
+        1e3 * latency_temp / n_requests as f64
+    );
+    println!(
+        "mean |DeepOD − TEMP| disagreement: {:.0}s",
+        disagreement / served.max(1) as f32
+    );
+
+    // Ground-truth check on real test orders (where we know the answer).
+    let preds = trainer.predict_orders(&ds.test);
+    let mut mae = 0.0f32;
+    let mut n = 0u32;
+    for (p, o) in preds.iter().zip(&ds.test) {
+        if let Some(p) = p {
+            mae += (p - o.travel_time as f32).abs();
+            n += 1;
+        }
+    }
+    println!("reference: DeepOD test MAE on labeled trips {:.1}s ({n} trips)", mae / n as f32);
+}

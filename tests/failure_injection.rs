@@ -1,0 +1,166 @@
+//! Failure injection: corrupted, degenerate and adversarial inputs must be
+//! rejected or survived gracefully — never silently mis-learned.
+
+use deepod_core::{DeepOdConfig, EmbeddingInit, FeatureContext, TrainOptions, Trainer};
+use deepod_roadnet::{CityProfile, EdgeId, Point};
+use deepod_traj::{
+    DatasetBuilder, DatasetConfig, HmmMapMatcher, MapMatchConfig, MatchedTrajectory,
+    RawGpsPoint, RawTrajectory, SpatioTemporalStep,
+};
+
+fn tiny_cfg() -> DeepOdConfig {
+    DeepOdConfig {
+        init: EmbeddingInit::Random,
+        ds: 6,
+        dt_dim: 6,
+        d1m: 8,
+        d2m: 6,
+        d3m: 8,
+        d4m: 6,
+        d5m: 8,
+        d6m: 6,
+        d7m: 8,
+        d9m: 8,
+        dh: 8,
+        dtraf: 4,
+        epochs: 1,
+        batch_size: 8,
+        ..DeepOdConfig::default()
+    }
+}
+
+#[test]
+fn corrupt_trajectories_fail_validation() {
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 30));
+    let mut t = ds.train[0].trajectory.clone();
+    // Time going backwards.
+    t.path[0].exit = t.path[0].enter - 100.0;
+    assert!(t.validate().is_err());
+
+    let mut t = ds.train[0].trajectory.clone();
+    // Ratio out of range.
+    t.r_start = 2.0;
+    assert!(t.validate().is_err());
+}
+
+#[test]
+fn encoder_drops_orders_with_off_network_endpoints() {
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
+    let ctx = FeatureContext::build(&ds, 300.0);
+    let mut bad = ds.train[0].clone();
+    bad.od.origin = Point::new(-1e9, -1e9);
+    let encoded = ctx.encode_orders(&ds.net, &[bad]);
+    assert!(encoded.is_empty(), "off-network order must be dropped, not encoded");
+}
+
+#[test]
+fn empty_trajectory_order_dropped_by_encoder() {
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
+    let ctx = FeatureContext::build(&ds, 300.0);
+    let mut bad = ds.train[0].clone();
+    bad.trajectory = MatchedTrajectory { path: vec![], r_start: 0.0, r_end: 0.0 };
+    assert!(ctx.encode_order(&ds.net, &bad).is_none());
+}
+
+#[test]
+fn training_survives_extreme_labels() {
+    // A handful of absurd labels (data-entry style errors) must not produce
+    // NaNs or a diverged model.
+    let mut ds =
+        DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
+    for o in ds.train.iter_mut().step_by(29) {
+        o.travel_time = 50_000.0; // ~14 hours
+    }
+    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default());
+    let report = trainer.train();
+    assert!(report.best_val_mae.is_finite(), "training diverged to NaN");
+    let pred = trainer.predict_od(&ds.test[0].od);
+    assert!(pred.unwrap_or(f32::NAN).is_finite());
+}
+
+#[test]
+fn map_matcher_survives_heavy_noise_or_rejects() {
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
+    let grid = deepod_roadnet::SpatialGrid::build(&ds.net, 250.0);
+    let matcher = HmmMapMatcher::new(&ds.net, &grid, MapMatchConfig::default());
+    // Garbage trace: random points far apart in space, tight in time.
+    let mut rng = deepod_tensor::rng_from_seed(13);
+    let (min, max) = ds.net.bounding_box();
+    let points: Vec<RawGpsPoint> = (0..20)
+        .map(|i| RawGpsPoint {
+            pos: Point::new(
+                rand::Rng::gen_range(&mut rng, min.x..max.x),
+                rand::Rng::gen_range(&mut rng, min.y..max.y),
+            ),
+            t: i as f64 * 3.0,
+        })
+        .collect();
+    let raw = RawTrajectory { points };
+    // Either None or a structurally valid trajectory — never a panic or an
+    // invalid structure.
+    if let Some(m) = matcher.match_trajectory(&raw) {
+        m.validate().expect("matcher output must be structurally valid");
+    }
+}
+
+#[test]
+fn single_point_and_empty_traces_rejected() {
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 10));
+    let grid = deepod_roadnet::SpatialGrid::build(&ds.net, 250.0);
+    let matcher = HmmMapMatcher::new(&ds.net, &grid, MapMatchConfig::default());
+    assert!(matcher.match_trajectory(&RawTrajectory { points: vec![] }).is_none());
+    let one = RawTrajectory {
+        points: vec![RawGpsPoint { pos: ds.net.node(deepod_roadnet::NodeId(0)).pos, t: 0.0 }],
+    };
+    assert!(matcher.match_trajectory(&one).is_none());
+}
+
+#[test]
+fn zero_duration_steps_tolerated_end_to_end() {
+    // Degenerate steps (enter == exit) occur for tiny partial segments;
+    // the whole pipeline must accept them.
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
+    let ctx = FeatureContext::build(&ds, 300.0);
+    let mut order = ds.train[0].clone();
+    let first = order.trajectory.path[0];
+    order.trajectory.path.insert(
+        0,
+        SpatioTemporalStep { edge: first.edge, enter: first.enter, exit: first.enter },
+    );
+    let sample = ctx.encode_order(&ds.net, &order).expect("still encodable");
+    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default());
+    let (loss, grads) = trainer.model().sample_gradients(&sample);
+    assert!(loss.is_finite());
+    assert!(!grads.is_empty());
+}
+
+#[test]
+fn prediction_for_unroutable_edge_ids_out_of_range_guarded() {
+    // Gather with an out-of-range edge index must panic loudly (assert),
+    // not read out of bounds.
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
+    let ctx = FeatureContext::build(&ds, 300.0);
+    let mut sample = ctx
+        .encode_order(&ds.net, &ds.train[0])
+        .expect("encodable");
+    sample.steps[0].edge = usize::MAX;
+    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        trainer.model().sample_gradients(&sample)
+    }));
+    assert!(result.is_err(), "out-of-range edge index must be rejected");
+}
+
+#[test]
+fn line_graph_ignores_trajectories_with_unknown_transitions() {
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
+    // A "trajectory" jumping between unrelated edges contributes nothing.
+    let bogus = vec![EdgeId(0), EdgeId((ds.net.num_edges() - 1) as u32)];
+    let lg = deepod_roadnet::LineGraph::from_trajectories(
+        &ds.net,
+        [bogus.as_slice()].into_iter(),
+        1.0,
+    );
+    // Still structurally intact.
+    assert_eq!(lg.num_nodes(), ds.net.num_edges());
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: city generation → traffic → simulation → GPS →
+//! map matching → feature encoding, exercising every substrate together.
+
+use deepod_core::{FeatureContext, TimeSlots};
+use deepod_roadnet::{CityConfig, CityProfile, SpatialGrid};
+use deepod_traj::{
+    sample_gps, DatasetBuilder, DatasetConfig, GpsNoise, HmmMapMatcher, MapMatchConfig,
+};
+
+#[test]
+fn full_data_pipeline_produces_consistent_dataset() {
+    let cfg = DatasetConfig::for_profile(CityProfile::SynthChengdu, 150);
+    let ds = DatasetBuilder::build(&cfg);
+
+    // Dataset invariants.
+    assert!(ds.train.len() + ds.validation.len() + ds.test.len() >= 120);
+    for split in [&ds.train, &ds.validation, &ds.test] {
+        for o in split.iter() {
+            o.trajectory.validate().expect("invalid trajectory in dataset");
+            // Travel time consistent with its own path.
+            assert!((o.trajectory.travel_time() - o.travel_time).abs() < 1e-6);
+            // Path edges belong to the network.
+            for e in o.trajectory.edges() {
+                assert!(e.idx() < ds.net.num_edges());
+            }
+        }
+    }
+
+    // Feature encoding over the whole dataset.
+    let ctx = FeatureContext::build(&ds, 300.0);
+    let train_enc = ctx.encode_orders(&ds.net, &ds.train);
+    assert!(train_enc.len() * 10 >= ds.train.len() * 9);
+
+    // Slot nodes round-trip through the shared discretization.
+    let slots = TimeSlots::new(0.0, 300.0);
+    for (enc, raw) in train_enc.iter().zip(&ds.train) {
+        assert_eq!(enc.od.depart_node, slots.week_node_of(raw.od.depart));
+    }
+}
+
+#[test]
+fn map_matching_recovers_simulated_paths_end_to_end() {
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 30));
+    let grid = SpatialGrid::build(&ds.net, 250.0);
+    let matcher = HmmMapMatcher::new(&ds.net, &grid, MapMatchConfig::default());
+    let mut rng = deepod_tensor::rng_from_seed(99);
+
+    let mut matched = 0;
+    let mut tried = 0;
+    for order in ds.train.iter().take(10) {
+        tried += 1;
+        let raw = sample_gps(&ds.net, &order.trajectory, 3.0, GpsNoise { sigma: 6.0 }, &mut rng);
+        if let Some(m) = matcher.match_trajectory(&raw) {
+            matched += 1;
+            m.validate().expect("matched trajectory invalid");
+            // Duration recovered within one GPS period.
+            assert!((m.travel_time() - order.travel_time).abs() <= 3.0 + 1e-6);
+        }
+    }
+    assert!(matched * 4 >= tried * 3, "only {matched}/{tried} matched");
+}
+
+#[test]
+fn beijing_profile_differs_structurally() {
+    let crn = CityConfig::profile(CityProfile::SynthChengdu).generate();
+    let brn = CityConfig::profile(CityProfile::SynthBeijing).generate();
+    assert!(brn.num_edges() > crn.num_edges() * 2);
+    assert!(brn.total_length() > crn.total_length() * 2.0);
+}
+
+#[test]
+fn speed_matrices_reflect_congestion() {
+    // The traffic-condition feature should show lower speeds at rush hour
+    // than overnight, averaged over the grid.
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
+    let ctx = FeatureContext::build(&ds, 300.0);
+
+    // Use encoded orders' speed matrices: find one rush-hour and one
+    // overnight departure on a weekday.
+    let enc = ctx.encode_orders(&ds.net, &ds.train);
+    let day = 86_400.0;
+    let mut rush = None;
+    let mut night = None;
+    for (e, o) in enc.iter().zip(&ds.train) {
+        let dow = ((o.od.depart / day) as usize) % 7;
+        let hour = (o.od.depart % day) / 3600.0;
+        if dow < 5 && (7.5..9.0).contains(&hour) && rush.is_none() {
+            rush = Some(e.od.speed_matrix.clone());
+        }
+        if (2.0..5.0).contains(&hour) && night.is_none() {
+            night = Some(e.od.speed_matrix.clone());
+        }
+    }
+    if let (Some(r), Some(n)) = (rush, night) {
+        let avg = |m: &deepod_tensor::Tensor| m.mean();
+        assert!(
+            avg(&n) > avg(&r),
+            "overnight speeds {:.2} should exceed rush speeds {:.2}",
+            avg(&n),
+            avg(&r)
+        );
+    }
+}

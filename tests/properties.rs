@@ -1,0 +1,147 @@
+//! Property-based tests over cross-crate invariants: routing optimality,
+//! trajectory structure, metric identities, and time-slot arithmetic.
+
+use deepod_eval::{mae, mape, mare, PredPair};
+use deepod_roadnet::{
+    dijkstra_shortest_path, CityConfig, CityProfile, EdgeId, NodeId, Point, RoadClass,
+    RoadNetwork,
+};
+use proptest::prelude::*;
+
+/// Small random road network generator for routing properties.
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (4usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = deepod_tensor::rng_from_seed(seed);
+        let mut net = RoadNetwork::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|_| {
+                net.add_node(Point::new(
+                    rand::Rng::gen_range(&mut rng, 0.0..5000.0),
+                    rand::Rng::gen_range(&mut rng, 0.0..5000.0),
+                ))
+            })
+            .collect();
+        // Ring to guarantee strong connectivity, plus random chords.
+        for i in 0..n {
+            net.add_edge(nodes[i], nodes[(i + 1) % n], RoadClass::Local);
+        }
+        for _ in 0..n {
+            let a = nodes[rand::Rng::gen_range(&mut rng, 0..n)];
+            let b = nodes[rand::Rng::gen_range(&mut rng, 0..n)];
+            if a != b {
+                net.add_edge(a, b, RoadClass::Arterial);
+            }
+        }
+        net
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dijkstra's triangle inequality: d(a,c) ≤ d(a,b) + d(b,c).
+    #[test]
+    fn routing_triangle_inequality(net in arb_network(), ai in 0usize..12, bi in 0usize..12, ci in 0usize..12) {
+        let n = net.num_nodes();
+        let (a, b, c) = (NodeId((ai % n) as u32), NodeId((bi % n) as u32), NodeId((ci % n) as u32));
+        let d = |x, y| dijkstra_shortest_path(&net, x, y, |e| net.edge(e).length).map(|p| p.cost);
+        if let (Some(ab), Some(bc), Some(ac)) = (d(a, b), d(b, c), d(a, c)) {
+            prop_assert!(ac <= ab + bc + 1e-6, "ac {ac} > ab {ab} + bc {bc}");
+        }
+    }
+
+    /// A route's reported cost equals the sum of its edge lengths, and the
+    /// edges are consecutive.
+    #[test]
+    fn route_cost_consistent(net in arb_network(), ai in 0usize..12, bi in 0usize..12) {
+        let n = net.num_nodes();
+        let (a, b) = (NodeId((ai % n) as u32), NodeId((bi % n) as u32));
+        if let Some(p) = dijkstra_shortest_path(&net, a, b, |e| net.edge(e).length) {
+            let sum: f64 = p.edges.iter().map(|&e| net.edge(e).length).sum();
+            prop_assert!((sum - p.cost).abs() < 1e-6);
+            for w in p.edges.windows(2) {
+                prop_assert!(net.edges_are_consecutive(w[0], w[1]));
+            }
+            if let Some(first) = p.edges.first() {
+                prop_assert_eq!(net.edge(*first).from, a);
+            }
+            if let Some(last) = p.edges.last() {
+                prop_assert_eq!(net.edge(*last).to, b);
+            }
+        }
+    }
+
+    /// Metric identities: MAE scales linearly; MAPE/MARE are
+    /// scale-invariant under proportional scaling of both columns.
+    #[test]
+    fn metric_scaling_identities(
+        base in proptest::collection::vec((50.0f32..2000.0, -0.5f32..0.5), 3..40),
+        k in 0.5f32..4.0,
+    ) {
+        let pairs: Vec<PredPair> = base
+            .iter()
+            .map(|&(y, rel)| PredPair { actual: y, predicted: y * (1.0 + rel) })
+            .collect();
+        let scaled: Vec<PredPair> = pairs
+            .iter()
+            .map(|p| PredPair { actual: p.actual * k, predicted: p.predicted * k })
+            .collect();
+        prop_assert!((mae(&scaled) - k * mae(&pairs)).abs() <= 1e-2 * mae(&pairs).max(1.0));
+        prop_assert!((mape(&scaled) - mape(&pairs)).abs() < 1e-4);
+        prop_assert!((mare(&scaled) - mare(&pairs)).abs() < 1e-4);
+        // MARE ≤ max APE and ≥ min APE.
+        let apes: Vec<f32> = pairs.iter().map(|p| p.ape()).collect();
+        let max_ape = apes.iter().cloned().fold(0.0f32, f32::max);
+        prop_assert!(mare(&pairs) <= max_ape + 1e-5);
+    }
+
+    /// Spatial grid: the nearest edge returned is genuinely the nearest
+    /// among all edges (brute force cross-check).
+    #[test]
+    fn nearest_edge_is_truly_nearest(seed in any::<u64>(), qx in 0.0f64..4000.0, qy in 0.0f64..4000.0) {
+        let mut cfg = CityConfig::profile(CityProfile::SynthChengdu);
+        cfg.grid_x = 5;
+        cfg.grid_y = 5;
+        cfg.seed = seed;
+        let net = cfg.generate();
+        let grid = deepod_roadnet::SpatialGrid::build(&net, 200.0);
+        let q = Point::new(qx, qy);
+        if let Some((id, pr)) = grid.nearest_edge(&net, &q, 800.0) {
+            // Brute-force check.
+            let mut best = f64::INFINITY;
+            for i in 0..net.num_edges() {
+                let e = net.edge(EdgeId(i as u32));
+                let a = net.node(e.from).pos;
+                let b = net.node(e.to).pos;
+                let d = deepod_roadnet::Point::dist(
+                    &q,
+                    &{
+                        // inline projection
+                        let (abx, aby) = (b.x - a.x, b.y - a.y);
+                        let len2 = abx * abx + aby * aby;
+                        let t = if len2 <= f64::EPSILON { 0.0 } else {
+                            (((q.x - a.x) * abx + (q.y - a.y) * aby) / len2).clamp(0.0, 1.0)
+                        };
+                        a.lerp(&b, t)
+                    },
+                );
+                best = best.min(d);
+            }
+            prop_assert!((pr.distance - best).abs() < 1e-6, "grid {:?} dist {} vs brute {}", id, pr.distance, best);
+        }
+    }
+}
+
+#[test]
+fn simulated_trajectory_times_strictly_increase() {
+    use deepod_traj::{DatasetBuilder, DatasetConfig};
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
+    for o in ds.train.iter().chain(&ds.test) {
+        let mut prev_exit = f64::NEG_INFINITY;
+        for s in &o.trajectory.path {
+            assert!(s.enter >= prev_exit - 1e-9, "overlapping intervals");
+            assert!(s.exit >= s.enter);
+            prev_exit = s.exit;
+        }
+    }
+}
