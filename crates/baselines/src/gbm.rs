@@ -304,7 +304,7 @@ mod tests {
         // ordering GBM < LR (lower error).
         let ds =
             DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
-        let mut gbm = GbmPredictor::new(GbmConfig::default());
+        let mut gbm = GbmPredictor::new(GbmConfig { num_trees: 120, ..Default::default() });
         gbm.fit(&ds);
         let mut lr = crate::LinearRegression::new(1e-3);
         crate::TtePredictor::fit(&mut lr, &ds);

@@ -315,7 +315,7 @@ impl MuratPredictor {
                 grads.clip_global_norm(5.0);
                 opt.step(&mut self.store, &grads);
                 step += 1;
-                if eval_every > 0 && step % eval_every == 0 {
+                if eval_every > 0 && step.is_multiple_of(eval_every) {
                     let n = ds.validation.len().min(256);
                     if n > 0 {
                         let mut acc = 0.0f32;

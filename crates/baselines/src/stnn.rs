@@ -179,7 +179,7 @@ impl StnnPredictor {
                 grads.clip_global_norm(5.0);
                 opt.step(&mut self.store, &grads);
                 step += 1;
-                if eval_every > 0 && step % eval_every == 0 {
+                if eval_every > 0 && step.is_multiple_of(eval_every) {
                     let mae = self.validation_mae(ds);
                     curve.push((step, mae));
                 }
@@ -199,9 +199,7 @@ impl TtePredictor for StnnPredictor {
     }
 
     fn predict(&mut self, od: &OdInput) -> Option<f32> {
-        if self.dist_net.is_none() {
-            return None;
-        }
+        self.dist_net?;
         Some(self.forward(od).max(0.0))
     }
 
@@ -219,8 +217,8 @@ mod tests {
     #[test]
     fn trains_and_beats_mean() {
         let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
-        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 16, ..Default::default() });
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
+        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 24, ..Default::default() });
         stnn.fit(&ds);
         let mean = ds.mean_train_travel_time() as f32;
         let mut mae = 0.0;
@@ -258,8 +256,8 @@ mod tests {
     #[test]
     fn longer_trips_predicted_longer() {
         let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
-        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 16, ..Default::default() });
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
+        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 24, ..Default::default() });
         stnn.fit(&ds);
         // Compare a short and a long trip at the same departure time.
         let mut short = ds.test[0].od;

@@ -99,6 +99,69 @@ fn bench_map_matching(c: &mut Criterion) {
     });
 }
 
+/// Dense-kernel and training-throughput benches (`BENCH_kernels.json`):
+/// the blocked matmul at the three module-characteristic shapes, the serial
+/// vs parallel kernel path, and a full training epoch at one worker vs the
+/// configured count. Run with
+/// `DEEPOD_BENCH_JSON=BENCH_kernels.json cargo bench -p deepod-bench -- kernels`.
+fn bench_kernels(c: &mut Criterion) {
+    use deepod_tensor::Tensor;
+    let mut group = c.benchmark_group("kernels");
+
+    // (label, m, k, n) — m×k · k×n at the sizes dominating each module's
+    // forward pass: M_O the OD head, M_T the trajectory encoder, M_E the
+    // external-factor encoder (tuned dims, batch-of-rows on the left).
+    let shapes = [("matmul_MO_64x96x64", 64, 96, 64), ("matmul_MT_128x64x64", 128, 64, 64), (
+        "matmul_ME_32x48x32",
+        32,
+        48,
+        32,
+    )];
+    let mut rng = deepod_tensor::rng_from_seed(0xD0D);
+    for (label, m, k, n) in shapes {
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b_mat = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(black_box(&a).matmul(black_box(&b_mat))));
+        });
+    }
+
+    // Serial vs parallel kernel path on a shape big enough to fork.
+    let big_a = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let big_b = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    group.bench_function("matmul_256_serial", |b| {
+        b.iter(|| black_box(black_box(&big_a).matmul_with_threads(black_box(&big_b), 1)));
+    });
+    // At least two workers, so the fork path is measured even on a
+    // single-core host (where it reports pure fan-out overhead).
+    let threads = deepod_bench::threads().max(2);
+    group.bench_function("matmul_256_parallel", |b| {
+        b.iter(|| {
+            black_box(black_box(&big_a).matmul_with_threads(black_box(&big_b), threads))
+        });
+    });
+    group.finish();
+
+    // One full training epoch, serial vs configured thread count (the
+    // headline data-parallel number; on a single-core host both paths
+    // measure the same work plus fan-out overhead).
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 150));
+    let mut group = c.benchmark_group("kernels_train");
+    for (label, t) in [("train_epoch_serial", 1), ("train_epoch_parallel", threads)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let opts = TrainOptions { threads: t, ..Default::default() };
+                    Trainer::new(&ds, small_config(), opts)
+                },
+                |mut trainer| black_box(trainer.train()),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
 /// DeepWalk embedding of a temporal-graph-sized ring.
 fn bench_graph_embedding(c: &mut Criterion) {
     let mut g = EmbedGraph::with_nodes(288);
@@ -118,6 +181,6 @@ fn bench_graph_embedding(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_estimation, bench_training_step, bench_routing, bench_map_matching, bench_graph_embedding
+    targets = bench_estimation, bench_training_step, bench_routing, bench_map_matching, bench_graph_embedding, bench_kernels
 }
 criterion_main!(benches);

@@ -25,7 +25,7 @@ fn main() {
 
         // Pick 50 random test indices with travel time < 1 hour, shared by
         // all methods (the paper samples once and plots every method).
-        let mut rng = deepod_tensor::rng_from_seed(0xF16_12);
+        let mut rng = deepod_tensor::rng_from_seed(0x000F_1612);
         let eligible: Vec<usize> = (0..ds.test.len())
             .filter(|&i| ds.test[i].travel_time < 3600.0)
             .collect();

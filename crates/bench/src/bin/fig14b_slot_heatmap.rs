@@ -33,12 +33,12 @@ fn main() {
     let buckets_per_day = 12; // 2-hour buckets
     let per_bucket = slots_per_day / buckets_per_day;
     let mut grid = vec![vec![0.0f64; buckets_per_day]; 7];
-    for day in 0..7 {
-        for b in 0..buckets_per_day {
+    for (day, row) in grid.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
             let start = day * slots_per_day + b * per_bucket;
             let end = start + per_bucket;
             let vals = &coords[start..end.min(coords.len())];
-            grid[day][b] = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+            *cell = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
         }
     }
 
@@ -75,9 +75,9 @@ fn main() {
         random_diff / n as f64
     );
     let mut day_corr = 0.0;
-    for day in 0..6 {
-        for b in 0..buckets_per_day {
-            day_corr += (grid[day][b] - grid[day + 1][b]).abs();
+    for pair in grid.windows(2) {
+        for (a, b) in pair[0].iter().zip(&pair[1]) {
+            day_corr += (a - b).abs();
         }
     }
     println!(

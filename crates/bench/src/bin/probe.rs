@@ -63,8 +63,10 @@ fn main() {
     let mean_mae: f32 = ds.test.iter().map(|o| (mean_y - o.travel_time as f32).abs()).sum::<f32>() / ds.test.len() as f32;
     eprintln!("mean-predictor test MAE {mean_mae:.1}");
 
-    let mut cfg = DeepOdConfig::default();
-    cfg.init = if args.get(4).map(|s| s=="n2v").unwrap_or(false) { EmbeddingInit::Node2Vec } else { EmbeddingInit::Random };
+    let mut cfg = DeepOdConfig {
+        init: if args.get(4).map(|s| s=="n2v").unwrap_or(false) { EmbeddingInit::Node2Vec } else { EmbeddingInit::Random },
+        ..Default::default()
+    };
     let big = args.get(5).map(|s| s=="big").unwrap_or(false);
     if big { cfg.ds = 32; cfg.dt_dim = 16; cfg.d1m = 32; cfg.d2m = 16; cfg.d3m = 32; cfg.d4m = 32;
       cfg.d5m = 16; cfg.d6m = 8; cfg.d7m = 64; cfg.d9m = 64; cfg.dh = 32; cfg.dtraf = 8; }

@@ -134,7 +134,9 @@ pub fn sweep_dataset(p: CityProfile, scale: Scale) -> CityDataset {
     DatasetBuilder::build(&DatasetConfig::for_profile(p, n))
 }
 
-/// Standard training options for harness runs.
+/// Standard training options for harness runs. `threads: 0` defers to
+/// `DEEPOD_THREADS` (or the machine's available parallelism), mirroring
+/// how [`Scale::from_env`] reads `DEEPOD_SCALE`.
 pub fn train_options() -> TrainOptions {
     TrainOptions {
         eval_every: 25,
@@ -142,13 +144,23 @@ pub fn train_options() -> TrainOptions {
         max_eval_samples: 256,
         clip_norm: 5.0,
         weight_decay: 1e-3,
+        threads: 0,
         verbose: false,
     }
 }
 
+/// The worker-thread count harness runs will use (`DEEPOD_THREADS` or the
+/// machine's available parallelism).
+pub fn threads() -> usize {
+    deepod_tensor::parallel::configured_threads()
+}
+
 /// Prints a header line for an experiment binary.
 pub fn banner(experiment: &str, scale: Scale) {
-    println!("== DeepOD reproduction :: {experiment} (scale: {scale:?}) ==");
+    println!(
+        "== DeepOD reproduction :: {experiment} (scale: {scale:?}, threads: {}) ==",
+        threads()
+    );
 }
 
 #[cfg(test)]

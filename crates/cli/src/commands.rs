@@ -12,7 +12,8 @@ deepod — OD travel time estimation (DeepOD, SIGMOD 2020 reproduction)
 
 USAGE:
   deepod simulate --profile <chengdu|xian|beijing> [--orders N] --out FILE
-  deepod train    --data FILE [--epochs N] [--loss-weight W] [--seed S] --out FILE
+  deepod train    --data FILE [--epochs N] [--loss-weight W] [--seed S]
+                  [--threads T] --out FILE
   deepod predict  --data FILE --model FILE --from X,Y --to X,Y --depart T
   deepod eval     --data FILE --model FILE
   deepod info     --data FILE
@@ -76,13 +77,17 @@ fn train(args: &Args) -> Result<(), String> {
     cfg.seed = args.get_parsed("seed", cfg.seed)?;
     cfg.validate()?;
 
+    // 0 = DEEPOD_THREADS env or the machine's available parallelism.
+    let threads = args.get_parsed("threads", 0usize)?;
     println!(
-        "training DeepOD on {} orders ({} epochs, w = {}) ...",
+        "training DeepOD on {} orders ({} epochs, w = {}, {} threads) ...",
         ds.train.len(),
         cfg.epochs,
-        cfg.loss_weight
+        cfg.loss_weight,
+        deepod_tensor::parallel::resolve_threads(threads)
     );
-    let opts = TrainOptions { verbose: args.has_switch("verbose"), ..Default::default() };
+    let opts =
+        TrainOptions { threads, verbose: args.has_switch("verbose"), ..Default::default() };
     let mut trainer = Trainer::new(&ds, cfg, opts);
     let report = trainer.train();
     println!(

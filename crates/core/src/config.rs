@@ -86,7 +86,7 @@ impl Default for DeepOdConfig {
             variant: Variant::Full,
             init: EmbeddingInit::Node2Vec,
             stcode_supervision: true,
-            seed: 0xDEE9_0D,
+            seed: 0x00DE_E90D,
         }
     }
 }

@@ -12,7 +12,7 @@ use deepod_roadnet::{RoadNetwork, SpatialGrid};
 use deepod_tensor::Tensor;
 use deepod_traffic::{SpeedMatrixBuilder, SpeedMatrixStore, NUM_WEATHER_TYPES};
 use deepod_traj::{CityDataset, OdInput, TaxiOrder};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Encoded OD input: indices and scalars ready for [`crate::OdEncoder`].
 #[derive(Clone, Debug)]
@@ -35,7 +35,7 @@ pub struct EncodedOd {
     pub weather_onehot: Vec<f32>,
     /// Downsampled speed matrix `[1, h, w]` (shared across samples of the
     /// same slot).
-    pub speed_matrix: Rc<Tensor>,
+    pub speed_matrix: Arc<Tensor>,
 }
 
 /// One encoded trajectory step for [`crate::TrajectoryEncoder`].
@@ -80,8 +80,9 @@ pub struct FeatureContext {
     grid: SpatialGrid,
     speeds: SpeedMatrixStore,
     num_edges: usize,
-    /// Cache of downsampled matrices keyed by speed-store slot.
-    matrix_cache: std::cell::RefCell<std::collections::HashMap<usize, Rc<Tensor>>>,
+    /// Cache of downsampled matrices keyed by speed-store slot. A `Mutex`
+    /// (not `RefCell`) so encoding can run from worker threads.
+    matrix_cache: std::sync::Mutex<std::collections::HashMap<usize, Arc<Tensor>>>,
 }
 
 impl FeatureContext {
@@ -136,11 +137,11 @@ impl FeatureContext {
         (TRAF_GRID, TRAF_GRID)
     }
 
-    fn downsampled_matrix(&self, t: f64) -> Rc<Tensor> {
+    fn downsampled_matrix(&self, t: f64) -> Arc<Tensor> {
         let slot = ((t.max(0.0)) / self.speeds.slot_len()) as usize;
         let slot = slot.min(self.speeds.num_slots() - 1);
-        if let Some(m) = self.matrix_cache.borrow().get(&slot) {
-            return Rc::clone(m);
+        if let Some(m) = self.matrix_cache.lock().unwrap().get(&slot) {
+            return Arc::clone(m);
         }
         let src = self.speeds.nearest_before(slot as f64 * self.speeds.slot_len() + 1.0);
         let (sh, sw) = (src.dim(0), src.dim(1));
@@ -164,8 +165,8 @@ impl FeatureContext {
                 *out.at_mut(&[0, y, x]) = acc / cnt.max(1) as f32 / 15.0;
             }
         }
-        let rc = Rc::new(out);
-        self.matrix_cache.borrow_mut().insert(slot, Rc::clone(&rc));
+        let rc = Arc::new(out);
+        self.matrix_cache.lock().unwrap().insert(slot, Arc::clone(&rc));
         rc
     }
 
@@ -267,7 +268,7 @@ mod tests {
         let e2 = ctx.encode_od(&ds.net, od).unwrap();
         assert_eq!(e1.speed_matrix.dims(), &[1, TRAF_GRID, TRAF_GRID]);
         // Cached: same Rc.
-        assert!(Rc::ptr_eq(&e1.speed_matrix, &e2.speed_matrix));
+        assert!(Arc::ptr_eq(&e1.speed_matrix, &e2.speed_matrix));
         // Normalized speeds should be O(1).
         assert!(e1.speed_matrix.max() < 5.0);
         assert!(e1.speed_matrix.min() > 0.0);

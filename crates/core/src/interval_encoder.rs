@@ -71,6 +71,7 @@ impl TimeIntervalEncoder {
     /// Encodes one interval: `slot_nodes` are the Δd weekly slot indices,
     /// `rem_enter`/`rem_exit` the normalized remainders. `slot_emb` is the
     /// shared time-slot embedding table W_t.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's module signature
     pub fn encode(
         &mut self,
         g: &mut Graph,

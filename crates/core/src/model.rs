@@ -12,7 +12,7 @@ use crate::temporal_graph::{build_temporal_graph, temporal_graph_day_only};
 use crate::timeslot::TimeSlots;
 use crate::trajectory_encoder::TrajectoryEncoder;
 use deepod_graphembed::{DeepWalk, EmbedGraph, GraphEmbedder, Line, Node2Vec, WalkConfig};
-use deepod_nn::layers::{Embedding, Mlp2};
+use deepod_nn::layers::{BatchNorm2d, Embedding, Mlp2};
 use deepod_nn::{Graph, Gradients, ParamStore, VarId};
 use deepod_roadnet::LineGraph;
 use deepod_tensor::Tensor;
@@ -20,7 +20,11 @@ use deepod_traj::{CityDataset, OdInput, TaxiOrder};
 use serde::{Deserialize, Serialize};
 
 /// The DeepOD model (all three modules plus shared embeddings).
-#[derive(Serialize, Deserialize)]
+///
+/// `Clone` is shallow where it matters: the parameter store holds
+/// `Arc<Tensor>` values with copy-on-write semantics, so per-worker clones
+/// in the data-parallel trainer share storage until a write occurs.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct DeepOdModel {
     /// All trainable parameters.
     pub store: ParamStore,
@@ -336,6 +340,62 @@ impl DeepOdModel {
     ) -> Vec<Option<f32>> {
         let (ctx, net) = bundle;
         orders.iter().map(|o| self.estimate(ctx, net, &o.od)).collect()
+    }
+
+    /// The model's batch-norm layers in a fixed order (interval encoder,
+    /// then external encoder), so per-worker running statistics can be
+    /// merged deterministically.
+    fn batch_norms(&self) -> [&BatchNorm2d; 5] {
+        [
+            &self.interval_enc.bn1,
+            &self.interval_enc.bn2,
+            &self.external_enc.bn1,
+            &self.external_enc.bn2,
+            &self.external_enc.bn3,
+        ]
+    }
+
+    fn batch_norms_mut(&mut self) -> [&mut BatchNorm2d; 5] {
+        [
+            &mut self.interval_enc.bn1,
+            &mut self.interval_enc.bn2,
+            &mut self.external_enc.bn1,
+            &mut self.external_enc.bn2,
+            &mut self.external_enc.bn3,
+        ]
+    }
+
+    /// Adopts batch-norm running statistics from data-parallel workers:
+    /// the weighted average of the worker EMAs, weights being the fraction
+    /// of the minibatch each worker processed (accumulated in worker
+    /// order, so the result is bit-stable for a fixed worker count). With
+    /// a single worker the statistics are copied verbatim, which keeps the
+    /// one-thread path identical to serial training.
+    pub(crate) fn merge_bn_stats(&mut self, workers: &[(f32, DeepOdModel)]) {
+        if workers.is_empty() {
+            return;
+        }
+        if let [(_, only)] = workers {
+            for (dst, src) in self.batch_norms_mut().into_iter().zip(only.batch_norms()) {
+                dst.running_mean.clone_from(&src.running_mean);
+                dst.running_var.clone_from(&src.running_var);
+            }
+            return;
+        }
+        let mut bns = self.batch_norms_mut();
+        for (b, bn) in bns.iter_mut().enumerate() {
+            for c in 0..bn.channels {
+                let mut mean = 0.0f32;
+                let mut var = 0.0f32;
+                for (w, worker) in workers {
+                    let src = worker.batch_norms()[b];
+                    mean += w * src.running_mean[c];
+                    var += w * src.running_var[c];
+                }
+                bn.running_mean[c] = mean;
+                bn.running_var[c] = var;
+            }
+        }
     }
 
     /// Serialized model size in bytes (Table 5's memory column).

@@ -58,6 +58,7 @@ impl OdEncoder {
     }
 
     /// Encodes an OD input into `code`.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's module signature
     pub fn encode(
         &mut self,
         g: &mut Graph,
@@ -100,7 +101,7 @@ mod tests {
     use super::*;
     use deepod_tensor::rng_from_seed;
     use deepod_traffic::NUM_WEATHER_TYPES;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn setup(
         variant: Variant,
@@ -127,7 +128,7 @@ mod tests {
             depart_rem: 0.3,
             depart_raw: 55.5,
             weather_onehot: onehot,
-            speed_matrix: Rc::new(Tensor::full(&[1, 6, 6], 0.9)),
+            speed_matrix: Arc::new(Tensor::full(&[1, 6, 6], 0.9)),
         }
     }
 
@@ -170,7 +171,7 @@ mod tests {
             v[11] = 1.0;
             v
         };
-        stormy.speed_matrix = Rc::new(Tensor::full(&[1, 6, 6], 0.1));
+        stormy.speed_matrix = Arc::new(Tensor::full(&[1, 6, 6], 0.1));
         let b = enc.encode(&mut g, &store, &road, &slot, &mut ext, &stormy, false);
         assert_eq!(g.value(a).as_slice(), g.value(b).as_slice());
     }

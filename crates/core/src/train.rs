@@ -29,6 +29,10 @@ pub struct TrainOptions {
     /// Decoupled weight decay (AdamW); regularizes against the overfitting
     /// that small synthetic datasets invite.
     pub weight_decay: f32,
+    /// Worker threads for minibatch gradients, validation and batch
+    /// prediction. `0` resolves to `DEEPOD_THREADS` (or the machine's
+    /// available parallelism). `1` runs the exact serial path.
+    pub threads: usize,
     /// Print progress lines to stderr.
     pub verbose: bool,
 }
@@ -41,6 +45,7 @@ impl Default for TrainOptions {
             patience: 0,
             clip_norm: 5.0,
             weight_decay: 1e-3,
+            threads: 0,
             verbose: false,
         }
     }
@@ -121,13 +126,33 @@ impl<'a> Trainer<'a> {
         &self.val_samples
     }
 
+    /// Worker-thread count for gradient/eval fan-out (resolved from the
+    /// options, `DEEPOD_THREADS`, or the machine).
+    fn threads(&self) -> usize {
+        deepod_tensor::parallel::resolve_threads(self.opts.threads)
+    }
+
     /// Predicts travel times for a batch of orders with the current model
-    /// (splits the context/model borrows internally).
+    /// (splits the context/model borrows internally). With more than one
+    /// worker thread each span of orders runs on its own model clone;
+    /// spans are contiguous and re-concatenated in order, so the output is
+    /// identical for every thread count.
     pub fn predict_orders(&mut self, orders: &[deepod_traj::TaxiOrder]) -> Vec<Option<f32>> {
         let ctx = &self.ctx;
         let net = &self.ds.net;
-        let model = &mut self.model;
-        orders.iter().map(|o| model.estimate(ctx, net, &o.od)).collect()
+        let t = self.threads().min(orders.len()).max(1);
+        if t == 1 {
+            let model = &mut self.model;
+            return orders.iter().map(|o| model.estimate(ctx, net, &o.od)).collect();
+        }
+        let model = &self.model;
+        deepod_tensor::parallel::map_ranges(orders.len(), t, |span| {
+            let mut local = model.clone();
+            orders[span].iter().map(|o| local.estimate(ctx, net, &o.od)).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Predicts the travel time for one raw OD input.
@@ -149,12 +174,90 @@ impl<'a> Trainer<'a> {
         if n == 0 {
             return f32::NAN;
         }
-        let mut acc = 0.0f32;
-        for s in &self.val_samples[..n] {
-            let pred = self.model.estimate_encoded(&s.od);
-            acc += (pred - s.travel_time).abs();
+        let t = self.threads().min(n).max(1);
+        if t == 1 {
+            let mut acc = 0.0f32;
+            for s in &self.val_samples[..n] {
+                let pred = self.model.estimate_encoded(&s.od);
+                acc += (pred - s.travel_time).abs();
+            }
+            return acc / n as f32;
         }
-        acc / n as f32
+        // Per-span partial sums, added back in span order: the total is a
+        // fixed left-to-right sum over spans, deterministic per thread
+        // count.
+        let model = &self.model;
+        let samples = &self.val_samples;
+        let sums = deepod_tensor::parallel::map_ranges(n, t, |span| {
+            let mut local = model.clone();
+            let mut acc = 0.0f32;
+            for s in &samples[span] {
+                let pred = local.estimate_encoded(&s.od);
+                acc += (pred - s.travel_time).abs();
+            }
+            acc
+        });
+        sums.into_iter().fold(0.0f32, |a, b| a + b) / n as f32
+    }
+
+    /// Summed loss and merged gradients for one minibatch.
+    ///
+    /// `threads == 1` runs the literal serial loop on the live model —
+    /// bit-identical to the pre-parallel trainer. With more threads the
+    /// batch is split into contiguous spans, each processed on a clone of
+    /// the model (copy-on-write parameter store, so cloning is cheap);
+    /// per-span losses are summed in span order and per-span gradients
+    /// merged by a deterministic adjacent-pair tree reduction, making the
+    /// result a pure function of (batch, thread count) — never of thread
+    /// scheduling. Batch-norm running statistics accumulated by the
+    /// workers are averaged back into the live model weighted by span
+    /// length.
+    fn batch_gradients(&mut self, chunk: &[usize], threads: usize) -> (f32, Gradients) {
+        let t = threads.min(chunk.len()).max(1);
+        if t == 1 {
+            let mut grads = Gradients::new();
+            let mut batch_loss = 0.0f32;
+            for &idx in chunk {
+                let sample = self.train_samples[idx].clone();
+                let (l, g) = self.model.sample_gradients(&sample);
+                batch_loss += l;
+                grads.merge(g);
+            }
+            return (batch_loss, grads);
+        }
+
+        let model = &self.model;
+        let samples = &self.train_samples;
+        let results = deepod_tensor::parallel::map_ranges(chunk.len(), t, |span| {
+            let mut local = model.clone();
+            let mut grads = Gradients::new();
+            let mut loss = 0.0f32;
+            let len = span.len();
+            for &idx in &chunk[span] {
+                let sample = samples[idx].clone();
+                let (l, g) = local.sample_gradients(&sample);
+                loss += l;
+                grads.merge(g);
+            }
+            (len, loss, grads, local)
+        });
+
+        let total = chunk.len() as f32;
+        let mut batch_loss = 0.0f32;
+        let mut grad_parts = Vec::with_capacity(results.len());
+        let mut bn_workers = Vec::with_capacity(results.len());
+        for (len, loss, grads, local) in results {
+            batch_loss += loss;
+            grad_parts.push(grads);
+            bn_workers.push((len as f32 / total, local));
+        }
+        self.model.merge_bn_stats(&bn_workers);
+        let grads = deepod_tensor::parallel::tree_reduce(grad_parts, |mut a, b| {
+            a.merge(b);
+            a
+        })
+        .unwrap_or_default();
+        (batch_loss, grads)
     }
 
     /// Runs Alg. 1's `ModelTrain` for the configured number of epochs and
@@ -180,6 +283,7 @@ impl<'a> Trainer<'a> {
         let mut since_best = 0usize;
         let mut final_train_loss = 0.0f32;
         let bs = self.cfg.batch_size.max(1);
+        let threads = self.threads();
 
         // Initial point so curves start at the untrained model.
         let mae0 = self.validation_mae();
@@ -200,14 +304,7 @@ impl<'a> Trainer<'a> {
             let mut epoch_batches = 0usize;
 
             for chunk in order.chunks(bs) {
-                let mut grads = Gradients::new();
-                let mut batch_loss = 0.0f32;
-                for &idx in chunk {
-                    let sample = self.train_samples[idx].clone();
-                    let (l, g) = self.model.sample_gradients(&sample);
-                    batch_loss += l;
-                    grads.merge(g);
-                }
+                let (batch_loss, mut grads) = self.batch_gradients(chunk, threads);
                 grads.scale(1.0 / chunk.len() as f32);
                 if self.opts.clip_norm > 0.0 {
                     grads.clip_global_norm(self.opts.clip_norm);
@@ -217,7 +314,7 @@ impl<'a> Trainer<'a> {
                 epoch_loss += batch_loss / chunk.len() as f32;
                 epoch_batches += 1;
 
-                let eval_now = self.opts.eval_every > 0 && step % self.opts.eval_every == 0;
+                let eval_now = self.opts.eval_every > 0 && step.is_multiple_of(self.opts.eval_every);
                 if eval_now {
                     let mae = self.validation_mae();
                     curve.push(CurvePoint {
@@ -355,6 +452,64 @@ mod tests {
             report.total_steps < 50 * steps_per_epoch,
             "ran {} steps",
             report.total_steps
+        );
+    }
+
+    #[test]
+    fn parallel_training_is_deterministic() {
+        // Two runs with the same seed and the same thread count must
+        // produce bit-identical loss curves: gradients are merged by a
+        // deterministic tree reduction, losses summed in span order.
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
+        let run = |threads: usize| {
+            let opts = TrainOptions { threads, ..Default::default() };
+            let mut trainer = Trainer::new(&ds, tiny_cfg(), opts);
+            trainer.train()
+        };
+        for threads in [1, 2] {
+            let a = run(threads);
+            let b = run(threads);
+            assert_eq!(a.curve.len(), b.curve.len(), "threads={threads}");
+            for (pa, pb) in a.curve.iter().zip(&b.curve) {
+                assert_eq!(pa.step, pb.step, "threads={threads}");
+                assert_eq!(
+                    pa.val_mae.to_bits(),
+                    pb.val_mae.to_bits(),
+                    "threads={threads} step {}: {} vs {}",
+                    pa.step,
+                    pa.val_mae,
+                    pb.val_mae
+                );
+            }
+            assert_eq!(a.final_train_loss.to_bits(), b.final_train_loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_prediction_matches_serial() {
+        let ds =
+            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 1;
+        let mut trainer =
+            Trainer::new(&ds, cfg, TrainOptions { threads: 1, ..Default::default() });
+        trainer.train();
+        let serial = trainer.predict_orders(&ds.test);
+        let serial_mae = trainer.validation_mae();
+        trainer.opts.threads = 3;
+        let parallel = trainer.predict_orders(&ds.test);
+        let parallel_mae = trainer.validation_mae();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.map(f32::to_bits), p.map(f32::to_bits));
+        }
+        // Individual predictions are bit-identical; the MAE sum is only
+        // reassociated across spans, so it may differ in the last ulps.
+        let tol = 1e-4 * serial_mae.abs().max(1.0);
+        assert!(
+            (serial_mae - parallel_mae).abs() <= tol,
+            "{serial_mae} vs {parallel_mae}"
         );
     }
 

@@ -34,6 +34,7 @@ impl TrajectoryEncoder {
     /// Registers all parameters. The LSTM input width follows the active
     /// variant: `d2m + ds` for the full model, `d2m` for N-sp, `ds` for
     /// N-tp.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's module signature
     pub fn new(
         store: &mut ParamStore,
         ds: usize,

@@ -71,8 +71,8 @@ impl SkipGramModel {
             let dot: f32 = (0..d).map(|k| this.input[ci + k] * this.output[ti + k]).sum();
             let p = sigmoid(dot);
             let g = (p - label) * lr;
-            for k in 0..d {
-                grad_center[k] += g * this.output[ti + k];
+            for (k, gc) in grad_center.iter_mut().enumerate() {
+                *gc += g * this.output[ti + k];
                 this.output[ti + k] -= g * this.input[ci + k];
             }
             -(if label > 0.5 { p } else { 1.0 - p }).max(1e-7).ln()
@@ -86,8 +86,8 @@ impl SkipGramModel {
             }
             loss += update(self, neg, 0.0, &mut grad_center);
         }
-        for k in 0..d {
-            self.input[ci + k] -= grad_center[k];
+        for (k, &gc) in grad_center.iter().enumerate() {
+            self.input[ci + k] -= gc;
         }
         loss
     }

@@ -4,9 +4,10 @@
 use crate::graph::EmbedGraph;
 use crate::skipgram::{SkipGramConfig, SkipGramModel};
 use crate::GraphEmbedder;
+use deepod_tensor::parallel::{configured_threads, map_ranges};
 use deepod_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Shared random-walk parameters.
@@ -53,21 +54,87 @@ fn weighted_step(
     Some(links.last().unwrap().0)
 }
 
-/// Converts a set of walks into skip-gram (center, context) pairs.
+/// Golden-ratio stride decorrelating per-walk seeds (SplitMix64's constant).
+const WALK_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Generates all `walks_per_node * num_nodes` walks, fanned across the
+/// configured worker threads.
+///
+/// Walk `w` starts at node `w % num_nodes` and draws from its own RNG
+/// seeded by `master ^ w·stride`, where `master` is a single draw from the
+/// caller's RNG. The walk set is therefore a pure function of the incoming
+/// RNG state — identical for every thread count — and each walk's stream
+/// is independent of every other's. Dead-end walks of length ≤ 1 are
+/// dropped, as in the serial formulation.
+fn parallel_walks(
+    graph: &EmbedGraph,
+    walks_per_node: usize,
+    rng: &mut StdRng,
+    walk_of: impl Fn(usize, &mut StdRng) -> Vec<usize> + Sync,
+) -> Vec<Vec<usize>> {
+    walks_with_threads(graph, walks_per_node, rng, configured_threads(), walk_of)
+}
+
+/// [`parallel_walks`] with an explicit worker count (tests pin it to prove
+/// thread-count independence).
+fn walks_with_threads(
+    graph: &EmbedGraph,
+    walks_per_node: usize,
+    rng: &mut StdRng,
+    threads: usize,
+    walk_of: impl Fn(usize, &mut StdRng) -> Vec<usize> + Sync,
+) -> Vec<Vec<usize>> {
+    let num_nodes = graph.num_nodes();
+    let total = walks_per_node * num_nodes;
+    let master = rng.next_u64();
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(total).max(1);
+    map_ranges(total, threads, |span| {
+        let mut out = Vec::with_capacity(span.len());
+        for w in span {
+            let seed = master ^ (w as u64).wrapping_mul(WALK_SEED_STRIDE);
+            let mut wrng = StdRng::seed_from_u64(seed);
+            let walk = walk_of(w % num_nodes, &mut wrng);
+            if walk.len() > 1 {
+                out.push(walk);
+            }
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Converts a set of walks into skip-gram (center, context) pairs. Walks
+/// are windowed independently across the worker threads; per-span pair
+/// lists are concatenated in span order, so the output matches the serial
+/// walk-by-walk traversal exactly.
 fn walks_to_pairs(walks: &[Vec<usize>], window: usize) -> Vec<(usize, usize)> {
-    let mut pairs = Vec::new();
-    for walk in walks {
-        for (i, &c) in walk.iter().enumerate() {
-            let lo = i.saturating_sub(window);
-            let hi = (i + window + 1).min(walk.len());
-            for (j, &x) in walk.iter().enumerate().take(hi).skip(lo) {
-                if i != j {
-                    pairs.push((c, x));
+    if walks.is_empty() {
+        return Vec::new();
+    }
+    let threads = configured_threads().min(walks.len());
+    map_ranges(walks.len(), threads, |span| {
+        let mut pairs = Vec::new();
+        for walk in &walks[span] {
+            for (i, &c) in walk.iter().enumerate() {
+                let lo = i.saturating_sub(window);
+                let hi = (i + window + 1).min(walk.len());
+                for (j, &x) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if i != j {
+                        pairs.push((c, x));
+                    }
                 }
             }
         }
-    }
-    pairs
+        pairs
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
@@ -100,25 +167,20 @@ pub struct DeepWalk {
 
 impl GraphEmbedder for DeepWalk {
     fn embed(&self, graph: &EmbedGraph, dim: usize, rng: &mut StdRng) -> Tensor {
-        let mut walks = Vec::new();
-        for _ in 0..self.cfg.walks_per_node {
-            for start in 0..graph.num_nodes() {
-                let mut walk = vec![start];
-                let mut cur = start;
-                for _ in 1..self.cfg.walk_length {
-                    match weighted_step(graph, cur, |_| 1.0, rng) {
-                        Some(v) => {
-                            walk.push(v);
-                            cur = v;
-                        }
-                        None => break,
+        let walks = parallel_walks(graph, self.cfg.walks_per_node, rng, |start, wrng| {
+            let mut walk = vec![start];
+            let mut cur = start;
+            for _ in 1..self.cfg.walk_length {
+                match weighted_step(graph, cur, |_| 1.0, wrng) {
+                    Some(v) => {
+                        walk.push(v);
+                        cur = v;
                     }
-                }
-                if walk.len() > 1 {
-                    walks.push(walk);
+                    None => break,
                 }
             }
-        }
+            walk
+        });
         train_on_walks(graph, &walks, dim, &self.cfg, rng)
     }
 }
@@ -144,44 +206,39 @@ impl Default for Node2Vec {
 
 impl GraphEmbedder for Node2Vec {
     fn embed(&self, graph: &EmbedGraph, dim: usize, rng: &mut StdRng) -> Tensor {
-        let mut walks = Vec::new();
-        for _ in 0..self.cfg.walks_per_node {
-            for start in 0..graph.num_nodes() {
-                let mut walk = vec![start];
-                let mut prev: Option<usize> = None;
-                let mut cur = start;
-                for _ in 1..self.cfg.walk_length {
-                    let step = match prev {
-                        None => weighted_step(graph, cur, |_| 1.0, rng),
-                        Some(pr) => weighted_step(
-                            graph,
-                            cur,
-                            |v| {
-                                if v == pr {
-                                    1.0 / self.p
-                                } else if graph.has_link(pr, v) {
-                                    1.0
-                                } else {
-                                    1.0 / self.q
-                                }
-                            },
-                            rng,
-                        ),
-                    };
-                    match step {
-                        Some(v) => {
-                            walk.push(v);
-                            prev = Some(cur);
-                            cur = v;
-                        }
-                        None => break,
+        let walks = parallel_walks(graph, self.cfg.walks_per_node, rng, |start, wrng| {
+            let mut walk = vec![start];
+            let mut prev: Option<usize> = None;
+            let mut cur = start;
+            for _ in 1..self.cfg.walk_length {
+                let step = match prev {
+                    None => weighted_step(graph, cur, |_| 1.0, wrng),
+                    Some(pr) => weighted_step(
+                        graph,
+                        cur,
+                        |v| {
+                            if v == pr {
+                                1.0 / self.p
+                            } else if graph.has_link(pr, v) {
+                                1.0
+                            } else {
+                                1.0 / self.q
+                            }
+                        },
+                        wrng,
+                    ),
+                };
+                match step {
+                    Some(v) => {
+                        walk.push(v);
+                        prev = Some(cur);
+                        cur = v;
                     }
-                }
-                if walk.len() > 1 {
-                    walks.push(walk);
+                    None => break,
                 }
             }
-        }
+            walk
+        });
         train_on_walks(graph, &walks, dim, &self.cfg, rng)
     }
 }
@@ -329,6 +386,36 @@ mod tests {
         assert!(pairs.contains(&(1, 2)));
         assert!(!pairs.contains(&(0, 2)));
         assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn walks_are_thread_count_independent() {
+        // The walk set must be a pure function of the incoming RNG state,
+        // regardless of how many workers generate it.
+        let g = ring(12);
+        let walk_of = |start: usize, wrng: &mut StdRng| {
+            let mut walk = vec![start];
+            let mut cur = start;
+            for _ in 1..10 {
+                match weighted_step(&g, cur, |_| 1.0, wrng) {
+                    Some(v) => {
+                        walk.push(v);
+                        cur = v;
+                    }
+                    None => break,
+                }
+            }
+            walk
+        };
+        let walks_at = |threads: usize| {
+            let mut rng = rng_from_seed(9);
+            walks_with_threads(&g, 4, &mut rng, threads, walk_of)
+        };
+        let one = walks_at(1);
+        assert_eq!(one.len(), 48);
+        for threads in [2, 3, 7] {
+            assert_eq!(one, walks_at(threads), "threads={threads}");
+        }
     }
 
     #[test]

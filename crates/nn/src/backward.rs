@@ -241,6 +241,37 @@ impl Graph {
                     give(&mut grads, 0, da);
                     give(&mut grads, 1, db);
                 }
+                Op::LinearAct(act) => {
+                    // y = act(W x + b): with dz = g ⊙ act'(y),
+                    // dW = dz xᵀ (outer product), dx = Wᵀ dz, db = dz.
+                    let y = &node.value;
+                    let w = pv(0);
+                    let x = pv(1);
+                    let (m, k) = (w.dim(0), w.dim(1));
+                    let dz: Vec<f32> = g
+                        .as_slice()
+                        .iter()
+                        .zip(y.as_slice())
+                        .map(|(&gv, &yv)| gv * act.derivative_from_output(yv))
+                        .collect();
+                    let xs = x.as_slice();
+                    let ws = w.as_slice();
+                    let mut dw = vec![0.0f32; m * k];
+                    let mut dx = vec![0.0f32; k];
+                    for (i, &d) in dz.iter().enumerate() {
+                        let wrow = &ws[i * k..(i + 1) * k];
+                        let drow = &mut dw[i * k..(i + 1) * k];
+                        for ((dwv, dxv), (&wv, &xv)) in
+                            drow.iter_mut().zip(&mut dx).zip(wrow.iter().zip(xs))
+                        {
+                            *dwv = d * xv;
+                            *dxv += d * wv;
+                        }
+                    }
+                    give(&mut grads, 0, Tensor::from_vec(dw, &[m, k]));
+                    give(&mut grads, 1, Tensor::from_vec(dx, x.dims()));
+                    give(&mut grads, 2, Tensor::from_vec(dz, &[m]));
+                }
                 Op::AddBiasRows => {
                     give(&mut grads, 0, g.clone());
                     // Bias gradient: column sums.

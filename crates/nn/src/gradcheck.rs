@@ -146,6 +146,85 @@ fn grad_linear_relu_mlp() {
 }
 
 #[test]
+fn grad_fused_linear_act_all_activations() {
+    use deepod_tensor::Activation;
+    for (k, act) in [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut store = ParamStore::new();
+        let w = rand_param_signed(&mut store, "w", &[4, 3], 40 + k as u64);
+        let b = rand_param(&mut store, "b", &[4], 50 + k as u64);
+        check(
+            &mut store,
+            |g, s| {
+                let x = g.input(Tensor::from_vec(vec![0.7, -0.2, 0.4], &[3]));
+                let wv = g.param(s, w);
+                let bv = g.param(s, b);
+                let y = g.linear_act(wv, x, bv, act);
+                g.sum_all(y)
+            },
+            2e-2,
+        );
+    }
+}
+
+#[test]
+fn fused_linear_act_bit_matches_unfused_chain() {
+    // The fused node must reproduce the former reshape→matmul→reshape→add
+    // (+activation) chain exactly — values AND gradients — so fusing the
+    // layers cannot perturb trained models.
+    use deepod_tensor::Activation;
+    let acts: [(Activation, fn(&mut Graph, VarId) -> VarId); 3] = [
+        (Activation::Relu, |g, v| g.relu(v)),
+        (Activation::Sigmoid, |g, v| g.sigmoid(v)),
+        (Activation::Tanh, |g, v| g.tanh(v)),
+    ];
+    for (i, (act, unfused_act)) in acts.into_iter().enumerate() {
+        let mut store = ParamStore::new();
+        let w = rand_param_signed(&mut store, "w", &[5, 4], 60 + i as u64);
+        let b = rand_param_signed(&mut store, "b", &[5], 70 + i as u64);
+        let xt = Tensor::from_vec(vec![0.3, -0.8, 0.1, 0.9], &[4]);
+
+        let mut gf = Graph::new();
+        let x = gf.input(xt.clone());
+        let wv = gf.param(&store, w);
+        let bv = gf.param(&store, b);
+        let yf = gf.linear_act(wv, x, bv, act);
+        let lf = gf.sum_all(yf);
+        let gradf = gf.backward(lf);
+
+        let mut gu = Graph::new();
+        let x = gu.input(xt);
+        let wv = gu.param(&store, w);
+        let bv = gu.param(&store, b);
+        let xm = gu.reshape(x, &[4, 1]);
+        let wx = gu.matmul(wv, xm);
+        let wxv = gu.reshape(wx, &[5]);
+        let lin = gu.add(wxv, bv);
+        let yu = unfused_act(&mut gu, lin);
+        let lu = gu.sum_all(yu);
+        let gradu = gu.backward(lu);
+
+        assert_eq!(gf.value(yf).as_slice(), gu.value(yu).as_slice(), "{act:?} values");
+        for pid in [w, b] {
+            let dims = store.value(pid).dims().to_vec();
+            assert_eq!(
+                gradf.get(pid).unwrap().to_dense(&dims).as_slice(),
+                gradu.get(pid).unwrap().to_dense(&dims).as_slice(),
+                "{act:?} grad of {}",
+                store.name(pid)
+            );
+        }
+    }
+}
+
+#[test]
 fn grad_concat_stack_meanrows() {
     let mut store = ParamStore::new();
     let a = rand_param_signed(&mut store, "a", &[3], 10);

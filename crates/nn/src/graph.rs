@@ -7,8 +7,8 @@
 //! minibatch sample.
 
 use crate::param::{ParamId, ParamStore};
-use deepod_tensor::Tensor;
-use std::rc::Rc;
+use deepod_tensor::{Activation, Tensor};
+use std::sync::Arc;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -29,6 +29,10 @@ pub(crate) enum Op {
     Scale(f32),
     /// Matrix product `[m,k] x [k,n]`.
     MatMul,
+    /// Fused fully-connected node `act(W x + b)` for rank-1 `x`; parents
+    /// are `(w, x, b)`. Forward runs the fused tensor kernel; backward
+    /// recovers the activation derivative from the stored output.
+    LinearAct(Activation),
     /// Adds a `[n]` bias to every row of a `[m,n]` matrix.
     AddBiasRows,
     Sigmoid,
@@ -58,7 +62,7 @@ pub(crate) enum Op {
 }
 
 pub(crate) struct Node {
-    pub value: Rc<Tensor>,
+    pub value: Arc<Tensor>,
     pub op: Op,
     pub parents: Vec<VarId>,
 }
@@ -91,10 +95,10 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, parents: Vec<VarId>) -> VarId {
-        self.push_rc(Rc::new(value), op, parents)
+        self.push_rc(Arc::new(value), op, parents)
     }
 
-    fn push_rc(&mut self, value: Rc<Tensor>, op: Op, parents: Vec<VarId>) -> VarId {
+    fn push_rc(&mut self, value: Arc<Tensor>, op: Op, parents: Vec<VarId>) -> VarId {
         let id = VarId(self.nodes.len());
         self.nodes.push(Node { value, op, parents });
         id
@@ -153,14 +157,20 @@ impl Graph {
     }
 
     /// `W x + b` for a rank-1 `x`: the fully-connected primitive. `w` is
-    /// `[out, in]`, `x` is `[in]`, `b` is `[out]`.
+    /// `[out, in]`, `x` is `[in]`, `b` is `[out]`. Recorded as one fused
+    /// node (formerly a five-node reshape → matmul → reshape → add chain).
     pub fn linear(&mut self, w: VarId, x: VarId, b: VarId) -> VarId {
-        let n = self.value(x).numel();
-        let xm = self.reshape(x, &[n, 1]);
-        let wx = self.matmul(w, xm);
-        let out = self.value(wx).dim(0);
-        let wxv = self.reshape(wx, &[out]);
-        self.add(wxv, b)
+        self.linear_act(w, x, b, Activation::Identity)
+    }
+
+    /// Fused `act(W x + b)` for a rank-1 `x`: one tape node covering the
+    /// fully-connected layer *and* its activation. Values and gradients are
+    /// bit-identical to the unfused `linear` + activation-node sequence
+    /// (the kernel accumulates in the same ascending-`k` order and the
+    /// activation derivative is an exact function of the stored output).
+    pub fn linear_act(&mut self, w: VarId, x: VarId, b: VarId, act: Activation) -> VarId {
+        let v = self.value(w).matvec_bias_act(self.value(x), self.value(b), act);
+        self.push(v, Op::LinearAct(act), vec![w, x, b])
     }
 
     /// Adds a `[n]` bias vector to every row of a `[m,n]` matrix.

@@ -9,7 +9,7 @@
 
 use crate::graph::{Graph, VarId};
 use crate::param::{ParamId, ParamStore};
-use deepod_tensor::Tensor;
+use deepod_tensor::{Activation, Tensor};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -68,10 +68,12 @@ impl Mlp2 {
         }
     }
 
-    /// Applies the MLP to a rank-1 input.
+    /// Applies the MLP to a rank-1 input. The hidden layer records a single
+    /// fused linear+ReLU node.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: VarId) -> VarId {
-        let h = self.l1.forward(g, store, x);
-        let h = g.relu(h);
+        let w1 = g.param(store, self.l1.w);
+        let b1 = g.param(store, self.l1.b);
+        let h = g.linear_act(w1, x, b1, Activation::Relu);
         self.l2.forward(g, store, h)
     }
 
@@ -142,23 +144,20 @@ impl LstmCell {
         h_prev: VarId,
         c_prev: VarId,
     ) -> (VarId, VarId) {
+        // Each gate is one fused linear+activation node (Eq. 12–15).
         let xh = g.concat(&[x, h_prev]);
         let wf = g.param(store, self.wf);
         let bf = g.param(store, self.bf);
-        let f_lin = g.linear(wf, xh, bf);
-        let f = g.sigmoid(f_lin);
+        let f = g.linear_act(wf, xh, bf, Activation::Sigmoid);
         let wi = g.param(store, self.wi);
         let bi = g.param(store, self.bi);
-        let i_lin = g.linear(wi, xh, bi);
-        let i = g.sigmoid(i_lin);
+        let i = g.linear_act(wi, xh, bi, Activation::Sigmoid);
         let wo = g.param(store, self.wo);
         let bo = g.param(store, self.bo);
-        let o_lin = g.linear(wo, xh, bo);
-        let o = g.sigmoid(o_lin);
+        let o = g.linear_act(wo, xh, bo, Activation::Sigmoid);
         let wc = g.param(store, self.wc);
         let bc = g.param(store, self.bc);
-        let c_lin = g.linear(wc, xh, bc);
-        let c_cand = g.tanh(c_lin);
+        let c_cand = g.linear_act(wc, xh, bc, Activation::Tanh);
 
         let fc = g.mul(f, c_prev);
         let ic = g.mul(i, c_cand);

@@ -130,8 +130,7 @@ impl AdamOptimizer {
                         let bc1 = 1.0 - self.beta1.powi(t);
                         let bc2 = 1.0 - self.beta2.powi(t);
                         let base = row * cols;
-                        for j in 0..*cols {
-                            let gi = grow[j];
+                        for (j, &gi) in grow.iter().enumerate().take(*cols) {
                             let mi = &mut m.as_mut_slice()[base + j];
                             *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                             let vi = &mut v.as_mut_slice()[base + j];

@@ -7,7 +7,7 @@
 
 use deepod_tensor::Tensor;
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Opaque handle to a parameter in a [`ParamStore`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
@@ -23,7 +23,7 @@ impl ParamId {
 #[derive(Clone, Serialize, Deserialize)]
 struct ParamEntry {
     name: String,
-    value: Rc<Tensor>,
+    value: Arc<Tensor>,
     /// When false the optimizer skips this parameter (used by ablations that
     /// freeze an embedding).
     trainable: bool,
@@ -33,7 +33,7 @@ struct ParamEntry {
 ///
 /// Values are reference-counted so the [`Graph`](crate::Graph) can hold them
 /// during a forward pass without copying; the optimizer mutates them through
-/// [`Rc::make_mut`] after all graphs are dropped.
+/// [`Arc::make_mut`] after all graphs are dropped.
 #[derive(Clone, Default, Serialize, Deserialize)]
 pub struct ParamStore {
     entries: Vec<ParamEntry>,
@@ -52,7 +52,7 @@ impl ParamStore {
         let id = ParamId(self.entries.len());
         self.entries.push(ParamEntry {
             name: name.to_string(),
-            value: Rc::new(value),
+            value: Arc::new(value),
             trainable: true,
         });
         id
@@ -77,8 +77,8 @@ impl ParamStore {
     }
 
     /// Shared handle to a parameter's current value.
-    pub fn value_rc(&self, id: ParamId) -> Rc<Tensor> {
-        Rc::clone(&self.entries[id.0].value)
+    pub fn value_rc(&self, id: ParamId) -> Arc<Tensor> {
+        Arc::clone(&self.entries[id.0].value)
     }
 
     /// Borrow of a parameter's current value.
@@ -111,13 +111,13 @@ impl ParamStore {
             "set_value shape mismatch for '{}'",
             self.entries[id.0].name
         );
-        self.entries[id.0].value = Rc::new(value);
+        self.entries[id.0].value = Arc::new(value);
     }
 
     /// Mutable access used by optimizers. Clones the tensor only if a graph
     /// still holds a reference (it should not, in correct usage).
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
-        Rc::make_mut(&mut self.entries[id.0].value)
+        Arc::make_mut(&mut self.entries[id.0].value)
     }
 
     /// Iterates over all parameter ids.

@@ -118,9 +118,9 @@ impl CityConfig {
 
         let class_for = |x: usize, y: usize, horizontal: bool| -> RoadClass {
             let on_arterial = if horizontal {
-                y % self.arterial_every == 0
+                y.is_multiple_of(self.arterial_every)
             } else {
-                x % self.arterial_every == 0
+                x.is_multiple_of(self.arterial_every)
             };
             // Outer ring is a highway.
             let on_ring = if horizontal { y == 0 || y == gy - 1 } else { x == 0 || x == gx - 1 };
@@ -128,7 +128,7 @@ impl CityConfig {
                 RoadClass::Highway
             } else if on_arterial {
                 RoadClass::Arterial
-            } else if (x + y) % 3 == 0 {
+            } else if (x + y).is_multiple_of(3) {
                 RoadClass::Collector
             } else {
                 RoadClass::Local

@@ -23,10 +23,12 @@
 //! ```
 
 mod ops;
+pub mod parallel;
 mod random;
 mod shape;
 mod tensor;
 
+pub use ops::Activation;
 pub use random::{rng_from_seed, sample_distinct};
 pub use shape::Shape;
 pub use tensor::Tensor;

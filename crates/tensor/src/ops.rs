@@ -3,6 +3,110 @@
 
 use crate::Tensor;
 
+/// Cache-blocking tile edge for the matmul kernel: a 64×64 f32 tile is
+/// 16 KiB, so one tile each of A, B and C fit in a typical 48–64 KiB L1.
+const TILE: usize = 64;
+
+/// Fork threshold for [`Tensor::matmul`]: below ~2 MFLOP the product takes
+/// well under a millisecond serially and thread spawn cost dominates.
+const PAR_MIN_FLOPS: usize = 1 << 21;
+
+/// Activation functions fused into the matmul/matvec primitives and the
+/// autodiff tape's fully-connected node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation (`y = x`).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one scalar.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y` (all
+    /// four functions admit one; this is what lets backward passes avoid
+    /// keeping the pre-activation around).
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// Blocked i-k-j matmul kernel over a contiguous span of output rows:
+/// `a` is `[rows, k]`, `b` is `[k, n]`, `out` is `[rows, n]` (zeroed).
+///
+/// Tiles all three loops at [`TILE`] so the working set stays in L1, and
+/// unrolls `k` by two inside the tile so each output vector load/store is
+/// amortized over two fused rows of `b`. Per output element the additions
+/// happen in ascending-`k` order — the same order as the textbook ikj
+/// loop — so blocking changes performance, not results. No zero-skip
+/// branch: dense inputs dominate here, and sparsity is exploited where it
+/// actually exists (the embedding-gradient path in `deepod-nn`).
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    if k == 0 || n == 0 {
+        return; // out stays zero: an empty accumulation.
+    }
+    let rows = a.len() / k;
+    debug_assert_eq!(out.len(), rows * n);
+    for i0 in (0..rows).step_by(TILE) {
+        let i1 = (i0 + TILE).min(rows);
+        for p0 in (0..k).step_by(TILE) {
+            let p1 = (p0 + TILE).min(k);
+            for j0 in (0..n).step_by(TILE) {
+                let j1 = (j0 + TILE).min(n);
+                for i in i0..i1 {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let orow = &mut out[i * n + j0..i * n + j1];
+                    let mut p = p0;
+                    while p + 2 <= p1 {
+                        let a0 = arow[p];
+                        let a1 = arow[p + 1];
+                        let b0 = &b[p * n + j0..p * n + j1];
+                        let b1 = &b[(p + 1) * n + j0..(p + 1) * n + j1];
+                        for ((o, &v0), &v1) in orow.iter_mut().zip(b0).zip(b1) {
+                            // Left-to-right adds keep ascending-k order.
+                            *o = *o + a0 * v0 + a1 * v1;
+                        }
+                        p += 2;
+                    }
+                    if p < p1 {
+                        let a0 = arow[p];
+                        let b0 = &b[p * n + j0..p * n + j1];
+                        for (o, &v0) in orow.iter_mut().zip(b0) {
+                            *o += a0 * v0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Tensor {
     /// Element-wise binary op; panics on shape mismatch.
     fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
@@ -99,9 +203,18 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Plain ikj-ordered triple loop: with the workspace's dimensions
-    /// (≤ a few hundred) this stays within L1/L2 and vectorizes well.
+    /// Dispatches to the blocked kernel, forking across row spans above
+    /// [`PAR_MIN_FLOPS`] with the configured thread count (`DEEPOD_THREADS`).
+    /// Results are bit-identical for every thread count: each output row is
+    /// produced by exactly one worker running the same serial kernel.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_with_threads(other, 0)
+    }
+
+    /// [`Tensor::matmul`] with an explicit thread count (`0` = configured
+    /// default). Exposed so benchmarks and property tests can pin the
+    /// serial and parallel paths independently of the environment.
+    pub fn matmul_with_threads(&self, other: &Tensor, threads: usize) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
         let (m, k) = (self.dim(0), self.dim(1));
@@ -110,20 +223,63 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let av = a[i * k + p];
-                if av == 0.0 {
-                    continue;
+        let t = crate::parallel::resolve_threads(threads).min(m.max(1));
+        if t > 1 && 2 * m * k * n >= PAR_MIN_FLOPS {
+            let spans = crate::parallel::split_ranges(m, t);
+            std::thread::scope(|scope| {
+                let mut rest: &mut [f32] = &mut out;
+                for span in &spans {
+                    let (chunk, tail) = rest.split_at_mut(span.len() * n);
+                    rest = tail;
+                    let a_rows = &a[span.start * k..span.end * k];
+                    scope.spawn(move || matmul_block(a_rows, b, chunk, k, n));
                 }
-                let brow = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
+            });
+        } else {
+            matmul_block(a, b, &mut out, k, n);
         }
         Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Fused `act(self · other + bias)` where `bias` (`[n]`) is broadcast
+    /// over the rows of the `[m,n]` product: the batched fully-connected
+    /// primitive. One output pass applies bias and activation, instead of
+    /// three materialized intermediates.
+    pub fn matmul_bias_act(&self, other: &Tensor, bias: &Tensor, act: Activation) -> Tensor {
+        let mut out = self.matmul(other);
+        let n = out.dim(1);
+        assert_eq!(bias.numel(), n, "bias length mismatch: {} vs {n}", bias.numel());
+        let bs = bias.as_slice();
+        for row in out.as_mut_slice().chunks_mut(n) {
+            for (o, &b) in row.iter_mut().zip(bs) {
+                *o = act.apply(*o + b);
+            }
+        }
+        out
+    }
+
+    /// Fused `act(self · x + bias)` for a rank-1 `x` (`[k]`) and bias
+    /// (`[m]`): the per-sample fully-connected primitive used by the
+    /// autodiff tape. Accumulation order matches [`Tensor::matmul`] exactly
+    /// (ascending `k`), so fusing does not perturb trained numerics.
+    pub fn matvec_bias_act(&self, x: &Tensor, bias: &Tensor, act: Activation) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec_bias_act lhs must be rank-2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        assert_eq!(x.numel(), k, "input length mismatch: {} vs {k}", x.numel());
+        assert_eq!(bias.numel(), m, "bias length mismatch: {} vs {m}", bias.numel());
+        let a = self.as_slice();
+        let xv = x.as_slice();
+        let bs = bias.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            let mut acc = 0.0f32;
+            for (&w, &v) in row.iter().zip(xv) {
+                acc += w * v;
+            }
+            out[i] = act.apply(acc + bs[i]);
+        }
+        Tensor::from_vec(out, &[m])
     }
 
     /// Matrix–vector product: `[m,k] x [k] -> [m]`.
@@ -310,5 +466,98 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
         let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
         assert_eq!(a.dot(&b), 32.0);
+    }
+
+    /// Reference textbook ikj triple loop the blocked kernel must match.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    #[test]
+    fn blocked_kernel_bit_matches_naive_across_tile_edges() {
+        let mut rng = crate::rng_from_seed(31);
+        // Shapes straddling the 64-wide tile boundary, including odd k for
+        // the unroll remainder and degenerate 1-wide extents.
+        for (m, k, n) in
+            [(1, 1, 1), (3, 5, 2), (64, 64, 64), (65, 63, 66), (7, 129, 1), (1, 2, 130)]
+        {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let got = a.matmul(&b);
+            let want = naive_matmul(&a, &b);
+            assert_eq!(got.as_slice(), want.as_slice(), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_bit_matches_serial() {
+        let mut rng = crate::rng_from_seed(32);
+        // Big enough to clear the fork threshold (2·m·k·n ≥ 2^21).
+        let a = Tensor::rand_uniform(&[128, 80], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[80, 120], -2.0, 2.0, &mut rng);
+        let serial = a.matmul_with_threads(&b, 1);
+        for t in [2, 3, 8] {
+            let par = a.matmul_with_threads(&b, t);
+            assert_eq!(serial.as_slice(), par.as_slice(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn matmul_no_longer_skips_zero_rows() {
+        // A zero row in A must still produce exact zeros (not stale values)
+        // and NaN/inf in B must propagate (0 · inf = NaN), which the old
+        // zero-skip branch suppressed.
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 1.0, 2.0, 3.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert!(c.as_slice()[0].is_nan(), "0·inf must propagate NaN");
+        assert_eq!(c.as_slice()[2], f32::INFINITY);
+    }
+
+    #[test]
+    fn activation_apply_and_derivative() {
+        assert_eq!(Activation::Identity.apply(-3.0), -3.0);
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        let s = Activation::Sigmoid.apply(0.0);
+        assert!((s - 0.5).abs() < 1e-6);
+        assert!((Activation::Sigmoid.derivative_from_output(s) - 0.25).abs() < 1e-6);
+        let t = Activation::Tanh.apply(0.5);
+        assert!((Activation::Tanh.derivative_from_output(t) - (1.0 - t * t)).abs() < 1e-7);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Identity.derivative_from_output(7.0), 1.0);
+    }
+
+    #[test]
+    fn fused_matvec_matches_unfused_chain() {
+        let mut rng = crate::rng_from_seed(33);
+        let w = Tensor::rand_uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let x = Tensor::rand_uniform(&[7], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[5], -1.0, 1.0, &mut rng);
+        for act in [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh]
+        {
+            let fused = w.matvec_bias_act(&x, &b, act);
+            let chain = w.matmul(&x.reshape(&[7, 1])).reshape(&[5]).add(&b).map(|v| act.apply(v));
+            assert_eq!(fused.as_slice(), chain.as_slice(), "{act:?}");
+        }
+    }
+
+    #[test]
+    fn fused_matmul_bias_act_broadcasts_bias_per_row() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = Tensor::eye(2);
+        let bias = Tensor::from_vec(vec![10.0, -100.0], &[2]);
+        let y = a.matmul_bias_act(&i, &bias, Activation::Relu);
+        assert_eq!(y.as_slice(), &[11.0, 0.0, 13.0, 0.0]);
     }
 }

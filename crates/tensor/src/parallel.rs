@@ -1,0 +1,167 @@
+//! Data-parallel building blocks shared across the workspace: the
+//! `DEEPOD_THREADS` configuration, contiguous range partitioning, scoped
+//! fork/join over those ranges, and deterministic tree reduction.
+//!
+//! # Determinism contract
+//!
+//! Every helper here is designed so that results are a pure function of
+//! `(input, thread count)` — never of scheduling order:
+//!
+//! * [`split_ranges`] assigns *contiguous* spans, so each worker sees its
+//!   items in the original order.
+//! * [`map_ranges`] returns the per-span results in span order regardless
+//!   of which worker finished first.
+//! * [`tree_reduce`] combines per-span results in a fixed binary-tree shape
+//!   (adjacent pairs per round), so floating-point reductions are
+//!   bit-stable for a fixed span count.
+//!
+//! With one thread the single span covers the whole input in order, so the
+//! parallel paths built on these helpers degrade to their serial ancestors
+//! bit-for-bit.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Lower bound a caller can use to decide whether forking is worth the
+/// thread spawn cost (roughly: only fork when each span does much more
+/// work than the ~10 µs it costs to start a worker).
+pub const SPAWN_COST_HINT_NS: u64 = 10_000;
+
+/// Number of worker threads configured for this process: the
+/// `DEEPOD_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism. Read once and cached.
+pub fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        match std::env::var("DEEPOD_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
+}
+
+/// Resolves an explicit thread request: `0` means "use the configured
+/// default", anything else is taken as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        configured_threads()
+    } else {
+        requested
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal, non-empty
+/// ranges (fewer when `len < parts`). The first `len % parts` ranges get
+/// one extra element.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    if len == 0 {
+        return vec![Range { start: 0, end: 0 }];
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `f` over the contiguous spans of `0..len` on up to `threads`
+/// workers and returns the results **in span order**. With `threads <= 1`
+/// (or a single span) `f` runs inline on the calling thread, so the serial
+/// path has zero overhead and identical numerics.
+pub fn map_ranges<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let spans = split_ranges(len, threads);
+    if spans.len() <= 1 {
+        return spans.into_iter().map(&f).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            spans.into_iter().map(|span| scope.spawn(|| f(span))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Deterministic pairwise tree reduction: adjacent pairs are combined per
+/// round until one value remains. The combination shape depends only on
+/// `items.len()`, so floating-point merges are reproducible for a fixed
+/// span count. Returns `None` for an empty input.
+pub fn tree_reduce<T>(mut items: Vec<T>, mut combine: impl FnMut(T, T) -> T) -> Option<T> {
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_in_order() {
+        for len in [0usize, 1, 2, 7, 64, 65] {
+            for parts in [1usize, 2, 3, 8, 100] {
+                let spans = split_ranges(len, parts);
+                let flat: Vec<usize> = spans.iter().cloned().flatten().collect();
+                let expect: Vec<usize> = (0..len).collect();
+                assert_eq!(flat, expect, "len={len} parts={parts}");
+                assert!(spans.len() <= parts.max(1));
+                // Near-equal: sizes differ by at most one.
+                if len > 0 {
+                    let sizes: Vec<usize> = spans.iter().map(|s| s.len()).collect();
+                    let (mn, mx) =
+                        (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(mx - mn <= 1, "uneven split {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_ranges_preserves_span_order() {
+        for threads in [1usize, 2, 4, 7] {
+            let got = map_ranges(100, threads, |r| r.clone());
+            let flat: Vec<usize> = got.into_iter().flatten().collect();
+            assert_eq!(flat, (0..100).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tree_reduce_is_shape_deterministic() {
+        // Record the combination tree as nested strings; shape must depend
+        // only on the length.
+        let shape = |n: usize| {
+            let items: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            tree_reduce(items, |a, b| format!("({a}+{b})")).unwrap()
+        };
+        assert_eq!(shape(1), "0");
+        assert_eq!(shape(2), "(0+1)");
+        assert_eq!(shape(3), "((0+1)+2)");
+        assert_eq!(shape(4), "((0+1)+(2+3))");
+        assert_eq!(shape(5), "(((0+1)+(2+3))+4)");
+        assert!(tree_reduce(Vec::<u32>::new(), |a, _| a).is_none());
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_default() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(0), configured_threads());
+        assert!(configured_threads() >= 1);
+    }
+}

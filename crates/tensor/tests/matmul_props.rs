@@ -1,0 +1,100 @@
+//! Property tests for the dense kernels: the blocked tiled matmul must
+//! agree with a naive triple loop on ragged shapes (tile remainders in
+//! every dimension), and the row-partitioned parallel path must be
+//! bit-identical to the serial kernel for every thread count.
+
+use deepod_tensor::{rng_from_seed, Tensor, TEST_EPS};
+use proptest::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+/// Reference i-j-k matmul (different accumulation order than the blocked
+/// kernel, so agreement is up to rounding, not bit-exact).
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn random_pair(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = rng_from_seed(seed);
+    let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+    let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, &mut rng);
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_matches_naive(
+        m in 1usize..65,
+        k in 1usize..65,
+        n in 1usize..65,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = random_pair(m, k, n, seed);
+        let got = a.matmul(&b);
+        let want = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+        for (i, (g, w)) in got.as_slice().iter().zip(&want).enumerate() {
+            prop_assert!(
+                (g - w).abs() <= TEST_EPS * w.abs().max(1.0),
+                "({m}x{k}x{n}) elem {i}: blocked {g} vs naive {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_product(
+        m in 1usize..65,
+        k in 1usize..65,
+        n in 1usize..65,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = random_pair(m, k, n, seed);
+        let serial: Vec<u32> =
+            a.matmul_with_threads(&b, 1).as_slice().iter().map(|v| v.to_bits()).collect();
+        for threads in [2usize, 4, 7] {
+            let par: Vec<u32> = a
+                .matmul_with_threads(&b, threads)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            prop_assert_eq!(&serial, &par, "threads = {}", threads);
+        }
+    }
+}
+
+proptest! {
+    // Shapes above the fork threshold (2·m·k·n ≥ 2²¹), so the parallel
+    // path really spawns workers; fewer cases since each is ~2 MFLOP.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn forked_product_is_bit_identical(
+        m in 110usize..150,
+        k in 110usize..150,
+        n in 110usize..150,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = random_pair(m, k, n, seed);
+        let serial: Vec<u32> =
+            a.matmul_with_threads(&b, 1).as_slice().iter().map(|v| v.to_bits()).collect();
+        for threads in [2usize, 5] {
+            let par: Vec<u32> = a
+                .matmul_with_threads(&b, threads)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            prop_assert_eq!(&serial, &par, "({}x{}x{}) threads = {}", m, k, n, threads);
+        }
+    }
+}

@@ -205,9 +205,7 @@ impl<'a> HmmMapMatcher<'a> {
         // Spread kept-point assignments back over all raw points.
         let mut assignment = vec![0usize; raw.points.len()];
         for (w, pair) in kept.windows(2).enumerate() {
-            for i in pair[0]..pair[1] {
-                assignment[i] = assignment_kept[w];
-            }
+            assignment[pair[0]..pair[1]].fill(assignment_kept[w]);
         }
         assignment[raw.points.len() - 1] = *assignment_kept.last().unwrap();
 

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: release build, test suite, and warning-free clippy.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

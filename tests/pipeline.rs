@@ -75,29 +75,36 @@ fn speed_matrices_reflect_congestion() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
     let ctx = FeatureContext::build(&ds, 300.0);
 
-    // Use encoded orders' speed matrices: find one rush-hour and one
-    // overnight departure on a weekday.
+    // Use encoded orders' speed matrices, averaged over ALL weekday
+    // rush-hour vs overnight departures — each order's matrix covers its
+    // own OD region, so a single pair would confound location with time
+    // of day.
     let enc = ctx.encode_orders(&ds.net, &ds.train);
     let day = 86_400.0;
-    let mut rush = None;
-    let mut night = None;
+    let mut rush = Vec::new();
+    let mut night = Vec::new();
     for (e, o) in enc.iter().zip(&ds.train) {
         let dow = ((o.od.depart / day) as usize) % 7;
         let hour = (o.od.depart % day) / 3600.0;
-        if dow < 5 && (7.5..9.0).contains(&hour) && rush.is_none() {
-            rush = Some(e.od.speed_matrix.clone());
+        // Evening rush: the window with the most probe data (and the
+        // simulator's strongest congestion) — the morning peak is too
+        // thinly observed at this dataset size to be a stable signal.
+        if dow < 5 && (16.5..19.0).contains(&hour) {
+            rush.push(e.od.speed_matrix.mean());
         }
-        if (2.0..5.0).contains(&hour) && night.is_none() {
-            night = Some(e.od.speed_matrix.clone());
+        if (2.0..5.0).contains(&hour) {
+            night.push(e.od.speed_matrix.mean());
         }
     }
-    if let (Some(r), Some(n)) = (rush, night) {
-        let avg = |m: &deepod_tensor::Tensor| m.mean();
+    if !rush.is_empty() && !night.is_empty() {
+        let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         assert!(
-            avg(&n) > avg(&r),
-            "overnight speeds {:.2} should exceed rush speeds {:.2}",
-            avg(&n),
-            avg(&r)
+            avg(&night) > avg(&rush),
+            "overnight speeds {:.2} (n={}) should exceed rush speeds {:.2} (n={})",
+            avg(&night),
+            night.len(),
+            avg(&rush),
+            rush.len()
         );
     }
 }

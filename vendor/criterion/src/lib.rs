@@ -1,0 +1,341 @@
+//! Vendored offline stand-in for the subset of `criterion` 0.5 this
+//! workspace uses. Unlike most of the vendor shims this one does real work:
+//! it warms up, auto-tunes an iteration count, takes timed samples, prints a
+//! summary per benchmark, and (when `DEEPOD_BENCH_JSON=<path>` is set)
+//! writes all results as machine-readable JSON so the perf trajectory can be
+//! tracked across PRs.
+//!
+//! Command-line filtering works like upstream: `cargo bench -- <substr>`
+//! runs only benchmarks whose id contains the substring.
+
+pub use std::hint::black_box;
+
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between timings; only the variants this
+/// workspace names exist, and the measurement loop treats them identically
+/// (fresh input per routine call, setup excluded from timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+}
+
+/// One benchmark's aggregated measurements, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    pub id: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+fn registry() -> &'static Mutex<Vec<Stats>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Stats>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Measurement configuration and entry point, mirroring
+/// `criterion::Criterion`'s builder-style API.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before sampling begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group; benchmark ids become `group/function`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.to_string() }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            stats: None,
+        };
+        f(&mut b);
+        match b.stats {
+            Some(mut stats) => {
+                stats.id = id.clone();
+                println!(
+                    "{id:<48} time: [{} {} {}]  ({} samples × {} iters)",
+                    human_time(stats.min_ns),
+                    human_time(stats.mean_ns),
+                    human_time(stats.max_ns),
+                    stats.samples,
+                    stats.iters_per_sample,
+                );
+                registry().lock().unwrap().push(stats);
+            }
+            None => println!("{id:<48} (no measurement: bencher closure never called iter)"),
+        }
+    }
+}
+
+/// Group handle from [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.prefix);
+        self.c.run_one(full, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the vendored shim
+    /// reports eagerly, so this only exists for call-site compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles as the per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((budget_ns / est_ns) as u64).max(1);
+
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(per_iter, iters);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut timed_ns = 0u128;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            timed_ns += t0.elapsed().as_nanos();
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (timed_ns as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((budget_ns / est_ns) as u64).max(1);
+
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut sample_ns = 0u128;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                sample_ns += t0.elapsed().as_nanos();
+            }
+            per_iter.push(sample_ns as f64 / iters as f64);
+        }
+        self.record(per_iter, iters);
+    }
+
+    fn record(&mut self, per_iter_ns: Vec<f64>, iters: u64) {
+        let n = per_iter_ns.len().max(1) as f64;
+        let mean = per_iter_ns.iter().sum::<f64>() / n;
+        let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+        self.stats = Some(Stats {
+            id: String::new(),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: per_iter_ns.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Writes every recorded benchmark to `DEEPOD_BENCH_JSON` (if set). Called
+/// by the `criterion_main!` expansion after all groups run.
+pub fn finalize() {
+    let Ok(path) = std::env::var("DEEPOD_BENCH_JSON") else {
+        return;
+    };
+    let results = registry().lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"id\": {:?}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}",
+            s.id, s.mean_ns, s.min_ns, s.max_ns, s.samples, s.iters_per_sample
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {} benchmark results to {path}", results.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// Declares a benchmark group; both upstream forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c = $cfg;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running every group then flushing
+/// JSON output.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            });
+        });
+        group.finish();
+        let reg = registry().lock().unwrap();
+        let stats = reg.iter().find(|s| s.id == "g/spin").expect("recorded");
+        assert!(stats.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::PerIteration);
+        });
+    }
+}

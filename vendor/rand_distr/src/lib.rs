@@ -1,0 +1,140 @@
+//! Vendored, dependency-light stand-in for the subset of `rand_distr` 0.4
+//! this workspace uses: `Distribution`, `Normal` (f32/f64) and `Uniform`
+//! (f32/f64). Sampling is deterministic given the RNG stream: `Normal` draws
+//! exactly two words per sample (Box–Muller without caching the second
+//! variate), `Uniform` draws one.
+
+use rand::{RngCore, StandardSample};
+use std::fmt;
+
+/// A distribution that can be sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Floating-point scalars the distributions are generic over. A single
+/// generic impl (rather than one per float width) keeps `Normal::new(a, b)`
+/// unambiguous at call sites that rely on inference.
+pub trait Float: Copy + PartialOrd {
+    fn from_f64(x: f64) -> Self;
+    fn into_f64(self) -> f64;
+    fn is_finite(self) -> bool;
+    fn zero() -> Self;
+}
+
+macro_rules! impl_float_scalar {
+    ($($t:ty),*) => {$(
+        impl Float for $t {
+            fn from_f64(x: f64) -> Self { x as $t }
+            fn into_f64(self) -> f64 { self as f64 }
+            fn is_finite(self) -> bool { <$t>::is_finite(self) }
+            fn zero() -> Self { 0.0 }
+        }
+    )*};
+}
+
+impl_float_scalar!(f32, f64);
+
+/// Error returned by [`Normal::new`] for non-finite or negative spread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// One standard-normal variate via Box–Muller (cosine branch only, so the
+/// draw count per sample is fixed and the stream stays reproducible).
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: shift the 53-bit mantissa sample away from zero.
+    let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let u2: f64 = StandardSample::sample_standard(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution; errors when `std_dev` is negative or
+    /// either parameter is non-finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < F::zero() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.into_f64() + self.std_dev.into_f64() * standard_normal(rng))
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<F> {
+    low: F,
+    high: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Creates a uniform distribution over `[low, high)`; panics when the
+    /// range is empty (matching `rand` 0.8's `Uniform::new`).
+    pub fn new(low: F, high: F) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        Uniform { low, high }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let f: f64 = StandardSample::sample_standard(rng);
+        F::from_f64(self.low.into_f64() + f * (self.high.into_f64() - self.low.into_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Uniform::new(-1.5f32, 2.5);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+}

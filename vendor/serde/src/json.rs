@@ -1,0 +1,284 @@
+//! JSON value model, parser, and string escaping shared by the vendored
+//! serde facade and `serde_json`.
+
+use std::fmt;
+
+/// Error produced while parsing or interpreting JSON.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A parsed JSON document. Numbers keep their raw text so 64-bit integers
+/// round-trip without going through `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Object as an ordered list of key/value pairs (struct-sized, so linear
+    /// field lookup beats hashing).
+    Obj(Vec<(String, Value)>),
+}
+
+/// Looks up a field of an object value; used by derived `Deserialize` impls.
+pub fn obj_field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Obj(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+        other => Err(Error::msg(format!("expected object for field `{name}`, got {}", kind(other)))),
+    }
+}
+
+/// Requires an array value; used by derived and container impls.
+pub fn expect_arr(v: &Value) -> Result<&[Value], Error> {
+    match v {
+        Value::Arr(items) => Ok(items),
+        other => Err(Error::msg(format!("expected array, got {}", kind(other)))),
+    }
+}
+
+/// Requires a string value; used by derived enum impls.
+pub fn expect_str(v: &Value) -> Result<&str, Error> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(Error::msg(format!("expected string, got {}", kind(other)))),
+    }
+}
+
+fn kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Arr(_) => "array",
+        Value::Obj(_) => "object",
+    }
+}
+
+/// Appends a JSON string literal (with quotes and escapes) to `out`.
+pub fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::msg(format!("expected `:` at byte {pos}")));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            if b[*pos] == b'-' {
+                *pos += 1;
+            }
+            while *pos < b.len()
+                && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| Error::msg("invalid utf-8 in number"))?;
+            Ok(Value::Num(text.to_string()))
+        }
+        Some(c) => Err(Error::msg(format!("unexpected byte `{}` at {pos}", *c as char))),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::msg(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::msg(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut pending_high: Option<u16> = None;
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                if pending_high.is_some() {
+                    return Err(Error::msg("unpaired surrogate in string"));
+                }
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or_else(|| Error::msg("truncated escape"))?;
+                *pos += 1;
+                let simple = match esc {
+                    b'"' => Some('"'),
+                    b'\\' => Some('\\'),
+                    b'/' => Some('/'),
+                    b'b' => Some('\u{08}'),
+                    b'f' => Some('\u{0C}'),
+                    b'n' => Some('\n'),
+                    b'r' => Some('\r'),
+                    b't' => Some('\t'),
+                    b'u' => None,
+                    other => {
+                        return Err(Error::msg(format!("bad escape `\\{}`", other as char)));
+                    }
+                };
+                if let Some(c) = simple {
+                    if pending_high.is_some() {
+                        return Err(Error::msg("unpaired surrogate in string"));
+                    }
+                    out.push(c);
+                    continue;
+                }
+                if *pos + 4 > b.len() {
+                    return Err(Error::msg("truncated \\u escape"));
+                }
+                let hex = std::str::from_utf8(&b[*pos..*pos + 4])
+                    .map_err(|_| Error::msg("invalid \\u escape"))?;
+                let unit =
+                    u16::from_str_radix(hex, 16).map_err(|_| Error::msg("invalid \\u escape"))?;
+                *pos += 4;
+                match (pending_high.take(), unit) {
+                    (None, 0xD800..=0xDBFF) => pending_high = Some(unit),
+                    (None, 0xDC00..=0xDFFF) => {
+                        return Err(Error::msg("unpaired low surrogate"));
+                    }
+                    (None, u) => out.push(char::from_u32(u as u32).unwrap()),
+                    (Some(high), 0xDC00..=0xDFFF) => {
+                        let c = 0x10000 + ((high as u32 - 0xD800) << 10) + (unit as u32 - 0xDC00);
+                        out.push(char::from_u32(c).ok_or_else(|| Error::msg("bad surrogate pair"))?);
+                    }
+                    (Some(_), _) => return Err(Error::msg("unpaired high surrogate")),
+                }
+            }
+            Some(_) => {
+                if pending_high.is_some() {
+                    return Err(Error::msg("unpaired surrogate in string"));
+                }
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::msg("invalid utf-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Vendored offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Real serde separates the data model from the format; everything in this
+//! workspace serializes to JSON through `serde_json`, so this facade collapses
+//! the two: [`Serialize`] writes JSON text directly and [`Deserialize`] reads
+//! from a parsed [`json::Value`]. The derive macros in `vendor/serde_derive`
+//! generate impls of these traits for non-generic structs and fieldless
+//! enums — exactly the shapes the workspace derives on.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Serialization to JSON text.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserialization from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Reconstructs the value from JSON.
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+// ---- integers -------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Num(s) => s
+                        .parse::<$t>()
+                        .or_else(|_| {
+                            // Tolerate float-formatted integers ("3.0").
+                            s.parse::<f64>()
+                                .map(|f| f as $t)
+                                .map_err(|_| json::Error::msg(format!("bad integer `{s}`")))
+                        }),
+                    other => Err(json::Error::msg(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- floats ---------------------------------------------------------------
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's float Display is the shortest round-trip form.
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; mirror serde_json's `null`.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Num(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| json::Error::msg(format!("bad float `{s}`"))),
+                    json::Value::Null => Ok(<$t>::NAN),
+                    other => Err(json::Error::msg(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+// ---- scalars --------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(json::Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_str(&self.to_string(), out);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let s = json::expect_str(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(json::Error::msg("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_str(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_str(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        json::expect_str(v).map(str::to_string)
+    }
+}
+
+impl Serialize for () {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_json(_: &json::Value) -> Result<Self, json::Error> {
+        Ok(())
+    }
+}
+
+// ---- references and smart pointers ---------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+macro_rules! impl_smart_ptr {
+    ($($ptr:ident),*) => {$(
+        impl<T: Serialize + ?Sized> Serialize for $ptr<T> {
+            fn serialize_json(&self, out: &mut String) {
+                (**self).serialize_json(out);
+            }
+        }
+        impl<T: Deserialize> Deserialize for $ptr<T> {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                T::deserialize_json(v).map($ptr::new)
+            }
+        }
+    )*};
+}
+
+impl_smart_ptr!(Box, Rc, Arc);
+
+// ---- containers -----------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        json::expect_arr(v)?.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let items: Vec<T> = Vec::deserialize_json(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| json::Error::msg(format!("expected {N} elements, got {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(x) => x.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+// Maps serialize as arrays of [key, value] pairs so non-string keys
+// round-trip exactly; only the vendored parser ever reads this output.
+macro_rules! serialize_map_body {
+    ($self:ident, $out:ident) => {{
+        $out.push('[');
+        for (i, (k, v)) in $self.iter().enumerate() {
+            if i > 0 {
+                $out.push(',');
+            }
+            $out.push('[');
+            k.serialize_json($out);
+            $out.push(',');
+            v.serialize_json($out);
+            $out.push(']');
+        }
+        $out.push(']');
+    }};
+}
+
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(
+    v: &json::Value,
+) -> Result<Vec<(K, V)>, json::Error> {
+    json::expect_arr(v)?
+        .iter()
+        .map(|pair| {
+            let kv = json::expect_arr(pair)?;
+            if kv.len() != 2 {
+                return Err(json::Error::msg("expected [key, value] pair"));
+            }
+            Ok((K::deserialize_json(&kv[0])?, V::deserialize_json(&kv[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_map_body!(self, out)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(deserialize_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_map_body!(self, out)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(deserialize_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+));*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                let arr = json::expect_arr(v)?;
+                let expected = 0usize $(+ { let _ = stringify!($idx); 1 })+;
+                if arr.len() != expected {
+                    return Err(json::Error::msg(format!(
+                        "expected {expected}-tuple, got {} elements", arr.len()
+                    )));
+                }
+                Ok(($($name::deserialize_json(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(x: T) {
+        let mut s = String::new();
+        x.serialize_json(&mut s);
+        let v = json::parse(&s).unwrap();
+        assert_eq!(T::deserialize_json(&v).unwrap(), x, "json was {s}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(42u64);
+        round_trip(u64::MAX);
+        round_trip(-7i32);
+        round_trip(3.25f32);
+        round_trip(1.0e-12f64);
+        round_trip(true);
+        round_trip(String::from("hé \"quoted\"\n\\tab"));
+        round_trip('x');
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1.5f32, -2.0, 0.0]);
+        round_trip(Some(vec![1u32, 2, 3]));
+        round_trip(None::<u32>);
+        round_trip((1u8, -2i64, String::from("z")));
+        let mut m = HashMap::new();
+        m.insert(3usize, vec![0.5f32]);
+        m.insert(9, vec![]);
+        round_trip(m);
+        round_trip(Arc::new(vec![1u8, 2]));
+        round_trip([1u32, 2, 3]);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        for x in [f32::MIN_POSITIVE, 0.1f32, 1.0 / 3.0, f32::MAX, -0.0] {
+            let mut s = String::new();
+            x.serialize_json(&mut s);
+            let v = json::parse(&s).unwrap();
+            let back = f32::deserialize_json(&v).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("1 2").is_err());
+        assert!(json::parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = json::parse(r#""\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(json::expect_str(&v).unwrap(), "é😀");
+    }
+}

@@ -1,0 +1,331 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde facade in `vendor/serde`.
+//!
+//! Scope is exactly what this workspace derives on: non-generic structs
+//! (named, tuple, unit) and fieldless enums, with no `#[serde(...)]`
+//! attributes. Anything outside that scope produces a `compile_error!` naming
+//! the construct, so unsupported uses fail loudly at build time rather than
+//! silently misbehaving.
+//!
+//! The implementation parses the raw token stream directly (no `syn`/`quote`,
+//! which are unavailable offline) and emits code by formatting strings and
+//! reparsing them — `proc_macro::TokenStream: FromStr` makes that reliable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    FieldlessEnum { name: String, variants: Vec<String> },
+}
+
+/// Skips attribute (`#[...]`) and visibility (`pub`, `pub(...)`) tokens
+/// starting at `*i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts top-level (angle-depth 0) comma-separated items in a token slice.
+/// Used for tuple-struct arity; commas inside `<...>` or sub-groups don't
+/// count because groups are atomic tokens and angle depth is tracked.
+fn top_level_arity(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1;
+    let mut saw_item = false;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+            }
+            _ => saw_item = true,
+        }
+    }
+    // Tolerate a trailing comma.
+    if let Some(TokenTree::Punct(p)) = toks.last() {
+        if p.as_char() == ',' {
+            arity -= 1;
+        }
+    }
+    if !saw_item {
+        0
+    } else {
+        arity
+    }
+}
+
+/// Extracts field names from a named-struct body.
+fn named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, rejecting data-carrying
+/// variants.
+fn enum_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip until comma.
+                while i < body.len() {
+                    if matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; vendored serde_derive only supports fieldless enums"
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token after variant `{name}`: `{other}`")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "type `{name}` is generic; vendored serde_derive only supports non-generic types"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::NamedStruct { name, fields: named_fields(&body)? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct { name, arity: top_level_arity(&body) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::FieldlessEnum { name, variants: enum_variants(&body)? })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Wraps an impl in `const _: () = {{ extern crate serde as _serde; ... }};`
+/// so the generated code resolves `serde` even if the caller shadowed the
+/// name (the same trick upstream serde_derive uses).
+fn wrap(body: String) -> TokenStream {
+    format!("const _: () = {{ extern crate serde as _serde; {body} }};")
+        .parse()
+        .expect("vendored serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::from("out.push('{');");
+            for (idx, f) in fields.iter().enumerate() {
+                if idx > 0 {
+                    b.push_str("out.push(',');");
+                }
+                b.push_str(&format!(
+                    "out.push_str({:?});_serde::Serialize::serialize_json(&self.{f}, out);",
+                    format!("\"{f}\":")
+                ));
+            }
+            b.push_str("out.push('}');");
+            format!(
+                "impl _serde::Serialize for {name} {{ \
+                   fn serialize_json(&self, out: &mut ::std::string::String) {{ {b} }} }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut b = String::from("out.push('[');");
+            for idx in 0..arity {
+                if idx > 0 {
+                    b.push_str("out.push(',');");
+                }
+                b.push_str(&format!("_serde::Serialize::serialize_json(&self.{idx}, out);"));
+            }
+            b.push_str("out.push(']');");
+            format!(
+                "impl _serde::Serialize for {name} {{ \
+                   fn serialize_json(&self, out: &mut ::std::string::String) {{ {b} }} }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl _serde::Serialize for {name} {{ \
+               fn serialize_json(&self, out: &mut ::std::string::String) {{ out.push_str(\"null\"); }} }}"
+        ),
+        Item::FieldlessEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => out.push_str({:?}),", format!("\"{v}\"")))
+                .collect();
+            format!(
+                "impl _serde::Serialize for {name} {{ \
+                   fn serialize_json(&self, out: &mut ::std::string::String) {{ \
+                     match self {{ {arms} }} }} }}"
+            )
+        }
+    };
+    wrap(body)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: _serde::Deserialize::deserialize_json(\
+                           _serde::json::obj_field(v, {:?})?)?,",
+                        f
+                    )
+                })
+                .collect();
+            format!(
+                "impl _serde::Deserialize for {name} {{ \
+                   fn deserialize_json(v: &_serde::json::Value) \
+                     -> ::std::result::Result<Self, _serde::json::Error> {{ \
+                     ::std::result::Result::Ok({name} {{ {inits} }}) }} }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: String =
+                (0..arity).map(|i| format!("_serde::Deserialize::deserialize_json(&arr[{i}])?,")).collect();
+            format!(
+                "impl _serde::Deserialize for {name} {{ \
+                   fn deserialize_json(v: &_serde::json::Value) \
+                     -> ::std::result::Result<Self, _serde::json::Error> {{ \
+                     let arr = _serde::json::expect_arr(v)?; \
+                     if arr.len() != {arity} {{ \
+                       return ::std::result::Result::Err(_serde::json::Error::msg(\
+                         format!(\"expected {arity} elements for {name}, got {{}}\", arr.len()))); }} \
+                     ::std::result::Result::Ok({name}({elems})) }} }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl _serde::Deserialize for {name} {{ \
+               fn deserialize_json(v: &_serde::json::Value) \
+                 -> ::std::result::Result<Self, _serde::json::Error> {{ \
+                 let _ = v; ::std::result::Result::Ok({name}) }} }}"
+        ),
+        Item::FieldlessEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{v}),", v))
+                .collect();
+            format!(
+                "impl _serde::Deserialize for {name} {{ \
+                   fn deserialize_json(v: &_serde::json::Value) \
+                     -> ::std::result::Result<Self, _serde::json::Error> {{ \
+                     match _serde::json::expect_str(v)? {{ {arms} \
+                       other => ::std::result::Result::Err(_serde::json::Error::msg(\
+                         format!(\"unknown variant `{{other}}` for {name}\"))) }} }} }}"
+            )
+        }
+    };
+    wrap(body)
+}

@@ -1,0 +1,40 @@
+//! Vendored offline stand-in for the `serde_json` entry points this
+//! workspace uses (`to_string`, `from_str`, `Error`). The heavy lifting —
+//! value model, parser, escaping — lives in `serde::json` so the derive
+//! macros can reference it through the `serde` crate alone.
+
+pub use serde::json::{Error, Value};
+
+/// Serializes a value to a compact JSON string.
+///
+/// Always `Ok` for the JSON-direct trait in the vendored facade; the
+/// `Result` return mirrors upstream so call sites (`?`, `.unwrap()`)
+/// compile unchanged.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into a value of type `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    T::deserialize_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_round_trip() {
+        let x = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let s = super::to_string(&x).unwrap();
+        let back: Vec<(u32, String)> = super::from_str(&s).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        let e = super::from_str::<u32>("not json").unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+}
