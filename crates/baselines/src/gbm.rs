@@ -42,8 +42,15 @@ impl Default for GbmConfig {
 /// A node of a regression tree, stored in a flat arena.
 #[derive(Clone, Debug)]
 enum Node {
-    Leaf { value: f32 },
-    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Clone, Debug, Default)]
@@ -57,8 +64,17 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -81,7 +97,11 @@ struct SplitResult {
 impl GbmPredictor {
     /// Creates an unfitted predictor.
     pub fn new(cfg: GbmConfig) -> Self {
-        GbmPredictor { cfg, base: 0.0, trees: Vec::new() }
+        GbmPredictor {
+            cfg,
+            base: 0.0,
+            trees: Vec::new(),
+        }
     }
 
     /// Number of trees actually grown.
@@ -155,7 +175,10 @@ impl GbmPredictor {
         depth: usize,
         rng: &mut rand::rngs::StdRng,
     ) -> usize {
-        let mean = idx.iter().map(|&i| residuals[i as usize] as f64).sum::<f64>()
+        let mean = idx
+            .iter()
+            .map(|&i| residuals[i as usize] as f64)
+            .sum::<f64>()
             / idx.len().max(1) as f64;
         if depth >= self.cfg.max_depth || idx.len() < 2 * self.cfg.min_leaf {
             tree.nodes.push(Node::Leaf { value: mean as f32 });
@@ -188,8 +211,12 @@ impl GbmPredictor {
         tree.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
         let left = self.grow(tree, xs, residuals, left_idx, depth + 1, rng);
         let right = self.grow(tree, xs, residuals, right_idx, depth + 1, rng);
-        tree.nodes[me] =
-            Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+        tree.nodes[me] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
         me
     }
 }
@@ -211,8 +238,7 @@ impl TtePredictor for GbmPredictor {
         self.trees.clear();
 
         for _ in 0..self.cfg.num_trees {
-            let residuals: Vec<f32> =
-                ys.iter().zip(&preds).map(|(&y, &p)| y - p).collect();
+            let residuals: Vec<f32> = ys.iter().zip(&preds).map(|(&y, &p)| y - p).collect();
             let all: Vec<u32> = (0..xs.len() as u32).collect();
             let mut tree = Tree::default();
             self.grow_root(&mut tree, &xs, &residuals, all, &mut rng);
@@ -238,7 +264,7 @@ impl TtePredictor for GbmPredictor {
     fn size_bytes(&self) -> usize {
         self.trees
             .iter()
-            .map(|t| t.nodes.len() * std::mem::size_of::<Node>())
+            .map(|t| t.nodes.len() * size_of::<Node>())
             .sum::<usize>()
             + 4
     }
@@ -281,9 +307,11 @@ mod tests {
 
     #[test]
     fn fits_nonlinear_structure_better_than_mean() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 300));
-        let mut gbm = GbmPredictor::new(GbmConfig { num_trees: 40, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 300));
+        let mut gbm = GbmPredictor::new(GbmConfig {
+            num_trees: 40,
+            ..Default::default()
+        });
         gbm.fit(&ds);
         assert_eq!(gbm.num_trees(), 40);
         let mean = ds.mean_train_travel_time() as f32;
@@ -302,12 +330,14 @@ mod tests {
         // Travel time is nonlinear in OD features (congestion, routes), so
         // trees should at least match LR; this mirrors the paper's Table 4
         // ordering GBM < LR (lower error).
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
-        let mut gbm = GbmPredictor::new(GbmConfig { num_trees: 120, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
+        let mut gbm = GbmPredictor::new(GbmConfig {
+            num_trees: 120,
+            ..Default::default()
+        });
         gbm.fit(&ds);
         let mut lr = crate::LinearRegression::new(1e-3);
-        crate::TtePredictor::fit(&mut lr, &ds);
+        TtePredictor::fit(&mut lr, &ds);
         let m_gbm = mae(&mut gbm, &ds);
         let m_lr = mae(&mut lr, &ds);
         assert!(
@@ -318,8 +348,7 @@ mod tests {
 
     #[test]
     fn deeper_trees_fit_train_better() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
         let train_mae = |depth: usize| {
             let mut gbm = GbmPredictor::new(GbmConfig {
                 max_depth: depth,
@@ -335,24 +364,31 @@ mod tests {
         };
         let shallow = train_mae(2);
         let deep = train_mae(6);
-        assert!(deep <= shallow, "deeper trees must fit train at least as well");
+        assert!(
+            deep <= shallow,
+            "deeper trees must fit train at least as well"
+        );
     }
 
     #[test]
     fn unfitted_returns_none() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
         let mut gbm = GbmPredictor::new(GbmConfig::default());
         assert!(gbm.predict(&ds.train[0].od).is_none());
     }
 
     #[test]
     fn size_grows_with_trees() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 100));
-        let mut small = GbmPredictor::new(GbmConfig { num_trees: 5, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 100));
+        let mut small = GbmPredictor::new(GbmConfig {
+            num_trees: 5,
+            ..Default::default()
+        });
         small.fit(&ds);
-        let mut large = GbmPredictor::new(GbmConfig { num_trees: 40, ..Default::default() });
+        let mut large = GbmPredictor::new(GbmConfig {
+            num_trees: 40,
+            ..Default::default()
+        });
         large.fit(&ds);
         assert!(large.size_bytes() > small.size_bytes());
     }

@@ -17,7 +17,12 @@ pub struct LinearRegression {
 impl LinearRegression {
     /// Creates an unfitted model with ridge strength `lambda`.
     pub fn new(lambda: f64) -> Self {
-        LinearRegression { lambda, weights: vec![0.0; NUM_OD_FEATURES], bias: 0.0, fitted: false }
+        LinearRegression {
+            lambda,
+            weights: vec![0.0; NUM_OD_FEATURES],
+            bias: 0.0,
+            fitted: false,
+        }
     }
 
     /// The fitted weights (tests / diagnostics).
@@ -73,8 +78,10 @@ impl TtePredictor for LinearRegression {
         let mut xtx = vec![0.0f64; n * n];
         let mut xty = vec![0.0f64; n];
         for o in &ds.train {
-            let mut f: Vec<f64> =
-                extract_features(&o.od).into_iter().map(|v| v as f64).collect();
+            let mut f: Vec<f64> = extract_features(&o.od)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect();
             f.push(1.0);
             let y = o.travel_time;
             for i in 0..n {
@@ -114,7 +121,7 @@ impl TtePredictor for LinearRegression {
     }
 
     fn size_bytes(&self) -> usize {
-        (self.weights.len() + 1) * std::mem::size_of::<f64>()
+        (self.weights.len() + 1) * size_of::<f64>()
     }
 }
 
@@ -158,8 +165,7 @@ mod tests {
 
     #[test]
     fn beats_mean_on_real_data() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
         let mut lr = LinearRegression::new(1e-3);
         lr.fit(&ds);
         let mean = ds.mean_train_travel_time() as f32;
@@ -175,14 +181,16 @@ mod tests {
             .map(|o| (mean - o.travel_time as f32).abs())
             .sum::<f32>()
             / ds.test.len() as f32;
-        assert!(mae_lr < mae_mean, "LR {mae_lr:.1} should beat mean {mae_mean:.1}");
+        assert!(
+            mae_lr < mae_mean,
+            "LR {mae_lr:.1} should beat mean {mae_mean:.1}"
+        );
     }
 
     #[test]
     fn unfitted_returns_none_and_size_constant() {
         let mut lr = LinearRegression::new(1.0);
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 30));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 30));
         assert!(lr.predict(&ds.train[0].od).is_none());
         let size_before = lr.size_bytes();
         lr.fit(&ds);
@@ -191,8 +199,7 @@ mod tests {
 
     #[test]
     fn predictions_nonnegative() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
         let mut lr = LinearRegression::new(1e-3);
         lr.fit(&ds);
         for o in &ds.test {

@@ -107,20 +107,13 @@ impl MuratPredictor {
         Some((oe.idx(), de.idx(), self.day_node(od.depart), extras))
     }
 
-    fn forward_encoded(
-        &mut self,
-        enc: (usize, usize, usize, Vec<f32>),
-    ) -> f32 {
+    fn forward_encoded(&mut self, enc: (usize, usize, usize, Vec<f32>)) -> f32 {
         let (oe, de, slot, extras) = enc;
-        let (road, slot_emb, trunk, time_head) = match (
-            &self.road_emb,
-            &self.slot_emb,
-            &self.trunk,
-            &self.time_head,
-        ) {
-            (Some(r), Some(s), Some(t), Some(h)) => (*r, *s, *t, *h),
-            _ => return 0.0,
-        };
+        let (road, slot_emb, trunk, time_head) =
+            match (&self.road_emb, &self.slot_emb, &self.trunk, &self.time_head) {
+                (Some(r), Some(s), Some(t), Some(h)) => (*r, *s, *t, *h),
+                _ => return 0.0,
+            };
         let mut g = Graph::new();
         let e1 = road.lookup(&mut g, &self.store, oe);
         let en = road.lookup(&mut g, &self.store, de);
@@ -184,10 +177,14 @@ impl TtePredictor for MuratPredictor {
 impl MuratPredictor {
     /// Fits while recording `(step, validation MAE)` points every
     /// `eval_every` optimizer steps — the Fig. 10 training-curve hook.
-    pub fn fit_with_validation(&mut self, ds: &CityDataset, eval_every: usize) -> Vec<(usize, f32)> {
+    pub fn fit_with_validation(
+        &mut self,
+        ds: &CityDataset,
+        eval_every: usize,
+    ) -> Vec<(usize, f32)> {
         let mut rng = deepod_tensor::rng_from_seed(self.cfg.seed);
         self.store = ParamStore::new();
-        self.grid = Some(SpatialGrid::build(&ds.net, 250.0));
+        let grid = SpatialGrid::build(&ds.net, 250.0);
 
         let road_emb = Embedding::new(
             &mut self.store,
@@ -204,24 +201,58 @@ impl MuratPredictor {
             &mut rng,
         );
         // Graph-embedding initialization on undirected graphs.
-        let walk = WalkConfig { walks_per_node: 3, walk_length: 10, window: 3, ..Default::default() };
+        let walk = WalkConfig {
+            walks_per_node: 3,
+            walk_length: 10,
+            window: 3,
+            ..Default::default()
+        };
         let rg = Self::undirected_road_graph(&ds.net);
         road_emb.load_pretrained(
             &mut self.store,
-            Node2Vec { cfg: walk.clone(), p: 1.0, q: 1.0 }.embed(&rg, self.cfg.emb_dim, &mut rng),
+            Node2Vec {
+                cfg: walk.clone(),
+                p: 1.0,
+                q: 1.0,
+            }
+            .embed(&rg, self.cfg.emb_dim, &mut rng),
         );
         let tg = Self::undirected_day_graph(&self.slots);
         slot_emb.load_pretrained(
             &mut self.store,
-            Node2Vec { cfg: walk, p: 1.0, q: 1.0 }.embed(&tg, self.cfg.emb_dim, &mut rng),
+            Node2Vec {
+                cfg: walk,
+                p: 1.0,
+                q: 1.0,
+            }
+            .embed(&tg, self.cfg.emb_dim, &mut rng),
         );
 
         let in_dim = 3 * self.cfg.emb_dim + 2;
-        let trunk = Mlp2::new(&mut self.store, "murat.trunk", in_dim, self.cfg.hidden, self.cfg.hidden, &mut rng);
-        let time_head =
-            Mlp2::new(&mut self.store, "murat.time", self.cfg.hidden, self.cfg.hidden, 1, &mut rng);
-        let dist_head =
-            Mlp2::new(&mut self.store, "murat.dist", self.cfg.hidden, self.cfg.hidden, 1, &mut rng);
+        let trunk = Mlp2::new(
+            &mut self.store,
+            "murat.trunk",
+            in_dim,
+            self.cfg.hidden,
+            self.cfg.hidden,
+            &mut rng,
+        );
+        let time_head = Mlp2::new(
+            &mut self.store,
+            "murat.time",
+            self.cfg.hidden,
+            self.cfg.hidden,
+            1,
+            &mut rng,
+        );
+        let dist_head = Mlp2::new(
+            &mut self.store,
+            "murat.dist",
+            self.cfg.hidden,
+            self.cfg.hidden,
+            1,
+            &mut rng,
+        );
         // Standardize time labels so the network trains in O(1) units.
         let mean_y = ds.mean_train_travel_time() as f32;
         let var_y = ds
@@ -241,12 +272,9 @@ impl MuratPredictor {
             .train
             .iter()
             .filter_map(|o| {
-                self.grid.as_ref().unwrap().nearest_edge(&ds.net, &o.od.origin, 600.0).and_then(
-                    |(oe, _)| {
-                        self.grid
-                            .as_ref()
-                            .unwrap()
-                            .nearest_edge(&ds.net, &o.od.destination, 600.0)
+                grid.nearest_edge(&ds.net, &o.od.origin, 600.0)
+                    .and_then(|(oe, _)| {
+                        grid.nearest_edge(&ds.net, &o.od.destination, 600.0)
                             .map(|(de, _)| {
                                 let dist_km: f64 = o
                                     .trajectory
@@ -267,12 +295,12 @@ impl MuratPredictor {
                                     dist_km as f32,
                                 )
                             })
-                    },
-                )
+                    })
             })
             .collect();
 
         // Publish layers before training so periodic validation works.
+        self.grid = Some(grid);
         self.road_emb = Some(road_emb);
         self.slot_emb = Some(slot_emb);
         self.trunk = Some(trunk);
@@ -322,9 +350,8 @@ impl MuratPredictor {
                         let mut m = 0usize;
                         for o in &ds.validation[..n] {
                             if let Some(e) = self.encode(&ds.net, &o.od) {
-                                acc += (self.forward_encoded(e).max(0.0)
-                                    - o.travel_time as f32)
-                                    .abs();
+                                acc +=
+                                    (self.forward_encoded(e).max(0.0) - o.travel_time as f32).abs();
                                 m += 1;
                             }
                         }
@@ -355,9 +382,11 @@ mod tests {
 
     #[test]
     fn trains_and_beats_mean() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
-        let mut murat = MuratPredictor::new(MuratConfig { epochs: 16, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 250));
+        let mut murat = MuratPredictor::new(MuratConfig {
+            epochs: 16,
+            ..Default::default()
+        });
         murat.fit(&ds);
         let mean = ds.mean_train_travel_time() as f32;
         let mut mae = 0.0f32;
@@ -373,22 +402,26 @@ mod tests {
         assert!(n > 0);
         mae /= n as f32;
         mae_mean /= n as f32;
-        assert!(mae < mae_mean, "MURAT {mae:.1} should beat mean {mae_mean:.1}");
+        assert!(
+            mae < mae_mean,
+            "MURAT {mae:.1} should beat mean {mae_mean:.1}"
+        );
     }
 
     #[test]
     fn unfitted_returns_none() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
         let mut murat = MuratPredictor::new(MuratConfig::default());
         assert!(murat.predict(&ds.train[0].od).is_none());
     }
 
     #[test]
     fn model_size_scales_with_network() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
-        let mut murat = MuratPredictor::new(MuratConfig { epochs: 1, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
+        let mut murat = MuratPredictor::new(MuratConfig {
+            epochs: 1,
+            ..Default::default()
+        });
         murat.fit(&ds);
         // Road embedding alone: num_edges × emb_dim × 4 bytes.
         assert!(murat.size_bytes() > ds.net.num_edges() * 16 * 4);

@@ -1,5 +1,5 @@
 //! Route-based travel time estimation — the "floating-car data" family of
-//! §7.1, built as an extension beyond the paper's baseline set.
+//! the paper's §7.1, built as an extension beyond its baseline set.
 //!
 //! The estimator learns per-segment speeds from historical trajectories,
 //! bucketed by time-of-week, with a class-level fallback for unobserved
@@ -31,8 +31,7 @@ pub struct RouteTtePredictor {
 }
 
 fn bucket_of(t: f64) -> u16 {
-    ((t.rem_euclid(SECONDS_PER_WEEK)) / (SECONDS_PER_WEEK / BUCKETS as f64)) as u16
-        % BUCKETS as u16
+    ((t.rem_euclid(SECONDS_PER_WEEK)) / (SECONDS_PER_WEEK / BUCKETS as f64)) as u16 % BUCKETS as u16
 }
 
 fn class_tag(c: RoadClass) -> u8 {
@@ -112,10 +111,14 @@ impl TtePredictor for RouteTtePredictor {
                 global.1 += 1;
             }
         }
-        self.speeds =
-            sums.into_iter().map(|(k, (s, n))| (k, (s / n as f64) as f32)).collect();
-        self.class_speeds =
-            class_sums.into_iter().map(|(k, (s, n))| (k, (s / n as f64) as f32)).collect();
+        self.speeds = sums
+            .into_iter()
+            .map(|(k, (s, n))| (k, (s / n as f64) as f32))
+            .collect();
+        self.class_speeds = class_sums
+            .into_iter()
+            .map(|(k, (s, n))| (k, (s / n as f64) as f32))
+            .collect();
         if global.1 > 0 {
             self.global_speed = (global.0 / global.1 as f64) as f32;
         }
@@ -132,12 +135,16 @@ impl TtePredictor for RouteTtePredictor {
         // Route on learned time-dependent speeds, then integrate, adding
         // the partial first/last segments.
         let this = &*self;
-        let route = time_dependent_route(net, net.edge(oe).to, net.edge(de).from, od.depart, |e, t| {
-            (net.edge(e).length / this.speed(net, e, t) as f64).max(0.5)
-        })?;
+        let route = time_dependent_route(
+            net,
+            net.edge(oe).to,
+            net.edge(de).from,
+            od.depart,
+            |e, t| (net.edge(e).length / this.speed(net, e, t) as f64).max(0.5),
+        )
+        .ok()?;
 
-        let head = net.edge(oe).length * (1.0 - opr.t)
-            / self.speed(net, oe, od.depart) as f64;
+        let head = net.edge(oe).length * (1.0 - opr.t) / self.speed(net, oe, od.depart) as f64;
         let tail_t = od.depart + head + route.cost;
         let tail = net.edge(de).length * dpr.t / self.speed(net, de, tail_t) as f64;
         Some((head + route.cost + tail) as f32)
@@ -156,8 +163,7 @@ mod tests {
 
     #[test]
     fn beats_mean_predictor_comfortably() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 700));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 700));
         let mut p = RouteTtePredictor::new();
         p.fit(&ds);
         assert!(p.observed_pairs() > 100, "too few observations");
@@ -184,16 +190,14 @@ mod tests {
 
     #[test]
     fn unfitted_returns_none() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
         let mut p = RouteTtePredictor::new();
         assert!(p.predict(&ds.train[0].od).is_none());
     }
 
     #[test]
     fn speed_fallback_chain() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 100));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 100));
         let mut p = RouteTtePredictor::new();
         p.fit(&ds);
         // Any edge at any time yields a positive, sane speed via fallbacks.
@@ -205,8 +209,7 @@ mod tests {
 
     #[test]
     fn rush_hour_predictions_longer() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 500));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 500));
         let mut p = RouteTtePredictor::new();
         p.fit(&ds);
         // Same OD Tuesday 8 am vs 3 am — learned speeds must reflect rush.

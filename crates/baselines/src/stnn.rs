@@ -29,7 +29,13 @@ pub struct StnnConfig {
 
 impl Default for StnnConfig {
     fn default() -> Self {
-        StnnConfig { hidden: 32, epochs: 8, batch_size: 16, lr: 0.01, seed: 0x57AA }
+        StnnConfig {
+            hidden: 32,
+            epochs: 8,
+            batch_size: 16,
+            lr: 0.01,
+            seed: 0x57AA,
+        }
     }
 }
 
@@ -113,9 +119,22 @@ impl StnnPredictor {
     ) -> Vec<(usize, f32)> {
         let mut rng = deepod_tensor::rng_from_seed(self.cfg.seed);
         self.store = ParamStore::new();
-        let dist_net = Mlp2::new(&mut self.store, "stnn.dist", 4, self.cfg.hidden, 1, &mut rng);
-        let time_net =
-            Mlp2::new(&mut self.store, "stnn.time", 1 + 3, self.cfg.hidden, 1, &mut rng);
+        let dist_net = Mlp2::new(
+            &mut self.store,
+            "stnn.dist",
+            4,
+            self.cfg.hidden,
+            1,
+            &mut rng,
+        );
+        let time_net = Mlp2::new(
+            &mut self.store,
+            "stnn.time",
+            1 + 3,
+            self.cfg.hidden,
+            1,
+            &mut rng,
+        );
 
         // Standardize time labels so the network trains in O(1) units.
         let mean_y = ds.mean_train_travel_time() as f32;
@@ -137,7 +156,8 @@ impl StnnPredictor {
             .sum::<f64>()
             / ds.train.len().max(1) as f64
             / 1000.0) as f32;
-        self.store.set_value(dist_net.l2.b, Tensor::from_vec(vec![mean_d], &[1]));
+        self.store
+            .set_value(dist_net.l2.b, Tensor::from_vec(vec![mean_d], &[1]));
         self.dist_net = Some(dist_net);
         self.time_net = Some(time_net);
 
@@ -216,9 +236,11 @@ mod tests {
 
     #[test]
     fn trains_and_beats_mean() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
-        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 24, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
+        let mut stnn = StnnPredictor::new(StnnConfig {
+            epochs: 24,
+            ..Default::default()
+        });
         stnn.fit(&ds);
         let mean = ds.mean_train_travel_time() as f32;
         let mut mae = 0.0;
@@ -229,13 +251,15 @@ mod tests {
         }
         mae /= ds.test.len() as f32;
         mae_mean /= ds.test.len() as f32;
-        assert!(mae < mae_mean, "STNN {mae:.1} should beat mean {mae_mean:.1}");
+        assert!(
+            mae < mae_mean,
+            "STNN {mae:.1} should beat mean {mae_mean:.1}"
+        );
     }
 
     #[test]
     fn unfitted_returns_none() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
         let mut stnn = StnnPredictor::new(StnnConfig::default());
         assert!(stnn.predict(&ds.train[0].od).is_none());
     }
@@ -255,29 +279,34 @@ mod tests {
 
     #[test]
     fn longer_trips_predicted_longer() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
-        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 24, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
+        let mut stnn = StnnPredictor::new(StnnConfig {
+            epochs: 24,
+            ..Default::default()
+        });
         stnn.fit(&ds);
         // Compare a short and a long trip at the same departure time.
         let mut short = ds.test[0].od;
         let mut long = short;
-        long.destination = deepod_roadnet::Point::new(
-            short.origin.x + 4000.0,
-            short.origin.y + 4000.0,
-        );
+        long.destination =
+            deepod_roadnet::Point::new(short.origin.x + 4000.0, short.origin.y + 4000.0);
         short.destination =
             deepod_roadnet::Point::new(short.origin.x + 400.0, short.origin.y + 400.0);
         let ps = stnn.predict(&short).unwrap();
         let pl = stnn.predict(&long).unwrap();
-        assert!(pl > ps, "long trip {pl:.0}s should exceed short trip {ps:.0}s");
+        assert!(
+            pl > ps,
+            "long trip {pl:.0}s should exceed short trip {ps:.0}s"
+        );
     }
 
     #[test]
     fn curve_recorded_and_not_diverging() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
-        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 10, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
+        let mut stnn = StnnPredictor::new(StnnConfig {
+            epochs: 10,
+            ..Default::default()
+        });
         let curve = stnn.fit_with_validation(&ds, 5);
         assert!(curve.len() >= 4, "curve too short: {}", curve.len());
         for w in curve.windows(2) {

@@ -24,7 +24,12 @@ pub struct TempConfig {
 
 impl Default for TempConfig {
     fn default() -> Self {
-        TempConfig { radius: 600.0, slot_seconds: 1800.0, min_neighbors: 3, bucket: 600.0 }
+        TempConfig {
+            radius: 600.0,
+            slot_seconds: 1800.0,
+            min_neighbors: 3,
+            bucket: 600.0,
+        }
     }
 }
 
@@ -49,7 +54,7 @@ pub struct TempPredictor {
 impl TempPredictor {
     /// Creates an unfitted predictor.
     pub fn new(cfg: TempConfig) -> Self {
-        let slots_per_week = (SECONDS_PER_WEEK / cfg.slot_seconds).round() as usize;
+        let slots_per_week = deepod_tensor::round_count(SECONDS_PER_WEEK / cfg.slot_seconds);
         TempPredictor {
             cfg,
             records: Vec::new(),
@@ -59,11 +64,15 @@ impl TempPredictor {
     }
 
     fn bucket_of(&self, p: &Point) -> (i64, i64) {
-        ((p.x / self.cfg.bucket).floor() as i64, (p.y / self.cfg.bucket).floor() as i64)
+        (
+            deepod_tensor::floor_coord(p.x / self.cfg.bucket),
+            deepod_tensor::floor_coord(p.y / self.cfg.bucket),
+        )
     }
 
     fn week_slot(&self, t: f64) -> usize {
-        ((t.rem_euclid(SECONDS_PER_WEEK)) / self.cfg.slot_seconds) as usize % self.slots_per_week
+        deepod_tensor::floor_index(t.rem_euclid(SECONDS_PER_WEEK) / self.cfg.slot_seconds)
+            % self.slots_per_week
     }
 
     /// Circular slot distance on the weekly ring.
@@ -76,11 +85,13 @@ impl TempPredictor {
     fn neighbors(&self, od: &OdInput, radius: f64, slot_window: usize) -> Vec<f32> {
         let qslot = self.week_slot(od.depart);
         let (bx, by) = self.bucket_of(&od.origin);
-        let reach = (radius / self.cfg.bucket).ceil() as i64;
+        let reach = deepod_tensor::ceil_count(radius / self.cfg.bucket) as i64;
         let mut out = Vec::new();
         for dy in -reach..=reach {
             for dx in -reach..=reach {
-                let Some(ids) = self.buckets.get(&(bx + dx, by + dy)) else { continue };
+                let Some(ids) = self.buckets.get(&(bx + dx, by + dy)) else {
+                    continue;
+                };
                 for &i in ids {
                     let r = &self.records[i as usize];
                     if r.origin.dist(&od.origin) <= radius
@@ -115,8 +126,8 @@ impl TtePredictor for TempPredictor {
         self.buckets.clear();
         for (i, r) in self.records.iter().enumerate() {
             let key = (
-                (r.origin.x / self.cfg.bucket).floor() as i64,
-                (r.origin.y / self.cfg.bucket).floor() as i64,
+                deepod_tensor::floor_coord(r.origin.x / self.cfg.bucket),
+                deepod_tensor::floor_coord(r.origin.y / self.cfg.bucket),
             );
             self.buckets.entry(key).or_default().push(i as u32);
         }
@@ -135,8 +146,7 @@ impl TtePredictor for TempPredictor {
             None
         } else {
             Some(
-                self.records.iter().map(|r| r.travel_time).sum::<f32>()
-                    / self.records.len() as f32,
+                self.records.iter().map(|r| r.travel_time).sum::<f32>() / self.records.len() as f32,
             )
         }
     }
@@ -144,7 +154,7 @@ impl TtePredictor for TempPredictor {
     fn size_bytes(&self) -> usize {
         // TEMP must keep every historical trip resident (the paper's
         // Table 5 notes its size is proportional to the data).
-        self.records.len() * std::mem::size_of::<Record>()
+        self.records.len() * size_of::<Record>()
             + self.buckets.len() * 24
             + self.buckets.values().map(|v| v.len() * 4).sum::<usize>()
     }
@@ -157,8 +167,7 @@ mod tests {
     use deepod_traj::{DatasetBuilder, DatasetConfig};
 
     fn fitted() -> (CityDataset, TempPredictor) {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
         let mut p = TempPredictor::new(TempConfig::default());
         p.fit(&ds);
         (ds, p)
@@ -179,9 +188,11 @@ mod tests {
     #[test]
     fn exact_repeat_trips_average() {
         // Two synthetic records at the same OD/slot: prediction = mean.
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 30));
-        let mut p = TempPredictor::new(TempConfig { min_neighbors: 1, ..Default::default() });
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 30));
+        let mut p = TempPredictor::new(TempConfig {
+            min_neighbors: 1,
+            ..Default::default()
+        });
         let mut clone_ds = ds;
         let a = clone_ds.train[0].clone();
         let mut b = a.clone();
@@ -195,7 +206,7 @@ mod tests {
     #[test]
     fn size_proportional_to_records() {
         let (ds, p) = fitted();
-        assert!(p.size_bytes() >= ds.train.len() * std::mem::size_of::<Record>());
+        assert!(p.size_bytes() >= ds.train.len() * size_of::<Record>());
     }
 
     #[test]
@@ -205,8 +216,8 @@ mod tests {
         od.origin = Point::new(1e7, 1e7);
         od.destination = Point::new(1.1e7, 1.1e7);
         let pred = p.predict(&od).unwrap();
-        let mean = ds.train.iter().map(|o| o.travel_time as f32).sum::<f32>()
-            / ds.train.len() as f32;
+        let mean =
+            ds.train.iter().map(|o| o.travel_time as f32).sum::<f32>() / ds.train.len() as f32;
         assert!((pred - mean).abs() < 1e-3);
     }
 

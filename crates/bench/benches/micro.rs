@@ -34,7 +34,7 @@ fn bench_estimation(c: &mut Criterion) {
     let ds = small_dataset();
     let mut group = c.benchmark_group("estimation_latency");
 
-    let mut trainer = Trainer::new(&ds, small_config(), TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, small_config(), TrainOptions::default()).expect("trainer");
     trainer.train();
     let od = ds.test.first().unwrap_or(&ds.train[0]).od;
     group.bench_function("deepod", |b| {
@@ -53,7 +53,10 @@ fn bench_estimation(c: &mut Criterion) {
         b.iter(|| black_box(lr.predict(black_box(&od))));
     });
 
-    let mut gbm = GbmPredictor::new(GbmConfig { num_trees: 30, ..Default::default() });
+    let mut gbm = GbmPredictor::new(GbmConfig {
+        num_trees: 30,
+        ..Default::default()
+    });
     gbm.fit(&ds);
     group.bench_function("gbm", |b| {
         b.iter(|| black_box(gbm.predict(black_box(&od))));
@@ -65,7 +68,7 @@ fn bench_estimation(c: &mut Criterion) {
 /// One training step (forward + backward + Adam) per sample.
 fn bench_training_step(c: &mut Criterion) {
     let ds = small_dataset();
-    let mut trainer = Trainer::new(&ds, small_config(), TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, small_config(), TrainOptions::default()).expect("trainer");
     let sample = trainer.train_samples()[0].clone();
     c.bench_function("deepod_sample_gradients", |b| {
         b.iter(|| black_box(trainer.model().sample_gradients(black_box(&sample))));
@@ -82,7 +85,9 @@ fn bench_routing(c: &mut Criterion) {
             i = (i + 7) % n;
             let from = NodeId(i);
             let to = NodeId((i + n / 2) % n);
-            black_box(dijkstra_shortest_path(&net, from, to, |e| net.edge(e).length))
+            black_box(dijkstra_shortest_path(&net, from, to, |e| {
+                net.edge(e).length
+            }))
         });
     });
 }
@@ -93,7 +98,13 @@ fn bench_map_matching(c: &mut Criterion) {
     let grid = SpatialGrid::build(&ds.net, 250.0);
     let matcher = HmmMapMatcher::new(&ds.net, &grid, MapMatchConfig::default());
     let mut rng = deepod_tensor::rng_from_seed(0xBE);
-    let raw = sample_gps(&ds.net, &ds.train[0].trajectory, 3.0, GpsNoise { sigma: 6.0 }, &mut rng);
+    let raw = sample_gps(
+        &ds.net,
+        &ds.train[0].trajectory,
+        3.0,
+        GpsNoise { sigma: 6.0 },
+        &mut rng,
+    );
     c.bench_function("hmm_map_match_one_trip", |b| {
         b.iter(|| black_box(matcher.match_trajectory(black_box(&raw))));
     });
@@ -111,12 +122,11 @@ fn bench_kernels(c: &mut Criterion) {
     // (label, m, k, n) — m×k · k×n at the sizes dominating each module's
     // forward pass: M_O the OD head, M_T the trajectory encoder, M_E the
     // external-factor encoder (tuned dims, batch-of-rows on the left).
-    let shapes = [("matmul_MO_64x96x64", 64, 96, 64), ("matmul_MT_128x64x64", 128, 64, 64), (
-        "matmul_ME_32x48x32",
-        32,
-        48,
-        32,
-    )];
+    let shapes = [
+        ("matmul_MO_64x96x64", 64, 96, 64),
+        ("matmul_MT_128x64x64", 128, 64, 64),
+        ("matmul_ME_32x48x32", 32, 48, 32),
+    ];
     let mut rng = deepod_tensor::rng_from_seed(0xD0D);
     for (label, m, k, n) in shapes {
         let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
@@ -136,9 +146,7 @@ fn bench_kernels(c: &mut Criterion) {
     // single-core host (where it reports pure fan-out overhead).
     let threads = deepod_bench::threads().max(2);
     group.bench_function("matmul_256_parallel", |b| {
-        b.iter(|| {
-            black_box(black_box(&big_a).matmul_with_threads(black_box(&big_b), threads))
-        });
+        b.iter(|| black_box(black_box(&big_a).matmul_with_threads(black_box(&big_b), threads)));
     });
     group.finish();
 
@@ -151,8 +159,11 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter_batched(
                 || {
-                    let opts = TrainOptions { threads: t, ..Default::default() };
-                    Trainer::new(&ds, small_config(), opts)
+                    let opts = TrainOptions {
+                        threads: t,
+                        ..Default::default()
+                    };
+                    Trainer::new(&ds, small_config(), opts).expect("trainer")
                 },
                 |mut trainer| black_box(trainer.train()),
                 BatchSize::PerIteration,

@@ -1,4 +1,4 @@
-//! Extensions beyond the paper's evaluation (DESIGN.md §7): the
+//! Extensions beyond the paper's evaluation (DESIGN.md §8): the
 //! route-based TTE reference predictor and goal-directed routing
 //! (A*/ALT vs Dijkstra) — ablation-style evidence for two design choices
 //! the core system makes (OD-only inputs; plain Dijkstra in the
@@ -8,15 +8,17 @@ use deepod_baselines::RouteTtePredictor;
 use deepod_bench::{banner, city_name, dataset, Scale};
 use deepod_eval::{run_method, write_csv, Method, TextTable};
 use deepod_roadnet::{
-    alt_shortest_path, astar_shortest_path, dijkstra_shortest_path, CityProfile, Landmarks,
-    NodeId,
+    alt_shortest_path, astar_shortest_path, dijkstra_shortest_path, CityProfile, Landmarks, NodeId,
 };
 use rand::Rng;
 use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Extensions: RouteTTE reference + goal-directed routing", scale);
+    banner(
+        "Extensions: RouteTTE reference + goal-directed routing",
+        scale,
+    );
 
     // 1. RouteTTE vs the OD-only regime: how much of the error comes from
     //    not knowing the route? RouteTTE routes at query time over learned
@@ -24,7 +26,8 @@ fn main() {
     let mut table = TextTable::new(&["City", "Method", "MAE(s)", "MAPE(%)"]);
     for profile in [CityProfile::SynthChengdu, CityProfile::SynthXian] {
         let ds = dataset(profile, scale);
-        let r = run_method(Method::Baseline(Box::new(RouteTtePredictor::new())), &ds);
+        let r = run_method(Method::Baseline(Box::new(RouteTtePredictor::new())), &ds)
+            .expect("method runs");
         println!(
             "{} RouteTTE: MAE {:.1}s MAPE {:.1}% (size {} B)",
             city_name(profile),
@@ -47,7 +50,10 @@ fn main() {
     println!("\nrouting on Beijing-analogue ({} nodes):", net.num_nodes());
     let t0 = Instant::now();
     let landmarks = Landmarks::build(&net, 6);
-    println!("  landmark preprocessing: {:.2}s (6 landmarks)", t0.elapsed().as_secs_f64());
+    println!(
+        "  landmark preprocessing: {:.2}s (6 landmarks)",
+        t0.elapsed().as_secs_f64()
+    );
 
     let mut rng = deepod_tensor::rng_from_seed(0xA57);
     let n = net.num_nodes();
@@ -65,7 +71,7 @@ fn main() {
     let t0 = Instant::now();
     let mut d_ok = 0usize;
     for &(a, b) in &queries {
-        if dijkstra_shortest_path(&net, a, b, |e| net.edge(e).length).is_some() {
+        if dijkstra_shortest_path(&net, a, b, |e| net.edge(e).length).is_ok() {
             d_ok += 1;
         }
     }
@@ -96,11 +102,25 @@ fn main() {
     assert_eq!(d_ok, a_ok);
     assert_eq!(d_ok, l_ok);
     println!("  dijkstra: {d_ms:.0} ms for {d_ok} routable queries");
-    println!("  a*      : {a_ms:.0} ms, mean settled {}", a_settled / a_ok.max(1));
-    println!("  alt     : {l_ms:.0} ms, mean settled {}", l_settled / l_ok.max(1));
+    println!(
+        "  a*      : {a_ms:.0} ms, mean settled {}",
+        a_settled / a_ok.max(1)
+    );
+    println!(
+        "  alt     : {l_ms:.0} ms, mean settled {}",
+        l_settled / l_ok.max(1)
+    );
     rows.row(&["dijkstra".into(), "-".into(), format!("{d_ms:.1}")]);
-    rows.row(&["astar".into(), (a_settled / a_ok.max(1)).to_string(), format!("{a_ms:.1}")]);
-    rows.row(&["alt".into(), (l_settled / l_ok.max(1)).to_string(), format!("{l_ms:.1}")]);
+    rows.row(&[
+        "astar".into(),
+        (a_settled / a_ok.max(1)).to_string(),
+        format!("{a_ms:.1}"),
+    ]);
+    rows.row(&[
+        "alt".into(),
+        (l_settled / l_ok.max(1)).to_string(),
+        format!("{l_ms:.1}"),
+    ]);
     let _ = write_csv("ext_routing", &rows);
     println!("\n{}", rows.render());
 }

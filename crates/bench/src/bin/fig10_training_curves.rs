@@ -19,7 +19,10 @@ fn main() {
 
         // STNN.
         let t0 = std::time::Instant::now();
-        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 12, ..Default::default() });
+        let mut stnn = StnnPredictor::new(StnnConfig {
+            epochs: 12,
+            ..Default::default()
+        });
         let curve = stnn.fit_with_validation(&ds, 10);
         let stnn_time = t0.elapsed().as_secs_f64();
         for &(step, mae) in &curve {
@@ -28,7 +31,10 @@ fn main() {
                 "STNN".into(),
                 step.to_string(),
                 format!("{mae:.1}"),
-                format!("{:.2}", stnn_time * step as f64 / curve.last().unwrap().0 as f64),
+                format!(
+                    "{:.2}",
+                    stnn_time * step as f64 / curve.last().unwrap().0 as f64
+                ),
             ]);
         }
         println!(
@@ -39,7 +45,10 @@ fn main() {
 
         // MURAT.
         let t0 = std::time::Instant::now();
-        let mut murat = MuratPredictor::new(MuratConfig { epochs: 12, ..Default::default() });
+        let mut murat = MuratPredictor::new(MuratConfig {
+            epochs: 12,
+            ..Default::default()
+        });
         let curve = murat.fit_with_validation(&ds, 10);
         let murat_time = t0.elapsed().as_secs_f64();
         for &(step, mae) in &curve {
@@ -48,7 +57,10 @@ fn main() {
                 "MURAT".into(),
                 step.to_string(),
                 format!("{mae:.1}"),
-                format!("{:.2}", murat_time * step as f64 / curve.last().unwrap().0 as f64),
+                format!(
+                    "{:.2}",
+                    murat_time * step as f64 / curve.last().unwrap().0 as f64
+                ),
             ]);
         }
         println!(
@@ -61,7 +73,7 @@ fn main() {
         let mut opts = train_options();
         opts.eval_every = 10;
         opts.patience = 0; // full curve, no early stop
-        let mut trainer = Trainer::new(&ds, tuned_config(profile, scale), opts);
+        let mut trainer = Trainer::new(&ds, tuned_config(profile, scale), opts).expect("trainer");
         let report = trainer.train();
         for p in &report.curve {
             table.row(&[

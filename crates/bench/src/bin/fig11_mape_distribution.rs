@@ -3,7 +3,9 @@
 //! DeepOD's distribution has both a smaller mean and smaller variance.
 
 use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
-use deepod_eval::{all_baselines, histogram, run_method, write_csv, DeepOdMethod, Method, TextTable};
+use deepod_eval::{
+    all_baselines, histogram, run_method, write_csv, DeepOdMethod, Method, TextTable,
+};
 use deepod_roadnet::CityProfile;
 
 fn main() {
@@ -25,12 +27,17 @@ fn main() {
         }));
 
         for m in methods {
-            let r = run_method(m, &ds);
+            let r = run_method(m, &ds).expect("method runs");
             let apes: Vec<f32> = r.pairs.iter().map(|p| 100.0 * p.ape()).collect();
             let mean = apes.iter().sum::<f32>() / apes.len().max(1) as f32;
             let var = apes.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
                 / apes.len().max(1) as f32;
-            println!("  {:8} mean APE {:5.1}%  std {:5.1}%", r.name, mean, var.sqrt());
+            println!(
+                "  {:8} mean APE {:5.1}%  std {:5.1}%",
+                r.name,
+                mean,
+                var.sqrt()
+            );
             summary.row(&[
                 city_name(profile).into(),
                 r.name.clone(),

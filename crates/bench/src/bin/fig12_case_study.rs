@@ -9,7 +9,10 @@ use rand::Rng;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 12: estimated vs actual (50 random test trips)", scale);
+    banner(
+        "Figure 12: estimated vs actual (50 random test trips)",
+        scale,
+    );
 
     let mut table = TextTable::new(&["City", "Method", "actual_s", "estimated_s"]);
 
@@ -35,7 +38,7 @@ fn main() {
         }
 
         for m in methods {
-            let r = run_method(m, &ds);
+            let r = run_method(m, &ds).expect("method runs");
             // `pairs` is aligned with test order indices only when every
             // prediction succeeded; recompute the mapping defensively.
             let mut close_count = 0usize;

@@ -26,7 +26,7 @@ fn main() {
         }));
 
         for m in methods {
-            let r = run_method(m, &ds);
+            let r = run_method(m, &ds).expect("method runs");
             let mut ranked = r.pairs.clone();
             ranked.sort_by(|a, b| b.ape().total_cmp(&a.ape()));
             ranked.truncate(50);

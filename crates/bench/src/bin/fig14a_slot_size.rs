@@ -26,8 +26,12 @@ fn main() {
                 options: train_options(),
             }),
             &ds,
+        )
+        .expect("method runs");
+        println!(
+            "  Δt = {m:>4} min: MAPE {:5.1}%  MAE {:6.1}s",
+            r.metrics.mape_pct, r.metrics.mae
         );
-        println!("  Δt = {m:>4} min: MAPE {:5.1}%  MAE {:6.1}s", r.metrics.mape_pct, r.metrics.mae);
         table.row(&[
             format!("{m}"),
             format!("{:.2}", r.metrics.mape_pct),

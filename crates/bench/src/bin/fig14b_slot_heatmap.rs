@@ -17,7 +17,7 @@ fn main() {
     let ds = sweep_dataset(CityProfile::SynthChengdu, scale);
     let cfg = sweep_config(CityProfile::SynthChengdu, scale);
     let slot_seconds = cfg.slot_seconds;
-    let mut trainer = Trainer::new(&ds, cfg, train_options());
+    let mut trainer = Trainer::new(&ds, cfg, train_options()).expect("trainer");
     trainer.train();
 
     let model = trainer.model();
@@ -29,7 +29,7 @@ fn main() {
     let coords = tsne_1d(&emb, &TsneConfig::default(), &mut rng);
 
     // Average into (day, 2-hour bucket) cells.
-    let slots_per_day = (86_400.0 / slot_seconds).round() as usize;
+    let slots_per_day = deepod_tensor::round_count(86_400.0 / slot_seconds);
     let buckets_per_day = 12; // 2-hour buckets
     let per_bucket = slots_per_day / buckets_per_day;
     let mut grid = vec![vec![0.0f64; buckets_per_day]; 7];
@@ -50,7 +50,12 @@ fn main() {
         .max(1e-9);
     let mut csv = TextTable::new(&["day", "hour_bucket", "tsne_value"]);
     let days = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
-    println!("\n        {}", (0..buckets_per_day).map(|b| format!("{:>6}", b * 2)).collect::<String>());
+    println!(
+        "\n        {}",
+        (0..buckets_per_day)
+            .map(|b| format!("{:>6}", b * 2))
+            .collect::<String>()
+    );
     for (d, row) in grid.iter().enumerate() {
         let mut line = format!("{:>6}  ", days[d]);
         for (b, &v) in row.iter().enumerate() {

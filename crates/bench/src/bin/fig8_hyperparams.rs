@@ -90,7 +90,7 @@ fn main() {
             for &v in &values {
                 let mut cfg = sweep_config(profile, scale);
                 param.apply(&mut cfg, v);
-                let mut trainer = Trainer::new(&ds, cfg, train_options());
+                let mut trainer = Trainer::new(&ds, cfg, train_options()).expect("trainer");
                 trainer.train();
                 // Validation metrics (the paper tunes on validation data).
                 let samples = trainer.validation_samples().to_vec();

@@ -13,7 +13,7 @@ fn quartiles(mut v: Vec<f32>) -> (f32, f32, f32, f32, f32) {
         if v.is_empty() {
             return f32::NAN;
         }
-        let idx = ((v.len() - 1) as f64 * p).round() as usize;
+        let idx = deepod_tensor::round_count((v.len() - 1) as f64 * p);
         v[idx]
     };
     (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
@@ -28,9 +28,7 @@ fn main() {
         Scale::Full => (1..=9).map(|i| i as f32 / 10.0).collect(),
     };
 
-    let mut table = TextTable::new(&[
-        "City", "w", "min", "q1", "median", "q3", "max", "mean",
-    ]);
+    let mut table = TextTable::new(&["City", "w", "min", "q1", "median", "q3", "max", "mean"]);
 
     for profile in CITIES {
         let ds = sweep_dataset(profile, scale);
@@ -39,7 +37,7 @@ fn main() {
         for &w in &weights {
             let mut cfg = sweep_config(profile, scale);
             cfg.loss_weight = w;
-            let mut trainer = Trainer::new(&ds, cfg, train_options());
+            let mut trainer = Trainer::new(&ds, cfg, train_options()).expect("trainer");
             trainer.train();
 
             // Per-minibatch MAPE over validation (batches of 64, like the
@@ -56,9 +54,7 @@ fn main() {
             }
             let mean = batch_mapes.iter().sum::<f32>() / batch_mapes.len().max(1) as f32;
             let (mn, q1, med, q3, mx) = quartiles(batch_mapes);
-            println!(
-                "  w={w:.1}: median MAPE {med:.1}% (q1 {q1:.1}, q3 {q3:.1}, mean {mean:.1})"
-            );
+            println!("  w={w:.1}: median MAPE {med:.1}% (q1 {q1:.1}, q3 {q3:.1}, mean {mean:.1})");
             if mean < best.0 {
                 best = (mean, w);
             }

@@ -14,7 +14,7 @@ use deepod_traj::{DatasetBuilder, DatasetConfig};
 fn st_only_probe(ds: &deepod_traj::CityDataset, cfg: DeepOdConfig) {
     use deepod_core::{DeepOdModel, FeatureContext};
     let ctx = FeatureContext::build(ds, cfg.slot_seconds);
-    let mut model = DeepOdModel::new(&cfg, ds, &ctx);
+    let mut model = DeepOdModel::new(&cfg, ds, &ctx).expect("valid probe config");
     let train = ctx.encode_orders(&ds.net, &ds.train);
     let val = ctx.encode_orders(&ds.net, &ds.validation);
     let mut opt = deepod_nn::AdamOptimizer::new(cfg.lr);
@@ -22,7 +22,10 @@ fn st_only_probe(ds: &deepod_traj::CityDataset, cfg: DeepOdConfig) {
     for epoch in 0..cfg.epochs {
         opt.set_lr(cfg.lr / 5.0f32.powi((epoch / 2) as i32));
         let mut order: Vec<usize> = (0..train.len()).collect();
-        for i in (1..order.len()).rev() { let j = rand::Rng::gen_range(&mut rng, 0..=i); order.swap(i, j); }
+        for i in (1..order.len()).rev() {
+            let j = rand::Rng::gen_range(&mut rng, 0..=i);
+            order.swap(i, j);
+        }
         for chunk in order.chunks(cfg.batch_size) {
             let mut grads = deepod_nn::Gradients::new();
             for &i in chunk {
@@ -35,7 +38,8 @@ fn st_only_probe(ds: &deepod_traj::CityDataset, cfg: DeepOdConfig) {
             opt.step(&mut model.store, &grads);
         }
         // eval st_head on val via forward_sample
-        let mut mae = 0.0f32; let mut n = 0;
+        let mut mae = 0.0f32;
+        let mut n = 0;
         for s in &val {
             let mut g = deepod_nn::Graph::new();
             let fwd = model.forward_sample(&mut g, s, false);
@@ -56,38 +60,111 @@ fn main() {
     let w: f32 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(0.5);
     let n: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(400);
     let mut dcfg = DatasetConfig::for_profile(CityProfile::SynthChengdu, n);
-    if let Ok(v) = std::env::var("INC") { dcfg.incidents_per_day = v.parse().unwrap(); }
+    if let Ok(v) = std::env::var("INC") {
+        dcfg.incidents_per_day = v.parse().unwrap();
+    }
     let ds = DatasetBuilder::build(&dcfg);
-    eprintln!("train {} val {} test {}", ds.train.len(), ds.validation.len(), ds.test.len());
+    eprintln!(
+        "train {} val {} test {}",
+        ds.train.len(),
+        ds.validation.len(),
+        ds.test.len()
+    );
     let mean_y = ds.mean_train_travel_time() as f32;
-    let mean_mae: f32 = ds.test.iter().map(|o| (mean_y - o.travel_time as f32).abs()).sum::<f32>() / ds.test.len() as f32;
+    let mean_mae: f32 = ds
+        .test
+        .iter()
+        .map(|o| (mean_y - o.travel_time as f32).abs())
+        .sum::<f32>()
+        / ds.test.len() as f32;
     eprintln!("mean-predictor test MAE {mean_mae:.1}");
 
     let mut cfg = DeepOdConfig {
-        init: if args.get(4).map(|s| s=="n2v").unwrap_or(false) { EmbeddingInit::Node2Vec } else { EmbeddingInit::Random },
+        init: if args.get(4).map(|s| s == "n2v").unwrap_or(false) {
+            EmbeddingInit::Node2Vec
+        } else {
+            EmbeddingInit::Random
+        },
         ..Default::default()
     };
-    let big = args.get(5).map(|s| s=="big").unwrap_or(false);
-    if big { cfg.ds = 32; cfg.dt_dim = 16; cfg.d1m = 32; cfg.d2m = 16; cfg.d3m = 32; cfg.d4m = 32;
-      cfg.d5m = 16; cfg.d6m = 8; cfg.d7m = 64; cfg.d9m = 64; cfg.dh = 32; cfg.dtraf = 8; }
-    if std::env::var("HUGE").is_ok() { cfg.ds = 48; cfg.dt_dim = 24; cfg.d1m = 48; cfg.d2m = 24;
-      cfg.d3m = 48; cfg.d4m = 48; cfg.d5m = 24; cfg.d6m = 12; cfg.d7m = 96; cfg.d9m = 96;
-      cfg.dh = 48; cfg.dtraf = 12; cfg.batch_size = 32; }
-    else { cfg.ds = 8; cfg.dt_dim = 8; cfg.d1m = 12; cfg.d2m = 8; cfg.d3m = 12; cfg.d4m = 8;
-    cfg.d5m = 12; cfg.d6m = 8; cfg.d7m = 16; cfg.d9m = 16; cfg.dh = 16; cfg.dtraf = 6; }
-    cfg.epochs = epochs; cfg.batch_size = 16; cfg.loss_weight = w;
-    if std::env::var("NST").is_ok() { cfg.variant = Variant::NoTrajectory; }
-    if std::env::var("NOSUP").is_ok() { cfg.stcode_supervision = false; }
+    let big = args.get(5).map(|s| s == "big").unwrap_or(false);
+    if big {
+        cfg.ds = 32;
+        cfg.dt_dim = 16;
+        cfg.d1m = 32;
+        cfg.d2m = 16;
+        cfg.d3m = 32;
+        cfg.d4m = 32;
+        cfg.d5m = 16;
+        cfg.d6m = 8;
+        cfg.d7m = 64;
+        cfg.d9m = 64;
+        cfg.dh = 32;
+        cfg.dtraf = 8;
+    }
+    if std::env::var("HUGE").is_ok() {
+        cfg.ds = 48;
+        cfg.dt_dim = 24;
+        cfg.d1m = 48;
+        cfg.d2m = 24;
+        cfg.d3m = 48;
+        cfg.d4m = 48;
+        cfg.d5m = 24;
+        cfg.d6m = 12;
+        cfg.d7m = 96;
+        cfg.d9m = 96;
+        cfg.dh = 48;
+        cfg.dtraf = 12;
+        cfg.batch_size = 32;
+    } else {
+        cfg.ds = 8;
+        cfg.dt_dim = 8;
+        cfg.d1m = 12;
+        cfg.d2m = 8;
+        cfg.d3m = 12;
+        cfg.d4m = 8;
+        cfg.d5m = 12;
+        cfg.d6m = 8;
+        cfg.d7m = 16;
+        cfg.d9m = 16;
+        cfg.dh = 16;
+        cfg.dtraf = 6;
+    }
+    cfg.epochs = epochs;
+    cfg.batch_size = 16;
+    cfg.loss_weight = w;
+    if std::env::var("NST").is_ok() {
+        cfg.variant = Variant::NoTrajectory;
+    }
+    if std::env::var("NOSUP").is_ok() {
+        cfg.stcode_supervision = false;
+    }
     if std::env::var("STONLY").is_ok() {
         st_only_probe(&ds, cfg.clone());
         return;
     }
     let t0 = std::time::Instant::now();
-    let mut trainer = Trainer::new(&ds, cfg, TrainOptions { verbose: false, eval_every: 20, patience: 10, ..Default::default() });
+    let mut trainer = Trainer::new(
+        &ds,
+        cfg,
+        TrainOptions {
+            verbose: false,
+            eval_every: 20,
+            patience: 10,
+            ..Default::default()
+        },
+    )
+    .expect("trainer");
     let report = trainer.train();
-    eprintln!("trained in {:.1}s, best val MAE {:.1}", t0.elapsed().as_secs_f64(), report.best_val_mae);
+    eprintln!(
+        "trained in {:.1}s, best val MAE {:.1}",
+        t0.elapsed().as_secs_f64(),
+        report.best_val_mae
+    );
     let preds = trainer.predict_orders(&ds.test);
-    let mut mae = 0.0; let mut mape = 0.0; let mut n = 0;
+    let mut mae = 0.0;
+    let mut mape = 0.0;
+    let mut n = 0;
     for (p, o) in preds.iter().zip(&ds.test) {
         if let Some(p) = p {
             mae += (p - o.travel_time as f32).abs();
@@ -95,19 +172,35 @@ fn main() {
             n += 1;
         }
     }
-    eprintln!("test MAE {:.1} MAPE {:.1}% over {n}", mae / n as f32, 100.0 * mape / n as f32);
+    eprintln!(
+        "test MAE {:.1} MAPE {:.1}% over {n}",
+        mae / n as f32,
+        100.0 * mape / n as f32
+    );
     // train MAE for overfit diagnosis
     let tp = trainer.predict_orders(&ds.train);
-    let mut tmae = 0.0; let mut tn = 0;
+    let mut tmae = 0.0;
+    let mut tn = 0;
     for (p, o) in tp.iter().zip(&ds.train) {
-        if let Some(p) = p { tmae += (p - o.travel_time as f32).abs(); tn += 1; }
+        if let Some(p) = p {
+            tmae += (p - o.travel_time as f32).abs();
+            tn += 1;
+        }
     }
     eprintln!("train MAE {:.1} over {tn}", tmae / tn as f32);
     // inspect binding quality on validation samples
     {
-        let samples: Vec<_> = trainer.validation_samples().iter().take(100).cloned().collect();
+        let samples: Vec<_> = trainer
+            .validation_samples()
+            .iter()
+            .take(100)
+            .cloned()
+            .collect();
         let model = trainer.model();
-        let mut dist = 0.0f32; let mut st_mae = 0.0f32; let mut code_mae = 0.0f32; let mut m = 0;
+        let mut dist = 0.0f32;
+        let mut st_mae = 0.0f32;
+        let mut code_mae = 0.0f32;
+        let mut m = 0;
         for s in &samples {
             let mut gr = deepod_nn::Graph::new();
             let fwd = model.forward_sample(&mut gr, s, false);
@@ -124,8 +217,12 @@ fn main() {
             }
         }
         if m > 0 {
-            eprintln!("binding: rms-dist {:.3}, st_head MAE {:.1}, code MAE {:.1} ({m} samples)",
-                dist / m as f32, st_mae / m as f32, code_mae / m as f32);
+            eprintln!(
+                "binding: rms-dist {:.3}, st_head MAE {:.1}, code MAE {:.1} ({m} samples)",
+                dist / m as f32,
+                st_mae / m as f32,
+                code_mae / m as f32
+            );
         }
     }
 }

@@ -26,8 +26,13 @@ fn main() {
     let scale = Scale::from_env();
     banner("Table 3: convergence steps and time", scale);
 
-    let mut table =
-        TextTable::new(&["City", "Method", "conv_steps", "conv_time_s", "total_time_s"]);
+    let mut table = TextTable::new(&[
+        "City",
+        "Method",
+        "conv_steps",
+        "conv_time_s",
+        "total_time_s",
+    ]);
 
     for profile in [CityProfile::SynthChengdu, CityProfile::SynthXian] {
         let ds = dataset(profile, scale);
@@ -35,7 +40,10 @@ fn main() {
 
         // STNN.
         let t0 = std::time::Instant::now();
-        let mut stnn = StnnPredictor::new(StnnConfig { epochs: 12, ..Default::default() });
+        let mut stnn = StnnPredictor::new(StnnConfig {
+            epochs: 12,
+            ..Default::default()
+        });
         let curve = stnn.fit_with_validation(&ds, 10);
         let total = t0.elapsed().as_secs_f64();
         let (cstep, _) = convergence(&curve);
@@ -52,7 +60,10 @@ fn main() {
 
         // MURAT.
         let t0 = std::time::Instant::now();
-        let mut murat = MuratPredictor::new(MuratConfig { epochs: 12, ..Default::default() });
+        let mut murat = MuratPredictor::new(MuratConfig {
+            epochs: 12,
+            ..Default::default()
+        });
         let curve = murat.fit_with_validation(&ds, 10);
         let total = t0.elapsed().as_secs_f64();
         let (cstep, _) = convergence(&curve);
@@ -71,7 +82,7 @@ fn main() {
         let mut opts = train_options();
         opts.eval_every = 10;
         opts.patience = 0;
-        let mut trainer = Trainer::new(&ds, tuned_config(profile, scale), opts);
+        let mut trainer = Trainer::new(&ds, tuned_config(profile, scale), opts).expect("trainer");
         let report = trainer.train();
         println!(
             "  DeepOD: {} steps, {:.1}s (total {:.1}s)",

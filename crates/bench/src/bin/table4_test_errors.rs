@@ -12,9 +12,7 @@ fn main() {
     let scale = Scale::from_env();
     banner("Table 4: test errors", scale);
 
-    let mut table = TextTable::new(&[
-        "City", "Method", "MAE(s)", "MAPE(%)", "MARE(%)",
-    ]);
+    let mut table = TextTable::new(&["City", "Method", "MAE(s)", "MAPE(%)", "MARE(%)"]);
 
     for profile in CITIES {
         let ds = dataset(profile, scale);
@@ -29,7 +27,7 @@ fn main() {
 
         // Five baselines.
         for m in all_baselines() {
-            let r = run_method(m, &ds);
+            let r = run_method(m, &ds).expect("method runs");
             println!(
                 "  {:8} MAE {:7.1}  MAPE {:5.1}%  MARE {:5.1}%",
                 r.name, r.metrics.mae, r.metrics.mape_pct, r.metrics.mare_pct
@@ -61,7 +59,8 @@ fn main() {
                     options: train_options(),
                 }),
                 &ds,
-            );
+            )
+            .expect("method runs");
             println!(
                 "  {:8} MAE {:7.1}  MAPE {:5.1}%  MARE {:5.1}%  (train {:.0}s)",
                 r.name, r.metrics.mae, r.metrics.mape_pct, r.metrics.mare_pct, r.train_time_s

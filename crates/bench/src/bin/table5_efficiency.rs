@@ -20,12 +20,21 @@ fn main() {
     banner("Table 5: efficiency (size / training / estimation)", scale);
 
     let mut table = TextTable::new(&[
-        "City", "Method", "size_bytes", "size", "train_s", "est_s_per_1k",
+        "City",
+        "Method",
+        "size_bytes",
+        "size",
+        "train_s",
+        "est_s_per_1k",
     ]);
 
     for profile in CITIES {
         let ds = dataset(profile, scale);
-        println!("{} ({} road segments)", city_name(profile), ds.net.num_edges());
+        println!(
+            "{} ({} road segments)",
+            city_name(profile),
+            ds.net.num_edges()
+        );
 
         let mut methods: Vec<Method> = all_baselines();
         methods.push(Method::DeepOd(DeepOdMethod {
@@ -35,7 +44,7 @@ fn main() {
         }));
 
         for m in methods {
-            let r = run_method(m, &ds);
+            let r = run_method(m, &ds).expect("method runs");
             println!(
                 "  {:8} size {:>9}  train {:7.1}s  est {:6.3}s/1k",
                 r.name,

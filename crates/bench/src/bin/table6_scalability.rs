@@ -22,7 +22,7 @@ fn main() {
     for &frac in &fractions {
         // Chronological prefix (the paper samples; a prefix preserves the
         // time ordering that the chronological split depends on).
-        let keep = (full.train.len() as f64 * frac).round() as usize;
+        let keep = deepod_tensor::round_count(full.train.len() as f64 * frac);
         let mut ds = deepod_traj::CityDataset {
             net: full.net.clone(),
             traffic: full.traffic.clone(),
@@ -45,7 +45,7 @@ fn main() {
             options: train_options(),
         }));
         for m in methods {
-            let r = run_method(m, &ds);
+            let r = run_method(m, &ds).expect("method runs");
             println!(
                 "   {:8} MAPE {:5.1}%  MAE {:6.1}s",
                 r.name, r.metrics.mape_pct, r.metrics.mae

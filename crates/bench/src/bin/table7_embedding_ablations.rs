@@ -35,12 +35,16 @@ fn main() {
                     options: train_options(),
                 }),
                 &ds,
-            );
+            )
+            .expect("method runs");
             if name == "DeepOD" {
                 base_mape = r.metrics.mape_pct;
             }
             let delta = 100.0 * (r.metrics.mape_pct - base_mape) / base_mape;
-            println!("  {:8} MAPE {:5.1}%  ({:+.1}%)", name, r.metrics.mape_pct, delta);
+            println!(
+                "  {:8} MAPE {:5.1}%  ({:+.1}%)",
+                name, r.metrics.mape_pct, delta
+            );
             table.row(&[
                 city_name(profile).into(),
                 name.into(),

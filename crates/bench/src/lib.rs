@@ -41,8 +41,11 @@ impl Scale {
 }
 
 /// The three city profiles in the paper's order.
-pub const CITIES: [CityProfile; 3] =
-    [CityProfile::SynthChengdu, CityProfile::SynthXian, CityProfile::SynthBeijing];
+pub const CITIES: [CityProfile; 3] = [
+    CityProfile::SynthChengdu,
+    CityProfile::SynthXian,
+    CityProfile::SynthBeijing,
+];
 
 /// Display name of a profile.
 pub fn city_name(p: CityProfile) -> &'static str {

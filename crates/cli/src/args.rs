@@ -24,7 +24,10 @@ impl Args {
             if key.is_empty() {
                 return Err("empty flag name".into());
             }
-            let next_is_value = argv.get(i + 1).map(|n| !n.starts_with("--")).unwrap_or(false);
+            let next_is_value = argv
+                .get(i + 1)
+                .map(|n| !n.starts_with("--"))
+                .unwrap_or(false);
             if next_is_value {
                 args.values.insert(key.to_string(), argv[i + 1].clone());
                 i += 2;
@@ -43,14 +46,17 @@ impl Args {
 
     /// A required flag's value.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// A flag parsed to a type, with a default when absent.
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("cannot parse --{key} value '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("cannot parse --{key} value '{v}'")),
         }
     }
 
@@ -66,8 +72,14 @@ impl Args {
         if parts.len() != 2 {
             return Err(format!("--{key} expects 'x,y', got '{raw}'"));
         }
-        let x = parts[0].trim().parse().map_err(|_| format!("bad x in --{key}"))?;
-        let y = parts[1].trim().parse().map_err(|_| format!("bad y in --{key}"))?;
+        let x = parts[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad x in --{key}"))?;
+        let y = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad y in --{key}"))?;
         Ok((x, y))
     }
 }

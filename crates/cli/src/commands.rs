@@ -86,16 +86,20 @@ fn train(args: &Args) -> Result<(), String> {
         cfg.loss_weight,
         deepod_tensor::parallel::resolve_threads(threads)
     );
-    let opts =
-        TrainOptions { threads, verbose: args.has_switch("verbose"), ..Default::default() };
-    let mut trainer = Trainer::new(&ds, cfg, opts);
+    let opts = TrainOptions {
+        threads,
+        verbose: args.has_switch("verbose"),
+        ..Default::default()
+    };
+    let mut trainer =
+        Trainer::new(&ds, cfg, opts).map_err(|e| format!("cannot start training: {e}"))?;
     let report = trainer.train();
     println!(
         "  done in {:.1}s — best validation MAE {:.1}s over {} steps",
         report.total_time_s, report.best_val_mae, report.total_steps
     );
-    std::fs::write(out, trainer.model().save_json())
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    let json = trainer.model().save_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
 }
@@ -141,7 +145,10 @@ fn eval_cmd(args: &Args) -> Result<(), String> {
     let mut pairs = Vec::new();
     for o in &ds.test {
         if let Some(p) = model.estimate(&ctx, &ds.net, &o.od) {
-            pairs.push(deepod_eval::PredPair { actual: o.travel_time as f32, predicted: p });
+            pairs.push(deepod_eval::PredPair {
+                actual: o.travel_time as f32,
+                predicted: p,
+            });
         }
     }
     if pairs.is_empty() {
@@ -175,7 +182,10 @@ fn info(args: &Args) -> Result<(), String> {
         ds.validation.len(),
         ds.test.len()
     );
-    println!("mean train travel time: {:.0}s", ds.mean_train_travel_time());
+    println!(
+        "mean train travel time: {:.0}s",
+        ds.mean_train_travel_time()
+    );
     let mean_len: f64 = ds
         .train
         .iter()

@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_orders_and_network() {
-        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(
-            CityProfile::SynthChengdu,
-            40,
-        ));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
         let dir = std::env::temp_dir().join("deepod_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ds.json");

@@ -183,14 +183,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = DeepOdConfig::default();
-        c.loss_weight = 1.5;
+        let c = DeepOdConfig {
+            loss_weight: 1.5,
+            ..DeepOdConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DeepOdConfig::default();
-        c.ds = 0;
+        let c = DeepOdConfig {
+            ds: 0,
+            ..DeepOdConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DeepOdConfig::default();
-        c.slot_seconds = -1.0;
+        let c = DeepOdConfig {
+            slot_seconds: -1.0,
+            ..DeepOdConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

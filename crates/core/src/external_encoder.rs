@@ -72,7 +72,11 @@ impl ExternalFeaturesEncoder {
         speed_matrix: &Tensor,
         training: bool,
     ) -> VarId {
-        assert_eq!(weather_onehot.len(), NUM_WEATHER_TYPES, "weather one-hot width");
+        assert_eq!(
+            weather_onehot.len(),
+            NUM_WEATHER_TYPES,
+            "weather one-hot width"
+        );
         assert_eq!(speed_matrix.rank(), 3, "speed matrix must be [1, h, w]");
         let x = g.input(speed_matrix.clone());
 
@@ -103,7 +107,10 @@ impl ExternalFeaturesEncoder {
             g.reshape(pooled, &[self.dtraf])
         };
 
-        let wea = g.input(Tensor::from_vec(weather_onehot.to_vec(), &[NUM_WEATHER_TYPES]));
+        let wea = g.input(Tensor::from_vec(
+            weather_onehot.to_vec(),
+            &[NUM_WEATHER_TYPES],
+        ));
         let z8 = g.concat(&[wea, zt]);
         self.mlp.forward(g, store, z8)
     }
@@ -168,9 +175,12 @@ mod tests {
         let out = enc.encode(&mut g, &store, &onehot(3), &m, true);
         let s = g.sum_all(out);
         let grads = g.backward(s);
-        for (name, pid) in
-            [("k1", enc.k1), ("k2", enc.k2), ("k3", enc.k3), ("mlp", enc.mlp.l1.w)]
-        {
+        for (name, pid) in [
+            ("k1", enc.k1),
+            ("k2", enc.k2),
+            ("k3", enc.k3),
+            ("mlp", enc.mlp.l1.w),
+        ] {
             assert!(grads.get(pid).is_some(), "no grad to {name}");
         }
     }

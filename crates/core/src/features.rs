@@ -138,12 +138,21 @@ impl FeatureContext {
     }
 
     fn downsampled_matrix(&self, t: f64) -> Arc<Tensor> {
-        let slot = ((t.max(0.0)) / self.speeds.slot_len()) as usize;
+        let slot = deepod_tensor::floor_index(t.max(0.0) / self.speeds.slot_len());
         let slot = slot.min(self.speeds.num_slots() - 1);
-        if let Some(m) = self.matrix_cache.lock().unwrap().get(&slot) {
+        // Poisoning cannot corrupt the cache (entries are written whole);
+        // recover the guard rather than propagating a worker panic twice.
+        if let Some(m) = self
+            .matrix_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&slot)
+        {
             return Arc::clone(m);
         }
-        let src = self.speeds.nearest_before(slot as f64 * self.speeds.slot_len() + 1.0);
+        let src = self
+            .speeds
+            .nearest_before(slot as f64 * self.speeds.slot_len() + 1.0);
         let (sh, sw) = (src.dim(0), src.dim(1));
         let mut out = Tensor::zeros(&[1, TRAF_GRID, TRAF_GRID]);
         for y in 0..TRAF_GRID {
@@ -166,7 +175,10 @@ impl FeatureContext {
             }
         }
         let rc = Arc::new(out);
-        self.matrix_cache.lock().unwrap().insert(slot, Arc::clone(&rc));
+        self.matrix_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(slot, Arc::clone(&rc));
         rc
     }
 
@@ -221,7 +233,10 @@ impl FeatureContext {
 
     /// Encodes a batch of orders, dropping unmatchable ones.
     pub fn encode_orders(&self, net: &RoadNetwork, orders: &[TaxiOrder]) -> Vec<EncodedSample> {
-        orders.iter().filter_map(|o| self.encode_order(net, o)).collect()
+        orders
+            .iter()
+            .filter_map(|o| self.encode_order(net, o))
+            .collect()
     }
 }
 
@@ -291,7 +306,7 @@ mod tests {
         for s in &enc {
             for (step, raw) in s.steps.iter().zip(&ds.train[0].trajectory.path) {
                 // Δd = tp(exit) − tp(enter) + 1 ≥ 1 (Eq. 4).
-                assert!(step.slot_nodes.len() >= 1);
+                assert!(!step.slot_nodes.is_empty());
                 let _ = raw;
             }
         }

@@ -25,7 +25,8 @@
 //! let ds = DatasetBuilder::build(&DatasetConfig::for_profile(
 //!     CityProfile::SynthChengdu, 2_000));
 //! let cfg = DeepOdConfig::default();
-//! let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default());
+//! let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default())
+//!     .expect("config validates and the dataset is non-empty");
 //! let report = trainer.train();
 //! println!("validation MAE: {:.1}s", report.best_val_mae);
 //! let preds = trainer.predict_orders(&ds.test);
@@ -48,7 +49,7 @@ pub use config::DeepOdConfig;
 pub use external_encoder::ExternalFeaturesEncoder;
 pub use features::{EncodedOd, EncodedSample, FeatureContext};
 pub use interval_encoder::TimeIntervalEncoder;
-pub use model::DeepOdModel;
+pub use model::{DeepOdModel, ModelError};
 pub use od_encoder::OdEncoder;
 pub use temporal_graph::{build_temporal_graph, temporal_graph_day_only};
 pub use timeslot::TimeSlots;

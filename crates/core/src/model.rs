@@ -13,11 +13,34 @@ use crate::timeslot::TimeSlots;
 use crate::trajectory_encoder::TrajectoryEncoder;
 use deepod_graphembed::{DeepWalk, EmbedGraph, GraphEmbedder, Line, Node2Vec, WalkConfig};
 use deepod_nn::layers::{BatchNorm2d, Embedding, Mlp2};
-use deepod_nn::{Graph, Gradients, ParamStore, VarId};
+use deepod_nn::{Gradients, Graph, ParamStore, VarId};
 use deepod_roadnet::LineGraph;
 use deepod_tensor::Tensor;
 use deepod_traj::{CityDataset, OdInput, TaxiOrder};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed model-lifecycle failures. These used to be panics; deepod-lint
+/// denies `unwrap`/`expect` in library code, so they surface as errors the
+/// CLI maps to user-facing messages instead of backtraces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// The configuration failed [`DeepOdConfig::validate`].
+    InvalidConfig(String),
+    /// Model (de)serialization failed.
+    Serialization(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
+            ModelError::Serialization(why) => write!(f, "model serialization failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
 
 /// The DeepOD model (all three modules plus shared embeddings).
 ///
@@ -69,28 +92,32 @@ impl DeepOdModel {
     /// Builds the model and initializes both embedding tables per the
     /// configured policy, pre-training on the road line graph and the
     /// temporal graph where applicable (Alg. 1 lines 1–5).
-    pub fn new(cfg: &DeepOdConfig, ds: &CityDataset, ctx: &FeatureContext) -> Self {
-        cfg.validate().expect("invalid config");
+    pub fn new(
+        cfg: &DeepOdConfig,
+        ds: &CityDataset,
+        ctx: &FeatureContext,
+    ) -> Result<Self, ModelError> {
+        cfg.validate().map_err(ModelError::InvalidConfig)?;
         let mut rng = deepod_tensor::rng_from_seed(cfg.seed);
         let mut store = ParamStore::new();
 
-        let road_emb =
-            Embedding::new(&mut store, "W_s", ctx.num_edges(), cfg.ds, &mut rng);
+        let road_emb = Embedding::new(&mut store, "W_s", ctx.num_edges(), cfg.ds, &mut rng);
         // T-day uses a one-day slot vocabulary wrapped at day boundaries;
         // all other inits use the weekly vocabulary. We keep the weekly
         // table size in every case (lookup stays uniform) but pre-train on
         // the chosen graph.
-        let slot_emb =
-            Embedding::new(&mut store, "W_t", ctx.num_slot_nodes(), cfg.dt_dim, &mut rng);
+        let slot_emb = Embedding::new(
+            &mut store,
+            "W_t",
+            ctx.num_slot_nodes(),
+            cfg.dt_dim,
+            &mut rng,
+        );
 
         if cfg.init.pretrains_road() {
             let trajs: Vec<Vec<deepod_roadnet::EdgeId>> =
                 ds.train.iter().map(|o| o.trajectory.edges()).collect();
-            let lg = LineGraph::from_trajectories(
-                &ds.net,
-                trajs.iter().map(|t| t.as_slice()),
-                1.0,
-            );
+            let lg = LineGraph::from_trajectories(&ds.net, trajs.iter().map(|t| t.as_slice()), 1.0);
             let eg = line_graph_to_embed(&lg);
             let mut vectors = run_embedder(cfg.init, &eg, cfg.ds, &mut rng);
             // Seed the first two dimensions with the segment midpoint in a
@@ -179,7 +206,7 @@ impl DeepOdModel {
         };
         let y_std = y_var.sqrt().max(1.0);
 
-        DeepOdModel {
+        Ok(DeepOdModel {
             store,
             road_emb,
             slot_emb,
@@ -192,7 +219,7 @@ impl DeepOdModel {
             config: cfg.clone(),
             y_mean,
             y_std,
-        }
+        })
     }
 
     /// Standardizes a label into training units.
@@ -238,7 +265,11 @@ impl DeepOdModel {
             None
         };
         let prediction = self.head.forward(g, &self.store, code);
-        SampleForward { prediction, code, stcode }
+        SampleForward {
+            prediction,
+            code,
+            stcode,
+        }
     }
 
     /// Training loss for one sample:
@@ -326,7 +357,12 @@ impl DeepOdModel {
 
     /// Estimates travel time for a raw OD input; `None` when the endpoints
     /// cannot be matched to the road network.
-    pub fn estimate(&mut self, ctx: &FeatureContext, net: &deepod_roadnet::RoadNetwork, od: &OdInput) -> Option<f32> {
+    pub fn estimate(
+        &mut self,
+        ctx: &FeatureContext,
+        net: &deepod_roadnet::RoadNetwork,
+        od: &OdInput,
+    ) -> Option<f32> {
         let enc = ctx.encode_od(net, od)?;
         Some(self.estimate_encoded(&enc))
     }
@@ -339,7 +375,10 @@ impl DeepOdModel {
         orders: &[TaxiOrder],
     ) -> Vec<Option<f32>> {
         let (ctx, net) = bundle;
-        orders.iter().map(|o| self.estimate(ctx, net, &o.od)).collect()
+        orders
+            .iter()
+            .map(|o| self.estimate(ctx, net, &o.od))
+            .collect()
     }
 
     /// The model's batch-norm layers in a fixed order (interval encoder,
@@ -409,13 +448,13 @@ impl DeepOdModel {
     }
 
     /// Saves the model as JSON.
-    pub fn save_json(&self) -> String {
-        serde_json::to_string(self).expect("model serialization")
+    pub fn save_json(&self) -> Result<String, ModelError> {
+        serde_json::to_string(self).map_err(|e| ModelError::Serialization(e.to_string()))
     }
 
     /// Loads a model from JSON.
-    pub fn load_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn load_json(json: &str) -> Result<Self, ModelError> {
+        serde_json::from_str(json).map_err(|e| ModelError::Serialization(e.to_string()))
     }
 }
 
@@ -438,13 +477,23 @@ fn run_embedder(
     // Light walk settings: initialization only needs coarse structure; the
     // supervised phase fine-tunes (§4.1 "initialize or pre-train ... then
     // fine-tune").
-    let cfg = WalkConfig { walks_per_node: 4, walk_length: 12, window: 3, ..Default::default() };
+    let cfg = WalkConfig {
+        walks_per_node: 4,
+        walk_length: 12,
+        window: 3,
+        ..Default::default()
+    };
     match init {
         EmbeddingInit::DeepWalk => DeepWalk { cfg }.embed(graph, dim, rng),
         EmbeddingInit::Line => Line::default().embed(graph, dim, rng),
         // Node2Vec is both the paper default and what T-one/R-one/T-day
         // variants use for whichever table they do pre-train.
-        _ => Node2Vec { cfg, p: 1.0, q: 0.5 }.embed(graph, dim, rng),
+        _ => Node2Vec {
+            cfg,
+            p: 1.0,
+            q: 0.5,
+        }
+        .embed(graph, dim, rng),
     }
 }
 
@@ -457,21 +506,23 @@ mod tests {
 
     fn tiny_setup() -> (CityDataset, FeatureContext, DeepOdConfig) {
         let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
-        let mut cfg = DeepOdConfig::default();
         // Shrink for test speed and skip pre-training by default.
-        cfg.init = EmbeddingInit::Random;
-        cfg.ds = 6;
-        cfg.dt_dim = 6;
-        cfg.d1m = 8;
-        cfg.d2m = 6;
-        cfg.d3m = 8;
-        cfg.d4m = 6;
-        cfg.d5m = 8;
-        cfg.d6m = 6;
-        cfg.d7m = 8;
-        cfg.d9m = 8;
-        cfg.dh = 8;
-        cfg.dtraf = 4;
+        let cfg = DeepOdConfig {
+            init: EmbeddingInit::Random,
+            ds: 6,
+            dt_dim: 6,
+            d1m: 8,
+            d2m: 6,
+            d3m: 8,
+            d4m: 6,
+            d5m: 8,
+            d6m: 6,
+            d7m: 8,
+            d9m: 8,
+            dh: 8,
+            dtraf: 4,
+            ..DeepOdConfig::default()
+        };
         let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
         (ds, ctx, cfg)
     }
@@ -479,7 +530,7 @@ mod tests {
     #[test]
     fn model_builds_and_forwards() {
         let (ds, ctx, cfg) = tiny_setup();
-        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         let samples = ctx.encode_orders(&ds.net, &ds.train[..5.min(ds.train.len())]);
         assert!(!samples.is_empty());
         let mut g = Graph::new();
@@ -493,7 +544,7 @@ mod tests {
     #[test]
     fn label_standardization_round_trip() {
         let (ds, ctx, cfg) = tiny_setup();
-        let model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         assert!(model.y_std >= 1.0);
         let y = 777.0;
         let back = model.denormalize_y(model.normalize_y(y));
@@ -504,36 +555,46 @@ mod tests {
         let enc = ctx.encode_od(&ds.net, &ds.train[0].od).unwrap();
         let mut model = model;
         let pred = model.estimate_encoded(&enc);
-        assert!((pred - mean).abs() < 2.0 * model.y_std, "pred {pred} vs mean {mean}");
+        assert!(
+            (pred - mean).abs() < 2.0 * model.y_std,
+            "pred {pred} vs mean {mean}"
+        );
     }
 
     #[test]
     fn loss_and_gradients_produced() {
         let (ds, ctx, cfg) = tiny_setup();
-        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         let samples = ctx.encode_orders(&ds.net, &ds.train[..3.min(ds.train.len())]);
         let (loss, grads) = model.sample_gradients(&samples[0]);
         assert!(loss.is_finite() && loss > 0.0);
-        assert!(grads.len() > 10, "only {} params received grads", grads.len());
+        assert!(
+            grads.len() > 10,
+            "only {} params received grads",
+            grads.len()
+        );
     }
 
     #[test]
     fn nst_variant_has_no_stcode_and_no_traj_grads() {
         let (ds, ctx, mut cfg) = tiny_setup();
         cfg.variant = Variant::NoTrajectory;
-        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         let samples = ctx.encode_orders(&ds.net, &ds.train[..2]);
         let mut g = Graph::new();
         let fwd = model.forward_sample(&mut g, &samples[0], true);
         assert!(fwd.stcode.is_none());
         let (_, grads) = model.sample_gradients(&samples[0]);
-        assert!(grads.get(model.traj_enc.lstm.wf).is_none(), "N-st must not train the LSTM");
+        assert!(
+            grads.get(model.traj_enc.lstm.wf).is_none(),
+            "N-st must not train the LSTM"
+        );
     }
 
     #[test]
     fn estimation_is_deterministic_and_nonnegative() {
         let (ds, ctx, cfg) = tiny_setup();
-        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         let od = &ds.test.first().unwrap_or(&ds.train[0]).od;
         let a = model.estimate(&ctx, &ds.net, od).unwrap();
         let b = model.estimate(&ctx, &ds.net, od).unwrap();
@@ -545,9 +606,9 @@ mod tests {
     fn node2vec_init_changes_embeddings() {
         let (ds, ctx, mut cfg) = tiny_setup();
         cfg.init = EmbeddingInit::Node2Vec;
-        let model_init = DeepOdModel::new(&cfg, &ds, &ctx);
+        let model_init = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         cfg.init = EmbeddingInit::Random;
-        let model_rand = DeepOdModel::new(&cfg, &ds, &ctx);
+        let model_rand = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         let a = model_init.store.value(model_init.road_emb.table);
         let b = model_rand.store.value(model_rand.road_emb.table);
         assert_ne!(a.as_slice(), b.as_slice());
@@ -556,19 +617,34 @@ mod tests {
     #[test]
     fn serde_round_trip_preserves_predictions() {
         let (ds, ctx, cfg) = tiny_setup();
-        let mut model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let mut model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         let od = &ds.train[0].od;
         let before = model.estimate(&ctx, &ds.net, od).unwrap();
-        let json = model.save_json();
+        let json = model.save_json().expect("serializable model");
         let mut loaded = DeepOdModel::load_json(&json).unwrap();
         let after = loaded.estimate(&ctx, &ds.net, od).unwrap();
         assert_eq!(before, after);
     }
 
     #[test]
+    fn invalid_config_is_a_typed_error() {
+        let (ds, ctx, mut cfg) = tiny_setup();
+        cfg.lr = 0.0;
+        let err = DeepOdModel::new(&cfg, &ds, &ctx).map(|_| ()).unwrap_err();
+        assert_eq!(err, ModelError::InvalidConfig("lr must be positive".into()));
+        assert!(err.to_string().contains("invalid config"));
+    }
+
+    #[test]
+    fn garbage_json_is_a_serialization_error() {
+        let err = DeepOdModel::load_json("{not json").map(|_| ()).unwrap_err();
+        assert!(matches!(err, ModelError::Serialization(_)), "got {err:?}");
+    }
+
+    #[test]
     fn model_size_scales_with_network() {
         let (ds, ctx, cfg) = tiny_setup();
-        let model = DeepOdModel::new(&cfg, &ds, &ctx);
+        let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         // W_s alone: num_edges × ds floats.
         assert!(model.size_bytes() > ctx.num_edges() * cfg.ds * 4);
         assert!(model.num_parameters() > 0);

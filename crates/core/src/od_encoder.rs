@@ -82,12 +82,13 @@ impl OdEncoder {
         };
 
         // Scalars: r[1], r[-1], t_r.
-        let scalars =
-            g.input(Tensor::from_vec(vec![od.r_start, od.r_end, od.depart_rem], &[3]));
+        let scalars = g.input(Tensor::from_vec(
+            vec![od.r_start, od.r_end, od.depart_rem],
+            &[3],
+        ));
 
         let z9 = if self.variant.uses_external() {
-            let ocode =
-                external.encode(g, store, &od.weather_onehot, &od.speed_matrix, training);
+            let ocode = external.encode(g, store, &od.weather_onehot, &od.speed_matrix, training);
             g.concat(&[e1, en, time_part, ocode, scalars])
         } else {
             g.concat(&[e1, en, time_part, scalars])
@@ -106,7 +107,13 @@ mod tests {
     fn setup(
         variant: Variant,
         init: EmbeddingInit,
-    ) -> (ParamStore, OdEncoder, Embedding, Embedding, ExternalFeaturesEncoder) {
+    ) -> (
+        ParamStore,
+        OdEncoder,
+        Embedding,
+        Embedding,
+        ExternalFeaturesEncoder,
+    ) {
         let mut rng = rng_from_seed(4);
         let mut store = ParamStore::new();
         let road = Embedding::new(&mut store, "roads", 30, 6, &mut rng);
@@ -178,8 +185,7 @@ mod tests {
 
     #[test]
     fn tstamp_ignores_slot_embedding_but_uses_raw_time() {
-        let (store, mut enc, road, slot, mut ext) =
-            setup(Variant::Full, EmbeddingInit::TimeStamp);
+        let (store, mut enc, road, slot, mut ext) = setup(Variant::Full, EmbeddingInit::TimeStamp);
         let mut g = Graph::new();
         let a = enc.encode(&mut g, &store, &road, &slot, &mut ext, &sample_od(), false);
         let mut later = sample_od();
@@ -191,7 +197,15 @@ mod tests {
 
         let mut same_time_diff_node = sample_od();
         same_time_diff_node.depart_node = 13;
-        let c = enc.encode(&mut g, &store, &road, &slot, &mut ext, &same_time_diff_node, false);
+        let c = enc.encode(
+            &mut g,
+            &store,
+            &road,
+            &slot,
+            &mut ext,
+            &same_time_diff_node,
+            false,
+        );
         assert_eq!(g.value(a).as_slice(), g.value(c).as_slice());
     }
 

@@ -39,7 +39,7 @@ impl TimeSlots {
     /// `t < t0` in debug builds; clamps in release.
     pub fn slot(&self, t: f64) -> usize {
         debug_assert!(t >= self.t0, "timestamp {t} before base {}", self.t0);
-        (((t - self.t0) / self.dt).floor().max(0.0)) as usize
+        deepod_tensor::floor_index((t - self.t0).max(0.0) / self.dt)
     }
 
     /// Remainder t_r of a timestamp within its slot (Eq. 3).
@@ -56,12 +56,12 @@ impl TimeSlots {
 
     /// Slots per day.
     pub fn slots_per_day(&self) -> usize {
-        (86_400.0 / self.dt).round() as usize
+        deepod_tensor::round_count(86_400.0 / self.dt)
     }
 
     /// Slots per week — the temporal graph's node count.
     pub fn slots_per_week(&self) -> usize {
-        (WEEK / self.dt).round() as usize
+        deepod_tensor::round_count(WEEK / self.dt)
     }
 
     /// Weekly temporal-graph node of an absolute slot (`t_p mod week`).
@@ -112,8 +112,14 @@ mod tests {
         let ts = TimeSlots::five_minutes();
         let monday_8am = 8.0 * 3600.0;
         let next_monday_8am = monday_8am + WEEK;
-        assert_eq!(ts.week_node_of(monday_8am), ts.week_node_of(next_monday_8am));
-        assert_ne!(ts.week_node_of(monday_8am), ts.week_node_of(monday_8am + 86_400.0));
+        assert_eq!(
+            ts.week_node_of(monday_8am),
+            ts.week_node_of(next_monday_8am)
+        );
+        assert_ne!(
+            ts.week_node_of(monday_8am),
+            ts.week_node_of(monday_8am + 86_400.0)
+        );
     }
 
     #[test]

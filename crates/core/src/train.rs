@@ -5,12 +5,16 @@
 
 use crate::config::DeepOdConfig;
 use crate::features::{EncodedSample, FeatureContext};
-use crate::model::DeepOdModel;
+use crate::model::{DeepOdModel, ModelError};
 use deepod_nn::{AdamOptimizer, Gradients, LrSchedule};
 use deepod_roadnet::RoadNetwork;
 use deepod_traj::CityDataset;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+// Wall clocks time the *report*, never the computation: loss curves and
+// model selection depend only on (seed, thread count). deepod-lint's
+// nondeterminism rule is relaxed for exactly these two call sites.
+// deepod-lint: allow(nondeterminism)
 use std::time::Instant;
 
 /// Training-loop options independent of the model config.
@@ -97,13 +101,29 @@ pub struct Trainer<'a> {
 impl<'a> Trainer<'a> {
     /// Builds the feature context, encodes the train/validation splits and
     /// initializes the model.
-    pub fn new(ds: &'a CityDataset, cfg: DeepOdConfig, opts: TrainOptions) -> Self {
+    pub fn new(
+        ds: &'a CityDataset,
+        cfg: DeepOdConfig,
+        opts: TrainOptions,
+    ) -> Result<Self, ModelError> {
         let ctx = FeatureContext::build(ds, cfg.slot_seconds);
-        let model = DeepOdModel::new(&cfg, ds, &ctx);
+        let model = DeepOdModel::new(&cfg, ds, &ctx)?;
         let train_samples = ctx.encode_orders(&ds.net, &ds.train);
         let val_samples = ctx.encode_orders(&ds.net, &ds.validation);
-        assert!(!train_samples.is_empty(), "no encodable training samples");
-        Trainer { ds, ctx, model, cfg, opts, train_samples, val_samples }
+        if train_samples.is_empty() {
+            return Err(ModelError::InvalidConfig(
+                "no encodable training samples in the dataset".into(),
+            ));
+        }
+        Ok(Trainer {
+            ds,
+            ctx,
+            model,
+            cfg,
+            opts,
+            train_samples,
+            val_samples,
+        })
     }
 
     /// The trained (or in-training) model.
@@ -143,12 +163,18 @@ impl<'a> Trainer<'a> {
         let t = self.threads().min(orders.len()).max(1);
         if t == 1 {
             let model = &mut self.model;
-            return orders.iter().map(|o| model.estimate(ctx, net, &o.od)).collect();
+            return orders
+                .iter()
+                .map(|o| model.estimate(ctx, net, &o.od))
+                .collect();
         }
         let model = &self.model;
         deepod_tensor::parallel::map_ranges(orders.len(), t, |span| {
             let mut local = model.clone();
-            orders[span].iter().map(|o| local.estimate(ctx, net, &o.od)).collect::<Vec<_>>()
+            orders[span]
+                .iter()
+                .map(|o| local.estimate(ctx, net, &o.od))
+                .collect::<Vec<_>>()
         })
         .into_iter()
         .flatten()
@@ -170,7 +196,10 @@ impl<'a> Trainer<'a> {
     /// Validation MAE of the current model over (a capped number of)
     /// validation samples.
     pub fn validation_mae(&mut self) -> f32 {
-        let n = self.val_samples.len().min(self.opts.max_eval_samples.max(1));
+        let n = self
+            .val_samples
+            .len()
+            .min(self.opts.max_eval_samples.max(1));
         if n == 0 {
             return f32::NAN;
         }
@@ -276,6 +305,7 @@ impl<'a> Trainer<'a> {
         opt.set_weight_decay(self.opts.weight_decay);
         let mut rng = deepod_tensor::rng_from_seed(self.cfg.seed ^ 0x7124);
 
+        // deepod-lint: allow(nondeterminism) — report timing only
         let start = Instant::now();
         let mut curve = Vec::new();
         let mut step = 0usize;
@@ -288,7 +318,11 @@ impl<'a> Trainer<'a> {
         // Initial point so curves start at the untrained model.
         let mae0 = self.validation_mae();
         best = best.min(mae0);
-        curve.push(CurvePoint { step: 0, val_mae: mae0, elapsed_s: 0.0 });
+        curve.push(CurvePoint {
+            step: 0,
+            val_mae: mae0,
+            elapsed_s: 0.0,
+        });
         // Best-checkpoint snapshot (shallow Rc clones; copy-on-write keeps
         // it intact while the optimizer updates the live store).
         let mut best_store = self.model.store.clone();
@@ -314,7 +348,8 @@ impl<'a> Trainer<'a> {
                 epoch_loss += batch_loss / chunk.len() as f32;
                 epoch_batches += 1;
 
-                let eval_now = self.opts.eval_every > 0 && step.is_multiple_of(self.opts.eval_every);
+                let eval_now =
+                    self.opts.eval_every > 0 && step.is_multiple_of(self.opts.eval_every);
                 if eval_now {
                     let mae = self.validation_mae();
                     curve.push(CurvePoint {
@@ -340,15 +375,17 @@ impl<'a> Trainer<'a> {
             final_train_loss = epoch_loss / epoch_batches.max(1) as f32;
             // Per-epoch evaluation point.
             let mae = self.validation_mae();
-            curve.push(CurvePoint { step, val_mae: mae, elapsed_s: start.elapsed().as_secs_f64() });
+            curve.push(CurvePoint {
+                step,
+                val_mae: mae,
+                elapsed_s: start.elapsed().as_secs_f64(),
+            });
             if mae < best {
                 best = mae;
                 best_store = self.model.store.clone();
             }
             if self.opts.verbose {
-                eprintln!(
-                    "epoch {epoch}: train loss {final_train_loss:.2}, val MAE {mae:.1}s"
-                );
+                eprintln!("epoch {epoch}: train loss {final_train_loss:.2}, val MAE {mae:.1}s");
             }
         }
 
@@ -356,13 +393,20 @@ impl<'a> Trainer<'a> {
         // selection; the paper fine-tunes on validation data, §6.1).
         self.model.store = best_store;
 
-        // Convergence: first curve point within 2 % of the best.
+        // Convergence: first curve point within 2 % of the best (the best
+        // point itself qualifies, so the search cannot come up empty; fall
+        // back to a zero point for the degenerate empty curve).
         let threshold = best * 1.02;
         let conv = curve
             .iter()
             .find(|p| p.val_mae <= threshold)
+            .or(curve.last())
             .copied()
-            .unwrap_or_else(|| *curve.last().unwrap());
+            .unwrap_or(CurvePoint {
+                step: 0,
+                elapsed_s: 0.0,
+                val_mae: best,
+            });
 
         TrainReport {
             best_val_mae: best,
@@ -384,30 +428,30 @@ mod tests {
     use deepod_traj::{DatasetBuilder, DatasetConfig};
 
     fn tiny_cfg() -> DeepOdConfig {
-        let mut cfg = DeepOdConfig::default();
-        cfg.init = EmbeddingInit::Random;
-        cfg.ds = 6;
-        cfg.dt_dim = 6;
-        cfg.d1m = 8;
-        cfg.d2m = 6;
-        cfg.d3m = 8;
-        cfg.d4m = 6;
-        cfg.d5m = 8;
-        cfg.d6m = 6;
-        cfg.d7m = 8;
-        cfg.d9m = 8;
-        cfg.dh = 8;
-        cfg.dtraf = 4;
-        cfg.epochs = 2;
-        cfg.batch_size = 8;
-        cfg
+        DeepOdConfig {
+            init: EmbeddingInit::Random,
+            ds: 6,
+            dt_dim: 6,
+            d1m: 8,
+            d2m: 6,
+            d3m: 8,
+            d4m: 6,
+            d5m: 8,
+            d6m: 6,
+            d7m: 8,
+            d9m: 8,
+            dh: 8,
+            dtraf: 4,
+            epochs: 2,
+            batch_size: 8,
+            ..DeepOdConfig::default()
+        }
     }
 
     #[test]
     fn training_reduces_validation_mae() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 150));
-        let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default());
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 150));
+        let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default()).expect("trainer");
         let before = trainer.validation_mae();
         let report = trainer.train();
         assert!(report.best_val_mae.is_finite());
@@ -427,24 +471,26 @@ mod tests {
 
     #[test]
     fn nst_trains_too() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
         let mut cfg = tiny_cfg();
         cfg.variant = Variant::NoTrajectory;
         cfg.epochs = 1;
-        let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default());
+        let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default()).expect("trainer");
         let report = trainer.train();
         assert!(report.best_val_mae.is_finite());
     }
 
     #[test]
     fn early_stopping_respects_patience() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
         let mut cfg = tiny_cfg();
         cfg.epochs = 50; // would be huge without early stop
-        let opts = TrainOptions { eval_every: 2, patience: 3, ..Default::default() };
-        let mut trainer = Trainer::new(&ds, cfg, opts);
+        let opts = TrainOptions {
+            eval_every: 2,
+            patience: 3,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(&ds, cfg, opts).expect("trainer");
         let report = trainer.train();
         // Early stopping must have cut the run far short of 50 epochs.
         let steps_per_epoch = ds.train.len().div_ceil(8);
@@ -460,11 +506,13 @@ mod tests {
         // Two runs with the same seed and the same thread count must
         // produce bit-identical loss curves: gradients are merged by a
         // deterministic tree reduction, losses summed in span order.
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
         let run = |threads: usize| {
-            let opts = TrainOptions { threads, ..Default::default() };
-            let mut trainer = Trainer::new(&ds, tiny_cfg(), opts);
+            let opts = TrainOptions {
+                threads,
+                ..Default::default()
+            };
+            let mut trainer = Trainer::new(&ds, tiny_cfg(), opts).expect("trainer");
             trainer.train()
         };
         for threads in [1, 2] {
@@ -488,12 +536,18 @@ mod tests {
 
     #[test]
     fn parallel_prediction_matches_serial() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
         let mut cfg = tiny_cfg();
         cfg.epochs = 1;
-        let mut trainer =
-            Trainer::new(&ds, cfg, TrainOptions { threads: 1, ..Default::default() });
+        let mut trainer = Trainer::new(
+            &ds,
+            cfg,
+            TrainOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .expect("trainer");
         trainer.train();
         let serial = trainer.predict_orders(&ds.test);
         let serial_mae = trainer.validation_mae();
@@ -515,9 +569,8 @@ mod tests {
 
     #[test]
     fn estimation_after_training_tracks_labels() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 150));
-        let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default());
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 150));
+        let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default()).expect("trainer");
         trainer.train();
         // MAE on test data should beat a degenerate "predict zero" baseline
         // by a wide margin (i.e. be well under the mean travel time).
@@ -533,6 +586,9 @@ mod tests {
         }
         assert!(n > 0);
         mae /= n as f32;
-        assert!(mae < mean_y, "test MAE {mae} should beat predict-zero ({mean_y})");
+        assert!(
+            mae < mean_y,
+            "test MAE {mae} should beat predict-zero ({mean_y})"
+        );
     }
 }

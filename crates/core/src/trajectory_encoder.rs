@@ -49,7 +49,9 @@ impl TrajectoryEncoder {
             (true, true) => d2m + ds,
             (true, false) => d2m,
             (false, true) => ds,
-            (false, false) => panic!("trajectory encoder needs at least one modality"),
+            // No Variant disables both modalities (N-st drops the encoder
+            // entirely), so this arm is unreachable by construction.
+            (false, false) => unreachable!("trajectory encoder needs at least one modality"),
         };
         TrajectoryEncoder {
             lstm: LstmCell::new(store, "traj.lstm", input_dim, dh, rng),
@@ -101,7 +103,11 @@ impl TrajectoryEncoder {
                 debug_assert_eq!(g.value(demb).numel(), self.ds);
                 parts.push(demb);
             }
-            let dst = if parts.len() == 1 { parts[0] } else { g.concat(&parts) };
+            let dst = if parts.len() == 1 {
+                parts[0]
+            } else {
+                g.concat(&parts)
+            };
             inputs.push(dst);
         }
         let hn = self.lstm.run_sequence(g, store, &inputs);
@@ -116,7 +122,15 @@ mod tests {
     use super::*;
     use deepod_tensor::rng_from_seed;
 
-    fn setup(variant: Variant) -> (ParamStore, TrajectoryEncoder, TimeIntervalEncoder, Embedding, Embedding) {
+    fn setup(
+        variant: Variant,
+    ) -> (
+        ParamStore,
+        TrajectoryEncoder,
+        TimeIntervalEncoder,
+        Embedding,
+        Embedding,
+    ) {
         let mut rng = rng_from_seed(3);
         let mut store = ParamStore::new();
         let road = Embedding::new(&mut store, "roads", 40, 6, &mut rng);
@@ -128,19 +142,47 @@ mod tests {
 
     fn steps() -> Vec<EncodedStep> {
         vec![
-            EncodedStep { edge: 1, slot_nodes: vec![10], rem_enter: 0.1, rem_exit: 0.9 },
-            EncodedStep { edge: 5, slot_nodes: vec![10, 11], rem_enter: 0.9, rem_exit: 0.2 },
-            EncodedStep { edge: 9, slot_nodes: vec![11], rem_enter: 0.2, rem_exit: 0.6 },
+            EncodedStep {
+                edge: 1,
+                slot_nodes: vec![10],
+                rem_enter: 0.1,
+                rem_exit: 0.9,
+            },
+            EncodedStep {
+                edge: 5,
+                slot_nodes: vec![10, 11],
+                rem_enter: 0.9,
+                rem_exit: 0.2,
+            },
+            EncodedStep {
+                edge: 9,
+                slot_nodes: vec![11],
+                rem_enter: 0.2,
+                rem_exit: 0.6,
+            },
         ]
     }
 
     #[test]
     fn stcode_shape_all_variants() {
-        for v in [Variant::Full, Variant::NoSpatialPath, Variant::NoTemporalPath] {
+        for v in [
+            Variant::Full,
+            Variant::NoSpatialPath,
+            Variant::NoTemporalPath,
+        ] {
             let (store, mut traj, mut tie, road, slot) = setup(v);
             let mut g = Graph::new();
-            let code =
-                traj.encode(&mut g, &store, &mut tie, &road, &slot, &steps(), 0.3, 0.6, false);
+            let code = traj.encode(
+                &mut g,
+                &store,
+                &mut tie,
+                &road,
+                &slot,
+                &steps(),
+                0.3,
+                0.6,
+                false,
+            );
             assert_eq!(g.value(code).dims(), &[8], "variant {v:?}");
             assert!(!g.value(code).has_non_finite());
         }
@@ -155,8 +197,12 @@ mod tests {
         let mut rev = steps();
         rev.reverse();
         let mut g = Graph::new();
-        let a = traj.encode(&mut g, &store, &mut tie, &road, &slot, &fwd, 0.3, 0.6, false);
-        let b = traj.encode(&mut g, &store, &mut tie, &road, &slot, &rev, 0.3, 0.6, false);
+        let a = traj.encode(
+            &mut g, &store, &mut tie, &road, &slot, &fwd, 0.3, 0.6, false,
+        );
+        let b = traj.encode(
+            &mut g, &store, &mut tie, &road, &slot, &rev, 0.3, 0.6, false,
+        );
         let (va, vb) = (g.value(a).as_slice(), g.value(b).as_slice());
         assert!(va.iter().zip(vb).any(|(x, y)| (x - y).abs() > 1e-7));
     }
@@ -165,8 +211,28 @@ mod tests {
     fn ratios_affect_stcode() {
         let (store, mut traj, mut tie, road, slot) = setup(Variant::Full);
         let mut g = Graph::new();
-        let a = traj.encode(&mut g, &store, &mut tie, &road, &slot, &steps(), 0.0, 0.0, false);
-        let b = traj.encode(&mut g, &store, &mut tie, &road, &slot, &steps(), 1.0, 1.0, false);
+        let a = traj.encode(
+            &mut g,
+            &store,
+            &mut tie,
+            &road,
+            &slot,
+            &steps(),
+            0.0,
+            0.0,
+            false,
+        );
+        let b = traj.encode(
+            &mut g,
+            &store,
+            &mut tie,
+            &road,
+            &slot,
+            &steps(),
+            1.0,
+            1.0,
+            false,
+        );
         assert_ne!(g.value(a).as_slice(), g.value(b).as_slice());
     }
 
@@ -181,8 +247,17 @@ mod tests {
         for (v, want_road, want_slot) in cases {
             let (store, mut traj, mut tie, road, slot) = setup(v);
             let mut g = Graph::new();
-            let code =
-                traj.encode(&mut g, &store, &mut tie, &road, &slot, &steps(), 0.5, 0.5, true);
+            let code = traj.encode(
+                &mut g,
+                &store,
+                &mut tie,
+                &road,
+                &slot,
+                &steps(),
+                0.5,
+                0.5,
+                true,
+            );
             let s = g.sum_all(code);
             let grads = g.backward(s);
             assert_eq!(grads.get(road.table).is_some(), want_road, "roads, {v:?}");
@@ -202,7 +277,9 @@ mod tests {
             rem_exit: 1.0,
         }];
         let mut g = Graph::new();
-        let code = traj.encode(&mut g, &store, &mut tie, &road, &slot, &one, 0.0, 1.0, false);
+        let code = traj.encode(
+            &mut g, &store, &mut tie, &road, &slot, &one, 0.0, 1.0, false,
+        );
         assert_eq!(g.value(code).numel(), 8);
     }
 

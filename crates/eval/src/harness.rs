@@ -7,7 +7,7 @@ use deepod_baselines::{
     GbmConfig, GbmPredictor, LinearRegression, MuratConfig, MuratPredictor, StnnConfig,
     StnnPredictor, TempConfig, TempPredictor, TtePredictor,
 };
-use deepod_core::{DeepOdConfig, TrainOptions, Trainer};
+use deepod_core::{DeepOdConfig, ModelError, TrainOptions, Trainer};
 use deepod_traj::CityDataset;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -51,21 +51,22 @@ pub struct MethodResult {
 
 /// Collects prediction pairs from any closure that maps an order index to
 /// a prediction.
-fn collect_pairs(
-    ds: &CityDataset,
-    mut predict: impl FnMut(usize) -> Option<f32>,
-) -> Vec<PredPair> {
+fn collect_pairs(ds: &CityDataset, mut predict: impl FnMut(usize) -> Option<f32>) -> Vec<PredPair> {
     ds.test
         .iter()
         .enumerate()
         .filter_map(|(i, o)| {
-            predict(i).map(|p| PredPair { actual: o.travel_time as f32, predicted: p })
+            predict(i).map(|p| PredPair {
+                actual: o.travel_time as f32,
+                predicted: p,
+            })
         })
         .collect()
 }
 
 /// Trains and evaluates a method on a dataset, producing a result row.
-pub fn run_method(method: Method, ds: &CityDataset) -> MethodResult {
+/// Fails when a DeepOD method's config does not validate.
+pub fn run_method(method: Method, ds: &CityDataset) -> Result<MethodResult, ModelError> {
     match method {
         Method::Baseline(mut p) => {
             let t0 = Instant::now();
@@ -77,7 +78,7 @@ pub fn run_method(method: Method, ds: &CityDataset) -> MethodResult {
             let est_elapsed = t1.elapsed().as_secs_f64();
             let est_time_s_per_k = est_elapsed / ds.test.len().max(1) as f64 * 1000.0;
 
-            MethodResult {
+            Ok(MethodResult {
                 name: p.name().to_string(),
                 metrics: Metrics::from_pairs(&pairs),
                 train_time_s,
@@ -85,11 +86,11 @@ pub fn run_method(method: Method, ds: &CityDataset) -> MethodResult {
                 model_size_bytes: p.size_bytes(),
                 pairs,
                 curve: Vec::new(),
-            }
+            })
         }
         Method::DeepOd(m) => {
             let t0 = Instant::now();
-            let mut trainer = Trainer::new(ds, m.config, m.options);
+            let mut trainer = Trainer::new(ds, m.config, m.options)?;
             let report = trainer.train();
             let train_time_s = t0.elapsed().as_secs_f64();
 
@@ -100,7 +101,7 @@ pub fn run_method(method: Method, ds: &CityDataset) -> MethodResult {
 
             let pairs = collect_pairs(ds, |i| preds[i]);
             let model_size = trainer.model().size_bytes();
-            MethodResult {
+            Ok(MethodResult {
                 name: m.name,
                 metrics: Metrics::from_pairs(&pairs),
                 train_time_s,
@@ -112,7 +113,7 @@ pub fn run_method(method: Method, ds: &CityDataset) -> MethodResult {
                     .iter()
                     .map(|p| (p.step, p.val_mae, p.elapsed_s))
                     .collect(),
-            }
+            })
         }
     }
 }
@@ -136,12 +137,9 @@ mod tests {
 
     #[test]
     fn baseline_row_complete() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 120));
-        let res = run_method(
-            Method::Baseline(Box::new(LinearRegression::new(1e-3))),
-            &ds,
-        );
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 120));
+        let res = run_method(Method::Baseline(Box::new(LinearRegression::new(1e-3))), &ds)
+            .expect("baseline runs");
         assert_eq!(res.name, "LR");
         assert!(res.metrics.mae.is_finite());
         assert!(res.metrics.mape_pct > 0.0);
@@ -154,23 +152,24 @@ mod tests {
 
     #[test]
     fn deepod_row_has_curve() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 100));
-        let mut cfg = DeepOdConfig::default();
-        cfg.epochs = 1;
-        cfg.init = deepod_core::EmbeddingInit::Random;
-        cfg.ds = 6;
-        cfg.dt_dim = 6;
-        cfg.d1m = 8;
-        cfg.d2m = 6;
-        cfg.d3m = 8;
-        cfg.d4m = 6;
-        cfg.d5m = 8;
-        cfg.d6m = 6;
-        cfg.d7m = 8;
-        cfg.d9m = 8;
-        cfg.dh = 8;
-        cfg.dtraf = 4;
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 100));
+        let cfg = DeepOdConfig {
+            epochs: 1,
+            init: deepod_core::EmbeddingInit::Random,
+            ds: 6,
+            dt_dim: 6,
+            d1m: 8,
+            d2m: 6,
+            d3m: 8,
+            d4m: 6,
+            d5m: 8,
+            d6m: 6,
+            d7m: 8,
+            d9m: 8,
+            dh: 8,
+            dtraf: 4,
+            ..DeepOdConfig::default()
+        };
         let res = run_method(
             Method::DeepOd(DeepOdMethod {
                 name: "DeepOD".into(),
@@ -178,7 +177,8 @@ mod tests {
                 options: TrainOptions::default(),
             }),
             &ds,
-        );
+        )
+        .expect("deepod runs");
         assert_eq!(res.name, "DeepOD");
         assert!(!res.curve.is_empty(), "deep methods must expose a curve");
         assert!(res.metrics.mae.is_finite());
@@ -186,12 +186,12 @@ mod tests {
 
     #[test]
     fn route_tte_extension_runs_through_harness() {
-        let ds =
-            DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 120));
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 120));
         let r = run_method(
             Method::Baseline(Box::new(deepod_baselines::RouteTtePredictor::new())),
             &ds,
-        );
+        )
+        .expect("extension runs");
         assert_eq!(r.name, "RouteTTE");
         assert!(r.metrics.mae.is_finite());
         assert!(r.model_size_bytes > 0);

@@ -8,8 +8,6 @@ mod harness;
 mod metrics;
 mod report;
 
-pub use harness::{DeepOdMethod, Method, MethodResult, run_method, all_baselines};
-pub use metrics::{
-    histogram, mae, mape, mare, Metrics, PredPair,
-};
+pub use harness::{all_baselines, run_method, DeepOdMethod, Method, MethodResult};
+pub use metrics::{histogram, mae, mape, mare, Metrics, PredPair};
 pub use report::{write_csv, TextTable};

@@ -109,9 +109,18 @@ mod tests {
 
     fn pairs() -> Vec<PredPair> {
         vec![
-            PredPair { actual: 100.0, predicted: 110.0 },
-            PredPair { actual: 200.0, predicted: 180.0 },
-            PredPair { actual: 400.0, predicted: 430.0 },
+            PredPair {
+                actual: 100.0,
+                predicted: 110.0,
+            },
+            PredPair {
+                actual: 200.0,
+                predicted: 180.0,
+            },
+            PredPair {
+                actual: 400.0,
+                predicted: 430.0,
+            },
         ]
     }
 
@@ -149,7 +158,10 @@ mod tests {
 
     #[test]
     fn perfect_predictions_zero_error() {
-        let p = vec![PredPair { actual: 123.0, predicted: 123.0 }];
+        let p = vec![PredPair {
+            actual: 123.0,
+            predicted: 123.0,
+        }];
         let m = Metrics::from_pairs(&p);
         assert_eq!(m.mae, 0.0);
         assert_eq!(m.mape_pct, 0.0);
@@ -161,8 +173,14 @@ mod tests {
         // The paper's observation (6): errors on short trips inflate MAPE
         // relative to MARE.
         let short_trip_errors = vec![
-            PredPair { actual: 60.0, predicted: 120.0 }, // 100 % APE
-            PredPair { actual: 1000.0, predicted: 1000.0 },
+            PredPair {
+                actual: 60.0,
+                predicted: 120.0,
+            }, // 100 % APE
+            PredPair {
+                actual: 1000.0,
+                predicted: 1000.0,
+            },
         ];
         let m = Metrics::from_pairs(&short_trip_errors);
         assert!(m.mape_pct > m.mare_pct);

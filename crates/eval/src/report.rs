@@ -15,7 +15,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column names.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Panics on column-count mismatch.
@@ -45,7 +48,11 @@ impl TextTable {
             }
         }
         let mut out = String::new();
-        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
             for c in 0..cols {
@@ -77,7 +84,14 @@ impl TextTable {
                 s.to_string()
             }
         };
-        out.push_str(&self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
@@ -115,7 +129,7 @@ mod tests {
         assert!(s.contains("DeepOD"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header + sep + 2 rows
-        // All rows same width.
+                                    // All rows same width.
         assert_eq!(lines[0].len(), lines[2].len());
     }
 

@@ -15,12 +15,17 @@ pub struct EmbedGraph {
 impl EmbedGraph {
     /// Creates an empty graph with `n` nodes.
     pub fn with_nodes(n: usize) -> Self {
-        EmbedGraph { adj: vec![Vec::new(); n] }
+        EmbedGraph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Adds a weighted directed link.
     pub fn add_link(&mut self, u: usize, v: usize, weight: f64) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         assert!(weight > 0.0, "weights must be positive");
         self.adj[u].push((v, weight));
     }
@@ -72,7 +77,7 @@ impl EmbedGraph {
         let total: f64 = pow.iter().sum();
         let mut table = Vec::with_capacity(table_size);
         for (u, &p) in pow.iter().enumerate() {
-            let count = ((p / total) * table_size as f64).ceil() as usize;
+            let count = deepod_tensor::ceil_count((p / total) * table_size as f64);
             for _ in 0..count {
                 if table.len() >= table_size {
                     break;

@@ -25,7 +25,11 @@ pub struct SkipGramConfig {
 
 impl Default for SkipGramConfig {
     fn default() -> Self {
-        SkipGramConfig { negatives: 5, lr: 0.025, epochs: 3 }
+        SkipGramConfig {
+            negatives: 5,
+            lr: 0.025,
+            epochs: 3,
+        }
     }
 }
 
@@ -53,7 +57,14 @@ impl SkipGramModel {
         }
         let output = vec![0.0f32; n * dim];
         let neg_table = graph.negative_sampling_table(100_000.min(50 * n + 1000));
-        SkipGramModel { input, output, dim, n, neg_table, cfg }
+        SkipGramModel {
+            input,
+            output,
+            dim,
+            n,
+            neg_table,
+            cfg,
+        }
     }
 
     /// One SGD update on a positive (center, context) pair plus sampled
@@ -68,7 +79,9 @@ impl SkipGramModel {
         // Positive + negatives share the same inner loop; label 1 then 0s.
         let update = |this: &mut Self, target: usize, label: f32, grad_center: &mut [f32]| {
             let ti = target * d;
-            let dot: f32 = (0..d).map(|k| this.input[ci + k] * this.output[ti + k]).sum();
+            let dot: f32 = (0..d)
+                .map(|k| this.input[ci + k] * this.output[ti + k])
+                .sum();
             let p = sigmoid(dot);
             let g = (p - label) * lr;
             for (k, gc) in grad_center.iter_mut().enumerate() {
@@ -116,9 +129,17 @@ impl SkipGramModel {
     pub fn cosine(&self, a: usize, b: usize) -> f32 {
         let d = self.dim;
         let (ai, bi) = (a * d, b * d);
-        let dot: f32 = (0..d).map(|k| self.input[ai + k] * self.input[bi + k]).sum();
-        let na: f32 = (0..d).map(|k| self.input[ai + k].powi(2)).sum::<f32>().sqrt();
-        let nb: f32 = (0..d).map(|k| self.input[bi + k].powi(2)).sum::<f32>().sqrt();
+        let dot: f32 = (0..d)
+            .map(|k| self.input[ai + k] * self.input[bi + k])
+            .sum();
+        let na: f32 = (0..d)
+            .map(|k| self.input[ai + k].powi(2))
+            .sum::<f32>()
+            .sqrt();
+        let nb: f32 = (0..d)
+            .map(|k| self.input[bi + k].powi(2))
+            .sum::<f32>()
+            .sqrt();
         dot / (na * nb).max(1e-12)
     }
 }

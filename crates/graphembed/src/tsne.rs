@@ -22,7 +22,12 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        TsneConfig { perplexity: 30.0, iterations: 300, lr: 50.0, exaggeration: 4.0 }
+        TsneConfig {
+            perplexity: 30.0,
+            iterations: 300,
+            lr: 50.0,
+            exaggeration: 4.0,
+        }
     }
 }
 
@@ -37,7 +42,11 @@ fn conditional_probs(d2_row: &[f64], i: usize, perplexity: f64) -> Vec<f64> {
     for _ in 0..64 {
         let mut sum = 0.0;
         for j in 0..n {
-            probs[j] = if j == i { 0.0 } else { (-beta * d2_row[j]).exp() };
+            probs[j] = if j == i {
+                0.0
+            } else {
+                (-beta * d2_row[j]).exp()
+            };
             sum += probs[j];
         }
         if sum <= 0.0 {
@@ -57,7 +66,11 @@ fn conditional_probs(d2_row: &[f64], i: usize, perplexity: f64) -> Vec<f64> {
         }
         if entropy > target_entropy {
             beta_lo = beta;
-            beta = if beta_hi >= 1e12 { beta * 2.0 } else { 0.5 * (beta_lo + beta_hi) };
+            beta = if beta_hi >= 1e12 {
+                beta * 2.0
+            } else {
+                0.5 * (beta_lo + beta_hi)
+            };
         } else {
             beta_hi = beta;
             beta = 0.5 * (beta_lo + beta_hi);
@@ -126,7 +139,11 @@ fn run_tsne(embeddings: &Tensor, odim: usize, cfg: &TsneConfig, rng: &mut StdRng
     let exag_end = cfg.iterations / 4;
 
     for iter in 0..cfg.iterations {
-        let exag = if iter < exag_end { cfg.exaggeration } else { 1.0 };
+        let exag = if iter < exag_end {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         // Student-t affinities.
         let mut qnum = vec![0.0f64; n * n];
         let mut qsum = 0.0f64;
@@ -196,7 +213,14 @@ mod tests {
             }
         }
         let emb = Tensor::from_vec(data, &[2 * n_per, 4]);
-        let y = tsne_1d(&emb, &TsneConfig { iterations: 250, ..Default::default() }, &mut rng);
+        let y = tsne_1d(
+            &emb,
+            &TsneConfig {
+                iterations: 250,
+                ..Default::default()
+            },
+            &mut rng,
+        );
 
         let m0: f64 = y[..n_per].iter().sum::<f64>() / n_per as f64;
         let m1: f64 = y[n_per..].iter().sum::<f64>() / n_per as f64;
@@ -223,7 +247,10 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let mut rng = rng_from_seed(3);
-        assert_eq!(tsne_1d(&Tensor::zeros(&[1, 4]), &TsneConfig::default(), &mut rng), vec![0.0]);
+        assert_eq!(
+            tsne_1d(&Tensor::zeros(&[1, 4]), &TsneConfig::default(), &mut rng),
+            vec![0.0]
+        );
         let y = tsne_1d(&Tensor::zeros(&[0, 4]), &TsneConfig::default(), &mut rng);
         assert!(y.is_empty());
     }

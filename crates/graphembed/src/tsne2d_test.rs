@@ -18,7 +18,15 @@ fn tsne_2d_separates_three_clusters() {
         }
     }
     let emb = Tensor::from_vec(data, &[3 * n_per, 4]);
-    let y = tsne(&emb, 2, &TsneConfig { iterations: 250, ..Default::default() }, &mut rng);
+    let y = tsne(
+        &emb,
+        2,
+        &TsneConfig {
+            iterations: 250,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     assert_eq!(y.len(), 3 * n_per * 2);
 
     // Cluster centroids must be pairwise farther apart than the mean

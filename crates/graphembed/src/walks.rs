@@ -25,7 +25,12 @@ pub struct WalkConfig {
 
 impl Default for WalkConfig {
     fn default() -> Self {
-        WalkConfig { walks_per_node: 8, walk_length: 20, window: 4, sgns: SkipGramConfig::default() }
+        WalkConfig {
+            walks_per_node: 8,
+            walk_length: 20,
+            window: 4,
+            sgns: SkipGramConfig::default(),
+        }
     }
 }
 
@@ -51,7 +56,9 @@ fn weighted_step(
             return Some(v);
         }
     }
-    Some(links.last().unwrap().0)
+    // Floating-point underflow can leave `r` slightly positive after the
+    // loop; the last link is then the correct pick.
+    links.last().map(|&(v, _)| v)
 }
 
 /// Golden-ratio stride decorrelating per-walk seeds (SplitMix64's constant).
@@ -200,7 +207,11 @@ pub struct Node2Vec {
 
 impl Default for Node2Vec {
     fn default() -> Self {
-        Node2Vec { cfg: WalkConfig::default(), p: 1.0, q: 0.5 }
+        Node2Vec {
+            cfg: WalkConfig::default(),
+            p: 1.0,
+            q: 0.5,
+        }
     }
 }
 
@@ -255,7 +266,10 @@ pub struct Line {
 
 impl Default for Line {
     fn default() -> Self {
-        Line { samples_per_link: 40, sgns: SkipGramConfig::default() }
+        Line {
+            samples_per_link: 40,
+            sgns: SkipGramConfig::default(),
+        }
     }
 }
 
@@ -344,7 +358,10 @@ mod tests {
         // samples and require a smaller margin.
         let g = ring(12);
         let mut rng = rng_from_seed(3);
-        let line = Line { samples_per_link: 150, sgns: SkipGramConfig::default() };
+        let line = Line {
+            samples_per_link: 150,
+            sgns: SkipGramConfig::default(),
+        };
         let e = line.embed(&g, 8, &mut rng);
         let n = 12;
         let mut near = 0.0;
@@ -434,7 +451,11 @@ mod tests {
         let mut g = EmbedGraph::with_nodes(3);
         g.add_link(1, 0, 1.0);
         g.add_link(1, 2, 1.0);
-        let n2v = Node2Vec { cfg: WalkConfig::default(), p: 100.0, q: 1.0 };
+        let n2v = Node2Vec {
+            cfg: WalkConfig::default(),
+            p: 100.0,
+            q: 1.0,
+        };
         let mut rng = rng_from_seed(6);
         let mut returns = 0;
         for _ in 0..300 {

@@ -14,7 +14,11 @@ pub enum GradSlot {
     /// Dense gradient tensor with the parameter's shape.
     Dense(Tensor),
     /// Sparse row gradients for a `[rows, cols]` parameter.
-    SparseRows { rows: usize, cols: usize, entries: HashMap<usize, Vec<f32>> },
+    SparseRows {
+        rows: usize,
+        cols: usize,
+        entries: HashMap<usize, Vec<f32>>,
+    },
 }
 
 impl GradSlot {
@@ -36,7 +40,9 @@ impl GradSlot {
                 *this = GradSlot::Dense(dense);
             }
             (
-                GradSlot::SparseRows { entries: a, cols, .. },
+                GradSlot::SparseRows {
+                    entries: a, cols, ..
+                },
                 GradSlot::SparseRows { entries: b, .. },
             ) => {
                 for (r, row) in b {
@@ -77,7 +83,11 @@ impl GradSlot {
                 assert_eq!(t.dims(), dims, "gradient shape mismatch");
                 t.clone()
             }
-            GradSlot::SparseRows { rows, cols, entries } => {
+            GradSlot::SparseRows {
+                rows,
+                cols,
+                entries,
+            } => {
                 assert_eq!(dims, &[*rows, *cols], "gradient shape mismatch");
                 let mut out = Tensor::zeros(dims);
                 for (&r, row) in entries {
@@ -165,7 +175,11 @@ impl Gradients {
         for slot in self.slots.values() {
             match slot {
                 GradSlot::Dense(t) => {
-                    acc += t.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+                    acc += t
+                        .as_slice()
+                        .iter()
+                        .map(|&v| (v as f64) * (v as f64))
+                        .sum::<f64>()
                 }
                 GradSlot::SparseRows { entries, .. } => {
                     for row in entries.values() {
@@ -385,7 +399,14 @@ impl Graph {
                                 *d += s;
                             }
                         }
-                        out.accumulate(pid, GradSlot::SparseRows { rows, cols, entries });
+                        out.accumulate(
+                            pid,
+                            GradSlot::SparseRows {
+                                rows,
+                                cols,
+                                entries,
+                            },
+                        );
                     } else {
                         let mut dg = Tensor::zeros(&[rows, cols]);
                         for (k, &row_idx) in indices.iter().enumerate() {
@@ -470,7 +491,11 @@ mod tests {
         let s = g.sum_all(picked);
         let grads = g.backward(s);
         match grads.get(emb).unwrap() {
-            GradSlot::SparseRows { entries, rows, cols } => {
+            GradSlot::SparseRows {
+                entries,
+                rows,
+                cols,
+            } => {
                 assert_eq!((*rows, *cols), (10, 4));
                 assert_eq!(entries.len(), 2);
                 assert_eq!(entries[&3], vec![2.0; 4]); // row 3 gathered twice
@@ -501,7 +526,14 @@ mod tests {
         let mut a = Gradients::new();
         let mut entries = HashMap::new();
         entries.insert(1usize, vec![1.0, 1.0]);
-        a.accumulate(w, GradSlot::SparseRows { rows: 3, cols: 2, entries });
+        a.accumulate(
+            w,
+            GradSlot::SparseRows {
+                rows: 3,
+                cols: 2,
+                entries,
+            },
+        );
         let mut b = Gradients::new();
         b.accumulate(w, GradSlot::Dense(Tensor::ones(&[3, 2])));
         a.merge(b);

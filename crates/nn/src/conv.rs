@@ -11,10 +11,17 @@ use deepod_tensor::Tensor;
 /// Forward 2-D convolution with same padding and stride 1.
 pub fn conv2d_forward(input: &Tensor, kernel: &Tensor) -> Tensor {
     assert_eq!(input.rank(), 3, "conv input must be [in_c, h, w]");
-    assert_eq!(kernel.rank(), 4, "conv kernel must be [out_c, in_c, kh, kw]");
+    assert_eq!(
+        kernel.rank(),
+        4,
+        "conv kernel must be [out_c, in_c, kh, kw]"
+    );
     let (in_c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
     let (out_c, k_in_c, kh, kw) = (kernel.dim(0), kernel.dim(1), kernel.dim(2), kernel.dim(3));
-    assert_eq!(in_c, k_in_c, "channel mismatch: input {in_c}, kernel {k_in_c}");
+    assert_eq!(
+        in_c, k_in_c,
+        "channel mismatch: input {in_c}, kernel {k_in_c}"
+    );
     let (ph, pw) = (kh / 2, kw / 2);
 
     let x = input.as_slice();
@@ -28,6 +35,10 @@ pub fn conv2d_forward(input: &Tensor, kernel: &Tensor) -> Tensor {
             for dy in 0..kh {
                 for dx in 0..kw {
                     let kv = k[kbase + dy * kw + dx];
+                    // Exact-zero skip is intentional: only a bit-zero
+                    // weight (sparsity, padding) may shortcut the inner
+                    // accumulation without changing results.
+                    // deepod-lint: allow(float-eq)
                     if kv == 0.0 {
                         continue;
                     }
@@ -71,6 +82,10 @@ pub fn conv2d_grad_input(grad_out: &Tensor, kernel: &Tensor) -> Tensor {
             for dy in 0..kh {
                 for dx in 0..kw {
                     let kv = k[kbase + dy * kw + dx];
+                    // Exact-zero skip is intentional: only a bit-zero
+                    // weight (sparsity, padding) may shortcut the inner
+                    // accumulation without changing results.
+                    // deepod-lint: allow(float-eq)
                     if kv == 0.0 {
                         continue;
                     }

@@ -180,7 +180,8 @@ fn fused_linear_act_bit_matches_unfused_chain() {
     // (+activation) chain exactly — values AND gradients — so fusing the
     // layers cannot perturb trained models.
     use deepod_tensor::Activation;
-    let acts: [(Activation, fn(&mut Graph, VarId) -> VarId); 3] = [
+    type ActBuilder = fn(&mut Graph, VarId) -> VarId;
+    let acts: [(Activation, ActBuilder); 3] = [
         (Activation::Relu, |g, v| g.relu(v)),
         (Activation::Sigmoid, |g, v| g.sigmoid(v)),
         (Activation::Tanh, |g, v| g.tanh(v)),
@@ -211,7 +212,11 @@ fn fused_linear_act_bit_matches_unfused_chain() {
         let lu = gu.sum_all(yu);
         let gradu = gu.backward(lu);
 
-        assert_eq!(gf.value(yf).as_slice(), gu.value(yu).as_slice(), "{act:?} values");
+        assert_eq!(
+            gf.value(yf).as_slice(),
+            gu.value(yu).as_slice(),
+            "{act:?} values"
+        );
         for pid in [w, b] {
             let dims = store.value(pid).dims().to_vec();
             assert_eq!(

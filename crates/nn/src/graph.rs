@@ -53,12 +53,19 @@ pub(crate) enum Op {
     /// Row gather from a `[n,d]` matrix; stores the looked-up row indices.
     Gather(Vec<usize>),
     /// Same-padded stride-1 conv; parents are (input, kernel).
-    Conv2d { kh: usize, kw: usize },
+    Conv2d {
+        kh: usize,
+        kw: usize,
+    },
     /// Channel-wise affine normalization `(x - mu) / sqrt(var + eps)`
     /// followed by `gamma * xhat + beta`; parents are (input, gamma, beta)
     /// and mu/var are captured constants (running statistics — see
     /// DESIGN.md §2.1 for why).
-    BatchNorm { mu: Vec<f32>, var: Vec<f32>, eps: f32 },
+    BatchNorm {
+        mu: Vec<f32>,
+        var: Vec<f32>,
+        eps: f32,
+    },
 }
 
 pub(crate) struct Node {
@@ -76,7 +83,9 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256) }
+        Graph {
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     /// Number of recorded nodes (useful in tests and perf diagnostics).
@@ -169,7 +178,9 @@ impl Graph {
     /// (the kernel accumulates in the same ascending-`k` order and the
     /// activation derivative is an exact function of the stored output).
     pub fn linear_act(&mut self, w: VarId, x: VarId, b: VarId, act: Activation) -> VarId {
-        let v = self.value(w).matvec_bias_act(self.value(x), self.value(b), act);
+        let v = self
+            .value(w)
+            .matvec_bias_act(self.value(x), self.value(b), act);
         self.push(v, Op::LinearAct(act), vec![w, x, b])
     }
 
@@ -321,7 +332,11 @@ impl Graph {
         }
         self.push(
             out,
-            Op::BatchNorm { mu: mu.to_vec(), var: var.to_vec(), eps },
+            Op::BatchNorm {
+                mu: mu.to_vec(),
+                var: var.to_vec(),
+                eps,
+            },
             vec![input, gamma, beta],
         )
     }
@@ -379,7 +394,10 @@ mod tests {
     #[test]
     fn gather_rows() {
         let mut g = Graph::new();
-        let m = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let m = g.input(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            &[3, 2],
+        ));
         let picked = g.gather(m, &[2, 0]);
         assert_eq!(g.value(picked).dims(), &[2, 2]);
         assert_eq!(g.value(picked).as_slice(), &[5.0, 6.0, 1.0, 2.0]);
@@ -410,7 +428,7 @@ mod tests {
         let inv = 1.0 / 5.0f32.sqrt();
         deepod_tensor::assert_close(
             g.value(y).as_slice(),
-            &[-3.0 * inv, -1.0 * inv, 1.0 * inv, 3.0 * inv],
+            &[-3.0 * inv, -inv, 1.0 * inv, 3.0 * inv],
             1e-5,
         );
     }

@@ -28,10 +28,24 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a Xavier-initialized linear layer.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        let w = store.register(&format!("{name}.w"), Tensor::xavier_uniform(out_dim, in_dim, rng));
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = store.register(
+            &format!("{name}.w"),
+            Tensor::xavier_uniform(out_dim, in_dim, rng),
+        );
         let b = store.register(&format!("{name}.b"), Tensor::zeros(&[out_dim]));
-        Linear { w, b, out_dim, in_dim }
+        Linear {
+            w,
+            b,
+            out_dim,
+            in_dim,
+        }
     }
 
     /// Applies the layer to a rank-1 input.
@@ -121,7 +135,10 @@ impl LstmCell {
     ) -> Self {
         let cat = input_dim + hidden_dim;
         let mk_w = |store: &mut ParamStore, tag: &str, rng: &mut StdRng| {
-            store.register(&format!("{name}.{tag}"), Tensor::xavier_uniform(hidden_dim, cat, rng))
+            store.register(
+                &format!("{name}.{tag}"),
+                Tensor::xavier_uniform(hidden_dim, cat, rng),
+            )
         };
         let wf = mk_w(store, "wf", rng);
         let wi = mk_w(store, "wi", rng);
@@ -131,7 +148,18 @@ impl LstmCell {
         let bi = store.register(&format!("{name}.bi"), Tensor::zeros(&[hidden_dim]));
         let bo = store.register(&format!("{name}.bo"), Tensor::zeros(&[hidden_dim]));
         let bc = store.register(&format!("{name}.bc"), Tensor::zeros(&[hidden_dim]));
-        LstmCell { wf, wi, wo, wc, bf, bi, bo, bc, input_dim, hidden_dim }
+        LstmCell {
+            wf,
+            wi,
+            wo,
+            wc,
+            bf,
+            bi,
+            bo,
+            bc,
+            input_dim,
+            hidden_dim,
+        }
     }
 
     /// One LSTM step: returns `(h_j, c_j)` from input `x_j` and previous
@@ -196,10 +224,20 @@ pub struct Embedding {
 
 impl Embedding {
     /// Registers an embedding table with small uniform initialization.
-    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let bound = (3.0 / dim as f32).sqrt();
         let t = Tensor::rand_uniform(&[vocab, dim], -bound, bound, rng);
-        Embedding { table: store.register(name, t), vocab, dim }
+        Embedding {
+            table: store.register(name, t),
+            vocab,
+            dim,
+        }
     }
 
     /// Replaces the table with pre-trained vectors (graph-embedding init,
@@ -339,7 +377,9 @@ mod tests {
         let mut store = ParamStore::new();
         let cell = LstmCell::new(&mut store, "lstm", 2, 4, &mut rng);
         let mut g = Graph::new();
-        let xs: Vec<VarId> = (0..10).map(|_| g.input(Tensor::full(&[2], 100.0))).collect();
+        let xs: Vec<VarId> = (0..10)
+            .map(|_| g.input(Tensor::full(&[2], 100.0)))
+            .collect();
         let h = cell.run_sequence(&mut g, &store, &xs);
         assert!(g.value(h).as_slice().iter().all(|v| v.abs() <= 1.0));
     }
@@ -369,7 +409,11 @@ mod tests {
             let x = g.input(Tensor::full(&[1, 2, 2], 10.0));
             let _ = bn.forward(&mut g, &store, x, true);
         }
-        assert!((bn.running_mean[0] - 10.0).abs() < 0.2, "mean {}", bn.running_mean[0]);
+        assert!(
+            (bn.running_mean[0] - 10.0).abs() < 0.2,
+            "mean {}",
+            bn.running_mean[0]
+        );
         assert!(bn.running_var[0] < 0.2, "var {}", bn.running_var[0]);
     }
 
@@ -404,14 +448,22 @@ mod tests {
         ];
         let labels: Vec<f32> = seqs
             .iter()
-            .map(|s| if s.iter().sum::<f32>() > 0.0 { 1.0 } else { 0.0 })
+            .map(|s| {
+                if s.iter().sum::<f32>() > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
 
         for _ in 0..150 {
             for (s, &y) in seqs.iter().zip(&labels) {
                 let mut g = Graph::new();
-                let xs: Vec<VarId> =
-                    s.iter().map(|&v| g.input(Tensor::from_vec(vec![v], &[1]))).collect();
+                let xs: Vec<VarId> = s
+                    .iter()
+                    .map(|&v| g.input(Tensor::from_vec(vec![v], &[1])))
+                    .collect();
                 let h = cell.run_sequence(&mut g, &store, &xs);
                 let logit = head.forward(&mut g, &store, h);
                 let p = g.sigmoid(logit);
@@ -425,8 +477,10 @@ mod tests {
         let mut correct = 0;
         for (s, &y) in seqs.iter().zip(&labels) {
             let mut g = Graph::new();
-            let xs: Vec<VarId> =
-                s.iter().map(|&v| g.input(Tensor::from_vec(vec![v], &[1]))).collect();
+            let xs: Vec<VarId> = s
+                .iter()
+                .map(|&v| g.input(Tensor::from_vec(vec![v], &[1])))
+                .collect();
             let h = cell.run_sequence(&mut g, &store, &xs);
             let logit = head.forward(&mut g, &store, h);
             let p = g.sigmoid(logit);

@@ -15,22 +15,32 @@ pub enum LrSchedule {
     Constant(f32),
     /// `base / divisor^(epoch / every)` — the paper reduces the LR by 1/5
     /// every 2 epochs starting from 0.01.
-    StepDecay { base: f32, divisor: f32, every_epochs: usize },
+    StepDecay {
+        base: f32,
+        divisor: f32,
+        every_epochs: usize,
+    },
 }
 
 impl LrSchedule {
     /// The paper's schedule: 0.01 divided by 5 every 2 epochs.
     pub fn paper_default() -> Self {
-        LrSchedule::StepDecay { base: 0.01, divisor: 5.0, every_epochs: 2 }
+        LrSchedule::StepDecay {
+            base: 0.01,
+            divisor: 5.0,
+            every_epochs: 2,
+        }
     }
 
     /// Learning rate for a (0-based) epoch.
     pub fn lr_at(&self, epoch: usize) -> f32 {
         match self {
             LrSchedule::Constant(lr) => *lr,
-            LrSchedule::StepDecay { base, divisor, every_epochs } => {
-                base / divisor.powi((epoch / every_epochs) as i32)
-            }
+            LrSchedule::StepDecay {
+                base,
+                divisor,
+                every_epochs,
+            } => base / divisor.powi((epoch / every_epochs) as i32),
         }
     }
 }
@@ -116,7 +126,8 @@ impl AdamOptimizer {
                         let mhat = *mi / bc1;
                         let vhat = *vi / bc2;
                         let slot = &mut value.as_mut_slice()[i];
-                        *slot -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * *slot);
+                        *slot -=
+                            self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * *slot);
                     }
                 }
                 GradSlot::SparseRows { cols, entries, .. } => {
@@ -212,7 +223,10 @@ mod tests {
         for _ in 0..200 {
             let wv = store.value(w).as_slice()[0];
             let mut g = Gradients::new();
-            g.accumulate(w, GradSlot::Dense(Tensor::from_vec(vec![2.0 * (wv - 3.0)], &[1])));
+            g.accumulate(
+                w,
+                GradSlot::Dense(Tensor::from_vec(vec![2.0 * (wv - 3.0)], &[1])),
+            );
             opt.step(&mut store, &g);
         }
         let wv = store.value(w).as_slice()[0];
@@ -227,7 +241,10 @@ mod tests {
         for _ in 0..100 {
             let wv = store.value(w).as_slice()[0];
             let mut g = Gradients::new();
-            g.accumulate(w, GradSlot::Dense(Tensor::from_vec(vec![2.0 * (wv - 3.0)], &[1])));
+            g.accumulate(
+                w,
+                GradSlot::Dense(Tensor::from_vec(vec![2.0 * (wv - 3.0)], &[1])),
+            );
             opt.step(&mut store, &g);
         }
         let wv = store.value(w).as_slice()[0];
@@ -280,7 +297,10 @@ mod tests {
             let wv = g.param(&store, w);
             let bv = g.param(&store, b);
             let x = g.input(Tensor::from_vec(xs.to_vec(), &[5, 1]));
-            let t = g.input(Tensor::from_vec(xs.iter().map(|v| 2.0 * v + 1.0).collect(), &[5, 1]));
+            let t = g.input(Tensor::from_vec(
+                xs.iter().map(|v| 2.0 * v + 1.0).collect(),
+                &[5, 1],
+            ));
             let wx = g.matmul(x, wv);
             let pred = g.add_bias_rows(wx, bv);
             let diff = g.sub(pred, t);

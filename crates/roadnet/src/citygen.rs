@@ -123,7 +123,11 @@ impl CityConfig {
                 x.is_multiple_of(self.arterial_every)
             };
             // Outer ring is a highway.
-            let on_ring = if horizontal { y == 0 || y == gy - 1 } else { x == 0 || x == gx - 1 };
+            let on_ring = if horizontal {
+                y == 0 || y == gy - 1
+            } else {
+                x == 0 || x == gx - 1
+            };
             if on_ring {
                 RoadClass::Highway
             } else if on_arterial {
@@ -151,7 +155,13 @@ impl CityConfig {
         for y in 0..gy {
             for x in 0..gx {
                 if x + 1 < gx {
-                    add_street(&mut net, &mut rng, at(x, y), at(x + 1, y), class_for(x, y, true));
+                    add_street(
+                        &mut net,
+                        &mut rng,
+                        at(x, y),
+                        at(x + 1, y),
+                        class_for(x, y, true),
+                    );
                 }
                 if y + 1 < gy {
                     // The river blocks all north-south streets between
@@ -177,8 +187,7 @@ impl CityConfig {
         let step = self.arterial_every.max(2);
         let mut d = 1;
         while d + step < gx.min(gy) {
-            let crosses_river =
-                self.river_row.is_some_and(|r| d <= r && r < d + step);
+            let crosses_river = self.river_row.is_some_and(|r| d <= r && r < d + step);
             if !crosses_river {
                 net.add_edge(at(d, d), at(d + step, d + step), RoadClass::Highway);
                 net.add_edge(at(d + step, d + step), at(d, d), RoadClass::Highway);
@@ -201,8 +210,14 @@ mod tests {
         let xrn = CityConfig::profile(CityProfile::SynthXian).generate();
         let brn = CityConfig::profile(CityProfile::SynthBeijing).generate();
         assert!(crn.num_edges() > 300, "CRN edges {}", crn.num_edges());
-        assert!(xrn.num_edges() > crn.num_edges(), "XRN should be larger than CRN");
-        assert!(brn.num_edges() > 2 * crn.num_edges(), "BRN should dwarf CRN");
+        assert!(
+            xrn.num_edges() > crn.num_edges(),
+            "XRN should be larger than CRN"
+        );
+        assert!(
+            brn.num_edges() > 2 * crn.num_edges(),
+            "BRN should dwarf CRN"
+        );
     }
 
     #[test]
@@ -224,9 +239,9 @@ mod tests {
         let mut ok = 0;
         let trials = 40;
         for _ in 0..trials {
-            let a = NodeId(rand::Rng::gen_range(&mut rng, 0..net.num_nodes()) as u32);
-            let b = NodeId(rand::Rng::gen_range(&mut rng, 0..net.num_nodes()) as u32);
-            if r.shortest_by_distance(a, b).is_some() {
+            let a = NodeId(Rng::gen_range(&mut rng, 0..net.num_nodes()) as u32);
+            let b = NodeId(Rng::gen_range(&mut rng, 0..net.num_nodes()) as u32);
+            if r.shortest_by_distance(a, b).is_ok() {
                 ok += 1;
             }
         }

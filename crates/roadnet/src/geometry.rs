@@ -32,7 +32,10 @@ impl Point {
 
     /// Linear interpolation: `self + t * (other - self)`.
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 }
 
@@ -57,7 +60,11 @@ pub fn project_onto_segment(p: &Point, a: &Point, b: &Point) -> SegmentProjectio
         (((p.x - a.x) * abx + (p.y - a.y) * aby) / len2).clamp(0.0, 1.0)
     };
     let point = a.lerp(b, t);
-    SegmentProjection { point, t, distance: p.dist(&point) }
+    SegmentProjection {
+        point,
+        t,
+        distance: p.dist(&point),
+    }
 }
 
 #[cfg(test)]

@@ -129,7 +129,12 @@ impl RoadNetwork {
         assert!(to.idx() < self.nodes.len(), "to node out of range");
         assert!(length >= 0.0, "negative edge length");
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(RoadEdge { from, to, length, class });
+        self.edges.push(RoadEdge {
+            from,
+            to,
+            length,
+            class,
+        });
         self.out_edges[from.idx()].push(id);
         self.in_edges[to.idx()].push(id);
         id
@@ -185,7 +190,9 @@ impl RoadNetwork {
     /// Point at fraction `t ∈ [0,1]` along an edge.
     pub fn point_on_edge(&self, id: EdgeId, t: f64) -> Point {
         let e = self.edge(id);
-        self.node(e.from).pos.lerp(&self.node(e.to).pos, t.clamp(0.0, 1.0))
+        self.node(e.from)
+            .pos
+            .lerp(&self.node(e.to).pos, t.clamp(0.0, 1.0))
     }
 
     /// Edges whose head is the tail of `next`, i.e. `e.to == next.from`

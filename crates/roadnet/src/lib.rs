@@ -21,5 +21,5 @@ pub use citygen::{CityConfig, CityProfile};
 pub use geometry::{Point, SegmentProjection};
 pub use graph::{EdgeId, NodeId, RoadClass, RoadEdge, RoadNetwork, RoadNode};
 pub use line_graph::{LineGraph, LineGraphEdge};
-pub use routing::{dijkstra_shortest_path, time_dependent_route, RoutePath, Router};
+pub use routing::{dijkstra_shortest_path, time_dependent_route, RoutePath, Router, RoutingError};
 pub use spatial::SpatialGrid;

@@ -42,7 +42,10 @@ impl LineGraph {
                 if ne.to == e.from && ne.from == e.to {
                     continue;
                 }
-                adj[i].push(LineGraphEdge { to: next, weight: base_weight });
+                adj[i].push(LineGraphEdge {
+                    to: next,
+                    weight: base_weight,
+                });
             }
         }
         LineGraph { adj }
@@ -89,7 +92,10 @@ impl LineGraph {
 
     /// The weight of the link `from -> to`, if present.
     pub fn link_weight(&self, from: EdgeId, to: EdgeId) -> Option<f64> {
-        self.adj[from.idx()].iter().find(|l| l.to == to).map(|l| l.weight)
+        self.adj[from.idx()]
+            .iter()
+            .find(|l| l.to == to)
+            .map(|l| l.weight)
     }
 
     /// Nodes with no outgoing links (dead ends); useful to diagnose
@@ -177,8 +183,7 @@ mod tests {
         let e63 = g.add_edge(v6, v3, RoadClass::Local);
         let t1 = vec![e46, e63];
         let t2 = vec![e46, e63];
-        let lg =
-            LineGraph::from_trajectories(&g, [t1.as_slice(), t2.as_slice()].into_iter(), 0.0);
+        let lg = LineGraph::from_trajectories(&g, [t1.as_slice(), t2.as_slice()].into_iter(), 0.0);
         assert_eq!(lg.link_weight(e46, e63), Some(2.0));
     }
 }

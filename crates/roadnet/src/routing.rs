@@ -12,6 +12,57 @@
 use crate::graph::{EdgeId, NodeId, RoadNetwork};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Typed routing failures. `Unreachable` is the routine outcome callers
+/// branch on (disconnected OD pairs are normal on real networks); the
+/// other variants are caller or internal contract violations that used to
+/// be panics — deepod-lint denies those in library code, so they surface
+/// as errors the CLI can turn into messages instead of backtraces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoutingError {
+    /// An endpoint is not a node of this network.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the network.
+        num_nodes: usize,
+    },
+    /// No path exists from `from` to `to`.
+    Unreachable {
+        /// Origin node id.
+        from: u32,
+        /// Destination node id.
+        to: u32,
+    },
+    /// Path reconstruction walked off the predecessor tree — an internal
+    /// invariant violation (should never happen on a well-formed search).
+    BrokenPredecessorChain {
+        /// Node at which the chain broke.
+        node: u32,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node} out of range (network has {num_nodes} nodes)"
+                )
+            }
+            RoutingError::Unreachable { from, to } => {
+                write!(f, "node {to} is unreachable from node {from}")
+            }
+            RoutingError::BrokenPredecessorChain { node } => {
+                write!(f, "internal error: predecessor chain broken at node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
 
 /// A route: the edge sequence plus total cost (seconds or meters, depending
 /// on the cost function).
@@ -56,14 +107,24 @@ fn run_dijkstra(
     from: NodeId,
     to: NodeId,
     mut edge_cost: impl FnMut(EdgeId, f64) -> f64,
-) -> Option<RoutePath> {
+) -> Result<RoutePath, RoutingError> {
     let n = net.num_nodes();
-    assert!(from.idx() < n && to.idx() < n, "node out of range");
+    for node in [from, to] {
+        if node.idx() >= n {
+            return Err(RoutingError::NodeOutOfRange {
+                node: node.0,
+                num_nodes: n,
+            });
+        }
+    }
     let mut dist = vec![f64::INFINITY; n];
     let mut pred: Vec<Option<EdgeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[from.idx()] = 0.0;
-    heap.push(HeapItem { cost: 0.0, node: from });
+    heap.push(HeapItem {
+        cost: 0.0,
+        node: from,
+    });
 
     while let Some(HeapItem { cost, node }) = heap.pop() {
         if node == to {
@@ -80,34 +141,46 @@ fn run_dijkstra(
             if nd < dist[e.to.idx()] {
                 dist[e.to.idx()] = nd;
                 pred[e.to.idx()] = Some(eid);
-                heap.push(HeapItem { cost: nd, node: e.to });
+                heap.push(HeapItem {
+                    cost: nd,
+                    node: e.to,
+                });
             }
         }
     }
 
     if dist[to.idx()].is_infinite() {
-        return None;
+        return Err(RoutingError::Unreachable {
+            from: from.0,
+            to: to.0,
+        });
     }
     // Reconstruct.
     let mut edges = Vec::new();
     let mut cur = to;
     while cur != from {
-        let eid = pred[cur.idx()].expect("predecessor chain broken");
+        let Some(eid) = pred[cur.idx()] else {
+            return Err(RoutingError::BrokenPredecessorChain { node: cur.0 });
+        };
         edges.push(eid);
         cur = net.edge(eid).from;
     }
     edges.reverse();
-    Some(RoutePath { edges, cost: dist[to.idx()] })
+    Ok(RoutePath {
+        edges,
+        cost: dist[to.idx()],
+    })
 }
 
-/// Dijkstra with a static per-edge cost. Returns `None` when `to` is
-/// unreachable from `from`.
+/// Dijkstra with a static per-edge cost. Fails with
+/// [`RoutingError::Unreachable`] when no path exists (use `.ok()` where
+/// unreachable pairs are routine and should just be skipped).
 pub fn dijkstra_shortest_path(
     net: &RoadNetwork,
     from: NodeId,
     to: NodeId,
     mut edge_cost: impl FnMut(EdgeId) -> f64,
-) -> Option<RoutePath> {
+) -> Result<RoutePath, RoutingError> {
     run_dijkstra(net, from, to, |e, _| edge_cost(e))
 }
 
@@ -124,7 +197,7 @@ pub fn time_dependent_route(
     to: NodeId,
     depart: f64,
     mut edge_time: impl FnMut(EdgeId, f64) -> f64,
-) -> Option<RoutePath> {
+) -> Result<RoutePath, RoutingError> {
     run_dijkstra(net, from, to, |e, elapsed| edge_time(e, depart + elapsed))
 }
 
@@ -141,20 +214,24 @@ impl<'a> Router<'a> {
     }
 
     /// Shortest route by geometric distance.
-    pub fn shortest_by_distance(&self, from: NodeId, to: NodeId) -> Option<RoutePath> {
+    pub fn shortest_by_distance(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<RoutePath, RoutingError> {
         dijkstra_shortest_path(self.net, from, to, |e| self.net.edge(e).length)
     }
 
     /// Shortest route by free-flow travel time.
-    pub fn fastest_free_flow(&self, from: NodeId, to: NodeId) -> Option<RoutePath> {
+    pub fn fastest_free_flow(&self, from: NodeId, to: NodeId) -> Result<RoutePath, RoutingError> {
         dijkstra_shortest_path(self.net, from, to, |e| {
             let edge = self.net.edge(e);
             edge.length / edge.class.free_flow_speed()
         })
     }
 
-    /// Network (shortest-path) distance in meters, or `None` if unreachable.
-    pub fn network_distance(&self, from: NodeId, to: NodeId) -> Option<f64> {
+    /// Network (shortest-path) distance in meters.
+    pub fn network_distance(&self, from: NodeId, to: NodeId) -> Result<f64, RoutingError> {
         self.shortest_by_distance(from, to).map(|p| p.cost)
     }
 }
@@ -199,13 +276,31 @@ mod tests {
     }
 
     #[test]
-    fn unreachable_returns_none() {
+    fn unreachable_is_a_typed_error() {
         let mut g = RoadNetwork::new();
         let a = g.add_node(Point::new(0.0, 0.0));
         let b = g.add_node(Point::new(10.0, 0.0));
         // Only edge b -> a; a -> b unreachable.
         g.add_edge(b, a, RoadClass::Local);
-        assert!(dijkstra_shortest_path(&g, a, b, |_| 1.0).is_none());
+        assert_eq!(
+            dijkstra_shortest_path(&g, a, b, |_| 1.0),
+            Err(RoutingError::Unreachable { from: a.0, to: b.0 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_node_is_a_typed_error() {
+        let (g, ns) = diamond();
+        let ghost = NodeId(999);
+        let err = dijkstra_shortest_path(&g, ns[0], ghost, |_| 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            RoutingError::NodeOutOfRange {
+                node: 999,
+                num_nodes: 4
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]
@@ -230,11 +325,17 @@ mod tests {
         };
         let early = time_dependent_route(&g, ns[0], ns[3], 0.0, edge_time).unwrap();
         let via_early: Vec<NodeId> = early.edges.iter().map(|&e| g.edge(e).to).collect();
-        assert!(via_early.contains(&ns[2]), "early trip should use the highway");
+        assert!(
+            via_early.contains(&ns[2]),
+            "early trip should use the highway"
+        );
 
         let late = time_dependent_route(&g, ns[0], ns[3], 2000.0, edge_time).unwrap();
         let via_late: Vec<NodeId> = late.edges.iter().map(|&e| g.edge(e).to).collect();
-        assert!(via_late.contains(&ns[1]), "congested trip should avoid the highway");
+        assert!(
+            via_late.contains(&ns[1]),
+            "congested trip should avoid the highway"
+        );
         assert!(late.cost > early.cost);
     }
 

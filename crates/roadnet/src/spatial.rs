@@ -24,16 +24,22 @@ impl SpatialGrid {
     pub fn build(net: &RoadNetwork, cell: f64) -> Self {
         assert!(cell > 0.0, "cell size must be positive");
         let (min, max) = net.bounding_box();
-        let nx = (((max.x - min.x) / cell).ceil() as usize).max(1);
-        let ny = (((max.y - min.y) / cell).ceil() as usize).max(1);
-        let mut grid = SpatialGrid { min, cell, nx, ny, buckets: vec![Vec::new(); nx * ny] };
+        let nx = deepod_tensor::ceil_count((max.x - min.x) / cell).max(1);
+        let ny = deepod_tensor::ceil_count((max.y - min.y) / cell).max(1);
+        let mut grid = SpatialGrid {
+            min,
+            cell,
+            nx,
+            ny,
+            buckets: vec![Vec::new(); nx * ny],
+        };
         for (i, e) in net.edges().iter().enumerate() {
             let id = EdgeId(i as u32);
             let a = net.node(e.from).pos;
             let b = net.node(e.to).pos;
             // Walk the segment at half-cell resolution and insert into every
             // cell touched; cheap and conservative for segments ≤ a few km.
-            let steps = ((a.dist(&b) / (cell * 0.5)).ceil() as usize).max(1);
+            let steps = deepod_tensor::ceil_count(a.dist(&b) / (cell * 0.5)).max(1);
             let mut last = usize::MAX;
             for s in 0..=steps {
                 let p = a.lerp(&b, s as f64 / steps as f64);
@@ -71,7 +77,7 @@ impl SpatialGrid {
     /// Edge ids whose geometry passes within roughly `radius` of `p`
     /// (superset: grid-cell resolution, caller filters by exact distance).
     pub fn edges_near(&self, p: &Point, radius: f64) -> Vec<EdgeId> {
-        let r = (radius / self.cell).ceil() as isize + 1;
+        let r = deepod_tensor::ceil_count(radius / self.cell) as isize + 1;
         let cx = self.clampi((p.x - self.min.x) / self.cell, self.nx) as isize;
         let cy = self.clampi((p.y - self.min.y) / self.cell, self.ny) as isize;
         let mut out = Vec::new();
@@ -101,8 +107,7 @@ impl SpatialGrid {
         for id in self.edges_near(p, radius) {
             let e = net.edge(id);
             let pr = project_onto_segment(p, &net.node(e.from).pos, &net.node(e.to).pos);
-            if pr.distance <= radius
-                && best.as_ref().is_none_or(|(_, b)| pr.distance < b.distance)
+            if pr.distance <= radius && best.as_ref().is_none_or(|(_, b)| pr.distance < b.distance)
             {
                 best = Some((id, pr));
             }
@@ -123,7 +128,10 @@ impl SpatialGrid {
             .into_iter()
             .map(|id| {
                 let e = net.edge(id);
-                (id, project_onto_segment(p, &net.node(e.from).pos, &net.node(e.to).pos))
+                (
+                    id,
+                    project_onto_segment(p, &net.node(e.from).pos, &net.node(e.to).pos),
+                )
             })
             .filter(|(_, pr)| pr.distance <= radius)
             .collect();
@@ -168,7 +176,9 @@ mod tests {
         let net = grid_city();
         let grid = SpatialGrid::build(&net, 50.0);
         // A point 10 m above the bottom row between x=0 and x=100.
-        let (id, pr) = grid.nearest_edge(&net, &Point::new(50.0, 10.0), 100.0).unwrap();
+        let (id, pr) = grid
+            .nearest_edge(&net, &Point::new(50.0, 10.0), 100.0)
+            .unwrap();
         let e = net.edge(id);
         let a = net.node(e.from).pos;
         let b = net.node(e.to).pos;
@@ -182,7 +192,9 @@ mod tests {
     fn nearest_edge_none_outside_radius() {
         let net = grid_city();
         let grid = SpatialGrid::build(&net, 50.0);
-        assert!(grid.nearest_edge(&net, &Point::new(50.0, 60.0), 5.0).is_none());
+        assert!(grid
+            .nearest_edge(&net, &Point::new(50.0, 60.0), 5.0)
+            .is_none());
     }
 
     #[test]
@@ -214,7 +226,10 @@ mod tests {
             let id = EdgeId(i as u32);
             let mid = net.edge_midpoint(id);
             let near = grid.edges_near(&mid, 10.0);
-            assert!(near.contains(&id), "edge {id:?} missing near its own midpoint");
+            assert!(
+                near.contains(&id),
+                "edge {id:?} missing near its own midpoint"
+            );
         }
     }
 }

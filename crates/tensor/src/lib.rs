@@ -22,12 +22,14 @@
 //! assert_eq!(c.as_slice(), a.as_slice());
 //! ```
 
+pub mod index;
 mod ops;
 pub mod parallel;
 mod random;
 mod shape;
 mod tensor;
 
+pub use index::{ceil_count, floor_coord, floor_index, round_count};
 pub use ops::Activation;
 pub use random::{rng_from_seed, sample_distinct};
 pub use shape::Shape;
@@ -40,7 +42,13 @@ pub const TEST_EPS: f32 = 1e-4;
 /// Asserts two float slices are element-wise close; used by tests in several
 /// crates so the tolerance logic lives in one place.
 pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         let scale = 1.0f32.max(x.abs()).max(y.abs());
         assert!(

@@ -33,9 +33,14 @@ pub const SPAWN_COST_HINT_NS: u64 = 10_000;
 pub fn configured_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        match std::env::var("DEEPOD_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        match std::env::var("DEEPOD_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
             Some(n) if n > 0 => n,
-            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     })
 }
@@ -84,9 +89,19 @@ where
         return spans.into_iter().map(&f).collect();
     }
     std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            spans.into_iter().map(|span| scope.spawn(|| f(span))).collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| scope.spawn(|| f(span)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // A worker panic is the caller's panic: re-raise the original
+                // payload on this thread instead of wrapping it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     })
 }
 
@@ -125,8 +140,7 @@ mod tests {
                 // Near-equal: sizes differ by at most one.
                 if len > 0 {
                     let sizes: Vec<usize> = spans.iter().map(|s| s.len()).collect();
-                    let (mn, mx) =
-                        (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
                     assert!(mx - mn <= 1, "uneven split {sizes:?}");
                 }
             }
@@ -163,5 +177,59 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(0), configured_threads());
         assert!(configured_threads() >= 1);
+    }
+
+    // --- threads=1 == serial regression tests -------------------------
+    //
+    // deepod-lint's `parallel-coverage` rule requires every pub fn of
+    // this module to have a test below whose name contains the fn name
+    // and `serial`: the single-thread path of each primitive must be the
+    // literal serial computation, bit for bit (DESIGN.md §6).
+
+    #[test]
+    fn split_ranges_serial_is_single_full_span() {
+        for len in [0usize, 1, 5, 1000] {
+            assert_eq!(split_ranges(len, 1), vec![0..len]);
+        }
+    }
+
+    #[test]
+    fn map_ranges_threads1_matches_serial() {
+        // One thread: the closure runs inline on the calling thread over
+        // the single full span, so the result must equal the plain call.
+        let serial = |r: Range<usize>| -> f32 { r.map(|i| (i as f32).sin()).sum() };
+        let got = map_ranges(257, 1, serial);
+        assert_eq!(got, vec![serial(0..257)]);
+    }
+
+    #[test]
+    fn tree_reduce_single_item_matches_serial_fold() {
+        // The one-span case (threads = 1) reduces to the identity, and the
+        // multi-span sum equals the serial left fold for associative ops.
+        assert_eq!(tree_reduce(vec![42u64], |a, b| a + b), Some(42));
+        let items: Vec<u64> = (0..17).collect();
+        let serial: u64 = items.iter().sum();
+        assert_eq!(tree_reduce(items, |a, b| a + b), Some(serial));
+    }
+
+    #[test]
+    fn resolve_threads_one_is_the_serial_path() {
+        // `threads = 1` must resolve to exactly 1 (never the configured
+        // default): it is the contract for forcing the serial path.
+        assert_eq!(resolve_threads(1), 1);
+    }
+
+    #[test]
+    fn configured_threads_is_a_valid_serial_fallback() {
+        // Whatever the environment says, the configured count is a usable
+        // thread count (>= 1), so `map_ranges(len, configured_threads())`
+        // can always degrade to the serial span layout.
+        let t = configured_threads();
+        assert!(t >= 1);
+        let flat: Vec<usize> = map_ranges(10, t, |r| r.clone())
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
     }
 }

@@ -28,8 +28,13 @@ impl Tensor {
 
     /// Tensor with i.i.d. normal entries.
     pub fn rand_normal(dims: &[usize], mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
-        assert!(std >= 0.0, "negative std");
-        let dist = Normal::new(mean, std).expect("valid normal parameters");
+        assert!(
+            std >= 0.0 && std.is_finite(),
+            "normal std must be finite and >= 0"
+        );
+        let Ok(dist) = Normal::new(mean, std) else {
+            unreachable!("Normal::new cannot fail for validated std {std}")
+        };
         let mut t = Tensor::zeros(dims);
         for v in t.as_mut_slice() {
             *v = dist.sample(rng);

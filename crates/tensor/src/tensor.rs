@@ -51,7 +51,10 @@ impl Tensor {
 
     /// A rank-0 scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// The `n`-by-`n` identity matrix.
@@ -116,7 +119,12 @@ impl Tensor {
 
     /// The single value of a scalar or one-element tensor. Panics otherwise.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
@@ -129,7 +137,10 @@ impl Tensor {
             "cannot reshape {} into {shape}",
             self.shape
         );
-        Tensor { shape, data: self.data.clone() }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// Row `r` of a rank-2 tensor, as a slice.
@@ -155,7 +166,7 @@ impl Tensor {
     /// Approximate in-memory size in bytes (buffer only), used by the
     /// Table 5 "model size" measurements.
     pub fn size_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
+        self.data.len() * size_of::<f32>()
     }
 }
 

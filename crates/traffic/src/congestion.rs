@@ -103,7 +103,9 @@ impl TrafficModel {
     ) -> Self {
         let n = net.num_edges();
         let road_factor = (0..n).map(|_| rng.gen_range(0.8..1.2)).collect();
-        let road_phase = (0..n).map(|_| rng.gen_range(0.0..std::f64::consts::TAU)).collect();
+        let road_phase = (0..n)
+            .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+            .collect();
         TrafficModel {
             congestion,
             weather,
@@ -131,8 +133,9 @@ impl TrafficModel {
         let cong = 1.0 - sens * (1.0 - cong);
         let wea = self.weather.speed_factor(t);
         // Smooth pseudo-random temporal ripple, period ~35 min, per-road phase.
-        let ripple =
-            1.0 + self.noise_amp * (t / 2100.0 * std::f64::consts::TAU + self.road_phase[e.idx()]).sin();
+        let ripple = 1.0
+            + self.noise_amp
+                * (t / 2100.0 * std::f64::consts::TAU + self.road_phase[e.idx()]).sin();
         let inc = if self.incidents.is_empty() {
             1.0
         } else {
@@ -248,7 +251,10 @@ mod tests {
         let t0 = hour_on(2, 11.0);
         let tt = tm.traversal_time(&net, e, t0);
         let approx = net.edge(e).length / tm.speed(&net, e, t0);
-        assert!((tt - approx).abs() / approx < 0.1, "tt {tt} vs approx {approx}");
+        assert!(
+            (tt - approx).abs() / approx < 0.1,
+            "tt {tt} vs approx {approx}"
+        );
         assert!(tt > 0.0);
     }
 

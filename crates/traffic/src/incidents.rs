@@ -61,15 +61,12 @@ impl IncidentModel {
     pub fn sample(net: &RoadNetwork, horizon: f64, rate_per_day: f64, rng: &mut StdRng) -> Self {
         let (min, max) = net.bounding_box();
         let days = horizon / 86_400.0;
-        let n = (days * rate_per_day).round() as usize;
+        let n = deepod_tensor::round_count(days * rate_per_day);
         let incidents = (0..n)
             .map(|_| {
                 let start = rng.gen_range(0.0..horizon);
                 Incident {
-                    center: Point::new(
-                        rng.gen_range(min.x..max.x),
-                        rng.gen_range(min.y..max.y),
-                    ),
+                    center: Point::new(rng.gen_range(min.x..max.x), rng.gen_range(min.y..max.y)),
                     radius: rng.gen_range(400.0..1200.0),
                     start,
                     end: start + rng.gen_range(1200.0..4200.0),
@@ -105,7 +102,9 @@ impl IncidentModel {
 
     /// All incidents active at time `t`.
     pub fn active_at(&self, t: f64) -> impl Iterator<Item = &Incident> {
-        self.incidents.iter().filter(move |i| (i.start..i.end).contains(&t))
+        self.incidents
+            .iter()
+            .filter(move |i| (i.start..i.end).contains(&t))
     }
 }
 
@@ -166,7 +165,9 @@ mod tests {
 
     #[test]
     fn active_at_filters() {
-        let m = IncidentModel { incidents: vec![incident()] };
+        let m = IncidentModel {
+            incidents: vec![incident()],
+        };
         assert_eq!(m.active_at(500.0).count(), 1);
         assert_eq!(m.active_at(5000.0).count(), 0);
     }

@@ -26,9 +26,9 @@ impl SpeedMatrixBuilder {
     pub fn new(net: &RoadNetwork, cell: f64, slot_len: f64, horizon: f64) -> Self {
         assert!(cell > 0.0 && slot_len > 0.0 && horizon > 0.0);
         let (min, max) = net.bounding_box();
-        let nx = (((max.x - min.x) / cell).ceil() as usize).max(1);
-        let ny = (((max.y - min.y) / cell).ceil() as usize).max(1);
-        let num_slots = (horizon / slot_len).ceil() as usize;
+        let nx = deepod_tensor::ceil_count((max.x - min.x) / cell).max(1);
+        let ny = deepod_tensor::ceil_count((max.y - min.y) / cell).max(1);
+        let num_slots = deepod_tensor::ceil_count(horizon / slot_len);
         SpeedMatrixBuilder {
             min,
             cell,
@@ -70,14 +70,22 @@ impl SpeedMatrixBuilder {
         let cells = self.nx * self.ny;
         let global_sum: f64 = self.sums.iter().sum();
         let global_cnt: u32 = self.counts.iter().sum();
-        let global_avg = if global_cnt > 0 { global_sum / global_cnt as f64 } else { 10.0 };
+        let global_avg = if global_cnt > 0 {
+            global_sum / global_cnt as f64
+        } else {
+            10.0
+        };
 
         let mut matrices = Vec::with_capacity(self.num_slots);
         for s in 0..self.num_slots {
             let base = s * cells;
             let slot_sum: f64 = self.sums[base..base + cells].iter().sum();
             let slot_cnt: u32 = self.counts[base..base + cells].iter().sum();
-            let slot_avg = if slot_cnt > 0 { slot_sum / slot_cnt as f64 } else { global_avg };
+            let slot_avg = if slot_cnt > 0 {
+                slot_sum / slot_cnt as f64
+            } else {
+                global_avg
+            };
             let mut data = Vec::with_capacity(cells);
             for c in 0..cells {
                 let v = if self.counts[base + c] > 0 {
@@ -89,7 +97,12 @@ impl SpeedMatrixBuilder {
             }
             matrices.push(Tensor::from_vec(data, &[self.ny, self.nx]));
         }
-        SpeedMatrixStore { slot_len: self.slot_len, matrices, nx: self.nx, ny: self.ny }
+        SpeedMatrixStore {
+            slot_len: self.slot_len,
+            matrices,
+            nx: self.nx,
+            ny: self.ny,
+        }
     }
 }
 
@@ -106,7 +119,11 @@ impl SpeedMatrixStore {
     /// The matrix nearest *before* time `t` (the paper picks the closest
     /// matrix before the departure time). Clamps to the covered range.
     pub fn nearest_before(&self, t: f64) -> &Tensor {
-        let slot = if t <= 0.0 { 0 } else { (t / self.slot_len) as usize };
+        let slot = if t <= 0.0 {
+            0
+        } else {
+            (t / self.slot_len) as usize
+        };
         &self.matrices[slot.min(self.matrices.len() - 1)]
     }
 
@@ -165,7 +182,11 @@ mod tests {
         b.observe(&p, 1e9, 99.0);
         let store = b.build();
         // No observation landed: all cells fall back to the default.
-        assert!(store.nearest_before(0.0).as_slice().iter().all(|&v| (v - 10.0).abs() < 1e-4));
+        assert!(store
+            .nearest_before(0.0)
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 10.0).abs() < 1e-4));
     }
 
     #[test]

@@ -76,8 +76,11 @@ impl WeatherProcess {
     /// with high probability) and drifts between neighboring severities,
     /// which mimics real multi-hour weather episodes.
     pub fn sample(horizon: f64, period: f64, rng: &mut StdRng) -> Self {
-        assert!(period > 0.0 && horizon > 0.0, "invalid weather horizon/period");
-        let n = (horizon / period).ceil() as usize + 1;
+        assert!(
+            period > 0.0 && horizon > 0.0,
+            "invalid weather horizon/period"
+        );
+        let n = deepod_tensor::ceil_count(horizon / period) + 1;
         let mut samples = Vec::with_capacity(n);
         let mut state: i32 = rng.gen_range(0..4); // start benign
         for _ in 0..n {
@@ -98,13 +101,20 @@ impl WeatherProcess {
 
     /// A constant-clear process (unit tests, ablations with weather off).
     pub fn constant_clear(horizon: f64, period: f64) -> Self {
-        let n = (horizon / period).ceil() as usize + 1;
-        WeatherProcess { period, samples: vec![WeatherType(0); n] }
+        let n = deepod_tensor::ceil_count(horizon / period) + 1;
+        WeatherProcess {
+            period,
+            samples: vec![WeatherType(0); n],
+        }
     }
 
     /// Weather at absolute time `t` (clamped to the sampled horizon).
     pub fn at(&self, t: f64) -> WeatherType {
-        let i = if t <= 0.0 { 0 } else { (t / self.period) as usize };
+        let i = if t <= 0.0 {
+            0
+        } else {
+            (t / self.period) as usize
+        };
         self.samples[i.min(self.samples.len() - 1)]
     }
 

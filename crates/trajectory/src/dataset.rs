@@ -6,7 +6,9 @@
 use crate::simulate::{OrderSimulator, SimConfig};
 use crate::types::TaxiOrder;
 use deepod_roadnet::{CityConfig, CityProfile, RoadNetwork};
-use deepod_traffic::{CongestionModel, IncidentModel, TrafficModel, WeatherProcess, SECONDS_PER_DAY};
+use deepod_traffic::{
+    CongestionModel, IncidentModel, TrafficModel, WeatherProcess, SECONDS_PER_DAY,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which split a record belongs to.
@@ -168,7 +170,14 @@ impl DatasetBuilder {
             }
         }
 
-        CityDataset { net, traffic, train, validation, test, config: cfg.clone() }
+        CityDataset {
+            net,
+            traffic,
+            train,
+            validation,
+            test,
+            config: cfg.clone(),
+        }
     }
 }
 
@@ -188,7 +197,10 @@ mod tests {
         let train_end = cfg.train_days as f64 * SECONDS_PER_DAY;
         assert!(ds.train.iter().all(|o| o.od.depart < train_end));
         let val_end = (cfg.train_days + cfg.val_days) as f64 * SECONDS_PER_DAY;
-        assert!(ds.validation.iter().all(|o| (train_end..val_end).contains(&o.od.depart)));
+        assert!(ds
+            .validation
+            .iter()
+            .all(|o| (train_end..val_end).contains(&o.od.depart)));
         assert!(ds.test.iter().all(|o| o.od.depart >= val_end));
     }
 

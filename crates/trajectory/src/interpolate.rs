@@ -21,9 +21,16 @@ pub fn interpolate_intervals(
     edges: &[EdgeId],
     assignment: &[usize],
 ) -> Vec<SpatioTemporalStep> {
-    assert_eq!(raw.points.len(), assignment.len(), "assignment length mismatch");
+    assert_eq!(
+        raw.points.len(),
+        assignment.len(),
+        "assignment length mismatch"
+    );
     assert!(!edges.is_empty(), "empty edge sequence");
-    debug_assert!(assignment.windows(2).all(|w| w[0] <= w[1]), "assignment not monotone");
+    debug_assert!(
+        assignment.windows(2).all(|w| w[0] <= w[1]),
+        "assignment not monotone"
+    );
 
     let t_start = raw.points.first().map(|p| p.t).unwrap_or(0.0);
     let t_end = raw.points.last().map(|p| p.t).unwrap_or(0.0);
@@ -71,8 +78,16 @@ pub fn interpolate_intervals(
     let mut steps = Vec::with_capacity(edges.len());
     let mut enter = t_start;
     for (k, &e) in edges.iter().enumerate() {
-        let exit = if k < boundaries.len() { boundaries[k] } else { t_end };
-        steps.push(SpatioTemporalStep { edge: e, enter, exit });
+        let exit = if k < boundaries.len() {
+            boundaries[k]
+        } else {
+            t_end
+        };
+        steps.push(SpatioTemporalStep {
+            edge: e,
+            enter,
+            exit,
+        });
         enter = exit;
     }
     steps
@@ -96,7 +111,10 @@ mod tests {
     }
 
     fn pt(x: f64, t: f64) -> RawGpsPoint {
-        RawGpsPoint { pos: Point::new(x, 0.0), t }
+        RawGpsPoint {
+            pos: Point::new(x, 0.0),
+            t,
+        }
     }
 
     #[test]
@@ -104,7 +122,9 @@ mod tests {
         let (net, edges) = line_net();
         // Points at x = 50 (t=0, edge 0) and x = 150 (t=10, edge 1): the
         // boundary at x = 100 is equidistant → crossing at t = 5.
-        let raw = RawTrajectory { points: vec![pt(50.0, 0.0), pt(150.0, 10.0)] };
+        let raw = RawTrajectory {
+            points: vec![pt(50.0, 0.0), pt(150.0, 10.0)],
+        };
         let steps = interpolate_intervals(&net, &raw, &edges, &[0, 1]);
         assert_eq!(steps.len(), 2);
         assert!((steps[0].exit - 5.0).abs() < 1e-9);
@@ -118,7 +138,9 @@ mod tests {
         let (net, edges) = line_net();
         // Point at x = 90 (10 m before boundary) and x = 130 (30 m after):
         // crossing at t = 0 + 10/(10+30) * 8 = 2.
-        let raw = RawTrajectory { points: vec![pt(90.0, 0.0), pt(130.0, 8.0)] };
+        let raw = RawTrajectory {
+            points: vec![pt(90.0, 0.0), pt(130.0, 8.0)],
+        };
         let steps = interpolate_intervals(&net, &raw, &edges, &[0, 1]);
         assert!((steps[0].exit - 2.0).abs() < 1e-9);
     }
@@ -127,7 +149,13 @@ mod tests {
     fn many_points_per_edge() {
         let (net, edges) = line_net();
         let raw = RawTrajectory {
-            points: vec![pt(10.0, 0.0), pt(60.0, 4.0), pt(95.0, 8.0), pt(110.0, 10.0), pt(190.0, 20.0)],
+            points: vec![
+                pt(10.0, 0.0),
+                pt(60.0, 4.0),
+                pt(95.0, 8.0),
+                pt(110.0, 10.0),
+                pt(190.0, 20.0),
+            ],
         };
         let steps = interpolate_intervals(&net, &raw, &edges, &[0, 0, 0, 1, 1]);
         // Crossing between t=8 (5 m away) and t=10 (10 m away): 8 + 2*5/15.
@@ -138,7 +166,9 @@ mod tests {
     #[test]
     fn degenerate_all_points_on_first_edge() {
         let (net, edges) = line_net();
-        let raw = RawTrajectory { points: vec![pt(10.0, 0.0), pt(50.0, 10.0)] };
+        let raw = RawTrajectory {
+            points: vec![pt(10.0, 0.0), pt(50.0, 10.0)],
+        };
         let steps = interpolate_intervals(&net, &raw, &edges, &[0, 0]);
         assert_eq!(steps.len(), 2);
         // Uniform fallback puts the boundary mid-trace.
@@ -151,7 +181,9 @@ mod tests {
     fn monotonicity_enforced_under_noise() {
         let (net, edges) = line_net();
         // Badly noisy: second point apparently *behind* the first.
-        let raw = RawTrajectory { points: vec![pt(99.0, 0.0), pt(101.0, 0.1), pt(190.0, 20.0)] };
+        let raw = RawTrajectory {
+            points: vec![pt(99.0, 0.0), pt(101.0, 0.1), pt(190.0, 20.0)],
+        };
         let steps = interpolate_intervals(&net, &raw, &edges, &[0, 1, 1]);
         assert!(steps[0].exit >= steps[0].enter);
         assert!(steps[1].exit >= steps[1].enter);

@@ -12,9 +12,7 @@
 
 use crate::interpolate::interpolate_intervals;
 use crate::types::{MatchedTrajectory, RawTrajectory};
-use deepod_roadnet::{
-    dijkstra_shortest_path, EdgeId, RoadNetwork, SegmentProjection, SpatialGrid,
-};
+use deepod_roadnet::{dijkstra_shortest_path, EdgeId, RoadNetwork, SegmentProjection, SpatialGrid};
 use serde::{Deserialize, Serialize};
 
 /// Map-matching parameters.
@@ -93,10 +91,12 @@ impl<'a> HmmMapMatcher<'a> {
 
         // Thin dense traces (keeping first and last points).
         let mut kept: Vec<usize> = vec![0];
+        let mut last_kept = 0usize;
         for i in 1..raw.points.len() - 1 {
-            let last = &raw.points[*kept.last().unwrap()];
+            let last = &raw.points[last_kept];
             if raw.points[i].pos.dist(&last.pos) >= self.cfg.min_point_spacing {
                 kept.push(i);
+                last_kept = i;
             }
         }
         kept.push(raw.points.len() - 1);
@@ -111,7 +111,11 @@ impl<'a> HmmMapMatcher<'a> {
                 .into_iter()
                 .map(|(edge, proj)| {
                     let z = proj.distance / self.cfg.sigma;
-                    Candidate { edge, proj, emission_logp: -0.5 * z * z }
+                    Candidate {
+                        edge,
+                        proj,
+                        emission_logp: -0.5 * z * z,
+                    }
                 })
                 .collect();
             if cands.is_empty() {
@@ -128,8 +132,10 @@ impl<'a> HmmMapMatcher<'a> {
         back.push(vec![0; all_cands[0].len()]);
 
         for step in 1..n {
-            let gps_dist =
-                raw.points[kept[step]].pos.dist(&raw.points[kept[step - 1]].pos).max(1.0);
+            let gps_dist = raw.points[kept[step]]
+                .pos
+                .dist(&raw.points[kept[step - 1]].pos)
+                .max(1.0);
             let mut row = vec![f64::NEG_INFINITY; all_cands[step].len()];
             let mut brow = vec![0usize; all_cands[step].len()];
             for (j, cj) in all_cands[step].iter().enumerate() {
@@ -179,20 +185,17 @@ impl<'a> HmmMapMatcher<'a> {
         let mut assignment_kept: Vec<usize> = Vec::with_capacity(n);
         for (step, &jc) in chosen.iter().enumerate() {
             let e = all_cands[step][jc].edge;
-            if edges.is_empty() {
-                edges.push(e);
-            } else if *edges.last().unwrap() != e {
-                let last = *edges.last().unwrap();
-                if self.net.edges_are_consecutive(last, e) {
-                    edges.push(e);
-                } else {
+            match edges.last().copied() {
+                None => edges.push(e),
+                Some(last) if last == e => {}
+                Some(last) if self.net.edges_are_consecutive(last, e) => edges.push(e),
+                Some(last) => {
                     let net = self.net;
-                    let gap = dijkstra_shortest_path(
-                        net,
-                        net.edge(last).to,
-                        net.edge(e).from,
-                        |x| net.edge(x).length,
-                    )?;
+                    let gap =
+                        dijkstra_shortest_path(net, net.edge(last).to, net.edge(e).from, |x| {
+                            net.edge(x).length
+                        })
+                        .ok()?;
                     for ge in gap.edges {
                         edges.push(ge);
                     }
@@ -207,12 +210,18 @@ impl<'a> HmmMapMatcher<'a> {
         for (w, pair) in kept.windows(2).enumerate() {
             assignment[pair[0]..pair[1]].fill(assignment_kept[w]);
         }
-        assignment[raw.points.len() - 1] = *assignment_kept.last().unwrap();
+        if let Some(&last_assign) = assignment_kept.last() {
+            assignment[raw.points.len() - 1] = last_assign;
+        }
 
         let path = interpolate_intervals(self.net, raw, &edges, &assignment);
         let r_start = all_cands[0][chosen[0]].proj.t;
         let r_end = 1.0 - all_cands[n - 1][chosen[n - 1]].proj.t;
-        Some(MatchedTrajectory { path, r_start, r_end })
+        Some(MatchedTrajectory {
+            path,
+            r_start,
+            r_end,
+        })
     }
 }
 
@@ -221,8 +230,8 @@ mod tests {
     use super::*;
     use crate::simulate::{sample_gps, GpsNoise, OrderSimulator, SimConfig};
     use deepod_roadnet::{CityConfig, CityProfile};
-    use deepod_traffic::{CongestionModel, TrafficModel, WeatherProcess, SECONDS_PER_WEEK};
     use deepod_tensor::rng_from_seed;
+    use deepod_traffic::{CongestionModel, TrafficModel, WeatherProcess, SECONDS_PER_WEEK};
 
     #[test]
     fn recovers_simulated_routes() {
@@ -241,8 +250,16 @@ mod tests {
         let mut jaccard_sum = 0.0;
         let mut matched = 0;
         for o in &orders {
-            let raw = sample_gps(&net, &o.trajectory, 3.0, GpsNoise { sigma: 6.0 }, &mut gps_rng);
-            let Some(m) = matcher.match_trajectory(&raw) else { continue };
+            let raw = sample_gps(
+                &net,
+                &o.trajectory,
+                3.0,
+                GpsNoise { sigma: 6.0 },
+                &mut gps_rng,
+            );
+            let Some(m) = matcher.match_trajectory(&raw) else {
+                continue;
+            };
             matched += 1;
             m.validate().expect("matched trajectory invalid");
             // Edge-set overlap with ground truth.

@@ -9,10 +9,10 @@
 //! does (the paper's Fig. 1 motivation). Per-segment traversal times are
 //! integrated from the ground-truth traffic model.
 
-use crate::types::{MatchedTrajectory, OdInput, RawGpsPoint, RawTrajectory, SpatioTemporalStep, TaxiOrder};
-use deepod_roadnet::{
-    time_dependent_route, EdgeId, NodeId, Point, RoadNetwork, SpatialGrid,
+use crate::types::{
+    MatchedTrajectory, OdInput, RawGpsPoint, RawTrajectory, SpatioTemporalStep, TaxiOrder,
 };
+use deepod_roadnet::{time_dependent_route, EdgeId, NodeId, Point, RoadNetwork, SpatialGrid};
 use deepod_traffic::{TrafficModel, SECONDS_PER_DAY};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -79,12 +79,17 @@ impl<'a> OrderSimulator<'a> {
         let mut rng = deepod_tensor::rng_from_seed(cfg.seed);
         let (min, max) = net.bounding_box();
         let hotspots = (0..cfg.num_hotspots)
-            .map(|_| {
-                Point::new(rng.gen_range(min.x..max.x), rng.gen_range(min.y..max.y))
-            })
+            .map(|_| Point::new(rng.gen_range(min.x..max.x), rng.gen_range(min.y..max.y)))
             .collect();
         let grid = SpatialGrid::build(net, 250.0);
-        OrderSimulator { net, traffic, grid, hotspots, cfg, rng }
+        OrderSimulator {
+            net,
+            traffic,
+            grid,
+            hotspots,
+            cfg,
+            rng,
+        }
     }
 
     /// The spatial grid (shared with map matching in tests).
@@ -96,13 +101,19 @@ impl<'a> OrderSimulator<'a> {
         let (min, max) = self.net.bounding_box();
         if self.rng.gen_bool(self.cfg.hotspot_prob) && !self.hotspots.is_empty() {
             let h = self.hotspots[self.rng.gen_range(0..self.hotspots.len())];
-            let n = Normal::new(0.0, self.cfg.hotspot_sigma).unwrap();
+            let sigma = self.cfg.hotspot_sigma.max(0.0);
+            let Ok(n) = Normal::new(0.0, sigma) else {
+                unreachable!("Normal::new cannot fail for clamped sigma {sigma}")
+            };
             Point::new(
                 (h.x + n.sample(&mut self.rng)).clamp(min.x, max.x),
                 (h.y + n.sample(&mut self.rng)).clamp(min.y, max.y),
             )
         } else {
-            Point::new(self.rng.gen_range(min.x..max.x), self.rng.gen_range(min.y..max.y))
+            Point::new(
+                self.rng.gen_range(min.x..max.x),
+                self.rng.gen_range(min.y..max.y),
+            )
         }
     }
 
@@ -147,7 +158,7 @@ impl<'a> OrderSimulator<'a> {
         let noise = self.cfg.route_noise;
         let driver_salt: u64 = self.rng.gen();
         let perturb = move |e: EdgeId| -> f64 {
-            if noise == 0.0 {
+            if noise <= 0.0 {
                 return 1.0;
             }
             // Cheap deterministic hash -> [1-noise, 1+noise].
@@ -160,7 +171,8 @@ impl<'a> OrderSimulator<'a> {
         let traffic = self.traffic;
         let mid_route = time_dependent_route(net, from, to, depart, |e, t| {
             traffic.traversal_time(net, e, t) * perturb(e)
-        })?;
+        })
+        .ok()?;
 
         // Assemble full edge sequence: origin edge, middle, destination edge.
         let mut edges = Vec::with_capacity(mid_route.edges.len() + 2);
@@ -186,7 +198,11 @@ impl<'a> OrderSimulator<'a> {
                 1.0
             };
             let dt = full * frac.clamp(0.02, 1.0);
-            path.push(SpatioTemporalStep { edge: e, enter: now, exit: now + dt });
+            path.push(SpatioTemporalStep {
+                edge: e,
+                enter: now,
+                exit: now + dt,
+            });
             dist += self.net.edge(e).length * frac.clamp(0.02, 1.0);
             now += dt;
         }
@@ -200,11 +216,20 @@ impl<'a> OrderSimulator<'a> {
         let r_start = opr.t;
         let r_end = 1.0 - dpr.t;
 
-        let trajectory = MatchedTrajectory { path, r_start, r_end };
+        let trajectory = MatchedTrajectory {
+            path,
+            r_start,
+            r_end,
+        };
         let travel_time = trajectory.travel_time();
         let weather = self.traffic.weather().at(depart);
         Some(TaxiOrder {
-            od: OdInput { origin, destination, depart, weather },
+            od: OdInput {
+                origin,
+                destination,
+                depart,
+                weather,
+            },
             trajectory,
             travel_time,
         })
@@ -238,7 +263,10 @@ pub fn sample_gps(
     let mut points = Vec::new();
     let start = traj.path.first().map(|s| s.enter).unwrap_or(0.0);
     let end = traj.path.last().map(|s| s.exit).unwrap_or(0.0);
-    let n = Normal::new(0.0, noise.sigma.max(0.0)).unwrap();
+    let sigma = noise.sigma.max(0.0);
+    let Ok(n) = Normal::new(0.0, sigma) else {
+        unreachable!("Normal::new cannot fail for clamped sigma {sigma}")
+    };
     let mut t = start;
     let mut step_idx = 0;
     while t <= end + 1e-9 {
@@ -264,8 +292,8 @@ pub fn sample_gps(
 mod tests {
     use super::*;
     use deepod_roadnet::{CityConfig, CityProfile};
-    use deepod_traffic::{CongestionModel, WeatherProcess, SECONDS_PER_WEEK};
     use deepod_tensor::rng_from_seed;
+    use deepod_traffic::{CongestionModel, WeatherProcess, SECONDS_PER_WEEK};
 
     fn setup() -> (RoadNetwork, TrafficModel) {
         let net = CityConfig::profile(CityProfile::SynthChengdu).generate();
@@ -297,9 +325,11 @@ mod tests {
     #[test]
     fn rush_hour_orders_slower_on_average() {
         let (net, tm) = setup();
-        let mut cfg = SimConfig::default();
-        cfg.route_noise = 0.0;
-        cfg.hotspot_prob = 0.0;
+        let cfg = SimConfig {
+            route_noise: 0.0,
+            hotspot_prob: 0.0,
+            ..SimConfig::default()
+        };
         let mut sim = OrderSimulator::new(&net, &tm, cfg);
         // Manufacture matched OD pairs at 8am vs 3am of day 1 by sampling
         // many orders and comparing normalized speed (dist / time).
@@ -312,8 +342,12 @@ mod tests {
             if day >= 5 {
                 continue;
             }
-            let dist: f64 =
-                o.trajectory.edges().iter().map(|&e| net.edge(e).length).sum();
+            let dist: f64 = o
+                .trajectory
+                .edges()
+                .iter()
+                .map(|&e| net.edge(e).length)
+                .sum();
             let v = dist / o.travel_time;
             if (7.0..9.5).contains(&hour) {
                 rush_speed.push(v);
@@ -337,8 +371,8 @@ mod tests {
         // The Fig. 1 motivation: identical OD, different departure hour →
         // different travel time on congested networks.
         let (net, tm) = setup();
-        let from = deepod_roadnet::NodeId(5);
-        let to = deepod_roadnet::NodeId((net.num_nodes() - 5) as u32);
+        let from = NodeId(5);
+        let to = NodeId((net.num_nodes() - 5) as u32);
         let route_at = |depart: f64| {
             time_dependent_route(&net, from, to, depart, |e, t| tm.traversal_time(&net, e, t))
                 .expect("routable")
@@ -363,8 +397,13 @@ mod tests {
             .next()
             .expect("one order");
         let mut rng = rng_from_seed(1);
-        let raw =
-            sample_gps(&net, &order.trajectory, 3.0, GpsNoise { sigma: 5.0 }, &mut rng);
+        let raw = sample_gps(
+            &net,
+            &order.trajectory,
+            3.0,
+            GpsNoise { sigma: 5.0 },
+            &mut rng,
+        );
         assert!(raw.points.len() as f64 >= order.travel_time / 3.0 - 2.0);
         // Duration of the GPS trace ≈ travel time.
         assert!((raw.duration() - order.travel_time).abs() <= 3.0 + 1e-6);

@@ -32,7 +32,10 @@ impl RawTrajectory {
 
     /// Sum of straight-line distances between consecutive fixes.
     pub fn approx_length(&self) -> f64 {
-        self.points.windows(2).map(|w| w[0].pos.dist(&w[1].pos)).sum()
+        self.points
+            .windows(2)
+            .map(|w| w[0].pos.dist(&w[1].pos))
+            .sum()
     }
 }
 
@@ -91,7 +94,10 @@ impl MatchedTrajectory {
             return Err("empty spatio-temporal path".into());
         }
         if !(0.0..=1.0).contains(&self.r_start) || !(0.0..=1.0).contains(&self.r_end) {
-            return Err(format!("ratios out of range: {} / {}", self.r_start, self.r_end));
+            return Err(format!(
+                "ratios out of range: {} / {}",
+                self.r_start, self.r_end
+            ));
         }
         for (i, s) in self.path.iter().enumerate() {
             if s.exit < s.enter {
@@ -139,16 +145,29 @@ mod tests {
     use super::*;
 
     fn step(e: u32, a: f64, b: f64) -> SpatioTemporalStep {
-        SpatioTemporalStep { edge: EdgeId(e), enter: a, exit: b }
+        SpatioTemporalStep {
+            edge: EdgeId(e),
+            enter: a,
+            exit: b,
+        }
     }
 
     #[test]
     fn raw_trajectory_stats() {
         let t = RawTrajectory {
             points: vec![
-                RawGpsPoint { pos: Point::new(0.0, 0.0), t: 100.0 },
-                RawGpsPoint { pos: Point::new(30.0, 40.0), t: 110.0 },
-                RawGpsPoint { pos: Point::new(30.0, 100.0), t: 125.0 },
+                RawGpsPoint {
+                    pos: Point::new(0.0, 0.0),
+                    t: 100.0,
+                },
+                RawGpsPoint {
+                    pos: Point::new(30.0, 40.0),
+                    t: 110.0,
+                },
+                RawGpsPoint {
+                    pos: Point::new(30.0, 100.0),
+                    t: 125.0,
+                },
             ],
         };
         assert_eq!(t.duration(), 25.0);
@@ -170,15 +189,25 @@ mod tests {
 
     #[test]
     fn validation_catches_violations() {
-        let empty = MatchedTrajectory { path: vec![], r_start: 0.0, r_end: 0.0 };
+        let empty = MatchedTrajectory {
+            path: vec![],
+            r_start: 0.0,
+            r_end: 0.0,
+        };
         assert!(empty.validate().is_err());
 
-        let bad_ratio =
-            MatchedTrajectory { path: vec![step(0, 0.0, 1.0)], r_start: 1.5, r_end: 0.0 };
+        let bad_ratio = MatchedTrajectory {
+            path: vec![step(0, 0.0, 1.0)],
+            r_start: 1.5,
+            r_end: 0.0,
+        };
         assert!(bad_ratio.validate().is_err());
 
-        let backwards =
-            MatchedTrajectory { path: vec![step(0, 5.0, 1.0)], r_start: 0.0, r_end: 0.0 };
+        let backwards = MatchedTrajectory {
+            path: vec![step(0, 5.0, 1.0)],
+            r_start: 0.0,
+            r_end: 0.0,
+        };
         assert!(backwards.validate().is_err());
 
         let gap = MatchedTrajectory {

@@ -1,0 +1,47 @@
+//! Fixture: idiomatic code that must produce ZERO findings — library code
+//! using typed errors and tolerances, plus test code using the unwrap
+//! style that is fine in tests, plus explicit allow directives.
+
+/// Library code: typed errors, tolerant comparison, checked index math.
+pub fn checked(v: &[f32], i: usize) -> Result<f32, String> {
+    let x = v.get(i).copied().ok_or_else(|| format!("index {i} out of range"))?;
+    if (x - 1.0).abs() < 1e-6 {
+        return Ok(1.0);
+    }
+    let n = v.len() as f64; // widening cast: fine
+    let _ranged = 0..v.len(); // `0..` must not lex as a float
+    Ok(x + n as f32)
+}
+
+/// An audited exact-zero check, explicitly allowed.
+pub fn is_disabled(noise: f32) -> bool {
+    noise == 0.0 // deepod-lint: allow(float-eq)
+}
+
+/// Strings and comments mentioning unwrap() or panic! must not fire.
+pub fn doc_mentions() -> &'static str {
+    // A comment saying .unwrap() and panic! is not a call site.
+    "call .unwrap() or panic! at your peril"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_compare_exactly() {
+        let v = [0.5f32, 1.0];
+        assert_eq!(checked(&v, 1).unwrap(), 1.0);
+        let exact = v[0] == 0.5;
+        assert!(exact);
+        let t = std::time::Instant::now(); // timing in tests is fine
+        let _ = t;
+        std::mem::drop(v.first().expect("non-empty"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tests_may_panic() {
+        panic!("intentional");
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a seeded `expect` violation in library code.
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("not a number")
+}

@@ -1,0 +1,5 @@
+//! Fixture: seeded exact float comparisons.
+
+pub fn is_unit(x: f32, y: f32) -> bool {
+    x == 1.0 || 0.0 != y
+}

@@ -1,0 +1,11 @@
+//! Fixture: seeded nondeterminism sources (lint as a numeric crate).
+
+pub fn jitter() -> u128 {
+    let t = std::time::Instant::now();
+    let epoch = std::time::SystemTime::UNIX_EPOCH;
+    let _ = epoch;
+    let mut rng = rand::thread_rng();
+    let seeded = rand::rngs::StdRng::from_entropy();
+    let _ = (rng, seeded);
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+//! Fixture: seeded `panic!` / `todo!` violations in library code.
+
+pub fn choose(mode: u8) -> u32 {
+    match mode {
+        0 => 1,
+        1 => todo!("implement mode 1"),
+        _ => panic!("unknown mode"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: a stand-in `parallel` module whose pub fns lack serial
+//! regression tests (drives the `parallel-coverage` rule).
+
+pub fn fan_out(len: usize) -> usize {
+    len
+}
+
+pub fn fold_back(len: usize) -> usize {
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_out_threads1_matches_serial() {}
+    // fold_back intentionally has no serial test.
+}

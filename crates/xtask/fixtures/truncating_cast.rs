@@ -1,0 +1,13 @@
+//! Fixture: seeded truncating float-to-index casts.
+
+pub fn slot(t: f64, dt: f64) -> usize {
+    (t / dt).floor() as usize
+}
+
+pub fn half() -> usize {
+    2.5 as usize
+}
+
+pub fn chained(x: u64) -> u32 {
+    x as f64 as u32
+}

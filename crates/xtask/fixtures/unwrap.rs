@@ -1,0 +1,5 @@
+//! Fixture: a seeded `unwrap` violation in library code.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

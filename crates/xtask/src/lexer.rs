@@ -1,0 +1,432 @@
+//! A minimal hand-rolled Rust lexer for `deepod-lint`.
+//!
+//! The linter's rules are token-level patterns (`.unwrap()` call sites,
+//! float literals next to `==`, `as usize` after a float-producing call),
+//! so a full parser is unnecessary — but a naive regex over source text is
+//! not enough either: `unwrap` inside a string literal or a doc comment
+//! must not fire. This lexer produces a faithful token stream that skips
+//! comments and strings while still *reading* comments, because trailing
+//! `// deepod-lint: allow(<rule>)` directives are the suppression
+//! mechanism (see DESIGN.md §7).
+//!
+//! Deliberately unsupported (not used in this workspace): byte-string
+//! escapes beyond `\"`/`\\` fidelity (contents are discarded anyway) and
+//! nested generic disambiguation (a token-level linter never needs it).
+
+use std::collections::{HashMap, HashSet};
+
+/// Token classification, as coarse as the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Float literal (has a fractional part, exponent, or f32/f64 suffix).
+    Float,
+    /// String literal of any flavor (contents discarded).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Any operator or delimiter, multi-character ops kept whole (`==`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Coarse kind.
+    pub kind: TokKind,
+    /// Source text (empty for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the given punctuation string.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// True when the token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A lexed source file: the token stream plus the `deepod-lint:
+/// allow(...)` directives harvested from comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Lines (1-based) on which each rule is suppressed. A directive
+    /// comment suppresses its own line *and* the following line, so both
+    /// trailing and standalone-line-above placements work.
+    pub allows: HashMap<u32, HashSet<String>>,
+}
+
+/// Records an allow directive found in a comment at `line`.
+fn record_allows(allows: &mut HashMap<u32, HashSet<String>>, comment: &str, line: u32) {
+    let Some(pos) = comment.find("deepod-lint:") else {
+        return;
+    };
+    let rest = &comment[pos + "deepod-lint:".len()..];
+    let rest = rest.trim_start();
+    let Some(list) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(end) = list.find(')') else { return };
+    for rule in list[..end].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            allows.entry(line).or_default().insert(rule.to_string());
+            allows.entry(line + 1).or_default().insert(rule.to_string());
+        }
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unknown bytes become
+/// single-character punctuation so the linter degrades gracefully on
+/// exotic input instead of crashing the gate.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    // Multi-character operators, longest first so `..=` wins over `..`.
+    const PUNCTS: [&str; 24] = [
+        "..=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "->", "=>", "::", "..", "&&", "||",
+        "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>",
+    ];
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            record_allows(&mut out.allows, &text, line);
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 1;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 1;
+                }
+                i += 1;
+            }
+            let text: String = b[start..i.min(n)].iter().collect();
+            record_allows(&mut out.allows, &text, start_line);
+            continue;
+        }
+        // Raw / byte strings: r"...", r#"..."#, b"...", br#"..."#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i + 1;
+            if c == 'b' && j < n && b[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let is_raw = c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r');
+            if j < n && b[j] == '"' && (is_raw || (c == 'b' && hashes == 0)) {
+                let tline = line;
+                if is_raw {
+                    // Scan to closing quote followed by `hashes` hashes.
+                    j += 1;
+                    'raw: while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        if b[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                } else {
+                    // b"..." — ordinary escape rules.
+                    j += 1;
+                    while j < n && b[j] != '"' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        } else if b[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tline,
+                });
+                i = j;
+                continue;
+            }
+            // else: fall through — it is an ordinary identifier.
+        }
+        if c == '"' {
+            let tline = line;
+            i += 1;
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' {
+                    i += 1;
+                } else if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: tline,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime or char literal. `'a` (lifetime) vs `'a'` (char).
+            let is_char = if i + 1 < n && b[i + 1] == '\\' {
+                true
+            } else if i + 1 < n && (b[i + 1].is_alphanumeric() || b[i + 1] == '_') {
+                i + 2 < n && b[i + 2] == '\''
+            } else {
+                true // e.g. '(' — only valid as a char literal
+            };
+            if is_char {
+                let tline = line;
+                i += 1;
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: tline,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut kind = TokKind::Int;
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part — but not `..` (range) and not `.method()`.
+                if i < n && b[i] == '.' {
+                    let next = b.get(i + 1).copied().unwrap_or(' ');
+                    if next.is_ascii_digit() {
+                        kind = TokKind::Float;
+                        i += 1;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    } else if next != '.' && !next.is_alphabetic() && next != '_' {
+                        kind = TokKind::Float; // `1.` with nothing after
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < n
+                    && (b[i] == 'e' || b[i] == 'E')
+                    && b.get(i + 1).is_some_and(|&d| {
+                        d.is_ascii_digit()
+                            || ((d == '+' || d == '-')
+                                && b.get(i + 2).is_some_and(|e| e.is_ascii_digit()))
+                    })
+                {
+                    kind = TokKind::Float;
+                    i += 2;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Type suffix (`1f32`, `1_u64`).
+                let suffix_start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let suffix: String = b[suffix_start..i].iter().collect();
+                if suffix.contains("f32") || suffix.contains("f64") {
+                    kind = TokKind::Float;
+                }
+            }
+            out.tokens.push(Token {
+                kind,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Punctuation: longest known multi-char operator first.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if i + pc.len() <= n && b[i..i + pc.len()] == pc[..] {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: p.to_string(),
+                    line,
+                });
+                i += pc.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_and_ops() {
+        let ts = kinds("let x = a.unwrap() == 0.5;");
+        assert!(ts.contains(&(TokKind::Ident, "unwrap".into())));
+        assert!(ts.contains(&(TokKind::Punct, "==".into())));
+        assert!(ts.contains(&(TokKind::Float, "0.5".into())));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let ts = kinds("for i in 0..10 {}");
+        assert!(ts.contains(&(TokKind::Int, "0".into())));
+        assert!(ts.contains(&(TokKind::Punct, "..".into())));
+        assert!(!ts.iter().any(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn float_suffix_and_exponent() {
+        let ts = kinds("1f32 2e3 4_000.5");
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Float).count(), 3);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let ts = kinds("\"x.unwrap()\" // y.unwrap()\n/* z.unwrap() */ ok");
+        assert!(!ts.iter().any(|(_, t)| t == "unwrap"));
+        assert!(ts.contains(&(TokKind::Ident, "ok".into())));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ts = kinds(r###"let s = r#"a "quoted" panic!()"#; done"###);
+        assert!(!ts.iter().any(|(_, t)| t == "panic"));
+        assert!(ts.contains(&(TokKind::Ident, "done".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(ts.contains(&(TokKind::Lifetime, "'a".into())));
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let lx = lex("a\n// deepod-lint: allow(unwrap, float-eq)\nb.unwrap();\n");
+        let l2 = lx.allows.get(&2).unwrap();
+        let l3 = lx.allows.get(&3).unwrap();
+        for rules in [l2, l3] {
+            assert!(rules.contains("unwrap") && rules.contains("float-eq"));
+        }
+        assert!(!lx.allows.contains_key(&1));
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_a_float() {
+        let ts = kinds("let m = 1.max(2);");
+        assert!(ts.contains(&(TokKind::Int, "1".into())));
+        assert!(ts.contains(&(TokKind::Ident, "max".into())));
+    }
+}

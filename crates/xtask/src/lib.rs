@@ -1,0 +1,129 @@
+//! `xtask` — workspace automation for the DeepOD stack.
+//!
+//! The one subcommand that matters is `deepod-lint` (`cargo run -p xtask
+//! -- lint`): a token-level static-analysis pass enforcing the invariants
+//! the data-parallel training contract rests on (DESIGN.md §6–§7):
+//! determinism of the numeric crates, panic-freedom of library hot paths,
+//! numeric hygiene around float comparison and index truncation, and
+//! named serial-equivalence coverage for every parallel primitive.
+//!
+//! The pass is deliberately dependency-free (hand-rolled lexer, `std`
+//! only) so the gate builds in seconds and runs offline.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{check_file, check_parallel_coverage, collect_pub_fns, collect_test_fn_names};
+use rules::{FileCtx, Finding};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// The file `parallel-coverage` is anchored to.
+const PARALLEL_MODULE: &str = "crates/tensor/src/parallel.rs";
+
+/// Directories never scanned: vendored stand-ins are external code, lint
+/// fixtures contain violations *on purpose*, and build output is noise.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable output).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Whether every token of the file counts as test code by location alone.
+fn path_is_test_only(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.ends_with("_test.rs")
+        || rel.ends_with("_tests.rs")
+}
+
+/// Whether the file is a binary entry point (panic-safety rules relax).
+fn path_is_bin(rel: &str) -> bool {
+    rel.contains("/src/bin/") || rel.ends_with("/src/main.rs")
+}
+
+/// Crate directory name for a workspace-relative path like
+/// `crates/tensor/src/ops.rs`.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+/// Lints every crate in the workspace rooted at `root`. Returns all
+/// findings, sorted by path then line. Fails with `Err` only on I/O
+/// problems (unreadable tree), never on lint findings.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    collect_rs_files(&crates_dir, &mut files)?;
+
+    let mut findings = Vec::new();
+    let mut test_names = BTreeSet::new();
+    let mut parallel_pub_fns: Vec<(String, u32)> = Vec::new();
+    let mut parallel_lexed = None;
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path)?;
+        let lexed = lexer::lex(&src);
+        let crate_name = crate_of(&rel).to_string();
+        let ctx = FileCtx::new(
+            &rel,
+            &crate_name,
+            &lexed,
+            path_is_test_only(&rel),
+            path_is_bin(&rel),
+        );
+        check_file(&ctx, &mut findings);
+        collect_test_fn_names(&ctx, &mut test_names);
+        if rel == PARALLEL_MODULE {
+            parallel_pub_fns = collect_pub_fns(&ctx);
+            parallel_lexed = Some(lexed);
+        }
+    }
+
+    if let Some(lexed) = &parallel_lexed {
+        check_parallel_coverage(
+            PARALLEL_MODULE,
+            &parallel_pub_fns,
+            &test_names,
+            lexed,
+            &mut findings,
+        );
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+/// Lints a single file as library code of `crate_name` (fixture-test
+/// entry point; the workspace walk is bypassed).
+pub fn lint_file_as(path: &Path, crate_name: &str) -> std::io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    let lexed = lexer::lex(&src);
+    let rel = path.to_string_lossy().replace('\\', "/");
+    let ctx = FileCtx::new(&rel, crate_name, &lexed, false, false);
+    let mut out = Vec::new();
+    check_file(&ctx, &mut out);
+    Ok(out)
+}

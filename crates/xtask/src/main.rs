@@ -1,0 +1,91 @@
+//! `cargo run -p xtask -- <command>` — workspace automation.
+//!
+//! Commands:
+//!
+//! * `lint [--root DIR]` — run `deepod-lint` over the workspace; exits
+//!   nonzero when any finding survives the allowlist, so `scripts/check.sh`
+//!   fails loudly.
+//! * `rules` — print the rule names (useful when writing an allow
+//!   directive).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+xtask — DeepOD workspace automation
+
+USAGE:
+  cargo run -p xtask -- lint [--root DIR]   run the deepod-lint gate
+  cargo run -p xtask -- rules               list lint rule names
+";
+
+fn workspace_root(argv: &[String]) -> PathBuf {
+    if let Some(i) = argv.iter().position(|a| a == "--root") {
+        if let Some(dir) = argv.get(i + 1) {
+            return PathBuf::from(dir);
+        }
+    }
+    // crates/xtask -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root(&argv[1..]);
+            match xtask::lint_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!(
+                        "deepod-lint: clean ({} rules)",
+                        xtask::rules::ALL_RULES.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    let mut by_rule: Vec<(&str, usize)> = Vec::new();
+                    for rule in xtask::rules::ALL_RULES {
+                        let n = findings.iter().filter(|f| f.rule == rule).count();
+                        if n > 0 {
+                            by_rule.push((rule, n));
+                        }
+                    }
+                    let summary: Vec<String> =
+                        by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+                    eprintln!(
+                        "deepod-lint: {} finding(s) [{}]",
+                        findings.len(),
+                        summary.join(", ")
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("deepod-lint: i/o error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("rules") => {
+            for rule in xtask::rules::ALL_RULES {
+                println!("{rule}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command '{other}'\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! The `deepod-lint` rule set.
+//!
+//! Each rule is a token-level pattern over a [`Lexed`] file plus a
+//! *test mask* (which tokens live inside `#[cfg(test)]` modules, `#[test]`
+//! functions, `tests/` or `benches/` trees). Rules report [`Finding`]s;
+//! a trailing `// deepod-lint: allow(<rule>)` comment on the same line
+//! (or a standalone comment on the line above) suppresses a finding.
+//!
+//! Rules (see DESIGN.md §7 for rationale and how to add one):
+//!
+//! | rule                | what it denies                                       |
+//! |---------------------|------------------------------------------------------|
+//! | `unwrap`            | `.unwrap()` in non-test library code                 |
+//! | `expect`            | `.expect(..)` in non-test library code               |
+//! | `panic`             | `panic!` / `unimplemented!` / `todo!` in non-test    |
+//! | `nondeterminism`    | `Instant::now` / `SystemTime` / `thread_rng` /       |
+//! |                     | `from_entropy` in the numeric crates                 |
+//! | `float-eq`          | `==` / `!=` against a float literal in non-test code |
+//! | `truncating-cast`   | float-producing expression cast straight to an       |
+//! |                     | integer index type                                   |
+//! | `parallel-coverage` | a `pub fn` in `deepod_tensor::parallel` without a    |
+//! |                     | named `*serial*` regression test                     |
+
+use crate::lexer::{Lexed, TokKind, Token};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Crates whose library code must be free of ambient nondeterminism: the
+/// model forward/backward stack and everything it computes with. A wall
+/// clock or OS-entropy RNG anywhere here silently breaks the bit-stable
+/// loss-curve contract from DESIGN.md §6.
+pub const DETERMINISTIC_CRATES: [&str; 4] = ["core", "nn", "tensor", "graphembed"];
+
+/// All rule names, in report order.
+pub const ALL_RULES: [&str; 7] = [
+    "unwrap",
+    "expect",
+    "panic",
+    "nondeterminism",
+    "float-eq",
+    "truncating-cast",
+    "parallel-coverage",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule name (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// A lexed file with the metadata the rules need.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path (display only).
+    pub rel_path: &'a str,
+    /// Crate directory name (`tensor`, `core`, ...).
+    pub crate_name: &'a str,
+    /// Token stream + allow directives.
+    pub lexed: &'a Lexed,
+    /// `test_mask[i]` — token `i` is inside test-only code.
+    pub test_mask: Vec<bool>,
+    /// Binary entry point (`src/bin/*`, `src/main.rs`): exempt from the
+    /// panic-safety rules (a CLI/bench top level may crash with a message)
+    /// but not from determinism or numeric-hygiene rules.
+    pub is_bin: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context, computing the test mask.
+    pub fn new(
+        rel_path: &'a str,
+        crate_name: &'a str,
+        lexed: &'a Lexed,
+        whole_file_is_test: bool,
+        is_bin: bool,
+    ) -> Self {
+        let test_mask = if whole_file_is_test {
+            vec![true; lexed.tokens.len()]
+        } else {
+            compute_test_mask(&lexed.tokens)
+        };
+        FileCtx {
+            rel_path,
+            crate_name,
+            lexed,
+            test_mask,
+            is_bin,
+        }
+    }
+
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.lexed
+            .allows
+            .get(&line)
+            .is_some_and(|s| s.contains(rule))
+    }
+
+    fn push(&self, out: &mut Vec<Finding>, rule: &'static str, line: u32, msg: String) {
+        if !self.allowed(rule, line) {
+            out.push(Finding {
+                rule,
+                path: self.rel_path.to_string(),
+                line,
+                msg,
+            });
+        }
+    }
+}
+
+/// Marks tokens that live inside test-only code: the body of any item
+/// annotated `#[test]` (any attribute path ending in `test`, so
+/// `#[tokio::test]`-style wrappers count) or `#[cfg(test)]` /
+/// `#[cfg_attr(..., test)]`. `#[cfg(not(test))]` does *not* count.
+fn compute_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut depth: i32 = 0;
+    let mut test_open_depths: Vec<i32> = Vec::new();
+    let mut pending_test = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("#") && tokens.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            // Scan the attribute to its closing bracket.
+            let mut j = i + 2;
+            let mut bdepth = 1;
+            let mut idents: Vec<&str> = Vec::new();
+            let mut path_idents: Vec<&str> = Vec::new();
+            let mut in_args = false;
+            while j < tokens.len() && bdepth > 0 {
+                let a = &tokens[j];
+                if a.is_punct("[") {
+                    bdepth += 1;
+                } else if a.is_punct("]") {
+                    bdepth -= 1;
+                } else if a.is_punct("(") {
+                    in_args = true;
+                } else if a.kind == TokKind::Ident {
+                    idents.push(&a.text);
+                    if !in_args {
+                        path_idents.push(&a.text);
+                    }
+                }
+                j += 1;
+            }
+            let is_cfg_like = path_idents
+                .first()
+                .is_some_and(|f| *f == "cfg" || *f == "cfg_attr");
+            let mentions_test = idents.contains(&"test");
+            let negated = idents.contains(&"not");
+            let is_test_attr = (is_cfg_like && mentions_test && !negated)
+                || (!is_cfg_like && path_idents.last().is_some_and(|l| *l == "test"));
+            if is_test_attr {
+                pending_test = true;
+            }
+            for m in mask.iter_mut().take(j).skip(i) {
+                *m = *m || !test_open_depths.is_empty();
+            }
+            i = j;
+            continue;
+        }
+        if t.is_punct("{") {
+            depth += 1;
+            if pending_test {
+                test_open_depths.push(depth);
+                pending_test = false;
+            }
+        }
+        mask[i] = !test_open_depths.is_empty() || pending_test;
+        if t.is_punct("}") {
+            if test_open_depths.last() == Some(&depth) {
+                test_open_depths.pop();
+            }
+            depth -= 1;
+        } else if t.is_punct(";") && depth == test_open_depths.last().copied().unwrap_or(0) {
+            // `#[cfg(test)] use ...;` — the item ends before any brace.
+            pending_test = false;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the `(` matching the `)` at `close`, if any.
+fn matching_open(tokens: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        let t = &tokens[j];
+        if t.is_punct(")") {
+            depth += 1;
+        } else if t.is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+const INT_TARGETS: [&str; 10] = [
+    "usize", "isize", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64",
+];
+
+/// Method names that always produce a float: a call to one of these cast
+/// straight to an integer type is a truncation that deserves a bounds
+/// check (or an explicit allow on an audited helper).
+const FLOAT_METHODS: [&str; 10] = [
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "sqrt",
+    "powf",
+    "exp",
+    "ln",
+    "to_degrees",
+    "to_radians",
+];
+
+/// Runs every per-file rule, appending findings to `out`.
+pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let line = t.line;
+
+        // --- panic-safety rules (library code only) ---
+        if !ctx.is_bin {
+            if t.is_ident("unwrap")
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                ctx.push(
+                    out,
+                    "unwrap",
+                    line,
+                    "`.unwrap()` in library code; return a typed error or restructure \
+                     so the invariant is explicit"
+                        .into(),
+                );
+            }
+            if t.is_ident("expect")
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                ctx.push(
+                    out,
+                    "expect",
+                    line,
+                    "`.expect(..)` in library code; return a typed error instead".into(),
+                );
+            }
+            if (t.is_ident("panic") || t.is_ident("unimplemented") || t.is_ident("todo"))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                ctx.push(
+                    out,
+                    "panic",
+                    line,
+                    format!(
+                        "`{}!` in library code; return a typed error instead",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // --- nondeterminism (scoped to the numeric crates) ---
+        if DETERMINISTIC_CRATES.contains(&ctx.crate_name) {
+            let hit = if t.is_ident("Instant")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+            {
+                Some("Instant::now")
+            } else if t.is_ident("SystemTime") {
+                Some("SystemTime")
+            } else if t.is_ident("thread_rng") {
+                Some("thread_rng")
+            } else if t.is_ident("from_entropy") {
+                Some("from_entropy")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                ctx.push(
+                    out,
+                    "nondeterminism",
+                    line,
+                    format!(
+                        "`{what}` in deterministic crate `{}`: model code must be a pure \
+                         function of (input, seed, thread count)",
+                        ctx.crate_name
+                    ),
+                );
+            }
+        }
+
+        // --- float-eq ---
+        if t.is_punct("==") || t.is_punct("!=") {
+            let float_adjacent = (i > 0 && toks[i - 1].kind == TokKind::Float)
+                || toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float);
+            if float_adjacent {
+                ctx.push(
+                    out,
+                    "float-eq",
+                    line,
+                    format!(
+                        "exact float comparison `{}`; use a tolerance, an ordering \
+                         comparison, or an explicit allow for intentional exact-zero tests",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // --- truncating-cast ---
+        if t.is_ident("as")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && INT_TARGETS.contains(&n.text.as_str()))
+            && i > 0
+        {
+            let prev = &toks[i - 1];
+            // Flag `0.5 as usize` and `x as f32 as usize` outright.
+            let float_source = prev.kind == TokKind::Float
+                || (prev.kind == TokKind::Ident
+                    && (prev.text == "f32" || prev.text == "f64")
+                    && i >= 2
+                    && toks[i - 2].is_ident("as"));
+            let flagged = if float_source {
+                true
+            } else if prev.is_punct(")") {
+                // `x.floor() as usize` — the call just before the cast
+                // returns a float.
+                matching_open(toks, i - 1)
+                    .and_then(|open| open.checked_sub(1))
+                    .is_some_and(|k| {
+                        toks[k].kind == TokKind::Ident
+                            && FLOAT_METHODS.contains(&toks[k].text.as_str())
+                    })
+            } else {
+                false
+            };
+            if flagged {
+                ctx.push(
+                    out,
+                    "truncating-cast",
+                    line,
+                    format!(
+                        "float expression cast straight to `{}` truncates silently; route \
+                         index math through a checked helper (or allow on an audited one)",
+                        toks[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects the names of `#[test]` functions (and any `fn` defined inside
+/// test-masked code) from one file.
+pub fn collect_test_fn_names(ctx: &FileCtx<'_>, into: &mut BTreeSet<String>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.test_mask[i]
+            && toks[i].is_ident("fn")
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            into.insert(toks[i + 1].text.clone());
+        }
+    }
+}
+
+/// Collects `pub fn` names declared in *non-test* code of one file,
+/// with the line each was declared on.
+pub fn collect_pub_fns(ctx: &FileCtx<'_>) -> Vec<(String, u32)> {
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] || !toks[i].is_ident("pub") {
+            continue;
+        }
+        // `pub fn name` or `pub(crate) fn name` — skip an optional
+        // parenthesized visibility scope.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_punct("(")) {
+            while j < toks.len() && !toks[j].is_punct(")") {
+                j += 1;
+            }
+            j += 1;
+        }
+        if toks.get(j).is_some_and(|n| n.is_ident("fn"))
+            && toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            out.push((toks[j + 1].text.clone(), toks[j + 1].line));
+        }
+    }
+    out
+}
+
+/// Workspace-level rule: every `pub fn` of `deepod_tensor::parallel` must
+/// have a regression test whose name contains both the function name and
+/// `serial`, pinning the `threads = 1 == serial` contract by name.
+pub fn check_parallel_coverage(
+    parallel_rel_path: &str,
+    pub_fns: &[(String, u32)],
+    test_names: &BTreeSet<String>,
+    allows: &Lexed,
+    out: &mut Vec<Finding>,
+) {
+    for (name, line) in pub_fns {
+        let covered = test_names
+            .iter()
+            .any(|t| t.contains(name.as_str()) && t.contains("serial"));
+        let allowed = allows
+            .allows
+            .get(line)
+            .is_some_and(|s| s.contains("parallel-coverage"));
+        if !covered && !allowed {
+            out.push(Finding {
+                rule: "parallel-coverage",
+                path: parallel_rel_path.to_string(),
+                line: *line,
+                msg: format!(
+                    "pub fn `{name}` has no `*{name}*serial*` regression test pinning \
+                     the threads=1 == serial contract"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lint_lib_src(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ctx = FileCtx::new("mem.rs", "tensor", &lexed, false, false);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn b() { y.unwrap(); } }\n";
+        let f = lint_lib_src(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nmod m { fn b() { y.unwrap(); } }\n";
+        assert_eq!(lint_lib_src(src).len(), 1);
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "#[test]\nfn t() { y.unwrap(); }\nfn lib() { z.unwrap(); }\n";
+        let f = lint_lib_src(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let src = "fn a() { x.unwrap(); } // deepod-lint: allow(unwrap)\n";
+        assert!(lint_lib_src(src).is_empty());
+    }
+
+    #[test]
+    fn truncating_cast_variants() {
+        assert_eq!(
+            lint_lib_src("fn a() -> usize { x.floor() as usize }").len(),
+            1
+        );
+        assert_eq!(lint_lib_src("fn a() -> usize { 2.5 as usize }").len(), 1);
+        assert_eq!(lint_lib_src("fn a() -> u32 { x as f32 as u32 }").len(), 1);
+        assert!(lint_lib_src("fn a() -> usize { x.len() as usize }").is_empty());
+        assert!(lint_lib_src("fn a() -> f64 { x.floor() as f64 }").is_empty());
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons_only() {
+        assert_eq!(lint_lib_src("fn a() -> bool { x == 0.0 }").len(), 1);
+        assert_eq!(lint_lib_src("fn a() -> bool { 1.5 != y }").len(), 1);
+        assert!(lint_lib_src("fn a() -> bool { x == y }").is_empty());
+        assert!(lint_lib_src("fn a() -> bool { n == 0 }").is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_scoped_to_crate_list() {
+        let src = "fn a() { let t = Instant::now(); }";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("mem.rs", "core", &lexed, false, false);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert_eq!(out.len(), 1);
+
+        let ctx = FileCtx::new("mem.rs", "eval", &lexed, false, false);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert!(out.is_empty(), "eval may use wall clocks");
+    }
+
+    #[test]
+    fn parallel_coverage_names() {
+        let lexed = lex("pub fn map_ranges() {}\npub(crate) fn tree_reduce() {}\n");
+        let ctx = FileCtx::new("parallel.rs", "tensor", &lexed, false, false);
+        let fns = collect_pub_fns(&ctx);
+        assert_eq!(fns.len(), 2);
+        let mut tests = BTreeSet::new();
+        tests.insert("map_ranges_threads1_matches_serial".to_string());
+        let mut out = Vec::new();
+        check_parallel_coverage("parallel.rs", &fns, &tests, &lexed, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("tree_reduce"));
+    }
+
+    #[test]
+    fn bins_skip_panic_rules_but_not_hygiene() {
+        let src = "fn main() { x.unwrap(); let b = y == 0.5; }";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("main.rs", "cli", &lexed, false, true);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert!(out.iter().all(|f| f.rule != "unwrap"), "{out:?}");
+        assert!(out.iter().any(|f| f.rule == "float-eq"), "{out:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fixture tests proving every deepod-lint rule live: each seeded
+//! violation fires, and the clean fixture (idiomatic library + test code)
+//! produces zero false positives. Finally, the real workspace must be
+//! clean — this test *is* the gate, reachable from plain `cargo test`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use xtask::lexer::lex;
+use xtask::rules::{check_parallel_coverage, collect_pub_fns, collect_test_fn_names, FileCtx};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Lints a fixture as non-test library code of the given crate and
+/// returns the rule names that fired (duplicates preserved).
+fn rules_fired(name: &str, crate_name: &str) -> Vec<&'static str> {
+    let findings = xtask::lint_file_as(&fixture(name), crate_name).expect("fixture readable");
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unwrap_rule_fires() {
+    assert_eq!(rules_fired("unwrap.rs", "roadnet"), vec!["unwrap"]);
+}
+
+#[test]
+fn expect_rule_fires() {
+    assert_eq!(rules_fired("expect.rs", "roadnet"), vec!["expect"]);
+}
+
+#[test]
+fn panic_rule_fires() {
+    let fired = rules_fired("panic.rs", "core");
+    assert_eq!(fired, vec!["panic", "panic"], "todo! and panic! both fire");
+}
+
+#[test]
+fn nondeterminism_rule_fires_in_numeric_crates_only() {
+    let fired = rules_fired("nondeterminism.rs", "nn");
+    assert_eq!(
+        fired.iter().filter(|r| **r == "nondeterminism").count(),
+        4,
+        "Instant::now, SystemTime, thread_rng, from_entropy: {fired:?}"
+    );
+    // The same file linted as a non-numeric crate is silent.
+    assert!(rules_fired("nondeterminism.rs", "eval").is_empty());
+}
+
+#[test]
+fn float_eq_rule_fires() {
+    assert_eq!(
+        rules_fired("float_eq.rs", "baselines"),
+        vec!["float-eq", "float-eq"]
+    );
+}
+
+#[test]
+fn truncating_cast_rule_fires() {
+    let fired = rules_fired("truncating_cast.rs", "tensor");
+    assert_eq!(
+        fired,
+        vec!["truncating-cast", "truncating-cast", "truncating-cast"],
+        "floor-cast, literal cast, and chained float cast"
+    );
+}
+
+#[test]
+fn parallel_coverage_rule_fires() {
+    let src = std::fs::read_to_string(fixture("parallel_mod.rs")).expect("fixture");
+    let lexed = lex(&src);
+    let ctx = FileCtx::new("parallel_mod.rs", "tensor", &lexed, false, false);
+    let pub_fns = collect_pub_fns(&ctx);
+    assert_eq!(pub_fns.len(), 2, "fixture declares two pub fns");
+    let mut test_names = BTreeSet::new();
+    collect_test_fn_names(&ctx, &mut test_names);
+    let mut out = Vec::new();
+    check_parallel_coverage("parallel_mod.rs", &pub_fns, &test_names, &lexed, &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, "parallel-coverage");
+    assert!(out[0].msg.contains("fold_back"));
+}
+
+#[test]
+fn clean_fixture_has_zero_false_positives() {
+    let findings = xtask::lint_file_as(&fixture("clean.rs"), "tensor").expect("fixture");
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let findings = xtask::lint_workspace(root).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "deepod-lint findings in the workspace:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

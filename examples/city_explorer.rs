@@ -48,15 +48,19 @@ fn main() {
     let router = Router::new(&net);
     let from = NodeId(3);
     let to = NodeId((net.num_nodes() - 4) as u32);
-    if let Some(static_route) = router.shortest_by_distance(from, to) {
+    if let Ok(static_route) = router.shortest_by_distance(from, to) {
         println!(
             "cross-town trip: {:.1} km over {} segments (shortest by distance)",
             static_route.length(&net) / 1000.0,
             static_route.edges.len()
         );
-        for (label, depart) in [("3 am", 3.0 * 3600.0), ("8 am", 8.0 * 3600.0), ("6 pm", 18.0 * 3600.0)] {
+        for (label, depart) in [
+            ("3 am", 3.0 * 3600.0),
+            ("8 am", 8.0 * 3600.0),
+            ("6 pm", 18.0 * 3600.0),
+        ] {
             let depart = 86_400.0 + depart; // Tuesday
-            if let Some(r) = time_dependent_route(&net, from, to, depart, |e, t| {
+            if let Ok(r) = time_dependent_route(&net, from, to, depart, |e, t| {
                 traffic.traversal_time(&net, e, t)
             }) {
                 println!(
@@ -94,5 +98,11 @@ fn main() {
     }
     println!();
 
-    println!("\nactive incidents at Tue 8 am: {}", traffic.incidents().active_at(86_400.0 + 8.0 * 3600.0).count());
+    println!(
+        "\nactive incidents at Tue 8 am: {}",
+        traffic
+            .incidents()
+            .active_at(86_400.0 + 8.0 * 3600.0)
+            .count()
+    );
 }

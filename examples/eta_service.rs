@@ -23,8 +23,13 @@ fn main() {
     );
 
     // Train the production model.
-    let cfg = DeepOdConfig { epochs: 8, batch_size: 16, loss_weight: 0.3, ..Default::default() };
-    let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default());
+    let cfg = DeepOdConfig {
+        epochs: 8,
+        batch_size: 16,
+        loss_weight: 0.3,
+        ..Default::default()
+    };
+    let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default()).expect("valid config");
     let report = trainer.train();
     println!("  model trained: best val MAE {:.1}s", report.best_val_mae);
 
@@ -93,5 +98,8 @@ fn main() {
             n += 1;
         }
     }
-    println!("reference: DeepOD test MAE on labeled trips {:.1}s ({n} trips)", mae / n as f32);
+    println!(
+        "reference: DeepOD test MAE on labeled trips {:.1}s ({n} trips)",
+        mae / n as f32
+    );
 }

@@ -22,7 +22,15 @@ fn main() {
         .train
         .iter()
         .take(120)
-        .map(|o| sample_gps(&ds.net, &o.trajectory, 3.0, GpsNoise { sigma: 8.0 }, &mut rng))
+        .map(|o| {
+            sample_gps(
+                &ds.net,
+                &o.trajectory,
+                3.0,
+                GpsNoise { sigma: 8.0 },
+                &mut rng,
+            )
+        })
         .collect();
     let total_points: usize = raws.iter().map(|r| r.points.len()).sum();
     println!("  {} trips, {} raw GPS points", raws.len(), total_points);
@@ -31,7 +39,10 @@ fn main() {
     let grid = SpatialGrid::build(&ds.net, 250.0);
     let matcher = HmmMapMatcher::new(&ds.net, &grid, MapMatchConfig::default());
     let t0 = std::time::Instant::now();
-    let matched: Vec<_> = raws.iter().filter_map(|r| matcher.match_trajectory(r)).collect();
+    let matched: Vec<_> = raws
+        .iter()
+        .filter_map(|r| matcher.match_trajectory(r))
+        .collect();
     let match_time = t0.elapsed().as_secs_f64();
     println!(
         "  matched {}/{} trips in {match_time:.1}s ({:.0} points/s)",
@@ -77,8 +88,7 @@ fn main() {
     }
 
     println!("\n  time-of-day speed profile (fleet average, m/s):");
-    for h in 0..24 {
-        let (s, n) = hour_speed[h];
+    for (h, &(s, n)) in hour_speed.iter().enumerate() {
         if n == 0 {
             continue;
         }

@@ -37,7 +37,7 @@ fn main() {
     //    pre-trains the embeddings on the road line graph and the weekly
     //    temporal graph, and runs minibatch Adam with the combined loss.
     println!("training DeepOD ({} epochs) ...", cfg.epochs);
-    let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default()).expect("valid config");
     let report = trainer.train();
     println!(
         "  trained in {:.1}s — best validation MAE {:.1}s",
@@ -46,7 +46,9 @@ fn main() {
 
     // 4. Online estimation: only the OD input is used (no trajectory).
     let order = &ds.test[0];
-    let predicted = trainer.predict_od(&order.od).expect("query matched to road network");
+    let predicted = trainer
+        .predict_od(&order.od)
+        .expect("query matched to road network");
     println!("\nsample query:");
     println!(
         "  origin  ({:.0} m, {:.0} m)   destination ({:.0} m, {:.0} m)",

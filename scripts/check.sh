@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Full local gate: release build, test suite, and warning-free clippy.
+# Full local gate: release build, test suite, warning-free clippy,
+# formatting, and the workspace invariant checker (deepod-lint).
 # Run from anywhere; operates on the workspace containing this script.
+# Any failing step (including lint findings) exits nonzero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+cargo run -q -p xtask -- lint

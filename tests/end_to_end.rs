@@ -12,25 +12,26 @@ use deepod_traj::{CityDataset, DatasetBuilder, DatasetConfig};
 /// The validated tuned recipe (same dims as `deepod_bench::tuned_config`),
 /// scaled to a few-minute test run.
 fn small_cfg() -> DeepOdConfig {
-    let mut cfg = DeepOdConfig::default();
-    cfg.init = EmbeddingInit::Node2Vec;
-    cfg.ds = 32;
-    cfg.dt_dim = 16;
-    cfg.d1m = 32;
-    cfg.d2m = 16;
-    cfg.d3m = 32;
-    cfg.d4m = 32;
-    cfg.d5m = 16;
-    cfg.d6m = 8;
-    cfg.d7m = 64;
-    cfg.d9m = 64;
-    cfg.dh = 32;
-    cfg.dtraf = 8;
-    cfg.epochs = 10;
-    cfg.batch_size = 16;
-    cfg.loss_weight = 0.3;
-    cfg.stcode_supervision = false; // headline recipe (DESIGN.md §2.1 item 7)
-    cfg
+    DeepOdConfig {
+        init: EmbeddingInit::Node2Vec,
+        ds: 32,
+        dt_dim: 16,
+        d1m: 32,
+        d2m: 16,
+        d3m: 32,
+        d4m: 32,
+        d5m: 16,
+        d6m: 8,
+        d7m: 64,
+        d9m: 64,
+        dh: 32,
+        dtraf: 8,
+        epochs: 10,
+        batch_size: 16,
+        loss_weight: 0.3,
+        stcode_supervision: false, // headline recipe (DESIGN.md §2.1 item 7)
+        ..DeepOdConfig::default()
+    }
 }
 
 fn test_pairs(trainer: &mut Trainer, ds: &CityDataset) -> Vec<PredPair> {
@@ -39,7 +40,10 @@ fn test_pairs(trainer: &mut Trainer, ds: &CityDataset) -> Vec<PredPair> {
         .into_iter()
         .zip(&ds.test)
         .filter_map(|(p, o)| {
-            p.map(|pred| PredPair { actual: o.travel_time as f32, predicted: pred })
+            p.map(|pred| PredPair {
+                actual: o.travel_time as f32,
+                predicted: pred,
+            })
         })
         .collect()
 }
@@ -47,7 +51,7 @@ fn test_pairs(trainer: &mut Trainer, ds: &CityDataset) -> Vec<PredPair> {
 #[test]
 fn deepod_beats_mean_predictor() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 800));
-    let mut trainer = Trainer::new(&ds, small_cfg(), TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, small_cfg(), TrainOptions::default()).expect("trainer");
     trainer.train();
     let pairs = test_pairs(&mut trainer, &ds);
     assert!(!pairs.is_empty());
@@ -55,7 +59,10 @@ fn deepod_beats_mean_predictor() {
     let mean_y = ds.mean_train_travel_time() as f32;
     let mean_pairs: Vec<PredPair> = pairs
         .iter()
-        .map(|p| PredPair { actual: p.actual, predicted: mean_y })
+        .map(|p| PredPair {
+            actual: p.actual,
+            predicted: mean_y,
+        })
         .collect();
     let m_model = mae(&pairs);
     let m_mean = mae(&mean_pairs);
@@ -75,7 +82,7 @@ fn predictions_respond_to_departure_time() {
     // model should predict a longer time at rush hour for a cross-town
     // weekday trip.
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 800));
-    let mut trainer = Trainer::new(&ds, small_cfg(), TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, small_cfg(), TrainOptions::default()).expect("trainer");
     trainer.train();
 
     // Take several longish test trips and compare the same OD at 8 am vs
@@ -127,13 +134,13 @@ fn trajectory_ablation_changes_the_model() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 1100));
 
     let full_cfg = small_cfg();
-    let mut full = Trainer::new(&ds, full_cfg, TrainOptions::default());
+    let mut full = Trainer::new(&ds, full_cfg, TrainOptions::default()).expect("trainer");
     full.train();
     let full_mae = mae(&test_pairs(&mut full, &ds));
 
     let mut nst_cfg = small_cfg();
     nst_cfg.variant = Variant::NoTrajectory;
-    let mut nst = Trainer::new(&ds, nst_cfg, TrainOptions::default());
+    let mut nst = Trainer::new(&ds, nst_cfg, TrainOptions::default()).expect("trainer");
     nst.train();
     let nst_mae = mae(&test_pairs(&mut nst, &ds));
 
@@ -151,12 +158,12 @@ fn model_survives_serde_round_trip_after_training() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 120));
     let mut cfg = small_cfg();
     cfg.epochs = 1;
-    let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, cfg, TrainOptions::default()).expect("trainer");
     trainer.train();
 
     let od = ds.test.first().unwrap_or(&ds.train[0]).od;
     let before = trainer.predict_od(&od);
-    let json = trainer.model().save_json();
+    let json = trainer.model().save_json().expect("serializable model");
     let mut loaded = deepod_core::DeepOdModel::load_json(&json).unwrap();
     let (ctx, net) = trainer.context();
     let after = loaded.estimate(ctx, net, &od);

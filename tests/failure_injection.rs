@@ -4,8 +4,8 @@
 use deepod_core::{DeepOdConfig, EmbeddingInit, FeatureContext, TrainOptions, Trainer};
 use deepod_roadnet::{CityProfile, EdgeId, Point};
 use deepod_traj::{
-    DatasetBuilder, DatasetConfig, HmmMapMatcher, MapMatchConfig, MatchedTrajectory,
-    RawGpsPoint, RawTrajectory, SpatioTemporalStep,
+    DatasetBuilder, DatasetConfig, HmmMapMatcher, MapMatchConfig, MatchedTrajectory, RawGpsPoint,
+    RawTrajectory, SpatioTemporalStep,
 };
 
 fn tiny_cfg() -> DeepOdConfig {
@@ -50,7 +50,10 @@ fn encoder_drops_orders_with_off_network_endpoints() {
     let mut bad = ds.train[0].clone();
     bad.od.origin = Point::new(-1e9, -1e9);
     let encoded = ctx.encode_orders(&ds.net, &[bad]);
-    assert!(encoded.is_empty(), "off-network order must be dropped, not encoded");
+    assert!(
+        encoded.is_empty(),
+        "off-network order must be dropped, not encoded"
+    );
 }
 
 #[test]
@@ -58,7 +61,11 @@ fn empty_trajectory_order_dropped_by_encoder() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
     let ctx = FeatureContext::build(&ds, 300.0);
     let mut bad = ds.train[0].clone();
-    bad.trajectory = MatchedTrajectory { path: vec![], r_start: 0.0, r_end: 0.0 };
+    bad.trajectory = MatchedTrajectory {
+        path: vec![],
+        r_start: 0.0,
+        r_end: 0.0,
+    };
     assert!(ctx.encode_order(&ds.net, &bad).is_none());
 }
 
@@ -66,12 +73,11 @@ fn empty_trajectory_order_dropped_by_encoder() {
 fn training_survives_extreme_labels() {
     // A handful of absurd labels (data-entry style errors) must not produce
     // NaNs or a diverged model.
-    let mut ds =
-        DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
+    let mut ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 200));
     for o in ds.train.iter_mut().step_by(29) {
         o.travel_time = 50_000.0; // ~14 hours
     }
-    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default()).expect("trainer");
     let report = trainer.train();
     assert!(report.best_val_mae.is_finite(), "training diverged to NaN");
     let pred = trainer.predict_od(&ds.test[0].od);
@@ -99,7 +105,8 @@ fn map_matcher_survives_heavy_noise_or_rejects() {
     // Either None or a structurally valid trajectory — never a panic or an
     // invalid structure.
     if let Some(m) = matcher.match_trajectory(&raw) {
-        m.validate().expect("matcher output must be structurally valid");
+        m.validate()
+            .expect("matcher output must be structurally valid");
     }
 }
 
@@ -108,9 +115,14 @@ fn single_point_and_empty_traces_rejected() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 10));
     let grid = deepod_roadnet::SpatialGrid::build(&ds.net, 250.0);
     let matcher = HmmMapMatcher::new(&ds.net, &grid, MapMatchConfig::default());
-    assert!(matcher.match_trajectory(&RawTrajectory { points: vec![] }).is_none());
+    assert!(matcher
+        .match_trajectory(&RawTrajectory { points: vec![] })
+        .is_none());
     let one = RawTrajectory {
-        points: vec![RawGpsPoint { pos: ds.net.node(deepod_roadnet::NodeId(0)).pos, t: 0.0 }],
+        points: vec![RawGpsPoint {
+            pos: ds.net.node(deepod_roadnet::NodeId(0)).pos,
+            t: 0.0,
+        }],
     };
     assert!(matcher.match_trajectory(&one).is_none());
 }
@@ -125,10 +137,14 @@ fn zero_duration_steps_tolerated_end_to_end() {
     let first = order.trajectory.path[0];
     order.trajectory.path.insert(
         0,
-        SpatioTemporalStep { edge: first.edge, enter: first.enter, exit: first.enter },
+        SpatioTemporalStep {
+            edge: first.edge,
+            enter: first.enter,
+            exit: first.enter,
+        },
     );
     let sample = ctx.encode_order(&ds.net, &order).expect("still encodable");
-    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default()).expect("trainer");
     let (loss, grads) = trainer.model().sample_gradients(&sample);
     assert!(loss.is_finite());
     assert!(!grads.is_empty());
@@ -140,11 +156,9 @@ fn prediction_for_unroutable_edge_ids_out_of_range_guarded() {
     // not read out of bounds.
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
     let ctx = FeatureContext::build(&ds, 300.0);
-    let mut sample = ctx
-        .encode_order(&ds.net, &ds.train[0])
-        .expect("encodable");
+    let mut sample = ctx.encode_order(&ds.net, &ds.train[0]).expect("encodable");
     sample.steps[0].edge = usize::MAX;
-    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default());
+    let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default()).expect("trainer");
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         trainer.model().sample_gradients(&sample)
     }));
@@ -156,11 +170,8 @@ fn line_graph_ignores_trajectories_with_unknown_transitions() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
     // A "trajectory" jumping between unrelated edges contributes nothing.
     let bogus = vec![EdgeId(0), EdgeId((ds.net.num_edges() - 1) as u32)];
-    let lg = deepod_roadnet::LineGraph::from_trajectories(
-        &ds.net,
-        [bogus.as_slice()].into_iter(),
-        1.0,
-    );
+    let lg =
+        deepod_roadnet::LineGraph::from_trajectories(&ds.net, [bogus.as_slice()].into_iter(), 1.0);
     // Still structurally intact.
     assert_eq!(lg.num_nodes(), ds.net.num_edges());
 }

@@ -16,7 +16,9 @@ fn full_data_pipeline_produces_consistent_dataset() {
     assert!(ds.train.len() + ds.validation.len() + ds.test.len() >= 120);
     for split in [&ds.train, &ds.validation, &ds.test] {
         for o in split.iter() {
-            o.trajectory.validate().expect("invalid trajectory in dataset");
+            o.trajectory
+                .validate()
+                .expect("invalid trajectory in dataset");
             // Travel time consistent with its own path.
             assert!((o.trajectory.travel_time() - o.travel_time).abs() < 1e-6);
             // Path edges belong to the network.
@@ -49,7 +51,13 @@ fn map_matching_recovers_simulated_paths_end_to_end() {
     let mut tried = 0;
     for order in ds.train.iter().take(10) {
         tried += 1;
-        let raw = sample_gps(&ds.net, &order.trajectory, 3.0, GpsNoise { sigma: 6.0 }, &mut rng);
+        let raw = sample_gps(
+            &ds.net,
+            &order.trajectory,
+            3.0,
+            GpsNoise { sigma: 6.0 },
+            &mut rng,
+        );
         if let Some(m) = matcher.match_trajectory(&raw) {
             matched += 1;
             m.validate().expect("matched trajectory invalid");

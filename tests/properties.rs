@@ -3,8 +3,7 @@
 
 use deepod_eval::{mae, mape, mare, PredPair};
 use deepod_roadnet::{
-    dijkstra_shortest_path, CityConfig, CityProfile, EdgeId, NodeId, Point, RoadClass,
-    RoadNetwork,
+    dijkstra_shortest_path, CityConfig, CityProfile, EdgeId, NodeId, Point, RoadClass, RoadNetwork,
 };
 use proptest::prelude::*;
 
@@ -45,7 +44,7 @@ proptest! {
         let n = net.num_nodes();
         let (a, b, c) = (NodeId((ai % n) as u32), NodeId((bi % n) as u32), NodeId((ci % n) as u32));
         let d = |x, y| dijkstra_shortest_path(&net, x, y, |e| net.edge(e).length).map(|p| p.cost);
-        if let (Some(ab), Some(bc), Some(ac)) = (d(a, b), d(b, c), d(a, c)) {
+        if let (Ok(ab), Ok(bc), Ok(ac)) = (d(a, b), d(b, c), d(a, c)) {
             prop_assert!(ac <= ab + bc + 1e-6, "ac {ac} > ab {ab} + bc {bc}");
         }
     }
@@ -56,7 +55,7 @@ proptest! {
     fn route_cost_consistent(net in arb_network(), ai in 0usize..12, bi in 0usize..12) {
         let n = net.num_nodes();
         let (a, b) = (NodeId((ai % n) as u32), NodeId((bi % n) as u32));
-        if let Some(p) = dijkstra_shortest_path(&net, a, b, |e| net.edge(e).length) {
+        if let Ok(p) = dijkstra_shortest_path(&net, a, b, |e| net.edge(e).length) {
             let sum: f64 = p.edges.iter().map(|&e| net.edge(e).length).sum();
             prop_assert!((sum - p.cost).abs() < 1e-6);
             for w in p.edges.windows(2) {
@@ -113,7 +112,7 @@ proptest! {
                 let e = net.edge(EdgeId(i as u32));
                 let a = net.node(e.from).pos;
                 let b = net.node(e.to).pos;
-                let d = deepod_roadnet::Point::dist(
+                let d = Point::dist(
                     &q,
                     &{
                         // inline projection

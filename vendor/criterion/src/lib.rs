@@ -93,7 +93,10 @@ impl Criterion {
 
     /// Starts a named group; benchmark ids become `group/function`.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, prefix: name.to_string() }
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
     }
 
     /// Runs a single benchmark.

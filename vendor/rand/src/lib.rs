@@ -91,8 +91,12 @@ impl StandardSample for f32 {
 /// unify with a surrounding `f32` expression instead of defaulting to `f64`.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Uniform sample from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 /// Uniform integer in `[0, width)` via the widening-multiply reduction

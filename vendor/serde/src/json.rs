@@ -50,7 +50,10 @@ pub fn obj_field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
             .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
-        other => Err(Error::msg(format!("expected object for field `{name}`, got {}", kind(other)))),
+        other => Err(Error::msg(format!(
+            "expected object for field `{name}`, got {}",
+            kind(other)
+        ))),
     }
 }
 
@@ -192,7 +195,10 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
                 .map_err(|_| Error::msg("invalid utf-8 in number"))?;
             Ok(Value::Num(text.to_string()))
         }
-        Some(c) => Err(Error::msg(format!("unexpected byte `{}` at {pos}", *c as char))),
+        Some(c) => Err(Error::msg(format!(
+            "unexpected byte `{}` at {pos}",
+            *c as char
+        ))),
     }
 }
 
@@ -263,7 +269,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                     (None, u) => out.push(char::from_u32(u as u32).unwrap()),
                     (Some(high), 0xDC00..=0xDFFF) => {
                         let c = 0x10000 + ((high as u32 - 0xD800) << 10) + (unit as u32 - 0xDC00);
-                        out.push(char::from_u32(c).ok_or_else(|| Error::msg("bad surrogate pair"))?);
+                        out.push(
+                            char::from_u32(c).ok_or_else(|| Error::msg("bad surrogate pair"))?,
+                        );
                     }
                     (Some(_), _) => return Err(Error::msg("unpaired high surrogate")),
                 }

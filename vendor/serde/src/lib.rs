@@ -204,7 +204,10 @@ impl<T: Serialize> Serialize for Vec<T> {
 
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
-        json::expect_arr(v)?.iter().map(T::deserialize_json).collect()
+        json::expect_arr(v)?
+            .iter()
+            .map(T::deserialize_json)
+            .collect()
     }
 }
 

@@ -93,7 +93,11 @@ fn named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
         i += 1;
         match body.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         // Skip the type: consume until a comma at angle-depth 0.
         let mut depth = 0i32;
@@ -147,7 +151,11 @@ fn enum_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
                     "variant `{name}` carries data; vendored serde_derive only supports fieldless enums"
                 ));
             }
-            Some(other) => return Err(format!("unexpected token after variant `{name}`: `{other}`")),
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: `{other}`"
+                ))
+            }
         }
         variants.push(name);
     }
@@ -177,11 +185,17 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         "struct" => match toks.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 let body: Vec<TokenTree> = g.stream().into_iter().collect();
-                Ok(Item::NamedStruct { name, fields: named_fields(&body)? })
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: named_fields(&body)?,
+                })
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let body: Vec<TokenTree> = g.stream().into_iter().collect();
-                Ok(Item::TupleStruct { name, arity: top_level_arity(&body) })
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: top_level_arity(&body),
+                })
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
             other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
@@ -189,7 +203,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         "enum" => match toks.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 let body: Vec<TokenTree> = g.stream().into_iter().collect();
-                Ok(Item::FieldlessEnum { name, variants: enum_variants(&body)? })
+                Ok(Item::FieldlessEnum {
+                    name,
+                    variants: enum_variants(&body)?,
+                })
             }
             other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
         },
@@ -293,8 +310,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
         Item::TupleStruct { name, arity } => {
-            let elems: String =
-                (0..arity).map(|i| format!("_serde::Deserialize::deserialize_json(&arr[{i}])?,")).collect();
+            let elems: String = (0..arity)
+                .map(|i| format!("_serde::Deserialize::deserialize_json(&arr[{i}])?,"))
+                .collect();
             format!(
                 "impl _serde::Deserialize for {name} {{ \
                    fn deserialize_json(v: &_serde::json::Value) \
