@@ -1,4 +1,4 @@
-//! Extensions beyond the paper's evaluation (DESIGN.md §8): the
+//! Extensions beyond the paper's evaluation (DESIGN.md §9): the
 //! route-based TTE reference predictor and goal-directed routing
 //! (A*/ALT vs Dijkstra) — ablation-style evidence for two design choices
 //! the core system makes (OD-only inputs; plain Dijkstra in the

@@ -2,9 +2,14 @@
 
 use crate::args::Args;
 use crate::dataset_io::{load_dataset, save_dataset};
-use deepod_core::{DeepOdConfig, DeepOdModel, FeatureContext, TrainOptions, Trainer};
+use deepod_baselines::{RouteTtePredictor, TtePredictor};
+use deepod_core::{
+    io_guard, CheckpointPolicy, DeepOdConfig, DeepOdModel, FeatureContext, TrainOptions, Trainer,
+    TrainingCheckpoint,
+};
 use deepod_roadnet::{CityProfile, Point};
 use deepod_traj::{DatasetBuilder, DatasetConfig, OdInput};
+use std::path::Path;
 
 /// Usage text printed on errors and by `deepod help`.
 pub const USAGE: &str = "\
@@ -13,12 +18,30 @@ deepod — OD travel time estimation (DeepOD, SIGMOD 2020 reproduction)
 USAGE:
   deepod simulate --profile <chengdu|xian|beijing> [--orders N] --out FILE
   deepod train    --data FILE [--epochs N] [--loss-weight W] [--seed S]
-                  [--threads T] --out FILE
+                  [--threads T] [--checkpoint-every N] [--checkpoint FILE]
+                  [--resume FILE] [--report FILE] --out FILE
   deepod predict  --data FILE --model FILE --from X,Y --to X,Y --depart T
   deepod eval     --data FILE --model FILE
   deepod info     --data FILE
   deepod help
+
+Crash safety: train checkpoints atomically (default FILE.ckpt next to
+--out) and `--resume` continues a killed run with bit-identical curves.
+predict falls back to the route-tte baseline (exit code 2) when the model
+file is missing or corrupt.
 ";
+
+/// How a successfully-dispatched command finished. `Degraded` maps to a
+/// dedicated exit code (2) so scripts can distinguish a fallback answer
+/// from a clean one without parsing output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The command did exactly what was asked.
+    Ok,
+    /// The command produced an answer through a degraded path (e.g. the
+    /// route-tte fallback after a corrupt model file).
+    Degraded,
+}
 
 fn profile_of(name: &str) -> Result<CityProfile, String> {
     match name.to_ascii_lowercase().as_str() {
@@ -30,7 +53,7 @@ fn profile_of(name: &str) -> Result<CityProfile, String> {
 }
 
 /// Dispatches to the subcommand handlers.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[String]) -> Result<Outcome, String> {
     let Some(cmd) = argv.first() else {
         return Err("no subcommand given".into());
     };
@@ -43,13 +66,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "info" => info(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(Outcome::Ok)
         }
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
 
-fn simulate(args: &Args) -> Result<(), String> {
+fn simulate(args: &Args) -> Result<Outcome, String> {
     let profile = profile_of(args.require("profile")?)?;
     let orders = args.get_parsed("orders", 1_000usize)?;
     let out = args.require("out")?;
@@ -64,21 +87,40 @@ fn simulate(args: &Args) -> Result<(), String> {
     );
     save_dataset(&ds, out)?;
     println!("wrote {out}");
-    Ok(())
+    Ok(Outcome::Ok)
 }
 
-fn train(args: &Args) -> Result<(), String> {
+fn train(args: &Args) -> Result<Outcome, String> {
     let data = args.require("data")?;
     let out = args.require("out")?;
     let ds = load_dataset(data)?;
-    let mut cfg = DeepOdConfig::default();
-    cfg.epochs = args.get_parsed("epochs", 8usize)?;
-    cfg.loss_weight = args.get_parsed("loss-weight", 0.3f32)?;
-    cfg.seed = args.get_parsed("seed", cfg.seed)?;
-    cfg.validate()?;
+    let resume_path = args.get("resume");
+    let checkpoint_every = args.get_parsed("checkpoint-every", 0usize)?;
 
-    // 0 = DEEPOD_THREADS env or the machine's available parallelism.
-    let threads = args.get_parsed("threads", 0usize)?;
+    // Resume takes its entire configuration (and thread count) from the
+    // checkpoint: the bit-identical-resume guarantee only holds when the
+    // continued run is the same computation.
+    let (cfg, threads, resume_ckpt) = match resume_path {
+        Some(path) => {
+            let ckpt = TrainingCheckpoint::load(Path::new(path))
+                .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+            println!(
+                "resuming from {path} (epoch {}, step {})",
+                ckpt.progress.epoch, ckpt.progress.step
+            );
+            (ckpt.model.config.clone(), ckpt.progress.threads, Some(ckpt))
+        }
+        None => {
+            let mut cfg = DeepOdConfig::default();
+            cfg.epochs = args.get_parsed("epochs", 8usize)?;
+            cfg.loss_weight = args.get_parsed("loss-weight", 0.3f32)?;
+            cfg.seed = args.get_parsed("seed", cfg.seed)?;
+            cfg.validate()?;
+            // 0 = DEEPOD_THREADS env or the machine's available parallelism.
+            (cfg, args.get_parsed("threads", 0usize)?, None)
+        }
+    };
+
     println!(
         "training DeepOD on {} orders ({} epochs, w = {}, {} threads) ...",
         ds.train.len(),
@@ -93,15 +135,56 @@ fn train(args: &Args) -> Result<(), String> {
     };
     let mut trainer =
         Trainer::new(&ds, cfg, opts).map_err(|e| format!("cannot start training: {e}"))?;
-    let report = trainer.train();
+    if let Some(ckpt) = resume_ckpt {
+        trainer
+            .resume_from(ckpt)
+            .map_err(|e| format!("cannot resume: {e}"))?;
+    }
+
+    // Checkpointing is on whenever any crash-safety flag is present; the
+    // checkpoint file defaults to `<out>.ckpt` (resume keeps writing to
+    // the file it resumed from unless told otherwise).
+    let default_ckpt = format!("{out}.ckpt");
+    let ckpt_path = args
+        .get("checkpoint")
+        .or(resume_path)
+        .unwrap_or(&default_ckpt);
+    let checkpointing =
+        checkpoint_every > 0 || args.get("checkpoint").is_some() || resume_path.is_some();
+
+    let report = if checkpointing {
+        let policy = CheckpointPolicy {
+            every_steps: checkpoint_every,
+            path: ckpt_path.into(),
+        };
+        println!(
+            "  checkpointing to {ckpt_path} ({})",
+            if checkpoint_every > 0 {
+                format!("every {checkpoint_every} steps + epoch boundaries")
+            } else {
+                "epoch boundaries".to_string()
+            }
+        );
+        trainer
+            .train_with_checkpoints(&policy)
+            .map_err(|e| format!("training stopped: {e}"))?
+    } else {
+        trainer.train()
+    };
     println!(
         "  done in {:.1}s — best validation MAE {:.1}s over {} steps",
         report.total_time_s, report.best_val_mae, report.total_steps
     );
+    if let Some(report_path) = args.get("report") {
+        let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+        io_guard::atomic_write_str(Path::new(report_path), &json)
+            .map_err(|e| format!("writing report: {e}"))?;
+        println!("wrote {report_path}");
+    }
     let json = trainer.model().save_json().map_err(|e| e.to_string())?;
-    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    io_guard::atomic_write_str(Path::new(out), &json).map_err(|e| format!("writing model: {e}"))?;
     println!("wrote {out}");
-    Ok(())
+    Ok(Outcome::Ok)
 }
 
 fn load_model(path: &str) -> Result<DeepOdModel, String> {
@@ -109,35 +192,68 @@ fn load_model(path: &str) -> Result<DeepOdModel, String> {
     DeepOdModel::load_json(&json).map_err(|e| format!("parsing {path}: {e}"))
 }
 
-fn predict(args: &Args) -> Result<(), String> {
+fn predict(args: &Args) -> Result<Outcome, String> {
     let ds = load_dataset(args.require("data")?)?;
-    let mut model = load_model(args.require("model")?)?;
+    let model_path = args.require("model")?;
     let (fx, fy) = args.get_point("from")?;
     let (tx, ty) = args.get_point("to")?;
     let depart: f64 = args.get_parsed("depart", 0.0f64)?;
 
-    let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
     let od = OdInput {
         origin: Point::new(fx, fy),
         destination: Point::new(tx, ty),
         depart,
         weather: ds.traffic.weather().at(depart),
     };
-    match model.estimate(&ctx, &ds.net, &od) {
-        Some(eta) => {
-            println!(
-                "ETA: {eta:.0}s ({:.1} min) for {:.1} km crow-fly, departing t = {depart:.0}s ({})",
-                eta / 60.0,
-                od.origin.dist(&od.destination) / 1000.0,
-                od.weather.label()
-            );
-            Ok(())
+    let dist_km = od.origin.dist(&od.destination) / 1000.0;
+
+    // Graceful degradation: a missing or corrupt model file must not turn
+    // an ETA query into a hard failure. Fall back to the route-tte
+    // baseline (shortest route over historical segment speeds), warn
+    // loudly, and exit with the dedicated "degraded" code.
+    match load_model(model_path) {
+        Ok(mut model) => {
+            let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
+            match model.estimate(&ctx, &ds.net, &od) {
+                Some(eta) => {
+                    println!(
+                        "ETA: {eta:.0}s ({:.1} min) for {dist_km:.1} km crow-fly, \
+                         departing t = {depart:.0}s ({})",
+                        eta / 60.0,
+                        od.weather.label()
+                    );
+                    Ok(Outcome::Ok)
+                }
+                None => {
+                    Err("origin or destination could not be matched to the road network".into())
+                }
+            }
         }
-        None => Err("origin or destination could not be matched to the road network".into()),
+        Err(why) => {
+            eprintln!("warning: {why}");
+            eprintln!("warning: falling back to the route-tte baseline (degraded accuracy)");
+            let mut fallback = RouteTtePredictor::new();
+            fallback.fit(&ds);
+            match fallback.predict(&od) {
+                Some(eta) => {
+                    println!(
+                        "ETA (route-tte fallback): {eta:.0}s ({:.1} min) for {dist_km:.1} km \
+                         crow-fly, departing t = {depart:.0}s ({})",
+                        eta / 60.0,
+                        od.weather.label()
+                    );
+                    Ok(Outcome::Degraded)
+                }
+                None => Err(format!(
+                    "model unusable ({why}) and the route-tte fallback could not match the \
+                     origin/destination to the road network"
+                )),
+            }
+        }
     }
 }
 
-fn eval_cmd(args: &Args) -> Result<(), String> {
+fn eval_cmd(args: &Args) -> Result<Outcome, String> {
     let ds = load_dataset(args.require("data")?)?;
     let mut model = load_model(args.require("model")?)?;
     let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
@@ -162,10 +278,10 @@ fn eval_cmd(args: &Args) -> Result<(), String> {
         m.mape_pct,
         m.mare_pct
     );
-    Ok(())
+    Ok(Outcome::Ok)
 }
 
-fn info(args: &Args) -> Result<(), String> {
+fn info(args: &Args) -> Result<Outcome, String> {
     let ds = load_dataset(args.require("data")?)?;
     let (min, max) = ds.net.bounding_box();
     println!("profile: {:?}", ds.config.profile);
@@ -206,7 +322,7 @@ fn info(args: &Args) -> Result<(), String> {
         .sum::<f64>()
         / ds.train.len().max(1) as f64;
     println!("mean segments per trip: {mean_segs:.1}");
-    Ok(())
+    Ok(Outcome::Ok)
 }
 
 #[cfg(test)]

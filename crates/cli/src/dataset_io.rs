@@ -61,11 +61,13 @@ impl DatasetFile {
     }
 }
 
-/// Writes a dataset to a JSON file.
+/// Writes a dataset to a JSON file (atomically: a crash mid-write leaves
+/// any previous file intact instead of a torn one).
 pub fn save_dataset(ds: &CityDataset, path: &str) -> Result<(), String> {
     let file = DatasetFile::from_dataset(ds);
     let json = serde_json::to_string(&file).map_err(|e| e.to_string())?;
-    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+    deepod_core::io_guard::atomic_write_str(std::path::Path::new(path), &json)
+        .map_err(|e| format!("writing dataset: {e}"))
 }
 
 /// Reads a dataset from a JSON file.

@@ -24,10 +24,18 @@ mod dataset_io;
 
 use std::process::ExitCode;
 
+/// Exit code for commands that succeeded through a degraded path (e.g.
+/// the route-tte prediction fallback): distinct from both success (0) and
+/// error (1) so callers can react without parsing output. The
+/// fault-injection kill action uses its own code
+/// ([`deepod_tensor::failpoint::KILL_EXIT_CODE`] = 70).
+const EXIT_DEGRADED: u8 = 2;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(commands::Outcome::Ok) => ExitCode::SUCCESS,
+        Ok(commands::Outcome::Degraded) => ExitCode::from(EXIT_DEGRADED),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();

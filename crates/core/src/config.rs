@@ -12,7 +12,11 @@ use crate::ablation::{EmbeddingInit, Variant};
 use serde::{Deserialize, Serialize};
 
 /// All DeepOD hyper-parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` is derived so checkpoint resume can verify that a saved
+/// training state matches the trainer's configuration exactly (any drift
+/// would silently break the bit-identical-resume guarantee).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DeepOdConfig {
     /// Road-segment embedding width d_s.
     pub ds: usize,

@@ -33,10 +33,12 @@
 //! ```
 
 mod ablation;
+pub mod checkpoint;
 mod config;
 mod external_encoder;
 mod features;
 mod interval_encoder;
+pub mod io_guard;
 mod model;
 mod od_encoder;
 mod temporal_graph;
@@ -45,13 +47,15 @@ mod train;
 mod trajectory_encoder;
 
 pub use ablation::{EmbeddingInit, Variant};
+pub use checkpoint::{TrainProgress, TrainingCheckpoint, CHECKPOINT_VERSION};
 pub use config::DeepOdConfig;
 pub use external_encoder::ExternalFeaturesEncoder;
 pub use features::{EncodedOd, EncodedSample, FeatureContext};
 pub use interval_encoder::TimeIntervalEncoder;
+pub use io_guard::IoGuardError;
 pub use model::{DeepOdModel, ModelError};
 pub use od_encoder::OdEncoder;
 pub use temporal_graph::{build_temporal_graph, temporal_graph_day_only};
 pub use timeslot::TimeSlots;
-pub use train::{TrainOptions, TrainReport, Trainer};
+pub use train::{CheckpointPolicy, CurvePoint, TrainOptions, TrainReport, Trainer};
 pub use trajectory_encoder::TrajectoryEncoder;

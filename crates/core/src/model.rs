@@ -29,6 +29,9 @@ pub enum ModelError {
     InvalidConfig(String),
     /// Model (de)serialization failed.
     Serialization(String),
+    /// A guarded filesystem operation failed (missing, truncated, or
+    /// corrupt artifact — see [`crate::io_guard::IoGuardError`]).
+    Io(crate::io_guard::IoGuardError),
 }
 
 impl fmt::Display for ModelError {
@@ -36,11 +39,25 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
             ModelError::Serialization(why) => write!(f, "model serialization failed: {why}"),
+            ModelError::Io(err) => write!(f, "model io failed: {err}"),
         }
     }
 }
 
-impl std::error::Error for ModelError {}
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::io_guard::IoGuardError> for ModelError {
+    fn from(err: crate::io_guard::IoGuardError) -> Self {
+        ModelError::Io(err)
+    }
+}
 
 /// The DeepOD model (all three modules plus shared embeddings).
 ///

@@ -3,6 +3,7 @@
 //! every 2 epochs), per-step validation tracking (Fig. 10), and
 //! convergence accounting (Table 3).
 
+use crate::checkpoint::{TrainProgress, TrainingCheckpoint, CHECKPOINT_VERSION};
 use crate::config::DeepOdConfig;
 use crate::features::{EncodedSample, FeatureContext};
 use crate::model::{DeepOdModel, ModelError};
@@ -11,6 +12,7 @@ use deepod_roadnet::RoadNetwork;
 use deepod_traj::CityDataset;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 // Wall clocks time the *report*, never the computation: loss curves and
 // model selection depend only on (seed, thread count). deepod-lint's
 // nondeterminism rule is relaxed for exactly these two call sites.
@@ -87,6 +89,18 @@ pub struct TrainReport {
     pub final_train_loss: f32,
 }
 
+/// When and where [`Trainer::train_with_checkpoints`] persists training
+/// state.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Save a checkpoint every `every_steps` optimizer steps (`0` = only
+    /// at epoch boundaries; a boundary checkpoint is always written).
+    pub every_steps: usize,
+    /// Destination file, atomically replaced on every save — a crash
+    /// mid-save leaves the previous checkpoint intact.
+    pub path: PathBuf,
+}
+
 /// Drives training of a [`DeepOdModel`] on a [`CityDataset`].
 pub struct Trainer<'a> {
     ds: &'a CityDataset,
@@ -96,6 +110,9 @@ pub struct Trainer<'a> {
     opts: TrainOptions,
     train_samples: Vec<EncodedSample>,
     val_samples: Vec<EncodedSample>,
+    /// Training state staged by [`Trainer::resume_from`], consumed by the
+    /// next `train` call.
+    pending_resume: Option<Box<TrainingCheckpoint>>,
 }
 
 impl<'a> Trainer<'a> {
@@ -123,6 +140,7 @@ impl<'a> Trainer<'a> {
             opts,
             train_samples,
             val_samples,
+            pending_resume: None,
         })
     }
 
@@ -289,9 +307,81 @@ impl<'a> Trainer<'a> {
         (batch_loss, grads)
     }
 
+    /// Stages a [`TrainingCheckpoint`] so the next `train` call continues
+    /// the interrupted run instead of starting fresh.
+    ///
+    /// The checkpoint's config and worker-thread count must match this
+    /// trainer's exactly: both determine the floating-point stream, and
+    /// silently accepting a mismatch would void the bit-identical-resume
+    /// guarantee the crash-safety suite enforces.
+    pub fn resume_from(&mut self, ckpt: TrainingCheckpoint) -> Result<(), ModelError> {
+        if ckpt.model.config != self.cfg {
+            return Err(ModelError::InvalidConfig(
+                "checkpoint was produced by a different config; resume requires an identical one"
+                    .into(),
+            ));
+        }
+        let threads = self.threads();
+        if ckpt.progress.threads != threads {
+            return Err(ModelError::InvalidConfig(format!(
+                "checkpoint was trained with {} worker threads but this trainer resolves to \
+                 {threads}; gradient merge order depends on the thread count, so resume \
+                 requires the same value (set TrainOptions::threads explicitly)",
+                ckpt.progress.threads
+            )));
+        }
+        self.pending_resume = Some(Box::new(ckpt));
+        Ok(())
+    }
+
     /// Runs Alg. 1's `ModelTrain` for the configured number of epochs and
     /// returns the training report.
     pub fn train(&mut self) -> TrainReport {
+        // `Infallible` save callback: the error arm is statically
+        // unreachable, keeping this signature panic-free without unwraps.
+        let result: Result<TrainReport, std::convert::Infallible> =
+            self.train_driver(None, |_| Ok(()));
+        match result {
+            Ok(report) => report,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Like [`Trainer::train`], but persists a [`TrainingCheckpoint`]
+    /// according to `policy` (atomically, with a checksum footer) so the
+    /// run survives crashes. Combined with [`Trainer::resume_from`], a
+    /// killed run continues with bit-identical loss/validation curves for
+    /// the same `(seed, threads)`.
+    pub fn train_with_checkpoints(
+        &mut self,
+        policy: &CheckpointPolicy,
+    ) -> Result<TrainReport, ModelError> {
+        let path = policy.path.clone();
+        self.train_driver(Some(policy.every_steps), move |ckpt| ckpt.save(&path))
+    }
+
+    /// The training loop, generic over the checkpoint sink.
+    ///
+    /// `checkpoint_every` is `None` for plain training (the sink is never
+    /// called), `Some(0)` for epoch-boundary checkpoints only, `Some(n)`
+    /// for every `n` steps plus epoch boundaries. `save` failures abort
+    /// the run — better to stop than to keep training unprotected.
+    ///
+    /// Resume correctness rests on three invariants:
+    /// * the RNG state stored in a checkpoint is the state at the *start*
+    ///   of its epoch, so the resumed run re-runs the shuffle and skips
+    ///   the already-applied minibatches, landing on the exact stream
+    ///   position of the uninterrupted run;
+    /// * the partial `epoch_loss`/`epoch_batches` accumulators are carried
+    ///   across, so `final_train_loss` stays bit-identical;
+    /// * checkpoint saving itself consumes no randomness and never touches
+    ///   the model, so an uninterrupted run with checkpoints enabled is
+    ///   bit-identical to one without.
+    fn train_driver<E>(
+        &mut self,
+        checkpoint_every: Option<usize>,
+        mut save: impl FnMut(&TrainingCheckpoint) -> Result<(), E>,
+    ) -> Result<TrainReport, E> {
         // The paper divides the LR by 5 every 2 epochs — with millions of
         // trips per epoch. At laptop scale an epoch is a few dozen steps,
         // so we scale the decay interval with the run length (÷5 happens
@@ -301,43 +391,88 @@ impl<'a> Trainer<'a> {
             divisor: 5.0,
             every_epochs: 2usize.max(self.cfg.epochs.div_ceil(4)),
         };
-        let mut opt = AdamOptimizer::new(self.cfg.lr);
-        opt.set_weight_decay(self.opts.weight_decay);
-        let mut rng = deepod_tensor::rng_from_seed(self.cfg.seed ^ 0x7124);
-
         // deepod-lint: allow(nondeterminism) — report timing only
         let start = Instant::now();
-        let mut curve = Vec::new();
-        let mut step = 0usize;
-        let mut best = f32::INFINITY;
-        let mut since_best = 0usize;
-        let mut final_train_loss = 0.0f32;
         let bs = self.cfg.batch_size.max(1);
         let threads = self.threads();
 
-        // Initial point so curves start at the untrained model.
-        let mae0 = self.validation_mae();
-        best = best.min(mae0);
-        curve.push(CurvePoint {
-            step: 0,
-            val_mae: mae0,
-            elapsed_s: 0.0,
-        });
-        // Best-checkpoint snapshot (shallow Rc clones; copy-on-write keeps
-        // it intact while the optimizer updates the live store).
-        let mut best_store = self.model.store.clone();
+        let mut opt;
+        let mut rng;
+        let mut curve;
+        let mut step;
+        let mut best;
+        let mut since_best;
+        let mut final_train_loss;
+        let mut best_store;
+        let start_epoch;
+        let resume_batches;
+        let carried_epoch_loss;
+        let elapsed_offset;
+        match self.pending_resume.take() {
+            Some(ckpt) => {
+                let ckpt = *ckpt;
+                self.model = ckpt.model;
+                opt = AdamOptimizer::from_snapshot(&ckpt.optimizer);
+                rng = rand::rngs::StdRng::from_state(ckpt.progress.rng_state);
+                curve = ckpt.progress.curve;
+                step = ckpt.progress.step;
+                best = ckpt.progress.best_val_mae;
+                since_best = ckpt.progress.since_best;
+                final_train_loss = ckpt.progress.final_train_loss;
+                best_store = ckpt.best_store;
+                start_epoch = ckpt.progress.epoch;
+                resume_batches = ckpt.progress.batches_done;
+                carried_epoch_loss = (ckpt.progress.epoch_loss, ckpt.progress.epoch_batches);
+                elapsed_offset = ckpt.progress.elapsed_s;
+            }
+            None => {
+                opt = AdamOptimizer::new(self.cfg.lr);
+                opt.set_weight_decay(self.opts.weight_decay);
+                rng = deepod_tensor::rng_from_seed(self.cfg.seed ^ 0x7124);
+                curve = Vec::new();
+                step = 0usize;
+                best = f32::INFINITY;
+                since_best = 0usize;
+                final_train_loss = 0.0f32;
+                // Initial point so curves start at the untrained model.
+                let mae0 = self.validation_mae();
+                best = best.min(mae0);
+                curve.push(CurvePoint {
+                    step: 0,
+                    val_mae: mae0,
+                    elapsed_s: 0.0,
+                });
+                // Best-checkpoint snapshot (shallow Rc clones; copy-on-write
+                // keeps it intact while the optimizer updates the live
+                // store).
+                best_store = self.model.store.clone();
+                start_epoch = 0;
+                resume_batches = 0;
+                carried_epoch_loss = (0.0f32, 0usize);
+                elapsed_offset = 0.0f64;
+            }
+        }
 
-        'outer: for epoch in 0..self.cfg.epochs {
+        'outer: for epoch in start_epoch..self.cfg.epochs {
+            deepod_tensor::failpoint::hit("train::epoch");
             opt.set_lr(schedule.lr_at(epoch));
+            // State at the top of the epoch, *before* the shuffle: what a
+            // mid-epoch checkpoint records so resume can re-shuffle.
+            let epoch_rng_state = rng.state();
             // Shuffle sample order (Alg. 1 line 2).
             let mut order: Vec<usize> = (0..self.train_samples.len()).collect();
             for i in (1..order.len()).rev() {
                 order.swap(i, rng.gen_range(0..=i));
             }
-            let mut epoch_loss = 0.0f32;
-            let mut epoch_batches = 0usize;
-
-            for chunk in order.chunks(bs) {
+            let resuming_here = epoch == start_epoch;
+            let skip = if resuming_here { resume_batches } else { 0 };
+            let (mut epoch_loss, mut epoch_batches) = if resuming_here {
+                carried_epoch_loss
+            } else {
+                (0.0f32, 0usize)
+            };
+            for (batch_idx, chunk) in order.chunks(bs).enumerate().skip(skip) {
+                deepod_tensor::failpoint::hit("train::step");
                 let (batch_loss, mut grads) = self.batch_gradients(chunk, threads);
                 grads.scale(1.0 / chunk.len() as f32);
                 if self.opts.clip_norm > 0.0 {
@@ -345,6 +480,7 @@ impl<'a> Trainer<'a> {
                 }
                 opt.step(&mut self.model.store, &grads);
                 step += 1;
+                let batches_done = batch_idx + 1;
                 epoch_loss += batch_loss / chunk.len() as f32;
                 epoch_batches += 1;
 
@@ -355,7 +491,7 @@ impl<'a> Trainer<'a> {
                     curve.push(CurvePoint {
                         step,
                         val_mae: mae,
-                        elapsed_s: start.elapsed().as_secs_f64(),
+                        elapsed_s: elapsed_offset + start.elapsed().as_secs_f64(),
                     });
                     if self.opts.verbose {
                         eprintln!("step {step}: val MAE {mae:.1}s");
@@ -371,6 +507,31 @@ impl<'a> Trainer<'a> {
                         }
                     }
                 }
+
+                if let Some(every) = checkpoint_every {
+                    if every > 0 && step.is_multiple_of(every) {
+                        save(&TrainingCheckpoint {
+                            version: CHECKPOINT_VERSION,
+                            model: self.model.clone(),
+                            best_store: best_store.clone(),
+                            optimizer: opt.snapshot(),
+                            progress: TrainProgress {
+                                epoch,
+                                batches_done,
+                                step,
+                                rng_state: epoch_rng_state,
+                                curve: curve.clone(),
+                                best_val_mae: best,
+                                since_best,
+                                final_train_loss,
+                                epoch_loss,
+                                epoch_batches,
+                                elapsed_s: elapsed_offset + start.elapsed().as_secs_f64(),
+                                threads,
+                            },
+                        })?;
+                    }
+                }
             }
             final_train_loss = epoch_loss / epoch_batches.max(1) as f32;
             // Per-epoch evaluation point.
@@ -378,7 +539,7 @@ impl<'a> Trainer<'a> {
             curve.push(CurvePoint {
                 step,
                 val_mae: mae,
-                elapsed_s: start.elapsed().as_secs_f64(),
+                elapsed_s: elapsed_offset + start.elapsed().as_secs_f64(),
             });
             if mae < best {
                 best = mae;
@@ -386,6 +547,32 @@ impl<'a> Trainer<'a> {
             }
             if self.opts.verbose {
                 eprintln!("epoch {epoch}: train loss {final_train_loss:.2}, val MAE {mae:.1}s");
+            }
+
+            // Epoch-boundary checkpoint: `batches_done = 0` and the RNG
+            // state as it stands now, which *is* the start-of-next-epoch
+            // state (the next iteration shuffles from here).
+            if checkpoint_every.is_some() {
+                save(&TrainingCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    model: self.model.clone(),
+                    best_store: best_store.clone(),
+                    optimizer: opt.snapshot(),
+                    progress: TrainProgress {
+                        epoch: epoch + 1,
+                        batches_done: 0,
+                        step,
+                        rng_state: rng.state(),
+                        curve: curve.clone(),
+                        best_val_mae: best,
+                        since_best,
+                        final_train_loss,
+                        epoch_loss: 0.0,
+                        epoch_batches: 0,
+                        elapsed_s: elapsed_offset + start.elapsed().as_secs_f64(),
+                        threads,
+                    },
+                })?;
             }
         }
 
@@ -408,15 +595,15 @@ impl<'a> Trainer<'a> {
                 val_mae: best,
             });
 
-        TrainReport {
+        Ok(TrainReport {
             best_val_mae: best,
             convergence_step: conv.step,
             convergence_time_s: conv.elapsed_s,
             total_steps: step,
-            total_time_s: start.elapsed().as_secs_f64(),
+            total_time_s: elapsed_offset + start.elapsed().as_secs_f64(),
             final_train_loss,
             curve,
-        }
+        })
     }
 }
 
@@ -565,6 +752,118 @@ mod tests {
             (serial_mae - parallel_mae).abs() <= tol,
             "{serial_mae} vs {parallel_mae}"
         );
+    }
+
+    /// Bit-level equality of everything deterministic in two reports
+    /// (wall-clock fields excluded by design).
+    fn assert_reports_bit_equal(a: &TrainReport, b: &TrainReport) {
+        assert_eq!(a.curve.len(), b.curve.len());
+        for (pa, pb) in a.curve.iter().zip(&b.curve) {
+            assert_eq!(pa.step, pb.step);
+            assert_eq!(
+                pa.val_mae.to_bits(),
+                pb.val_mae.to_bits(),
+                "step {}: {} vs {}",
+                pa.step,
+                pa.val_mae,
+                pb.val_mae
+            );
+        }
+        assert_eq!(a.best_val_mae.to_bits(), b.best_val_mae.to_bits());
+        assert_eq!(a.final_train_loss.to_bits(), b.final_train_loss.to_bits());
+        assert_eq!(a.total_steps, b.total_steps);
+        assert_eq!(a.convergence_step, b.convergence_step);
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_matches_uninterrupted() {
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
+        let opts = || TrainOptions {
+            threads: 1,
+            eval_every: 3,
+            ..Default::default()
+        };
+
+        let baseline = Trainer::new(&ds, tiny_cfg(), opts())
+            .expect("trainer")
+            .train();
+
+        // An identical run that also *writes* checkpoints must not drift:
+        // collect every snapshot it would persist.
+        let mut ckpts: Vec<TrainingCheckpoint> = Vec::new();
+        let mut collector = Trainer::new(&ds, tiny_cfg(), opts()).expect("trainer");
+        let with_ckpts: Result<TrainReport, std::convert::Infallible> =
+            collector.train_driver(Some(2), |c| {
+                ckpts.push(c.clone());
+                Ok(())
+            });
+        let with_ckpts = match with_ckpts {
+            Ok(r) => r,
+            Err(e) => match e {},
+        };
+        assert_reports_bit_equal(&baseline, &with_ckpts);
+
+        // Resume from one mid-epoch and one epoch-boundary checkpoint;
+        // both must reproduce the uninterrupted run exactly.
+        let mid = ckpts
+            .iter()
+            .find(|c| c.progress.batches_done > 0)
+            .expect("a mid-epoch checkpoint");
+        let boundary = ckpts
+            .iter()
+            .find(|c| c.progress.batches_done == 0 && c.progress.epoch < tiny_cfg().epochs)
+            .expect("an epoch-boundary checkpoint");
+        for (label, ckpt) in [("mid-epoch", mid), ("epoch-boundary", boundary)] {
+            let mut resumed = Trainer::new(&ds, tiny_cfg(), opts()).expect("trainer");
+            resumed
+                .resume_from(ckpt.clone())
+                .expect("matching config and threads");
+            let report = resumed.train();
+            assert_eq!(
+                baseline.curve.len(),
+                report.curve.len(),
+                "{label}: curve length"
+            );
+            assert_reports_bit_equal(&baseline, &report);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_or_threads() {
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
+        let opts = || TrainOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let mut ckpts: Vec<TrainingCheckpoint> = Vec::new();
+        let mut t = Trainer::new(&ds, tiny_cfg(), opts()).expect("trainer");
+        let _: Result<TrainReport, std::convert::Infallible> = t.train_driver(Some(0), |c| {
+            ckpts.push(c.clone());
+            Ok(())
+        });
+        let ckpt = ckpts.first().expect("boundary checkpoint").clone();
+
+        let mut other_cfg = tiny_cfg();
+        other_cfg.seed ^= 1;
+        let mut t2 = Trainer::new(&ds, other_cfg, opts()).expect("trainer");
+        assert!(matches!(
+            t2.resume_from(ckpt.clone()),
+            Err(ModelError::InvalidConfig(_))
+        ));
+
+        let mut t3 = Trainer::new(
+            &ds,
+            tiny_cfg(),
+            TrainOptions {
+                threads: 7,
+                ..Default::default()
+            },
+        )
+        .expect("trainer");
+        assert!(matches!(
+            t3.resume_from(ckpt),
+            Err(ModelError::InvalidConfig(_))
+        ));
     }
 
     #[test]

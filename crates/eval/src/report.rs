@@ -103,11 +103,17 @@ impl TextTable {
 
 /// Writes a table to `results/<name>.csv` relative to the workspace root,
 /// creating the directory if needed. Returns the path written.
+///
+/// The write goes through the crash-safe [`deepod_core::io_guard`] (temp
+/// file + fsync + atomic rename), so an interrupted benchmark never leaves
+/// a torn CSV behind; the guard's typed error is wrapped back into
+/// `io::Error` to keep this signature stable for the bench binaries.
 pub fn write_csv(name: &str, table: &TextTable) -> std::io::Result<String> {
     let dir = Path::new("results");
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.csv"));
-    fs::write(&path, table.to_csv())?;
+    deepod_core::io_guard::atomic_write_str(&path, &table.to_csv())
+        .map_err(std::io::Error::other)?;
     Ok(path.display().to_string())
 }
 

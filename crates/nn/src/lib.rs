@@ -60,7 +60,7 @@ pub mod layers;
 pub use backward::{GradSlot, Gradients};
 pub use conv::{conv2d_forward, conv2d_grad_input, conv2d_grad_kernel};
 pub use graph::{Graph, VarId};
-pub use optim::{AdamOptimizer, LrSchedule, SgdOptimizer};
+pub use optim::{AdamOptimizer, AdamParamState, AdamSnapshot, LrSchedule, SgdOptimizer};
 pub use param::{ParamId, ParamStore};
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 //! assert_eq!(c.as_slice(), a.as_slice());
 //! ```
 
+pub mod failpoint;
 pub mod index;
 mod ops;
 pub mod parallel;

@@ -85,13 +85,31 @@ where
     F: Fn(Range<usize>) -> T + Sync,
 {
     let spans = split_ranges(len, threads);
+    // Fault-injection hook (`parallel::worker`): the fan-out *call* is
+    // counted here on the caller thread — which is sequenced
+    // deterministically by the training loop — and when the armed count is
+    // reached, the worker owning span 0 carries the injected panic. That
+    // keeps both the firing step and the dying thread deterministic.
+    let fail_this_call = crate::failpoint::should_fire("parallel::worker");
     if spans.len() <= 1 {
+        if fail_this_call {
+            crate::failpoint::fire("parallel::worker");
+        }
         return spans.into_iter().map(&f).collect();
     }
     std::thread::scope(|scope| {
+        let f = &f;
         let handles: Vec<_> = spans
             .into_iter()
-            .map(|span| scope.spawn(|| f(span)))
+            .enumerate()
+            .map(|(i, span)| {
+                scope.spawn(move || {
+                    if fail_this_call && i == 0 {
+                        crate::failpoint::fire("parallel::worker");
+                    }
+                    f(span)
+                })
+            })
             .collect();
         handles
             .into_iter()

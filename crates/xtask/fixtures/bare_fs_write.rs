@@ -1,0 +1,21 @@
+//! Fixture: bare filesystem writes that bypass the crash-safe
+//! `deepod_core::io_guard` path. Both library idioms fire; the test
+//! module's direct write (seeding a corrupt file on purpose) does not.
+
+use std::fs::File;
+
+pub fn save_report(path: &std::path::Path, body: &str) -> std::io::Result<()> {
+    std::fs::write(path, body) // fires: torn file on crash
+}
+
+pub fn open_log(path: &std::path::Path) -> std::io::Result<File> {
+    File::create(path) // fires: truncates before writing
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeding_corrupt_files_is_fine_in_tests() {
+        std::fs::write("/tmp/fixture", b"garbage").unwrap();
+    }
+}

@@ -20,6 +20,8 @@
 //! |                     | integer index type                                   |
 //! | `parallel-coverage` | a `pub fn` in `deepod_tensor::parallel` without a    |
 //! |                     | named `*serial*` regression test                     |
+//! | `no-bare-fs-write`  | `fs::write` / `File::create` outside `io_guard.rs`   |
+//! |                     | (bypasses the atomic-rename + checksum write path)   |
 
 use crate::lexer::{Lexed, TokKind, Token};
 use std::collections::BTreeSet;
@@ -32,7 +34,7 @@ use std::fmt;
 pub const DETERMINISTIC_CRATES: [&str; 4] = ["core", "nn", "tensor", "graphembed"];
 
 /// All rule names, in report order.
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 8] = [
     "unwrap",
     "expect",
     "panic",
@@ -40,6 +42,7 @@ pub const ALL_RULES: [&str; 7] = [
     "float-eq",
     "truncating-cast",
     "parallel-coverage",
+    "no-bare-fs-write",
 ];
 
 /// One lint finding.
@@ -240,6 +243,9 @@ const FLOAT_METHODS: [&str; 10] = [
 /// Runs every per-file rule, appending findings to `out`.
 pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     let toks = &ctx.lexed.tokens;
+    // The one module allowed to touch the filesystem directly: it *is*
+    // the crash-safe write path the `no-bare-fs-write` rule points at.
+    let is_io_guard = ctx.rel_path.ends_with("io_guard.rs");
     for i in 0..toks.len() {
         if ctx.test_mask[i] {
             continue;
@@ -333,6 +339,36 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                         "exact float comparison `{}`; use a tolerance, an ordering \
                          comparison, or an explicit allow for intentional exact-zero tests",
                         t.text
+                    ),
+                );
+            }
+        }
+
+        // --- no-bare-fs-write (applies to bins too: a torn CLI write is
+        //     exactly the crash-safety hole DESIGN.md §8 closes) ---
+        if !is_io_guard {
+            let bare = if t.is_ident("fs")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("write"))
+            {
+                Some("fs::write")
+            } else if t.is_ident("File")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("create"))
+            {
+                Some("File::create")
+            } else {
+                None
+            };
+            if let Some(what) = bare {
+                ctx.push(
+                    out,
+                    "no-bare-fs-write",
+                    line,
+                    format!(
+                        "`{what}` bypasses the crash-safe write path; use \
+                         `deepod_core::io_guard` (temp file + fsync + atomic \
+                         rename + checksum) instead"
                     ),
                 );
             }
@@ -543,6 +579,44 @@ mod tests {
         check_parallel_coverage("parallel.rs", &fns, &tests, &lexed, &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].msg.contains("tree_reduce"));
+    }
+
+    #[test]
+    fn bare_fs_write_fires_outside_io_guard() {
+        let src = "fn a() { std::fs::write(p, b)?; }";
+        assert_eq!(lint_lib_src(src).len(), 1);
+        assert_eq!(lint_lib_src(src)[0].rule, "no-bare-fs-write");
+        let src = "fn a() { let f = File::create(p)?; }";
+        assert_eq!(lint_lib_src(src)[0].rule, "no-bare-fs-write");
+        // Reads and directory creation stay legal.
+        assert!(lint_lib_src("fn a() { fs::read_to_string(p)?; }").is_empty());
+        assert!(lint_lib_src("fn a() { fs::create_dir_all(p)?; }").is_empty());
+    }
+
+    #[test]
+    fn bare_fs_write_exempts_io_guard_and_tests() {
+        let src = "fn a() { std::fs::write(p, b)?; }";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("crates/core/src/io_guard.rs", "core", &lexed, false, false);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert!(out.is_empty(), "io_guard.rs may write directly: {out:?}");
+
+        let src = "#[test]\nfn t() { std::fs::write(p, b).unwrap(); }\n";
+        assert!(lint_lib_src(src).is_empty(), "test code may seed files");
+    }
+
+    #[test]
+    fn bare_fs_write_fires_in_bins_too() {
+        let src = "fn main() { std::fs::write(p, b).ok(); }";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("crates/cli/src/main.rs", "cli", &lexed, false, true);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert!(
+            out.iter().any(|f| f.rule == "no-bare-fs-write"),
+            "bins are not exempt: {out:?}"
+        );
     }
 
     #[test]

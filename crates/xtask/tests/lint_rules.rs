@@ -84,6 +84,15 @@ fn parallel_coverage_rule_fires() {
 }
 
 #[test]
+fn bare_fs_write_rule_fires() {
+    assert_eq!(
+        rules_fired("bare_fs_write.rs", "eval"),
+        vec!["no-bare-fs-write", "no-bare-fs-write"],
+        "fs::write and File::create both fire; the test module does not"
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_false_positives() {
     let findings = xtask::lint_file_as(&fixture("clean.rs"), "tensor").expect("fixture");
     assert!(findings.is_empty(), "false positives: {findings:#?}");

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: release build, test suite, warning-free clippy,
-# formatting, and the workspace invariant checker (deepod-lint).
+# Full local gate: release build, test suite, fault injection,
+# warning-free clippy, formatting, and the workspace invariant checker
+# (deepod-lint).
 # Run from anywhere; operates on the workspace containing this script.
 # Any failing step (including lint findings) exits nonzero.
 set -euo pipefail
@@ -8,6 +9,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Fault-injection stage: drives the real `deepod` binary under several
+# DEEPOD_FAILPOINTS schedules (epoch-boundary kill, mid-epoch step kill,
+# injected worker panic, torn-rename crash) and asserts lossless,
+# bit-identical resume plus checksum rejection of corrupt checkpoints.
+cargo test -q -p deepod-cli --test crash_resume
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q -p xtask -- lint
