@@ -1,4 +1,4 @@
-//! Extensions beyond the paper's evaluation (DESIGN.md §9): the
+//! Extensions beyond the paper's evaluation (DESIGN.md §10): the
 //! route-based TTE reference predictor and goal-directed routing
 //! (A*/ALT vs Dijkstra) — ablation-style evidence for two design choices
 //! the core system makes (OD-only inputs; plain Dijkstra in the
@@ -6,7 +6,7 @@
 
 use deepod_baselines::RouteTtePredictor;
 use deepod_bench::{banner, city_name, dataset, Scale};
-use deepod_eval::{run_method, write_csv, Method, TextTable};
+use deepod_eval::{metric_cell, run_method, write_csv, Method, TextTable};
 use deepod_roadnet::{
     alt_shortest_path, astar_shortest_path, dijkstra_shortest_path, CityProfile, Landmarks, NodeId,
 };
@@ -38,8 +38,8 @@ fn main() {
         table.row(&[
             city_name(profile).into(),
             "RouteTTE".into(),
-            format!("{:.1}", r.metrics.mae),
-            format!("{:.2}", r.metrics.mape_pct),
+            metric_cell(r.metrics.mae, 1),
+            metric_cell(r.metrics.mape_pct, 2),
         ]);
     }
     let _ = write_csv("ext_route_tte", &table);

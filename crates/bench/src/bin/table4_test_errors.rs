@@ -6,7 +6,9 @@
 
 use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale, CITIES};
 use deepod_core::Variant;
-use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
+use deepod_eval::{
+    all_baselines, metric_cell, run_method, write_csv, DeepOdMethod, Method, TextTable,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -35,9 +37,9 @@ fn main() {
             table.row(&[
                 city_name(profile).into(),
                 r.name.clone(),
-                format!("{:.1}", r.metrics.mae),
-                format!("{:.2}", r.metrics.mape_pct),
-                format!("{:.2}", r.metrics.mare_pct),
+                metric_cell(r.metrics.mae, 1),
+                metric_cell(r.metrics.mape_pct, 2),
+                metric_cell(r.metrics.mare_pct, 2),
             ]);
         }
 
@@ -68,9 +70,9 @@ fn main() {
             table.row(&[
                 city_name(profile).into(),
                 r.name.clone(),
-                format!("{:.1}", r.metrics.mae),
-                format!("{:.2}", r.metrics.mape_pct),
-                format!("{:.2}", r.metrics.mare_pct),
+                metric_cell(r.metrics.mae, 1),
+                metric_cell(r.metrics.mape_pct, 2),
+                metric_cell(r.metrics.mare_pct, 2),
             ]);
         }
     }

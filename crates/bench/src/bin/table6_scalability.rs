@@ -2,7 +2,9 @@
 //! 20 / 40 / 60 / 80 / 100 % of the Beijing training data.
 
 use deepod_bench::{banner, dataset, sweep_config, train_options, Scale};
-use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
+use deepod_eval::{
+    all_baselines, metric_cell, run_method, write_csv, DeepOdMethod, Method, TextTable,
+};
 use deepod_roadnet::CityProfile;
 
 fn main() {
@@ -53,8 +55,8 @@ fn main() {
             table.row(&[
                 format!("{:.0}%", frac * 100.0),
                 r.name.clone(),
-                format!("{:.2}", r.metrics.mape_pct),
-                format!("{:.1}", r.metrics.mae),
+                metric_cell(r.metrics.mape_pct, 2),
+                metric_cell(r.metrics.mae, 1),
             ]);
         }
     }

@@ -25,6 +25,13 @@ USAGE:
   deepod info     --data FILE
   deepod help
 
+Global flags (any subcommand):
+  --log-format <text|json>   structured-event format on stderr
+                             (env DEEPOD_LOG_FORMAT; verbosity via
+                             DEEPOD_LOG=off|error|warn|info|debug|trace)
+  --metrics FILE             flush the metrics registry to FILE as
+                             checksummed JSON at exit (env DEEPOD_METRICS)
+
 Crash safety: train checkpoints atomically (default FILE.ckpt next to
 --out) and `--resume` continues a killed run with bit-identical curves.
 predict falls back to the route-tte baseline (exit code 2) when the model
@@ -230,8 +237,11 @@ fn predict(args: &Args) -> Result<Outcome, String> {
             }
         }
         Err(why) => {
-            eprintln!("warning: {why}");
-            eprintln!("warning: falling back to the route-tte baseline (degraded accuracy)");
+            deepod_core::obs::warn(
+                "cli",
+                "falling back to the route-tte baseline (degraded accuracy)",
+                &[("why", why.as_str().into())],
+            );
             let mut fallback = RouteTtePredictor::new();
             fallback.fit(&ds);
             match fallback.predict(&od) {
@@ -270,7 +280,8 @@ fn eval_cmd(args: &Args) -> Result<Outcome, String> {
     if pairs.is_empty() {
         return Err("no test order could be evaluated".into());
     }
-    let m = deepod_eval::Metrics::from_pairs(&pairs);
+    let m =
+        deepod_eval::Metrics::from_pairs(&pairs).map_err(|e| format!("computing metrics: {e}"))?;
     println!(
         "test metrics over {} trips: MAE {:.1}s | MAPE {:.2}% | MARE {:.2}%",
         pairs.len(),

@@ -8,6 +8,14 @@
 //! * `eval`     — load a model + dataset and report test MAE/MAPE/MARE.
 //! * `info`     — print summary statistics of a dataset or model file.
 //!
+//! Global observability flags (stripped before subcommand dispatch):
+//!
+//! * `--log-format {text,json}` — structured-event format on stderr
+//!   (also `DEEPOD_LOG_FORMAT`); verbosity comes from `DEEPOD_LOG`
+//!   (`off|error|warn|info|debug|trace`, default `warn`).
+//! * `--metrics FILE` — flush the process-wide metrics registry to FILE
+//!   as checksummed JSON at exit (also `DEEPOD_METRICS`).
+//!
 //! Example round trip:
 //!
 //! ```text
@@ -28,12 +36,63 @@ use std::process::ExitCode;
 /// the route-tte prediction fallback): distinct from both success (0) and
 /// error (1) so callers can react without parsing output. The
 /// fault-injection kill action uses its own code
-/// ([`deepod_tensor::failpoint::KILL_EXIT_CODE`] = 70).
+/// ([`deepod_tensor::failpoint::KILL_EXIT_CODE`] = 70); a malformed
+/// `DEEPOD_FAILPOINTS` spec exits with
+/// [`deepod_tensor::failpoint::CONFIG_EXIT_CODE`] = 78.
 const EXIT_DEGRADED: u8 = 2;
 
+/// Removes `--flag value` from `argv` and returns the value, if present.
+fn extract_value(argv: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = argv.iter().position(|a| a == flag)?;
+    if i + 1 < argv.len() {
+        let v = argv.remove(i + 1);
+        argv.remove(i);
+        Some(v)
+    } else {
+        None
+    }
+}
+
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&argv) {
+    // Validate DEEPOD_FAILPOINTS up front: a malformed spec must abort
+    // (exit 78) even for commands that never visit a failpoint site, not
+    // lie dormant until the first `hit()` lazily parses it.
+    let _ = deepod_tensor::failpoint::armed();
+
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+
+    // Observability is process-global, so its flags are global too: strip
+    // them here before the subcommand parsers see the argument list.
+    let log_format = extract_value(&mut argv, "--log-format");
+    let metrics_path = extract_value(&mut argv, "--metrics").or_else(|| {
+        std::env::var("DEEPOD_METRICS")
+            .ok()
+            .filter(|s| !s.is_empty())
+    });
+
+    deepod_core::obs::ensure_init();
+    if let Some(fmt) = log_format {
+        match deepod_core::obs::LogFormat::parse(&fmt) {
+            Some(f) => deepod_core::obs::set_format(f),
+            None => {
+                eprintln!("error: --log-format expects 'text' or 'json', got '{fmt}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let outcome = commands::dispatch(&argv);
+
+    // Flush metrics even when the command failed: the artifact is most
+    // useful exactly when something went wrong.
+    if let Some(path) = metrics_path {
+        if let Err(e) = deepod_core::obs::registry::flush_to_path(std::path::Path::new(&path)) {
+            eprintln!("error: writing metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match outcome {
         Ok(commands::Outcome::Ok) => ExitCode::SUCCESS,
         Ok(commands::Outcome::Degraded) => ExitCode::from(EXIT_DEGRADED),
         Err(e) => {

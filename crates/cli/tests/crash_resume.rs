@@ -32,9 +32,18 @@ fn run(args: &[&str], failpoints: Option<&str>) -> Output {
     let mut cmd = Command::new(bin());
     cmd.args(args);
     // Isolate every subprocess from the test environment; thread counts
-    // are always passed explicitly for determinism.
-    cmd.env_remove("DEEPOD_FAILPOINTS");
-    cmd.env_remove("DEEPOD_THREADS");
+    // are always passed explicitly for determinism, and observability is
+    // left at its defaults (the fallback warning asserted below rides on
+    // the default `warn` level).
+    for var in [
+        "DEEPOD_FAILPOINTS",
+        "DEEPOD_THREADS",
+        "DEEPOD_LOG",
+        "DEEPOD_LOG_FORMAT",
+        "DEEPOD_METRICS",
+    ] {
+        cmd.env_remove(var);
+    }
     if let Some(fp) = failpoints {
         cmd.env("DEEPOD_FAILPOINTS", fp);
     }

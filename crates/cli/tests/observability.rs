@@ -1,0 +1,309 @@
+//! Observability integration suite: drives the real `deepod` binary and
+//! proves the `deepod_core::obs` contract end to end:
+//!
+//! * `--log-format json` produces stderr where **every** line parses as a
+//!   JSON object carrying `level` / `target` / `msg` keys (golden-format
+//!   test for log shippers);
+//! * `--metrics FILE` writes a checksummed artifact that round-trips
+//!   through `io_guard` verification and contains the per-epoch loss
+//!   series, validation-MAE series, checkpoint save latency, and the
+//!   `io_guard.retries` counter from a real `train` run;
+//! * observability is free of heisenbugs: training curves are
+//!   bit-identical with `DEEPOD_LOG=trace` vs `DEEPOD_LOG=off`;
+//! * counters are thread-invariant: `threads=1` and `threads=2` runs
+//!   produce identical counter maps (wall-clock lives only in gauges and
+//!   histograms);
+//! * a malformed `DEEPOD_FAILPOINTS` spec is a hard configuration error
+//!   (exit 78), never a silently dropped failpoint.
+
+use deepod_core::obs::registry::MetricsSnapshot;
+use deepod_core::TrainReport;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_deepod")
+}
+
+/// Runs the binary with a fully isolated observability environment; the
+/// extra `env` pairs configure each run explicitly.
+fn run(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    for var in [
+        "DEEPOD_FAILPOINTS",
+        "DEEPOD_THREADS",
+        "DEEPOD_LOG",
+        "DEEPOD_LOG_FORMAT",
+        "DEEPOD_METRICS",
+    ] {
+        cmd.env_remove(var);
+    }
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn deepod binary")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+struct Setup {
+    dir: PathBuf,
+    data: String,
+}
+
+impl Setup {
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).display().to_string()
+    }
+
+    /// `deepod train` argv shared by this suite: 2 epochs, fixed seed,
+    /// epoch-boundary checkpoints (so checkpoint metrics exist).
+    fn train_args<'a>(
+        &'a self,
+        threads: &'a str,
+        ckpt: &'a str,
+        report: &'a str,
+        model: &'a str,
+    ) -> Vec<&'a str> {
+        vec![
+            "train",
+            "--data",
+            &self.data,
+            "--epochs",
+            "2",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+            "--checkpoint",
+            ckpt,
+            "--report",
+            report,
+            "--out",
+            model,
+        ]
+    }
+}
+
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("deepod_obs_suite_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("suite temp dir");
+        let data = dir.join("city.json").display().to_string();
+        let out = run(
+            &[
+                "simulate",
+                "--profile",
+                "chengdu",
+                "--orders",
+                "60",
+                "--out",
+                &data,
+            ],
+            &[],
+        );
+        assert!(out.status.success(), "simulate failed: {}", stderr_of(&out));
+        Setup { dir, data }
+    })
+}
+
+fn read_report(path: &str) -> TrainReport {
+    let json = std::fs::read_to_string(path).expect("report file");
+    serde_json::from_str(&json).expect("report parses")
+}
+
+fn read_metrics(path: &str) -> MetricsSnapshot {
+    let payload = deepod_core::io_guard::read_checksummed(std::path::Path::new(path))
+        .expect("metrics artifact passes checksum verification");
+    let text = String::from_utf8(payload).expect("metrics artifact is utf-8");
+    MetricsSnapshot::from_json(&text).expect("metrics artifact parses")
+}
+
+#[test]
+fn json_log_lines_parse_and_metrics_artifact_is_complete() {
+    let s = setup();
+    let (ckpt, report, model, metrics) = (
+        s.path("json.ckpt"),
+        s.path("json_report.json"),
+        s.path("json_model.json"),
+        s.path("json_metrics.json"),
+    );
+    let mut args = s.train_args("1", &ckpt, &report, &model);
+    args.extend(["--log-format", "json", "--metrics", &metrics]);
+    let out = run(&args, &[("DEEPOD_LOG", "debug")]);
+    assert!(out.status.success(), "train failed: {}", stderr_of(&out));
+
+    // Golden format: every stderr line is a JSON object with the event
+    // schema keys. A single stray bare print breaks log shippers.
+    let stderr = stderr_of(&out);
+    let lines: Vec<&str> = stderr.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(
+        !lines.is_empty(),
+        "debug level must produce events; stderr empty"
+    );
+    for line in &lines {
+        let v = serde::json::parse(line)
+            .unwrap_or_else(|e| panic!("stderr line is not JSON ({e}): {line}"));
+        for key in ["level", "target", "msg", "t_ms"] {
+            assert!(
+                serde::json::obj_field(&v, key).is_ok(),
+                "event missing '{key}': {line}"
+            );
+        }
+    }
+
+    // The artifact round-trips through io_guard checksum verification and
+    // carries the acceptance-criteria contents from a real train run.
+    let snap = read_metrics(&metrics);
+    let c = |name: &str| -> u64 {
+        *snap
+            .counters
+            .get(name)
+            .unwrap_or_else(|| panic!("counter '{name}' missing: {:?}", snap.counters))
+    };
+    assert!(c("train.steps") > 0, "per-step counter");
+    assert_eq!(c("train.epochs"), 2, "one increment per epoch");
+    assert!(c("checkpoint.saves") > 0, "epoch-boundary checkpoints");
+    assert!(c("io_guard.writes") > 0, "model/report/checkpoint writes");
+    assert_eq!(
+        c("io_guard.retries"),
+        0,
+        "retry counter must exist even when no write was retried"
+    );
+
+    let save_ms = snap
+        .histograms
+        .get("checkpoint.save_ms")
+        .expect("checkpoint save latency histogram");
+    assert_eq!(save_ms.count, c("checkpoint.saves"), "one sample per save");
+    assert!(save_ms.sum >= 0.0);
+    assert!(
+        snap.histograms.contains_key("io_guard.fsync_ms"),
+        "fsync timing span"
+    );
+
+    let epoch_loss = snap
+        .series
+        .get("train.epoch_loss")
+        .expect("per-epoch loss series");
+    assert_eq!(epoch_loss.len(), 2, "one point per epoch");
+    assert!(
+        epoch_loss.iter().all(|p| p.value.is_finite()),
+        "losses are finite: {epoch_loss:?}"
+    );
+    let val_mae = snap
+        .series
+        .get("train.val_mae")
+        .expect("validation MAE series");
+    assert!(!val_mae.is_empty());
+    assert!(
+        snap.gauges.contains_key("train.best_val_mae"),
+        "best-MAE gauge"
+    );
+}
+
+#[test]
+fn training_is_bit_identical_with_observability_on_vs_off() {
+    let s = setup();
+    let run_with_log = |tag: &str, log: &str| -> TrainReport {
+        let (ckpt, report, model) = (
+            s.path(&format!("{tag}.ckpt")),
+            s.path(&format!("{tag}_report.json")),
+            s.path(&format!("{tag}_model.json")),
+        );
+        let mut args = s.train_args("1", &ckpt, &report, &model);
+        args.extend(["--log-format", "text"]);
+        let out = run(&args, &[("DEEPOD_LOG", log)]);
+        assert!(out.status.success(), "{tag}: {}", stderr_of(&out));
+        if log == "off" {
+            assert!(
+                stderr_of(&out).is_empty(),
+                "DEEPOD_LOG=off must silence stderr: {}",
+                stderr_of(&out)
+            );
+        }
+        read_report(&report)
+    };
+    let loud = run_with_log("trace_run", "trace");
+    let quiet = run_with_log("off_run", "off");
+
+    assert_eq!(loud.curve.len(), quiet.curve.len(), "curve length");
+    for (a, b) in loud.curve.iter().zip(&quiet.curve) {
+        assert_eq!(a.step, b.step);
+        assert_eq!(
+            a.val_mae.to_bits(),
+            b.val_mae.to_bits(),
+            "val_mae at step {} ({} vs {})",
+            a.step,
+            a.val_mae,
+            b.val_mae
+        );
+    }
+    assert_eq!(loud.best_val_mae.to_bits(), quiet.best_val_mae.to_bits());
+    assert_eq!(
+        loud.final_train_loss.to_bits(),
+        quiet.final_train_loss.to_bits()
+    );
+    assert_eq!(loud.total_steps, quiet.total_steps);
+}
+
+#[test]
+fn counters_are_identical_across_thread_counts() {
+    let s = setup();
+    let counters_with_threads = |tag: &str, threads: &str| {
+        let (ckpt, report, model, metrics) = (
+            s.path(&format!("{tag}.ckpt")),
+            s.path(&format!("{tag}_report.json")),
+            s.path(&format!("{tag}_model.json")),
+            s.path(&format!("{tag}_metrics.json")),
+        );
+        let mut args = s.train_args(threads, &ckpt, &report, &model);
+        args.extend(["--metrics", &metrics]);
+        let out = run(&args, &[]);
+        assert!(out.status.success(), "{tag}: {}", stderr_of(&out));
+        read_metrics(&metrics).counters
+    };
+    let t1 = counters_with_threads("counters_t1", "1");
+    let t2 = counters_with_threads("counters_t2", "2");
+    assert_eq!(
+        t1, t2,
+        "counters must be a pure function of the work done, not the thread count"
+    );
+    assert!(t1.contains_key("train.steps"), "{t1:?}");
+}
+
+#[test]
+fn malformed_failpoint_spec_is_a_hard_config_error() {
+    let s = setup();
+    for (spec, why) in [
+        ("garbage", "no colon at all"),
+        ("train::step:zzz:kill", "hit count is not a number"),
+        ("train::step:1:explode", "unknown action"),
+    ] {
+        let out = run(&["info", "--data", &s.data], &[("DEEPOD_FAILPOINTS", spec)]);
+        assert_eq!(
+            out.status.code(),
+            Some(deepod_tensor::failpoint::CONFIG_EXIT_CODE),
+            "spec '{spec}' ({why}) must exit {}: stderr {}",
+            deepod_tensor::failpoint::CONFIG_EXIT_CODE,
+            stderr_of(&out)
+        );
+        assert!(
+            stderr_of(&out).contains("malformed DEEPOD_FAILPOINTS"),
+            "stderr: {}",
+            stderr_of(&out)
+        );
+    }
+
+    // A well-formed spec naming a site that never fires stays harmless.
+    let out = run(
+        &["info", "--data", &s.data],
+        &[("DEEPOD_FAILPOINTS", "no::such_site:1")],
+    );
+    assert!(out.status.success(), "{}", stderr_of(&out));
+}

@@ -112,9 +112,21 @@ impl TrainingCheckpoint {
     /// footer. A crash at any point leaves either the previous checkpoint
     /// or the new one on disk — never a torn file.
     pub fn save(&self, path: &Path) -> Result<(), ModelError> {
+        let span = crate::obs::TimingSpan::start("checkpoint", "checkpoint.save_ms");
         let json =
             serde_json::to_string(self).map_err(|e| ModelError::Serialization(e.to_string()))?;
         io_guard::write_checksummed(path, json.as_bytes())?;
+        crate::obs::registry::counter_inc("checkpoint.saves");
+        crate::obs::debug(
+            "checkpoint",
+            "checkpoint saved",
+            &[
+                ("path", path.display().to_string().into()),
+                ("step", self.progress.step.into()),
+                ("epoch", self.progress.epoch.into()),
+                ("ms", span.elapsed_ms().into()),
+            ],
+        );
         Ok(())
     }
 
@@ -123,6 +135,8 @@ impl TrainingCheckpoint {
     /// surfaces as [`ModelError::Io`]; a parseable file of the wrong
     /// version as [`ModelError::Serialization`].
     pub fn load(path: &Path) -> Result<Self, ModelError> {
+        let _span = crate::obs::TimingSpan::start("checkpoint", "checkpoint.load_ms");
+        crate::obs::registry::counter_inc("checkpoint.loads");
         let bytes = io_guard::read_checksummed(path)?;
         let json = std::str::from_utf8(&bytes)
             .map_err(|e| ModelError::Serialization(format!("checkpoint is not UTF-8 JSON: {e}")))?;

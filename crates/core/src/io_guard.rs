@@ -163,24 +163,46 @@ fn with_retry<T>(
     op: &'static str,
     mut attempt: impl FnMut() -> std::io::Result<T>,
 ) -> Result<T, IoGuardError> {
+    // Reported even when zero so `io_guard.retries` always exists in a
+    // metrics snapshot: "no retries happened" is itself a finding.
+    let mut retries: u64 = 0;
+    let report = |n: u64| crate::obs::registry::counter_add("io_guard.retries", n);
     let mut last: Option<std::io::Error> = None;
     for (tries, backoff_ms) in RETRY_BACKOFF_MS.iter().enumerate() {
         match attempt() {
-            Ok(v) => return Ok(v),
+            Ok(v) => {
+                report(retries);
+                return Ok(v);
+            }
             Err(e)
                 if matches!(
                     e.kind(),
                     ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
                 ) =>
             {
+                retries += 1;
+                crate::obs::debug(
+                    "io_guard",
+                    "transient error, retrying",
+                    &[
+                        ("op", op.into()),
+                        ("path", path.display().to_string().into()),
+                        ("attempt", (tries + 1).into()),
+                        ("why", e.to_string().into()),
+                    ],
+                );
                 if tries + 1 < RETRY_BACKOFF_MS.len() {
                     std::thread::sleep(std::time::Duration::from_millis(*backoff_ms));
                 }
                 last = Some(e);
             }
-            Err(e) => return Err(io_err(path, op, &e)),
+            Err(e) => {
+                report(retries);
+                return Err(io_err(path, op, &e));
+            }
         }
     }
+    report(retries);
     let e = last.unwrap_or_else(|| std::io::Error::other("retry loop exhausted"));
     Err(io_err(path, op, &e))
 }
@@ -190,12 +212,18 @@ fn with_retry<T>(
 /// content of `path` is still intact.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), IoGuardError> {
     deepod_tensor::failpoint::hit("io_guard::pre_write");
+    crate::obs::registry::counter_inc("io_guard.writes");
+    crate::obs::registry::observe("io_guard.write_bytes", bytes.len() as f64);
     let tmp = tmp_path(path);
-    with_retry(&tmp, "write temp file for", || {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()
-    })?;
+    {
+        // Covers create + write + fsync: the durability-critical stretch.
+        let _fsync = crate::obs::TimingSpan::start("io_guard", "io_guard.fsync_ms");
+        with_retry(&tmp, "write temp file for", || {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()
+        })?;
+    }
     // A crash here must leave the *target* untouched: only the `.tmp`
     // orphan may remain. The kill/resume suite arms this site to prove it.
     deepod_tensor::failpoint::hit("io_guard::pre_rename");
@@ -231,6 +259,7 @@ pub fn write_checksummed(path: &Path, payload: &[u8]) -> Result<(), IoGuardError
 /// and checksum. Returns the payload bytes; any inconsistency is a typed
 /// error, never a panic and never silently wrong bytes.
 pub fn read_checksummed(path: &Path) -> Result<Vec<u8>, IoGuardError> {
+    crate::obs::registry::counter_inc("io_guard.reads");
     let mut bytes = Vec::new();
     with_retry(path, "read", || {
         bytes.clear();

@@ -40,6 +40,7 @@ mod features;
 mod interval_encoder;
 pub mod io_guard;
 mod model;
+pub mod obs;
 mod od_encoder;
 mod temporal_graph;
 mod timeslot;

@@ -105,6 +105,28 @@ pub struct SampleForward {
     pub stcode: Option<VarId>,
 }
 
+/// Tape nodes of one sample's training loss and its components.
+pub struct SampleLossNodes {
+    /// The combined loss node that gradients flow from.
+    pub loss: VarId,
+    /// The main MAE term `|ŷ − y|` on the standardized label.
+    pub main: VarId,
+    /// The scaled code-binding term `‖code − stcode‖ / √d`, absent when
+    /// the variant has no trajectory branch or the sample has no steps.
+    pub aux: Option<VarId>,
+}
+
+/// A sample loss decomposed for observability (values, not nodes).
+#[derive(Clone, Copy, Debug)]
+pub struct LossParts {
+    /// The combined training loss (what the optimizer minimizes).
+    pub total: f32,
+    /// Main MAE component.
+    pub main: f32,
+    /// Auxiliary code-binding component (0 when absent).
+    pub aux: f32,
+}
+
 impl DeepOdModel {
     /// Builds the model and initializes both embedding tables per the
     /// configured policy, pre-training on the road line graph and the
@@ -292,11 +314,20 @@ impl DeepOdModel {
     /// Training loss for one sample:
     /// `w · ‖code − stcode‖ + (1 − w) · |ŷ − y|` (Alg. 1 lines 10–12).
     pub fn sample_loss(&mut self, g: &mut Graph, sample: &EncodedSample) -> VarId {
+        self.sample_loss_nodes(g, sample).loss
+    }
+
+    /// Like [`Self::sample_loss`], but also exposes the component nodes so
+    /// callers can *read* the M_O/M_T balance (the `w` mix the paper's
+    /// §4.4 tunes) without perturbing the tape: reading a node's value is
+    /// side-effect free, so the combined loss and its gradients stay
+    /// bit-identical whether or not the components are observed.
+    pub fn sample_loss_nodes(&mut self, g: &mut Graph, sample: &EncodedSample) -> SampleLossNodes {
         let fwd = self.forward_sample(g, sample, true);
         let y_norm = self.normalize_y(sample.travel_time);
         let target = g.input(Tensor::from_vec(vec![y_norm], &[1]));
         let main = g.mean_abs_error(fwd.prediction, target);
-        match fwd.stcode {
+        let loss = match fwd.stcode {
             Some(st) => {
                 // Per-dimension RMS distance: the paper's Euclidean binding
                 // rescaled to O(1) so it mixes with the standardized main
@@ -308,7 +339,7 @@ impl DeepOdModel {
                 let aux_w = g.scale(aux, w);
                 let main_w = g.scale(main, 1.0 - w);
                 let combined = g.add(aux_w, main_w);
-                if self.config.stcode_supervision {
+                let combined = if self.config.stcode_supervision {
                     // Anti-collapse term: the trivial minimizer of the
                     // auxiliary distance is a constant stcode. A dedicated
                     // train-only head supervises stcode so the trajectory
@@ -322,9 +353,19 @@ impl DeepOdModel {
                     g.add(combined, st_w)
                 } else {
                     combined
-                }
+                };
+                return SampleLossNodes {
+                    loss: combined,
+                    main,
+                    aux: Some(aux),
+                };
             }
             None => main,
+        };
+        SampleLossNodes {
+            loss,
+            main,
+            aux: None,
         }
     }
 
@@ -350,10 +391,24 @@ impl DeepOdModel {
 
     /// Gradients for one sample (builds and differentiates a fresh tape).
     pub fn sample_gradients(&mut self, sample: &EncodedSample) -> (f32, Gradients) {
+        let (parts, grads) = self.sample_gradients_traced(sample);
+        (parts.total, grads)
+    }
+
+    /// Like [`Self::sample_gradients`], but the loss comes back decomposed
+    /// into its main (MAE) and auxiliary (code-binding) components for the
+    /// observability layer. The extra values are plain node reads, so the
+    /// gradients — and the total — match [`Self::sample_gradients`] bit
+    /// for bit.
+    pub fn sample_gradients_traced(&mut self, sample: &EncodedSample) -> (LossParts, Gradients) {
         let mut g = Graph::new();
-        let loss = self.sample_loss(&mut g, sample);
-        let l = g.value(loss).item();
-        (l, g.backward(loss))
+        let nodes = self.sample_loss_nodes(&mut g, sample);
+        let parts = LossParts {
+            total: g.value(nodes.loss).item(),
+            main: g.value(nodes.main).item(),
+            aux: nodes.aux.map_or(0.0, |a| g.value(a).item()),
+        };
+        (parts, g.backward(nodes.loss))
     }
 
     /// Online estimation (Alg. 1, `Estimation`): only M_O and M_E run.

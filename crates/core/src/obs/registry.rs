@@ -1,0 +1,446 @@
+//! Process-wide metrics registry: counters, gauges, fixed-bucket
+//! histograms, and indexed series, flushed through `io_guard` as a
+//! checksummed `metrics.json` artifact.
+//!
+//! # Determinism contract (DESIGN.md §9)
+//!
+//! * **Counters** are progress counts — pure functions of `(input, seed)`
+//!   and invariant under the thread count. The integration suite diffs the
+//!   full counter map across `threads=1` and `threads=N` runs.
+//! * **Gauges / histograms** may carry wall-clock durations, byte sizes,
+//!   and fan-out shapes: anything useful for diagnosis, no invariance
+//!   promised.
+//! * **Series** are `(index, value)` curves (per-epoch loss, per-eval val
+//!   MAE) — deterministic for a fixed `(seed, threads)` pair but, like the
+//!   losses themselves, not across thread counts.
+//!
+//! All maps are `BTreeMap`s so snapshots serialize in one canonical order.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+use crate::io_guard::{self, IoGuardError};
+
+/// Histogram bucket bounds for duration metrics (`*_ms`), in milliseconds.
+const MS_BOUNDS: &[f64] = &[
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+];
+
+/// Histogram bucket bounds for size metrics (`*_bytes`), in bytes.
+const BYTES_BOUNDS: &[f64] = &[
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0, 16777216.0,
+];
+
+/// Histogram bucket bounds for everything else (dimensionless values such
+/// as gradient norms or span sizes).
+const GENERIC_BOUNDS: &[f64] = &[0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0, 1000.0, 10000.0];
+
+/// Picks bucket bounds from the metric-name suffix, so call sites never
+/// configure buckets: `*_ms` → durations, `*_bytes` → sizes, else generic.
+fn bounds_for(name: &str) -> &'static [f64] {
+    if name.ends_with("_ms") {
+        MS_BOUNDS
+    } else if name.ends_with("_bytes") {
+        BYTES_BOUNDS
+    } else {
+        GENERIC_BOUNDS
+    }
+}
+
+/// One histogram's state: cumulative bucket counts plus summary stats.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets (ascending); an implicit
+    /// overflow bucket follows, so `counts.len() == bounds.len() + 1`.
+    pub bounds: Vec<f64>,
+    /// Observations per bucket (last entry = overflow).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn new(bounds: &'static [f64]) -> Self {
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+/// One point of an indexed series (`index` = epoch, step, ...).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Position of the point on the series' axis.
+    pub index: u64,
+    /// Observed value at that position.
+    pub value: f64,
+}
+
+/// A point-in-time copy of the whole registry — what `metrics.json` holds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic, thread-invariant progress counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins instantaneous values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket distributions (durations, sizes, norms).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Indexed curves (per-epoch loss, per-eval val MAE).
+    pub series: BTreeMap<String, Vec<SeriesPoint>>,
+}
+
+fn registry() -> &'static Mutex<MetricsSnapshot> {
+    static REG: OnceLock<Mutex<MetricsSnapshot>> = OnceLock::new();
+    REG.get_or_init(|| {
+        // First registry touch also wires the tensor-layer sink.
+        super::ensure_init();
+        Mutex::new(MetricsSnapshot::default())
+    })
+}
+
+fn with<R>(f: impl FnOnce(&mut MetricsSnapshot) -> R) -> R {
+    // Poisoning only marks a panic elsewhere; the maps stay valid.
+    let mut inner = registry().lock().unwrap_or_else(|p| p.into_inner());
+    f(&mut inner)
+}
+
+/// Adds `delta` to a counter, creating it at zero first. Passing
+/// `delta = 0` is meaningful: it materializes the key so downstream
+/// consumers can distinguish "never happened" from "not instrumented".
+pub fn counter_add(name: &str, delta: u64) {
+    with(|r| {
+        *r.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Increments a counter by one.
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Sets a gauge to an absolute value (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    with(|r| {
+        r.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Records one observation into the named histogram; buckets are chosen
+/// from the name suffix (see [`bounds_for`]).
+pub fn observe(name: &str, value: f64) {
+    with(|r| {
+        r.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramSnapshot::new(bounds_for(name)))
+            .observe(value);
+    });
+}
+
+/// Appends an `(index, value)` point to the named series.
+pub fn series_push(name: &str, index: u64, value: f64) {
+    with(|r| {
+        r.series
+            .entry(name.to_string())
+            .or_default()
+            .push(SeriesPoint { index, value });
+    });
+}
+
+/// A consistent copy of the registry at this instant.
+pub fn snapshot() -> MetricsSnapshot {
+    with(|r| r.clone())
+}
+
+/// Serializes a snapshot and writes it through [`io_guard`] as a
+/// checksummed artifact (`payload ‖ DPODSUM1 footer`), so a `metrics.json`
+/// survives the same corruption checks as a checkpoint.
+pub fn flush_to_path(path: &Path) -> Result<(), IoGuardError> {
+    let json = snapshot().to_json();
+    io_guard::write_checksummed(path, json.as_bytes())
+}
+
+// ---- JSON ------------------------------------------------------------------
+//
+// The vendored serde facade serializes maps as [key, value] pair arrays;
+// metrics.json is a user-facing artifact, so the snapshot hand-writes
+// plain JSON objects instead and parses them back off `serde::json`'s
+// value model.
+
+fn json_f64(value: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_map<V>(
+    map: &BTreeMap<String, V>,
+    out: &mut String,
+    mut write_value: impl FnMut(&V, &mut String),
+) {
+    out.push('{');
+    for (i, (key, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        serde::json::escape_str(key, out);
+        out.push(':');
+        write_value(value, out);
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a canonical (sorted-key) JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":");
+        json_map(&self.counters, &mut out, |v, out| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str(",\"gauges\":");
+        json_map(&self.gauges, &mut out, |v, out| json_f64(*v, out));
+        out.push_str(",\"histograms\":");
+        json_map(&self.histograms, &mut out, |h, out| {
+            out.push_str("{\"bounds\":[");
+            for (i, b) in h.bounds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_f64(*b, out);
+            }
+            out.push_str("],\"counts\":[");
+            for (i, c) in h.counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"count\":{},\"sum\":", h.count);
+            json_f64(h.sum, out);
+            out.push_str(",\"min\":");
+            json_f64(h.min, out);
+            out.push_str(",\"max\":");
+            json_f64(h.max, out);
+            out.push('}');
+        });
+        out.push_str(",\"series\":");
+        json_map(&self.series, &mut out, |points, out| {
+            out.push('[');
+            for (i, p) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"index\":{},\"value\":", p.index);
+                json_f64(p.value, out);
+                out.push('}');
+            }
+            out.push(']');
+        });
+        out.push('}');
+        out
+    }
+
+    /// Parses a [`MetricsSnapshot::to_json`] document back into a snapshot.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, serde::json::Error> {
+        use serde::json::{expect_arr, obj_field, Error, Value};
+
+        fn as_u64(v: &Value) -> Result<u64, Error> {
+            match v {
+                Value::Num(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| Error::msg(format!("bad count `{s}`"))),
+                other => Err(Error::msg(format!("expected integer, got {other:?}"))),
+            }
+        }
+
+        fn as_f64(v: &Value) -> Result<f64, Error> {
+            match v {
+                Value::Num(s) => s
+                    .parse::<f64>()
+                    .map_err(|_| Error::msg(format!("bad float `{s}`"))),
+                Value::Null => Ok(f64::NAN),
+                other => Err(Error::msg(format!("expected number, got {other:?}"))),
+            }
+        }
+
+        fn entries(v: &Value, section: &str) -> Result<Vec<(String, Value)>, Error> {
+            match v {
+                Value::Obj(pairs) => Ok(pairs.clone()),
+                other => Err(Error::msg(format!(
+                    "expected object for `{section}`, got {other:?}"
+                ))),
+            }
+        }
+
+        let doc = serde::json::parse(text)?;
+        let mut snap = MetricsSnapshot::default();
+        for (key, value) in entries(obj_field(&doc, "counters")?, "counters")? {
+            snap.counters.insert(key, as_u64(&value)?);
+        }
+        for (key, value) in entries(obj_field(&doc, "gauges")?, "gauges")? {
+            snap.gauges.insert(key, as_f64(&value)?);
+        }
+        for (key, value) in entries(obj_field(&doc, "histograms")?, "histograms")? {
+            let hist = HistogramSnapshot {
+                bounds: expect_arr(obj_field(&value, "bounds")?)?
+                    .iter()
+                    .map(as_f64)
+                    .collect::<Result<_, _>>()?,
+                counts: expect_arr(obj_field(&value, "counts")?)?
+                    .iter()
+                    .map(as_u64)
+                    .collect::<Result<_, _>>()?,
+                count: as_u64(obj_field(&value, "count")?)?,
+                sum: as_f64(obj_field(&value, "sum")?)?,
+                min: as_f64(obj_field(&value, "min")?)?,
+                max: as_f64(obj_field(&value, "max")?)?,
+            };
+            snap.histograms.insert(key, hist);
+        }
+        for (key, value) in entries(obj_field(&doc, "series")?, "series")? {
+            let points = expect_arr(&value)?
+                .iter()
+                .map(|p| {
+                    Ok(SeriesPoint {
+                        index: as_u64(obj_field(p, "index")?)?,
+                        value: as_f64(obj_field(p, "value")?)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, Error>>()?;
+            snap.series.insert(key, points);
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and unit tests share one process, so
+    // every test uses metric names under its own `test.<case>.` prefix.
+
+    #[test]
+    fn counters_accumulate_and_zero_adds_materialize() {
+        counter_add("test.acc.hits", 0);
+        counter_inc("test.acc.hits");
+        counter_add("test.acc.hits", 2);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.acc.hits"), Some(&3));
+        // The zero-delta idiom alone must still create the key.
+        counter_add("test.acc.empty", 0);
+        assert_eq!(snapshot().counters.get("test.acc.empty"), Some(&0));
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        gauge_set("test.gauge.v", 1.0);
+        gauge_set("test.gauge.v", -2.5);
+        assert_eq!(snapshot().gauges.get("test.gauge.v"), Some(&-2.5));
+    }
+
+    #[test]
+    fn histograms_bucket_by_name_suffix() {
+        observe("test.hist.lat_ms", 0.3);
+        observe("test.hist.lat_ms", 9999.0);
+        let snap = snapshot();
+        let h = &snap.histograms["test.hist.lat_ms"];
+        assert_eq!(h.bounds, MS_BOUNDS.to_vec());
+        assert_eq!(h.count, 2);
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+        assert_eq!(h.counts[h.counts.len() - 1], 1, "9999ms is overflow");
+        assert_eq!(h.min, 0.3);
+        assert_eq!(h.max, 9999.0);
+
+        observe("test.hist.size_bytes", 512.0);
+        assert_eq!(
+            snapshot().histograms["test.hist.size_bytes"].bounds,
+            BYTES_BOUNDS.to_vec()
+        );
+        observe("test.hist.norm", 0.7);
+        assert_eq!(
+            snapshot().histograms["test.hist.norm"].bounds,
+            GENERIC_BOUNDS.to_vec()
+        );
+    }
+
+    #[test]
+    fn series_preserve_push_order() {
+        series_push("test.series.loss", 0, 3.5);
+        series_push("test.series.loss", 1, 2.25);
+        let snap = snapshot();
+        assert_eq!(
+            snap.series["test.series.loss"],
+            vec![
+                SeriesPoint {
+                    index: 0,
+                    value: 3.5
+                },
+                SeriesPoint {
+                    index: 1,
+                    value: 2.25
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        counter_add("test.json.count", 7);
+        gauge_set("test.json.gauge", 0.125);
+        observe("test.json.t_ms", 1.5);
+        series_push("test.json.curve", 3, -0.5);
+        let snap = snapshot();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn flush_writes_a_checksummed_artifact() {
+        counter_add("test.flush.marker", 1);
+        let dir = std::env::temp_dir().join("deepod_obs_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("metrics_{}.json", std::process::id()));
+        flush_to_path(&path).expect("flush");
+        let payload = io_guard::read_checksummed(&path).expect("verifies");
+        let text = String::from_utf8(payload).expect("utf-8");
+        let back = MetricsSnapshot::from_json(&text).expect("parses");
+        assert!(back.counters.contains_key("test.flush.marker"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -39,7 +39,8 @@ pub struct TrainOptions {
     /// prediction. `0` resolves to `DEEPOD_THREADS` (or the machine's
     /// available parallelism). `1` runs the exact serial path.
     pub threads: usize,
-    /// Print progress lines to stderr.
+    /// Raise the observability gate to `info` (unless `DEEPOD_LOG` set it
+    /// explicitly) so per-eval and per-epoch progress events reach stderr.
     pub verbose: bool,
 }
 
@@ -101,6 +102,26 @@ pub struct CheckpointPolicy {
     pub path: PathBuf,
 }
 
+/// Summed per-minibatch loss with its components (observability only;
+/// `loss` is the value the optimizer path always used).
+#[derive(Clone, Copy, Debug, Default)]
+struct BatchGrad {
+    /// Summed combined loss over the batch.
+    loss: f32,
+    /// Summed main (MAE) component.
+    main: f32,
+    /// Summed auxiliary (code-binding) component.
+    aux: f32,
+}
+
+impl BatchGrad {
+    fn accumulate(&mut self, parts: &crate::model::LossParts) {
+        self.loss += parts.total;
+        self.main += parts.main;
+        self.aux += parts.aux;
+    }
+}
+
 /// Drives training of a [`DeepOdModel`] on a [`CityDataset`].
 pub struct Trainer<'a> {
     ds: &'a CityDataset,
@@ -130,6 +151,15 @@ impl<'a> Trainer<'a> {
         if train_samples.is_empty() {
             return Err(ModelError::InvalidConfig(
                 "no encodable training samples in the dataset".into(),
+            ));
+        }
+        if val_samples.is_empty() {
+            // Without this check an empty validation split used to flow
+            // through as a silent NaN best_val_mae in serialized reports.
+            return Err(ModelError::InvalidConfig(
+                "no encodable validation samples in the dataset; \
+                 validation MAE (and model selection) would be undefined"
+                    .into(),
             ));
         }
         Ok(Trainer {
@@ -219,6 +249,9 @@ impl<'a> Trainer<'a> {
             .len()
             .min(self.opts.max_eval_samples.max(1));
         if n == 0 {
+            // Unreachable through `Trainer::new` (which rejects an empty
+            // validation split), but never let it pass silently again.
+            crate::obs::warn("train", "validation set empty; MAE undefined", &[]);
             return f32::NAN;
         }
         let t = self.threads().min(n).max(1);
@@ -259,18 +292,18 @@ impl<'a> Trainer<'a> {
     /// scheduling. Batch-norm running statistics accumulated by the
     /// workers are averaged back into the live model weighted by span
     /// length.
-    fn batch_gradients(&mut self, chunk: &[usize], threads: usize) -> (f32, Gradients) {
+    fn batch_gradients(&mut self, chunk: &[usize], threads: usize) -> (BatchGrad, Gradients) {
         let t = threads.min(chunk.len()).max(1);
         if t == 1 {
             let mut grads = Gradients::new();
-            let mut batch_loss = 0.0f32;
+            let mut batch = BatchGrad::default();
             for &idx in chunk {
                 let sample = self.train_samples[idx].clone();
-                let (l, g) = self.model.sample_gradients(&sample);
-                batch_loss += l;
+                let (parts, g) = self.model.sample_gradients_traced(&sample);
+                batch.accumulate(&parts);
                 grads.merge(g);
             }
-            return (batch_loss, grads);
+            return (batch, grads);
         }
 
         let model = &self.model;
@@ -278,23 +311,27 @@ impl<'a> Trainer<'a> {
         let results = deepod_tensor::parallel::map_ranges(chunk.len(), t, |span| {
             let mut local = model.clone();
             let mut grads = Gradients::new();
-            let mut loss = 0.0f32;
+            let mut batch = BatchGrad::default();
             let len = span.len();
             for &idx in &chunk[span] {
                 let sample = samples[idx].clone();
-                let (l, g) = local.sample_gradients(&sample);
-                loss += l;
+                let (parts, g) = local.sample_gradients_traced(&sample);
+                batch.accumulate(&parts);
                 grads.merge(g);
             }
-            (len, loss, grads, local)
+            (len, batch, grads, local)
         });
 
         let total = chunk.len() as f32;
-        let mut batch_loss = 0.0f32;
+        let mut batch = BatchGrad::default();
         let mut grad_parts = Vec::with_capacity(results.len());
         let mut bn_workers = Vec::with_capacity(results.len());
-        for (len, loss, grads, local) in results {
-            batch_loss += loss;
+        for (len, part, grads, local) in results {
+            // Span-order sum, exactly like the old scalar loss: the total
+            // stays a pure function of (batch, thread count).
+            batch.loss += part.loss;
+            batch.main += part.main;
+            batch.aux += part.aux;
             grad_parts.push(grads);
             bn_workers.push((len as f32 / total, local));
         }
@@ -304,7 +341,7 @@ impl<'a> Trainer<'a> {
             a
         })
         .unwrap_or_default();
-        (batch_loss, grads)
+        (batch, grads)
     }
 
     /// Stages a [`TrainingCheckpoint`] so the next `train` call continues
@@ -395,6 +432,22 @@ impl<'a> Trainer<'a> {
         let start = Instant::now();
         let bs = self.cfg.batch_size.max(1);
         let threads = self.threads();
+        if self.opts.verbose {
+            // Widen the default gate so progress events print; an explicit
+            // DEEPOD_LOG still wins (the whole point of raise vs set).
+            crate::obs::raise_max_level(crate::obs::Level::Info);
+        }
+        crate::obs::debug(
+            "train",
+            "training starts",
+            &[
+                ("epochs", self.cfg.epochs.into()),
+                ("batch_size", bs.into()),
+                ("threads", threads.into()),
+                ("train_samples", self.train_samples.len().into()),
+                ("val_samples", self.val_samples.len().into()),
+            ],
+        );
 
         let mut opt;
         let mut rng;
@@ -424,6 +477,16 @@ impl<'a> Trainer<'a> {
                 resume_batches = ckpt.progress.batches_done;
                 carried_epoch_loss = (ckpt.progress.epoch_loss, ckpt.progress.epoch_batches);
                 elapsed_offset = ckpt.progress.elapsed_s;
+                crate::obs::registry::counter_inc("checkpoint.resume_hits");
+                crate::obs::info(
+                    "train",
+                    "resumed from checkpoint",
+                    &[
+                        ("epoch", start_epoch.into()),
+                        ("batches_done", resume_batches.into()),
+                        ("step", step.into()),
+                    ],
+                );
             }
             None => {
                 opt = AdamOptimizer::new(self.cfg.lr);
@@ -442,6 +505,7 @@ impl<'a> Trainer<'a> {
                     val_mae: mae0,
                     elapsed_s: 0.0,
                 });
+                crate::obs::registry::series_push("train.val_mae", 0, f64::from(mae0));
                 // Best-checkpoint snapshot (shallow Rc clones; copy-on-write
                 // keeps it intact while the optimizer updates the live
                 // store).
@@ -473,16 +537,37 @@ impl<'a> Trainer<'a> {
             };
             for (batch_idx, chunk) in order.chunks(bs).enumerate().skip(skip) {
                 deepod_tensor::failpoint::hit("train::step");
-                let (batch_loss, mut grads) = self.batch_gradients(chunk, threads);
+                let (batch, mut grads) = self.batch_gradients(chunk, threads);
                 grads.scale(1.0 / chunk.len() as f32);
+                // One extra read-only pass over the gradients; the clip
+                // below recomputes its own norm, so numerics are untouched.
+                let grad_norm = grads.global_norm();
                 if self.opts.clip_norm > 0.0 {
                     grads.clip_global_norm(self.opts.clip_norm);
                 }
                 opt.step(&mut self.model.store, &grads);
                 step += 1;
                 let batches_done = batch_idx + 1;
-                epoch_loss += batch_loss / chunk.len() as f32;
+                let n = chunk.len() as f32;
+                let step_loss = batch.loss / n;
+                epoch_loss += step_loss;
                 epoch_batches += 1;
+                crate::obs::registry::counter_inc("train.steps");
+                crate::obs::registry::observe("train.grad_norm", f64::from(grad_norm));
+                crate::obs::registry::gauge_set("train.loss_last", f64::from(step_loss));
+                crate::obs::registry::gauge_set("train.loss_main_last", f64::from(batch.main / n));
+                crate::obs::registry::gauge_set("train.loss_aux_last", f64::from(batch.aux / n));
+                crate::obs::debug(
+                    "train",
+                    "step",
+                    &[
+                        ("step", step.into()),
+                        ("loss", step_loss.into()),
+                        ("loss_main", (batch.main / n).into()),
+                        ("loss_aux", (batch.aux / n).into()),
+                        ("grad_norm", grad_norm.into()),
+                    ],
+                );
 
                 let eval_now =
                     self.opts.eval_every > 0 && step.is_multiple_of(self.opts.eval_every);
@@ -493,9 +578,14 @@ impl<'a> Trainer<'a> {
                         val_mae: mae,
                         elapsed_s: elapsed_offset + start.elapsed().as_secs_f64(),
                     });
-                    if self.opts.verbose {
-                        eprintln!("step {step}: val MAE {mae:.1}s");
-                    }
+                    crate::obs::registry::counter_inc("train.evals");
+                    crate::obs::registry::series_push("train.val_mae", step as u64, f64::from(mae));
+                    crate::obs::registry::gauge_set("train.val_mae_last", f64::from(mae));
+                    crate::obs::info(
+                        "train",
+                        "validation",
+                        &[("step", step.into()), ("val_mae_s", mae.into())],
+                    );
                     if mae < best {
                         best = mae;
                         since_best = 0;
@@ -545,9 +635,25 @@ impl<'a> Trainer<'a> {
                 best = mae;
                 best_store = self.model.store.clone();
             }
-            if self.opts.verbose {
-                eprintln!("epoch {epoch}: train loss {final_train_loss:.2}, val MAE {mae:.1}s");
-            }
+            crate::obs::registry::counter_inc("train.epochs");
+            crate::obs::registry::series_push(
+                "train.epoch_loss",
+                epoch as u64,
+                f64::from(final_train_loss),
+            );
+            crate::obs::registry::series_push("train.val_mae", step as u64, f64::from(mae));
+            crate::obs::registry::gauge_set("train.val_mae_last", f64::from(mae));
+            crate::obs::registry::gauge_set("train.best_val_mae", f64::from(best));
+            crate::obs::info(
+                "train",
+                "epoch complete",
+                &[
+                    ("epoch", epoch.into()),
+                    ("train_loss", final_train_loss.into()),
+                    ("val_mae_s", mae.into()),
+                    ("best_val_mae_s", best.into()),
+                ],
+            );
 
             // Epoch-boundary checkpoint: `batches_done = 0` and the RNG
             // state as it stands now, which *is* the start-of-next-epoch

@@ -2,7 +2,7 @@
 //! one interface, with timing and size accounting so a single call
 //! produces a full row of the paper's Tables 4 and 5.
 
-use crate::metrics::{Metrics, PredPair};
+use crate::metrics::{Metrics, MetricsError, PredPair};
 use deepod_baselines::{
     GbmConfig, GbmPredictor, LinearRegression, MuratConfig, MuratPredictor, StnnConfig,
     StnnPredictor, TempConfig, TempPredictor, TtePredictor,
@@ -11,6 +11,40 @@ use deepod_core::{DeepOdConfig, ModelError, TrainOptions, Trainer};
 use deepod_traj::CityDataset;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Why [`run_method`] failed: either the model refused its config, or
+/// the method produced a pair set over which the paper metrics are
+/// undefined (e.g. zero encodable test orders).
+#[derive(Debug)]
+pub enum HarnessError {
+    /// DeepOD config validation or training failed.
+    Model(ModelError),
+    /// The metric computation over the produced pairs failed.
+    Metrics(MetricsError),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Model(e) => write!(f, "model error: {e}"),
+            HarnessError::Metrics(e) => write!(f, "metrics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<ModelError> for HarnessError {
+    fn from(e: ModelError) -> Self {
+        HarnessError::Model(e)
+    }
+}
+
+impl From<MetricsError> for HarnessError {
+    fn from(e: MetricsError) -> Self {
+        HarnessError::Metrics(e)
+    }
+}
 
 /// A method under evaluation.
 pub enum Method {
@@ -65,8 +99,9 @@ fn collect_pairs(ds: &CityDataset, mut predict: impl FnMut(usize) -> Option<f32>
 }
 
 /// Trains and evaluates a method on a dataset, producing a result row.
-/// Fails when a DeepOD method's config does not validate.
-pub fn run_method(method: Method, ds: &CityDataset) -> Result<MethodResult, ModelError> {
+/// Fails when a DeepOD method's config does not validate or when the
+/// method yields a pair set the paper metrics are undefined over.
+pub fn run_method(method: Method, ds: &CityDataset) -> Result<MethodResult, HarnessError> {
     match method {
         Method::Baseline(mut p) => {
             let t0 = Instant::now();
@@ -80,7 +115,7 @@ pub fn run_method(method: Method, ds: &CityDataset) -> Result<MethodResult, Mode
 
             Ok(MethodResult {
                 name: p.name().to_string(),
-                metrics: Metrics::from_pairs(&pairs),
+                metrics: Metrics::from_pairs(&pairs)?,
                 train_time_s,
                 est_time_s_per_k,
                 model_size_bytes: p.size_bytes(),
@@ -103,7 +138,7 @@ pub fn run_method(method: Method, ds: &CityDataset) -> Result<MethodResult, Mode
             let model_size = trainer.model().size_bytes();
             Ok(MethodResult {
                 name: m.name,
-                metrics: Metrics::from_pairs(&pairs),
+                metrics: Metrics::from_pairs(&pairs)?,
                 train_time_s,
                 est_time_s_per_k,
                 model_size_bytes: model_size,

@@ -8,6 +8,6 @@ mod harness;
 mod metrics;
 mod report;
 
-pub use harness::{all_baselines, run_method, DeepOdMethod, Method, MethodResult};
-pub use metrics::{histogram, mae, mape, mare, Metrics, PredPair};
-pub use report::{write_csv, TextTable};
+pub use harness::{all_baselines, run_method, DeepOdMethod, HarnessError, Method, MethodResult};
+pub use metrics::{histogram, mae, mape, mare, Metrics, MetricsError, PredPair, MAPE_MIN_ACTUAL};
+pub use report::{metric_cell, write_csv, TextTable};

@@ -2,6 +2,11 @@
 //! `MAE = mean |y − ŷ|`, `MAPE = mean |y − ŷ| / y`,
 //! `MARE = Σ|y − ŷ| / Σ y`, plus histogram utilities for the Fig. 11
 //! MAPE-distribution plot.
+//!
+//! All aggregate metrics return [`MetricsError`] instead of silently
+//! producing NaN: an empty pair set is a caller bug (an upstream predictor
+//! produced nothing), and letting NaN flow into serialized reports hid
+//! that for several benchmark configurations.
 
 use serde::{Deserialize, Serialize};
 
@@ -20,36 +25,102 @@ impl PredPair {
         (self.actual - self.predicted).abs()
     }
 
-    /// Absolute percentage error (the per-sample MAPE term).
+    /// Absolute percentage error (the per-sample MAPE term). Per-sample
+    /// use (Fig. 11 scatter) floors the denominator; the aggregate
+    /// [`mape`] instead *skips* near-zero actuals and counts them.
     pub fn ape(&self) -> f32 {
         self.abs_err() / self.actual.max(1e-6)
     }
 }
 
-/// Mean Absolute Error in seconds.
-pub fn mae(pairs: &[PredPair]) -> f32 {
-    if pairs.is_empty() {
-        return f32::NAN;
+/// Travel times at or below this are treated as degenerate for MAPE:
+/// dividing by them would let a single simulated zero-second trip blow
+/// up the mean.
+pub const MAPE_MIN_ACTUAL: f32 = 1e-6;
+
+/// Typed failure modes for the aggregate metrics. Replaces the old
+/// behaviour of returning NaN, which flowed unflagged into reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsError {
+    /// No prediction pairs at all — the upstream predictor produced
+    /// nothing, so every metric is undefined.
+    EmptySet,
+    /// Every pair was excluded by the MAPE near-zero-actual guard.
+    AllSkipped {
+        /// How many pairs the guard dropped (= the input length).
+        skipped: usize,
+    },
+    /// MARE's denominator `Σ actual` was not positive.
+    NonPositiveActualSum,
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::EmptySet => write!(f, "empty prediction pair set; metrics undefined"),
+            MetricsError::AllSkipped { skipped } => write!(
+                f,
+                "all {skipped} pairs had near-zero actual travel time; MAPE undefined"
+            ),
+            MetricsError::NonPositiveActualSum => {
+                write!(
+                    f,
+                    "sum of actual travel times is not positive; MARE undefined"
+                )
+            }
+        }
     }
-    pairs.iter().map(PredPair::abs_err).sum::<f32>() / pairs.len() as f32
+}
+
+impl std::error::Error for MetricsError {}
+
+/// Mean Absolute Error in seconds.
+pub fn mae(pairs: &[PredPair]) -> Result<f32, MetricsError> {
+    if pairs.is_empty() {
+        return Err(MetricsError::EmptySet);
+    }
+    Ok(pairs.iter().map(PredPair::abs_err).sum::<f32>() / pairs.len() as f32)
 }
 
 /// Mean Absolute Percentage Error (fraction; multiply by 100 for %).
-pub fn mape(pairs: &[PredPair]) -> f32 {
+///
+/// Pairs whose `actual` is at or below [`MAPE_MIN_ACTUAL`] are skipped
+/// (not floored): a simulated zero-second trip would otherwise dominate
+/// the mean. Each call reports the number of skipped pairs on the
+/// `eval.mape_skipped` counter — including a zero delta, so the key is
+/// always present in the metrics artifact.
+pub fn mape(pairs: &[PredPair]) -> Result<f32, MetricsError> {
     if pairs.is_empty() {
-        return f32::NAN;
+        return Err(MetricsError::EmptySet);
     }
-    pairs.iter().map(PredPair::ape).sum::<f32>() / pairs.len() as f32
+    let mut sum = 0.0f32;
+    let mut kept = 0usize;
+    for p in pairs {
+        if p.actual <= MAPE_MIN_ACTUAL {
+            continue;
+        }
+        sum += p.abs_err() / p.actual;
+        kept += 1;
+    }
+    let skipped = pairs.len() - kept;
+    deepod_core::obs::registry::counter_add("eval.mape_skipped", skipped as u64);
+    if kept == 0 {
+        return Err(MetricsError::AllSkipped { skipped });
+    }
+    Ok(sum / kept as f32)
 }
 
 /// Mean Absolute Relative Error: Σ|err| / Σ actual (fraction).
-pub fn mare(pairs: &[PredPair]) -> f32 {
+pub fn mare(pairs: &[PredPair]) -> Result<f32, MetricsError> {
+    if pairs.is_empty() {
+        return Err(MetricsError::EmptySet);
+    }
     let num: f32 = pairs.iter().map(PredPair::abs_err).sum();
     let den: f32 = pairs.iter().map(|p| p.actual).sum();
     if den <= 0.0 {
-        return f32::NAN;
+        return Err(MetricsError::NonPositiveActualSum);
     }
-    num / den
+    Ok(num / den)
 }
 
 /// All three metrics bundled (one row of the paper's Table 4).
@@ -64,13 +135,14 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Computes all three metrics from prediction pairs.
-    pub fn from_pairs(pairs: &[PredPair]) -> Metrics {
-        Metrics {
-            mae: mae(pairs),
-            mape_pct: 100.0 * mape(pairs),
-            mare_pct: 100.0 * mare(pairs),
-        }
+    /// Computes all three metrics from prediction pairs. Fails on an
+    /// empty pair set or degenerate actuals instead of returning NaN.
+    pub fn from_pairs(pairs: &[PredPair]) -> Result<Metrics, MetricsError> {
+        Ok(Metrics {
+            mae: mae(pairs)?,
+            mape_pct: 100.0 * mape(pairs)?,
+            mare_pct: 100.0 * mare(pairs)?,
+        })
     }
 }
 
@@ -126,34 +198,88 @@ mod tests {
 
     #[test]
     fn mae_known_value() {
-        assert!((mae(&pairs()) - 20.0).abs() < 1e-6);
+        assert!((mae(&pairs()).unwrap() - 20.0).abs() < 1e-6);
     }
 
     #[test]
     fn mape_known_value() {
         // (0.1 + 0.1 + 0.075) / 3
-        assert!((mape(&pairs()) - 0.091666).abs() < 1e-4);
+        assert!((mape(&pairs()).unwrap() - 0.091666).abs() < 1e-4);
     }
 
     #[test]
     fn mare_known_value() {
         // 60 / 700
-        assert!((mare(&pairs()) - 60.0 / 700.0).abs() < 1e-6);
+        assert!((mare(&pairs()).unwrap() - 60.0 / 700.0).abs() < 1e-6);
     }
 
     #[test]
     fn metrics_bundle() {
-        let m = Metrics::from_pairs(&pairs());
+        let m = Metrics::from_pairs(&pairs()).unwrap();
         assert!((m.mae - 20.0).abs() < 1e-5);
         assert!((m.mape_pct - 9.1666).abs() < 1e-2);
         assert!((m.mare_pct - 100.0 * 60.0 / 700.0).abs() < 1e-3);
     }
 
     #[test]
-    fn empty_inputs_are_nan() {
-        assert!(mae(&[]).is_nan());
-        assert!(mape(&[]).is_nan());
-        assert!(mare(&[]).is_nan());
+    fn empty_inputs_are_typed_errors() {
+        assert_eq!(mae(&[]), Err(MetricsError::EmptySet));
+        assert_eq!(mape(&[]), Err(MetricsError::EmptySet));
+        assert_eq!(mare(&[]), Err(MetricsError::EmptySet));
+        assert_eq!(
+            Metrics::from_pairs(&[]).unwrap_err(),
+            MetricsError::EmptySet
+        );
+    }
+
+    #[test]
+    fn mape_skips_zero_actual_pairs_and_counts_them() {
+        let mut ps = pairs();
+        ps.push(PredPair {
+            actual: 0.0,
+            predicted: 50.0,
+        });
+        let before = deepod_core::obs::registry::snapshot()
+            .counters
+            .get("eval.mape_skipped")
+            .copied()
+            .unwrap_or(0);
+        // The zero-actual pair is skipped, so the mean is unchanged.
+        let m = mape(&ps).unwrap();
+        assert!(
+            (m - 0.091666).abs() < 1e-4,
+            "skipped pair changed MAPE: {m}"
+        );
+        let after = deepod_core::obs::registry::snapshot()
+            .counters
+            .get("eval.mape_skipped")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(after - before, 1, "exactly one pair should be skipped");
+    }
+
+    #[test]
+    fn mape_all_zero_actuals_is_a_typed_error() {
+        let ps = vec![
+            PredPair {
+                actual: 0.0,
+                predicted: 5.0,
+            },
+            PredPair {
+                actual: 0.0,
+                predicted: 9.0,
+            },
+        ];
+        assert_eq!(mape(&ps), Err(MetricsError::AllSkipped { skipped: 2 }));
+    }
+
+    #[test]
+    fn mare_rejects_non_positive_actual_sum() {
+        let ps = vec![PredPair {
+            actual: 0.0,
+            predicted: 3.0,
+        }];
+        assert_eq!(mare(&ps), Err(MetricsError::NonPositiveActualSum));
     }
 
     #[test]
@@ -162,7 +288,7 @@ mod tests {
             actual: 123.0,
             predicted: 123.0,
         }];
-        let m = Metrics::from_pairs(&p);
+        let m = Metrics::from_pairs(&p).unwrap();
         assert_eq!(m.mae, 0.0);
         assert_eq!(m.mape_pct, 0.0);
         assert_eq!(m.mare_pct, 0.0);
@@ -182,7 +308,7 @@ mod tests {
                 predicted: 1000.0,
             },
         ];
-        let m = Metrics::from_pairs(&short_trip_errors);
+        let m = Metrics::from_pairs(&short_trip_errors).unwrap();
         assert!(m.mape_pct > m.mare_pct);
     }
 

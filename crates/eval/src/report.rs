@@ -101,6 +101,17 @@ impl TextTable {
     }
 }
 
+/// Formats one metric value as a table/CSV cell, surfacing non-finite
+/// values as an explicit `n/a` marker instead of serializing `NaN` into
+/// reports (where it used to slip through unflagged).
+pub fn metric_cell(value: f32, precision: usize) -> String {
+    if value.is_finite() {
+        format!("{value:.precision$}")
+    } else {
+        "n/a".to_string()
+    }
+}
+
 /// Writes a table to `results/<name>.csv` relative to the workspace root,
 /// creating the directory if needed. Returns the path written.
 ///
@@ -161,5 +172,12 @@ mod tests {
     fn row_width_checked() {
         let mut t = TextTable::new(&["a", "b"]);
         t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn metric_cell_surfaces_non_finite() {
+        assert_eq!(metric_cell(19.072, 2), "19.07");
+        assert_eq!(metric_cell(f32::NAN, 2), "n/a");
+        assert_eq!(metric_cell(f32::INFINITY, 1), "n/a");
     }
 }

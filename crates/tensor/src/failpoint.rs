@@ -17,6 +17,11 @@
 //!   unwind from the site, which is how worker-thread panic recovery is
 //!   exercised.
 //!
+//! A malformed entry (unknown action, non-numeric count) aborts the
+//! process with [`CONFIG_EXIT_CODE`] at registry initialization: fault
+//! injection that silently fails to arm would let the crash-safety suite
+//! pass without ever injecting a crash.
+//!
 //! The facility is compiled unconditionally but costs one `OnceLock` load
 //! and a `None` check per visit when the environment variable is absent,
 //! so production paths pay nothing measurable. Hits are counted under a
@@ -33,6 +38,12 @@ use std::sync::{Mutex, OnceLock};
 /// and a Rust panic (101).
 pub const KILL_EXIT_CODE: i32 = 70;
 
+/// Exit status for a malformed `DEEPOD_FAILPOINTS` value (BSD `EX_CONFIG`).
+/// A typo like `io:1:kil` must abort the process rather than silently
+/// disarm the fault the test meant to inject — a crash-safety suite whose
+/// faults never fire passes vacuously.
+pub const CONFIG_EXIT_CODE: i32 = 78;
+
 /// What an armed failpoint does when its hit count is reached.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Action {
@@ -42,6 +53,7 @@ enum Action {
     Panic,
 }
 
+#[derive(Debug)]
 struct Spec {
     nth: u64,
     action: Action,
@@ -59,10 +71,18 @@ fn registry() -> Option<&'static Mutex<HashMap<String, Spec>>> {
                 if part.is_empty() {
                     continue;
                 }
-                if let Some(spec) = parse_spec(part) {
-                    map.insert(spec.0, spec.1);
-                } else {
-                    eprintln!("warning: ignoring malformed DEEPOD_FAILPOINTS entry '{part}'");
+                match parse_spec(part) {
+                    Ok((site, spec)) => {
+                        map.insert(site, spec);
+                    }
+                    Err(why) => {
+                        // The process is aborting over a misconfigured
+                        // environment before the obs layer is guaranteed
+                        // to exist, so this message goes to raw stderr.
+                        // deepod-lint: allow(no-bare-eprintln)
+                        eprintln!("fatal: malformed DEEPOD_FAILPOINTS entry: {why}");
+                        std::process::exit(CONFIG_EXIT_CODE);
+                    }
                 }
             }
             if map.is_empty() {
@@ -77,34 +97,50 @@ fn registry() -> Option<&'static Mutex<HashMap<String, Spec>>> {
 /// Parses one `site:nth[:action]` entry. The site itself may contain `::`
 /// (module-path style names), so the split points are the *last* one or
 /// two `:` separators that parse as a count / action.
-fn parse_spec(part: &str) -> Option<(String, Spec)> {
-    let fields: Vec<&str> = part.rsplitn(3, ':').collect();
+///
+/// Anything that is neither a count nor a recognized action is a hard
+/// error: the caller aborts with [`CONFIG_EXIT_CODE`] rather than running
+/// with the fault silently disarmed.
+fn parse_spec(part: &str) -> Result<(String, Spec), String> {
     // fields are in reverse order: [last, middle, rest...]
-    let (site, nth, action) = match fields.as_slice() {
-        [action, nth, site] if action.eq_ignore_ascii_case("kill") => (site, nth, Action::Kill),
-        [action, nth, site] if action.eq_ignore_ascii_case("panic") => (site, nth, Action::Panic),
-        [nth, site] => (site, nth, Action::Kill),
-        [nth, mid, rest] => {
-            // `a::b:nth` style where rsplitn(3) over-split the site name:
-            // re-join the front parts.
-            let joined = format!("{rest}:{mid}");
-            let n: u64 = nth.parse().ok()?;
-            return Some((
-                joined,
-                Spec {
-                    nth: n.max(1),
-                    action: Action::Kill,
-                    hits: 0,
-                },
-            ));
-        }
-        _ => return None,
+    let fields: Vec<&str> = part.rsplitn(3, ':').collect();
+    if fields.len() < 2 {
+        return Err(format!("'{part}': expected 'site:nth[:action]'"));
+    }
+    let last = fields[0];
+    let (site, nth, action) = if let Ok(n) = last.parse::<u64>() {
+        // Count form, default action: `site:nth`. When the site contains
+        // `::`, rsplitn over-split it; re-join the front parts.
+        let site = if let [_, mid, rest] = fields.as_slice() {
+            format!("{rest}:{mid}")
+        } else {
+            fields[1].to_string()
+        };
+        (site, n, Action::Kill)
+    } else {
+        // Explicit-action form: `site:nth:action`.
+        let action = if last.eq_ignore_ascii_case("kill") {
+            Action::Kill
+        } else if last.eq_ignore_ascii_case("panic") {
+            Action::Panic
+        } else {
+            return Err(format!("'{part}': unknown action '{last}' (kill|panic)"));
+        };
+        let [_, nth_text, site] = fields.as_slice() else {
+            return Err(format!("'{part}': missing hit count before '{last}'"));
+        };
+        let n: u64 = nth_text
+            .parse()
+            .map_err(|_| format!("'{part}': hit count '{nth_text}' is not a number"))?;
+        ((*site).to_string(), n, action)
     };
-    let n: u64 = nth.parse().ok()?;
-    Some((
-        site.to_string(),
+    if site.is_empty() {
+        return Err(format!("'{part}': empty site name"));
+    }
+    Ok((
+        site,
         Spec {
-            nth: n.max(1),
+            nth: nth.max(1),
             action,
             hits: 0,
         },
@@ -156,6 +192,9 @@ pub fn fire(site: &str) {
         .unwrap_or(Action::Panic);
     match action {
         Action::Kill => {
+            // Last words of a simulated hard crash: raw stderr on purpose —
+            // the whole point is that nothing downstream gets to run.
+            // deepod-lint: allow(no-bare-eprintln)
             eprintln!("failpoint '{site}': simulating crash (exit {KILL_EXIT_CODE})");
             std::process::exit(KILL_EXIT_CODE);
         }
@@ -199,9 +238,20 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(parse_spec("no-count").is_none());
-        assert!(parse_spec("site:notanumber").is_none());
-        assert!(parse_spec("").is_none());
+        assert!(parse_spec("no-count").is_err());
+        assert!(parse_spec("site:notanumber").is_err());
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec(":3").is_err());
+    }
+
+    #[test]
+    fn unknown_action_is_a_hard_error() {
+        // The regression this guards: `kil` used to be dropped with a
+        // warning, leaving the fault disarmed and the test vacuous.
+        let err = parse_spec("io_guard::pre_write:1:kil").expect_err("must reject");
+        assert!(err.contains("unknown action 'kil'"), "got: {err}");
+        let err = parse_spec("train::epoch:x:panic").expect_err("must reject");
+        assert!(err.contains("not a number"), "got: {err}");
     }
 
     #[test]

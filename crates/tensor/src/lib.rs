@@ -28,6 +28,7 @@ mod ops;
 pub mod parallel;
 mod random;
 mod shape;
+pub mod telemetry;
 mod tensor;
 
 pub use index::{ceil_count, floor_coord, floor_index, round_count};

@@ -95,7 +95,19 @@ where
         if fail_this_call {
             crate::failpoint::fire("parallel::worker");
         }
+        // Single-span calls take the literal serial path with no telemetry:
+        // the threads=1 contract is "zero overhead, identical numerics".
         return spans.into_iter().map(&f).collect();
+    }
+    // Fan-out telemetry (gauges/histograms only — never counters, which must
+    // stay invariant under the thread count; see DESIGN.md §9). Collected
+    // only when a sink is installed so un-instrumented runs pay one load.
+    let sink = crate::telemetry::sink();
+    if let Some(s) = sink {
+        s.gauge_set("parallel.spans_last", spans.len() as f64);
+        for span in &spans {
+            s.observe("parallel.span_size", span.len() as f64);
+        }
     }
     std::thread::scope(|scope| {
         let f = &f;
@@ -107,7 +119,16 @@ where
                     if fail_this_call && i == 0 {
                         crate::failpoint::fire("parallel::worker");
                     }
-                    f(span)
+                    let Some(s) = sink else {
+                        return f(span);
+                    };
+                    // Wall time is observability-only and never feeds any
+                    // checksummed artifact (DESIGN.md §9).
+                    // deepod-lint: allow(nondeterminism)
+                    let t0 = std::time::Instant::now();
+                    let out = f(span);
+                    s.observe("parallel.worker_wall_ms", t0.elapsed().as_secs_f64() * 1e3);
+                    out
                 })
             })
             .collect();

@@ -1,0 +1,98 @@
+//! Telemetry bridge out of the tensor layer.
+//!
+//! `deepod-tensor` sits at the bottom of the crate graph, so it cannot
+//! depend on the metrics registry in `deepod_core::obs`. Instead it emits
+//! through this narrow sink trait: a higher layer installs a forwarder
+//! once per process (see `deepod_core::obs::ensure_init`), and until that
+//! happens every record call is a single relaxed atomic load plus a `None`
+//! check — cheap enough to leave in release kernels.
+//!
+//! The split mirrors the registry's determinism contract (DESIGN.md §9):
+//! *counters* must be invariant under the thread count, so the parallel
+//! primitives only ever report **gauges** and **histogram observations**
+//! (span sizes, worker wall time), which are allowed to vary per run.
+
+use std::sync::OnceLock;
+
+/// Receiver for tensor-layer measurements. Implemented by the metrics
+/// registry in `deepod-core`; tensor code never sees the implementation.
+pub trait TelemetrySink: Sync + Send {
+    /// Sets a named gauge to an absolute value.
+    fn gauge_set(&self, name: &'static str, value: f64);
+    /// Records one observation into a named histogram.
+    fn observe(&self, name: &'static str, value: f64);
+}
+
+static SINK: OnceLock<&'static dyn TelemetrySink> = OnceLock::new();
+
+/// Installs the process-wide sink. The first caller wins; later calls are
+/// ignored so independent init paths (CLI, tests, library embedders) can
+/// all race to install the same forwarder safely.
+pub fn install(sink: &'static dyn TelemetrySink) {
+    let _ = SINK.set(sink);
+}
+
+/// The installed sink, if any. Callers should keep measurement *collection*
+/// behind this check so un-instrumented processes pay nothing.
+pub fn sink() -> Option<&'static dyn TelemetrySink> {
+    SINK.get().copied()
+}
+
+/// Convenience forwarder: gauge write, dropped when no sink is installed.
+pub fn gauge_set(name: &'static str, value: f64) {
+    if let Some(s) = sink() {
+        s.gauge_set(name, value);
+    }
+}
+
+/// Convenience forwarder: histogram observation, dropped when no sink is
+/// installed.
+pub fn observe(name: &'static str, value: f64) {
+    if let Some(s) = sink() {
+        s.observe(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingSink {
+        gauges: AtomicU64,
+        observations: AtomicU64,
+    }
+
+    impl TelemetrySink for CountingSink {
+        fn gauge_set(&self, _name: &'static str, _value: f64) {
+            self.gauges.fetch_add(1, Ordering::Relaxed);
+        }
+        fn observe(&self, _name: &'static str, _value: f64) {
+            self.observations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn uninstalled_sink_is_inert_then_first_install_wins() {
+        // Before install (in this process the test sink is the first and
+        // only installer), forwarding must be a no-op rather than a panic.
+        gauge_set("test.gauge", 1.0);
+
+        static FIRST: CountingSink = CountingSink {
+            gauges: AtomicU64::new(0),
+            observations: AtomicU64::new(0),
+        };
+        static SECOND: CountingSink = CountingSink {
+            gauges: AtomicU64::new(0),
+            observations: AtomicU64::new(0),
+        };
+        install(&FIRST);
+        install(&SECOND); // ignored: first install wins
+        gauge_set("test.gauge", 2.0);
+        observe("test.hist", 3.0);
+        assert_eq!(FIRST.gauges.load(Ordering::Relaxed), 1);
+        assert_eq!(FIRST.observations.load(Ordering::Relaxed), 1);
+        assert_eq!(SECOND.gauges.load(Ordering::Relaxed), 0);
+        assert_eq!(SECOND.observations.load(Ordering::Relaxed), 0);
+    }
+}

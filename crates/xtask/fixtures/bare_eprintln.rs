@@ -1,0 +1,27 @@
+//! Fixture: bare stderr prints in library code that bypass the
+//! `deepod_core::obs` level gate and single-writer lock. Both macros
+//! fire; the allowed line and the test module's debug print do not.
+
+/// Library code: progress chatter straight to stderr.
+pub fn noisy_progress(step: usize) {
+    eprintln!("step {step} done"); // fires: ignores DEEPOD_LOG, races writers
+}
+
+/// Partial-line variant.
+pub fn noisy_tick() {
+    eprint!("."); // fires: same hole, no trailing newline
+}
+
+/// An audited last-resort print (e.g. inside the obs writer itself).
+pub fn audited_fatal(msg: &str) {
+    // deepod-lint: allow(no-bare-eprintln)
+    eprintln!("fatal: {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print_debug_output() {
+        eprintln!("debugging a fixture is fine");
+    }
+}

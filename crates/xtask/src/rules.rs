@@ -22,6 +22,8 @@
 //! |                     | named `*serial*` regression test                     |
 //! | `no-bare-fs-write`  | `fs::write` / `File::create` outside `io_guard.rs`   |
 //! |                     | (bypasses the atomic-rename + checksum write path)   |
+//! | `no-bare-eprintln`  | `eprintln!` / `eprint!` in library code (bypasses    |
+//! |                     | the `deepod_core::obs` level gate + single writer)   |
 
 use crate::lexer::{Lexed, TokKind, Token};
 use std::collections::BTreeSet;
@@ -34,7 +36,7 @@ use std::fmt;
 pub const DETERMINISTIC_CRATES: [&str; 4] = ["core", "nn", "tensor", "graphembed"];
 
 /// All rule names, in report order.
-pub const ALL_RULES: [&str; 8] = [
+pub const ALL_RULES: [&str; 9] = [
     "unwrap",
     "expect",
     "panic",
@@ -43,6 +45,7 @@ pub const ALL_RULES: [&str; 8] = [
     "truncating-cast",
     "parallel-coverage",
     "no-bare-fs-write",
+    "no-bare-eprintln",
 ];
 
 /// One lint finding.
@@ -290,6 +293,23 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                     line,
                     format!(
                         "`{}!` in library code; return a typed error instead",
+                        t.text
+                    ),
+                );
+            }
+            // Library stderr must flow through the observability layer:
+            // bare eprintln!s ignore the DEEPOD_LOG level gate and race
+            // the single-writer lock, interleaving under threads > 1.
+            if (t.is_ident("eprintln") || t.is_ident("eprint"))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                ctx.push(
+                    out,
+                    "no-bare-eprintln",
+                    line,
+                    format!(
+                        "`{}!` in library code bypasses the `deepod_core::obs` level gate \
+                         and single-writer lock; emit a leveled event instead",
                         t.text
                     ),
                 );
@@ -617,6 +637,32 @@ mod tests {
             out.iter().any(|f| f.rule == "no-bare-fs-write"),
             "bins are not exempt: {out:?}"
         );
+    }
+
+    #[test]
+    fn bare_eprintln_fires_in_library_code_only() {
+        let f = lint_lib_src("fn a() { eprintln!(\"oops\"); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-bare-eprintln");
+        assert_eq!(
+            lint_lib_src("fn a() { eprint!(\"x\"); }")[0].rule,
+            "no-bare-eprintln"
+        );
+        // println! (stdout) and an identifier without `!` stay legal.
+        assert!(lint_lib_src("fn a() { println!(\"ok\"); }").is_empty());
+        assert!(lint_lib_src("fn a() { let eprintln = 1; }").is_empty());
+        // Allow directive and test code are exempt.
+        assert!(lint_lib_src(
+            "fn a() { eprintln!(\"x\"); } // deepod-lint: allow(no-bare-eprintln)"
+        )
+        .is_empty());
+        assert!(lint_lib_src("#[test]\nfn t() { eprintln!(\"dbg\"); }\n").is_empty());
+        // Bins keep their top-level stderr messages.
+        let lexed = lex("fn main() { eprintln!(\"error: x\"); }");
+        let ctx = FileCtx::new("crates/cli/src/main.rs", "cli", &lexed, false, true);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert!(out.is_empty(), "bins are exempt: {out:?}");
     }
 
     #[test]

@@ -93,6 +93,15 @@ fn bare_fs_write_rule_fires() {
 }
 
 #[test]
+fn bare_eprintln_rule_fires() {
+    assert_eq!(
+        rules_fired("bare_eprintln.rs", "core"),
+        vec!["no-bare-eprintln", "no-bare-eprintln"],
+        "eprintln! and eprint! both fire; the allow and the test module do not"
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_false_positives() {
     let findings = xtask::lint_file_as(&fixture("clean.rs"), "tensor").expect("fixture");
     assert!(findings.is_empty(), "false positives: {findings:#?}");

@@ -14,6 +14,10 @@ cargo test -q
 # injected worker panic, torn-rename crash) and asserts lossless,
 # bit-identical resume plus checksum rejection of corrupt checkpoints.
 cargo test -q -p deepod-cli --test crash_resume
+# Observability stage: JSON-log golden format, checksummed metrics.json
+# artifact contents, obs-on/off bit-identity, thread-invariant counters,
+# and hard rejection of malformed DEEPOD_FAILPOINTS (exit 78).
+cargo test -q -p deepod-cli --test observability
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q -p xtask -- lint

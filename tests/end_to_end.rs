@@ -64,14 +64,14 @@ fn deepod_beats_mean_predictor() {
             predicted: mean_y,
         })
         .collect();
-    let m_model = mae(&pairs);
-    let m_mean = mae(&mean_pairs);
+    let m_model = mae(&pairs).expect("non-empty pairs");
+    let m_mean = mae(&mean_pairs).expect("non-empty pairs");
     assert!(
         m_model < m_mean * 0.9,
         "DeepOD MAE {m_model:.1} should clearly beat the mean predictor {m_mean:.1}"
     );
 
-    let metrics = Metrics::from_pairs(&pairs);
+    let metrics = Metrics::from_pairs(&pairs).expect("non-empty pairs");
     assert!(metrics.mape_pct > 0.0 && metrics.mape_pct < 100.0);
     assert!(metrics.mare_pct > 0.0 && metrics.mare_pct < 100.0);
 }
@@ -136,13 +136,13 @@ fn trajectory_ablation_changes_the_model() {
     let full_cfg = small_cfg();
     let mut full = Trainer::new(&ds, full_cfg, TrainOptions::default()).expect("trainer");
     full.train();
-    let full_mae = mae(&test_pairs(&mut full, &ds));
+    let full_mae = mae(&test_pairs(&mut full, &ds)).expect("non-empty pairs");
 
     let mut nst_cfg = small_cfg();
     nst_cfg.variant = Variant::NoTrajectory;
     let mut nst = Trainer::new(&ds, nst_cfg, TrainOptions::default()).expect("trainer");
     nst.train();
-    let nst_mae = mae(&test_pairs(&mut nst, &ds));
+    let nst_mae = mae(&test_pairs(&mut nst, &ds)).expect("non-empty pairs");
 
     assert!(full_mae.is_finite() && nst_mae.is_finite());
     // Allow 15 % tolerance: at this scale the signal is noisy, but the full
