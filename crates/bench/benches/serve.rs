@@ -1,0 +1,90 @@
+//! Serving-layer benchmarks (`BENCH_serve.json`): the cost of answering a
+//! fixed workload of 64 requests through the [`deepod_serve`] engine at
+//! micro-batch sizes 1 / 8 / 64, plus the raw `estimate_batch` call those
+//! batches bottom out in. Each `serve/workload64_batchN` number is the
+//! wall-clock for all 64 answers, so a smaller mean directly means higher
+//! throughput — the batched configurations must not be slower than the
+//! batch-1 (single-query) one. Run with
+//! `DEEPOD_BENCH_JSON=BENCH_serve.json cargo bench -p deepod-bench -- serve`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepod_core::{DeepOdConfig, DeepOdModel, EmbeddingInit, FeatureContext, PredictRequest};
+use deepod_roadnet::CityProfile;
+use deepod_serve::{Backend, EngineConfig, InferenceEngine};
+use deepod_traj::{CityDataset, DatasetBuilder, DatasetConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const WORKLOAD: usize = 64;
+
+fn setup() -> (
+    Arc<CityDataset>,
+    FeatureContext,
+    DeepOdModel,
+    Vec<PredictRequest>,
+) {
+    let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 80));
+    // Untrained weights: inference cost depends only on the architecture,
+    // and skipping training keeps the bench setup in milliseconds.
+    let cfg = DeepOdConfig {
+        init: EmbeddingInit::Random,
+        ..DeepOdConfig::default()
+    };
+    let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+    let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid bench config");
+    let reqs: Vec<PredictRequest> = (0..WORKLOAD)
+        .map(|i| PredictRequest::Raw(ds.train[i % ds.train.len()].od))
+        .collect();
+    (Arc::new(ds), ctx, model, reqs)
+}
+
+/// The full serving path — submit 64 requests, collect 64 replies —
+/// at the three characteristic micro-batch sizes. `max_wait_ms: 0` makes
+/// the batch size the only coalescing variable being measured.
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    for max_batch in [1usize, 8, 64] {
+        let (ds, ctx, model, reqs) = setup();
+        let engine = InferenceEngine::start(
+            Backend::Model(Box::new(model)),
+            ctx,
+            ds,
+            EngineConfig {
+                max_batch,
+                max_wait_ms: 0,
+                queue_capacity: WORKLOAD,
+                threads: 0,
+            },
+        );
+        group.bench_function(&format!("workload64_batch{max_batch}"), |b| {
+            b.iter(|| {
+                let rxs: Vec<_> = reqs
+                    .iter()
+                    .map(|r| engine.submit(r.clone()).expect("queue accepts"))
+                    .collect();
+                for rx in rxs {
+                    black_box(rx.recv().expect("engine answers"));
+                }
+            });
+        });
+        engine.shutdown();
+    }
+
+    // The pure model cost the engine adds its queueing on top of: one
+    // direct estimate_batch call over the same 64 requests.
+    let (ds, ctx, model, reqs) = setup();
+    group.bench_function("workload64_direct_estimate_batch", |b| {
+        b.iter(|| black_box(model.estimate_batch(&ctx, &ds.net, black_box(&reqs), 0)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! simulator).
 
 use deepod_baselines::RouteTtePredictor;
-use deepod_bench::{banner, city_name, dataset, Scale};
+use deepod_bench::{banner, city_name, dataset};
 use deepod_eval::{metric_cell, run_method, write_csv, Method, TextTable};
 use deepod_roadnet::{
     alt_shortest_path, astar_shortest_path, dijkstra_shortest_path, CityProfile, Landmarks, NodeId,
@@ -14,7 +14,7 @@ use rand::Rng;
 use std::time::Instant;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner(
         "Extensions: RouteTTE reference + goal-directed routing",
         scale,

@@ -2,13 +2,13 @@
 //! three deep methods (STNN, MURAT, DeepOD) on Chengdu and Xi'an.
 
 use deepod_baselines::{MuratConfig, MuratPredictor, StnnConfig, StnnPredictor};
-use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config};
 use deepod_core::Trainer;
 use deepod_eval::{write_csv, TextTable};
 use deepod_roadnet::CityProfile;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Figure 10: validation MAE vs training steps", scale);
 
     let mut table = TextTable::new(&["City", "Method", "step", "val_mae", "elapsed_s"]);

@@ -2,14 +2,14 @@
 //! test data for every method, on Chengdu and Xi'an. The paper's claim:
 //! DeepOD's distribution has both a smaller mean and smaller variance.
 
-use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config};
 use deepod_eval::{
     all_baselines, histogram, run_method, write_csv, DeepOdMethod, Method, TextTable,
 };
 use deepod_roadnet::CityProfile;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Figure 11: MAPE distribution per method", scale);
 
     let mut table = TextTable::new(&["City", "Method", "bin_center", "density"]);

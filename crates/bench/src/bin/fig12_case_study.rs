@@ -2,13 +2,13 @@
 //! city, with estimated vs. actual travel time for every method. The
 //! paper plots these as scatter points against the y = x reference line.
 
-use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config};
 use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
 use deepod_roadnet::CityProfile;
 use rand::Rng;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner(
         "Figure 12: estimated vs actual (50 random test trips)",
         scale,

@@ -3,12 +3,12 @@
 //! worst cases concentrate in the up-left corner (short actual, long
 //! estimate) and that TEMP's extreme cases reach 200–300 % MAPE.
 
-use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config};
 use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
 use deepod_roadnet::CityProfile;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Figure 13: worst 50 cases per method (by MAPE)", scale);
 
     let mut table = TextTable::new(&["City", "Method", "actual_s", "estimated_s", "ape(%)"]);

@@ -3,12 +3,12 @@
 //! optimum at 5 minutes (finer slots are sparser, coarser slots blur the
 //! temporal signal).
 
-use deepod_bench::{banner, sweep_config, sweep_dataset, train_options, Scale};
+use deepod_bench::{banner, sweep_config, sweep_dataset, train_options};
 use deepod_eval::{run_method, write_csv, DeepOdMethod, Method, TextTable};
 use deepod_roadnet::CityProfile;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Figure 14a: MAPE vs time-slot size", scale);
 
     let minutes = [1.0f64, 5.0, 10.0, 30.0, 60.0];

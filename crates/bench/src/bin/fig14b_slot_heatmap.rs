@@ -4,14 +4,14 @@
 //! grid. The paper's finding: neighboring slots are smooth and weekdays
 //! resemble each other (daily/weekly periodicity visible).
 
-use deepod_bench::{banner, sweep_config, sweep_dataset, train_options, Scale};
+use deepod_bench::{banner, sweep_config, sweep_dataset, train_options};
 use deepod_core::Trainer;
 use deepod_eval::{write_csv, TextTable};
 use deepod_graphembed::{tsne_1d, TsneConfig};
 use deepod_roadnet::CityProfile;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Figure 14b: t-SNE heat map of time-slot embeddings", scale);
 
     let ds = sweep_dataset(CityProfile::SynthChengdu, scale);

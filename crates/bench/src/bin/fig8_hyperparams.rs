@@ -6,7 +6,7 @@
 //! {32, 64, 128, 256}.
 
 use deepod_bench::{banner, city_name, sweep_config, sweep_dataset, train_options, Scale};
-use deepod_core::{DeepOdConfig, Trainer};
+use deepod_core::{DeepOdConfig, PredictRequest, Trainer};
 use deepod_eval::{write_csv, TextTable};
 use deepod_roadnet::CityProfile;
 
@@ -64,7 +64,7 @@ impl Param {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Figure 8: hyper-parameter sweeps", scale);
 
     let values: Vec<usize> = match scale {
@@ -94,11 +94,17 @@ fn main() {
                 trainer.train();
                 // Validation metrics (the paper tunes on validation data).
                 let samples = trainer.validation_samples().to_vec();
+                let reqs: Vec<PredictRequest> = samples
+                    .iter()
+                    .map(|s| PredictRequest::Encoded(s.od.clone()))
+                    .collect();
+                let (ctx, net) = trainer.context();
+                let preds = trainer.model_ref().estimate_batch(ctx, net, &reqs, 0);
                 let mut mape = 0.0f32;
                 let mut abs = 0.0f32;
                 let mut tot = 0.0f32;
-                for s in &samples {
-                    let p = trainer.model().estimate_encoded(&s.od);
+                for (s, pred) in samples.iter().zip(preds) {
+                    let p = pred.expect("encoded request cannot fail").eta_seconds;
                     mape += (p - s.travel_time).abs() / s.travel_time.max(1.0);
                     abs += (p - s.travel_time).abs();
                     tot += s.travel_time;

@@ -3,7 +3,7 @@
 //! median, Q3, max) over the validation data like the paper's Box-plots.
 
 use deepod_bench::{banner, city_name, sweep_config, sweep_dataset, train_options, Scale, CITIES};
-use deepod_core::Trainer;
+use deepod_core::{PredictRequest, Trainer};
 use deepod_eval::{write_csv, TextTable};
 
 /// Quartile summary of a sample.
@@ -20,7 +20,7 @@ fn quartiles(mut v: Vec<f32>) -> (f32, f32, f32, f32, f32) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Figure 9: MAPE vs loss weight w", scale);
 
     let weights: Vec<f32> = match scale {
@@ -43,12 +43,18 @@ fn main() {
             // Per-minibatch MAPE over validation (batches of 64, like the
             // paper's per-minibatch boxes).
             let samples = trainer.validation_samples().to_vec();
+            let (ctx, net) = trainer.context();
             let mut batch_mapes = Vec::new();
             for chunk in samples.chunks(64) {
+                let reqs: Vec<PredictRequest> = chunk
+                    .iter()
+                    .map(|s| PredictRequest::Encoded(s.od.clone()))
+                    .collect();
+                let preds = trainer.model_ref().estimate_batch(ctx, net, &reqs, 0);
                 let mut acc = 0.0f32;
-                for s in chunk {
-                    let pred = trainer.model().estimate_encoded(&s.od);
-                    acc += (pred - s.travel_time).abs() / s.travel_time.max(1.0);
+                for (s, pred) in chunk.iter().zip(preds) {
+                    let p = pred.expect("encoded request cannot fail").eta_seconds;
+                    acc += (p - s.travel_time).abs() / s.travel_time.max(1.0);
                 }
                 batch_mapes.push(100.0 * acc / chunk.len() as f32);
             }

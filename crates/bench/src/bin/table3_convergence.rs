@@ -6,7 +6,7 @@
 //! stabilize").
 
 use deepod_baselines::{MuratConfig, MuratPredictor, StnnConfig, StnnPredictor};
-use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config};
 use deepod_core::Trainer;
 use deepod_eval::{write_csv, TextTable};
 use deepod_roadnet::CityProfile;
@@ -23,7 +23,7 @@ fn convergence(curve: &[(usize, f32)]) -> (usize, f32) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Table 3: convergence steps and time", scale);
 
     let mut table = TextTable::new(&[

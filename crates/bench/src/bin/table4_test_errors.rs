@@ -4,14 +4,14 @@
 //! Usage: `cargo run --release -p deepod-bench --bin table4_test_errors
 //! [quick|full]`.
 
-use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale, CITIES};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, CITIES};
 use deepod_core::Variant;
 use deepod_eval::{
     all_baselines, metric_cell, run_method, write_csv, DeepOdMethod, Method, TextTable,
 };
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Table 4: test errors", scale);
 
     let mut table = TextTable::new(&["City", "Method", "MAE(s)", "MAPE(%)", "MARE(%)"]);

@@ -2,7 +2,7 @@
 //! online estimation latency per 1 000 queries for every method on the
 //! three cities.
 
-use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, Scale, CITIES};
+use deepod_bench::{banner, city_name, dataset, train_options, tuned_config, CITIES};
 use deepod_eval::{all_baselines, run_method, write_csv, DeepOdMethod, Method, TextTable};
 
 fn human_size(bytes: usize) -> String {
@@ -16,7 +16,7 @@ fn human_size(bytes: usize) -> String {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Table 5: efficiency (size / training / estimation)", scale);
 
     let mut table = TextTable::new(&[

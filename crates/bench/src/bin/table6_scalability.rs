@@ -1,14 +1,14 @@
 //! Table 6 — scalability: test MAPE of every method when trained on
 //! 20 / 40 / 60 / 80 / 100 % of the Beijing training data.
 
-use deepod_bench::{banner, dataset, sweep_config, train_options, Scale};
+use deepod_bench::{banner, dataset, sweep_config, train_options};
 use deepod_eval::{
     all_baselines, metric_cell, run_method, write_csv, DeepOdMethod, Method, TextTable,
 };
 use deepod_roadnet::CityProfile;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Table 6: scalability on Beijing", scale);
 
     let full = dataset(CityProfile::SynthBeijing, scale);

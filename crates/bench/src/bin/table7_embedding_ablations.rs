@@ -3,12 +3,12 @@
 //! R-one (random road init) vs. full DeepOD, reported as MAPE with the
 //! percentage increase over DeepOD.
 
-use deepod_bench::{banner, city_name, sweep_config, sweep_dataset, train_options, Scale, CITIES};
+use deepod_bench::{banner, city_name, sweep_config, sweep_dataset, train_options, CITIES};
 use deepod_core::EmbeddingInit;
 use deepod_eval::{run_method, write_csv, DeepOdMethod, Method, TextTable};
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok());
     banner("Table 7: embedding-initialization ablations", scale);
 
     let variants = [

@@ -9,7 +9,8 @@
 //! # Scale
 //!
 //! Two scales are supported, selected by the first CLI argument or the
-//! `DEEPOD_SCALE` environment variable:
+//! `DEEPOD_SCALE` environment variable (resolved in each binary via
+//! [`startup`]):
 //!
 //! * `quick` (default) — minutes-per-experiment settings used by CI.
 //! * `full` — larger datasets and longer training, closer to the paper's
@@ -29,15 +30,35 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses the scale from `argv[1]` or `DEEPOD_SCALE` (default quick).
-    pub fn from_env() -> Scale {
-        let arg = std::env::args().nth(1);
-        let env = std::env::var("DEEPOD_SCALE").ok();
-        match arg.or(env).as_deref() {
+    /// Resolves a scale choice string (default quick). The caller supplies
+    /// the choice — typically `argv[1]` falling back to `DEEPOD_SCALE` via
+    /// [`startup`] — so this library never reads the environment.
+    pub fn resolve(choice: Option<&str>) -> Scale {
+        match choice {
             Some("full") => Scale::Full,
             _ => Scale::Quick,
         }
     }
+}
+
+/// One-stop startup for a benchmark binary: applies the process
+/// [`deepod_core::RuntimeConfig`] (thread count, log gate, metrics keys)
+/// from the provided environment lookup, then resolves the scale from
+/// `argv[1]` falling back to `DEEPOD_SCALE`. Bench binaries call
+/// `deepod_bench::startup(std::env::args().nth(1), |k| std::env::var(k).ok())`
+/// as their first line — the env closures keep all environment reads in
+/// the binaries themselves (deepod-lint rule `no-env-read-in-lib`).
+pub fn startup(argv1: Option<String>, env: impl Fn(&str) -> Option<String>) -> Scale {
+    let runtime =
+        deepod_core::RuntimeConfig::resolve(deepod_core::RuntimeOverrides::default(), &env);
+    if let Err(e) = runtime.apply() {
+        // Benchmarks have no fault-injection story; a malformed spec in
+        // the environment is a configuration error worth dying over.
+        // deepod-lint: allow(no-bare-eprintln)
+        eprintln!("fatal: {e}");
+        std::process::exit(deepod_tensor::failpoint::CONFIG_EXIT_CODE);
+    }
+    Scale::resolve(argv1.or_else(|| env("DEEPOD_SCALE")).as_deref())
 }
 
 /// The three city profiles in the paper's order.
@@ -137,9 +158,9 @@ pub fn sweep_dataset(p: CityProfile, scale: Scale) -> CityDataset {
     DatasetBuilder::build(&DatasetConfig::for_profile(p, n))
 }
 
-/// Standard training options for harness runs. `threads: 0` defers to
-/// `DEEPOD_THREADS` (or the machine's available parallelism), mirroring
-/// how [`Scale::from_env`] reads `DEEPOD_SCALE`.
+/// Standard training options for harness runs. `threads: 0` defers to the
+/// process-wide configured count (installed by [`startup`] from
+/// `DEEPOD_THREADS`, or the machine's available parallelism).
 pub fn train_options() -> TrainOptions {
     TrainOptions {
         eval_every: 25,
@@ -152,8 +173,8 @@ pub fn train_options() -> TrainOptions {
     }
 }
 
-/// The worker-thread count harness runs will use (`DEEPOD_THREADS` or the
-/// machine's available parallelism).
+/// The worker-thread count harness runs will use (as installed by
+/// [`startup`], or the machine's available parallelism).
 pub fn threads() -> usize {
     deepod_tensor::parallel::configured_threads()
 }
@@ -172,9 +193,10 @@ mod tests {
 
     #[test]
     fn scale_parsing_defaults_quick() {
-        // No env/arg in test harness.
-        std::env::remove_var("DEEPOD_SCALE");
-        assert_eq!(Scale::from_env(), Scale::Quick);
+        assert_eq!(Scale::resolve(None), Scale::Quick);
+        assert_eq!(Scale::resolve(Some("full")), Scale::Full);
+        assert_eq!(Scale::resolve(Some("FULL")), Scale::Quick, "case-sensitive");
+        assert_eq!(Scale::resolve(Some("quick")), Scale::Quick);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::args::Args;
 use crate::dataset_io::{load_dataset, save_dataset};
 use deepod_baselines::{RouteTtePredictor, TtePredictor};
 use deepod_core::{
-    io_guard, CheckpointPolicy, DeepOdConfig, DeepOdModel, FeatureContext, TrainOptions, Trainer,
-    TrainingCheckpoint,
+    io_guard, CheckpointPolicy, DeepOdConfig, DeepOdModel, FeatureContext, PredictRequest,
+    TrainOptions, Trainer, TrainingCheckpoint,
 };
 use deepod_roadnet::{CityProfile, Point};
 use deepod_traj::{DatasetBuilder, DatasetConfig, OdInput};
@@ -22,8 +22,19 @@ USAGE:
                   [--resume FILE] [--report FILE] --out FILE
   deepod predict  --data FILE --model FILE --from X,Y --to X,Y --depart T
   deepod eval     --data FILE --model FILE
+  deepod serve    --data FILE --model FILE [--max-batch N] [--max-wait-ms MS]
+                  [--queue N] [--threads T] [--reject-when-full]
   deepod info     --data FILE
   deepod help
+
+serve reads newline-delimited JSON requests on stdin —
+  {\"id\": 1, \"from\": [X, Y], \"to\": [X, Y], \"depart\": T}
+— coalesces them into micro-batches (up to --max-batch requests or
+--max-wait-ms of waiting), and answers in input order on stdout:
+  {\"id\":1,\"eta_s\":412.5,\"degraded\":false}
+By default a full queue blocks the reader (backpressure); with
+--reject-when-full overloaded requests are answered immediately with a
+\"queue full\" error line instead.
 
 Global flags (any subcommand):
   --log-format <text|json>   structured-event format on stderr
@@ -70,6 +81,7 @@ pub fn dispatch(argv: &[String]) -> Result<Outcome, String> {
         "train" => train(&Args::parse(rest)?),
         "predict" => predict(&Args::parse(rest)?),
         "eval" => eval_cmd(&Args::parse(rest)?),
+        "serve" => serve(&Args::parse(rest)?),
         "info" => info(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -219,10 +231,12 @@ fn predict(args: &Args) -> Result<Outcome, String> {
     // baseline (shortest route over historical segment speeds), warn
     // loudly, and exit with the dedicated "degraded" code.
     match load_model(model_path) {
-        Ok(mut model) => {
+        Ok(model) => {
             let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
-            match model.estimate(&ctx, &ds.net, &od) {
-                Some(eta) => {
+            let reqs = [PredictRequest::Raw(od)];
+            match model.estimate_batch(&ctx, &ds.net, &reqs, 1).remove(0) {
+                Ok(resp) => {
+                    let eta = resp.eta_seconds;
                     println!(
                         "ETA: {eta:.0}s ({:.1} min) for {dist_km:.1} km crow-fly, \
                          departing t = {depart:.0}s ({})",
@@ -231,9 +245,7 @@ fn predict(args: &Args) -> Result<Outcome, String> {
                     );
                     Ok(Outcome::Ok)
                 }
-                None => {
-                    Err("origin or destination could not be matched to the road network".into())
-                }
+                Err(e) => Err(e.to_string()),
             }
         }
         Err(why) => {
@@ -265,15 +277,20 @@ fn predict(args: &Args) -> Result<Outcome, String> {
 
 fn eval_cmd(args: &Args) -> Result<Outcome, String> {
     let ds = load_dataset(args.require("data")?)?;
-    let mut model = load_model(args.require("model")?)?;
+    let model = load_model(args.require("model")?)?;
     let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
 
+    let reqs: Vec<PredictRequest> = ds.test.iter().map(|o| PredictRequest::Raw(o.od)).collect();
     let mut pairs = Vec::new();
-    for o in &ds.test {
-        if let Some(p) = model.estimate(&ctx, &ds.net, &o.od) {
+    for (o, resp) in ds
+        .test
+        .iter()
+        .zip(model.estimate_batch(&ctx, &ds.net, &reqs, 0))
+    {
+        if let Ok(resp) = resp {
             pairs.push(deepod_eval::PredPair {
                 actual: o.travel_time as f32,
-                predicted: p,
+                predicted: resp.eta_seconds,
             });
         }
     }
@@ -290,6 +307,143 @@ fn eval_cmd(args: &Args) -> Result<Outcome, String> {
         m.mare_pct
     );
     Ok(Outcome::Ok)
+}
+
+/// What the response writer thread consumes, in submission order: either
+/// a reply still in flight inside the engine, or a line that is already
+/// final (parse errors, queue-full rejections).
+enum OutItem {
+    Pending(u64, std::sync::mpsc::Receiver<deepod_serve::EngineReply>),
+    Ready(String),
+}
+
+fn serve(args: &Args) -> Result<Outcome, String> {
+    use deepod_serve::{Backend, EngineConfig, InferenceEngine, ServeError};
+    use std::io::{BufRead, Write};
+    use std::sync::Arc;
+
+    let ds = Arc::new(load_dataset(args.require("data")?)?);
+    let model_path = args.require("model")?;
+    let config = EngineConfig {
+        max_batch: args.get_parsed("max-batch", 64usize)?,
+        max_wait_ms: args.get_parsed("max-wait-ms", 5u64)?,
+        queue_capacity: args.get_parsed("queue", 256usize)?,
+        threads: args.get_parsed("threads", 0usize)?,
+    };
+    let reject_when_full = args.has_switch("reject-when-full");
+
+    // Same graceful degradation as `predict`: an unusable model file keeps
+    // the process serving through the route-tte baseline, each response
+    // flagged degraded, and the whole run exits with the degraded code.
+    let (backend, slot_seconds, degraded_backend) = match load_model(model_path) {
+        Ok(model) => {
+            let slot = model.config.slot_seconds;
+            (Backend::Model(Box::new(model)), slot, false)
+        }
+        Err(why) => {
+            deepod_core::obs::warn(
+                "serve",
+                "model unusable; serving route-tte fallback answers (degraded)",
+                &[("why", why.as_str().into())],
+            );
+            let mut fallback = RouteTtePredictor::new();
+            fallback.fit(&ds);
+            (
+                Backend::RouteTte(Box::new(fallback)),
+                DeepOdConfig::default().slot_seconds,
+                true,
+            )
+        }
+    };
+    let ctx = FeatureContext::build(&ds, slot_seconds);
+    let engine = InferenceEngine::start(backend, ctx, Arc::clone(&ds), config);
+    deepod_core::obs::info(
+        "serve",
+        "engine up; reading requests from stdin",
+        &[
+            ("max_batch", engine.config().max_batch.into()),
+            ("max_wait_ms", engine.config().max_wait_ms.into()),
+            ("queue", engine.config().queue_capacity.into()),
+            ("degraded", degraded_backend.into()),
+        ],
+    );
+
+    // Writer thread: prints responses strictly in submission order, so the
+    // reader can keep enqueueing while earlier batches are still in flight.
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<OutItem>();
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        for item in out_rx {
+            let line = match item {
+                OutItem::Ready(line) => line,
+                OutItem::Pending(id, rx) => match rx.recv() {
+                    Ok(reply) => match reply.result {
+                        Ok(resp) => {
+                            deepod_serve::protocol::render_ok(id, resp.eta_seconds, reply.degraded)
+                        }
+                        Err(e) => deepod_serve::protocol::render_error(Some(id), &e.to_string()),
+                    },
+                    Err(_) => {
+                        deepod_serve::protocol::render_error(Some(id), "engine dropped the request")
+                    }
+                },
+            };
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                return; // stdout closed: the client is gone
+            }
+        }
+    });
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item = match deepod_serve::protocol::parse_request(&line) {
+            Ok(wire) => {
+                let od = OdInput {
+                    origin: Point::new(wire.from.0, wire.from.1),
+                    destination: Point::new(wire.to.0, wire.to.1),
+                    depart: wire.depart,
+                    weather: ds.traffic.weather().at(wire.depart),
+                };
+                let req = PredictRequest::Raw(od);
+                let submitted = if reject_when_full {
+                    engine.try_submit(req)
+                } else {
+                    engine.submit(req)
+                };
+                match submitted {
+                    Ok(rx) => OutItem::Pending(wire.id, rx),
+                    Err(e @ (ServeError::QueueFull { .. } | ServeError::ShuttingDown)) => {
+                        OutItem::Ready(deepod_serve::protocol::render_error(
+                            Some(wire.id),
+                            &e.to_string(),
+                        ))
+                    }
+                }
+            }
+            Err(why) => OutItem::Ready(deepod_serve::protocol::render_error(None, &why)),
+        };
+        if out_tx.send(item).is_err() {
+            break; // writer died (stdout closed): stop reading
+        }
+    }
+
+    // EOF: close the intake, let the engine drain what it accepted, wait
+    // for the writer to print the last response, then report how we ran.
+    drop(out_tx);
+    engine.shutdown();
+    writer
+        .join()
+        .map_err(|_| "response writer panicked".to_string())?;
+    if degraded_backend {
+        Ok(Outcome::Degraded)
+    } else {
+        Ok(Outcome::Ok)
+    }
 }
 
 fn info(args: &Args) -> Result<Outcome, String> {

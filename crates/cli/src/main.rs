@@ -54,38 +54,41 @@ fn extract_value(argv: &mut Vec<String>, flag: &str) -> Option<String> {
 }
 
 fn main() -> ExitCode {
-    // Validate DEEPOD_FAILPOINTS up front: a malformed spec must abort
-    // (exit 78) even for commands that never visit a failpoint site, not
-    // lie dormant until the first `hit()` lazily parses it.
-    let _ = deepod_tensor::failpoint::armed();
-
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
 
-    // Observability is process-global, so its flags are global too: strip
-    // them here before the subcommand parsers see the argument list.
-    let log_format = extract_value(&mut argv, "--log-format");
-    let metrics_path = extract_value(&mut argv, "--metrics").or_else(|| {
-        std::env::var("DEEPOD_METRICS")
-            .ok()
-            .filter(|s| !s.is_empty())
-    });
-
-    deepod_core::obs::ensure_init();
-    if let Some(fmt) = log_format {
-        match deepod_core::obs::LogFormat::parse(&fmt) {
-            Some(f) => deepod_core::obs::set_format(f),
+    // Runtime configuration is process-global, so its flags are global
+    // too: strip them here before the subcommand parsers see the argument
+    // list, then resolve flags > environment > defaults in one place.
+    let log_format = match extract_value(&mut argv, "--log-format") {
+        Some(raw) => match deepod_core::obs::LogFormat::parse(&raw) {
+            Some(f) => Some(f),
             None => {
-                eprintln!("error: --log-format expects 'text' or 'json', got '{fmt}'");
+                eprintln!("error: --log-format expects 'text' or 'json', got '{raw}'");
                 return ExitCode::FAILURE;
             }
-        }
+        },
+        None => None,
+    };
+    let overrides = deepod_core::RuntimeOverrides {
+        log_format,
+        metrics_path: extract_value(&mut argv, "--metrics"),
+    };
+    let runtime = deepod_core::RuntimeConfig::resolve(overrides, |key| std::env::var(key).ok());
+    if let Err(e) = runtime.apply() {
+        // A malformed DEEPOD_FAILPOINTS spec must abort (exit 78) even for
+        // commands that never visit a failpoint site: fault injection that
+        // silently fails to arm makes crash tests pass vacuously.
+        eprintln!("fatal: {e}");
+        return ExitCode::from(
+            u8::try_from(deepod_tensor::failpoint::CONFIG_EXIT_CODE).unwrap_or(1),
+        );
     }
 
     let outcome = commands::dispatch(&argv);
 
     // Flush metrics even when the command failed: the artifact is most
     // useful exactly when something went wrong.
-    if let Some(path) = metrics_path {
+    if let Some(path) = runtime.metrics_path {
         if let Err(e) = deepod_core::obs::registry::flush_to_path(std::path::Path::new(&path)) {
             eprintln!("error: writing metrics to {path}: {e}");
             return ExitCode::FAILURE;

@@ -156,6 +156,16 @@ fn io_err(path: &Path, op: &'static str, e: &std::io::Error) -> IoGuardError {
     }
 }
 
+/// Registers the metric keys this module always reports, at zero, so "no
+/// retries happened" is an observation rather than a missing key and
+/// snapshot key sets stay identical across runs. Called once per process
+/// from `RuntimeConfig::apply`.
+pub fn register_metrics() {
+    crate::obs::registry::counter_add("io_guard.writes", 0);
+    crate::obs::registry::counter_add("io_guard.reads", 0);
+    crate::obs::registry::counter_add("io_guard.retries", 0);
+}
+
 /// Runs an IO closure with bounded retries on transient error kinds and a
 /// deterministic backoff schedule.
 fn with_retry<T>(
@@ -163,10 +173,15 @@ fn with_retry<T>(
     op: &'static str,
     mut attempt: impl FnMut() -> std::io::Result<T>,
 ) -> Result<T, IoGuardError> {
-    // Reported even when zero so `io_guard.retries` always exists in a
-    // metrics snapshot: "no retries happened" is itself a finding.
+    // Only nonzero counts are added here; the key itself is materialized
+    // eagerly by [`register_metrics`], so a clean run still reports
+    // `io_guard.retries = 0` without this path faking an observation.
     let mut retries: u64 = 0;
-    let report = |n: u64| crate::obs::registry::counter_add("io_guard.retries", n);
+    let report = |n: u64| {
+        if n > 0 {
+            crate::obs::registry::counter_add("io_guard.retries", n);
+        }
+    };
     let mut last: Option<std::io::Error> = None;
     for (tries, backoff_ms) in RETRY_BACKOFF_MS.iter().enumerate() {
         match attempt() {

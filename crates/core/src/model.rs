@@ -32,6 +32,10 @@ pub enum ModelError {
     /// A guarded filesystem operation failed (missing, truncated, or
     /// corrupt artifact — see [`crate::io_guard::IoGuardError`]).
     Io(crate::io_guard::IoGuardError),
+    /// A prediction request's origin or destination could not be matched
+    /// to any road segment (per-request failure of [`DeepOdModel::
+    /// estimate_batch`]; the rest of the batch is unaffected).
+    UnmatchedEndpoints,
 }
 
 impl fmt::Display for ModelError {
@@ -40,6 +44,10 @@ impl fmt::Display for ModelError {
             ModelError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
             ModelError::Serialization(why) => write!(f, "model serialization failed: {why}"),
             ModelError::Io(err) => write!(f, "model io failed: {err}"),
+            ModelError::UnmatchedEndpoints => write!(
+                f,
+                "origin or destination could not be matched to the road network"
+            ),
         }
     }
 }
@@ -57,6 +65,33 @@ impl From<crate::io_guard::IoGuardError> for ModelError {
     fn from(err: crate::io_guard::IoGuardError) -> Self {
         ModelError::Io(err)
     }
+}
+
+/// One unit of inference work for [`DeepOdModel::estimate_batch`] — the
+/// single public entry point to online estimation. Both the raw form (an
+/// OD query that still needs road-network matching) and the pre-encoded
+/// form (features already extracted, e.g. validation samples) flow through
+/// the same batched path.
+#[derive(Clone, Debug)]
+pub enum PredictRequest {
+    /// A raw OD query; matched against the road network per request, which
+    /// can fail with [`ModelError::UnmatchedEndpoints`].
+    Raw(OdInput),
+    /// An already-encoded OD (skips feature extraction; cannot fail).
+    Encoded(EncodedOd),
+}
+
+impl From<OdInput> for PredictRequest {
+    fn from(od: OdInput) -> Self {
+        PredictRequest::Raw(od)
+    }
+}
+
+/// The answer to one [`PredictRequest`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PredictResponse {
+    /// Estimated travel time in seconds (clamped non-negative).
+    pub eta_seconds: f32,
 }
 
 /// The DeepOD model (all three modules plus shared embeddings).
@@ -411,8 +446,10 @@ impl DeepOdModel {
         (parts, g.backward(nodes.loss))
     }
 
-    /// Online estimation (Alg. 1, `Estimation`): only M_O and M_E run.
-    pub fn estimate_encoded(&mut self, od: &EncodedOd) -> f32 {
+    /// Online estimation of one pre-encoded OD (Alg. 1, `Estimation`):
+    /// only M_O and M_E run. Internal building block of the batched entry
+    /// point; external callers go through [`Self::estimate_batch`].
+    pub(crate) fn eval_encoded(&mut self, od: &EncodedOd) -> f32 {
         let mut g = Graph::new();
         let code = self.od_enc.encode(
             &mut g,
@@ -427,8 +464,80 @@ impl DeepOdModel {
         self.denormalize_y(g.value(y).item()).max(0.0)
     }
 
+    /// Answers one request on a (possibly cloned) model instance.
+    fn answer(
+        &mut self,
+        ctx: &FeatureContext,
+        net: &deepod_roadnet::RoadNetwork,
+        req: &PredictRequest,
+    ) -> Result<PredictResponse, ModelError> {
+        let eta_seconds = match req {
+            PredictRequest::Raw(od) => {
+                let enc = ctx
+                    .encode_od(net, od)
+                    .ok_or(ModelError::UnmatchedEndpoints)?;
+                self.eval_encoded(&enc)
+            }
+            PredictRequest::Encoded(enc) => self.eval_encoded(enc),
+        };
+        Ok(PredictResponse { eta_seconds })
+    }
+
+    /// Batched online estimation — **the** public inference entry point.
+    ///
+    /// Requests are answered independently: a sample that cannot be
+    /// matched to the road network yields [`ModelError::UnmatchedEndpoints`]
+    /// in its slot without affecting its neighbors. With `threads > 1` the
+    /// batch is split into contiguous spans via
+    /// [`deepod_tensor::parallel::map_ranges`]; each span runs on a cheap
+    /// copy-on-write clone of the model and the per-span outputs are
+    /// re-concatenated in span order. Every sample builds its own tape, so
+    /// predictions are bit-identical for any `(threads, batch size)` —
+    /// the same contract the data-parallel trainer keeps (DESIGN.md §6).
+    ///
+    /// `threads == 0` defers to the process-wide configured default.
+    pub fn estimate_batch(
+        &self,
+        ctx: &FeatureContext,
+        net: &deepod_roadnet::RoadNetwork,
+        reqs: &[PredictRequest],
+        threads: usize,
+    ) -> Vec<Result<PredictResponse, ModelError>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let t = deepod_tensor::parallel::resolve_threads(threads)
+            .min(reqs.len())
+            .max(1);
+        deepod_tensor::parallel::map_ranges(reqs.len(), t, |span| {
+            // Clone-per-span: the parameter store is Arc-backed, so this
+            // shares all weights; only batch-norm scratch state is copied.
+            let mut local = self.clone();
+            reqs[span]
+                .iter()
+                .map(|r| local.answer(ctx, net, r))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Online estimation of one pre-encoded OD.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `estimate_batch` with `PredictRequest::Encoded` — the single batched entry point"
+    )]
+    pub fn estimate_encoded(&mut self, od: &EncodedOd) -> f32 {
+        self.eval_encoded(od)
+    }
+
     /// Estimates travel time for a raw OD input; `None` when the endpoints
     /// cannot be matched to the road network.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `estimate_batch` with `PredictRequest::Raw` — the single batched entry point"
+    )]
     pub fn estimate(
         &mut self,
         ctx: &FeatureContext,
@@ -436,20 +545,25 @@ impl DeepOdModel {
         od: &OdInput,
     ) -> Option<f32> {
         let enc = ctx.encode_od(net, od)?;
-        Some(self.estimate_encoded(&enc))
+        Some(self.eval_encoded(&enc))
     }
 
     /// Estimates travel times for a batch of taxi orders (using only their
     /// OD inputs); unmatchable orders yield `None`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `estimate_batch` over `PredictRequest::Raw` values — the single batched entry point"
+    )]
     pub fn estimate_orders(
         &mut self,
         bundle: (&FeatureContext, &deepod_roadnet::RoadNetwork),
         orders: &[TaxiOrder],
     ) -> Vec<Option<f32>> {
         let (ctx, net) = bundle;
-        orders
-            .iter()
-            .map(|o| self.estimate(ctx, net, &o.od))
+        let reqs: Vec<PredictRequest> = orders.iter().map(|o| PredictRequest::Raw(o.od)).collect();
+        self.estimate_batch(ctx, net, &reqs, 1)
+            .into_iter()
+            .map(|r| r.ok().map(|resp| resp.eta_seconds))
             .collect()
     }
 
@@ -625,8 +739,11 @@ mod tests {
         // normalized units).
         let mean = ds.mean_train_travel_time() as f32;
         let enc = ctx.encode_od(&ds.net, &ds.train[0].od).unwrap();
-        let mut model = model;
-        let pred = model.estimate_encoded(&enc);
+        let pred = model
+            .estimate_batch(&ctx, &ds.net, &[PredictRequest::Encoded(enc)], 1)
+            .remove(0)
+            .expect("encoded request cannot fail")
+            .eta_seconds;
         assert!(
             (pred - mean).abs() < 2.0 * model.y_std,
             "pred {pred} vs mean {mean}"
@@ -663,15 +780,81 @@ mod tests {
         );
     }
 
+    fn eta_of(
+        model: &DeepOdModel,
+        ctx: &FeatureContext,
+        net: &deepod_roadnet::RoadNetwork,
+        od: &OdInput,
+    ) -> f32 {
+        model
+            .estimate_batch(ctx, net, &[PredictRequest::Raw(*od)], 1)
+            .remove(0)
+            .expect("test OD matches the network")
+            .eta_seconds
+    }
+
     #[test]
     fn estimation_is_deterministic_and_nonnegative() {
         let (ds, ctx, cfg) = tiny_setup();
-        let mut model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
+        let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         let od = &ds.test.first().unwrap_or(&ds.train[0]).od;
-        let a = model.estimate(&ctx, &ds.net, od).unwrap();
-        let b = model.estimate(&ctx, &ds.net, od).unwrap();
+        let a = eta_of(&model, &ctx, &ds.net, od);
+        let b = eta_of(&model, &ctx, &ds.net, od);
         assert_eq!(a, b);
         assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn estimate_batch_matches_per_request_calls_for_any_thread_count() {
+        let (ds, ctx, cfg) = tiny_setup();
+        let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
+        let reqs: Vec<PredictRequest> = ds
+            .train
+            .iter()
+            .take(9)
+            .map(|o| PredictRequest::Raw(o.od))
+            .collect();
+        let serial = model.estimate_batch(&ctx, &ds.net, &reqs, 1);
+        for threads in [2usize, 3, 8] {
+            let parallel = model.estimate_batch(&ctx, &ds.net, &reqs, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                let (a, b) = (a.as_ref().expect("matched"), b.as_ref().expect("matched"));
+                assert_eq!(
+                    a.eta_seconds.to_bits(),
+                    b.eta_seconds.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmatched_endpoints_fail_per_request_not_per_batch() {
+        let (ds, ctx, cfg) = tiny_setup();
+        let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
+        let good = ds.train[0].od;
+        let mut bad = good;
+        // Far outside any road segment's 600 m matching radius.
+        bad.origin = deepod_roadnet::Point::new(-1e7, -1e7);
+        let out = model.estimate_batch(
+            &ctx,
+            &ds.net,
+            &[
+                PredictRequest::Raw(good),
+                PredictRequest::Raw(bad),
+                PredictRequest::Raw(good),
+            ],
+            1,
+        );
+        assert!(out[0].is_ok());
+        assert_eq!(out[1], Err(ModelError::UnmatchedEndpoints));
+        assert!(out[2].is_ok());
+        assert_eq!(
+            out[0].as_ref().map(|r| r.eta_seconds.to_bits()),
+            out[2].as_ref().map(|r| r.eta_seconds.to_bits()),
+            "a failing neighbor must not perturb other requests"
+        );
     }
 
     #[test]
@@ -689,12 +872,12 @@ mod tests {
     #[test]
     fn serde_round_trip_preserves_predictions() {
         let (ds, ctx, cfg) = tiny_setup();
-        let mut model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
+        let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         let od = &ds.train[0].od;
-        let before = model.estimate(&ctx, &ds.net, od).unwrap();
+        let before = eta_of(&model, &ctx, &ds.net, od);
         let json = model.save_json().expect("serializable model");
-        let mut loaded = DeepOdModel::load_json(&json).unwrap();
-        let after = loaded.estimate(&ctx, &ds.net, od).unwrap();
+        let loaded = DeepOdModel::load_json(&json).unwrap();
+        let after = eta_of(&loaded, &ctx, &ds.net, od);
         assert_eq!(before, after);
     }
 

@@ -16,10 +16,12 @@
 //! Every line is written under one process-wide writer lock, so events
 //! from parallel workers never interleave mid-line.
 //!
-//! The threshold comes from `DEEPOD_LOG` (`off`, `error`, `warn`, `info`,
-//! `debug`, `trace`; default `warn`). [`raise_max_level`] lets a flag like
-//! `--verbose` widen the *default* without overriding an explicit
-//! `DEEPOD_LOG` choice.
+//! The threshold (`off`, `error`, `warn`, `info`, `debug`, `trace`;
+//! default `warn`) is installed programmatically: binaries resolve
+//! `DEEPOD_LOG` into a [`crate::RuntimeConfig`] and call [`set_max_level`]
+//! — library code never reads the environment. [`raise_max_level`] lets a
+//! flag like `--verbose` widen the *default* without overriding an
+//! explicit `DEEPOD_LOG` choice.
 //!
 //! # Determinism carve-out
 //!
@@ -181,21 +183,22 @@ impl From<String> for Value {
 
 // ---- process-wide configuration -------------------------------------------
 
-/// `MAX_LEVEL` encoding: 0 = off, 1..=5 = `Level`, `UNINIT` = read the
-/// environment on first use.
+/// `MAX_LEVEL` encoding: 0 = off, 1..=5 = `Level`, `UNINIT` = not yet
+/// initialized (first use installs the default `warn` gate).
 const UNINIT: u8 = u8::MAX;
 
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
-/// Whether the level came from `DEEPOD_LOG` / [`set_max_level`] (explicit
-/// choices win over [`raise_max_level`]).
+/// Whether the level came from [`set_max_level`] (explicit choices win
+/// over [`raise_max_level`]).
 static LEVEL_EXPLICIT: AtomicBool = AtomicBool::new(false);
 /// 0 = text, 1 = json.
 static FORMAT: AtomicU8 = AtomicU8::new(0);
 
 /// Idempotent initialization: installs the tensor-layer telemetry bridge
-/// and reads `DEEPOD_LOG` / `DEEPOD_LOG_FORMAT`. Called lazily by every
-/// entry point, so explicit calls are only needed to front-load the env
-/// read (the CLI does this before dispatch).
+/// and the default `warn` gate (non-explicit, so [`raise_max_level`] can
+/// widen it). Called lazily by every entry point; binaries that want a
+/// different threshold or format apply a `crate::RuntimeConfig` right
+/// after startup, which calls [`set_max_level`] / [`set_format`].
 pub fn ensure_init() {
     if MAX_LEVEL.load(Ordering::Acquire) != UNINIT {
         return;
@@ -212,33 +215,8 @@ pub fn ensure_init() {
     static BRIDGE: Bridge = Bridge;
     deepod_tensor::telemetry::install(&BRIDGE);
 
-    if let Ok(raw) = std::env::var("DEEPOD_LOG_FORMAT") {
-        if let Some(f) = LogFormat::parse(&raw) {
-            set_format(f);
-        }
-    }
-    let mut bad_level: Option<String> = None;
-    let (encoded, explicit) = match std::env::var("DEEPOD_LOG") {
-        Ok(raw) => match Level::parse(&raw) {
-            Some(level) => (level.map_or(0, |l| l as u8), true),
-            None => {
-                bad_level = Some(raw);
-                (Level::Warn as u8, false)
-            }
-        },
-        Err(_) => (Level::Warn as u8, false),
-    };
-    LEVEL_EXPLICIT.store(explicit, Ordering::Release);
-    MAX_LEVEL.store(encoded, Ordering::Release);
-    if let Some(raw) = bad_level {
-        // A typo'd log level is not worth killing a training run over,
-        // but it must not pass silently either.
-        warn(
-            "obs",
-            "unrecognized DEEPOD_LOG value; defaulting to warn",
-            &[("value", raw.into())],
-        );
-    }
+    LEVEL_EXPLICIT.store(false, Ordering::Release);
+    MAX_LEVEL.store(Level::Warn as u8, Ordering::Release);
 }
 
 /// Whether events at `level` would currently be written.

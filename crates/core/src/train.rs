@@ -179,6 +179,13 @@ impl<'a> Trainer<'a> {
         &mut self.model
     }
 
+    /// Immutable view of the model. Batched inference
+    /// ([`DeepOdModel::estimate_batch`]) takes `&self`, so this borrow can
+    /// coexist with [`Self::context`] / [`Self::validation_samples`].
+    pub fn model_ref(&self) -> &DeepOdModel {
+        &self.model
+    }
+
     /// Consumes the trainer, returning the model.
     pub fn into_model(self) -> DeepOdModel {
         self.model
@@ -206,34 +213,29 @@ impl<'a> Trainer<'a> {
     /// spans are contiguous and re-concatenated in order, so the output is
     /// identical for every thread count.
     pub fn predict_orders(&mut self, orders: &[deepod_traj::TaxiOrder]) -> Vec<Option<f32>> {
-        let ctx = &self.ctx;
-        let net = &self.ds.net;
-        let t = self.threads().min(orders.len()).max(1);
-        if t == 1 {
-            let model = &mut self.model;
-            return orders
-                .iter()
-                .map(|o| model.estimate(ctx, net, &o.od))
-                .collect();
-        }
-        let model = &self.model;
-        deepod_tensor::parallel::map_ranges(orders.len(), t, |span| {
-            let mut local = model.clone();
-            orders[span]
-                .iter()
-                .map(|o| local.estimate(ctx, net, &o.od))
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        let reqs: Vec<crate::PredictRequest> = orders
+            .iter()
+            .map(|o| crate::PredictRequest::Raw(o.od))
+            .collect();
+        self.model
+            .estimate_batch(&self.ctx, &self.ds.net, &reqs, self.opts.threads)
+            .into_iter()
+            .map(|r| r.ok().map(|resp| resp.eta_seconds))
+            .collect()
     }
 
     /// Predicts the travel time for one raw OD input.
     pub fn predict_od(&mut self, od: &deepod_traj::OdInput) -> Option<f32> {
-        let ctx = &self.ctx;
-        let net = &self.ds.net;
-        self.model.estimate(ctx, net, od)
+        self.model
+            .estimate_batch(
+                &self.ctx,
+                &self.ds.net,
+                &[crate::PredictRequest::Raw(*od)],
+                1,
+            )
+            .remove(0)
+            .ok()
+            .map(|resp| resp.eta_seconds)
     }
 
     /// Encoded training samples.
@@ -258,7 +260,7 @@ impl<'a> Trainer<'a> {
         if t == 1 {
             let mut acc = 0.0f32;
             for s in &self.val_samples[..n] {
-                let pred = self.model.estimate_encoded(&s.od);
+                let pred = self.model.eval_encoded(&s.od);
                 acc += (pred - s.travel_time).abs();
             }
             return acc / n as f32;
@@ -272,7 +274,7 @@ impl<'a> Trainer<'a> {
             let mut local = model.clone();
             let mut acc = 0.0f32;
             for s in &samples[span] {
-                let pred = local.estimate_encoded(&s.od);
+                let pred = local.eval_encoded(&s.od);
                 acc += (pred - s.travel_time).abs();
             }
             acc

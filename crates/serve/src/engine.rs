@@ -1,0 +1,356 @@
+//! The batched inference engine: a bounded request queue, a micro-batch
+//! coalescing worker, and backpressure (DESIGN.md §11).
+//!
+//! One [`InferenceEngine`] loads a model once and answers many
+//! [`PredictRequest`]s. Producers enqueue requests with [`submit`]
+//! (blocking flow control) or [`try_submit`] (fail fast with
+//! [`ServeError::QueueFull`]); a single worker thread drains the queue
+//! into micro-batches — closing a batch when it reaches
+//! [`EngineConfig::max_batch`] requests or when the oldest request has
+//! waited [`EngineConfig::max_wait_ms`] — and runs each batch through
+//! [`DeepOdModel::estimate_batch`], which fans out over
+//! `deepod_tensor::parallel`. Each reply travels back on a per-request
+//! channel, so producers can interleave submission and collection freely.
+//!
+//! [`submit`]: InferenceEngine::submit
+//! [`try_submit`]: InferenceEngine::try_submit
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use deepod_baselines::{RouteTtePredictor, TtePredictor};
+use deepod_core::obs::registry;
+use deepod_core::{DeepOdModel, FeatureContext, ModelError, PredictRequest, PredictResponse};
+use deepod_traj::CityDataset;
+
+/// Typed failures of the queueing layer — distinct from [`ModelError`],
+/// which describes a *processed* request that could not be answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is at capacity; the caller should shed load or
+    /// retry later. Returned by [`InferenceEngine::try_submit`] only —
+    /// [`InferenceEngine::submit`] blocks instead.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The engine is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Tunables for one engine instance.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Largest micro-batch handed to one `estimate_batch` call.
+    pub max_batch: usize,
+    /// Longest the oldest queued request waits for companions before its
+    /// batch closes anyway (the latency bound of coalescing).
+    pub max_wait_ms: u64,
+    /// Bounded queue capacity; beyond it [`InferenceEngine::try_submit`]
+    /// rejects and [`InferenceEngine::submit`] blocks.
+    pub queue_capacity: usize,
+    /// Worker threads per batch (`0` = process-wide configured default).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 64,
+            max_wait_ms: 5,
+            queue_capacity: 256,
+            threads: 0,
+        }
+    }
+}
+
+/// What answers requests: the real model, or the route-tte baseline when
+/// the model could not be loaded (graceful degradation — the process
+/// keeps serving, each reply is marked degraded).
+pub enum Backend {
+    /// A loaded DeepOD model; replies are not degraded.
+    Model(Box<DeepOdModel>),
+    /// The shortest-route-over-historical-speeds fallback (must already be
+    /// fit); every reply is marked degraded.
+    RouteTte(Box<RouteTtePredictor>),
+}
+
+/// One answer from the engine.
+#[derive(Clone, Debug)]
+pub struct EngineReply {
+    /// The prediction, or the per-request model error.
+    pub result: Result<PredictResponse, ModelError>,
+    /// `true` when the answer came from the fallback backend.
+    pub degraded: bool,
+}
+
+struct Pending {
+    req: PredictRequest,
+    tx: mpsc::Sender<EngineReply>,
+    enqueued: Instant,
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    /// Signaled when work arrives or the queue closes (worker waits here).
+    work: Condvar,
+    /// Signaled when the worker drains items (blocked producers wait here).
+    space: Condvar,
+    capacity: usize,
+}
+
+/// A long-lived inference engine: one background worker coalescing the
+/// queue into micro-batches. Dropping the engine (or calling
+/// [`InferenceEngine::shutdown`]) closes the queue, drains what is already
+/// enqueued, and joins the worker.
+pub struct InferenceEngine {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl InferenceEngine {
+    /// Starts the engine: registers its metric keys (so every snapshot
+    /// carries them, even at zero) and spawns the batching worker, which
+    /// takes ownership of the backend, feature context, and dataset.
+    pub fn start(
+        backend: Backend,
+        ctx: FeatureContext,
+        ds: Arc<CityDataset>,
+        config: EngineConfig,
+    ) -> InferenceEngine {
+        registry::counter_add("serve.requests", 0);
+        registry::counter_add("serve.degraded", 0);
+        registry::counter_add("serve.rejected", 0);
+        registry::gauge_set("serve.queue_depth", 0.0);
+        let config = EngineConfig {
+            max_batch: config.max_batch.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            capacity: config.queue_capacity,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || {
+            let mut backend = backend;
+            worker_loop(&worker_shared, &mut backend, &ctx, &ds, config);
+        });
+        InferenceEngine {
+            shared,
+            worker: Some(worker),
+            config,
+        }
+    }
+
+    /// The configuration the engine is running with (after clamping).
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Enqueues a request, blocking while the queue is at capacity (flow
+    /// control for producers reading from a pipe). Returns the channel the
+    /// reply will arrive on.
+    pub fn submit(&self, req: PredictRequest) -> Result<mpsc::Receiver<EngineReply>, ServeError> {
+        let mut q = self.lock_queue();
+        loop {
+            if q.closed {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.items.len() < self.shared.capacity {
+                break;
+            }
+            q = self.shared.space.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+        Ok(self.enqueue(q, req))
+    }
+
+    /// Enqueues a request without blocking: at capacity the request is
+    /// rejected with [`ServeError::QueueFull`] (and counted under
+    /// `serve.rejected`) so the caller can shed load explicitly.
+    pub fn try_submit(
+        &self,
+        req: PredictRequest,
+    ) -> Result<mpsc::Receiver<EngineReply>, ServeError> {
+        let q = self.lock_queue();
+        if q.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.items.len() >= self.shared.capacity {
+            registry::counter_inc("serve.rejected");
+            return Err(ServeError::QueueFull {
+                capacity: self.shared.capacity,
+            });
+        }
+        Ok(self.enqueue(q, req))
+    }
+
+    /// Closes the queue, lets the worker drain everything already
+    /// enqueued, and joins it. Equivalent to dropping the engine, but
+    /// explicit at call sites that care about ordering.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        // A poisoned queue lock means a producer panicked mid-push; the
+        // VecDeque itself stays structurally valid, so keep serving.
+        self.shared.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn enqueue(
+        &self,
+        mut q: std::sync::MutexGuard<'_, QueueState>,
+        req: PredictRequest,
+    ) -> mpsc::Receiver<EngineReply> {
+        let (tx, rx) = mpsc::channel();
+        q.items.push_back(Pending {
+            req,
+            tx,
+            enqueued: Instant::now(),
+        });
+        drop(q);
+        self.shared.work.notify_one();
+        rx
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            q.closed = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// The batching loop: wait for work, coalesce a micro-batch (size- or
+/// deadline-triggered), run it, reply, repeat — until the queue is closed
+/// *and* drained, so shutdown never drops an accepted request.
+fn worker_loop(
+    shared: &Shared,
+    backend: &mut Backend,
+    ctx: &FeatureContext,
+    ds: &CityDataset,
+    config: EngineConfig,
+) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if !q.items.is_empty() {
+                    break;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.work.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+            // Coalesce: the batch closes at max_batch requests, or when
+            // the *oldest* request has waited max_wait_ms (its latency
+            // bound), or at shutdown (drain immediately).
+            let deadline = q.items[0].enqueued + Duration::from_millis(config.max_wait_ms);
+            while q.items.len() < config.max_batch && !q.closed {
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now) else {
+                    break; // deadline already passed
+                };
+                if remaining.is_zero() {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .work
+                    .wait_timeout(q, remaining)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = q.items.len().min(config.max_batch);
+            let batch: Vec<Pending> = q.items.drain(..take).collect();
+            registry::gauge_set("serve.queue_depth", q.items.len() as f64);
+            batch
+        };
+        // Producers blocked on a full queue can move again.
+        shared.space.notify_all();
+
+        registry::observe("serve.batch_size", batch.len() as f64);
+        registry::counter_add("serve.requests", batch.len() as u64);
+        let reqs: Vec<PredictRequest> = batch.iter().map(|p| p.req.clone()).collect();
+        let results: Vec<(Result<PredictResponse, ModelError>, bool)> = match backend {
+            Backend::Model(model) => model
+                .estimate_batch(ctx, &ds.net, &reqs, config.threads)
+                .into_iter()
+                .map(|r| (r, false))
+                .collect(),
+            Backend::RouteTte(predictor) => reqs
+                .iter()
+                .map(|r| (fallback_answer(predictor, r), true))
+                .collect(),
+        };
+        for (pending, (result, degraded)) in batch.into_iter().zip(results) {
+            registry::observe(
+                "serve.request_latency_ms",
+                pending.enqueued.elapsed().as_secs_f64() * 1e3,
+            );
+            if degraded {
+                registry::counter_inc("serve.degraded");
+            }
+            // A producer that dropped its receiver no longer wants the
+            // answer; that is not the engine's problem.
+            let _ = pending.tx.send(EngineReply { result, degraded });
+        }
+    }
+}
+
+/// Answers one request through the route-tte fallback. Encoded requests
+/// carry model-specific features the baseline cannot consume, so they get
+/// the same per-request error an unmatchable raw request would.
+fn fallback_answer(
+    predictor: &mut RouteTtePredictor,
+    req: &PredictRequest,
+) -> Result<PredictResponse, ModelError> {
+    match req {
+        PredictRequest::Raw(od) => predictor
+            .predict(od)
+            .map(|eta_seconds| PredictResponse { eta_seconds })
+            .ok_or(ModelError::UnmatchedEndpoints),
+        PredictRequest::Encoded(_) => Err(ModelError::UnmatchedEndpoints),
+    }
+}

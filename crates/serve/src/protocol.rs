@@ -1,0 +1,165 @@
+//! The newline-delimited JSON wire protocol of `deepod serve`.
+//!
+//! One request per line on stdin:
+//!
+//! ```text
+//! {"id": 1, "from": [1200.0, 3400.0], "to": [4100.0, 800.0], "depart": 3600.0}
+//! ```
+//!
+//! One response per line on stdout, in input order:
+//!
+//! ```text
+//! {"id":1,"eta_s":412.5,"degraded":false}     (answered)
+//! {"id":2,"error":"queue full (capacity 256)"} (rejected or failed)
+//! ```
+//!
+//! `id` is an opaque correlation token chosen by the client; the server
+//! echoes it verbatim. Coordinates are meters in the dataset's plane,
+//! `depart` is seconds since the dataset epoch.
+
+use serde::json::{self, Value};
+
+/// A parsed request line.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Origin coordinates (meters).
+    pub from: (f64, f64),
+    /// Destination coordinates (meters).
+    pub to: (f64, f64),
+    /// Departure time (seconds since the dataset epoch).
+    pub depart: f64,
+}
+
+fn num_of(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::Num(raw) => raw
+            .parse::<f64>()
+            .map_err(|_| format!("{what}: unparseable number '{raw}'")),
+        other => Err(format!("{what}: expected a number, got {other:?}")),
+    }
+}
+
+fn point_of(v: &Value, what: &str) -> Result<(f64, f64), String> {
+    let items = json::expect_arr(v).map_err(|e| format!("{what}: {e}"))?;
+    let [x, y] = items else {
+        return Err(format!(
+            "{what}: expected [x, y], got {} items",
+            items.len()
+        ));
+    };
+    Ok((num_of(x, what)?, num_of(y, what)?))
+}
+
+/// Parses one request line. Errors are human-readable strings meant to be
+/// echoed back on the wire in an error response.
+pub fn parse_request(line: &str) -> Result<WireRequest, String> {
+    let v = json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let id_raw = num_of(json::obj_field(&v, "id").map_err(|e| e.to_string())?, "id")?;
+    // Intentional exact check: a JSON id is an integer iff fract() == 0.
+    // deepod-lint: allow(float-eq)
+    if id_raw < 0.0 || id_raw.fract() != 0.0 {
+        return Err(format!("id: expected a non-negative integer, got {id_raw}"));
+    }
+    let id = id_raw as u64; // deepod-lint: allow(truncating-cast)
+    let from = point_of(
+        json::obj_field(&v, "from").map_err(|e| e.to_string())?,
+        "from",
+    )?;
+    let to = point_of(json::obj_field(&v, "to").map_err(|e| e.to_string())?, "to")?;
+    let depart = num_of(
+        json::obj_field(&v, "depart").map_err(|e| e.to_string())?,
+        "depart",
+    )?;
+    Ok(WireRequest {
+        id,
+        from,
+        to,
+        depart,
+    })
+}
+
+/// Renders a successful response line.
+pub fn render_ok(id: u64, eta_seconds: f32, degraded: bool) -> String {
+    format!("{{\"id\":{id},\"eta_s\":{eta_seconds:.1},\"degraded\":{degraded}}}")
+}
+
+/// Renders an error response line. `id` is `None` when the line could not
+/// even be parsed far enough to recover a correlation id.
+pub fn render_error(id: Option<u64>, why: &str) -> String {
+    let mut out = String::with_capacity(32 + why.len());
+    out.push_str("{\"id\":");
+    match id {
+        Some(id) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{id}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"error\":");
+    json::escape_str(why, &mut out);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let w = parse_request(
+            r#"{"id": 7, "from": [1200.0, 3400], "to": [4100, 800.5], "depart": 3600.0}"#,
+        )
+        .expect("valid request");
+        assert_eq!(w.id, 7);
+        assert_eq!(w.from, (1200.0, 3400.0));
+        assert_eq!(w.to, (4100.0, 800.5));
+        assert_eq!(w.depart, 3600.0); // deepod-lint: allow(float-eq)
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        assert!(parse_request("not json").unwrap_err().contains("JSON"));
+        assert!(parse_request(r#"{"id": 1}"#).unwrap_err().contains("from"));
+        assert!(
+            parse_request(r#"{"id": 1, "from": [1], "to": [2, 3], "depart": 0}"#)
+                .unwrap_err()
+                .contains("[x, y]")
+        );
+        assert!(
+            parse_request(r#"{"id": -2, "from": [1, 2], "to": [2, 3], "depart": 0}"#)
+                .unwrap_err()
+                .contains("non-negative"),
+        );
+        assert!(
+            parse_request(r#"{"id": 1.5, "from": [1, 2], "to": [2, 3], "depart": 0}"#)
+                .unwrap_err()
+                .contains("integer"),
+        );
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let ok = render_ok(3, 412.51, false);
+        let v = json::parse(&ok).expect("ok line parses");
+        assert_eq!(
+            json::obj_field(&v, "eta_s").expect("eta_s"),
+            &Value::Num("412.5".into())
+        );
+        assert_eq!(
+            json::obj_field(&v, "degraded").expect("degraded"),
+            &Value::Bool(false)
+        );
+        let err = render_error(Some(9), "queue full (capacity 2)");
+        let v = json::parse(&err).expect("error line parses");
+        assert_eq!(
+            json::obj_field(&v, "id").expect("id"),
+            &Value::Num("9".into())
+        );
+        let err = render_error(None, "bad \"quoted\" input");
+        let v = json::parse(&err).expect("escaped error parses");
+        assert_eq!(json::obj_field(&v, "id").expect("id"), &Value::Null);
+    }
+}

@@ -2,10 +2,12 @@
 //!
 //! A *failpoint* is a named site in the code (`io_guard::pre_rename`,
 //! `train::epoch`, `parallel::worker`, ...) that normally does nothing.
-//! The `DEEPOD_FAILPOINTS` environment variable arms sites for one process:
+//! A binary arms sites for one process by calling [`arm`] with a spec
+//! string (conventionally taken from the `DEEPOD_FAILPOINTS` environment
+//! variable, which only binaries read — see `deepod_core::RuntimeConfig`):
 //!
 //! ```text
-//! DEEPOD_FAILPOINTS="site:nth[:action][,site:nth[:action]...]"
+//! "site:nth[:action][,site:nth[:action]...]"
 //! ```
 //!
 //! * `site` — the name passed to [`hit`] / [`should_fire`].
@@ -17,18 +19,19 @@
 //!   unwind from the site, which is how worker-thread panic recovery is
 //!   exercised.
 //!
-//! A malformed entry (unknown action, non-numeric count) aborts the
-//! process with [`CONFIG_EXIT_CODE`] at registry initialization: fault
-//! injection that silently fails to arm would let the crash-safety suite
-//! pass without ever injecting a crash.
+//! A malformed entry (unknown action, non-numeric count) makes [`arm`]
+//! return an error *without arming anything*; the CLI turns that into an
+//! abort with [`CONFIG_EXIT_CODE`]. Fault injection that silently fails
+//! to arm would let the crash-safety suite pass without ever injecting a
+//! crash.
 //!
 //! The facility is compiled unconditionally but costs one `OnceLock` load
-//! and a `None` check per visit when the environment variable is absent,
-//! so production paths pay nothing measurable. Hits are counted under a
-//! mutex from call sites that are themselves sequenced deterministically
-//! (IO sites, epoch/step boundaries, the *caller* side of a parallel
-//! fan-out), so for a fixed schedule the same run always dies in the same
-//! place — the property the kill/resume integration suite depends on.
+//! and a `None` check per visit when nothing is armed, so production
+//! paths pay nothing measurable. Hits are counted under a mutex from call
+//! sites that are themselves sequenced deterministically (IO sites,
+//! epoch/step boundaries, the *caller* side of a parallel fan-out), so
+//! for a fixed schedule the same run always dies in the same place — the
+//! property the kill/resume integration suite depends on.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -60,38 +63,36 @@ struct Spec {
     hits: u64,
 }
 
+static REGISTRY: OnceLock<Mutex<HashMap<String, Spec>>> = OnceLock::new();
+
 fn registry() -> Option<&'static Mutex<HashMap<String, Spec>>> {
-    static REGISTRY: OnceLock<Option<Mutex<HashMap<String, Spec>>>> = OnceLock::new();
+    REGISTRY.get()
+}
+
+/// Parses a full failpoint spec string and installs the armed sites for
+/// the rest of the process. Every entry is parsed *before* anything arms:
+/// a malformed entry returns `Err(why)` and leaves the process unarmed,
+/// so a typo like `io:1:kil` can never half-configure a crash test. An
+/// empty or all-whitespace spec is a no-op `Ok`.
+///
+/// Arming is once-per-process; a second call with a non-empty spec after
+/// sites are installed returns an error rather than silently merging.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let mut map = HashMap::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (site, parsed) = parse_spec(part)?;
+        map.insert(site, parsed);
+    }
+    if map.is_empty() {
+        return Ok(());
+    }
     REGISTRY
-        .get_or_init(|| {
-            let raw = std::env::var("DEEPOD_FAILPOINTS").ok()?;
-            let mut map = HashMap::new();
-            for part in raw.split(',') {
-                let part = part.trim();
-                if part.is_empty() {
-                    continue;
-                }
-                match parse_spec(part) {
-                    Ok((site, spec)) => {
-                        map.insert(site, spec);
-                    }
-                    Err(why) => {
-                        // The process is aborting over a misconfigured
-                        // environment before the obs layer is guaranteed
-                        // to exist, so this message goes to raw stderr.
-                        // deepod-lint: allow(no-bare-eprintln)
-                        eprintln!("fatal: malformed DEEPOD_FAILPOINTS entry: {why}");
-                        std::process::exit(CONFIG_EXIT_CODE);
-                    }
-                }
-            }
-            if map.is_empty() {
-                None
-            } else {
-                Some(Mutex::new(map))
-            }
-        })
-        .as_ref()
+        .set(Mutex::new(map))
+        .map_err(|_| "failpoints already armed for this process".to_string())
 }
 
 /// Parses one `site:nth[:action]` entry. The site itself may contain `::`
@@ -210,10 +211,11 @@ pub fn fire(site: &str) {
 mod tests {
     use super::*;
 
-    // The registry is process-global and initialized from the environment
-    // once, so unit tests exercise the parser directly; end-to-end firing
-    // is covered by the kill/resume integration suite driving the CLI
-    // binary with DEEPOD_FAILPOINTS set per subprocess.
+    // The registry is process-global and armed at most once, so unit tests
+    // exercise the parser directly (plus one arming test that owns the
+    // global slot); end-to-end firing is covered by the kill/resume
+    // integration suite driving the CLI binary with DEEPOD_FAILPOINTS set
+    // per subprocess.
 
     #[test]
     fn parses_plain_site() {
@@ -262,9 +264,35 @@ mod tests {
 
     #[test]
     fn unarmed_sites_are_inert() {
-        // No DEEPOD_FAILPOINTS in the test environment: every call is a
-        // no-op that returns.
-        assert!(!armed() || !should_fire("definitely::not::armed"));
+        // Sites nobody armed are no-ops whether or not the process-global
+        // registry holds other sites.
+        assert!(!should_fire("definitely::not::armed"));
         hit("definitely::not::armed");
+    }
+
+    #[test]
+    fn arm_rejects_malformed_specs_without_arming() {
+        // Validation happens before installation: a bad entry anywhere in
+        // the list leaves the process unarmed.
+        let err = arm("ok::site:1,bad::site:1:explode").expect_err("must reject");
+        assert!(err.contains("unknown action 'explode'"), "got: {err}");
+        assert!(!should_fire("ok::site"));
+        // Empty / whitespace specs are inert successes.
+        arm("").expect("empty spec is fine");
+        arm("  ,  ").expect("blank entries are skipped");
+    }
+
+    #[test]
+    fn arm_installs_sites_and_counts_hits() {
+        // This is the single test allowed to claim the process-global
+        // registry slot (the suite runs in one process).
+        arm("unit::probe:2:panic").expect("valid spec arms");
+        assert!(armed());
+        assert!(!should_fire("unit::probe"), "first hit must not fire");
+        assert!(should_fire("unit::probe"), "second hit reaches nth=2");
+        assert!(!should_fire("unit::probe"), "past nth stays quiet");
+        // Re-arming after installation is refused, not merged.
+        let err = arm("other::site:1").expect_err("second arm must fail");
+        assert!(err.contains("already armed"), "got: {err}");
     }
 }

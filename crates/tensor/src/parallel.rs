@@ -1,6 +1,13 @@
 //! Data-parallel building blocks shared across the workspace: the
-//! `DEEPOD_THREADS` configuration, contiguous range partitioning, scoped
-//! fork/join over those ranges, and deterministic tree reduction.
+//! process-wide worker-thread configuration, contiguous range
+//! partitioning, scoped fork/join over those ranges, and deterministic
+//! tree reduction.
+//!
+//! The thread count is configured *programmatically* via
+//! [`set_configured_threads`] — binaries resolve `DEEPOD_THREADS` (and
+//! flags) into a `deepod_core::RuntimeConfig` once at startup and apply it
+//! here; library code never reads the environment (deepod-lint rule
+//! `no-env-read-in-lib`).
 //!
 //! # Determinism contract
 //!
@@ -20,29 +27,35 @@
 //! bit-for-bit.
 
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Lower bound a caller can use to decide whether forking is worth the
 /// thread spawn cost (roughly: only fork when each span does much more
 /// work than the ~10 µs it costs to start a worker).
 pub const SPAWN_COST_HINT_NS: u64 = 10_000;
 
-/// Number of worker threads configured for this process: the
-/// `DEEPOD_THREADS` environment variable when set to a positive integer,
-/// otherwise the machine's available parallelism. Read once and cached.
+/// Process-wide configured worker-thread count. `0` means "not configured":
+/// fall back to the machine's available parallelism.
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs the process-wide worker-thread count. `0` clears the override
+/// so [`configured_threads`] falls back to the machine's available
+/// parallelism. Called once at binary startup when applying
+/// `deepod_core::RuntimeConfig`; later calls simply replace the value.
+pub fn set_configured_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads configured for this process: the value
+/// installed via [`set_configured_threads`] when positive, otherwise the
+/// machine's available parallelism.
 pub fn configured_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        match std::env::var("DEEPOD_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(n) if n > 0 => n,
-            _ => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        }
-    })
+    match CONFIGURED.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
 }
 
 /// Resolves an explicit thread request: `0` means "use the configured
@@ -167,6 +180,11 @@ pub fn tree_reduce<T>(mut items: Vec<T>, mut combine: impl FnMut(T, T) -> T) -> 
 mod tests {
     use super::*;
 
+    /// Serializes tests that read or write the process-wide configured
+    /// thread count, so the `set_configured_threads` test cannot interleave
+    /// with tests asserting the unconfigured fallback.
+    static THREADS_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn split_covers_everything_in_order() {
         for len in [0usize, 1, 2, 7, 64, 65] {
@@ -213,6 +231,7 @@ mod tests {
 
     #[test]
     fn resolve_threads_zero_means_default() {
+        let _guard = THREADS_GUARD.lock().unwrap_or_else(|p| p.into_inner());
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(0), configured_threads());
         assert!(configured_threads() >= 1);
@@ -259,10 +278,26 @@ mod tests {
     }
 
     #[test]
+    fn set_configured_threads_override_and_serial_clear() {
+        // Installing a count makes it the process default; clearing with 0
+        // restores the machine fallback — so `set_configured_threads(1)` is
+        // how a binary forces the serial path globally.
+        let _guard = THREADS_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        set_configured_threads(1);
+        assert_eq!(configured_threads(), 1);
+        assert_eq!(resolve_threads(0), 1);
+        set_configured_threads(7);
+        assert_eq!(configured_threads(), 7);
+        set_configured_threads(0);
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
     fn configured_threads_is_a_valid_serial_fallback() {
-        // Whatever the environment says, the configured count is a usable
+        // Whatever the configuration says, the configured count is a usable
         // thread count (>= 1), so `map_ranges(len, configured_threads())`
         // can always degrade to the serial span layout.
+        let _guard = THREADS_GUARD.lock().unwrap_or_else(|p| p.into_inner());
         let t = configured_threads();
         assert!(t >= 1);
         let flat: Vec<usize> = map_ranges(10, t, |r| r.clone())

@@ -1,0 +1,39 @@
+//! Fixture: environment reads buried in library code, making behavior
+//! depend on which module happened to initialize first instead of on the
+//! one `RuntimeConfig` resolved at binary startup. Both reads fire; the
+//! audited allow, `env::args`, the `env!` macro, and the test module do
+//! not.
+
+/// Library code: a lazily read tuning knob.
+pub fn knob() -> usize {
+    std::env::var("DEEPOD_KNOB") // fires: lib config must come from RuntimeConfig
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Sweeping the whole environment is the same hole.
+pub fn dump() -> Vec<(String, String)> {
+    std::env::vars().collect() // fires: ambient configuration read
+}
+
+/// An audited escape hatch (e.g. inside the runtime resolver's docs).
+pub fn audited() -> Option<std::ffi::OsString> {
+    // deepod-lint: allow(no-env-read-in-lib)
+    std::env::var_os("DEEPOD_AUDITED")
+}
+
+/// Argv is input, not ambient configuration; compile-time `env!` is baked
+/// in by cargo. Neither fires.
+pub fn legal() -> String {
+    let _ = std::env::args().count();
+    env!("CARGO_PKG_NAME").to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_probe_the_environment() {
+        let _ = std::env::var("TMPDIR");
+    }
+}

@@ -24,6 +24,9 @@
 //! |                     | (bypasses the atomic-rename + checksum write path)   |
 //! | `no-bare-eprintln`  | `eprintln!` / `eprint!` in library code (bypasses    |
 //! |                     | the `deepod_core::obs` level gate + single writer)   |
+//! | `no-env-read-in-lib`| `env::var` / `var_os` / `vars` in library code       |
+//! |                     | (configuration flows through `RuntimeConfig`,        |
+//! |                     | resolved once in the binary)                         |
 
 use crate::lexer::{Lexed, TokKind, Token};
 use std::collections::BTreeSet;
@@ -36,7 +39,7 @@ use std::fmt;
 pub const DETERMINISTIC_CRATES: [&str; 4] = ["core", "nn", "tensor", "graphembed"];
 
 /// All rule names, in report order.
-pub const ALL_RULES: [&str; 9] = [
+pub const ALL_RULES: [&str; 10] = [
     "unwrap",
     "expect",
     "panic",
@@ -46,6 +49,7 @@ pub const ALL_RULES: [&str; 9] = [
     "parallel-coverage",
     "no-bare-fs-write",
     "no-bare-eprintln",
+    "no-env-read-in-lib",
 ];
 
 /// One lint finding.
@@ -311,6 +315,28 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                         "`{}!` in library code bypasses the `deepod_core::obs` level gate \
                          and single-writer lock; emit a leveled event instead",
                         t.text
+                    ),
+                );
+            }
+            // Configuration flows through `deepod_core::RuntimeConfig`,
+            // resolved once in the binary: an environment read buried in a
+            // library makes behavior depend on which module initialized
+            // first. (`env::args` and the `env!` macro are not reads of
+            // ambient configuration and stay legal.)
+            if t.is_ident("env")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| {
+                    n.is_ident("var") || n.is_ident("var_os") || n.is_ident("vars")
+                })
+            {
+                ctx.push(
+                    out,
+                    "no-env-read-in-lib",
+                    line,
+                    format!(
+                        "`env::{}` in library code; resolve configuration once at binary \
+                         startup via `deepod_core::RuntimeConfig` and pass it in",
+                        toks[i + 2].text
                     ),
                 );
             }
@@ -663,6 +689,36 @@ mod tests {
         let mut out = Vec::new();
         check_file(&ctx, &mut out);
         assert!(out.is_empty(), "bins are exempt: {out:?}");
+    }
+
+    #[test]
+    fn env_read_fires_in_library_code_only() {
+        let f = lint_lib_src("fn a() { let v = std::env::var(\"X\"); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-env-read-in-lib");
+        assert_eq!(
+            lint_lib_src("fn a() { for (k, v) in std::env::vars() {} }")[0].rule,
+            "no-env-read-in-lib"
+        );
+        assert_eq!(
+            lint_lib_src("fn a() { env::var_os(\"X\"); }")[0].rule,
+            "no-env-read-in-lib"
+        );
+        // `env::args` (argv, not ambient config) and the compile-time
+        // `env!` macro stay legal, as do tests and allow directives.
+        assert!(lint_lib_src("fn a() { std::env::args().nth(1); }").is_empty());
+        assert!(lint_lib_src("fn a() { let v = env!(\"CARGO_PKG_NAME\"); }").is_empty());
+        assert!(lint_lib_src("#[test]\nfn t() { std::env::var(\"X\").ok(); }\n").is_empty());
+        assert!(lint_lib_src(
+            "fn a() { std::env::var(\"X\").ok(); } // deepod-lint: allow(no-env-read-in-lib)"
+        )
+        .is_empty());
+        // Binaries resolve the environment themselves: exempt.
+        let lexed = lex("fn main() { std::env::var(\"DEEPOD_LOG\").ok(); }");
+        let ctx = FileCtx::new("crates/cli/src/main.rs", "cli", &lexed, false, true);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert!(out.is_empty(), "bins may read env: {out:?}");
     }
 
     #[test]

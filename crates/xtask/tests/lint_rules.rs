@@ -102,6 +102,15 @@ fn bare_eprintln_rule_fires() {
 }
 
 #[test]
+fn env_read_rule_fires() {
+    assert_eq!(
+        rules_fired("env_read.rs", "core"),
+        vec!["no-env-read-in-lib", "no-env-read-in-lib"],
+        "env::var and env::vars fire; allow, args, env!, and tests do not"
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_false_positives() {
     let findings = xtask::lint_file_as(&fixture("clean.rs"), "tensor").expect("fixture");
     assert!(findings.is_empty(), "false positives: {findings:#?}");

@@ -18,6 +18,11 @@ cargo test -q -p deepod-cli --test crash_resume
 # artifact contents, obs-on/off bit-identity, thread-invariant counters,
 # and hard rejection of malformed DEEPOD_FAILPOINTS (exit 78).
 cargo test -q -p deepod-cli --test observability
+# Serving stage: drives `deepod serve` over its stdin/stdout JSON
+# protocol — 1000 requests through one process in input order,
+# queue-full backpressure under --reject-when-full, and corrupt-model
+# degradation to route-tte fallback answers with exit code 2.
+cargo test -q -p deepod-cli --test serve
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q -p xtask -- lint

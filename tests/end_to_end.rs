@@ -164,8 +164,12 @@ fn model_survives_serde_round_trip_after_training() {
     let od = ds.test.first().unwrap_or(&ds.train[0]).od;
     let before = trainer.predict_od(&od);
     let json = trainer.model().save_json().expect("serializable model");
-    let mut loaded = deepod_core::DeepOdModel::load_json(&json).unwrap();
+    let loaded = deepod_core::DeepOdModel::load_json(&json).unwrap();
     let (ctx, net) = trainer.context();
-    let after = loaded.estimate(ctx, net, &od);
+    let after = loaded
+        .estimate_batch(ctx, net, &[deepod_core::PredictRequest::Raw(od)], 1)
+        .remove(0)
+        .ok()
+        .map(|resp| resp.eta_seconds);
     assert_eq!(before, after);
 }
