@@ -111,12 +111,13 @@ fn bench_map_matching(c: &mut Criterion) {
 }
 
 /// Dense-kernel and training-throughput benches (`BENCH_kernels.json`):
-/// the blocked matmul at the three module-characteristic shapes, the serial
-/// vs parallel kernel path, and a full training epoch at one worker vs the
-/// configured count. Run with
+/// the blocked matmul at the three module-characteristic shapes, the
+/// scalar-reference vs production dispatch path, the small-matmul fork
+/// crossover, the packed/SIMD kernels, the int8 serving path, and a full
+/// training epoch at one worker vs the configured count. Run with
 /// `DEEPOD_BENCH_JSON=BENCH_kernels.json cargo bench -p deepod-bench -- kernels`.
 fn bench_kernels(c: &mut Criterion) {
-    use deepod_tensor::Tensor;
+    use deepod_tensor::{kernels, Tensor};
     let mut group = c.benchmark_group("kernels");
 
     // (label, m, k, n) — m×k · k×n at the sizes dominating each module's
@@ -136,18 +137,128 @@ fn bench_kernels(c: &mut Criterion) {
         });
     }
 
-    // Serial vs parallel kernel path on a shape big enough to fork.
+    // Reference vs production path at 256³. `serial` is the scalar blocked
+    // kernel (the pre-SIMD baseline and the T = 1 bit-identity reference);
+    // `parallel` is the default dispatch — packed SIMD micro-kernels plus
+    // the re-tuned row split, which clamps default fan-out to the machine
+    // so a single-core host no longer pays fork overhead to lose.
     let big_a = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
     let big_b = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
     group.bench_function("matmul_256_serial", |b| {
-        b.iter(|| black_box(black_box(&big_a).matmul_with_threads(black_box(&big_b), 1)));
+        b.iter_batched(
+            || vec![0.0f32; 256 * 256],
+            |mut out| {
+                kernels::matmul_ref(big_a.as_slice(), big_b.as_slice(), &mut out, 256, 256);
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        );
     });
-    // At least two workers, so the fork path is measured even on a
-    // single-core host (where it reports pure fan-out overhead).
-    let threads = deepod_bench::threads().max(2);
     group.bench_function("matmul_256_parallel", |b| {
-        b.iter(|| black_box(black_box(&big_a).matmul_with_threads(black_box(&big_b), threads)));
+        b.iter(|| black_box(black_box(&big_a).matmul_with_threads(black_box(&big_b), 0)));
     });
+
+    // Fork crossover: a 64³ product (0.5 MFLOP) sits far below
+    // PAR_MIN_FLOPS, so the size floor refuses to fan out even when the
+    // caller asks for 8 workers — both entries take the serial kernel and
+    // must time the same, which is the regression being pinned (before the
+    // floor, a forked 64³ paid span-spawn overhead for nothing).
+    let small_a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    let small_b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    group.bench_function("matmul_crossover_64_t1", |b| {
+        b.iter(|| black_box(black_box(&small_a).matmul_with_threads(black_box(&small_b), 1)));
+    });
+    group.bench_function("matmul_crossover_64_t8", |b| {
+        b.iter(|| black_box(black_box(&small_a).matmul_with_threads(black_box(&small_b), 8)));
+    });
+    group.finish();
+
+    // The packed/SIMD kernel layer against the scalar reference, at the
+    // matmul shape above and the serving matvec shape (one Mlp2 layer).
+    let mut group = c.benchmark_group("kernels_simd");
+    group.bench_function("matmul_256_simd", |b| {
+        b.iter_batched(
+            || vec![0.0f32; 256 * 256],
+            |mut out| {
+                kernels::matmul(big_a.as_slice(), big_b.as_slice(), &mut out, 256, 256);
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let w = Tensor::rand_uniform(&[512, 512], -1.0, 1.0, &mut rng);
+    let x = Tensor::rand_uniform(&[512], -1.0, 1.0, &mut rng);
+    let bias = Tensor::rand_uniform(&[512], -1.0, 1.0, &mut rng);
+    for (label, simd) in [("matvec_512_scalar_ref", false), ("matvec_512_simd", true)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || vec![0.0f32; 512],
+                |mut out| {
+                    let f = if simd {
+                        kernels::matvec_bias_act
+                    } else {
+                        kernels::matvec_ref
+                    };
+                    f(
+                        w.as_slice(),
+                        x.as_slice(),
+                        bias.as_slice(),
+                        deepod_tensor::Activation::Relu,
+                        &mut out,
+                    );
+                    black_box(out)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    // The int8 serving path against f32, end to end through
+    // `estimate_batch` (the serving hot loop) and at the raw matvec.
+    let mut group = c.benchmark_group("kernels_int8");
+    let qrows = kernels::quantize_rows(w.as_slice(), 512, 512);
+    let packed = kernels::pack_quantized(&qrows);
+    group.bench_function("matvec_512_int8", |b| {
+        b.iter_batched(
+            || vec![0.0f32; 512],
+            |mut out| {
+                kernels::matvec_i8_bias_act(
+                    &packed,
+                    &qrows.scales,
+                    bias.as_slice(),
+                    x.as_slice(),
+                    deepod_tensor::Activation::Relu,
+                    &mut out,
+                );
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    {
+        use deepod_core::{FeatureContext, PredictRequest, QuantizedModel};
+        let ds = small_dataset();
+        let cfg = small_config();
+        let mut trainer = Trainer::new(&ds, cfg.clone(), TrainOptions::default()).expect("trainer");
+        trainer.train();
+        let model = trainer.model().clone();
+        let quantized = QuantizedModel::from_model(&model);
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        let reqs: Vec<PredictRequest> = ds
+            .test
+            .iter()
+            .chain(ds.train.iter())
+            .take(64)
+            .map(|o| PredictRequest::Raw(o.od))
+            .collect();
+        group.bench_function("estimate_batch_64_f32", |b| {
+            b.iter(|| black_box(model.estimate_batch(&ctx, &ds.net, black_box(&reqs), 1)));
+        });
+        group.bench_function("estimate_batch_64_int8", |b| {
+            b.iter(|| black_box(quantized.estimate_batch(&ctx, &ds.net, black_box(&reqs), 1)));
+        });
+    }
     group.finish();
 
     // One full training epoch, serial vs configured thread count (the
@@ -155,6 +266,9 @@ fn bench_kernels(c: &mut Criterion) {
     // measure the same work plus fan-out overhead).
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 150));
     let mut group = c.benchmark_group("kernels_train");
+    // At least two workers, so the fork path is measured even on a
+    // single-core host (where it reports pure fan-out overhead).
+    let threads = deepod_bench::threads().max(2);
     for (label, t) in [("train_epoch_serial", 1), ("train_epoch_parallel", threads)] {
         group.bench_function(label, |b| {
             b.iter_batched(

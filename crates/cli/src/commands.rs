@@ -21,9 +21,11 @@ USAGE:
                   [--threads T] [--checkpoint-every N] [--checkpoint FILE]
                   [--resume FILE] [--report FILE] --out FILE
   deepod predict  --data FILE --model FILE --from X,Y --to X,Y --depart T
-  deepod eval     --data FILE --model FILE
+  deepod eval     --data FILE --model FILE [--precision <f32|int8>]
+                  [--int8-mape-bound PP]
   deepod serve    --data FILE --model FILE [--max-batch N] [--max-wait-ms MS]
                   [--queue N] [--threads T] [--reject-when-full]
+                  [--precision <f32|int8>] [--int8-mape-bound PP]
   deepod info     --data FILE
   deepod help
 
@@ -35,6 +37,13 @@ serve reads newline-delimited JSON requests on stdin —
 By default a full queue blocks the reader (backpressure); with
 --reject-when-full overloaded requests are answered immediately with a
 \"queue full\" error line instead.
+
+Precision: --precision int8 serves per-row-quantized weights (f32
+accumulation) — faster and smaller, *gated* on accuracy: the int8 model
+must stay within --int8-mape-bound percentage points of the f32 model's
+MAPE on held-out orders (default 1.0). serve falls back to f32 with a
+warning when the gate fails; eval prints both metric rows, the delta,
+and the verdict, and exits with the degraded code (2) on a failing gate.
 
 Global flags (any subcommand):
   --log-format <text|json>   structured-event format on stderr
@@ -59,6 +68,21 @@ pub enum Outcome {
     /// The command produced an answer through a degraded path (e.g. the
     /// route-tte fallback after a corrupt model file).
     Degraded,
+}
+
+/// Serving/eval numeric precision selected with `--precision`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Precision {
+    F32,
+    Int8,
+}
+
+fn precision_of(args: &Args) -> Result<Precision, String> {
+    match args.get("precision").unwrap_or("f32") {
+        "f32" => Ok(Precision::F32),
+        "int8" => Ok(Precision::Int8),
+        other => Err(format!("unknown precision '{other}' (f32|int8)")),
+    }
 }
 
 fn profile_of(name: &str) -> Result<CityProfile, String> {
@@ -300,13 +324,92 @@ fn eval_cmd(args: &Args) -> Result<Outcome, String> {
     let m =
         deepod_eval::Metrics::from_pairs(&pairs).map_err(|e| format!("computing metrics: {e}"))?;
     println!(
-        "test metrics over {} trips: MAE {:.1}s | MAPE {:.2}% | MARE {:.2}%",
+        "test metrics over {} trips (f32): MAE {:.1}s | MAPE {:.2}% | MARE {:.2}%",
         pairs.len(),
         m.mae,
         m.mape_pct,
         m.mare_pct
     );
+    if precision_of(args)? == Precision::Int8 {
+        let bound = args.get_parsed(
+            "int8-mape-bound",
+            deepod_eval::PrecisionGate::DEFAULT_MAPE_DELTA_PCT,
+        )?;
+        let qm = deepod_core::QuantizedModel::from_model(&model);
+        let rep = deepod_eval::PrecisionGate::new(bound)
+            .evaluate(&model, &qm, &ctx, &ds, &ds.test, 0)
+            .map_err(|e| format!("precision gate: {e}"))?;
+        println!(
+            "test metrics over {} trips (int8): MAE {:.1}s | MAPE {:.2}% | MARE {:.2}%",
+            pairs.len(),
+            rep.int8_metrics.mae,
+            rep.int8_metrics.mape_pct,
+            rep.int8_metrics.mare_pct
+        );
+        println!("precision gate: {rep}");
+        if !rep.passed {
+            return Ok(Outcome::Degraded);
+        }
+    }
     Ok(Outcome::Ok)
+}
+
+/// Builds the int8 serving backend, gated on accuracy: the quantized
+/// model must stay within `--int8-mape-bound` percentage points of the
+/// f32 model's MAPE on held-out orders. A failing (or unevaluable) gate
+/// keeps the f32 model serving — precision is an optimization, never a
+/// silent accuracy regression.
+fn int8_backend(
+    args: &Args,
+    model: DeepOdModel,
+    ctx: &FeatureContext,
+    ds: &deepod_traj::CityDataset,
+) -> Result<deepod_serve::Backend, String> {
+    use deepod_serve::Backend;
+    let bound = args.get_parsed(
+        "int8-mape-bound",
+        deepod_eval::PrecisionGate::DEFAULT_MAPE_DELTA_PCT,
+    )?;
+    let qm = deepod_core::QuantizedModel::from_model(&model);
+    let sample = if ds.test.is_empty() {
+        &ds.train
+    } else {
+        &ds.test
+    };
+    let sample = &sample[..sample.len().min(256)];
+    match deepod_eval::PrecisionGate::new(bound).evaluate(&model, &qm, ctx, ds, sample, 0) {
+        Ok(rep) if rep.passed => {
+            deepod_core::obs::info(
+                "serve",
+                "int8 precision gate passed; serving quantized weights",
+                &[
+                    ("mape_delta_pp", f64::from(rep.mape_delta_pct).into()),
+                    ("bound_pp", f64::from(rep.bound_pct).into()),
+                    ("model_bytes", qm.size_bytes().into()),
+                ],
+            );
+            Ok(Backend::Quantized(Box::new(qm)))
+        }
+        Ok(rep) => {
+            deepod_core::obs::warn(
+                "serve",
+                "int8 precision gate FAILED; serving f32 weights instead",
+                &[
+                    ("mape_delta_pp", f64::from(rep.mape_delta_pct).into()),
+                    ("bound_pp", f64::from(rep.bound_pct).into()),
+                ],
+            );
+            Ok(Backend::Model(Box::new(model)))
+        }
+        Err(e) => {
+            deepod_core::obs::warn(
+                "serve",
+                "int8 precision gate could not be evaluated; serving f32 weights",
+                &[("why", e.to_string().into())],
+            );
+            Ok(Backend::Model(Box::new(model)))
+        }
+    }
 }
 
 /// What the response writer thread consumes, in submission order: either
@@ -335,11 +438,17 @@ fn serve(args: &Args) -> Result<Outcome, String> {
     // Same graceful degradation as `predict`: an unusable model file keeps
     // the process serving through the route-tte baseline, each response
     // flagged degraded, and the whole run exits with the degraded code.
-    let (backend, slot_seconds, degraded_backend) = match load_model(model_path) {
-        Ok(model) => {
-            let slot = model.config.slot_seconds;
-            (Backend::Model(Box::new(model)), slot, false)
-        }
+    let loaded = load_model(model_path);
+    let (slot_seconds, degraded_backend) = match &loaded {
+        Ok(model) => (model.config.slot_seconds, false),
+        Err(_) => (DeepOdConfig::default().slot_seconds, true),
+    };
+    let ctx = FeatureContext::build(&ds, slot_seconds);
+    let backend = match loaded {
+        Ok(model) => match precision_of(args)? {
+            Precision::F32 => Backend::Model(Box::new(model)),
+            Precision::Int8 => int8_backend(args, model, &ctx, &ds)?,
+        },
         Err(why) => {
             deepod_core::obs::warn(
                 "serve",
@@ -348,14 +457,10 @@ fn serve(args: &Args) -> Result<Outcome, String> {
             );
             let mut fallback = RouteTtePredictor::new();
             fallback.fit(&ds);
-            (
-                Backend::RouteTte(Box::new(fallback)),
-                DeepOdConfig::default().slot_seconds,
-                true,
-            )
+            Backend::RouteTte(Box::new(fallback))
         }
     };
-    let ctx = FeatureContext::build(&ds, slot_seconds);
+    let precision_name = backend.precision_name();
     let engine = InferenceEngine::start(backend, ctx, Arc::clone(&ds), config);
     deepod_core::obs::info(
         "serve",
@@ -364,6 +469,7 @@ fn serve(args: &Args) -> Result<Outcome, String> {
             ("max_batch", engine.config().max_batch.into()),
             ("max_wait_ms", engine.config().max_wait_ms.into()),
             ("queue", engine.config().queue_capacity.into()),
+            ("precision", precision_name.into()),
             ("degraded", degraded_backend.into()),
         ],
     );
@@ -501,6 +607,16 @@ mod tests {
         assert_eq!(profile_of("xi'an").unwrap(), CityProfile::SynthXian);
         assert_eq!(profile_of("beijing").unwrap(), CityProfile::SynthBeijing);
         assert!(profile_of("gotham").is_err());
+    }
+
+    #[test]
+    fn precision_flag_parsing() {
+        let args = Args::parse(&["--precision".into(), "int8".into()]).unwrap();
+        assert_eq!(precision_of(&args).unwrap(), Precision::Int8);
+        let args = Args::parse(&[]).unwrap();
+        assert_eq!(precision_of(&args).unwrap(), Precision::F32);
+        let args = Args::parse(&["--precision".into(), "fp16".into()]).unwrap();
+        assert!(precision_of(&args).is_err());
     }
 
     #[test]

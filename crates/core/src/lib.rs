@@ -42,6 +42,7 @@ pub mod io_guard;
 mod model;
 pub mod obs;
 mod od_encoder;
+mod quantized;
 mod runtime;
 mod temporal_graph;
 mod timeslot;
@@ -57,6 +58,7 @@ pub use interval_encoder::TimeIntervalEncoder;
 pub use io_guard::IoGuardError;
 pub use model::{DeepOdModel, ModelError, PredictRequest, PredictResponse};
 pub use od_encoder::OdEncoder;
+pub use quantized::QuantizedModel;
 pub use runtime::{RuntimeConfig, RuntimeError, RuntimeOverrides};
 pub use temporal_graph::{build_temporal_graph, temporal_graph_day_only};
 pub use timeslot::TimeSlots;

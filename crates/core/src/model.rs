@@ -506,9 +506,14 @@ impl DeepOdModel {
         if reqs.is_empty() {
             return Vec::new();
         }
-        let t = deepod_tensor::parallel::resolve_threads(threads)
+        let mut t = deepod_tensor::parallel::resolve_threads(threads)
             .min(reqs.len())
             .max(1);
+        if threads == 0 {
+            // Default-threaded serving never fans out wider than the
+            // machine; explicit thread counts are honored as requested.
+            t = t.min(deepod_tensor::parallel::hardware_parallelism());
+        }
         deepod_tensor::parallel::map_ranges(reqs.len(), t, |span| {
             // Clone-per-span: the parameter store is Arc-backed, so this
             // shares all weights; only batch-norm scratch state is copied.

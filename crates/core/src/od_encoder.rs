@@ -57,6 +57,18 @@ impl OdEncoder {
         self.mlp.out_dim()
     }
 
+    /// Whether Z⁹ includes the external-features `ocode` (false for the
+    /// N-other ablation). Exposed for quantized-model export.
+    pub fn uses_external(&self) -> bool {
+        self.variant.uses_external()
+    }
+
+    /// Whether the temporal part is a slot embedding (true) or the raw
+    /// timestamp scalar of the T-stamp ablation (false).
+    pub fn embeds_time(&self) -> bool {
+        self.init.embeds_time()
+    }
+
     /// Encodes an OD input into `code`.
     #[allow(clippy::too_many_arguments)] // mirrors the paper's module signature
     pub fn encode(

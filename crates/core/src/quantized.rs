@@ -1,0 +1,463 @@
+//! Inference-only quantized model: the serving hot path of Alg. 1's
+//! `Estimation` (M_O + M_E) with per-row int8 MLP weights and a tape-free
+//! forward pass.
+//!
+//! [`QuantizedModel`] is derived from a trained [`DeepOdModel`] by
+//! [`QuantizedModel::from_model`]: the three MLPs on the estimation path
+//! (the external encoder's `ocode` MLP, MLP1 producing `code`, and the
+//! M_E head) are quantized per row via [`deepod_tensor::kernels`] —
+//! int8 weights, f32 accumulation, scale+bias dequantization fused into
+//! the epilogue. Everything whose precision the prediction is sensitive
+//! to stays f32: embeddings, conv kernels, batch-norm statistics, and the
+//! average pool. The forward pass mirrors the graph evaluation of
+//! `OdEncoder::encode` / `ExternalFeaturesEncoder::encode` / `Mlp2::
+//! forward` operation for operation, but without building an autodiff
+//! tape — the per-request `Graph` allocation is the other half of the
+//! f32 path's serving cost.
+//!
+//! Accuracy is *gated*, not assumed: serving selects `--precision int8`
+//! only after the eval-side precision gate confirms the MAPE delta vs the
+//! f32 model is within the configured bound (see `deepod-eval`'s
+//! `precision_gate` and DESIGN.md §12).
+//!
+//! # Determinism
+//!
+//! The quantized path inherits the kernel module's contract: every
+//! accumulation is ascending-`k` f32 regardless of ISA, so predictions
+//! are bit-stable across machines, thread counts, and batch sizes — the
+//! same guarantee the f32 path gives, at a different (fixed) set of bits.
+
+use crate::features::{EncodedOd, FeatureContext};
+use crate::model::{DeepOdModel, ModelError, PredictRequest, PredictResponse};
+use deepod_nn::layers::{BatchNorm2d, Linear, Mlp2};
+use deepod_nn::ParamStore;
+use deepod_tensor::kernels;
+use deepod_tensor::{Activation, Tensor};
+use deepod_traffic::NUM_WEATHER_TYPES;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A fully-connected layer with per-row int8 weights in the packed panel
+/// layout [`kernels::pack_quantized`] produces; bias stays f32 and is
+/// fused into the dequantization epilogue.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct QuantLinear {
+    packed: Vec<i8>,
+    scales: Vec<f32>,
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantLinear {
+    fn from_linear(store: &ParamStore, l: &Linear) -> Self {
+        let w = store.value(l.w);
+        let qr = kernels::quantize_rows(w.as_slice(), l.out_dim, l.in_dim);
+        QuantLinear {
+            packed: kernels::pack_quantized(&qr),
+            scales: qr.scales,
+            bias: store.value(l.b).as_slice().to_vec(),
+            in_dim: l.in_dim,
+            out_dim: l.out_dim,
+        }
+    }
+
+    fn forward(&self, x: &[f32], act: Activation, out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim, "quantized layer input width");
+        kernels::matvec_i8_bias_act(&self.packed, &self.scales, &self.bias, x, act, out);
+    }
+}
+
+/// The two-layer MLP in quantized form: `y = W2q · ReLU(W1q x + b1) + b2`,
+/// matching `Mlp2::forward`'s fused hidden layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct QuantMlp2 {
+    l1: QuantLinear,
+    l2: QuantLinear,
+}
+
+impl QuantMlp2 {
+    fn from_mlp(store: &ParamStore, mlp: &Mlp2) -> Self {
+        QuantMlp2 {
+            l1: QuantLinear::from_linear(store, &mlp.l1),
+            l2: QuantLinear::from_linear(store, &mlp.l2),
+        }
+    }
+
+    fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut hidden = vec![0.0f32; self.l1.out_dim];
+        self.l1.forward(x, Activation::Relu, &mut hidden);
+        let mut out = vec![0.0f32; self.l2.out_dim];
+        self.l2.forward(&hidden, Activation::Identity, &mut out);
+        out
+    }
+}
+
+/// Frozen batch-norm statistics for eval-mode application, identical in
+/// arithmetic to `Graph::batch_norm` followed by `Graph::relu`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BnEval {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    mean: Vec<f32>,
+    var: Vec<f32>,
+    eps: f32,
+}
+
+impl BnEval {
+    fn from_bn(store: &ParamStore, bn: &BatchNorm2d) -> Self {
+        BnEval {
+            gamma: store.value(bn.gamma).as_slice().to_vec(),
+            beta: store.value(bn.beta).as_slice().to_vec(),
+            mean: bn.running_mean.clone(),
+            var: bn.running_var.clone(),
+            eps: bn.eps,
+        }
+    }
+
+    /// In-place `relu(batch_norm(z))` over a `[c, h, w]` tensor. The
+    /// normalization matches the graph's eval formula bit for bit; fusing
+    /// the ReLU is exact (`max` of the identical value).
+    fn apply_relu(&self, z: &mut Tensor) {
+        let (c, h, w) = (z.dim(0), z.dim(1), z.dim(2));
+        let hw = h * w;
+        let data = z.as_mut_slice();
+        for ch in 0..c {
+            let inv_std = 1.0 / (self.var[ch] + self.eps).sqrt();
+            for v in &mut data[ch * hw..(ch + 1) * hw] {
+                *v = (self.gamma[ch] * ((*v - self.mean[ch]) * inv_std) + self.beta[ch]).max(0.0);
+            }
+        }
+    }
+}
+
+/// The int8 serving artifact: everything `estimate_batch` needs for the
+/// estimation path (M_O + M_E), with the three MLPs quantized.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    road_emb: Tensor,
+    slot_emb: Tensor,
+    k1: Tensor,
+    k2: Tensor,
+    k3: Tensor,
+    bn1: BnEval,
+    bn2: BnEval,
+    bn3: BnEval,
+    ext_mlp: QuantMlp2,
+    od_mlp: QuantMlp2,
+    head: QuantMlp2,
+    dtraf: usize,
+    uses_external: bool,
+    embeds_time: bool,
+    y_mean: f32,
+    y_std: f32,
+}
+
+impl QuantizedModel {
+    /// Quantizes a trained model's estimation path. The source model is
+    /// unchanged; the result is a self-contained artifact.
+    pub fn from_model(m: &DeepOdModel) -> QuantizedModel {
+        let store = &m.store;
+        QuantizedModel {
+            road_emb: store.value(m.road_emb.table).clone(),
+            slot_emb: store.value(m.slot_emb.table).clone(),
+            k1: store.value(m.external_enc.k1).clone(),
+            k2: store.value(m.external_enc.k2).clone(),
+            k3: store.value(m.external_enc.k3).clone(),
+            bn1: BnEval::from_bn(store, &m.external_enc.bn1),
+            bn2: BnEval::from_bn(store, &m.external_enc.bn2),
+            bn3: BnEval::from_bn(store, &m.external_enc.bn3),
+            ext_mlp: QuantMlp2::from_mlp(store, &m.external_enc.mlp),
+            od_mlp: QuantMlp2::from_mlp(store, &m.od_enc.mlp),
+            head: QuantMlp2::from_mlp(store, &m.head),
+            dtraf: m.external_enc.dtraf,
+            uses_external: m.od_enc.uses_external(),
+            embeds_time: m.od_enc.embeds_time(),
+            y_mean: m.y_mean,
+            y_std: m.y_std,
+        }
+    }
+
+    /// `ocode`: the external-feature encoding of
+    /// `ExternalFeaturesEncoder::encode`, tape-free. Convolutions,
+    /// batch norm and pooling are exact f32; only the final MLP is int8.
+    fn external_forward(&self, weather_onehot: &[f32], speed_matrix: &Tensor) -> Vec<f32> {
+        let mut z = deepod_nn::conv2d_forward(speed_matrix, &self.k1);
+        self.bn1.apply_relu(&mut z);
+        let mut z = deepod_nn::conv2d_forward(&z, &self.k2);
+        self.bn2.apply_relu(&mut z);
+        let mut z = deepod_nn::conv2d_forward(&z, &self.k3);
+        self.bn3.apply_relu(&mut z);
+
+        // Global average pool per channel, expressed as the same matmul
+        // against a constant 1/(h·w) vector the graph path records.
+        let (h, w) = (z.dim(1), z.dim(2));
+        let zm = z.reshape(&[self.dtraf, h * w]);
+        let ones = Tensor::full(&[h * w, 1], 1.0 / (h * w) as f32);
+        let pooled = zm.matmul(&ones);
+
+        let mut z8 = Vec::with_capacity(NUM_WEATHER_TYPES + self.dtraf);
+        z8.extend_from_slice(weather_onehot);
+        z8.extend_from_slice(pooled.as_slice());
+        self.ext_mlp.forward(&z8)
+    }
+
+    /// Estimation of one pre-encoded OD: `Z⁹ → MLP1 → code → M_E`,
+    /// mirroring `OdEncoder::encode` + the head, then de-standardized.
+    pub fn eval_encoded(&self, od: &EncodedOd) -> f32 {
+        let ds = self.road_emb.dim(1);
+        let mut z9 = Vec::with_capacity(self.od_mlp.l1.in_dim);
+        z9.extend_from_slice(&self.road_emb.as_slice()[od.origin_edge * ds..][..ds]);
+        z9.extend_from_slice(&self.road_emb.as_slice()[od.dest_edge * ds..][..ds]);
+        if self.embeds_time {
+            let dt = self.slot_emb.dim(1);
+            z9.extend_from_slice(&self.slot_emb.as_slice()[od.depart_node * dt..][..dt]);
+        } else {
+            z9.push(od.depart_raw);
+        }
+        if self.uses_external {
+            let ocode = self.external_forward(&od.weather_onehot, &od.speed_matrix);
+            z9.extend_from_slice(&ocode);
+        }
+        z9.extend_from_slice(&[od.r_start, od.r_end, od.depart_rem]);
+
+        let code = self.od_mlp.forward(&z9);
+        let y = self.head.forward(&code)[0];
+        (y * self.y_std + self.y_mean).max(0.0)
+    }
+
+    fn answer(
+        &self,
+        ctx: &FeatureContext,
+        net: &deepod_roadnet::RoadNetwork,
+        req: &PredictRequest,
+    ) -> Result<PredictResponse, ModelError> {
+        let eta_seconds = match req {
+            PredictRequest::Raw(od) => {
+                let enc = ctx
+                    .encode_od(net, od)
+                    .ok_or(ModelError::UnmatchedEndpoints)?;
+                self.eval_encoded(&enc)
+            }
+            PredictRequest::Encoded(enc) => self.eval_encoded(enc),
+        };
+        Ok(PredictResponse { eta_seconds })
+    }
+
+    /// Batched estimation with the same contract as
+    /// [`DeepOdModel::estimate_batch`]: per-request failures, contiguous
+    /// spans in span order, bit-identical results for any
+    /// `(threads, batch size)`. The quantized forward is stateless, so
+    /// workers share `self` with no per-span clone at all.
+    pub fn estimate_batch(
+        &self,
+        ctx: &FeatureContext,
+        net: &deepod_roadnet::RoadNetwork,
+        reqs: &[PredictRequest],
+        threads: usize,
+    ) -> Vec<Result<PredictResponse, ModelError>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let mut t = deepod_tensor::parallel::resolve_threads(threads)
+            .min(reqs.len())
+            .max(1);
+        if threads == 0 {
+            // Default-threaded serving never fans out wider than the
+            // machine (same clamp as Tensor::matmul).
+            t = t.min(deepod_tensor::parallel::hardware_parallelism());
+        }
+        deepod_tensor::parallel::map_ranges(reqs.len(), t, |span| {
+            reqs[span]
+                .iter()
+                .map(|r| self.answer(ctx, net, r))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Serialized artifact size in bytes (reported by serving metrics).
+    pub fn size_bytes(&self) -> usize {
+        let tensors = [&self.road_emb, &self.slot_emb, &self.k1, &self.k2, &self.k3];
+        let f32_bytes: usize = tensors.iter().map(|t| t.numel() * 4).sum();
+        let q_bytes = [&self.ext_mlp, &self.od_mlp, &self.head]
+            .iter()
+            .map(|m| {
+                m.l1.packed.len()
+                    + m.l2.packed.len()
+                    + (m.l1.scales.len() + m.l1.bias.len() + m.l2.scales.len() + m.l2.bias.len())
+                        * 4
+            })
+            .sum::<usize>();
+        f32_bytes + q_bytes
+    }
+
+    /// Writes the artifact through the checksummed io_guard envelope, so
+    /// a torn or corrupt file is rejected at load instead of serving
+    /// garbage predictions.
+    pub fn save_to(&self, path: &Path) -> Result<(), ModelError> {
+        let json =
+            serde_json::to_string(self).map_err(|e| ModelError::Serialization(e.to_string()))?;
+        crate::io_guard::write_checksummed(path, json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a checksummed artifact written by [`Self::save_to`].
+    pub fn load_from(path: &Path) -> Result<Self, ModelError> {
+        let bytes = crate::io_guard::read_checksummed(path)?;
+        let text =
+            String::from_utf8(bytes).map_err(|e| ModelError::Serialization(e.to_string()))?;
+        serde_json::from_str(&text).map_err(|e| ModelError::Serialization(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ablation::EmbeddingInit;
+    use crate::config::DeepOdConfig;
+    use deepod_roadnet::CityProfile;
+    use deepod_traj::{CityDataset, DatasetBuilder, DatasetConfig};
+
+    fn tiny_setup() -> (CityDataset, FeatureContext, DeepOdModel) {
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
+        let cfg = DeepOdConfig {
+            init: EmbeddingInit::Random,
+            ds: 6,
+            dt_dim: 6,
+            d1m: 8,
+            d2m: 6,
+            d3m: 8,
+            d4m: 6,
+            d5m: 8,
+            d6m: 6,
+            d7m: 8,
+            d9m: 8,
+            dh: 8,
+            dtraf: 4,
+            ..DeepOdConfig::default()
+        };
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
+        (ds, ctx, model)
+    }
+
+    #[test]
+    fn quantized_predictions_track_f32_closely() {
+        let (ds, ctx, model) = tiny_setup();
+        let qm = QuantizedModel::from_model(&model);
+        let reqs: Vec<PredictRequest> = ds
+            .train
+            .iter()
+            .take(8)
+            .map(|o| PredictRequest::Raw(o.od))
+            .collect();
+        let f32_out = model.estimate_batch(&ctx, &ds.net, &reqs, 1);
+        let i8_out = qm.estimate_batch(&ctx, &ds.net, &reqs, 1);
+        assert_eq!(f32_out.len(), i8_out.len());
+        for (a, b) in f32_out.iter().zip(&i8_out) {
+            let (a, b) = (a.as_ref().expect("matched"), b.as_ref().expect("matched"));
+            let rel = (a.eta_seconds - b.eta_seconds).abs() / a.eta_seconds.max(1.0);
+            assert!(
+                rel < 0.05,
+                "int8 drifted {rel:.4} ({} vs {})",
+                a.eta_seconds,
+                b.eta_seconds
+            );
+            assert!(b.eta_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn quantized_is_bit_deterministic_across_threads_and_batches() {
+        let (ds, ctx, model) = tiny_setup();
+        let qm = QuantizedModel::from_model(&model);
+        let reqs: Vec<PredictRequest> = ds
+            .train
+            .iter()
+            .take(9)
+            .map(|o| PredictRequest::Raw(o.od))
+            .collect();
+        let serial = qm.estimate_batch(&ctx, &ds.net, &reqs, 1);
+        for threads in [2usize, 3, 8] {
+            let par = qm.estimate_batch(&ctx, &ds.net, &reqs, threads);
+            for (a, b) in serial.iter().zip(&par) {
+                let (a, b) = (a.as_ref().expect("matched"), b.as_ref().expect("matched"));
+                assert_eq!(a.eta_seconds.to_bits(), b.eta_seconds.to_bits());
+            }
+        }
+        // One-by-one equals batched.
+        for (i, req) in reqs.iter().enumerate() {
+            let one = qm.estimate_batch(&ctx, &ds.net, std::slice::from_ref(req), 1);
+            assert_eq!(
+                one[0].as_ref().expect("matched").eta_seconds.to_bits(),
+                serial[i].as_ref().expect("matched").eta_seconds.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn unmatched_endpoints_fail_per_request() {
+        let (ds, ctx, model) = tiny_setup();
+        let qm = QuantizedModel::from_model(&model);
+        let good = ds.train[0].od;
+        let mut bad = good;
+        bad.origin = deepod_roadnet::Point::new(-1e7, -1e7);
+        let out = qm.estimate_batch(
+            &ctx,
+            &ds.net,
+            &[PredictRequest::Raw(good), PredictRequest::Raw(bad)],
+            1,
+        );
+        assert!(out[0].is_ok());
+        assert_eq!(out[1], Err(ModelError::UnmatchedEndpoints));
+    }
+
+    #[test]
+    fn artifact_round_trip_preserves_bits() {
+        let (ds, ctx, model) = tiny_setup();
+        let qm = QuantizedModel::from_model(&model);
+        let dir = std::env::temp_dir().join(format!("deepod-quant-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.int8");
+        qm.save_to(&path).expect("artifact writes");
+        let loaded = QuantizedModel::load_from(&path).expect("artifact loads");
+        let req = [PredictRequest::Raw(ds.train[0].od)];
+        let a = qm.estimate_batch(&ctx, &ds.net, &req, 1);
+        let b = loaded.estimate_batch(&ctx, &ds.net, &req, 1);
+        assert_eq!(
+            a[0].as_ref().expect("matched").eta_seconds.to_bits(),
+            b[0].as_ref().expect("matched").eta_seconds.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_rejected() {
+        let (_ds, _ctx, model) = tiny_setup();
+        let qm = QuantizedModel::from_model(&model);
+        let dir = std::env::temp_dir().join(format!("deepod-quant-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.int8");
+        qm.save_to(&path).expect("artifact writes");
+        // Flip a payload byte: the checksum footer must reject the load.
+        let mut bytes = std::fs::read(&path).expect("readable");
+        bytes[10] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("writable");
+        assert!(matches!(
+            QuantizedModel::load_from(&path),
+            Err(ModelError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_is_smaller_than_f32_mlps() {
+        let (_ds, _ctx, model) = tiny_setup();
+        let qm = QuantizedModel::from_model(&model);
+        assert!(qm.size_bytes() > 0);
+        assert!(qm.size_bytes() < model.size_bytes());
+    }
+}

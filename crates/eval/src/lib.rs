@@ -6,8 +6,10 @@
 
 mod harness;
 mod metrics;
+mod precision;
 mod report;
 
 pub use harness::{all_baselines, run_method, DeepOdMethod, HarnessError, Method, MethodResult};
 pub use metrics::{histogram, mae, mape, mare, Metrics, MetricsError, PredPair, MAPE_MIN_ACTUAL};
+pub use precision::{PrecisionGate, PrecisionReport};
 pub use report::{metric_cell, write_csv, TextTable};

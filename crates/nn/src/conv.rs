@@ -45,18 +45,24 @@ pub fn conv2d_forward(input: &Tensor, kernel: &Tensor) -> Tensor {
                     // Output (i, j) reads input (i + dy - ph, j + dx - pw).
                     let oy_lo = ph.saturating_sub(dy);
                     let oy_hi = (h + ph).min(h + dy).saturating_sub(dy).min(h);
+                    // Valid j span is contiguous: pw ≤ j + dx < w + pw.
+                    let oj_lo = pw.saturating_sub(dx);
+                    let oj_hi = (w + pw).saturating_sub(dx).min(w);
+                    if oj_lo >= oj_hi {
+                        continue;
+                    }
                     for i in oy_lo..oy_hi {
                         let iy = i + dy - ph;
                         if iy >= h {
                             continue;
                         }
-                        for j in 0..w {
-                            let jx = j + dx;
-                            if jx < pw || jx - pw >= w {
-                                continue;
-                            }
-                            out[(oc * h + i) * w + j] += kv * x[xbase + iy * w + (jx - pw)];
-                        }
+                        let obase = (oc * h + i) * w;
+                        let ibase = xbase + iy * w + (oj_lo + dx - pw);
+                        deepod_tensor::kernels::axpy(
+                            &mut out[obase + oj_lo..obase + oj_hi],
+                            &x[ibase..ibase + (oj_hi - oj_lo)],
+                            kv,
+                        );
                     }
                 }
             }
@@ -89,19 +95,25 @@ pub fn conv2d_grad_input(grad_out: &Tensor, kernel: &Tensor) -> Tensor {
                     if kv == 0.0 {
                         continue;
                     }
+                    // Valid j span is contiguous: pw ≤ j + dx < w + pw.
+                    let oj_lo = pw.saturating_sub(dx);
+                    let oj_hi = (w + pw).saturating_sub(dx).min(w);
+                    if oj_lo >= oj_hi {
+                        continue;
+                    }
                     for i in 0..h {
                         let iy = i + dy;
                         if iy < ph || iy - ph >= h {
                             continue;
                         }
                         let iy = iy - ph;
-                        for j in 0..w {
-                            let jx = j + dx;
-                            if jx < pw || jx - pw >= w {
-                                continue;
-                            }
-                            gi[(ic * h + iy) * w + (jx - pw)] += kv * go[(oc * h + i) * w + j];
-                        }
+                        let gbase = (ic * h + iy) * w + (oj_lo + dx - pw);
+                        let obase = (oc * h + i) * w;
+                        deepod_tensor::kernels::axpy(
+                            &mut gi[gbase..gbase + (oj_hi - oj_lo)],
+                            &go[obase + oj_lo..obase + oj_hi],
+                            kv,
+                        );
                     }
                 }
             }

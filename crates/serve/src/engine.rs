@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 
 use deepod_baselines::{RouteTtePredictor, TtePredictor};
 use deepod_core::obs::registry;
-use deepod_core::{DeepOdModel, FeatureContext, ModelError, PredictRequest, PredictResponse};
+use deepod_core::{
+    DeepOdModel, FeatureContext, ModelError, PredictRequest, PredictResponse, QuantizedModel,
+};
 use deepod_traj::CityDataset;
 
 /// Typed failures of the queueing layer — distinct from [`ModelError`],
@@ -85,9 +87,24 @@ impl Default for EngineConfig {
 pub enum Backend {
     /// A loaded DeepOD model; replies are not degraded.
     Model(Box<DeepOdModel>),
+    /// The int8-quantized serving path (`--precision int8`): per-row
+    /// quantized MLP weights, f32 accumulation, tape-free forward.
+    /// Replies are not degraded — selection is gated on eval accuracy.
+    Quantized(Box<QuantizedModel>),
     /// The shortest-route-over-historical-speeds fallback (must already be
     /// fit); every reply is marked degraded.
     RouteTte(Box<RouteTtePredictor>),
+}
+
+impl Backend {
+    /// Short name used in logs and the `serve.precision` metric.
+    pub fn precision_name(&self) -> &'static str {
+        match self {
+            Backend::Model(_) => "f32",
+            Backend::Quantized(_) => "int8",
+            Backend::RouteTte(_) => "fallback",
+        }
+    }
 }
 
 /// One answer from the engine.
@@ -315,6 +332,11 @@ fn worker_loop(
         let reqs: Vec<PredictRequest> = batch.iter().map(|p| p.req.clone()).collect();
         let results: Vec<(Result<PredictResponse, ModelError>, bool)> = match backend {
             Backend::Model(model) => model
+                .estimate_batch(ctx, &ds.net, &reqs, config.threads)
+                .into_iter()
+                .map(|r| (r, false))
+                .collect(),
+            Backend::Quantized(model) => model
                 .estimate_batch(ctx, &ds.net, &reqs, config.threads)
                 .into_iter()
                 .map(|r| (r, false))

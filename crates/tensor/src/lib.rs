@@ -24,6 +24,7 @@
 
 pub mod failpoint;
 pub mod index;
+pub mod kernels;
 mod ops;
 pub mod parallel;
 mod random;

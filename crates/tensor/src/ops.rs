@@ -1,15 +1,18 @@
 //! Tensor math: element-wise arithmetic, matmul, reductions, concatenation,
 //! transpose, and the convolution geometry helpers shared with `deepod-nn`.
+//!
+//! The dense products (`matmul`, `matvec_bias_act`, `axpy`) route through
+//! [`crate::kernels`], which picks a packed SIMD or scalar kernel at
+//! runtime; every path is bit-identical (DESIGN.md §12), so this module
+//! only decides *shape* and *threading*, never numerics.
 
 use crate::Tensor;
 
-/// Cache-blocking tile edge for the matmul kernel: a 64×64 f32 tile is
-/// 16 KiB, so one tile each of A, B and C fit in a typical 48–64 KiB L1.
-const TILE: usize = 64;
-
-/// Fork threshold for [`Tensor::matmul`]: below ~2 MFLOP the product takes
-/// well under a millisecond serially and thread spawn cost dominates.
-const PAR_MIN_FLOPS: usize = 1 << 21;
+/// Fork threshold for [`Tensor::matmul`]: below ~8 MFLOP the product takes
+/// well under a millisecond through the packed kernels and thread spawn /
+/// join coordination dominates — the BENCH_kernels `matmul_crossover`
+/// entries pin the crossover. Small matmuls therefore never fan out.
+const PAR_MIN_FLOPS: usize = 1 << 23;
 
 /// Debug-only finiteness check on a matmul operand. A NaN entering the
 /// shared `code`/`stcode` binding silently corrupts all three encoders'
@@ -68,56 +71,6 @@ impl Activation {
             }
             Activation::Sigmoid => y * (1.0 - y),
             Activation::Tanh => 1.0 - y * y,
-        }
-    }
-}
-
-/// Blocked i-k-j matmul kernel over a contiguous span of output rows:
-/// `a` is `[rows, k]`, `b` is `[k, n]`, `out` is `[rows, n]` (zeroed).
-///
-/// Tiles all three loops at [`TILE`] so the working set stays in L1, and
-/// unrolls `k` by two inside the tile so each output vector load/store is
-/// amortized over two fused rows of `b`. Per output element the additions
-/// happen in ascending-`k` order — the same order as the textbook ikj
-/// loop — so blocking changes performance, not results. No zero-skip
-/// branch: dense inputs dominate here, and sparsity is exploited where it
-/// actually exists (the embedding-gradient path in `deepod-nn`).
-fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    if k == 0 || n == 0 {
-        return; // out stays zero: an empty accumulation.
-    }
-    let rows = a.len() / k;
-    debug_assert_eq!(out.len(), rows * n);
-    for i0 in (0..rows).step_by(TILE) {
-        let i1 = (i0 + TILE).min(rows);
-        for p0 in (0..k).step_by(TILE) {
-            let p1 = (p0 + TILE).min(k);
-            for j0 in (0..n).step_by(TILE) {
-                let j1 = (j0 + TILE).min(n);
-                for i in i0..i1 {
-                    let arow = &a[i * k..(i + 1) * k];
-                    let orow = &mut out[i * n + j0..i * n + j1];
-                    let mut p = p0;
-                    while p + 2 <= p1 {
-                        let a0 = arow[p];
-                        let a1 = arow[p + 1];
-                        let b0 = &b[p * n + j0..p * n + j1];
-                        let b1 = &b[(p + 1) * n + j0..(p + 1) * n + j1];
-                        for ((o, &v0), &v1) in orow.iter_mut().zip(b0).zip(b1) {
-                            // Left-to-right adds keep ascending-k order.
-                            *o = *o + a0 * v0 + a1 * v1;
-                        }
-                        p += 2;
-                    }
-                    if p < p1 {
-                        let a0 = arow[p];
-                        let b0 = &b[p * n + j0..p * n + j1];
-                        for (o, &v0) in orow.iter_mut().zip(b0) {
-                            *o += a0 * v0;
-                        }
-                    }
-                }
-            }
         }
     }
 }
@@ -181,9 +134,7 @@ impl Tensor {
     /// Used for gradient accumulation and optimizer updates.
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *a += s * b;
-        }
+        crate::kernels::axpy(self.as_mut_slice(), other.as_slice(), s);
     }
 
     /// Sum of all elements.
@@ -218,17 +169,20 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Dispatches to the blocked kernel, forking across row spans above
-    /// [`PAR_MIN_FLOPS`] with the configured thread count (`DEEPOD_THREADS`).
-    /// Results are bit-identical for every thread count: each output row is
-    /// produced by exactly one worker running the same serial kernel.
+    /// Dispatches to the packed kernels in [`crate::kernels`], forking
+    /// across row spans above [`PAR_MIN_FLOPS`] with the configured thread
+    /// count (`DEEPOD_THREADS`), clamped to the machine's hardware
+    /// parallelism so the default can never oversubscribe. Results are
+    /// bit-identical for every thread count: each output row is produced by
+    /// exactly one worker running the same per-row kernel.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         self.matmul_with_threads(other, 0)
     }
 
     /// [`Tensor::matmul`] with an explicit thread count (`0` = configured
-    /// default). Exposed so benchmarks and property tests can pin the
-    /// serial and parallel paths independently of the environment.
+    /// default, clamped to hardware parallelism; explicit counts are
+    /// honored as-is). Exposed so benchmarks and property tests can pin
+    /// the serial and parallel paths independently of the environment.
     pub fn matmul_with_threads(&self, other: &Tensor, threads: usize) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
@@ -240,7 +194,12 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        let t = crate::parallel::resolve_threads(threads).min(m.max(1));
+        let mut t = crate::parallel::resolve_threads(threads).min(m.max(1));
+        if threads == 0 {
+            // Default-threaded callers never fan out wider than the machine:
+            // oversubscribed workers only add coordination cost.
+            t = t.min(crate::parallel::hardware_parallelism());
+        }
         if t > 1 && 2 * m * k * n >= PAR_MIN_FLOPS {
             let spans = crate::parallel::split_ranges(m, t);
             std::thread::scope(|scope| {
@@ -249,11 +208,11 @@ impl Tensor {
                     let (chunk, tail) = rest.split_at_mut(span.len() * n);
                     rest = tail;
                     let a_rows = &a[span.start * k..span.end * k];
-                    scope.spawn(move || matmul_block(a_rows, b, chunk, k, n));
+                    scope.spawn(move || crate::kernels::matmul(a_rows, b, chunk, k, n));
                 }
             });
         } else {
-            matmul_block(a, b, &mut out, k, n);
+            crate::kernels::matmul(a, b, &mut out, k, n);
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -295,18 +254,14 @@ impl Tensor {
             "bias length mismatch: {} vs {m}",
             bias.numel()
         );
-        let a = self.as_slice();
-        let xv = x.as_slice();
-        let bs = bias.as_slice();
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &a[i * k..(i + 1) * k];
-            let mut acc = 0.0f32;
-            for (&w, &v) in row.iter().zip(xv) {
-                acc += w * v;
-            }
-            out[i] = act.apply(acc + bs[i]);
-        }
+        crate::kernels::matvec_bias_act(
+            self.as_slice(),
+            x.as_slice(),
+            bias.as_slice(),
+            act,
+            &mut out,
+        );
         Tensor::from_vec(out, &[m])
     }
 
@@ -538,9 +493,9 @@ mod tests {
     #[test]
     fn parallel_matmul_bit_matches_serial() {
         let mut rng = crate::rng_from_seed(32);
-        // Big enough to clear the fork threshold (2·m·k·n ≥ 2^21).
-        let a = Tensor::rand_uniform(&[128, 80], -2.0, 2.0, &mut rng);
-        let b = Tensor::rand_uniform(&[80, 120], -2.0, 2.0, &mut rng);
+        // Big enough to clear the fork threshold (2·m·k·n ≥ 2^23).
+        let a = Tensor::rand_uniform(&[256, 128], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[128, 256], -2.0, 2.0, &mut rng);
         let serial = a.matmul_with_threads(&b, 1);
         for t in [2, 3, 8] {
             let par = a.matmul_with_threads(&b, t);

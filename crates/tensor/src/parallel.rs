@@ -68,6 +68,27 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Physical upper bound on useful fan-out: the machine's available
+/// parallelism, probed once and cached. Call sites that resolve a
+/// *default* thread count clamp with this so a generous `DEEPOD_THREADS`
+/// can never oversubscribe the machine — threads beyond cores only add
+/// coordination cost (the `matmul_256_parallel` regression in
+/// BENCH_kernels.json). Explicit nonzero requests stay unclamped so tests
+/// and benchmarks can pin exact counts.
+pub fn hardware_parallelism() -> usize {
+    static HW: AtomicUsize = AtomicUsize::new(0);
+    match HW.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            HW.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
 /// Splits `0..len` into at most `parts` contiguous, near-equal, non-empty
 /// ranges (fewer when `len < parts`). The first `len % parts` ranges get
 /// one extra element.
@@ -268,6 +289,17 @@ mod tests {
         let items: Vec<u64> = (0..17).collect();
         let serial: u64 = items.iter().sum();
         assert_eq!(tree_reduce(items, |a, b| a + b), Some(serial));
+    }
+
+    #[test]
+    fn hardware_parallelism_clamps_defaults_but_serial_is_always_valid() {
+        // The probe is cached and stable, and is always a usable thread
+        // count (>= 1): clamping a default with it can never produce an
+        // invalid fan-out, and on a 1-core machine it forces the serial
+        // path for default-threaded callers.
+        let hw = hardware_parallelism();
+        assert!(hw >= 1);
+        assert_eq!(hw, hardware_parallelism());
     }
 
     #[test]

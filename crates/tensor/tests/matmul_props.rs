@@ -73,15 +73,15 @@ proptest! {
 }
 
 proptest! {
-    // Shapes above the fork threshold (2·m·k·n ≥ 2²¹), so the parallel
-    // path really spawns workers; fewer cases since each is ~2 MFLOP.
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    // Shapes above the fork threshold (2·m·k·n ≥ 2²³), so the parallel
+    // path really spawns workers; fewer cases since each is ~10 MFLOP.
+    #![proptest_config(ProptestConfig::with_cases(4))]
 
     #[test]
     fn forked_product_is_bit_identical(
-        m in 110usize..150,
-        k in 110usize..150,
-        n in 110usize..150,
+        m in 170usize..200,
+        k in 170usize..200,
+        n in 170usize..200,
         seed in any::<u64>(),
     ) {
         let (a, b) = random_pair(m, k, n, seed);

@@ -1,0 +1,22 @@
+//! Fixture: SIMD intrinsics used without the safety scaffolding the
+//! `no-unchecked-simd` rule demands.
+
+/// Violation 1: an intrinsic call site in a plain fn — the compiler may
+/// emit AVX here unconditionally, which is undefined behavior on a CPU
+/// without it.
+pub fn naked_intrinsic(a: *const f32) -> f32 {
+    unsafe {
+        let v = _mm256_loadu_ps(a);
+        horizontal_sum(v)
+    }
+}
+
+/// Violation 2: the fn is `#[target_feature]`, but nothing in this file
+/// ever calls `is_x86_feature_detected!` — there is no proof any caller
+/// checked the CPU first.
+#[target_feature(enable = "avx")]
+pub unsafe fn undispatched(a: *const f32, b: *const f32) -> f32 {
+    let x = _mm256_loadu_ps(a);
+    let y = _mm256_loadu_ps(b);
+    horizontal_sum(_mm256_add_ps(x, y))
+}

@@ -27,6 +27,9 @@
 //! | `no-env-read-in-lib`| `env::var` / `var_os` / `vars` in library code       |
 //! |                     | (configuration flows through `RuntimeConfig`,        |
 //! |                     | resolved once in the binary)                         |
+//! | `no-unchecked-simd` | a `_mm*` intrinsic call site outside a               |
+//! |                     | `#[target_feature]` fn, or in a file with no         |
+//! |                     | `is_x86_feature_detected!` runtime dispatcher        |
 
 use crate::lexer::{Lexed, TokKind, Token};
 use std::collections::BTreeSet;
@@ -39,7 +42,7 @@ use std::fmt;
 pub const DETERMINISTIC_CRATES: [&str; 4] = ["core", "nn", "tensor", "graphembed"];
 
 /// All rule names, in report order.
-pub const ALL_RULES: [&str; 10] = [
+pub const ALL_RULES: [&str; 11] = [
     "unwrap",
     "expect",
     "panic",
@@ -50,6 +53,7 @@ pub const ALL_RULES: [&str; 10] = [
     "no-bare-fs-write",
     "no-bare-eprintln",
     "no-env-read-in-lib",
+    "no-unchecked-simd",
 ];
 
 /// One lint finding.
@@ -206,6 +210,61 @@ fn compute_test_mask(tokens: &[Token]) -> Vec<bool> {
     mask
 }
 
+/// Marks tokens that live inside a fn (or other item) annotated with
+/// `#[target_feature(..)]` — the only place a raw `_mm*` intrinsic call
+/// is sound, because the attribute is what lets the compiler emit the
+/// instruction while the runtime dispatcher guarantees the CPU has it.
+fn compute_target_feature_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut depth: i32 = 0;
+    let mut open_depths: Vec<i32> = Vec::new();
+    let mut pending = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("#") && tokens.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            let mut j = i + 2;
+            let mut bdepth = 1;
+            let mut is_tf = false;
+            while j < tokens.len() && bdepth > 0 {
+                let a = &tokens[j];
+                if a.is_punct("[") {
+                    bdepth += 1;
+                } else if a.is_punct("]") {
+                    bdepth -= 1;
+                } else if a.is_ident("target_feature") {
+                    is_tf = true;
+                }
+                j += 1;
+            }
+            if is_tf {
+                pending = true;
+            }
+            for m in mask.iter_mut().take(j).skip(i) {
+                *m = *m || !open_depths.is_empty();
+            }
+            i = j;
+            continue;
+        }
+        if t.is_punct("{") {
+            depth += 1;
+            if pending {
+                open_depths.push(depth);
+                pending = false;
+            }
+        }
+        mask[i] = !open_depths.is_empty() || pending;
+        if t.is_punct("}") {
+            if open_depths.last() == Some(&depth) {
+                open_depths.pop();
+            }
+            depth -= 1;
+        }
+        i += 1;
+    }
+    mask
+}
+
 /// Index of the `(` matching the `)` at `close`, if any.
 fn matching_open(tokens: &[Token], close: usize) -> Option<usize> {
     let mut depth = 0i32;
@@ -253,7 +312,20 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     // The one module allowed to touch the filesystem directly: it *is*
     // the crash-safe write path the `no-bare-fs-write` rule points at.
     let is_io_guard = ctx.rel_path.ends_with("io_guard.rs");
+    // (no-unchecked-simd) a `#[target_feature]` fn alone is not enough:
+    // somebody still has to check the CPU before calling it, so the file
+    // must also contain a runtime-detection dispatcher.
+    let has_feature_detect = toks.iter().any(|t| t.is_ident("is_x86_feature_detected"));
+    let target_feature_mask = compute_target_feature_mask(toks);
+    let mut in_use_item = false;
     for i in 0..toks.len() {
+        // Track `use` items so imported intrinsic *names* don't count as
+        // call sites for no-unchecked-simd.
+        if toks[i].is_ident("use") {
+            in_use_item = true;
+        } else if in_use_item && toks[i].is_punct(";") {
+            in_use_item = false;
+        }
         if ctx.test_mask[i] {
             continue;
         }
@@ -415,6 +487,37 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                         "`{what}` bypasses the crash-safe write path; use \
                          `deepod_core::io_guard` (temp file + fsync + atomic \
                          rename + checksum) instead"
+                    ),
+                );
+            }
+        }
+
+        // --- no-unchecked-simd (applies everywhere, bins included: an
+        //     illegal instruction on an older CPU is a crash no matter
+        //     which binary emits it) ---
+        if t.kind == TokKind::Ident && t.text.starts_with("_mm") && !in_use_item {
+            if !target_feature_mask[i] {
+                ctx.push(
+                    out,
+                    "no-unchecked-simd",
+                    line,
+                    format!(
+                        "intrinsic `{}` outside a `#[target_feature]` fn is undefined \
+                         behavior on CPUs without the feature; move it into a \
+                         `#[target_feature]` fn reached via a runtime-detection dispatcher",
+                        t.text
+                    ),
+                );
+            } else if !has_feature_detect {
+                ctx.push(
+                    out,
+                    "no-unchecked-simd",
+                    line,
+                    format!(
+                        "intrinsic `{}` is inside a `#[target_feature]` fn, but this file \
+                         never calls `is_x86_feature_detected!`; gate the call behind \
+                         runtime feature detection",
+                        t.text
                     ),
                 );
             }
@@ -719,6 +822,44 @@ mod tests {
         let mut out = Vec::new();
         check_file(&ctx, &mut out);
         assert!(out.is_empty(), "bins may read env: {out:?}");
+    }
+
+    #[test]
+    fn unchecked_simd_requires_target_feature_and_dispatch() {
+        // Naked intrinsic call: undefined behavior on older CPUs.
+        let f = lint_lib_src("fn a() { unsafe { _mm256_add_ps(x, y) }; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-unchecked-simd");
+
+        // The blessed shape: imports, a runtime dispatcher, and the
+        // intrinsic inside a #[target_feature] fn.
+        let good = "use core::arch::x86_64::_mm256_add_ps;\n\
+                    fn d() -> bool { is_x86_feature_detected!(\"avx\") }\n\
+                    #[target_feature(enable = \"avx\")]\n\
+                    unsafe fn k() { _mm256_add_ps(x, y); }\n";
+        assert!(lint_lib_src(good).is_empty(), "{:?}", lint_lib_src(good));
+
+        // #[target_feature] without any runtime detection in the file
+        // still fires: nothing proves the CPU has the feature.
+        let undetected = "#[target_feature(enable = \"avx\")]\n\
+                          unsafe fn k() { _mm256_add_ps(x, y); }\n";
+        assert_eq!(lint_lib_src(undetected).len(), 1);
+
+        // `__m256` is a *type*, not an intrinsic call; test code and
+        // allow directives are exempt like every other rule.
+        assert!(lint_lib_src("fn a(x: __m256) {}").is_empty());
+        assert!(lint_lib_src("#[test]\nfn t() { unsafe { _mm256_add_ps(x, y) }; }\n").is_empty());
+        assert!(lint_lib_src(
+            "fn a() { unsafe { _mm256_add_ps(x, y) }; } // deepod-lint: allow(no-unchecked-simd)"
+        )
+        .is_empty());
+
+        // Bins are NOT exempt.
+        let lexed = lex("fn main() { unsafe { _mm256_add_ps(x, y) }; }");
+        let ctx = FileCtx::new("crates/cli/src/main.rs", "cli", &lexed, false, true);
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert!(out.iter().any(|f| f.rule == "no-unchecked-simd"), "{out:?}");
     }
 
     #[test]

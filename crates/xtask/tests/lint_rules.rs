@@ -111,6 +111,19 @@ fn env_read_rule_fires() {
 }
 
 #[test]
+fn unchecked_simd_rule_fires() {
+    assert_eq!(
+        rules_fired("unchecked_simd.rs", "tensor"),
+        vec![
+            "no-unchecked-simd", // naked call site outside #[target_feature]
+            "no-unchecked-simd", // three intrinsics inside a #[target_feature]
+            "no-unchecked-simd", // fn in a file with no runtime-detection
+            "no-unchecked-simd", // dispatcher
+        ],
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_false_positives() {
     let findings = xtask::lint_file_as(&fixture("clean.rs"), "tensor").expect("fixture");
     assert!(findings.is_empty(), "false positives: {findings:#?}");

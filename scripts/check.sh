@@ -23,6 +23,12 @@ cargo test -q -p deepod-cli --test observability
 # queue-full backpressure under --reject-when-full, and corrupt-model
 # degradation to route-tte fallback answers with exit code 2.
 cargo test -q -p deepod-cli --test serve
+# Kernel stage: property tests proving the packed/SIMD matmul, matvec,
+# axpy, and int8 paths bit-identical to the scalar reference (DESIGN.md
+# §12 determinism contract), then the eval-side precision gate on a
+# fixture model — int8 MAPE must stay within the configured delta of f32.
+cargo test -q -p deepod-tensor --test kernel_props
+cargo test -q -p deepod-eval precision
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q -p xtask -- lint
