@@ -107,6 +107,14 @@ impl std::fmt::Debug for TrainingCheckpoint {
     }
 }
 
+/// Eagerly materializes the checkpoint counters so "no save happened" is
+/// an observed zero rather than a missing key. Called once per process
+/// from `RuntimeConfig::apply`.
+pub fn register_metrics() {
+    crate::obs::registry::counter_add("checkpoint.saves", 0);
+    crate::obs::registry::counter_add("checkpoint.loads", 0);
+}
+
 impl TrainingCheckpoint {
     /// Serializes and writes the checkpoint atomically with a checksum
     /// footer. A crash at any point leaves either the previous checkpoint

@@ -164,6 +164,7 @@ pub fn register_metrics() {
     crate::obs::registry::counter_add("io_guard.writes", 0);
     crate::obs::registry::counter_add("io_guard.reads", 0);
     crate::obs::registry::counter_add("io_guard.retries", 0);
+    crate::obs::registry::register_histogram("io_guard.write_bytes");
 }
 
 /// Runs an IO closure with bounded retries on transient error kinds and a

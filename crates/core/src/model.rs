@@ -518,7 +518,11 @@ impl DeepOdModel {
             // Clone-per-span: the parameter store is Arc-backed, so this
             // shares all weights; only batch-norm scratch state is copied.
             let mut local = self.clone();
-            reqs[span]
+            // `map_ranges` only hands out in-bounds spans; an empty
+            // slice (rather than a panic) is the right degradation if
+            // that contract ever breaks.
+            reqs.get(span)
+                .unwrap_or(&[])
                 .iter()
                 .map(|r| local.answer(ctx, net, r))
                 .collect::<Vec<_>>()

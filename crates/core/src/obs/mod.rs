@@ -219,6 +219,17 @@ pub fn ensure_init() {
     MAX_LEVEL.store(Level::Warn as u8, Ordering::Release);
 }
 
+/// Eagerly materializes the tensor-layer parallel telemetry keys. The
+/// emitting code lives in `deepod-tensor` (behind the sink bridge) and
+/// cannot see the registry, so the registration lives here. Called once
+/// per process from `RuntimeConfig::apply` — deliberately *not* from
+/// [`ensure_init`], which runs inside the registry's own lazy init.
+pub fn register_parallel_metrics() {
+    registry::register_gauge("parallel.spans_last");
+    registry::register_histogram("parallel.span_size");
+    registry::register_histogram("parallel.worker_wall_ms");
+}
+
 /// Whether events at `level` would currently be written.
 pub fn enabled(level: Level) -> bool {
     ensure_init();

@@ -84,7 +84,13 @@ impl HistogramSnapshot {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(self.bounds.len());
-        self.counts[slot] += 1;
+        // In-bounds by construction (`counts.len() == bounds.len() + 1`),
+        // but checked anyway: a histogram deserialized from a hand-edited
+        // snapshot with mismatched lengths must not panic the serving
+        // thread that observes into it.
+        if let Some(c) = self.counts.get_mut(slot) {
+            *c += 1;
+        }
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -173,6 +179,32 @@ pub fn series_push(name: &str, index: u64, value: f64) {
             .entry(name.to_string())
             .or_default()
             .push(SeriesPoint { index, value });
+    });
+}
+
+/// Eagerly materializes a gauge at `0.0` (no-op if it already exists),
+/// so snapshots carry the key before the first real write. The gauge
+/// analogue of `counter_add(name, 0)`.
+pub fn register_gauge(name: &str) {
+    with(|r| {
+        r.gauges.entry(name.to_string()).or_insert(0.0);
+    });
+}
+
+/// Eagerly materializes an *empty* histogram with the name-derived
+/// buckets — unlike `observe(name, 0.0)`, no spurious sample is added.
+pub fn register_histogram(name: &str) {
+    with(|r| {
+        r.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramSnapshot::new(bounds_for(name)));
+    });
+}
+
+/// Eagerly materializes an empty series.
+pub fn register_series(name: &str) {
+    with(|r| {
+        r.series.entry(name.to_string()).or_default();
     });
 }
 

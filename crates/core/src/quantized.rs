@@ -268,7 +268,10 @@ impl QuantizedModel {
             t = t.min(deepod_tensor::parallel::hardware_parallelism());
         }
         deepod_tensor::parallel::map_ranges(reqs.len(), t, |span| {
-            reqs[span]
+            // Same out-of-contract degradation as DeepOdModel: an empty
+            // slice, not a panic, if a span is ever out of bounds.
+            reqs.get(span)
+                .unwrap_or(&[])
                 .iter()
                 .map(|r| self.answer(ctx, net, r))
                 .collect::<Vec<_>>()

@@ -144,6 +144,9 @@ impl RuntimeConfig {
         // Materialize the metric keys every run must report (even at zero)
         // so snapshot key sets are comparable across runs.
         crate::io_guard::register_metrics();
+        crate::checkpoint::register_metrics();
+        crate::train::register_metrics();
+        obs::register_parallel_metrics();
         if let Some(spec) = &self.failpoints {
             deepod_tensor::failpoint::arm(spec).map_err(RuntimeError::BadFailpoints)?;
         }

@@ -19,6 +19,25 @@ use std::path::PathBuf;
 // deepod-lint: allow(nondeterminism)
 use std::time::Instant;
 
+/// Eagerly materializes every metric key the training loop emits, so a
+/// snapshot taken before (or without) training still carries the full
+/// key set. Called once per process from `RuntimeConfig::apply`.
+pub fn register_metrics() {
+    use crate::obs::registry;
+    registry::counter_add("train.steps", 0);
+    registry::counter_add("train.evals", 0);
+    registry::counter_add("train.epochs", 0);
+    registry::counter_add("checkpoint.resume_hits", 0);
+    registry::register_histogram("train.grad_norm");
+    registry::register_gauge("train.loss_last");
+    registry::register_gauge("train.loss_main_last");
+    registry::register_gauge("train.loss_aux_last");
+    registry::register_gauge("train.val_mae_last");
+    registry::register_gauge("train.best_val_mae");
+    registry::register_series("train.epoch_loss");
+    registry::register_series("train.val_mae");
+}
+
 /// Training-loop options independent of the model config.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainOptions {

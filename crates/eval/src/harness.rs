@@ -102,6 +102,7 @@ fn collect_pairs(ds: &CityDataset, mut predict: impl FnMut(usize) -> Option<f32>
 /// Fails when a DeepOD method's config does not validate or when the
 /// method yields a pair set the paper metrics are undefined over.
 pub fn run_method(method: Method, ds: &CityDataset) -> Result<MethodResult, HarnessError> {
+    crate::metrics::register_metrics();
     match method {
         Method::Baseline(mut p) => {
             let t0 = Instant::now();

@@ -82,6 +82,13 @@ pub fn mae(pairs: &[PredPair]) -> Result<f32, MetricsError> {
     Ok(pairs.iter().map(PredPair::abs_err).sum::<f32>() / pairs.len() as f32)
 }
 
+/// Eagerly materializes the eval counters. [`mape`] also reports a zero
+/// delta per call, but that only covers runs that reach it; the harness
+/// registers up front so aborted runs still carry the key.
+pub fn register_metrics() {
+    deepod_core::obs::registry::counter_add("eval.mape_skipped", 0);
+}
+
 /// Mean Absolute Percentage Error (fraction; multiply by 100 for %).
 ///
 /// Pairs whose `actual` is at or below [`MAPE_MIN_ACTUAL`] are skipped

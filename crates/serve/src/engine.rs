@@ -159,7 +159,9 @@ impl InferenceEngine {
         registry::counter_add("serve.requests", 0);
         registry::counter_add("serve.degraded", 0);
         registry::counter_add("serve.rejected", 0);
-        registry::gauge_set("serve.queue_depth", 0.0);
+        registry::register_gauge("serve.queue_depth");
+        registry::register_histogram("serve.batch_size");
+        registry::register_histogram("serve.request_latency_ms");
         let config = EngineConfig {
             max_batch: config.max_batch.max(1),
             queue_capacity: config.queue_capacity.max(1),
@@ -289,19 +291,19 @@ fn worker_loop(
     loop {
         let batch = {
             let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
-            loop {
-                if !q.items.is_empty() {
-                    break;
+            // Wait for work; the oldest request anchors the coalescing
+            // deadline. The batch closes at max_batch requests, or when
+            // the *oldest* request has waited max_wait_ms (its latency
+            // bound), or at shutdown (drain immediately).
+            let deadline = loop {
+                if let Some(first) = q.items.front() {
+                    break first.enqueued + Duration::from_millis(config.max_wait_ms);
                 }
                 if q.closed {
                     return;
                 }
                 q = shared.work.wait(q).unwrap_or_else(|p| p.into_inner());
-            }
-            // Coalesce: the batch closes at max_batch requests, or when
-            // the *oldest* request has waited max_wait_ms (its latency
-            // bound), or at shutdown (drain immediately).
-            let deadline = q.items[0].enqueued + Duration::from_millis(config.max_wait_ms);
+            };
             while q.items.len() < config.max_batch && !q.closed {
                 let now = Instant::now();
                 let Some(remaining) = deadline.checked_duration_since(now) else {

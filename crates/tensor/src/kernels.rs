@@ -190,13 +190,19 @@ pub fn matmul_ref(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
 /// [`matvec_bias_act`].
 pub fn matvec_ref(w: &[f32], x: &[f32], bias: &[f32], act: Activation, out: &mut [f32]) {
     let k = x.len();
-    for (i, o) in out.iter_mut().enumerate() {
-        let row = &w[i * k..(i + 1) * k];
+    if k == 0 {
+        // Degenerate matvec: every row dot is empty, out = act(bias).
+        for (o, &b) in out.iter_mut().zip(bias) {
+            *o = act.apply(b);
+        }
+        return;
+    }
+    for ((o, row), &b) in out.iter_mut().zip(w.chunks_exact(k)).zip(bias) {
         let mut acc = 0.0f32;
         for (&wv, &xv) in row.iter().zip(x) {
             acc += wv * xv;
         }
-        *o = act.apply(acc + bias[i]);
+        *o = act.apply(acc + b);
     }
 }
 

@@ -1,0 +1,39 @@
+//! Audit fixture: disciplined locking — every nesting acquires `queue`
+//! before `registry`, and the channel handoff happens after the guard
+//! is released (scope exit).
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Engine {
+    queue: Mutex<Vec<u32>>,
+    registry: Mutex<Vec<u32>>,
+}
+
+impl Engine {
+    pub fn outer(&self) {
+        let q = self.queue.lock().unwrap();
+        let r = self.registry.lock().unwrap();
+        drop(r);
+        drop(q);
+    }
+
+    pub fn drain(&self) {
+        let q = self.queue.lock().unwrap();
+        self.tick();
+        drop(q);
+    }
+
+    fn tick(&self) {
+        let r = self.registry.lock().unwrap();
+        drop(r);
+    }
+
+    pub fn notify(&self, tx: &Sender<u32>) {
+        let depth = {
+            let q = self.queue.lock().unwrap();
+            q.len() as u32
+        };
+        tx.send(depth).unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! Audit fixture: a both-orders lock pair — one direction *transitive*
+//! (`outer` holds `queue` and calls `tick`, which locks `registry`),
+//! the other direct (`drain` nests `queue` under `registry`) — plus a
+//! channel send performed while a guard is live.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Engine {
+    queue: Mutex<Vec<u32>>,
+    registry: Mutex<Vec<u32>>,
+}
+
+impl Engine {
+    pub fn outer(&self) {
+        let q = self.queue.lock().unwrap();
+        self.tick();
+        drop(q);
+    }
+
+    fn tick(&self) {
+        let r = self.registry.lock().unwrap();
+        drop(r);
+    }
+
+    pub fn drain(&self) {
+        let r = self.registry.lock().unwrap();
+        let q = self.queue.lock().unwrap();
+        drop(q);
+        drop(r);
+    }
+
+    pub fn notify(&self, tx: &Sender<u32>) {
+        let q = self.queue.lock().unwrap();
+        tx.send(q.len() as u32).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! Audit fixture: every emitted metric name is eagerly registered —
+//! counters via the zero-delta priming idiom, gauges via the registry's
+//! `register_*` helpers.
+
+pub fn register_metrics() {
+    registry::counter_add("fixture.ticks", 0);
+    registry::register_gauge("fixture.depth");
+    registry::register_histogram("fixture.latency_ms");
+}
+
+pub fn tick() {
+    registry::counter_inc("fixture.ticks");
+    registry::gauge_set("fixture.depth", 1.0);
+    registry::observe("fixture.latency_ms", 0.25);
+}

@@ -1,0 +1,6 @@
+//! Audit fixture: a metric emitted under a name that is never eagerly
+//! registered.
+
+pub fn tick() {
+    registry::counter_inc("fixture.ticks");
+}

@@ -1,0 +1,35 @@
+//! Audit fixture: a panic-free hot path. Checked accessors on the
+//! reachable path; panics confined to unreachable helpers, test code,
+//! debug_assert!, and one reviewed allow directive.
+
+pub fn serve_entry(xs: &[f32]) -> f32 {
+    debug_assert!(!xs.is_empty());
+    let first = head(xs);
+    first + tail_sum(xs)
+}
+
+fn head(xs: &[f32]) -> f32 {
+    // deepod-audit: allow(no-panic) — reviewed: callers verify non-empty
+    xs[0]
+}
+
+fn tail_sum(xs: &[f32]) -> f32 {
+    xs.iter().skip(1).sum()
+}
+
+/// Never called from the root: its unwrap must not fire.
+pub fn offline_tool(xs: &[f32]) -> f32 {
+    xs.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_of_nonempty() {
+        assert_eq!(serve_entry(&[2.0, 3.0]), 5.0);
+        let v = [1.0f32];
+        v.first().copied().unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+//! Audit fixture: panic sources transitively reachable from the root
+//! `serve_entry` — one via a direct helper (indexing), one two hops deep
+//! (unwrap). Both must fire with witness chains.
+
+pub fn serve_entry(xs: &[f32]) -> f32 {
+    let v = prepare(xs);
+    combine(&v)
+}
+
+fn prepare(xs: &[f32]) -> Vec<f32> {
+    let first = xs[0];
+    vec![first; 4]
+}
+
+fn combine(v: &[f32]) -> f32 {
+    reduce_max(v)
+}
+
+fn reduce_max(v: &[f32]) -> f32 {
+    v.iter().copied().reduce(f32::max).unwrap()
+}

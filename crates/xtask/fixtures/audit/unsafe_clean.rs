@@ -1,0 +1,33 @@
+//! Audit fixture: the sanctioned unsafe/SIMD shape — SAFETY-commented
+//! blocks, and `#[target_feature]` kernels reached only through callers
+//! that consult the runtime detector (directly, or via the wrapper idiom
+//! that documents its precondition with a `debug_assert!`).
+
+fn active_isa() -> u32 {
+    2
+}
+
+/// Lanewise kernel stand-in.
+///
+/// # Safety
+/// Caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+unsafe fn kern(x: &mut [f32]) {
+    x.reverse();
+}
+
+pub fn dispatch(x: &mut [f32]) {
+    if active_isa() >= 2 {
+        // SAFETY: active_isa() confirmed AVX2 on this machine.
+        unsafe { kern(x) }
+    } else {
+        x.reverse();
+    }
+}
+
+pub fn run_wrapper(x: &mut [f32]) {
+    debug_assert!(active_isa() >= 2);
+    // SAFETY: callers reach this wrapper only through `dispatch`-style
+    // runtime detection (debug-asserted above).
+    unsafe { kern(x) }
+}

@@ -1,0 +1,23 @@
+//! Audit fixture: an unsafe block with no SAFETY justification, and a
+//! `#[target_feature]` kernel reached from a caller that never consults
+//! the runtime feature detector.
+
+pub fn no_comment(p: *mut f32) {
+    unsafe {
+        *p = 1.0;
+    }
+}
+
+/// Lanewise kernel stand-in.
+///
+/// # Safety
+/// Caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+unsafe fn kern(x: &mut [f32]) {
+    x.reverse();
+}
+
+pub fn bad_dispatch(x: &mut [f32]) {
+    // SAFETY: nothing actually verified — the bug under test.
+    unsafe { kern(x) }
+}

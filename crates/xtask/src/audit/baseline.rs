@@ -1,0 +1,141 @@
+//! The checked-in audit baseline (`audit-baseline.json`).
+//!
+//! The gate is *zero unbaselined findings*: every finding the audit
+//! produces must either be fixed or explicitly absorbed into the
+//! baseline by a reviewed `--update-baseline` run. Matching is by
+//! fingerprint (line-number-free, see [`super::AuditFinding`]), so
+//! ordinary edits don't churn the file; a baselined fingerprint the
+//! audit no longer produces is reported as *stale* so the baseline
+//! shrinks monotonically instead of fossilising.
+
+use super::AuditFinding;
+use serde::json;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Parsed baseline: the set of accepted fingerprints.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub fingerprints: BTreeSet<String>,
+}
+
+/// How the audit's findings relate to a baseline.
+pub struct Partition<'a> {
+    /// Findings not in the baseline — these fail the gate.
+    pub unbaselined: Vec<&'a AuditFinding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Baseline fingerprints no longer produced (fixed or renamed).
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    /// Loads `path`. A missing file is an *empty* baseline (fresh
+    /// checkout before the first `--update-baseline`); an unreadable or
+    /// malformed file is an error — the gate must not silently pass
+    /// because its baseline rotted.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::default());
+            }
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let v = json::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+        let arr = json::obj_field(&v, "findings")
+            .and_then(json::expect_arr)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut fingerprints = BTreeSet::new();
+        for item in arr {
+            let fp = json::obj_field(item, "fingerprint")
+                .and_then(json::expect_str)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            fingerprints.insert(fp.to_string());
+        }
+        Ok(Baseline { fingerprints })
+    }
+
+    /// Splits `findings` into unbaselined / baselined / stale.
+    pub fn partition<'a>(&self, findings: &'a [AuditFinding]) -> Partition<'a> {
+        let produced: BTreeSet<&str> = findings.iter().map(|f| f.fingerprint.as_str()).collect();
+        let mut unbaselined = Vec::new();
+        let mut baselined = 0;
+        for f in findings {
+            if self.fingerprints.contains(&f.fingerprint) {
+                baselined += 1;
+            } else {
+                unbaselined.push(f);
+            }
+        }
+        let stale = self
+            .fingerprints
+            .iter()
+            .filter(|fp| !produced.contains(fp.as_str()))
+            .cloned()
+            .collect();
+        Partition {
+            unbaselined,
+            baselined,
+            stale,
+        }
+    }
+}
+
+/// Renders `findings` as baseline JSON: fingerprint plus a human note
+/// (rule + message) so reviews of baseline diffs don't need to re-run
+/// the audit. Sorted by fingerprint; one finding per line.
+pub fn render(findings: &[&AuditFinding]) -> String {
+    let mut rows: Vec<(&str, &AuditFinding)> = findings
+        .iter()
+        .map(|f| (f.fingerprint.as_str(), *f))
+        .collect();
+    rows.sort_by_key(|(fp, _)| *fp);
+    rows.dedup_by_key(|(fp, _)| *fp);
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, (fp, f)) in rows.iter().enumerate() {
+        out.push_str("    {\"fingerprint\": ");
+        json::escape_str(fp, &mut out);
+        out.push_str(", \"rule\": ");
+        json::escape_str(f.rule, &mut out);
+        out.push_str(", \"note\": ");
+        json::escape_str(&f.msg, &mut out);
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders findings as machine-readable audit output (`--json`):
+/// `{"findings": [...], "count": N}` with chain hops included.
+pub fn render_report(findings: &[&AuditFinding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("    {\"rule\": ");
+        json::escape_str(f.rule, &mut out);
+        out.push_str(", \"path\": ");
+        json::escape_str(&f.path, &mut out);
+        out.push_str(&format!(", \"line\": {}, \"msg\": ", f.line));
+        json::escape_str(&f.msg, &mut out);
+        out.push_str(", \"fingerprint\": ");
+        json::escape_str(&f.fingerprint, &mut out);
+        out.push_str(", \"chain\": [");
+        for (j, hop) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            json::escape_str(hop, &mut out);
+        }
+        out.push_str("]}");
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("  ],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}

@@ -1,0 +1,104 @@
+//! `deepod-audit` — workspace call-graph analyses (DESIGN.md §13).
+//!
+//! Where `lint` judges one line at a time, `audit` judges *flows*: it
+//! parses every library file (`crate::parser`), builds the conservative
+//! name-resolved call graph (`crate::callgraph`), and runs four
+//! analyses over it:
+//!
+//! | rule                   | guarantee when clean                            |
+//! |------------------------|-------------------------------------------------|
+//! | `no-panic`             | no path from a serving hot-path root reaches a  |
+//! |                        | panic source (unwrap/expect/panic!/assert!/`[]`)|
+//! | `unsafe-safety`        | every `unsafe` block/fn carries a `// SAFETY:`  |
+//! |                        | justification                                   |
+//! | `simd-dispatch`        | every `#[target_feature]` fn is reached only    |
+//! |                        | from callers that consult the runtime detector  |
+//! | `lock-order`           | no two named locks are acquired in both orders  |
+//! | `lock-across-send`     | no lock guard is held across a channel send /   |
+//! |                        | queue submit                                    |
+//! | `metrics-consistency`  | every emitted metric name is eagerly registered |
+//!
+//! Because the graph is conservative (see `crate::callgraph`), `no-panic`
+//! over-approximates: real reachable panics are always reported, plus
+//! some chains that cannot execute. The checked-in `audit-baseline.json`
+//! absorbs reviewed findings; the gate is **zero unbaselined findings**.
+//! `// deepod-audit: allow(<rule>)` on the offending line suppresses a
+//! finding at the source, exactly like lint allows.
+
+pub mod baseline;
+pub mod lock_order;
+pub mod metrics;
+pub mod no_panic;
+pub mod unsafe_audit;
+
+use crate::callgraph::CallGraph;
+use crate::parser::ParsedFile;
+use std::fmt;
+
+pub use baseline::Baseline;
+pub use no_panic::DEFAULT_ROOTS;
+
+/// One audit finding.
+#[derive(Clone, Debug)]
+pub struct AuditFinding {
+    /// Rule id (one of [`crate::rules::AUDIT_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path of the anchoring site.
+    pub path: String,
+    /// 1-based line of the anchoring site.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub msg: String,
+    /// Stable identity for baselining: free of line numbers so ordinary
+    /// refactors don't churn the baseline.
+    pub fingerprint: String,
+    /// Witness call chain (root first), one `label (path:line)` per hop;
+    /// empty for the non-reachability rules.
+    pub chain: Vec<String>,
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )?;
+        for hop in &self.chain {
+            write!(f, "\n    {hop}")?;
+        }
+        Ok(())
+    }
+}
+
+/// True when `// deepod-audit: allow(<rule>)` covers `line` of `file`.
+pub(crate) fn allowed(file: &ParsedFile, rule: &str, line: u32) -> bool {
+    file.allows.get(&line).is_some_and(|s| s.contains(rule))
+}
+
+/// Runs all four analyses over the parsed files with the given no-panic
+/// roots. Findings come back sorted by (rule, path, line, fingerprint).
+pub fn run(files: &[ParsedFile], roots: &[(&str, &str)]) -> Vec<AuditFinding> {
+    let graph = CallGraph::build(files);
+    let mut out = Vec::new();
+    no_panic::check(&graph, roots, &mut out);
+    unsafe_audit::check(&graph, &mut out);
+    lock_order::check(&graph, &mut out);
+    metrics::check(&graph, &mut out);
+    out.sort_by(|a, b| {
+        (rule_order(a.rule), &a.path, a.line, &a.fingerprint).cmp(&(
+            rule_order(b.rule),
+            &b.path,
+            b.line,
+            &b.fingerprint,
+        ))
+    });
+    out
+}
+
+fn rule_order(rule: &str) -> usize {
+    crate::rules::AUDIT_RULES
+        .iter()
+        .position(|r| *r == rule)
+        .unwrap_or(usize::MAX)
+}

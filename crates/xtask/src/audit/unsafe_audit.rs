@@ -1,0 +1,85 @@
+//! Unsafe/SIMD safety audit.
+//!
+//! Two rules: `unsafe-safety` — every `unsafe` block or `unsafe fn` must
+//! carry a `// SAFETY:` (or `/// # Safety` doc) justification within the
+//! lookback window the parser enforces; `simd-dispatch` — every
+//! `#[target_feature]` fn may only be reached from callers that either
+//! consult the cached runtime detector (`active_isa`,
+//! `is_x86_feature_detected!`) or are themselves `#[target_feature]`
+//! (same-ISA kernel helpers). Calling a `#[target_feature]` fn from an
+//! unchecked caller is UB on hardware without the feature, which is
+//! exactly the bug class runtime dispatch exists to prevent.
+
+use super::{allowed, AuditFinding};
+use crate::callgraph::CallGraph;
+
+pub fn check(graph: &CallGraph<'_>, out: &mut Vec<AuditFinding>) {
+    for n in 0..graph.nodes.len() {
+        let item = graph.item(n);
+        let file = graph.file(n);
+        if item.is_test {
+            continue;
+        }
+
+        // unsafe-safety: aggregate uncovered sites per fn so one missing
+        // comment on a fn with several blocks is one reviewable finding.
+        let uncovered: Vec<u32> = item
+            .unsafe_sites
+            .iter()
+            .filter(|s| !s.has_safety_comment && !allowed(file, "unsafe-safety", s.line))
+            .map(|s| s.line)
+            .collect();
+        if let Some(&first) = uncovered.first() {
+            let label = graph.label(n);
+            let lines = uncovered
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(AuditFinding {
+                rule: "unsafe-safety",
+                path: file.rel_path.clone(),
+                line: first,
+                msg: format!(
+                    "`{label}` has unsafe code (line{} {lines}) without a \
+                     `// SAFETY:` justification",
+                    if uncovered.len() > 1 { "s" } else { "" },
+                ),
+                fingerprint: format!("unsafe-safety:{}:{label}", file.rel_path),
+                chain: Vec::new(),
+            });
+        }
+    }
+
+    // simd-dispatch: scan edges into #[target_feature] targets.
+    for caller in 0..graph.nodes.len() {
+        let c_item = graph.item(caller);
+        if c_item.is_test || c_item.has_feature_check || c_item.has_target_feature {
+            continue;
+        }
+        for e in &graph.edges[caller] {
+            let t_item = graph.item(e.to);
+            if !t_item.has_target_feature {
+                continue;
+            }
+            let file = graph.file(caller);
+            if allowed(file, "simd-dispatch", e.line) {
+                continue;
+            }
+            let c_label = graph.label(caller);
+            let t_label = graph.label(e.to);
+            out.push(AuditFinding {
+                rule: "simd-dispatch",
+                path: file.rel_path.clone(),
+                line: e.line,
+                msg: format!(
+                    "`{c_label}` calls `#[target_feature]` fn `{t_label}` without \
+                     consulting the runtime feature detector (`active_isa` / \
+                     `is_x86_feature_detected!`)"
+                ),
+                fingerprint: format!("simd-dispatch:{}:{c_label}->{t_label}", file.rel_path),
+                chain: Vec::new(),
+            });
+        }
+    }
+}

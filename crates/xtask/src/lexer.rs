@@ -6,12 +6,15 @@
 //! not enough either: `unwrap` inside a string literal or a doc comment
 //! must not fire. This lexer produces a faithful token stream that skips
 //! comments and strings while still *reading* comments, because trailing
-//! `// deepod-lint: allow(<rule>)` directives are the suppression
-//! mechanism (see DESIGN.md §7).
+//! `// deepod-lint: allow(<rule>)` / `// deepod-audit: allow(<rule>)`
+//! directives are the suppression mechanism (see DESIGN.md §7, §13) and
+//! comments containing `SAFETY:` justify `unsafe` for the audit pass.
+//! String literal *contents* are kept on the token (the metrics/obs
+//! consistency analysis needs the literal metric names).
 //!
-//! Deliberately unsupported (not used in this workspace): byte-string
-//! escapes beyond `\"`/`\\` fidelity (contents are discarded anyway) and
-//! nested generic disambiguation (a token-level linter never needs it).
+//! Deliberately unsupported (not used in this workspace): full escape
+//! decoding beyond the common `\n`/`\t`/`\"`/`\\` forms and nested
+//! generic disambiguation (a token-level linter never needs it).
 
 use std::collections::{HashMap, HashSet};
 
@@ -24,7 +27,7 @@ pub enum TokKind {
     Int,
     /// Float literal (has a fractional part, exponent, or f32/f64 suffix).
     Float,
-    /// String literal of any flavor (contents discarded).
+    /// String literal of any flavor (`text` holds the decoded contents).
     Str,
     /// Char literal.
     Char,
@@ -39,7 +42,7 @@ pub enum TokKind {
 pub struct Token {
     /// Coarse kind.
     pub kind: TokKind,
-    /// Source text (empty for string literals).
+    /// Source text (decoded contents for string literals).
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
@@ -65,17 +68,25 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Lines (1-based) on which each rule is suppressed. A directive
     /// comment suppresses its own line *and* the following line, so both
-    /// trailing and standalone-line-above placements work.
+    /// trailing and standalone-line-above placements work. Lint and audit
+    /// directives share this map; their rule names do not collide.
     pub allows: HashMap<u32, HashSet<String>>,
+    /// Lines (1-based) on which a comment containing `SAFETY:` (or a
+    /// `# Safety` doc-section header) starts. The unsafe audit accepts a
+    /// justification comment on the same line as the `unsafe` keyword or
+    /// within a few lines above it.
+    pub safety_lines: HashSet<u32>,
 }
 
-/// Records an allow directive found in a comment at `line`.
+/// Records an allow directive (`deepod-lint:` or `deepod-audit:`) found
+/// in a comment at `line`.
 fn record_allows(allows: &mut HashMap<u32, HashSet<String>>, comment: &str, line: u32) {
-    let Some(pos) = comment.find("deepod-lint:") else {
-        return;
+    let pos = match (comment.find("deepod-lint:"), comment.find("deepod-audit:")) {
+        (Some(p), _) => p + "deepod-lint:".len(),
+        (None, Some(p)) => p + "deepod-audit:".len(),
+        (None, None) => return,
     };
-    let rest = &comment[pos + "deepod-lint:".len()..];
-    let rest = rest.trim_start();
+    let rest = comment[pos..].trim_start();
     let Some(list) = rest.strip_prefix("allow(") else {
         return;
     };
@@ -86,6 +97,20 @@ fn record_allows(allows: &mut HashMap<u32, HashSet<String>>, comment: &str, line
             allows.entry(line).or_default().insert(rule.to_string());
             allows.entry(line + 1).or_default().insert(rule.to_string());
         }
+    }
+}
+
+/// Decodes the character after a backslash in a string literal. Only the
+/// escapes this workspace uses are mapped; anything else passes through,
+/// which is fine because decoded contents are only *matched*, not
+/// re-emitted as Rust.
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
     }
 }
 
@@ -104,6 +129,14 @@ pub fn lex(src: &str) -> Lexed {
         "..=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "->", "=>", "::", "..", "&&", "||",
         "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>",
     ];
+
+    // A leading `#!` shebang line (but not an inner attribute `#![...]`)
+    // is not Rust tokens; skip it wholesale.
+    if n >= 2 && b[0] == '#' && b[1] == '!' && (n == 2 || b[2] != '[') {
+        while i < n && b[i] != '\n' {
+            i += 1;
+        }
+    }
 
     while i < n {
         let c = b[i];
@@ -124,6 +157,9 @@ pub fn lex(src: &str) -> Lexed {
             }
             let text: String = b[start..i].iter().collect();
             record_allows(&mut out.allows, &text, line);
+            if text.contains("SAFETY:") || text.contains("# Safety") {
+                out.safety_lines.insert(line);
+            }
             continue;
         }
         if c == '/' && i + 1 < n && b[i + 1] == '*' {
@@ -145,6 +181,9 @@ pub fn lex(src: &str) -> Lexed {
             }
             let text: String = b[start..i.min(n)].iter().collect();
             record_allows(&mut out.allows, &text, start_line);
+            if text.contains("SAFETY:") || text.contains("# Safety") {
+                out.safety_lines.insert(start_line);
+            }
             continue;
         }
         // Raw / byte strings: r"...", r#"..."#, b"...", br#"..."#.
@@ -161,6 +200,7 @@ pub fn lex(src: &str) -> Lexed {
             let is_raw = c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r');
             if j < n && b[j] == '"' && (is_raw || (c == 'b' && hashes == 0)) {
                 let tline = line;
+                let mut content = String::new();
                 if is_raw {
                     // Scan to closing quote followed by `hashes` hashes.
                     j += 1;
@@ -178,6 +218,7 @@ pub fn lex(src: &str) -> Lexed {
                                 break 'raw;
                             }
                         }
+                        content.push(b[j]);
                         j += 1;
                     }
                 } else {
@@ -186,8 +227,14 @@ pub fn lex(src: &str) -> Lexed {
                     while j < n && b[j] != '"' {
                         if b[j] == '\\' {
                             j += 1;
-                        } else if b[j] == '\n' {
-                            line += 1;
+                            if j < n {
+                                content.push(unescape(b[j]));
+                            }
+                        } else {
+                            if b[j] == '\n' {
+                                line += 1;
+                            }
+                            content.push(b[j]);
                         }
                         j += 1;
                     }
@@ -195,7 +242,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 out.tokens.push(Token {
                     kind: TokKind::Str,
-                    text: String::new(),
+                    text: content,
                     line: tline,
                 });
                 i = j;
@@ -205,19 +252,26 @@ pub fn lex(src: &str) -> Lexed {
         }
         if c == '"' {
             let tline = line;
+            let mut content = String::new();
             i += 1;
             while i < n && b[i] != '"' {
                 if b[i] == '\\' {
                     i += 1;
-                } else if b[i] == '\n' {
-                    line += 1;
+                    if i < n {
+                        content.push(unescape(b[i]));
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    content.push(b[i]);
                 }
                 i += 1;
             }
             i += 1;
             out.tokens.push(Token {
                 kind: TokKind::Str,
-                text: String::new(),
+                text: content,
                 line: tline,
             });
             continue;
@@ -428,5 +482,73 @@ mod tests {
         let ts = kinds("let m = 1.max(2);");
         assert!(ts.contains(&(TokKind::Int, "1".into())));
         assert!(ts.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let ts = kinds("a /* outer /* inner */ still.comment() */ b");
+        assert_eq!(
+            ts,
+            vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())],
+            "tokens inside the nested comment must not leak"
+        );
+    }
+
+    #[test]
+    fn lifetime_tick_before_closing_angle_is_not_a_char() {
+        // `'a>` — the tick is followed by an ident then `>`, so it is a
+        // lifetime; a naive lexer eats `a>` looking for a closing quote
+        // and silently swallows the rest of the generics.
+        let ts = kinds("struct S<'a>(&'a str);");
+        assert_eq!(
+            ts.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert!(!ts.iter().any(|(k, _)| *k == TokKind::Char));
+        assert!(ts.contains(&(TokKind::Ident, "str".into())));
+    }
+
+    #[test]
+    fn byte_raw_strings_hide_their_contents() {
+        let ts = kinds(r###"let s = br#"x.unwrap() "q" panic!()"#; after"###);
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!ts.iter().any(|(_, t)| t == "unwrap" || t == "panic"));
+        assert!(ts.contains(&(TokKind::Ident, "after".into())));
+    }
+
+    #[test]
+    fn leading_shebang_is_skipped_but_inner_attribute_is_not() {
+        let ts = kinds("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert_eq!(ts[0], (TokKind::Ident, "fn".into()), "{ts:?}");
+        // `#![allow(dead_code)]` must still lex as tokens.
+        let ts = kinds("#![allow(dead_code)]\n");
+        assert!(ts.contains(&(TokKind::Ident, "allow".into())));
+    }
+
+    #[test]
+    fn string_contents_are_retained() {
+        let lx = lex("emit(\"serve.queue_depth\", r#\"raw.name\"#, \"a\\nb\");");
+        let strs: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["serve.queue_depth", "raw.name", "a\nb"]);
+    }
+
+    #[test]
+    fn safety_comment_lines_are_recorded() {
+        let lx = lex("a\n// SAFETY: len checked above\nunsafe { x() }\n/* SAFETY: aligned */\n");
+        assert!(lx.safety_lines.contains(&2));
+        assert!(lx.safety_lines.contains(&4));
+        assert!(!lx.safety_lines.contains(&1));
+    }
+
+    #[test]
+    fn audit_allow_directives_share_the_allows_map() {
+        let lx = lex("// deepod-audit: allow(no-panic)\nv[0];\n");
+        assert!(lx.allows.get(&1).unwrap().contains("no-panic"));
+        assert!(lx.allows.get(&2).unwrap().contains("no-panic"));
     }
 }

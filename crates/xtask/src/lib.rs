@@ -10,7 +10,10 @@
 //! The pass is deliberately dependency-free (hand-rolled lexer, `std`
 //! only) so the gate builds in seconds and runs offline.
 
+pub mod audit;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use rules::{check_file, check_parallel_coverage, collect_pub_fns, collect_test_fn_names};
@@ -126,4 +129,60 @@ pub fn lint_file_as(path: &Path, crate_name: &str) -> std::io::Result<Vec<Findin
     let mut out = Vec::new();
     check_file(&ctx, &mut out);
     Ok(out)
+}
+
+/// Parses every workspace `.rs` file into the item-level representation
+/// the audit analyses run over (same walk/skip rules as the linter,
+/// minus `crates/xtask` itself: the audit certifies the *product*
+/// crates, and dev tooling sharing method names with them — `item`,
+/// `parse` — would only inject false edges).
+pub fn parse_workspace(root: &Path) -> std::io::Result<Vec<parser::ParsedFile>> {
+    let crates_dir = root.join("crates");
+    let mut paths = Vec::new();
+    collect_rs_files(&crates_dir, &mut paths)?;
+    let mut files = Vec::new();
+    for path in &paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        let lexed = lexer::lex(&src);
+        files.push(parser::parse_file(
+            &rel,
+            crate_of(&rel),
+            &lexed,
+            path_is_test_only(&rel),
+            path_is_bin(&rel),
+        ));
+    }
+    Ok(files)
+}
+
+/// Runs the full audit over the workspace with the default hot-path
+/// roots. I/O failure is `Err`; findings are never.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<audit::AuditFinding>> {
+    let files = parse_workspace(root)?;
+    Ok(audit::run(&files, &audit::DEFAULT_ROOTS))
+}
+
+/// Audits a set of files in isolation with explicit roots (fixture-test
+/// entry point; missing-root findings for roots outside the set still
+/// fire, so fixtures pass the roots their file actually defines).
+pub fn audit_files_as(
+    paths: &[(&Path, &str)],
+    roots: &[(&str, &str)],
+) -> std::io::Result<Vec<audit::AuditFinding>> {
+    let mut files = Vec::new();
+    for (path, crate_name) in paths {
+        let src = std::fs::read_to_string(path)?;
+        let lexed = lexer::lex(&src);
+        let rel = path.to_string_lossy().replace('\\', "/");
+        files.push(parser::parse_file(&rel, crate_name, &lexed, false, false));
+    }
+    Ok(audit::run(&files, roots))
 }

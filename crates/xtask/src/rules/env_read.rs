@@ -1,0 +1,37 @@
+//! `no-env-read-in-lib`: configuration flows through
+//! `deepod_core::RuntimeConfig`, resolved once in the binary — an
+//! environment read buried in a library makes behavior depend on which
+//! module initialized first. (`env::args` and the `env!` macro are not
+//! reads of ambient configuration and stay legal.)
+
+use super::{FileCtx, Finding};
+
+pub(super) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_bin {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("env")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_ident("var") || n.is_ident("var_os") || n.is_ident("vars"))
+        {
+            ctx.push(
+                out,
+                "no-env-read-in-lib",
+                t.line,
+                format!(
+                    "`env::{}` in library code; resolve configuration once at binary \
+                     startup via `deepod_core::RuntimeConfig` and pass it in",
+                    toks[i + 2].text
+                ),
+            );
+        }
+    }
+}

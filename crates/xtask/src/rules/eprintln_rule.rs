@@ -1,0 +1,32 @@
+//! `no-bare-eprintln`: library stderr must flow through the
+//! observability layer — bare `eprintln!`s ignore the DEEPOD_LOG level
+//! gate and race the single-writer lock, interleaving under threads > 1.
+
+use super::{FileCtx, Finding};
+
+pub(super) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_bin {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if (t.is_ident("eprintln") || t.is_ident("eprint"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            ctx.push(
+                out,
+                "no-bare-eprintln",
+                t.line,
+                format!(
+                    "`{}!` in library code bypasses the `deepod_core::obs` level gate \
+                     and single-writer lock; emit a leveled event instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}

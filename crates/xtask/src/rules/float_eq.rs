@@ -1,0 +1,32 @@
+//! `float-eq`: exact `==`/`!=` against a float literal. Use a tolerance,
+//! an ordering comparison, or an explicit allow for intentional
+//! exact-zero tests.
+
+use super::{FileCtx, Finding};
+use crate::lexer::TokKind;
+
+pub(super) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct("==") || t.is_punct("!=") {
+            let float_adjacent = (i > 0 && toks[i - 1].kind == TokKind::Float)
+                || toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float);
+            if float_adjacent {
+                ctx.push(
+                    out,
+                    "float-eq",
+                    t.line,
+                    format!(
+                        "exact float comparison `{}`; use a tolerance, an ordering \
+                         comparison, or an explicit allow for intentional exact-zero tests",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}

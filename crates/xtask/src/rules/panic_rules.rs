@@ -1,0 +1,58 @@
+//! Panic-safety rules: `unwrap`, `expect`, `panic` — library code must
+//! return typed errors instead of crashing (DESIGN.md §7). Binary entry
+//! points are exempt: a CLI top level may crash with a message.
+
+use super::{FileCtx, Finding};
+
+pub(super) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_bin {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let line = t.line;
+        if t.is_ident("unwrap")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            ctx.push(
+                out,
+                "unwrap",
+                line,
+                "`.unwrap()` in library code; return a typed error or restructure \
+                 so the invariant is explicit"
+                    .into(),
+            );
+        }
+        if t.is_ident("expect")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            ctx.push(
+                out,
+                "expect",
+                line,
+                "`.expect(..)` in library code; return a typed error instead".into(),
+            );
+        }
+        if (t.is_ident("panic") || t.is_ident("unimplemented") || t.is_ident("todo"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            ctx.push(
+                out,
+                "panic",
+                line,
+                format!(
+                    "`{}!` in library code; return a typed error instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}

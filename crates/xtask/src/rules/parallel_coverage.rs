@@ -1,0 +1,36 @@
+//! `parallel-coverage`: every `pub fn` of `deepod_tensor::parallel` must
+//! have a regression test whose name contains both the function name and
+//! `serial`, pinning the `threads = 1 == serial` contract by name.
+
+use super::Finding;
+use crate::lexer::Lexed;
+use std::collections::BTreeSet;
+
+pub fn check_parallel_coverage(
+    parallel_rel_path: &str,
+    pub_fns: &[(String, u32)],
+    test_names: &BTreeSet<String>,
+    allows: &Lexed,
+    out: &mut Vec<Finding>,
+) {
+    for (name, line) in pub_fns {
+        let covered = test_names
+            .iter()
+            .any(|t| t.contains(name.as_str()) && t.contains("serial"));
+        let allowed = allows
+            .allows
+            .get(line)
+            .is_some_and(|s| s.contains("parallel-coverage"));
+        if !covered && !allowed {
+            out.push(Finding {
+                rule: "parallel-coverage",
+                path: parallel_rel_path.to_string(),
+                line: *line,
+                msg: format!(
+                    "pub fn `{name}` has no `*{name}*serial*` regression test pinning \
+                     the threads=1 == serial contract"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `no-unchecked-simd`: a `_mm*` intrinsic call site outside a
+//! `#[target_feature]` fn is undefined behavior on CPUs without the
+//! feature, and a `#[target_feature]` fn in a file with no
+//! `is_x86_feature_detected!` dispatcher proves nothing about the CPU.
+//! Applies everywhere, bins included: an illegal instruction is a crash
+//! no matter which binary emits it. The `audit` pass upgrades this
+//! file-local rule to call-graph precision (`simd-dispatch`).
+
+use super::{FileCtx, FileState, Finding};
+use crate::lexer::TokKind;
+
+pub(super) fn check(ctx: &FileCtx<'_>, state: &FileState, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        // Imported intrinsic *names* don't count as call sites.
+        if t.kind == TokKind::Ident && t.text.starts_with("_mm") && !state.use_mask[i] {
+            if !state.target_feature_mask[i] {
+                ctx.push(
+                    out,
+                    "no-unchecked-simd",
+                    t.line,
+                    format!(
+                        "intrinsic `{}` outside a `#[target_feature]` fn is undefined \
+                         behavior on CPUs without the feature; move it into a \
+                         `#[target_feature]` fn reached via a runtime-detection dispatcher",
+                        t.text
+                    ),
+                );
+            } else if !state.has_feature_detect {
+                ctx.push(
+                    out,
+                    "no-unchecked-simd",
+                    t.line,
+                    format!(
+                        "intrinsic `{}` is inside a `#[target_feature]` fn, but this file \
+                         never calls `is_x86_feature_detected!`; gate the call behind \
+                         runtime feature detection",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Fixture tests proving every deepod-audit analysis live: each seeded
+//! flow defect fires (with the right fingerprint/witness shape), each
+//! clean fixture produces zero false positives, the baseline round-trips,
+//! and the real workspace must be clean against the checked-in
+//! `audit-baseline.json` — that last test *is* the gate, reachable from
+//! plain `cargo test`.
+
+use std::path::{Path, PathBuf};
+use xtask::audit::{AuditFinding, Baseline};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("audit")
+        .join(name)
+}
+
+/// Audits one fixture file as library code of crate `demo` with the
+/// given no-panic roots (path suffixes are matched against the fixture
+/// file name).
+fn audit_one(name: &str, roots: &[(&str, &str)]) -> Vec<AuditFinding> {
+    let path = fixture(name);
+    xtask::audit_files_as(&[(&path, "demo")], roots).expect("fixture readable")
+}
+
+fn rules_of(findings: &[AuditFinding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// --- no-panic -------------------------------------------------------------
+
+#[test]
+fn no_panic_fires_with_witness_chains() {
+    let findings = audit_one(
+        "no_panic_firing.rs",
+        &[("no_panic_firing.rs", "serve_entry")],
+    );
+    assert_eq!(rules_of(&findings), vec!["no-panic", "no-panic"]);
+
+    let index = findings
+        .iter()
+        .find(|f| f.fingerprint.ends_with(":index"))
+        .expect("indexing finding");
+    assert!(
+        index.msg.contains("`no_panic_firing::prepare`"),
+        "{}",
+        index.msg
+    );
+    assert_eq!(index.chain.len(), 2, "root -> prepare: {:?}", index.chain);
+    assert!(index.chain[0].contains("serve_entry"), "{:?}", index.chain);
+
+    let unwrap = findings
+        .iter()
+        .find(|f| f.fingerprint.ends_with(":unwrap"))
+        .expect("unwrap finding");
+    // serve_entry -> combine -> reduce_max, each hop carrying file:line.
+    assert_eq!(unwrap.chain.len(), 3, "{:?}", unwrap.chain);
+    assert!(
+        unwrap
+            .chain
+            .iter()
+            .all(|hop| hop.contains("no_panic_firing.rs:")),
+        "every hop cites a call site: {:?}",
+        unwrap.chain
+    );
+}
+
+#[test]
+fn no_panic_clean_has_zero_false_positives() {
+    let findings = audit_one("no_panic_clean.rs", &[("no_panic_clean.rs", "serve_entry")]);
+    assert_eq!(rules_of(&findings), Vec::<&str>::new(), "{findings:#?}");
+}
+
+#[test]
+fn missing_root_is_itself_a_finding() {
+    let findings = audit_one("no_panic_clean.rs", &[("no_panic_clean.rs", "gone_entry")]);
+    assert_eq!(rules_of(&findings), vec!["no-panic"]);
+    assert_eq!(
+        findings[0].fingerprint,
+        "no-panic:missing-root:no_panic_clean.rs:gone_entry"
+    );
+}
+
+// --- unsafe-safety / simd-dispatch ---------------------------------------
+
+#[test]
+fn unsafe_rules_fire() {
+    let findings = audit_one("unsafe_firing.rs", &[]);
+    assert_eq!(rules_of(&findings), vec!["unsafe-safety", "simd-dispatch"]);
+    assert!(
+        findings[0].msg.contains("no_comment"),
+        "{}",
+        findings[0].msg
+    );
+    assert!(
+        findings[1]
+            .fingerprint
+            .ends_with("bad_dispatch->unsafe_firing::kern"),
+        "{}",
+        findings[1].fingerprint
+    );
+}
+
+#[test]
+fn unsafe_clean_has_zero_false_positives() {
+    let findings = audit_one("unsafe_clean.rs", &[]);
+    assert_eq!(rules_of(&findings), Vec::<&str>::new(), "{findings:#?}");
+}
+
+// --- lock-order / lock-across-send ---------------------------------------
+
+#[test]
+fn lock_rules_fire_including_transitive_order() {
+    let findings = audit_one("lock_firing.rs", &[]);
+    assert_eq!(rules_of(&findings), vec!["lock-order", "lock-across-send"]);
+    // The queue->registry direction only exists *transitively*
+    // (outer holds queue, tick acquires registry).
+    assert_eq!(findings[0].fingerprint, "lock-order:queue<->registry");
+    assert!(
+        findings[0].msg.contains("both orders"),
+        "{}",
+        findings[0].msg
+    );
+    assert!(
+        findings[1].fingerprint.contains(":notify:queue:send"),
+        "{}",
+        findings[1].fingerprint
+    );
+}
+
+#[test]
+fn lock_clean_has_zero_false_positives() {
+    let findings = audit_one("lock_clean.rs", &[]);
+    assert_eq!(rules_of(&findings), Vec::<&str>::new(), "{findings:#?}");
+}
+
+// --- metrics-consistency --------------------------------------------------
+
+#[test]
+fn metrics_rule_fires() {
+    let findings = audit_one("metrics_firing.rs", &[]);
+    assert_eq!(rules_of(&findings), vec!["metrics-consistency"]);
+    assert_eq!(findings[0].fingerprint, "metrics-consistency:fixture.ticks");
+}
+
+#[test]
+fn metrics_clean_has_zero_false_positives() {
+    let findings = audit_one("metrics_clean.rs", &[]);
+    assert_eq!(rules_of(&findings), Vec::<&str>::new(), "{findings:#?}");
+}
+
+// --- baseline -------------------------------------------------------------
+
+#[test]
+fn baseline_loads_partitions_and_reports_stale() {
+    let baseline = Baseline::load(&fixture("baseline_ok.json")).expect("well-formed");
+    assert_eq!(baseline.fingerprints.len(), 2);
+
+    let findings = audit_one(
+        "no_panic_firing.rs",
+        &[("no_panic_firing.rs", "serve_entry")],
+    );
+    let part = baseline.partition(&findings);
+    // The fixture file's own path differs from the baseline's demo path,
+    // so nothing matches: both findings unbaselined, both entries stale.
+    assert_eq!(part.unbaselined.len(), 2);
+    assert_eq!(part.baselined, 0);
+    assert_eq!(part.stale.len(), 2);
+
+    // A baseline rendered from the findings absorbs them exactly.
+    let rendered = xtask::audit::baseline::render(&part.unbaselined);
+    let dir = std::env::temp_dir().join(format!("deepod-audit-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("roundtrip.json");
+    std::fs::write(&path, rendered).expect("write baseline");
+    let reloaded = Baseline::load(&path).expect("round-trips");
+    let part2 = reloaded.partition(&findings);
+    assert_eq!(part2.unbaselined.len(), 0);
+    assert_eq!(part2.baselined, 2);
+    assert_eq!(part2.stale.len(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_baseline_is_empty_but_malformed_is_an_error() {
+    let missing = Baseline::load(&fixture("no_such_baseline.json")).expect("missing = empty");
+    assert!(missing.fingerprints.is_empty());
+    let err = Baseline::load(&fixture("baseline_bad.json"));
+    assert!(err.is_err(), "malformed baseline must not silently pass");
+}
+
+// --- the gate -------------------------------------------------------------
+
+#[test]
+fn workspace_audit_is_clean_against_checked_in_baseline() {
+    // crates/xtask -> crates -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = xtask::audit_workspace(&root).expect("workspace readable");
+    let baseline = Baseline::load(&root.join("audit-baseline.json")).expect("baseline parses");
+    let part = baseline.partition(&findings);
+    assert!(
+        part.unbaselined.is_empty(),
+        "unbaselined audit findings:\n{}",
+        part.unbaselined
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        part.stale.is_empty(),
+        "stale baseline entries (re-run `cargo run -p xtask -- audit --update-baseline`):\n{}",
+        part.stale.join("\n")
+    );
+}

@@ -1,34 +1,65 @@
 #!/usr/bin/env bash
-# Full local gate: release build, test suite, fault injection,
-# warning-free clippy, formatting, and the workspace invariant checker
-# (deepod-lint).
+# Full local gate. Cheap static stages run first (formatting, clippy,
+# deepod-lint, deepod-audit) so a style slip or invariant violation
+# fails in seconds, before the multi-minute build/test stages; per-stage
+# wall-clock timings print at the end.
 # Run from anywhere; operates on the workspace containing this script.
-# Any failing step (including lint findings) exits nonzero.
+# Any failing step (including lint/audit findings) exits nonzero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
+TIMINGS=()
+stage() {
+  local name=$1
+  shift
+  local t0 t1
+  t0=$(date +%s)
+  "$@"
+  t1=$(date +%s)
+  TIMINGS+=("$(printf '%-16s %4ds' "$name" "$((t1 - t0))")")
+}
+
+report() {
+  echo
+  echo "check.sh stage timings:"
+  local line
+  for line in "${TIMINGS[@]}"; do
+    echo "  $line"
+  done
+}
+trap report EXIT
+
+# --- cheap static gates first ---------------------------------------------
+stage fmt        cargo fmt --check
+stage clippy     cargo clippy --workspace --all-targets -- -D warnings
+# Per-line invariant checker (token level: determinism, panic hygiene,
+# numeric hygiene, parallel serial-equivalence coverage).
+stage lint       cargo run -q -p xtask -- lint
+# Call-graph analyses (flow level: no-panic certification of the serving
+# hot path, unsafe/SIMD safety, lock order, metrics consistency) gated on
+# zero unbaselined findings against audit-baseline.json.
+stage audit      cargo run -q -p xtask -- audit
+
+# --- build + test ----------------------------------------------------------
+stage build      cargo build --release
+stage test       cargo test -q
 # Fault-injection stage: drives the real `deepod` binary under several
 # DEEPOD_FAILPOINTS schedules (epoch-boundary kill, mid-epoch step kill,
 # injected worker panic, torn-rename crash) and asserts lossless,
 # bit-identical resume plus checksum rejection of corrupt checkpoints.
-cargo test -q -p deepod-cli --test crash_resume
+stage crash      cargo test -q -p deepod-cli --test crash_resume
 # Observability stage: JSON-log golden format, checksummed metrics.json
 # artifact contents, obs-on/off bit-identity, thread-invariant counters,
 # and hard rejection of malformed DEEPOD_FAILPOINTS (exit 78).
-cargo test -q -p deepod-cli --test observability
+stage obs        cargo test -q -p deepod-cli --test observability
 # Serving stage: drives `deepod serve` over its stdin/stdout JSON
 # protocol — 1000 requests through one process in input order,
 # queue-full backpressure under --reject-when-full, and corrupt-model
 # degradation to route-tte fallback answers with exit code 2.
-cargo test -q -p deepod-cli --test serve
+stage serve      cargo test -q -p deepod-cli --test serve
 # Kernel stage: property tests proving the packed/SIMD matmul, matvec,
 # axpy, and int8 paths bit-identical to the scalar reference (DESIGN.md
 # §12 determinism contract), then the eval-side precision gate on a
 # fixture model — int8 MAPE must stay within the configured delta of f32.
-cargo test -q -p deepod-tensor --test kernel_props
-cargo test -q -p deepod-eval precision
-cargo clippy --workspace --all-targets -- -D warnings
-cargo fmt --check
-cargo run -q -p xtask -- lint
+stage kernels    cargo test -q -p deepod-tensor --test kernel_props
+stage precision  cargo test -q -p deepod-eval precision
