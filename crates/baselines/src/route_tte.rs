@@ -19,6 +19,10 @@ use std::collections::HashMap;
 const BUCKETS: usize = 7 * 12;
 
 /// Route-based TTE via learned per-segment speeds.
+///
+/// `Clone` is cheap relative to a refit and exists for the serve-side
+/// supervisor, which rebuilds a fallback replica after a worker crash.
+#[derive(Clone)]
 pub struct RouteTtePredictor {
     /// Mean speed per (edge, bucket), m/s.
     speeds: HashMap<(u32, u16), f32>,

@@ -4,18 +4,32 @@
 //! batches bottom out in. Each `serve/workload64_batchN` number is the
 //! wall-clock for all 64 answers, so a smaller mean directly means higher
 //! throughput — the batched configurations must not be slower than the
-//! batch-1 (single-query) one. Run with
+//! batch-1 (single-query) one.
+//!
+//! On top of the closed-loop numbers, an **open-loop arrival sweep** drives
+//! the engine at fixed inter-arrival intervals (clients do not wait for
+//! replies before sending the next request) and reports per-request latency
+//! percentiles at workers ∈ {1, 4}: `serve/openloop_w{W}_u{U}_p{50,99}`,
+//! where `U` is the offered load as a percentage of the calibrated
+//! single-worker service rate. Closed-loop means hide queueing delay;
+//! the open-loop tail is where extra worker shards actually pay off.
+//!
+//! Run with
 //! `DEEPOD_BENCH_JSON=BENCH_serve.json cargo bench -p deepod-bench -- serve`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, record_stats, Criterion, Stats};
 use deepod_core::{DeepOdConfig, DeepOdModel, EmbeddingInit, FeatureContext, PredictRequest};
 use deepod_roadnet::CityProfile;
 use deepod_serve::{Backend, EngineConfig, InferenceEngine};
 use deepod_traj::{CityDataset, DatasetBuilder, DatasetConfig};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const WORKLOAD: usize = 64;
+
+/// Requests per open-loop run: enough that a p99 is ~5 observations.
+const OPENLOOP_REQUESTS: usize = 512;
 
 fn setup() -> (
     Arc<CityDataset>,
@@ -38,6 +52,22 @@ fn setup() -> (
     (Arc::new(ds), ctx, model, reqs)
 }
 
+fn engine_with(workers: usize, max_batch: usize, max_wait_ms: u64) -> InferenceEngine {
+    let (ds, ctx, model, _) = setup();
+    InferenceEngine::start(
+        Backend::Model(Box::new(model)),
+        ctx,
+        ds,
+        EngineConfig {
+            max_batch,
+            max_wait_ms,
+            queue_capacity: OPENLOOP_REQUESTS,
+            workers,
+            ..EngineConfig::default()
+        },
+    )
+}
+
 /// The full serving path — submit 64 requests, collect 64 replies —
 /// at the three characteristic micro-batch sizes. `max_wait_ms: 0` makes
 /// the batch size the only coalescing variable being measured.
@@ -53,7 +83,7 @@ fn bench_serve(c: &mut Criterion) {
                 max_batch,
                 max_wait_ms: 0,
                 queue_capacity: WORKLOAD,
-                threads: 0,
+                ..EngineConfig::default()
             },
         );
         group.bench_function(&format!("workload64_batch{max_batch}"), |b| {
@@ -77,14 +107,114 @@ fn bench_serve(c: &mut Criterion) {
         b.iter(|| black_box(model.estimate_batch(&ctx, &ds.net, black_box(&reqs), 0)));
     });
     group.finish();
+
+    bench_openloop();
+}
+
+/// `sorted` must be ascending; nearest-rank percentile.
+fn percentile(sorted: &[f64], p: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted.len() * p).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Calibrates the mean closed-loop service time of one request (batch-1,
+/// single worker), which anchors the open-loop arrival intervals.
+fn calibrate_service_ns(reqs: &[PredictRequest]) -> f64 {
+    let engine = engine_with(1, 1, 0);
+    // Warm the path once before timing.
+    for r in reqs.iter().take(8) {
+        engine
+            .submit(r.clone())
+            .expect("queue accepts")
+            .recv()
+            .expect("engine answers");
+    }
+    let t0 = Instant::now();
+    let mut answered = 0u32;
+    for r in reqs.iter().cycle().take(64) {
+        engine
+            .submit(r.clone())
+            .expect("queue accepts")
+            .recv()
+            .expect("engine answers");
+        answered += 1;
+    }
+    let per_req = t0.elapsed().as_nanos() as f64 / f64::from(answered);
+    engine.shutdown();
+    per_req.max(1.0)
+}
+
+/// One open-loop run: submit `OPENLOOP_REQUESTS` requests at a fixed
+/// inter-arrival interval regardless of reply progress; a collector thread
+/// clocks each request's submit→reply latency. Returns latencies in ns,
+/// sorted ascending.
+fn openloop_latencies(
+    engine: &InferenceEngine,
+    reqs: &[PredictRequest],
+    interval: Duration,
+) -> Vec<f64> {
+    let (tx, rx) = std::sync::mpsc::channel::<(Instant, deepod_serve::ReplyHandle)>();
+    let collector = std::thread::spawn(move || {
+        let mut lat = Vec::with_capacity(OPENLOOP_REQUESTS);
+        while let Ok((submitted, handle)) = rx.recv() {
+            handle.recv().expect("engine answers");
+            lat.push(submitted.elapsed().as_nanos() as f64);
+        }
+        lat
+    });
+    let start = Instant::now();
+    for (i, r) in reqs.iter().cycle().take(OPENLOOP_REQUESTS).enumerate() {
+        // Open-loop: arrivals are scheduled by the clock, not by replies.
+        let due = interval * i as u32;
+        if let Some(wait) = due.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let handle = engine.submit(r.clone()).expect("queue accepts");
+        tx.send((Instant::now(), handle)).expect("collector alive");
+    }
+    drop(tx);
+    let mut lat = collector.join().expect("collector thread");
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    lat
+}
+
+/// The open-loop sweep: workers ∈ {1, 4} × offered load ∈ {50%, 90%} of
+/// the calibrated single-worker service rate, reporting p50/p99 latency.
+fn bench_openloop() {
+    let (_, _, _, reqs) = setup();
+    let service_ns = calibrate_service_ns(&reqs);
+    for workers in [1usize, 4] {
+        for load_pct in [50u64, 90] {
+            // interval = service_time / load: 50% load ⇒ arrivals at twice
+            // the service time, 90% ⇒ just above saturation of one worker.
+            let interval = Duration::from_nanos((service_ns * 100.0 / load_pct as f64) as u64);
+            let engine = engine_with(workers, 8, 1);
+            let lat = openloop_latencies(&engine, &reqs, interval);
+            engine.shutdown();
+            for (pct, name) in [(50usize, "p50"), (99, "p99")] {
+                let v = percentile(&lat, pct);
+                record_stats(Stats {
+                    id: format!("serve/openloop_w{workers}_u{load_pct}_{name}"),
+                    mean_ns: v,
+                    min_ns: v,
+                    max_ns: v,
+                    samples: lat.len(),
+                    iters_per_sample: 1,
+                });
+            }
+        }
+    }
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_secs(1));
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
     targets = bench_serve
 }
 criterion_main!(benches);

@@ -24,7 +24,8 @@ USAGE:
   deepod eval     --data FILE --model FILE [--precision <f32|int8>]
                   [--int8-mape-bound PP]
   deepod serve    --data FILE --model FILE [--max-batch N] [--max-wait-ms MS]
-                  [--queue N] [--threads T] [--reject-when-full]
+                  [--queue N] [--threads T] [--workers N] [--deadline-ms MS]
+                  [--retry-budget N] [--reject-when-full]
                   [--precision <f32|int8>] [--int8-mape-bound PP]
   deepod info     --data FILE
   deepod help
@@ -35,8 +36,20 @@ serve reads newline-delimited JSON requests on stdin —
 --max-wait-ms of waiting), and answers in input order on stdout:
   {\"id\":1,\"eta_s\":412.5,\"degraded\":false}
 By default a full queue blocks the reader (backpressure); with
---reject-when-full overloaded requests are answered immediately with a
-\"queue full\" error line instead.
+--reject-when-full admission runs through a degradation ladder driven by
+queue depth (healthy -> degrade-to-fallback -> shed \"priority\":\"low\"
+requests -> reject all) with hysteresis, instead of a binary \"queue
+full\" cliff.
+
+Fault tolerance: --workers N shards the queue over N supervised workers
+(env DEEPOD_SERVE_WORKERS; default 1), each with a copy-on-write model
+replica; a panicking worker is restarted and its in-flight requests are
+retried up to --retry-budget times (deterministic backoff) before
+failing with a typed \"worker crashed\" reply. --deadline-ms sheds
+requests that wait longer than MS in the queue (\"deadline exceeded\")
+before they reach a batch. Chaos-test the machinery with
+DEEPOD_FAILPOINTS sites serve::worker_batch / serve::slow_batch /
+serve::drop_reply (actions kill|panic|sleep[=MS]).
 
 Precision: --precision int8 serves per-row-quantized weights (f32
 accumulation) — faster and smaller, *gated* on accuracy: the int8 model
@@ -416,22 +429,31 @@ fn int8_backend(
 /// a reply still in flight inside the engine, or a line that is already
 /// final (parse errors, queue-full rejections).
 enum OutItem {
-    Pending(u64, std::sync::mpsc::Receiver<deepod_serve::EngineReply>),
+    Pending(u64, deepod_serve::ReplyHandle),
     Ready(String),
 }
 
 fn serve(args: &Args) -> Result<Outcome, String> {
-    use deepod_serve::{Backend, EngineConfig, InferenceEngine, ServeError};
+    use deepod_serve::{Backend, EngineConfig, InferenceEngine, Priority};
     use std::io::{BufRead, Write};
     use std::sync::Arc;
 
     let ds = Arc::new(load_dataset(args.require("data")?)?);
     let model_path = args.require("model")?;
+    // `--workers` beats DEEPOD_SERVE_WORKERS beats the single-worker
+    // default (the historically bit-identical configuration).
+    let default_workers = match deepod_core::configured_serve_workers() {
+        0 => 1,
+        n => n,
+    };
     let config = EngineConfig {
         max_batch: args.get_parsed("max-batch", 64usize)?,
         max_wait_ms: args.get_parsed("max-wait-ms", 5u64)?,
         queue_capacity: args.get_parsed("queue", 256usize)?,
         threads: args.get_parsed("threads", 0usize)?,
+        workers: args.get_parsed("workers", default_workers)?,
+        deadline_ms: args.get_parsed("deadline-ms", 0u64)?,
+        retry_budget: args.get_parsed("retry-budget", 0u32)?,
     };
     let reject_when_full = args.has_switch("reject-when-full");
 
@@ -461,7 +483,24 @@ fn serve(args: &Args) -> Result<Outcome, String> {
         }
     };
     let precision_name = backend.precision_name();
-    let engine = InferenceEngine::start(backend, ctx, Arc::clone(&ds), config);
+    // The degradation ladder only acts on the try_submit path, so the
+    // per-request fallback replica is only worth fitting when
+    // --reject-when-full enables that path (and the primary backend is not
+    // already the fallback).
+    let ladder_fallback = if reject_when_full && !matches!(backend, Backend::RouteTte(_)) {
+        let mut fb = RouteTtePredictor::new();
+        fb.fit(&ds);
+        Some(fb)
+    } else {
+        None
+    };
+    let engine = InferenceEngine::start_with_fallback(
+        backend,
+        ladder_fallback,
+        ctx,
+        Arc::clone(&ds),
+        config,
+    );
     deepod_core::obs::info(
         "serve",
         "engine up; reading requests from stdin",
@@ -469,6 +508,12 @@ fn serve(args: &Args) -> Result<Outcome, String> {
             ("max_batch", engine.config().max_batch.into()),
             ("max_wait_ms", engine.config().max_wait_ms.into()),
             ("queue", engine.config().queue_capacity.into()),
+            ("workers", engine.config().workers.into()),
+            ("deadline_ms", engine.config().deadline_ms.into()),
+            (
+                "retry_budget",
+                u64::from(engine.config().retry_budget).into(),
+            ),
             ("precision", precision_name.into()),
             ("degraded", degraded_backend.into()),
         ],
@@ -490,9 +535,10 @@ fn serve(args: &Args) -> Result<Outcome, String> {
                         }
                         Err(e) => deepod_serve::protocol::render_error(Some(id), &e.to_string()),
                     },
-                    Err(_) => {
-                        deepod_serve::protocol::render_error(Some(id), "engine dropped the request")
-                    }
+                    // Typed queueing failure: worker crash past its retry
+                    // budget, an expired deadline, or shutdown. The handle
+                    // resolves rather than hangs — exactly one line per id.
+                    Err(e) => deepod_serve::protocol::render_error(Some(id), &e.to_string()),
                 },
             };
             if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
@@ -516,25 +562,32 @@ fn serve(args: &Args) -> Result<Outcome, String> {
                     weather: ds.traffic.weather().at(wire.depart),
                 };
                 let req = PredictRequest::Raw(od);
+                let priority = if wire.low_priority {
+                    Priority::Low
+                } else {
+                    Priority::Normal
+                };
                 // Submitting while the StdinLock is live is the intended
                 // single-producer design: only this loop reads stdin, so
                 // nothing can contend the guard, and the engine queue has
                 // its own backpressure.
                 let submitted = if reject_when_full {
-                    // deepod-audit: allow(lock-across-send)
-                    engine.try_submit(req)
+                    // Admission-controlled path: the degradation ladder
+                    // decides, and queue-full rejections retry on the
+                    // deterministic backoff up to --retry-budget.
+                    engine.try_submit_retry(req, priority)
                 } else {
                     // deepod-audit: allow(lock-across-send)
                     engine.submit(req)
                 };
                 match submitted {
                     Ok(rx) => OutItem::Pending(wire.id, rx),
-                    Err(e @ (ServeError::QueueFull { .. } | ServeError::ShuttingDown)) => {
-                        OutItem::Ready(deepod_serve::protocol::render_error(
-                            Some(wire.id),
-                            &e.to_string(),
-                        ))
-                    }
+                    // Typed shed/reject/shutdown: answer immediately so
+                    // every request line still yields exactly one reply.
+                    Err(e) => OutItem::Ready(deepod_serve::protocol::render_error(
+                        Some(wire.id),
+                        &e.to_string(),
+                    )),
                 }
             }
             Err(why) => OutItem::Ready(deepod_serve::protocol::render_error(None, &why)),

@@ -59,7 +59,7 @@ pub use io_guard::IoGuardError;
 pub use model::{DeepOdModel, ModelError, PredictRequest, PredictResponse};
 pub use od_encoder::OdEncoder;
 pub use quantized::QuantizedModel;
-pub use runtime::{RuntimeConfig, RuntimeError, RuntimeOverrides};
+pub use runtime::{configured_serve_workers, RuntimeConfig, RuntimeError, RuntimeOverrides};
 pub use temporal_graph::{build_temporal_graph, temporal_graph_day_only};
 pub use timeslot::TimeSlots;
 pub use train::{CheckpointPolicy, CurvePoint, TrainOptions, TrainReport, Trainer};

@@ -19,6 +19,23 @@
 //! `src/bin/` files, which the lint exempts.
 
 use crate::obs::{self, Level, LogFormat};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker-shard count for the serve engine, installed
+/// by [`RuntimeConfig::apply`] from `DEEPOD_SERVE_WORKERS`. Zero means
+/// "unset" — the CLI falls back to its own default (one worker).
+static SERVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs the process-wide serve worker-shard default (`0` = unset).
+pub fn set_configured_serve_workers(n: usize) {
+    SERVE_WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// The serve worker-shard default installed by [`RuntimeConfig::apply`]
+/// (`0` when `DEEPOD_SERVE_WORKERS` was absent or unparseable).
+pub fn configured_serve_workers() -> usize {
+    SERVE_WORKERS.load(Ordering::Relaxed)
+}
 
 /// Flag-level overrides a binary resolved from its own argument list.
 /// Anything left `None` falls back to the environment, then defaults.
@@ -53,6 +70,9 @@ pub struct RuntimeConfig {
     /// [`RuntimeConfig::apply`], which surfaces malformed entries as
     /// [`RuntimeError::BadFailpoints`].
     pub failpoints: Option<String>,
+    /// Default worker-shard count for the serve engine (`0` = unset, the
+    /// CLI's `--workers` flag still wins). From `DEEPOD_SERVE_WORKERS`.
+    pub serve_workers: usize,
     /// An unrecognized `DEEPOD_LOG` value, kept so [`RuntimeConfig::apply`]
     /// can warn about it *after* the log pipeline is up. A typo'd level is
     /// not worth killing a training run over, but must not pass silently.
@@ -111,12 +131,17 @@ impl RuntimeConfig {
             .metrics_path
             .or_else(|| env("DEEPOD_METRICS").filter(|s| !s.is_empty()));
         let failpoints = env("DEEPOD_FAILPOINTS").filter(|s| !s.trim().is_empty());
+        let serve_workers = env("DEEPOD_SERVE_WORKERS")
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(0);
         RuntimeConfig {
             threads,
             log_level,
             log_format,
             metrics_path,
             failpoints,
+            serve_workers,
             bad_log_value,
         }
     }
@@ -141,6 +166,7 @@ impl RuntimeConfig {
             );
         }
         deepod_tensor::parallel::set_configured_threads(self.threads);
+        set_configured_serve_workers(self.serve_workers);
         // Materialize the metric keys every run must report (even at zero)
         // so snapshot key sets are comparable across runs.
         crate::io_guard::register_metrics();
@@ -175,6 +201,7 @@ mod tests {
         assert_eq!(cfg.log_format, None);
         assert_eq!(cfg.metrics_path, None);
         assert_eq!(cfg.failpoints, None);
+        assert_eq!(cfg.serve_workers, 0);
         assert_eq!(cfg.bad_log_value, None);
     }
 
@@ -186,6 +213,7 @@ mod tests {
             ("DEEPOD_LOG_FORMAT", "json"),
             ("DEEPOD_METRICS", "m.json"),
             ("DEEPOD_FAILPOINTS", "train::epoch:1"),
+            ("DEEPOD_SERVE_WORKERS", "4"),
         ]);
         let cfg = RuntimeConfig::resolve(RuntimeOverrides::default(), env);
         assert_eq!(cfg.threads, 4);
@@ -193,6 +221,7 @@ mod tests {
         assert_eq!(cfg.log_format, Some(LogFormat::Json));
         assert_eq!(cfg.metrics_path.as_deref(), Some("m.json"));
         assert_eq!(cfg.failpoints.as_deref(), Some("train::epoch:1"));
+        assert_eq!(cfg.serve_workers, 4);
     }
 
     #[test]
@@ -216,9 +245,11 @@ mod tests {
             ("DEEPOD_THREADS", "zero"),
             ("DEEPOD_LOG", "loud"),
             ("DEEPOD_METRICS", ""),
+            ("DEEPOD_SERVE_WORKERS", "lots"),
         ]);
         let cfg = RuntimeConfig::resolve(RuntimeOverrides::default(), env);
         assert_eq!(cfg.threads, 0, "unparseable thread count keeps default");
+        assert_eq!(cfg.serve_workers, 0, "unparseable worker count stays unset");
         assert_eq!(cfg.log_level, None, "bad level keeps the default gate");
         assert_eq!(cfg.bad_log_value.as_deref(), Some("loud"));
         assert_eq!(cfg.metrics_path, None, "empty metrics path is unset");

@@ -1,31 +1,37 @@
-//! The batched inference engine: a bounded request queue, a micro-batch
-//! coalescing worker, and backpressure (DESIGN.md §11).
+//! The batched inference engine: sharded bounded queues, supervised
+//! micro-batch workers, and admission control (DESIGN.md §11, §14).
 //!
 //! One [`InferenceEngine`] loads a model once and answers many
 //! [`PredictRequest`]s. Producers enqueue requests with [`submit`]
-//! (blocking flow control) or [`try_submit`] (fail fast with
-//! [`ServeError::QueueFull`]); a single worker thread drains the queue
-//! into micro-batches — closing a batch when it reaches
-//! [`EngineConfig::max_batch`] requests or when the oldest request has
-//! waited [`EngineConfig::max_wait_ms`] — and runs each batch through
-//! [`DeepOdModel::estimate_batch`], which fans out over
-//! `deepod_tensor::parallel`. Each reply travels back on a per-request
-//! channel, so producers can interleave submission and collection freely.
+//! (blocking flow control) or [`try_submit`] (admission-controlled by the
+//! [`crate::shed`] degradation ladder); requests are round-robined over
+//! [`EngineConfig::workers`] shards, each drained by a supervised worker
+//! thread (see [`crate::supervisor`]) that coalesces micro-batches —
+//! closing a batch at [`EngineConfig::max_batch`] requests or when the
+//! oldest request has waited [`EngineConfig::max_wait_ms`] — and runs
+//! each batch through [`DeepOdModel::estimate_batch`]. Each reply travels
+//! back on a per-request channel wrapped in a [`ReplyHandle`], which
+//! converts a dead reply slot into a typed [`ServeError::WorkerCrashed`]
+//! instead of ever blocking a caller forever.
 //!
 //! [`submit`]: InferenceEngine::submit
 //! [`try_submit`]: InferenceEngine::try_submit
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use deepod_baselines::{RouteTtePredictor, TtePredictor};
+use deepod_baselines::RouteTtePredictor;
 use deepod_core::obs::registry;
 use deepod_core::{
     DeepOdModel, FeatureContext, ModelError, PredictRequest, PredictResponse, QuantizedModel,
 };
 use deepod_traj::CityDataset;
+
+use crate::shed::{backoff_ms, Ladder, LadderConfig, LadderState};
+use crate::supervisor::{self, Master};
 
 /// Typed failures of the queueing layer — distinct from [`ModelError`],
 /// which describes a *processed* request that could not be answered.
@@ -40,6 +46,18 @@ pub enum ServeError {
     },
     /// The engine is shutting down and accepts no new work.
     ShuttingDown,
+    /// The worker processing the request panicked and its retry budget
+    /// (if any) is exhausted; the request was not answered.
+    WorkerCrashed,
+    /// The request's deadline expired before a worker admitted it into a
+    /// batch; it was shed unprocessed.
+    DeadlineExceeded,
+    /// The degradation ladder is at shed-low and this request was tagged
+    /// low-priority.
+    ShedLow,
+    /// The degradation ladder is at reject: all new requests are shed
+    /// until the queue drains.
+    Overloaded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -49,11 +67,31 @@ impl std::fmt::Display for ServeError {
                 write!(f, "queue full (capacity {capacity})")
             }
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::WorkerCrashed => {
+                write!(f, "worker crashed while the request was in flight")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request was processed")
+            }
+            ServeError::ShedLow => write!(f, "low-priority request shed under load"),
+            ServeError::Overloaded => write!(f, "overloaded (shedding all new requests)"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Scheduling class of a request, consumed by the degradation ladder:
+/// at shed-low, `Low` requests are rejected while `Normal` ones still
+/// get (possibly degraded) answers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Regular traffic; shed only at the reject level.
+    #[default]
+    Normal,
+    /// Best-effort traffic (bulk refreshes, prefetches); shed first.
+    Low,
+}
 
 /// Tunables for one engine instance.
 #[derive(Clone, Copy, Debug)]
@@ -63,11 +101,24 @@ pub struct EngineConfig {
     /// Longest the oldest queued request waits for companions before its
     /// batch closes anyway (the latency bound of coalescing).
     pub max_wait_ms: u64,
-    /// Bounded queue capacity; beyond it [`InferenceEngine::try_submit`]
-    /// rejects and [`InferenceEngine::submit`] blocks.
+    /// Bounded queue capacity *per worker shard*; beyond it
+    /// [`InferenceEngine::try_submit`] rejects and
+    /// [`InferenceEngine::submit`] blocks.
     pub queue_capacity: usize,
     /// Worker threads per batch (`0` = process-wide configured default).
     pub threads: usize,
+    /// Number of supervised worker shards draining the queue (min 1).
+    /// With `1` the engine is behaviorally identical to the historical
+    /// single-worker design.
+    pub workers: usize,
+    /// Per-request deadline in milliseconds (`0` = none): a request that
+    /// waits longer than this in the queue is shed with
+    /// [`ServeError::DeadlineExceeded`] instead of entering a batch.
+    pub deadline_ms: u64,
+    /// How many times a request may be retried after a transient failure
+    /// (worker crash mid-batch, retryable queue-full) before the error
+    /// surfaces to the caller (`0` = fail fast).
+    pub retry_budget: u32,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +128,9 @@ impl Default for EngineConfig {
             max_wait_ms: 5,
             queue_capacity: 256,
             threads: 0,
+            workers: 1,
+            deadline_ms: 0,
+            retry_budget: 0,
         }
     }
 }
@@ -96,6 +150,20 @@ pub enum Backend {
     RouteTte(Box<RouteTtePredictor>),
 }
 
+impl Clone for Backend {
+    /// Copy-on-write replica: `DeepOdModel` / `QuantizedModel` parameters
+    /// are `Arc`-backed, so a clone shares weight storage — this is the
+    /// per-worker replica path and the supervisor's rebuild-after-panic
+    /// path.
+    fn clone(&self) -> Backend {
+        match self {
+            Backend::Model(m) => Backend::Model(m.clone()),
+            Backend::Quantized(m) => Backend::Quantized(m.clone()),
+            Backend::RouteTte(p) => Backend::RouteTte(p.clone()),
+        }
+    }
+}
+
 impl Backend {
     /// Short name used in logs and the `serve.precision` metric.
     pub fn precision_name(&self) -> &'static str {
@@ -112,46 +180,127 @@ impl Backend {
 pub struct EngineReply {
     /// The prediction, or the per-request model error.
     pub result: Result<PredictResponse, ModelError>,
-    /// `true` when the answer came from the fallback backend.
+    /// `true` when the answer came from the fallback backend (either the
+    /// whole engine runs on it, or the ladder degraded this request).
     pub degraded: bool,
 }
 
-struct Pending {
-    req: PredictRequest,
-    tx: mpsc::Sender<EngineReply>,
-    enqueued: Instant,
+/// The receiving end of one request's reply slot. Unlike a bare channel
+/// receiver, a handle can never block forever: a reply slot dropped by a
+/// dying worker surfaces as [`ServeError::WorkerCrashed`].
+pub struct ReplyHandle {
+    rx: mpsc::Receiver<Result<EngineReply, ServeError>>,
 }
 
-struct QueueState {
-    items: VecDeque<Pending>,
-    closed: bool,
+impl ReplyHandle {
+    /// Waits for the reply. A closed slot (the worker died without
+    /// answering and supervision could not recover the request) maps to
+    /// [`ServeError::WorkerCrashed`] — the lost-reply hazard of the
+    /// single-worker engine is structurally gone.
+    pub fn recv(&self) -> Result<EngineReply, ServeError> {
+        match self.rx.recv() {
+            Ok(reply) => reply,
+            Err(mpsc::RecvError) => Err(ServeError::WorkerCrashed),
+        }
+    }
 }
 
-struct Shared {
-    queue: Mutex<QueueState>,
+pub(crate) struct Pending {
+    pub(crate) req: PredictRequest,
+    pub(crate) tx: mpsc::Sender<Result<EngineReply, ServeError>>,
+    pub(crate) enqueued: Instant,
+    /// Absolute shed point, when the engine runs with deadlines.
+    pub(crate) deadline: Option<Instant>,
+    /// Crash-retry count consumed so far (bounded by `retry_budget`).
+    pub(crate) attempts: u32,
+    /// The ladder was at `Degrade` or worse at admission: a fallback
+    /// answer is acceptable for this request.
+    pub(crate) degrade_ok: bool,
+}
+
+pub(crate) struct QueueState {
+    pub(crate) items: VecDeque<Pending>,
+    pub(crate) closed: bool,
+}
+
+/// One worker's slice of the engine: its queue, its condvars, and the
+/// stash the worker fills while a batch is in flight so the supervisor
+/// can recover the batch after a panic.
+pub(crate) struct Shard {
+    pub(crate) queue: Mutex<QueueState>,
     /// Signaled when work arrives or the queue closes (worker waits here).
-    work: Condvar,
+    pub(crate) work: Condvar,
     /// Signaled when the worker drains items (blocked producers wait here).
-    space: Condvar,
-    capacity: usize,
+    pub(crate) space: Condvar,
+    /// The batch currently being processed; taken back on success, or by
+    /// the supervisor after a worker panic (the "doomed batch").
+    pub(crate) in_flight: Mutex<Option<Vec<Pending>>>,
 }
 
-/// A long-lived inference engine: one background worker coalescing the
-/// queue into micro-batches. Dropping the engine (or calling
-/// [`InferenceEngine::shutdown`]) closes the queue, drains what is already
-/// enqueued, and joins the worker.
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            in_flight: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn lock_queue(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        // A poisoned queue lock means a producer or worker panicked
+        // mid-push; the VecDeque itself stays structurally valid, so
+        // keep serving.
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// State shared by producers, workers, and the supervisors.
+pub(crate) struct Shared {
+    pub(crate) shards: Vec<Shard>,
+    /// Per-shard queue capacity.
+    pub(crate) capacity: usize,
+    /// Total queued depth across all shards (the ladder's input).
+    pub(crate) depth: AtomicUsize,
+    pub(crate) ladder: Mutex<Ladder>,
+    pub(crate) config: EngineConfig,
+}
+
+/// A long-lived inference engine: [`EngineConfig::workers`] supervised
+/// worker threads coalescing sharded queues into micro-batches. Dropping
+/// the engine (or calling [`InferenceEngine::shutdown`]) closes the
+/// queues, drains what is already enqueued, and joins every worker.
 pub struct InferenceEngine {
     shared: Arc<Shared>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_shard: AtomicUsize,
     config: EngineConfig,
 }
 
 impl InferenceEngine {
-    /// Starts the engine: registers its metric keys (so every snapshot
-    /// carries them, even at zero) and spawns the batching worker, which
-    /// takes ownership of the backend, feature context, and dataset.
+    /// Starts the engine with no ladder fallback: requests admitted under
+    /// a degraded ladder level still run on the primary backend.
     pub fn start(
         backend: Backend,
+        ctx: FeatureContext,
+        ds: Arc<CityDataset>,
+        config: EngineConfig,
+    ) -> InferenceEngine {
+        InferenceEngine::start_with_fallback(backend, None, ctx, ds, config)
+    }
+
+    /// Starts the engine: registers its metric keys (so every snapshot
+    /// carries them, even at zero) and spawns one supervised worker per
+    /// shard, each with a copy-on-write replica of the backend. When a
+    /// fitted `fallback` is given, requests admitted while the ladder is
+    /// at `Degrade` or worse are answered by it (marked degraded) to
+    /// shed model latency under load.
+    pub fn start_with_fallback(
+        backend: Backend,
+        fallback: Option<RouteTtePredictor>,
         ctx: FeatureContext,
         ds: Arc<CityDataset>,
         config: EngineConfig,
@@ -159,31 +308,43 @@ impl InferenceEngine {
         registry::counter_add("serve.requests", 0);
         registry::counter_add("serve.degraded", 0);
         registry::counter_add("serve.rejected", 0);
+        registry::counter_add("serve.worker_restarts", 0);
+        registry::counter_add("serve.deadline_expired", 0);
+        registry::counter_add("serve.retries", 0);
+        registry::counter_add("serve.shed_low", 0);
+        registry::counter_add("serve.shed_reject", 0);
         registry::register_gauge("serve.queue_depth");
         registry::register_histogram("serve.batch_size");
         registry::register_histogram("serve.request_latency_ms");
         let config = EngineConfig {
             max_batch: config.max_batch.max(1),
             queue_capacity: config.queue_capacity.max(1),
+            workers: config.workers.max(1),
             ..config
         };
+        let total_capacity = config.queue_capacity.saturating_mul(config.workers);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                closed: false,
-            }),
-            work: Condvar::new(),
-            space: Condvar::new(),
+            shards: (0..config.workers).map(|_| Shard::new()).collect(),
             capacity: config.queue_capacity,
+            depth: AtomicUsize::new(0),
+            ladder: Mutex::new(Ladder::new(LadderConfig::for_capacity(total_capacity))),
+            config,
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::spawn(move || {
-            let mut backend = backend;
-            worker_loop(&worker_shared, &mut backend, &ctx, &ds, config);
+        let master = Arc::new(Master {
+            backend,
+            fallback,
+            ctx: Arc::new(ctx),
+            ds,
         });
+        let workers = (0..config.workers)
+            .map(|shard_idx| {
+                supervisor::spawn_supervised(Arc::clone(&shared), shard_idx, Arc::clone(&master))
+            })
+            .collect();
         InferenceEngine {
             shared,
-            worker: Some(worker),
+            workers,
+            next_shard: AtomicUsize::new(0),
             config,
         }
     }
@@ -193,11 +354,29 @@ impl InferenceEngine {
         self.config
     }
 
-    /// Enqueues a request, blocking while the queue is at capacity (flow
-    /// control for producers reading from a pipe). Returns the channel the
-    /// reply will arrive on.
-    pub fn submit(&self, req: PredictRequest) -> Result<mpsc::Receiver<EngineReply>, ServeError> {
-        let mut q = self.lock_queue();
+    /// The shard the next request lands on (round-robin). `None` only if
+    /// the engine somehow has zero shards — the constructor clamps
+    /// `workers` to 1, so callers treat it as shutdown.
+    fn pick_shard(&self) -> Option<&Shard> {
+        let n = self.shared.shards.len();
+        if n == 0 {
+            return None;
+        }
+        let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % n;
+        self.shared.shards.get(idx)
+    }
+
+    /// Enqueues a request, blocking while its shard is at capacity (flow
+    /// control for producers reading from a pipe). Returns the handle the
+    /// reply will arrive on. The blocking path bypasses the degradation
+    /// ladder — backpressure *is* its admission control — so a
+    /// single-worker engine with deadlines and retries off behaves
+    /// bit-identically to the historical design.
+    pub fn submit(&self, req: PredictRequest) -> Result<ReplyHandle, ServeError> {
+        let Some(shard) = self.pick_shard() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        let mut q = shard.lock_queue();
         loop {
             if q.closed {
                 return Err(ServeError::ShuttingDown);
@@ -205,19 +384,52 @@ impl InferenceEngine {
             if q.items.len() < self.shared.capacity {
                 break;
             }
-            q = self.shared.space.wait(q).unwrap_or_else(|p| p.into_inner());
+            q = shard.space.wait(q).unwrap_or_else(|p| p.into_inner());
         }
-        Ok(self.enqueue(q, req))
+        Ok(self.enqueue(shard, q, req, false))
     }
 
-    /// Enqueues a request without blocking: at capacity the request is
-    /// rejected with [`ServeError::QueueFull`] (and counted under
-    /// `serve.rejected`) so the caller can shed load explicitly.
-    pub fn try_submit(
+    /// Enqueues a request without blocking, under the degradation ladder:
+    /// at `Reject` everything is shed ([`ServeError::Overloaded`]), at
+    /// `ShedLow` low-priority requests are shed ([`ServeError::ShedLow`]),
+    /// and a full shard still rejects with [`ServeError::QueueFull`]. All
+    /// three count under `serve.rejected`.
+    pub fn try_submit(&self, req: PredictRequest) -> Result<ReplyHandle, ServeError> {
+        self.try_submit_with(req, Priority::Normal)
+    }
+
+    /// [`try_submit`](InferenceEngine::try_submit) with an explicit
+    /// priority class.
+    pub fn try_submit_with(
         &self,
         req: PredictRequest,
-    ) -> Result<mpsc::Receiver<EngineReply>, ServeError> {
-        let q = self.lock_queue();
+        priority: Priority,
+    ) -> Result<ReplyHandle, ServeError> {
+        // Observe the ladder before touching any queue lock: the depth is
+        // an atomic, so admission control never nests the ladder mutex
+        // inside a shard lock.
+        let depth = self.shared.depth.load(Ordering::Relaxed);
+        let state = {
+            let mut ladder = self.shared.ladder.lock().unwrap_or_else(|p| p.into_inner());
+            ladder.observe(depth)
+        };
+        match state {
+            LadderState::Reject => {
+                registry::counter_inc("serve.shed_reject");
+                registry::counter_inc("serve.rejected");
+                return Err(ServeError::Overloaded);
+            }
+            LadderState::ShedLow if priority == Priority::Low => {
+                registry::counter_inc("serve.shed_low");
+                registry::counter_inc("serve.rejected");
+                return Err(ServeError::ShedLow);
+            }
+            _ => {}
+        }
+        let Some(shard) = self.pick_shard() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        let q = shard.lock_queue();
         if q.closed {
             return Err(ServeError::ShuttingDown);
         }
@@ -227,47 +439,98 @@ impl InferenceEngine {
                 capacity: self.shared.capacity,
             });
         }
-        Ok(self.enqueue(q, req))
+        Ok(self.enqueue(shard, q, req, state >= LadderState::Degrade))
     }
 
-    /// Closes the queue, lets the worker drain everything already
-    /// enqueued, and joins it. Equivalent to dropping the engine, but
+    /// [`try_submit_with`](InferenceEngine::try_submit_with) plus a
+    /// bounded retry loop: a [`ServeError::QueueFull`] rejection retries
+    /// up to [`EngineConfig::retry_budget`] times with the deterministic
+    /// [`crate::shed::backoff_ms`] schedule (counted under
+    /// `serve.retries`). Deliberate sheds — overload, low-priority,
+    /// shutdown — are not retried; retrying into an overloaded engine
+    /// only deepens the overload.
+    pub fn try_submit_retry(
+        &self,
+        req: PredictRequest,
+        priority: Priority,
+    ) -> Result<ReplyHandle, ServeError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_submit_with(req.clone(), priority) {
+                Err(ServeError::QueueFull { .. }) if attempt < self.config.retry_budget => {
+                    registry::counter_inc("serve.retries");
+                    std::thread::sleep(Duration::from_millis(backoff_ms(attempt)));
+                    attempt = attempt.saturating_add(1);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Closes the queues, lets every worker drain what is already
+    /// enqueued, and joins them. Equivalent to dropping the engine, but
     /// explicit at call sites that care about ordering.
     pub fn shutdown(mut self) {
         self.close_and_join();
     }
 
-    fn lock_queue(&self) -> std::sync::MutexGuard<'_, QueueState> {
-        // A poisoned queue lock means a producer panicked mid-push; the
-        // VecDeque itself stays structurally valid, so keep serving.
-        self.shared.queue.lock().unwrap_or_else(|p| p.into_inner())
-    }
-
     fn enqueue(
         &self,
+        shard: &Shard,
         mut q: std::sync::MutexGuard<'_, QueueState>,
         req: PredictRequest,
-    ) -> mpsc::Receiver<EngineReply> {
+        degrade_ok: bool,
+    ) -> ReplyHandle {
         let (tx, rx) = mpsc::channel();
+        let deadline = if self.config.deadline_ms > 0 {
+            Some(Instant::now() + Duration::from_millis(self.config.deadline_ms))
+        } else {
+            None
+        };
         q.items.push_back(Pending {
             req,
             tx,
             enqueued: Instant::now(),
+            deadline,
+            attempts: 0,
+            degrade_ok,
         });
+        self.shared.depth.fetch_add(1, Ordering::Relaxed);
         drop(q);
-        self.shared.work.notify_one();
-        rx
+        shard.work.notify_one();
+        ReplyHandle { rx }
     }
 
     fn close_and_join(&mut self) {
-        {
-            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        for shard in &self.shared.shards {
+            let mut q = shard.lock_queue();
             q.closed = true;
+            drop(q);
+            shard.work.notify_all();
+            shard.space.notify_all();
         }
-        self.shared.work.notify_all();
-        self.shared.space.notify_all();
-        if let Some(handle) = self.worker.take() {
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // Belt and braces: a supervisor can only exit with its queue
+        // drained, but if one ever died outright, fail its leftovers
+        // explicitly instead of leaving reply slots dangling.
+        for shard in &self.shared.shards {
+            let leftovers: Vec<Pending> = {
+                let mut q = shard.lock_queue();
+                q.items.drain(..).collect()
+            };
+            let stranded: Vec<Pending> = {
+                let mut slot = shard.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+                slot.take().unwrap_or_default()
+            };
+            for p in leftovers {
+                self.shared.depth.fetch_sub(1, Ordering::Relaxed);
+                let _ = p.tx.send(Err(ServeError::ShuttingDown));
+            }
+            for p in stranded {
+                let _ = p.tx.send(Err(ServeError::WorkerCrashed));
+            }
         }
     }
 }
@@ -275,106 +538,5 @@ impl InferenceEngine {
 impl Drop for InferenceEngine {
     fn drop(&mut self) {
         self.close_and_join();
-    }
-}
-
-/// The batching loop: wait for work, coalesce a micro-batch (size- or
-/// deadline-triggered), run it, reply, repeat — until the queue is closed
-/// *and* drained, so shutdown never drops an accepted request.
-fn worker_loop(
-    shared: &Shared,
-    backend: &mut Backend,
-    ctx: &FeatureContext,
-    ds: &CityDataset,
-    config: EngineConfig,
-) {
-    loop {
-        let batch = {
-            let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
-            // Wait for work; the oldest request anchors the coalescing
-            // deadline. The batch closes at max_batch requests, or when
-            // the *oldest* request has waited max_wait_ms (its latency
-            // bound), or at shutdown (drain immediately).
-            let deadline = loop {
-                if let Some(first) = q.items.front() {
-                    break first.enqueued + Duration::from_millis(config.max_wait_ms);
-                }
-                if q.closed {
-                    return;
-                }
-                q = shared.work.wait(q).unwrap_or_else(|p| p.into_inner());
-            };
-            while q.items.len() < config.max_batch && !q.closed {
-                let now = Instant::now();
-                let Some(remaining) = deadline.checked_duration_since(now) else {
-                    break; // deadline already passed
-                };
-                if remaining.is_zero() {
-                    break;
-                }
-                let (guard, timeout) = shared
-                    .work
-                    .wait_timeout(q, remaining)
-                    .unwrap_or_else(|p| p.into_inner());
-                q = guard;
-                if timeout.timed_out() {
-                    break;
-                }
-            }
-            let take = q.items.len().min(config.max_batch);
-            let batch: Vec<Pending> = q.items.drain(..take).collect();
-            registry::gauge_set("serve.queue_depth", q.items.len() as f64);
-            batch
-        };
-        // Producers blocked on a full queue can move again.
-        shared.space.notify_all();
-
-        registry::observe("serve.batch_size", batch.len() as f64);
-        registry::counter_add("serve.requests", batch.len() as u64);
-        let reqs: Vec<PredictRequest> = batch.iter().map(|p| p.req.clone()).collect();
-        let results: Vec<(Result<PredictResponse, ModelError>, bool)> = match backend {
-            Backend::Model(model) => model
-                .estimate_batch(ctx, &ds.net, &reqs, config.threads)
-                .into_iter()
-                .map(|r| (r, false))
-                .collect(),
-            Backend::Quantized(model) => model
-                .estimate_batch(ctx, &ds.net, &reqs, config.threads)
-                .into_iter()
-                .map(|r| (r, false))
-                .collect(),
-            Backend::RouteTte(predictor) => reqs
-                .iter()
-                .map(|r| (fallback_answer(predictor, r), true))
-                .collect(),
-        };
-        for (pending, (result, degraded)) in batch.into_iter().zip(results) {
-            registry::observe(
-                "serve.request_latency_ms",
-                pending.enqueued.elapsed().as_secs_f64() * 1e3,
-            );
-            if degraded {
-                registry::counter_inc("serve.degraded");
-            }
-            // A producer that dropped its receiver no longer wants the
-            // answer; that is not the engine's problem.
-            let _ = pending.tx.send(EngineReply { result, degraded });
-        }
-    }
-}
-
-/// Answers one request through the route-tte fallback. Encoded requests
-/// carry model-specific features the baseline cannot consume, so they get
-/// the same per-request error an unmatchable raw request would.
-fn fallback_answer(
-    predictor: &mut RouteTtePredictor,
-    req: &PredictRequest,
-) -> Result<PredictResponse, ModelError> {
-    match req {
-        PredictRequest::Raw(od) => predictor
-            .predict(od)
-            .map(|eta_seconds| PredictResponse { eta_seconds })
-            .ok_or(ModelError::UnmatchedEndpoints),
-        PredictRequest::Encoded(_) => Err(ModelError::UnmatchedEndpoints),
     }
 }

@@ -1,33 +1,56 @@
-//! deepod-serve — long-lived batched inference for DeepOD (DESIGN.md §11).
+//! deepod-serve — long-lived batched inference for DeepOD (DESIGN.md §11,
+//! §14).
 //!
 //! The training-side crates answer one query per call; serving wants the
 //! opposite shape: load the model **once**, then answer a stream of
-//! queries with bounded latency and bounded memory. This crate provides:
+//! queries with bounded latency and bounded memory — and keep answering
+//! through worker panics, slow batches, and overload. This crate provides:
 //!
-//! * [`InferenceEngine`] — a bounded MPSC request queue plus one worker
-//!   thread that coalesces requests into micro-batches (closing a batch at
+//! * [`InferenceEngine`] — [`EngineConfig::workers`] sharded bounded MPSC
+//!   queues, each drained by a supervised worker thread that coalesces
+//!   requests into micro-batches (closing a batch at
 //!   [`EngineConfig::max_batch`] requests or after the oldest request has
 //!   waited [`EngineConfig::max_wait_ms`]) and runs them through
-//!   [`deepod_core::DeepOdModel::estimate_batch`].
-//! * Backpressure — [`InferenceEngine::submit`] blocks producers when the
-//!   queue is full; [`InferenceEngine::try_submit`] fails fast with
-//!   [`ServeError::QueueFull`] so callers can shed load.
+//!   [`deepod_core::DeepOdModel::estimate_batch`] on a per-worker
+//!   copy-on-write model replica.
+//! * Supervision — a per-shard supervisor catches worker panics, restarts
+//!   the worker with its replica rebuilt (`serve.worker_restarts`), and
+//!   either requeues or fails the in-flight batch with a typed
+//!   [`ServeError::WorkerCrashed`]; a [`ReplyHandle`] can therefore never
+//!   block forever on a dead worker.
+//! * Deadlines and retries — [`EngineConfig::deadline_ms`] sheds requests
+//!   that expire before batch admission
+//!   ([`ServeError::DeadlineExceeded`]); [`EngineConfig::retry_budget`]
+//!   bounds crash/queue-full retries on the deterministic
+//!   [`shed::backoff_ms`] schedule.
+//! * Backpressure and shedding — [`InferenceEngine::submit`] blocks
+//!   producers when the queue is full; [`InferenceEngine::try_submit`]
+//!   fails fast under the [`shed`] degradation ladder (healthy → degrade →
+//!   shed-low → reject, with hysteresis) instead of a binary queue-full
+//!   cliff.
 //! * Graceful degradation — [`Backend::RouteTte`] serves baseline answers
 //!   (marked `degraded`) when the model file is unusable, instead of
-//!   taking the process down.
+//!   taking the process down; with a ladder fallback, requests admitted
+//!   under load degrade individually.
 //! * [`protocol`] — the newline-delimited JSON wire format the
 //!   `deepod serve` subcommand speaks on stdin/stdout.
 //!
 //! Everything is instrumented through `deepod_core::obs`: queue depth
 //! gauge, batch-size and request-latency histograms, request / degraded /
-//! rejected counters — all registered eagerly so metric snapshots carry
-//! the keys even for an idle engine.
+//! rejected / restart / deadline / retry / shed counters — all registered
+//! eagerly so metric snapshots carry the keys even for an idle engine.
 
 mod engine;
 pub mod protocol;
+pub mod shed;
+mod supervisor;
+mod worker;
 
-pub use engine::{Backend, EngineConfig, EngineReply, InferenceEngine, ServeError};
+pub use engine::{
+    Backend, EngineConfig, EngineReply, InferenceEngine, Priority, ReplyHandle, ServeError,
+};
 pub use protocol::WireRequest;
+pub use shed::{Ladder, LadderConfig, LadderState};
 
 #[cfg(test)]
 mod tests {
@@ -97,6 +120,41 @@ mod tests {
     }
 
     #[test]
+    fn multi_worker_engine_answers_every_request() {
+        let (ds, ctx, model) = tiny_setup();
+        let reqs: Vec<PredictRequest> = (0..16)
+            .map(|i| PredictRequest::Raw(od_of(&ds, i)))
+            .collect();
+        let direct = model.estimate_batch(&ctx, &ds.net, &reqs, 1);
+
+        let engine = InferenceEngine::start(
+            Backend::Model(Box::new(model)),
+            ctx,
+            Arc::clone(&ds),
+            EngineConfig {
+                max_batch: 4,
+                max_wait_ms: 1,
+                workers: 3,
+                ..EngineConfig::default()
+            },
+        );
+        let rxs: Vec<_> = reqs
+            .iter()
+            .map(|r| engine.submit(r.clone()).expect("queue accepts"))
+            .collect();
+        // Replicas share Arc-backed weights, so every shard answers
+        // bit-identically to the master model.
+        for (rx, expect) in rxs.into_iter().zip(direct) {
+            let reply = rx.recv().expect("engine answers before shutdown");
+            assert!(!reply.degraded);
+            let got = reply.result.expect("encoded od resolves");
+            let want = expect.expect("direct call resolves");
+            assert_eq!(got.eta_seconds.to_bits(), want.eta_seconds.to_bits());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
     fn try_submit_rejects_when_full_and_submit_blocks_until_drained() {
         let (ds, ctx, model) = tiny_setup();
         let engine = InferenceEngine::start(
@@ -108,11 +166,14 @@ mod tests {
                 max_wait_ms: 0,
                 queue_capacity: 1,
                 threads: 1,
+                ..EngineConfig::default()
             },
         );
         // Flood try_submit: with capacity 1 at least one rejection must
         // surface (the worker can drain between calls, so we only bound
-        // the outcome, not pin an exact count).
+        // the outcome, not pin an exact count). A capacity-1 ladder sits
+        // at Reject whenever anything is queued, so both rejection shapes
+        // are legitimate.
         let mut accepted = Vec::new();
         let mut rejected = 0usize;
         for i in 0..64 {
@@ -122,6 +183,7 @@ mod tests {
                     assert_eq!(capacity, 1);
                     rejected += 1;
                 }
+                Err(ServeError::Overloaded) => rejected += 1,
                 Err(other) => unreachable!("engine is not shutting down: {other}"),
             }
         }
@@ -189,5 +251,40 @@ mod tests {
             let reply = rx.recv().expect("accepted requests answered before join");
             reply.result.expect("resolves");
         }
+    }
+
+    #[test]
+    fn expired_requests_are_shed_with_a_typed_error() {
+        let (ds, ctx, model) = tiny_setup();
+        let engine = InferenceEngine::start(
+            Backend::Model(Box::new(model)),
+            ctx,
+            Arc::clone(&ds),
+            EngineConfig {
+                max_batch: 64,
+                // The batch only closes after 200ms, but every request
+                // expires after 1ms — all of them must be swept, none
+                // may reach the model.
+                max_wait_ms: 200,
+                deadline_ms: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let rxs: Vec<_> = (0..4)
+            .map(|i| {
+                engine
+                    .submit(PredictRequest::Raw(od_of(&ds, i)))
+                    .expect("queue accepts")
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        for rx in rxs {
+            let got = rx.recv();
+            assert!(
+                matches!(got, Err(ServeError::DeadlineExceeded)),
+                "expected a deadline shed, got {got:?}"
+            );
+        }
+        engine.shutdown();
     }
 }

@@ -6,6 +6,10 @@
 //! {"id": 1, "from": [1200.0, 3400.0], "to": [4100.0, 800.0], "depart": 3600.0}
 //! ```
 //!
+//! An optional `"priority": "low"` field tags best-effort traffic that the
+//! degradation ladder sheds first under load (`"normal"`, the default, is
+//! also accepted explicitly).
+//!
 //! One response per line on stdout, in input order:
 //!
 //! ```text
@@ -30,6 +34,9 @@ pub struct WireRequest {
     pub to: (f64, f64),
     /// Departure time (seconds since the dataset epoch).
     pub depart: f64,
+    /// `true` when the client tagged the request `"priority": "low"` —
+    /// shed first when the degradation ladder reaches shed-low.
+    pub low_priority: bool,
 }
 
 fn num_of(v: &Value, what: &str) -> Result<f64, String> {
@@ -72,11 +79,25 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         json::obj_field(&v, "depart").map_err(|e| e.to_string())?,
         "depart",
     )?;
+    // Optional field: absent means normal priority. A present-but-unknown
+    // value is an error — a client that *meant* to shed politely should
+    // not silently get normal treatment because of a typo.
+    let low_priority = match json::obj_field(&v, "priority").ok() {
+        None => false,
+        Some(Value::Str(p)) if p == "low" => true,
+        Some(Value::Str(p)) if p == "normal" => false,
+        Some(other) => {
+            return Err(format!(
+                "priority: expected \"low\" or \"normal\", got {other:?}"
+            ))
+        }
+    };
     Ok(WireRequest {
         id,
         from,
         to,
         depart,
+        low_priority,
     })
 }
 
@@ -117,6 +138,21 @@ mod tests {
         assert_eq!(w.from, (1200.0, 3400.0));
         assert_eq!(w.to, (4100.0, 800.5));
         assert_eq!(w.depart, 3600.0); // deepod-lint: allow(float-eq)
+        assert!(!w.low_priority, "absent priority defaults to normal");
+    }
+
+    #[test]
+    fn parses_priority_tags() {
+        let base = r#""from": [1, 2], "to": [3, 4], "depart": 0"#;
+        let low =
+            parse_request(&format!(r#"{{"id": 1, {base}, "priority": "low"}}"#)).expect("valid");
+        assert!(low.low_priority);
+        let normal =
+            parse_request(&format!(r#"{{"id": 1, {base}, "priority": "normal"}}"#)).expect("valid");
+        assert!(!normal.low_priority);
+        let err = parse_request(&format!(r#"{{"id": 1, {base}, "priority": "lo"}}"#))
+            .expect_err("typo'd priority must not pass silently");
+        assert!(err.contains("priority"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! The degradation ladder: queue-depth-driven admission control with
+//! hysteresis (DESIGN.md §14).
+//!
+//! Overload used to be binary — below capacity everything is admitted,
+//! at capacity `try_submit` rejects with `QueueFull`. That cliff makes
+//! the engine oscillate between "fine" and "shedding everything" with
+//! nothing in between. The ladder replaces it with four levels driven by
+//! watermarks on the *total* queued depth:
+//!
+//! ```text
+//! depth (pct of capacity):  0 ···· 60% ······ 80% ······ 95% ···· 100%
+//! level:               Healthy | Degrade | ShedLow      | Reject
+//! ```
+//!
+//! * **Healthy** — admit everything, answer on the primary backend.
+//! * **Degrade** — admit everything, but mark new requests eligible for
+//!   the cheap fallback backend (route-tte), trading accuracy for
+//!   latency headroom.
+//! * **ShedLow** — additionally reject requests tagged low-priority
+//!   (`ServeError::ShedLow`).
+//! * **Reject** — reject all new requests (`ServeError::Overloaded`);
+//!   only work already admitted drains.
+//!
+//! Transitions *up* (toward Reject) are immediate — overload protection
+//! must not lag. Transitions *down* require the depth to clear the
+//! watermark by a hysteresis band (10% of capacity) and step one level
+//! at a time, so a depth oscillating around a watermark cannot flap the
+//! ladder on every observation.
+//!
+//! The ladder is a pure state machine — no clocks, no locks, no threads —
+//! so the whole transition table is unit-testable line by line.
+
+/// Admission level, ordered from least to most degraded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderState {
+    /// Admit everything on the primary backend.
+    Healthy,
+    /// Admit everything; new requests may be answered by the fallback.
+    Degrade,
+    /// Reject low-priority requests, degrade the rest.
+    ShedLow,
+    /// Reject all new requests until the queue drains.
+    Reject,
+}
+
+impl LadderState {
+    /// Short name used in logs and metrics labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LadderState::Healthy => "healthy",
+            LadderState::Degrade => "degrade",
+            LadderState::ShedLow => "shed-low",
+            LadderState::Reject => "reject",
+        }
+    }
+}
+
+/// Watermark configuration, in percent of queue capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct LadderConfig {
+    /// Total queue capacity the percentages apply to (all shards).
+    pub capacity: usize,
+    /// Depth (pct) at or above which new requests become degrade-eligible.
+    pub degrade_pct: usize,
+    /// Depth (pct) at or above which low-priority requests are shed.
+    pub shed_low_pct: usize,
+    /// Depth (pct) at or above which everything is rejected.
+    pub reject_pct: usize,
+    /// Band (pct) the depth must clear *below* a watermark before the
+    /// ladder steps back down — the anti-flapping margin.
+    pub hysteresis_pct: usize,
+}
+
+impl LadderConfig {
+    /// The default watermarks for a queue of `capacity` slots:
+    /// degrade at 60%, shed-low at 80%, reject at 95%, 10% hysteresis.
+    pub fn for_capacity(capacity: usize) -> LadderConfig {
+        LadderConfig {
+            capacity: capacity.max(1),
+            degrade_pct: 60,
+            shed_low_pct: 80,
+            reject_pct: 95,
+            hysteresis_pct: 10,
+        }
+    }
+
+    /// A watermark in slots: `pct` of capacity, at least one slot so a
+    /// tiny queue still has distinct levels where possible.
+    fn slots(&self, pct: usize) -> usize {
+        (self.capacity.saturating_mul(pct) / 100).max(1)
+    }
+
+    /// The up-transition threshold (in slots) for entering `state`.
+    fn up_threshold(&self, state: LadderState) -> usize {
+        match state {
+            LadderState::Healthy => 0,
+            LadderState::Degrade => self.slots(self.degrade_pct),
+            LadderState::ShedLow => self.slots(self.shed_low_pct),
+            LadderState::Reject => self.slots(self.reject_pct),
+        }
+    }
+}
+
+/// The ladder itself: current level plus the watermark table.
+#[derive(Clone, Debug)]
+pub struct Ladder {
+    config: LadderConfig,
+    state: LadderState,
+}
+
+impl Ladder {
+    /// A ladder starting at `Healthy`.
+    pub fn new(config: LadderConfig) -> Ladder {
+        Ladder {
+            config,
+            state: LadderState::Healthy,
+        }
+    }
+
+    /// The current level without observing a new depth.
+    pub fn state(&self) -> LadderState {
+        self.state
+    }
+
+    /// Feeds one queue-depth observation and returns the (possibly
+    /// updated) level. Upward transitions jump straight to the highest
+    /// crossed watermark; downward transitions require the depth to
+    /// clear the watermark by the hysteresis band and step one level at
+    /// a time.
+    pub fn observe(&mut self, depth: usize) -> LadderState {
+        let target = self.level_for(depth);
+        if target > self.state {
+            self.state = target;
+        } else if target < self.state {
+            let band = self
+                .config
+                .capacity
+                .saturating_mul(self.config.hysteresis_pct)
+                / 100;
+            let current_floor = self.config.up_threshold(self.state);
+            // Step down only when the depth sits a full band below the
+            // watermark that put us at this level.
+            if depth.saturating_add(band) < current_floor {
+                self.state = match self.state {
+                    LadderState::Reject => LadderState::ShedLow,
+                    LadderState::ShedLow => LadderState::Degrade,
+                    LadderState::Degrade | LadderState::Healthy => LadderState::Healthy,
+                };
+            }
+        }
+        self.state
+    }
+
+    /// The level a depth maps to with no history (the up-transition map).
+    fn level_for(&self, depth: usize) -> LadderState {
+        if depth >= self.config.up_threshold(LadderState::Reject) {
+            LadderState::Reject
+        } else if depth >= self.config.up_threshold(LadderState::ShedLow) {
+            LadderState::ShedLow
+        } else if depth >= self.config.up_threshold(LadderState::Degrade) {
+            LadderState::Degrade
+        } else {
+            LadderState::Healthy
+        }
+    }
+}
+
+/// Deterministic backoff schedule shared by submit-retry and worker
+/// restart (the same shape as `io_guard`'s write retries: short, fixed,
+/// reproducible — never randomized, so chaos runs replay identically).
+pub const RETRY_BACKOFF_MS: [u64; 4] = [1, 4, 16, 64];
+
+/// Backoff delay before retry attempt `attempt` (0-based); attempts past
+/// the table reuse its last entry.
+pub fn backoff_ms(attempt: u32) -> u64 {
+    let idx = (attempt as usize).min(RETRY_BACKOFF_MS.len() - 1);
+    RETRY_BACKOFF_MS.get(idx).copied().unwrap_or(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder100() -> Ladder {
+        // capacity 100 → watermarks at depths 60 / 80 / 95, band 10.
+        Ladder::new(LadderConfig::for_capacity(100))
+    }
+
+    #[test]
+    fn watermark_crossings_move_up_immediately() {
+        // (depth, expected level after observing it, starting fresh)
+        let table: &[(usize, LadderState)] = &[
+            (0, LadderState::Healthy),
+            (59, LadderState::Healthy),
+            (60, LadderState::Degrade),
+            (79, LadderState::Degrade),
+            (80, LadderState::ShedLow),
+            (94, LadderState::ShedLow),
+            (95, LadderState::Reject),
+            (100, LadderState::Reject),
+        ];
+        for &(depth, want) in table {
+            let mut l = ladder100();
+            assert_eq!(l.observe(depth), want, "fresh ladder at depth {depth}");
+        }
+        // A single observation can jump multiple levels up.
+        let mut l = ladder100();
+        assert_eq!(l.observe(97), LadderState::Reject, "healthy -> reject");
+    }
+
+    #[test]
+    fn hysteresis_band_blocks_immediate_downshift() {
+        // (observation sequence, expected final level)
+        let table: &[(&[usize], LadderState)] = &[
+            // Enter Degrade at 60; 55 is inside the band (needs < 50).
+            (&[60, 55], LadderState::Degrade),
+            (&[60, 50], LadderState::Degrade),
+            (&[60, 49], LadderState::Healthy),
+            // Enter ShedLow at 80; needs < 70 to step down one level.
+            (&[80, 75], LadderState::ShedLow),
+            (&[80, 69], LadderState::Degrade),
+            // Enter Reject at 95; needs < 85 to step down one level.
+            (&[95, 90], LadderState::Reject),
+            (&[95, 84], LadderState::ShedLow),
+        ];
+        for (seq, want) in table {
+            let mut l = ladder100();
+            let mut got = l.state();
+            for &d in *seq {
+                got = l.observe(d);
+            }
+            assert_eq!(got, *want, "sequence {seq:?}");
+        }
+    }
+
+    #[test]
+    fn downshift_steps_one_level_at_a_time() {
+        let mut l = ladder100();
+        assert_eq!(l.observe(100), LadderState::Reject);
+        // Depth collapses to zero: the ladder walks down level by level,
+        // one observation per step — never snaps straight to Healthy.
+        assert_eq!(l.observe(0), LadderState::ShedLow);
+        assert_eq!(l.observe(0), LadderState::Degrade);
+        assert_eq!(l.observe(0), LadderState::Healthy);
+        assert_eq!(l.observe(0), LadderState::Healthy);
+    }
+
+    #[test]
+    fn oscillating_trace_around_a_watermark_does_not_flap() {
+        // Depth bounces across the Degrade watermark (60) within the
+        // hysteresis band: once Degrade is entered it must stay entered —
+        // zero transitions back — until the trace truly clears the band.
+        let mut l = ladder100();
+        l.observe(60);
+        assert_eq!(l.state(), LadderState::Degrade);
+        let mut transitions = 0;
+        let mut prev = l.state();
+        for depth in [58, 62, 55, 61, 59, 63, 57, 60, 56, 62] {
+            let s = l.observe(depth);
+            if s != prev {
+                transitions += 1;
+                prev = s;
+            }
+        }
+        assert_eq!(transitions, 0, "band-bounded oscillation must not flap");
+        assert_eq!(l.state(), LadderState::Degrade);
+        // Clearing the band by one slot finally releases the level.
+        assert_eq!(l.observe(49), LadderState::Healthy);
+    }
+
+    #[test]
+    fn tiny_capacity_still_has_a_reject_level() {
+        // capacity 1: every watermark clamps to 1 slot — one queued item
+        // is already full-on Reject, empty is Healthy (after walking the
+        // ladder down).
+        let mut l = Ladder::new(LadderConfig::for_capacity(1));
+        assert_eq!(l.observe(1), LadderState::Reject);
+        l.observe(0);
+        l.observe(0);
+        assert_eq!(l.observe(0), LadderState::Healthy);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_clamped() {
+        assert_eq!(backoff_ms(0), 1);
+        assert_eq!(backoff_ms(1), 4);
+        assert_eq!(backoff_ms(2), 16);
+        assert_eq!(backoff_ms(3), 64);
+        assert_eq!(backoff_ms(4), 64, "past the table reuses the last entry");
+        assert_eq!(backoff_ms(u32::MAX), 64);
+    }
+}

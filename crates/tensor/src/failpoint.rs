@@ -15,9 +15,12 @@
 //!   keeps its own counter, incremented on each visit).
 //! * `action` — `kill` (default): terminate the process immediately with
 //!   [`KILL_EXIT_CODE`], simulating a hard crash (no destructors, no
-//!   flushing — exactly what atomic writes must survive); or `panic`:
+//!   flushing — exactly what atomic writes must survive); `panic`:
 //!   unwind from the site, which is how worker-thread panic recovery is
-//!   exercised.
+//!   exercised; or `sleep[=MS]`: block the site for `MS` milliseconds
+//!   ([`DEFAULT_SLEEP_MS`] when omitted), which is how slow-batch /
+//!   deadline machinery is exercised without wall-clock-sensitive tests
+//!   guessing at scheduler jitter.
 //!
 //! A malformed entry (unknown action, non-numeric count) makes [`arm`]
 //! return an error *without arming anything*; the CLI turns that into an
@@ -47,6 +50,11 @@ pub const KILL_EXIT_CODE: i32 = 70;
 /// faults never fire passes vacuously.
 pub const CONFIG_EXIT_CODE: i32 = 78;
 
+/// Delay used by the `sleep` action when no `=MS` value is given: long
+/// enough to overrun any realistic per-request deadline in a test, short
+/// enough to keep chaos suites fast.
+pub const DEFAULT_SLEEP_MS: u64 = 100;
+
 /// What an armed failpoint does when its hit count is reached.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Action {
@@ -54,6 +62,9 @@ enum Action {
     Kill,
     /// Panic at the site (worker-thread fault injection).
     Panic,
+    /// Stall the site for the given number of milliseconds (slow-batch /
+    /// deadline fault injection); execution then continues normally.
+    Sleep(u64),
 }
 
 #[derive(Debug)]
@@ -124,8 +135,20 @@ fn parse_spec(part: &str) -> Result<(String, Spec), String> {
             Action::Kill
         } else if last.eq_ignore_ascii_case("panic") {
             Action::Panic
+        } else if last.eq_ignore_ascii_case("sleep") {
+            Action::Sleep(DEFAULT_SLEEP_MS)
+        } else if let Some(ms_text) = last
+            .strip_prefix("sleep=")
+            .or_else(|| last.strip_prefix("SLEEP="))
+        {
+            let ms: u64 = ms_text
+                .parse()
+                .map_err(|_| format!("'{part}': sleep delay '{ms_text}' is not a number"))?;
+            Action::Sleep(ms)
         } else {
-            return Err(format!("'{part}': unknown action '{last}' (kill|panic)"));
+            return Err(format!(
+                "'{part}': unknown action '{last}' (kill|panic|sleep[=MS])"
+            ));
         };
         let [_, nth_text, site] = fields.as_slice() else {
             return Err(format!("'{part}': missing hit count before '{last}'"));
@@ -204,6 +227,9 @@ pub fn fire(site: &str) {
             // deepod-lint: allow(panic)
             panic!("failpoint '{site}': injected panic");
         }
+        Action::Sleep(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
     }
 }
 
@@ -236,6 +262,27 @@ mod tests {
         assert_eq!(site, "train::epoch");
         assert_eq!(spec.action, Action::Kill);
         assert_eq!(spec.nth, 1);
+    }
+
+    #[test]
+    fn parses_sleep_actions() {
+        let (site, spec) = parse_spec("serve::slow_batch:1:sleep").expect("parses");
+        assert_eq!(site, "serve::slow_batch");
+        assert_eq!(spec.nth, 1);
+        assert_eq!(spec.action, Action::Sleep(DEFAULT_SLEEP_MS));
+
+        let (site, spec) = parse_spec("serve::slow_batch:2:sleep=250").expect("parses");
+        assert_eq!(site, "serve::slow_batch");
+        assert_eq!(spec.nth, 2);
+        assert_eq!(spec.action, Action::Sleep(250));
+    }
+
+    #[test]
+    fn rejects_malformed_sleep_delay() {
+        let err = parse_spec("serve::slow_batch:1:sleep=fast").expect_err("must reject");
+        assert!(err.contains("not a number"), "got: {err}");
+        let err = parse_spec("serve::slow_batch:1:sleeep").expect_err("must reject");
+        assert!(err.contains("unknown action"), "got: {err}");
     }
 
     #[test]

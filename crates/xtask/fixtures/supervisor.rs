@@ -1,0 +1,8 @@
+//! Clean fixture for `no-unsupervised-spawn`: a file whose path ends in
+//! `supervisor.rs` is the blessed spawn site — spawning here is the
+//! supervision layer doing its job, not a violation.
+
+fn spawn_supervised() {
+    std::thread::spawn(|| {});
+    let _ = std::thread::Builder::new().spawn(|| {});
+}

@@ -1,0 +1,25 @@
+//! Firing fixture for `no-unsupervised-spawn`: bare worker threads in
+//! the serve crate outside the supervisor module. Both the path form
+//! and the builder method form must fire; the allow directive and the
+//! test module must not.
+
+fn unsupervised() {
+    std::thread::spawn(|| {});
+}
+
+fn builder_spawn() {
+    let _ = std::thread::Builder::new().spawn(|| {});
+}
+
+fn blessed_call_site() {
+    // deepod-lint: allow(no-unsupervised-spawn)
+    std::thread::spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_threads_are_fine() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

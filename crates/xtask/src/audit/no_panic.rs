@@ -24,7 +24,7 @@ pub const DEFAULT_ROOTS: [(&str, &str); 9] = [
     ("crates/tensor/src/kernels.rs", "matvec_bias_act"),
     ("crates/tensor/src/kernels.rs", "matvec_i8_bias_act"),
     ("crates/tensor/src/kernels.rs", "axpy"),
-    ("crates/serve/src/engine.rs", "worker_loop"),
+    ("crates/serve/src/worker.rs", "worker_loop"),
     ("crates/serve/src/engine.rs", "submit"),
     ("crates/serve/src/engine.rs", "try_submit"),
 ];

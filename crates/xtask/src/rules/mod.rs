@@ -33,6 +33,9 @@
 //! | `no-unchecked-simd` | a `_mm*` intrinsic call site outside a               |
 //! |                     | `#[target_feature]` fn, or in a file with no         |
 //! |                     | `is_x86_feature_detected!` runtime dispatcher        |
+//! | `no-unsupervised-spawn` | a bare `thread::spawn` / `.spawn(` in            |
+//! |                     | `deepod-serve` outside `supervisor.rs` (panics would |
+//! |                     | strand queued requests behind a dead shard)          |
 //!
 //! The workspace-level *audit* rules (call-graph analyses, DESIGN.md §13)
 //! live under `crate::audit` but register here so both passes report
@@ -47,6 +50,7 @@ mod nondeterminism;
 mod panic_rules;
 mod parallel_coverage;
 mod simd;
+mod spawn;
 mod truncating_cast;
 
 pub use parallel_coverage::check_parallel_coverage;
@@ -62,7 +66,7 @@ use std::fmt;
 pub const DETERMINISTIC_CRATES: [&str; 4] = ["core", "nn", "tensor", "graphembed"];
 
 /// All lint rule names, in report order.
-pub const ALL_RULES: [&str; 11] = [
+pub const ALL_RULES: [&str; 12] = [
     "unwrap",
     "expect",
     "panic",
@@ -74,6 +78,7 @@ pub const ALL_RULES: [&str; 11] = [
     "no-bare-eprintln",
     "no-env-read-in-lib",
     "no-unchecked-simd",
+    "no-unsupervised-spawn",
 ];
 
 /// All audit rule names, in report order (analyses live in `crate::audit`).
@@ -129,7 +134,7 @@ pub struct RuleInfo {
 
 /// The single registry shared by `lint` and `audit`: every rule either
 /// pass can report, with its default severity and description.
-pub const REGISTRY: [RuleInfo; 17] = [
+pub const REGISTRY: [RuleInfo; 18] = [
     RuleInfo {
         id: "unwrap",
         pass: Pass::Lint,
@@ -195,6 +200,12 @@ pub const REGISTRY: [RuleInfo; 17] = [
         pass: Pass::Lint,
         severity: Severity::Deny,
         description: "_mm* intrinsic outside #[target_feature] or without runtime detection",
+    },
+    RuleInfo {
+        id: "no-unsupervised-spawn",
+        pass: Pass::Lint,
+        severity: Severity::Deny,
+        description: "bare thread spawn in deepod-serve outside the supervisor module",
     },
     RuleInfo {
         id: "no-panic",
@@ -350,6 +361,7 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     float_eq::check(ctx, out);
     fs_write::check(ctx, out);
     simd::check(ctx, &state, out);
+    spawn::check(ctx, out);
     truncating_cast::check(ctx, out);
 }
 
@@ -636,6 +648,63 @@ mod tests {
         let mut out = Vec::new();
         check_file(&ctx, &mut out);
         assert!(out.iter().any(|f| f.rule == "no-unchecked-simd"), "{out:?}");
+    }
+
+    #[test]
+    fn unsupervised_spawn_fires_in_serve_outside_supervisor() {
+        let lint_serve = |rel_path: &str, src: &str| {
+            let lexed = lex(src);
+            let ctx = FileCtx::new(rel_path, "serve", &lexed, false, false);
+            let mut out = Vec::new();
+            check_file(&ctx, &mut out);
+            out.retain(|f| f.rule == "no-unsupervised-spawn");
+            out
+        };
+        // Bare path spawn and builder-style `.spawn(` both fire.
+        let f = lint_serve(
+            "crates/serve/src/engine.rs",
+            "fn a() { std::thread::spawn(|| {}); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(
+            lint_serve(
+                "crates/serve/src/engine.rs",
+                "fn a() { thread::Builder::new().spawn(|| {}); }",
+            )
+            .len(),
+            1
+        );
+        // The supervisor module is the blessed spawn site.
+        assert!(lint_serve(
+            "crates/serve/src/supervisor.rs",
+            "fn a() { std::thread::spawn(|| {}); }",
+        )
+        .is_empty());
+        // Other crates, test code, and allow directives are exempt.
+        let lexed = lex("fn a() { std::thread::spawn(|| {}); }");
+        let ctx = FileCtx::new(
+            "crates/tensor/src/parallel.rs",
+            "tensor",
+            &lexed,
+            false,
+            false,
+        );
+        let mut out = Vec::new();
+        check_file(&ctx, &mut out);
+        assert!(
+            out.iter().all(|f| f.rule != "no-unsupervised-spawn"),
+            "{out:?}"
+        );
+        assert!(lint_serve(
+            "crates/serve/src/engine.rs",
+            "#[test]\nfn t() { std::thread::spawn(|| {}); }\n",
+        )
+        .is_empty());
+        assert!(lint_serve(
+            "crates/serve/src/engine.rs",
+            "fn a() { std::thread::spawn(|| {}); } // deepod-lint: allow(no-unsupervised-spawn)",
+        )
+        .is_empty());
     }
 
     #[test]

@@ -124,6 +124,26 @@ fn unchecked_simd_rule_fires() {
 }
 
 #[test]
+fn unsupervised_spawn_rule_fires() {
+    assert_eq!(
+        rules_fired("unsupervised_spawn.rs", "serve"),
+        vec!["no-unsupervised-spawn", "no-unsupervised-spawn"],
+        "path spawn and builder .spawn( fire; allow and tests do not"
+    );
+    // The same file linted as any other crate is silent: only the serve
+    // crate runs long-lived worker threads under supervision.
+    assert!(rules_fired("unsupervised_spawn.rs", "tensor").is_empty());
+}
+
+#[test]
+fn unsupervised_spawn_rule_blesses_the_supervisor_module() {
+    assert!(
+        rules_fired("supervisor.rs", "serve").is_empty(),
+        "the supervision layer is the one legal spawn site"
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_false_positives() {
     let findings = xtask::lint_file_as(&fixture("clean.rs"), "tensor").expect("fixture");
     assert!(findings.is_empty(), "false positives: {findings:#?}");

@@ -57,6 +57,11 @@ stage obs        cargo test -q -p deepod-cli --test observability
 # queue-full backpressure under --reject-when-full, and corrupt-model
 # degradation to route-tte fallback answers with exit code 2.
 stage serve      cargo test -q -p deepod-cli --test serve
+# Chaos stage: the same binary under DEEPOD_FAILPOINTS fault schedules
+# aimed at the serving engine (worker panic, slow batch, dropped reply,
+# saturation) — exactly one reply per request, supervised restarts
+# counted, deadlines swept, and single-worker bit-identity preserved.
+stage chaos      cargo test -q -p deepod-cli --test serve_chaos
 # Kernel stage: property tests proving the packed/SIMD matmul, matvec,
 # axpy, and int8 paths bit-identical to the scalar reference (DESIGN.md
 # §12 determinism contract), then the eval-side precision gate on a

@@ -244,6 +244,22 @@ impl Bencher {
     }
 }
 
+/// Records an externally computed result under the same registry the
+/// timed benchmarks report through, so derived numbers (latency
+/// percentiles from an open-loop run, throughput figures) land in the
+/// same `DEEPOD_BENCH_JSON` file as the `b.iter` measurements. The
+/// caller fills in every field, including `id`.
+pub fn record_stats(stats: Stats) {
+    println!(
+        "{:<48} value: {}  ({} samples × {} iters)",
+        stats.id,
+        human_time(stats.mean_ns),
+        stats.samples,
+        stats.iters_per_sample,
+    );
+    registry().lock().unwrap().push(stats);
+}
+
 /// Writes every recorded benchmark to `DEEPOD_BENCH_JSON` (if set). Called
 /// by the `criterion_main!` expansion after all groups run.
 pub fn finalize() {
@@ -328,6 +344,21 @@ mod tests {
         let reg = registry().lock().unwrap();
         let stats = reg.iter().find(|s| s.id == "g/spin").expect("recorded");
         assert!(stats.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn record_stats_lands_in_registry() {
+        record_stats(Stats {
+            id: "ext/p99".to_string(),
+            mean_ns: 42.0,
+            min_ns: 42.0,
+            max_ns: 42.0,
+            samples: 100,
+            iters_per_sample: 1,
+        });
+        let reg = registry().lock().unwrap();
+        let s = reg.iter().find(|s| s.id == "ext/p99").expect("recorded");
+        assert_eq!(s.samples, 100);
     }
 
     #[test]
