@@ -7,7 +7,7 @@
 //! trajectory information is used.
 
 use crate::common::TtePredictor;
-use deepod_core::TimeSlots;
+use deepod_core::{TimeSlotError, TimeSlots};
 use deepod_graphembed::{EmbedGraph, GraphEmbedder, Node2Vec, WalkConfig};
 use deepod_nn::layers::{Embedding, Mlp2};
 use deepod_nn::{AdamOptimizer, Graph, ParamStore};
@@ -70,10 +70,11 @@ pub struct MuratPredictor {
 }
 
 impl MuratPredictor {
-    /// Creates an unfitted predictor.
-    pub fn new(cfg: MuratConfig) -> Self {
-        let slots = TimeSlots::new(0.0, cfg.slot_seconds);
-        MuratPredictor {
+    /// Creates an unfitted predictor. Errors when `cfg.slot_seconds` is
+    /// not a usable slot size (non-positive or not a week divisor).
+    pub fn new(cfg: MuratConfig) -> Result<Self, TimeSlotError> {
+        let slots = TimeSlots::new(0.0, cfg.slot_seconds)?;
+        Ok(MuratPredictor {
             cfg,
             store: ParamStore::new(),
             road_emb: None,
@@ -86,7 +87,7 @@ impl MuratPredictor {
             net: None,
             y_mean: 0.0,
             y_std: 1.0,
-        }
+        })
     }
 
     /// Day-only slot node (MURAT's temporal granularity).
@@ -386,7 +387,8 @@ mod tests {
         let mut murat = MuratPredictor::new(MuratConfig {
             epochs: 16,
             ..Default::default()
-        });
+        })
+        .expect("valid slot size");
         murat.fit(&ds);
         let mean = ds.mean_train_travel_time() as f32;
         let mut mae = 0.0f32;
@@ -411,7 +413,7 @@ mod tests {
     #[test]
     fn unfitted_returns_none() {
         let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 20));
-        let mut murat = MuratPredictor::new(MuratConfig::default());
+        let mut murat = MuratPredictor::new(MuratConfig::default()).expect("valid slot size");
         assert!(murat.predict(&ds.train[0].od).is_none());
     }
 
@@ -421,7 +423,8 @@ mod tests {
         let mut murat = MuratPredictor::new(MuratConfig {
             epochs: 1,
             ..Default::default()
-        });
+        })
+        .expect("valid slot size");
         murat.fit(&ds);
         // Road embedding alone: num_edges × emb_dim × 4 bytes.
         assert!(murat.size_bytes() > ds.net.num_edges() * 16 * 4);

@@ -244,7 +244,7 @@ fn bench_kernels(c: &mut Criterion) {
         trainer.train();
         let model = trainer.model().clone();
         let quantized = QuantizedModel::from_model(&model);
-        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid bench config");
         let reqs: Vec<PredictRequest> = ds
             .test
             .iter()

@@ -14,13 +14,21 @@
 //! single-worker service rate. Closed-loop means hide queueing delay;
 //! the open-loop tail is where extra worker shards actually pay off.
 //!
+//! Finally, a **hot-OD cache sweep** (DESIGN.md §15) measures the serving
+//! cache tier: per-request latency of cache hits vs the uncached miss path
+//! (`serve/cache_{hit,miss}_p{50,99}` — a hit skips queue admission and the
+//! model entirely, so its p50 must sit far below the miss path), and the
+//! closed-loop mean at hot-set repeat rates of 0% / 50% / 95%
+//! (`serve/hotod_h{H}_mean`).
+//!
 //! Run with
 //! `DEEPOD_BENCH_JSON=BENCH_serve.json cargo bench -p deepod-bench -- serve`.
 
 use criterion::{criterion_group, criterion_main, record_stats, Criterion, Stats};
+use deepod_core::oracle::OdKeyer;
 use deepod_core::{DeepOdConfig, DeepOdModel, EmbeddingInit, FeatureContext, PredictRequest};
 use deepod_roadnet::CityProfile;
-use deepod_serve::{Backend, EngineConfig, InferenceEngine};
+use deepod_serve::{Backend, CacheConfig, EngineConfig, InferenceEngine, ServeCache};
 use deepod_traj::{CityDataset, DatasetBuilder, DatasetConfig};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -44,7 +52,7 @@ fn setup() -> (
         init: EmbeddingInit::Random,
         ..DeepOdConfig::default()
     };
-    let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+    let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid bench config");
     let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid bench config");
     let reqs: Vec<PredictRequest> = (0..WORKLOAD)
         .map(|i| PredictRequest::Raw(ds.train[i % ds.train.len()].od))
@@ -109,6 +117,7 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 
     bench_openloop();
+    bench_cache();
 }
 
 /// `sorted` must be ascending; nearest-rank percentile.
@@ -206,6 +215,146 @@ fn bench_openloop() {
                 });
             }
         }
+    }
+}
+
+/// Builds an engine with the serving cache tier enabled (LRU only, no
+/// oracle artifact): week-long TTL slots so no entry can expire inside a
+/// bench run, capacity far above the touched key count so eviction never
+/// interferes with what is being measured.
+fn engine_with_cache(workers: usize) -> (InferenceEngine, Vec<PredictRequest>) {
+    let (ds, ctx, model, reqs) = setup();
+    let keyer = OdKeyer::for_network(&ds.net, 500.0, *ctx.slots());
+    let cache = ServeCache::new(
+        keyer,
+        None,
+        CacheConfig {
+            capacity: 4096,
+            ttl_seconds: 604_800.0,
+            shards: 4,
+        },
+    )
+    .expect("week-divisor ttl");
+    let engine = InferenceEngine::start_with_cache(
+        Backend::Model(Box::new(model)),
+        None,
+        Some(Arc::new(cache)),
+        ctx,
+        ds,
+        EngineConfig {
+            max_batch: 8,
+            max_wait_ms: 0,
+            queue_capacity: OPENLOOP_REQUESTS,
+            workers,
+            ..EngineConfig::default()
+        },
+    );
+    (engine, reqs)
+}
+
+/// A request whose cache key no prior request in the same run produced:
+/// same OD cell pair, departure shifted to the i-th distinct time slot.
+fn unique_slot_request(reqs: &[PredictRequest], i: usize) -> PredictRequest {
+    let PredictRequest::Raw(od) = &reqs[0] else {
+        unreachable!("bench workload is raw requests");
+    };
+    let mut od = *od;
+    od.depart = i as f64 * 300.0 + 150.0;
+    PredictRequest::Raw(od)
+}
+
+/// Closed-loop submit→reply latency for each request, sorted ascending.
+fn closedloop_latencies(engine: &InferenceEngine, reqs: &[PredictRequest]) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        let t0 = Instant::now();
+        let handle = engine.submit(r.clone()).expect("queue accepts");
+        black_box(handle.recv().expect("engine answers"));
+        lat.push(t0.elapsed().as_nanos() as f64);
+    }
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    lat
+}
+
+/// The serving-cache sweep: hit vs miss per-request latency, then the
+/// closed-loop mean under hot-OD workloads at 0% / 50% / 95% repeats.
+fn bench_cache() {
+    const HOT: usize = 8;
+    const M: usize = 256;
+
+    // Hit vs miss percentiles. The hot set is warmed first (each reply
+    // received ⇒ its entry is inserted), so the repeat pass is all hits;
+    // the miss pass uses a fresh time slot per request, so it is all
+    // misses through the full queue+model path.
+    let (engine, reqs) = engine_with_cache(1);
+    let hot: Vec<PredictRequest> = reqs.iter().take(HOT).cloned().collect();
+    for r in &hot {
+        engine
+            .submit(r.clone())
+            .expect("queue accepts")
+            .recv()
+            .expect("engine answers");
+    }
+    let hits: Vec<PredictRequest> = (0..M).map(|i| hot[i % HOT].clone()).collect();
+    let hit_lat = closedloop_latencies(&engine, &hits);
+    let misses: Vec<PredictRequest> = (0..M).map(|i| unique_slot_request(&reqs, i)).collect();
+    let miss_lat = closedloop_latencies(&engine, &misses);
+    engine.shutdown();
+    for (lat, path) in [(&hit_lat, "hit"), (&miss_lat, "miss")] {
+        for (pct, name) in [(50usize, "p50"), (99, "p99")] {
+            let v = percentile(lat, pct);
+            record_stats(Stats {
+                id: format!("serve/cache_{path}_{name}"),
+                mean_ns: v,
+                min_ns: v,
+                max_ns: v,
+                samples: lat.len(),
+                iters_per_sample: 1,
+            });
+        }
+    }
+
+    // Hot-OD workloads: H% of requests repeat one of 8 hot ODs, the rest
+    // are fresh slots. Mean per-request cost falls as the hit rate rises.
+    for hot_pct in [0usize, 50, 95] {
+        let (engine, reqs) = engine_with_cache(1);
+        let hot: Vec<PredictRequest> = reqs.iter().take(HOT).cloned().collect();
+        for r in &hot {
+            engine
+                .submit(r.clone())
+                .expect("queue accepts")
+                .recv()
+                .expect("engine answers");
+        }
+        let workload: Vec<PredictRequest> = (0..M)
+            .map(|i| {
+                if i % 100 < hot_pct {
+                    hot[i % HOT].clone()
+                } else {
+                    unique_slot_request(&reqs, i)
+                }
+            })
+            .collect();
+        let t0 = Instant::now();
+        for r in &workload {
+            black_box(
+                engine
+                    .submit(r.clone())
+                    .expect("queue accepts")
+                    .recv()
+                    .expect("engine answers"),
+            );
+        }
+        let mean = t0.elapsed().as_nanos() as f64 / M as f64;
+        engine.shutdown();
+        record_stats(Stats {
+            id: format!("serve/hotod_h{hot_pct}_mean"),
+            mean_ns: mean,
+            min_ns: mean,
+            max_ns: mean,
+            samples: M,
+            iters_per_sample: 1,
+        });
     }
 }
 

@@ -48,7 +48,8 @@ fn main() {
         let mut murat = MuratPredictor::new(MuratConfig {
             epochs: 12,
             ..Default::default()
-        });
+        })
+        .expect("valid slot size");
         let curve = murat.fit_with_validation(&ds, 10);
         let murat_time = t0.elapsed().as_secs_f64();
         for &(step, mae) in &curve {

@@ -13,7 +13,7 @@ use deepod_traj::{DatasetBuilder, DatasetConfig};
 
 fn st_only_probe(ds: &deepod_traj::CityDataset, cfg: DeepOdConfig) {
     use deepod_core::{DeepOdModel, FeatureContext};
-    let ctx = FeatureContext::build(ds, cfg.slot_seconds);
+    let ctx = FeatureContext::build(ds, cfg.slot_seconds).expect("valid probe config");
     let mut model = DeepOdModel::new(&cfg, ds, &ctx).expect("valid probe config");
     let train = ctx.encode_orders(&ds.net, &ds.train);
     let val = ctx.encode_orders(&ds.net, &ds.validation);

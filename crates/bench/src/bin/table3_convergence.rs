@@ -63,7 +63,8 @@ fn main() {
         let mut murat = MuratPredictor::new(MuratConfig {
             epochs: 12,
             ..Default::default()
-        });
+        })
+        .expect("valid slot size");
         let curve = murat.fit_with_validation(&ds, 10);
         let total = t0.elapsed().as_secs_f64();
         let (cstep, _) = convergence(&curve);

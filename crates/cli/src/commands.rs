@@ -22,11 +22,14 @@ USAGE:
                   [--resume FILE] [--report FILE] --out FILE
   deepod predict  --data FILE --model FILE --from X,Y --to X,Y --depart T
   deepod eval     --data FILE --model FILE [--precision <f32|int8>]
-                  [--int8-mape-bound PP]
+                  [--int8-mape-bound PP] [--oracle FILE]
+  deepod precompute --data FILE --model FILE --out FILE [--cells K]
+                  [--slots N] [--cell-meters M] [--threads T]
   deepod serve    --data FILE --model FILE [--max-batch N] [--max-wait-ms MS]
                   [--queue N] [--threads T] [--workers N] [--deadline-ms MS]
                   [--retry-budget N] [--reject-when-full]
                   [--precision <f32|int8>] [--int8-mape-bound PP]
+                  [--oracle FILE] [--cache-capacity N] [--cache-ttl-s S]
   deepod info     --data FILE
   deepod help
 
@@ -50,6 +53,20 @@ requests that wait longer than MS in the queue (\"deadline exceeded\")
 before they reach a batch. Chaos-test the machinery with
 DEEPOD_FAILPOINTS sites serve::worker_batch / serve::slow_batch /
 serve::drop_reply (actions kill|panic|sleep[=MS]).
+
+Caching: precompute bulk-answers the hot OD matrix — the top --cells
+grid cells by trajectory frequency crossed with the top --slots weekly
+time slots — and writes a checksummed oracle artifact fingerprinted
+against the model file. serve --oracle FILE consults it (plus an
+in-process LRU bounded by --cache-capacity, env DEEPOD_ORACLE /
+DEEPOD_CACHE_CAPACITY) before queue admission: hits answer immediately
+without consuming worker capacity; LRU entries expire when the wall
+clock crosses a --cache-ttl-s slot boundary. A corrupt, version- or
+fingerprint-mismatched oracle is rejected at startup with a warning and
+serving continues cacheless. eval --oracle FILE verifies every oracle
+entry stays bit-identical to a fresh model run and exits with the
+degraded code (2) on any drift. Requests with a pre-epoch departure
+(depart < 0) are rejected per request on the wire.
 
 Precision: --precision int8 serves per-row-quantized weights (f32
 accumulation) — faster and smaller, *gated* on accuracy: the int8 model
@@ -118,6 +135,7 @@ pub fn dispatch(argv: &[String]) -> Result<Outcome, String> {
         "train" => train(&Args::parse(rest)?),
         "predict" => predict(&Args::parse(rest)?),
         "eval" => eval_cmd(&Args::parse(rest)?),
+        "precompute" => precompute_cmd(&Args::parse(rest)?),
         "serve" => serve(&Args::parse(rest)?),
         "info" => info(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
@@ -248,6 +266,17 @@ fn load_model(path: &str) -> Result<DeepOdModel, String> {
     DeepOdModel::load_json(&json).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+/// Loads a model plus the fingerprint of its exact file bytes — the
+/// identity an oracle artifact is bound to.
+fn load_model_with_fingerprint(path: &str) -> Result<(DeepOdModel, String), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let model = DeepOdModel::load_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok((
+        model,
+        deepod_core::oracle::model_fingerprint(json.as_bytes()),
+    ))
+}
+
 fn predict(args: &Args) -> Result<Outcome, String> {
     let ds = load_dataset(args.require("data")?)?;
     let model_path = args.require("model")?;
@@ -269,7 +298,8 @@ fn predict(args: &Args) -> Result<Outcome, String> {
     // loudly, and exit with the dedicated "degraded" code.
     match load_model(model_path) {
         Ok(model) => {
-            let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
+            let ctx = FeatureContext::build(&ds, model.config.slot_seconds)
+                .map_err(|e| format!("model slot configuration: {e}"))?;
             let reqs = [PredictRequest::Raw(od)];
             match model.estimate_batch(&ctx, &ds.net, &reqs, 1).remove(0) {
                 Ok(resp) => {
@@ -314,8 +344,21 @@ fn predict(args: &Args) -> Result<Outcome, String> {
 
 fn eval_cmd(args: &Args) -> Result<Outcome, String> {
     let ds = load_dataset(args.require("data")?)?;
-    let model = load_model(args.require("model")?)?;
-    let ctx = FeatureContext::build(&ds, model.config.slot_seconds);
+    let (model, fingerprint) = load_model_with_fingerprint(args.require("model")?)?;
+    let ctx = FeatureContext::build(&ds, model.config.slot_seconds)
+        .map_err(|e| format!("model slot configuration: {e}"))?;
+
+    // Cache-vs-fresh drift gate: every oracle entry must stay
+    // bit-identical to a fresh estimate_batch answer for this model.
+    if let Some(oracle_path) = args.get("oracle") {
+        let oracle = deepod_core::OdOracle::load(Path::new(oracle_path))
+            .map_err(|e| format!("loading oracle {oracle_path}: {e}"))?;
+        let rep = deepod_eval::check_drift(&oracle, &model, &ctx, &ds, &fingerprint, 0);
+        println!("oracle drift gate: {rep}");
+        if !rep.passed {
+            return Ok(Outcome::Degraded);
+        }
+    }
 
     let reqs: Vec<PredictRequest> = ds.test.iter().map(|o| PredictRequest::Raw(o.od)).collect();
     let mut pairs = Vec::new();
@@ -364,6 +407,42 @@ fn eval_cmd(args: &Args) -> Result<Outcome, String> {
             return Ok(Outcome::Degraded);
         }
     }
+    Ok(Outcome::Ok)
+}
+
+/// Precomputes the OD-oracle artifact: bulk-answers the hot OD matrix
+/// (top `--cells` grid cells by trajectory endpoint frequency crossed
+/// with the top `--slots` weekly time slots by departure frequency)
+/// through the batched inference path and writes the checksummed,
+/// model-fingerprinted artifact for `serve --oracle` / `eval --oracle`.
+fn precompute_cmd(args: &Args) -> Result<Outcome, String> {
+    use deepod_core::oracle::{precompute, PrecomputeSpec};
+    let ds = load_dataset(args.require("data")?)?;
+    let (model, fingerprint) = load_model_with_fingerprint(args.require("model")?)?;
+    let out = args.require("out")?;
+    let spec = PrecomputeSpec {
+        cells: args.get_parsed("cells", 8usize)?,
+        slots: args.get_parsed("slots", 16usize)?,
+        cell_meters: args.get_parsed("cell-meters", 500.0f64)?,
+    };
+    let threads = args.get_parsed("threads", 0usize)?;
+    let ctx = FeatureContext::build(&ds, model.config.slot_seconds)
+        .map_err(|e| format!("model slot configuration: {e}"))?;
+    println!(
+        "precomputing hot OD matrix: top {} cells x top {} weekly slots ({} m grid) ...",
+        spec.cells, spec.slots, spec.cell_meters
+    );
+    let oracle = precompute(&model, &ctx, &ds, &spec, fingerprint, threads);
+    oracle
+        .save(Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} entries over a {}x{} cell grid (model fingerprint {})",
+        oracle.entries.len(),
+        oracle.keyer.nx,
+        oracle.keyer.ny,
+        oracle.model_fingerprint
+    );
     Ok(Outcome::Ok)
 }
 
@@ -425,6 +504,84 @@ fn int8_backend(
     }
 }
 
+/// Builds the serving cache tier from `--oracle` / `--cache-capacity`
+/// (env `DEEPOD_ORACLE` / `DEEPOD_CACHE_CAPACITY`; flags win). A corrupt,
+/// wrong-version, or fingerprint-mismatched oracle is *rejected with a
+/// warning* and serving continues — cacheless if the LRU is off too —
+/// because a stale cache is an accuracy incident while a cold one is
+/// only a latency cost. Returns `None` when both tiers are off: the
+/// engine then runs the historical bit-identical cacheless path.
+fn cache_tier(
+    ds: &deepod_traj::CityDataset,
+    ctx: &FeatureContext,
+    oracle_path: Option<&str>,
+    capacity: usize,
+    ttl_seconds: f64,
+    model_path: &str,
+    shards: usize,
+) -> Result<Option<std::sync::Arc<deepod_serve::ServeCache>>, String> {
+    use deepod_core::oracle::{model_fingerprint, OdKeyer, OdOracle};
+    use deepod_serve::{CacheConfig, ServeCache};
+    use std::sync::Arc;
+    let oracle = match oracle_path {
+        None => None,
+        Some(path) => match OdOracle::load(Path::new(path)) {
+            Ok(oracle) => {
+                let bytes =
+                    std::fs::read(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+                let fp = model_fingerprint(&bytes);
+                if oracle.model_fingerprint == fp {
+                    deepod_core::obs::info(
+                        "serve",
+                        "oracle artifact loaded",
+                        &[
+                            ("path", path.into()),
+                            ("entries", oracle.entries.len().into()),
+                        ],
+                    );
+                    Some(Arc::new(oracle))
+                } else {
+                    deepod_core::obs::warn(
+                        "serve",
+                        "oracle fingerprint does not match the model file; ignoring the oracle",
+                        &[
+                            ("oracle_fp", oracle.model_fingerprint.as_str().into()),
+                            ("model_fp", fp.as_str().into()),
+                        ],
+                    );
+                    None
+                }
+            }
+            Err(e) => {
+                deepod_core::obs::warn(
+                    "serve",
+                    "oracle artifact unusable; serving without it",
+                    &[("path", path.into()), ("why", e.to_string().into())],
+                );
+                None
+            }
+        },
+    };
+    if oracle.is_none() && capacity == 0 {
+        return Ok(None);
+    }
+    let keyer = match &oracle {
+        Some(o) => o.keyer,
+        None => OdKeyer::for_network(&ds.net, 500.0, *ctx.slots()),
+    };
+    let cache = ServeCache::new(
+        keyer,
+        oracle,
+        CacheConfig {
+            capacity,
+            ttl_seconds,
+            shards,
+        },
+    )
+    .map_err(|e| format!("--cache-ttl-s: {e}"))?;
+    Ok(Some(Arc::new(cache)))
+}
+
 /// What the response writer thread consumes, in submission order: either
 /// a reply still in flight inside the engine, or a line that is already
 /// final (parse errors, queue-full rejections).
@@ -465,7 +622,8 @@ fn serve(args: &Args) -> Result<Outcome, String> {
         Ok(model) => (model.config.slot_seconds, false),
         Err(_) => (DeepOdConfig::default().slot_seconds, true),
     };
-    let ctx = FeatureContext::build(&ds, slot_seconds);
+    let ctx =
+        FeatureContext::build(&ds, slot_seconds).map_err(|e| format!("slot configuration: {e}"))?;
     let backend = match loaded {
         Ok(model) => match precision_of(args)? {
             Precision::F32 => Backend::Model(Box::new(model)),
@@ -483,6 +641,37 @@ fn serve(args: &Args) -> Result<Outcome, String> {
         }
     };
     let precision_name = backend.precision_name();
+    // Cache tier: flags beat DEEPOD_ORACLE / DEEPOD_CACHE_CAPACITY. With
+    // an unusable model the process serves fallback answers only — those
+    // are degraded and must never be cached, and no fingerprint exists to
+    // validate an oracle against, so the whole tier stays off.
+    let oracle_path: Option<String> = args
+        .get("oracle")
+        .map(str::to_string)
+        .or_else(deepod_core::configured_oracle_path);
+    let cache_capacity =
+        args.get_parsed("cache-capacity", deepod_core::configured_cache_capacity())?;
+    let cache_ttl_s = args.get_parsed("cache-ttl-s", 300.0f64)?;
+    let cache = if degraded_backend {
+        if oracle_path.is_some() || cache_capacity > 0 {
+            deepod_core::obs::warn(
+                "serve",
+                "cache tier disabled: no usable model to validate answers against",
+                &[],
+            );
+        }
+        None
+    } else {
+        cache_tier(
+            &ds,
+            &ctx,
+            oracle_path.as_deref(),
+            cache_capacity,
+            cache_ttl_s,
+            model_path,
+            config.workers.max(1),
+        )?
+    };
     // The degradation ladder only acts on the try_submit path, so the
     // per-request fallback replica is only worth fitting when
     // --reject-when-full enables that path (and the primary backend is not
@@ -494,9 +683,11 @@ fn serve(args: &Args) -> Result<Outcome, String> {
     } else {
         None
     };
-    let engine = InferenceEngine::start_with_fallback(
+    let cache_enabled = cache.is_some();
+    let engine = InferenceEngine::start_with_cache(
         backend,
         ladder_fallback,
+        cache,
         ctx,
         Arc::clone(&ds),
         config,
@@ -516,6 +707,8 @@ fn serve(args: &Args) -> Result<Outcome, String> {
             ),
             ("precision", precision_name.into()),
             ("degraded", degraded_backend.into()),
+            ("cache", cache_enabled.into()),
+            ("cache_capacity", cache_capacity.into()),
         ],
     );
 
@@ -554,42 +747,50 @@ fn serve(args: &Args) -> Result<Outcome, String> {
             continue;
         }
         let item = match deepod_serve::protocol::parse_request(&line) {
-            Ok(wire) => {
-                let od = OdInput {
-                    origin: Point::new(wire.from.0, wire.from.1),
-                    destination: Point::new(wire.to.0, wire.to.1),
-                    depart: wire.depart,
-                    weather: ds.traffic.weather().at(wire.depart),
-                };
-                let req = PredictRequest::Raw(od);
-                let priority = if wire.low_priority {
-                    Priority::Low
-                } else {
-                    Priority::Normal
-                };
-                // Submitting while the StdinLock is live is the intended
-                // single-producer design: only this loop reads stdin, so
-                // nothing can contend the guard, and the engine queue has
-                // its own backpressure.
-                let submitted = if reject_when_full {
-                    // Admission-controlled path: the degradation ladder
-                    // decides, and queue-full rejections retry on the
-                    // deterministic backoff up to --retry-budget.
-                    engine.try_submit_retry(req, priority)
-                } else {
-                    // deepod-audit: allow(lock-across-send)
-                    engine.submit(req)
-                };
-                match submitted {
-                    Ok(rx) => OutItem::Pending(wire.id, rx),
-                    // Typed shed/reject/shutdown: answer immediately so
-                    // every request line still yields exactly one reply.
-                    Err(e) => OutItem::Ready(deepod_serve::protocol::render_error(
-                        Some(wire.id),
-                        &e.to_string(),
-                    )),
+            // Pre-epoch (or non-finite) departures cannot be attributed
+            // to a time slot; reject them per request instead of letting
+            // the encoder clamp them onto slot 0's conditions.
+            Ok(wire) => match deepod_serve::protocol::validate_depart(wire.depart) {
+                Err(why) => {
+                    OutItem::Ready(deepod_serve::protocol::render_error(Some(wire.id), &why))
                 }
-            }
+                Ok(()) => {
+                    let od = OdInput {
+                        origin: Point::new(wire.from.0, wire.from.1),
+                        destination: Point::new(wire.to.0, wire.to.1),
+                        depart: wire.depart,
+                        weather: ds.traffic.weather().at(wire.depart),
+                    };
+                    let req = PredictRequest::Raw(od);
+                    let priority = if wire.low_priority {
+                        Priority::Low
+                    } else {
+                        Priority::Normal
+                    };
+                    // Submitting while the StdinLock is live is the intended
+                    // single-producer design: only this loop reads stdin, so
+                    // nothing can contend the guard, and the engine queue has
+                    // its own backpressure.
+                    let submitted = if reject_when_full {
+                        // Admission-controlled path: the degradation ladder
+                        // decides, and queue-full rejections retry on the
+                        // deterministic backoff up to --retry-budget.
+                        engine.try_submit_retry(req, priority)
+                    } else {
+                        // deepod-audit: allow(lock-across-send)
+                        engine.submit(req)
+                    };
+                    match submitted {
+                        Ok(rx) => OutItem::Pending(wire.id, rx),
+                        // Typed shed/reject/shutdown: answer immediately so
+                        // every request line still yields exactly one reply.
+                        Err(e) => OutItem::Ready(deepod_serve::protocol::render_error(
+                            Some(wire.id),
+                            &e.to_string(),
+                        )),
+                    }
+                }
+            },
             Err(why) => OutItem::Ready(deepod_serve::protocol::render_error(None, &why)),
         };
         // Same single-producer stdin loop; the writer thread never takes

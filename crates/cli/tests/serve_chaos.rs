@@ -81,7 +81,7 @@ fn setup() -> &'static Setup {
             dtraf: 4,
             ..DeepOdConfig::default()
         };
-        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid slot size");
         let model_json = DeepOdModel::new(&cfg, &ds, &ctx)
             .expect("valid test config")
             .save_json()

@@ -201,7 +201,7 @@ mod tests {
                 dtraf: 4,
                 ..DeepOdConfig::default()
             };
-            let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+            let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid slot size");
             let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("tiny config is valid");
             (ds, model)
         }

@@ -151,8 +151,11 @@ impl DeepOdConfig {
         if !(0.0..=1.0).contains(&self.loss_weight) {
             return Err(format!("loss_weight {} outside [0,1]", self.loss_weight));
         }
-        if self.slot_seconds <= 0.0 {
-            return Err("slot_seconds must be positive".into());
+        // Delegate the full slot-size contract (positive AND a whole-slot
+        // divisor of a week) to the discretization's own constructor, so a
+        // validated config can never fail `TimeSlots::new` downstream.
+        if let Err(e) = crate::timeslot::TimeSlots::new(0.0, self.slot_seconds) {
+            return Err(format!("slot_seconds: {e}"));
         }
         if self.lr <= 0.0 {
             return Err("lr must be positive".into());
@@ -202,6 +205,14 @@ mod tests {
             ..DeepOdConfig::default()
         };
         assert!(c.validate().is_err());
+        // A positive slot size that does not divide a week is rejected up
+        // front, not first at FeatureContext::build time.
+        let c = DeepOdConfig {
+            slot_seconds: 777.0,
+            ..DeepOdConfig::default()
+        };
+        let err = c.validate().expect_err("non-divisor slot size");
+        assert!(err.contains("divide a week"), "got: {err}");
     }
 
     #[test]

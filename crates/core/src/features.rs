@@ -7,7 +7,7 @@
 //! is reused between training and online estimation, mirroring the paper's
 //! split between data preparation and model application.
 
-use crate::timeslot::TimeSlots;
+use crate::timeslot::{TimeSlotError, TimeSlots};
 use deepod_roadnet::{RoadNetwork, SpatialGrid};
 use deepod_tensor::Tensor;
 use deepod_traffic::{SpeedMatrixBuilder, SpeedMatrixStore, NUM_WEATHER_TYPES};
@@ -88,9 +88,11 @@ pub struct FeatureContext {
 impl FeatureContext {
     /// Builds the context for a dataset: spatial index, slot grid, and
     /// speed matrices accumulated from the *training* trajectories (test
-    /// trips must not leak into the traffic-condition feature).
-    pub fn build(ds: &CityDataset, slot_seconds: f64) -> Self {
-        let slots = TimeSlots::new(0.0, slot_seconds);
+    /// trips must not leak into the traffic-condition feature). Errors
+    /// when `slot_seconds` is not a usable discretization (non-positive
+    /// or not a whole-slot divisor of a week).
+    pub fn build(ds: &CityDataset, slot_seconds: f64) -> Result<Self, TimeSlotError> {
+        let slots = TimeSlots::new(0.0, slot_seconds)?;
         let grid = SpatialGrid::build(&ds.net, 250.0);
         let horizon = ds.horizon();
         // 5-minute speed matrices as in §6.1. The matrices model a *live*
@@ -108,13 +110,13 @@ impl FeatureContext {
                 builder.observe(&mid, step.enter, v);
             }
         }
-        FeatureContext {
+        Ok(FeatureContext {
             slots,
             grid,
             speeds: builder.build(),
             num_edges: ds.net.num_edges(),
             matrix_cache: Default::default(),
-        }
+        })
     }
 
     /// The slot discretization.
@@ -253,7 +255,7 @@ mod tests {
     #[test]
     fn encodes_most_orders() {
         let ds = small_ds();
-        let ctx = FeatureContext::build(&ds, 300.0);
+        let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
         let enc = ctx.encode_orders(&ds.net, &ds.train);
         assert!(enc.len() * 10 >= ds.train.len() * 9, "too many dropped");
         for s in &enc {
@@ -277,7 +279,7 @@ mod tests {
     #[test]
     fn speed_matrix_shape_and_cache() {
         let ds = small_ds();
-        let ctx = FeatureContext::build(&ds, 300.0);
+        let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
         let od = &ds.train[0].od;
         let e1 = ctx.encode_od(&ds.net, od).unwrap();
         let e2 = ctx.encode_od(&ds.net, od).unwrap();
@@ -292,7 +294,7 @@ mod tests {
     #[test]
     fn unmatched_point_returns_none() {
         let ds = small_ds();
-        let ctx = FeatureContext::build(&ds, 300.0);
+        let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
         let mut od = ds.train[0].od;
         od.origin = deepod_roadnet::Point::new(-1e6, -1e6);
         assert!(ctx.encode_od(&ds.net, &od).is_none());
@@ -301,7 +303,7 @@ mod tests {
     #[test]
     fn interval_slots_cover_duration() {
         let ds = small_ds();
-        let ctx = FeatureContext::build(&ds, 300.0);
+        let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
         let enc = ctx.encode_orders(&ds.net, &ds.train[..10.min(ds.train.len())]);
         for s in &enc {
             for (step, raw) in s.steps.iter().zip(&ds.train[0].trajectory.path) {

@@ -42,6 +42,7 @@ pub mod io_guard;
 mod model;
 pub mod obs;
 mod od_encoder;
+pub mod oracle;
 mod quantized;
 mod runtime;
 mod temporal_graph;
@@ -58,9 +59,16 @@ pub use interval_encoder::TimeIntervalEncoder;
 pub use io_guard::IoGuardError;
 pub use model::{DeepOdModel, ModelError, PredictRequest, PredictResponse};
 pub use od_encoder::OdEncoder;
+pub use oracle::{
+    model_fingerprint, precompute, OdKeyer, OdOracle, OracleEntry, OracleError, OracleKey,
+    PrecomputeSpec, ORACLE_VERSION,
+};
 pub use quantized::QuantizedModel;
-pub use runtime::{configured_serve_workers, RuntimeConfig, RuntimeError, RuntimeOverrides};
+pub use runtime::{
+    configured_cache_capacity, configured_oracle_path, configured_serve_workers, RuntimeConfig,
+    RuntimeError, RuntimeOverrides,
+};
 pub use temporal_graph::{build_temporal_graph, temporal_graph_day_only};
-pub use timeslot::TimeSlots;
+pub use timeslot::{TimeSlotError, TimeSlots};
 pub use train::{CheckpointPolicy, CurvePoint, TrainOptions, TrainReport, Trainer};
 pub use trajectory_encoder::TrajectoryEncoder;

@@ -9,7 +9,6 @@ use crate::features::{EncodedOd, EncodedSample, FeatureContext};
 use crate::interval_encoder::TimeIntervalEncoder;
 use crate::od_encoder::OdEncoder;
 use crate::temporal_graph::{build_temporal_graph, temporal_graph_day_only};
-use crate::timeslot::TimeSlots;
 use crate::trajectory_encoder::TrajectoryEncoder;
 use deepod_graphembed::{DeepWalk, EmbedGraph, GraphEmbedder, Line, Node2Vec, WalkConfig};
 use deepod_nn::layers::{BatchNorm2d, Embedding, Mlp2};
@@ -213,7 +212,10 @@ impl DeepOdModel {
             road_emb.load_pretrained(&mut store, vectors);
         }
         if cfg.init.pretrains_time() {
-            let slots = TimeSlots::new(0.0, cfg.slot_seconds);
+            // The context was built from the same config, so its (already
+            // validated) discretization is authoritative — no fallible
+            // reconstruction from `cfg.slot_seconds` needed here.
+            let slots = *ctx.slots();
             let tg = if cfg.init == EmbeddingInit::TimeDayGraph {
                 temporal_graph_day_only(&slots)
             } else {
@@ -718,7 +720,7 @@ mod tests {
             dtraf: 4,
             ..DeepOdConfig::default()
         };
-        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid slot size");
         (ds, ctx, cfg)
     }
 

@@ -1,0 +1,517 @@
+//! OD-oracle precompute (ROADMAP item 4): a checksummed artifact of
+//! precomputed TTE answers keyed on `(origin cell, destination cell,
+//! weekly time slot)`.
+//!
+//! Production OD workloads are dominated by repeated queries over a small
+//! hot set of origin/destination areas ("Origin-Destination Travel Time
+//! Oracle for Map-based Services", PAPERS.md). The oracle exploits that: a
+//! `deepod precompute` pass bulk-runs [`DeepOdModel::estimate_batch`] over
+//! the hot OD matrix — the top-K grid cells by trajectory frequency
+//! crossed with the busiest weekly slots — and freezes the answers into an
+//! [`OdOracle`] artifact the serving tier consults before spending worker
+//! capacity.
+//!
+//! **Key scheme.** Space is discretized by [`OdKeyer`]: a fixed grid over
+//! the road network's bounding box (`cell_meters` per side, points
+//! outside the box clamp to the border cells). Time is discretized by the
+//! model's own [`TimeSlots`] and wrapped onto the weekly temporal graph —
+//! the same slot attribution the feature encoder uses, which is why the
+//! slot-boundary determinism fixed in [`crate::timeslot`] is load-bearing
+//! here: an edge timestamp that flapped between neighboring slots would
+//! alias two different cache entries.
+//!
+//! **Canonical answers.** Each oracle entry stores the model's answer for
+//! the *canonical* request of its key: origin/destination at the cell
+//! centers, departing exactly at the slot's start (remainder 0, first
+//! week). Serving a nearby request from the oracle is an approximation by
+//! construction (documented in DESIGN.md §15); the drift gate in
+//! `deepod-eval` verifies the canonical answers stay **bit-identical** to
+//! a fresh `estimate_batch` run for the same model version.
+//!
+//! **Versioning.** The artifact embeds a fingerprint of the model file it
+//! was computed from ([`model_fingerprint`]); the serving tier refuses to
+//! use an oracle whose fingerprint does not match the model it loaded.
+
+use crate::features::FeatureContext;
+use crate::io_guard::{self, IoGuardError};
+use crate::model::{DeepOdModel, PredictRequest};
+use crate::timeslot::TimeSlots;
+use deepod_roadnet::{Point, RoadNetwork};
+use deepod_traj::{CityDataset, OdInput};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Artifact format version; bumped on breaking layout changes.
+pub const ORACLE_VERSION: u32 = 1;
+
+/// A typed oracle-artifact failure.
+#[derive(Debug)]
+pub enum OracleError {
+    /// The guarded read or write failed (missing file, checksum mismatch,
+    /// truncated artifact — see [`IoGuardError::is_corruption`]).
+    Io(IoGuardError),
+    /// The artifact parsed as JSON but not as an oracle.
+    Format(String),
+    /// The artifact is from an incompatible format version.
+    Version {
+        /// Version found in the artifact.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Io(e) => write!(f, "oracle io failed: {e}"),
+            OracleError::Format(why) => write!(f, "oracle artifact malformed: {why}"),
+            OracleError::Version { found } => write!(
+                f,
+                "oracle artifact version {found} is not supported (expected {ORACLE_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OracleError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoGuardError> for OracleError {
+    fn from(e: IoGuardError) -> Self {
+        OracleError::Io(e)
+    }
+}
+
+/// Fingerprint of a serialized model artifact (FNV-1a over the exact
+/// bytes), rendered as fixed-width hex so it survives JSON round-trips
+/// losslessly. Both `deepod precompute` and `deepod serve` fingerprint
+/// the model *file*, so any retrain invalidates the oracle.
+pub fn model_fingerprint(model_bytes: &[u8]) -> String {
+    format!("{:016x}", io_guard::fnv1a64(model_bytes))
+}
+
+/// The cache/oracle key: origin cell, destination cell, weekly time slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OracleKey {
+    /// Origin grid cell (row-major index).
+    pub origin_cell: u32,
+    /// Destination grid cell.
+    pub dest_cell: u32,
+    /// Weekly temporal-graph node of the departure slot.
+    pub week_slot: u32,
+}
+
+/// Maps raw OD requests onto [`OracleKey`]s: a fixed spatial grid over the
+/// road network bounding box plus the model's slot discretization.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OdKeyer {
+    /// Grid origin (bounding-box minimum corner).
+    pub x0: f64,
+    /// See `x0`.
+    pub y0: f64,
+    /// Cell side length in meters.
+    pub cell_meters: f64,
+    /// Grid width in cells.
+    pub nx: u32,
+    /// Grid height in cells.
+    pub ny: u32,
+    /// The slot discretization (shared with the feature encoder).
+    pub slots: TimeSlots,
+}
+
+impl OdKeyer {
+    /// Builds a keyer covering `net`'s bounding box with `cell_meters`
+    /// cells (clamped to at least 1 m).
+    pub fn for_network(net: &RoadNetwork, cell_meters: f64, slots: TimeSlots) -> OdKeyer {
+        let (min, max) = net.bounding_box();
+        let cell = if cell_meters.is_finite() && cell_meters >= 1.0 {
+            cell_meters
+        } else {
+            1.0
+        };
+        let nx = deepod_tensor::ceil_count(((max.x - min.x).max(0.0) / cell).min(1e6)).max(1);
+        let ny = deepod_tensor::ceil_count(((max.y - min.y).max(0.0) / cell).min(1e6)).max(1);
+        OdKeyer {
+            x0: min.x,
+            y0: min.y,
+            cell_meters: cell,
+            nx: nx as u32, // deepod-lint: allow(truncating-cast) — capped at 1e6
+            ny: ny as u32, // deepod-lint: allow(truncating-cast) — capped at 1e6
+            slots,
+        }
+    }
+
+    /// Total number of grid cells.
+    pub fn num_cells(&self) -> u32 {
+        self.nx.saturating_mul(self.ny)
+    }
+
+    /// Cell of a point; coordinates outside the grid clamp to the border
+    /// cells, so every finite point keys deterministically.
+    pub fn cell_of(&self, p: &Point) -> u32 {
+        let ix = deepod_tensor::floor_coord(((p.x - self.x0) / self.cell_meters).max(0.0))
+            .clamp(0, i64::from(self.nx) - 1);
+        let iy = deepod_tensor::floor_coord(((p.y - self.y0) / self.cell_meters).max(0.0))
+            .clamp(0, i64::from(self.ny) - 1);
+        // In-range by the clamps above.
+        (iy as u32)
+            .saturating_mul(self.nx)
+            .saturating_add(ix as u32) // deepod-lint: allow(truncating-cast)
+    }
+
+    /// Center point of a cell (row-major index; out-of-range indices clamp
+    /// to the last cell).
+    pub fn cell_center(&self, cell: u32) -> Point {
+        let cell = cell.min(self.num_cells().saturating_sub(1));
+        let ix = cell % self.nx.max(1);
+        let iy = cell / self.nx.max(1);
+        Point::new(
+            self.x0 + (f64::from(ix) + 0.5) * self.cell_meters,
+            self.y0 + (f64::from(iy) + 0.5) * self.cell_meters,
+        )
+    }
+
+    /// The key of a raw OD request; `None` when the departure time is
+    /// before the dataset epoch (or not finite) — those must be rejected
+    /// upstream rather than aliased onto slot 0's entry.
+    pub fn key_of(&self, od: &OdInput) -> Option<OracleKey> {
+        if !od.origin.x.is_finite()
+            || !od.origin.y.is_finite()
+            || !od.destination.x.is_finite()
+            || !od.destination.y.is_finite()
+        {
+            return None;
+        }
+        let (slot, _) = self.slots.slot_rem_checked(od.depart)?;
+        Some(OracleKey {
+            origin_cell: self.cell_of(&od.origin),
+            dest_cell: self.cell_of(&od.destination),
+            week_slot: self.slots.week_node(slot) as u32, // deepod-lint: allow(truncating-cast) — < slots_per_week
+        })
+    }
+
+    /// The canonical request of a key: cell centers, departing exactly at
+    /// the slot start of the *first* week (remainder 0 — deterministic by
+    /// the boundary-snap contract of [`TimeSlots::slot_rem`]). The weather
+    /// input is the dataset's condition at that canonical time, matching
+    /// what the serve path would attach.
+    pub fn canonical_od(&self, key: OracleKey, ds: &CityDataset) -> OdInput {
+        let depart = self.slots.t0 + f64::from(key.week_slot) * self.slots.dt;
+        OdInput {
+            origin: self.cell_center(key.origin_cell),
+            destination: self.cell_center(key.dest_cell),
+            depart,
+            weather: ds.traffic.weather().at(depart),
+        }
+    }
+}
+
+/// One precomputed answer.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OracleEntry {
+    /// The key this answer is canonical for.
+    pub key: OracleKey,
+    /// The model's canonical ETA in seconds.
+    pub eta_seconds: f32,
+}
+
+/// The precomputed OD-oracle artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OdOracle {
+    /// Artifact format version ([`ORACLE_VERSION`]).
+    pub version: u32,
+    /// The key scheme the entries were computed under.
+    pub keyer: OdKeyer,
+    /// Hex fingerprint of the model file ([`model_fingerprint`]).
+    pub model_fingerprint: String,
+    /// Sorted by key (binary-searchable, deterministic bytes).
+    pub entries: Vec<OracleEntry>,
+}
+
+impl OdOracle {
+    /// Looks up the canonical answer for a key.
+    pub fn lookup(&self, key: OracleKey) -> Option<f32> {
+        self.entries
+            .binary_search_by(|e| e.key.cmp(&key))
+            .ok()
+            .and_then(|i| self.entries.get(i))
+            .map(|e| e.eta_seconds)
+    }
+
+    /// Serializes and writes the artifact through [`io_guard`]
+    /// (atomic temp-file rename, checksummed container).
+    pub fn save(&self, path: &std::path::Path) -> Result<(), OracleError> {
+        let json = serde_json::to_string(self).map_err(|e| OracleError::Format(e.to_string()))?;
+        io_guard::write_checksummed(path, json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and verifies an artifact: io_guard checksum first (corrupt
+    /// bytes surface as [`OracleError::Io`] with
+    /// [`IoGuardError::is_corruption`] true), then format version.
+    pub fn load(path: &std::path::Path) -> Result<OdOracle, OracleError> {
+        let bytes = io_guard::read_checksummed(path)?;
+        let json = String::from_utf8(bytes)
+            .map_err(|_| OracleError::Format("artifact is not UTF-8".into()))?;
+        let oracle: OdOracle =
+            serde_json::from_str(&json).map_err(|e| OracleError::Format(e.to_string()))?;
+        if oracle.version != ORACLE_VERSION {
+            return Err(OracleError::Version {
+                found: oracle.version,
+            });
+        }
+        Ok(oracle)
+    }
+}
+
+/// Knobs of the precompute pass.
+#[derive(Clone, Copy, Debug)]
+pub struct PrecomputeSpec {
+    /// Top-K grid cells by trajectory endpoint frequency.
+    pub cells: usize,
+    /// Top-N weekly slots by departure frequency.
+    pub slots: usize,
+    /// Grid cell side length in meters.
+    pub cell_meters: f64,
+}
+
+impl Default for PrecomputeSpec {
+    fn default() -> Self {
+        PrecomputeSpec {
+            cells: 8,
+            slots: 16,
+            cell_meters: 500.0,
+        }
+    }
+}
+
+/// The hot keys of a dataset under a keyer: the top-`cells` grid cells by
+/// train-trajectory endpoint frequency crossed with the top-`slots`
+/// weekly slots by departure frequency. Deterministic: ties break on the
+/// smaller cell/slot index.
+pub fn hot_keys(keyer: &OdKeyer, ds: &CityDataset, spec: &PrecomputeSpec) -> Vec<OracleKey> {
+    let mut cell_freq: HashMap<u32, u64> = HashMap::new();
+    let mut slot_freq: HashMap<u32, u64> = HashMap::new();
+    for order in &ds.train {
+        *cell_freq
+            .entry(keyer.cell_of(&order.od.origin))
+            .or_insert(0) += 1;
+        *cell_freq
+            .entry(keyer.cell_of(&order.od.destination))
+            .or_insert(0) += 1;
+        if let Some((slot, _)) = keyer.slots.slot_rem_checked(order.od.depart) {
+            let node = keyer.slots.week_node(slot) as u32; // deepod-lint: allow(truncating-cast) — < slots_per_week
+            *slot_freq.entry(node).or_insert(0) += 1;
+        }
+    }
+    let top_cells = top_by_freq(cell_freq, spec.cells);
+    let top_slots = top_by_freq(slot_freq, spec.slots);
+    let mut keys = Vec::with_capacity(top_cells.len() * top_cells.len() * top_slots.len());
+    for &oc in &top_cells {
+        for &dc in &top_cells {
+            for &s in &top_slots {
+                keys.push(OracleKey {
+                    origin_cell: oc,
+                    dest_cell: dc,
+                    week_slot: s,
+                });
+            }
+        }
+    }
+    keys
+}
+
+/// Top-`k` ids by count, descending; equal counts order by ascending id
+/// so the selection is independent of `HashMap` iteration order.
+fn top_by_freq(freq: HashMap<u32, u64>, k: usize) -> Vec<u32> {
+    let mut pairs: Vec<(u32, u64)> = freq.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Runs the precompute pass: builds the canonical request of every hot
+/// key, bulk-answers them through [`DeepOdModel::estimate_batch`] (the
+/// existing parallel map — bit-identical for any `threads`), and returns
+/// the artifact. Keys whose canonical endpoints cannot be matched to the
+/// road network are skipped, not failed.
+pub fn precompute(
+    model: &DeepOdModel,
+    ctx: &FeatureContext,
+    ds: &CityDataset,
+    spec: &PrecomputeSpec,
+    fingerprint: String,
+    threads: usize,
+) -> OdOracle {
+    let keyer = OdKeyer::for_network(&ds.net, spec.cell_meters, *ctx.slots());
+    let keys = hot_keys(&keyer, ds, spec);
+    let reqs: Vec<PredictRequest> = keys
+        .iter()
+        .map(|&k| PredictRequest::Raw(keyer.canonical_od(k, ds)))
+        .collect();
+    let answers = model.estimate_batch(ctx, &ds.net, &reqs, threads);
+    let mut entries: Vec<OracleEntry> = keys
+        .into_iter()
+        .zip(answers)
+        .filter_map(|(key, res)| {
+            res.ok().map(|resp| OracleEntry {
+                key,
+                eta_seconds: resp.eta_seconds,
+            })
+        })
+        .collect();
+    entries.sort_by_key(|e| e.key);
+    OdOracle {
+        version: ORACLE_VERSION,
+        keyer,
+        model_fingerprint: fingerprint,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeepOdConfig;
+    use deepod_roadnet::CityProfile;
+    use deepod_traj::{DatasetBuilder, DatasetConfig};
+
+    fn fixture() -> (CityDataset, FeatureContext, DeepOdModel) {
+        let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
+        let cfg = DeepOdConfig {
+            ds: 4,
+            dt_dim: 4,
+            d1m: 4,
+            d2m: 4,
+            d3m: 4,
+            d4m: 4,
+            d5m: 4,
+            d6m: 4,
+            d7m: 4,
+            d9m: 4,
+            dh: 4,
+            dtraf: 4,
+            ..DeepOdConfig::default()
+        };
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid slot size");
+        let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
+        (ds, ctx, model)
+    }
+
+    #[test]
+    fn keyer_clamps_and_round_trips_cells() {
+        let (ds, ctx, _) = fixture();
+        let keyer = OdKeyer::for_network(&ds.net, 500.0, *ctx.slots());
+        assert!(keyer.nx >= 1 && keyer.ny >= 1);
+        // Center of every cell keys back to that cell.
+        for cell in [0, keyer.num_cells() / 2, keyer.num_cells() - 1] {
+            assert_eq!(keyer.cell_of(&keyer.cell_center(cell)), cell);
+        }
+        // Far-out points clamp to border cells instead of panicking.
+        let far = Point::new(-1e9, 1e9);
+        assert!(keyer.cell_of(&far) < keyer.num_cells());
+    }
+
+    #[test]
+    fn key_of_rejects_pre_epoch_departures() {
+        let (ds, ctx, _) = fixture();
+        let keyer = OdKeyer::for_network(&ds.net, 500.0, *ctx.slots());
+        let mut od = ds.train[0].od;
+        assert!(keyer.key_of(&od).is_some());
+        od.depart = -1.0;
+        assert!(
+            keyer.key_of(&od).is_none(),
+            "pre-epoch must not alias slot 0"
+        );
+        od.depart = f64::NAN;
+        assert!(keyer.key_of(&od).is_none());
+    }
+
+    #[test]
+    fn precompute_answers_are_bit_identical_to_fresh_estimates() {
+        let (ds, ctx, model) = fixture();
+        let spec = PrecomputeSpec {
+            cells: 4,
+            slots: 4,
+            cell_meters: 500.0,
+        };
+        let oracle = precompute(&model, &ctx, &ds, &spec, "test".into(), 1);
+        assert!(!oracle.entries.is_empty(), "hot matrix produced no entries");
+        // Recompute every canonical request fresh, with a different thread
+        // count, and demand bit-identity.
+        let reqs: Vec<PredictRequest> = oracle
+            .entries
+            .iter()
+            .map(|e| PredictRequest::Raw(oracle.keyer.canonical_od(e.key, &ds)))
+            .collect();
+        let fresh = model.estimate_batch(&ctx, &ds.net, &reqs, 4);
+        for (entry, res) in oracle.entries.iter().zip(fresh) {
+            let resp = res.expect("canonical request stays matchable");
+            assert_eq!(
+                entry.eta_seconds.to_bits(),
+                resp.eta_seconds.to_bits(),
+                "oracle drift at {:?}",
+                entry.key
+            );
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_and_rejects_corruption() {
+        let (ds, ctx, model) = fixture();
+        let spec = PrecomputeSpec {
+            cells: 2,
+            slots: 2,
+            cell_meters: 500.0,
+        };
+        let oracle = precompute(&model, &ctx, &ds, &spec, "fp".into(), 1);
+        let dir = std::env::temp_dir().join(format!("deepod-oracle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("oracle.json");
+        oracle.save(&path).expect("save artifact");
+        let loaded = OdOracle::load(&path).expect("load artifact");
+        assert_eq!(loaded.entries.len(), oracle.entries.len());
+        assert_eq!(loaded.model_fingerprint, "fp");
+        for e in &oracle.entries {
+            assert_eq!(loaded.lookup(e.key), Some(e.eta_seconds));
+        }
+        assert_eq!(
+            loaded.lookup(OracleKey {
+                origin_cell: u32::MAX,
+                dest_cell: u32::MAX,
+                week_slot: u32::MAX
+            }),
+            None
+        );
+        // Flip one payload byte: the checksummed read must fail as
+        // corruption, not parse garbage.
+        let mut bytes = std::fs::read(&path).expect("raw artifact");
+        bytes[10] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("corrupt artifact");
+        match OdOracle::load(&path) {
+            Err(OracleError::Io(e)) => assert!(e.is_corruption(), "unexpected: {e}"),
+            other => panic!("corrupt artifact must fail as Io, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hot_keys_are_deterministic_and_bounded() {
+        let (ds, ctx, _) = fixture();
+        let keyer = OdKeyer::for_network(&ds.net, 500.0, *ctx.slots());
+        let spec = PrecomputeSpec {
+            cells: 3,
+            slots: 5,
+            cell_meters: 500.0,
+        };
+        let a = hot_keys(&keyer, &ds, &spec);
+        let b = hot_keys(&keyer, &ds, &spec);
+        assert_eq!(a, b, "hot-key selection must not depend on map order");
+        assert!(a.len() <= 3 * 3 * 5);
+    }
+}

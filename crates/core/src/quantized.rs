@@ -342,7 +342,7 @@ mod tests {
             dtraf: 4,
             ..DeepOdConfig::default()
         };
-        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid slot size");
         let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         (ds, ctx, model)
     }

@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn coarse_slots_small_graph() {
-        let slots = TimeSlots::new(0.0, 3600.0); // hourly
+        let slots = TimeSlots::new(0.0, 3600.0).expect("valid slot size"); // hourly
         let g = build_temporal_graph(&slots);
         assert_eq!(g.num_nodes(), 168);
     }

@@ -163,7 +163,8 @@ impl<'a> Trainer<'a> {
         cfg: DeepOdConfig,
         opts: TrainOptions,
     ) -> Result<Self, ModelError> {
-        let ctx = FeatureContext::build(ds, cfg.slot_seconds);
+        let ctx = FeatureContext::build(ds, cfg.slot_seconds)
+            .map_err(|e| ModelError::InvalidConfig(e.to_string()))?;
         let model = DeepOdModel::new(&cfg, ds, &ctx)?;
         let train_samples = ctx.encode_orders(&ds.net, &ds.train);
         let val_samples = ctx.encode_orders(&ds.net, &ds.validation);

@@ -43,7 +43,7 @@ fn fixture() -> &'static Fixture {
             dtraf: 4,
             ..DeepOdConfig::default()
         };
-        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid slot size");
         let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         Fixture {
             ds: Arc::new(ds),

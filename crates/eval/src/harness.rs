@@ -161,7 +161,10 @@ pub fn all_baselines() -> Vec<Method> {
         Method::Baseline(Box::new(LinearRegression::new(1e-3))),
         Method::Baseline(Box::new(GbmPredictor::new(GbmConfig::default()))),
         Method::Baseline(Box::new(StnnPredictor::new(StnnConfig::default()))),
-        Method::Baseline(Box::new(MuratPredictor::new(MuratConfig::default()))),
+        // MuratConfig::default uses 300 s slots, a week divisor — cannot fail.
+        Method::Baseline(Box::new(
+            MuratPredictor::new(MuratConfig::default()).expect("default murat slot size"), // deepod-lint: allow(expect)
+        )),
     ]
 }
 

@@ -4,11 +4,13 @@
 //! plain-text/CSV reporting used by the per-table/figure binaries in
 //! `deepod-bench`.
 
+mod drift;
 mod harness;
 mod metrics;
 mod precision;
 mod report;
 
+pub use drift::{check_drift, DriftReport};
 pub use harness::{all_baselines, run_method, DeepOdMethod, HarnessError, Method, MethodResult};
 pub use metrics::{histogram, mae, mape, mare, Metrics, MetricsError, PredPair, MAPE_MIN_ACTUAL};
 pub use precision::{PrecisionGate, PrecisionReport};

@@ -25,11 +25,13 @@ use std::time::{Duration, Instant};
 
 use deepod_baselines::RouteTtePredictor;
 use deepod_core::obs::registry;
+use deepod_core::oracle::OracleKey;
 use deepod_core::{
     DeepOdModel, FeatureContext, ModelError, PredictRequest, PredictResponse, QuantizedModel,
 };
 use deepod_traj::CityDataset;
 
+use crate::cache::{self, ServeCache};
 use crate::shed::{backoff_ms, Ladder, LadderConfig, LadderState};
 use crate::supervisor::{self, Master};
 
@@ -205,6 +207,15 @@ impl ReplyHandle {
     }
 }
 
+/// Result of the pre-admission cache consult.
+enum CacheOutcome {
+    /// The cache answered; the handle is already resolved.
+    Hit(ReplyHandle),
+    /// No cached answer; the key (if the request was keyable) rides along
+    /// so the worker can populate the cache.
+    Miss(Option<OracleKey>),
+}
+
 pub(crate) struct Pending {
     pub(crate) req: PredictRequest,
     pub(crate) tx: mpsc::Sender<Result<EngineReply, ServeError>>,
@@ -216,6 +227,9 @@ pub(crate) struct Pending {
     /// The ladder was at `Degrade` or worse at admission: a fallback
     /// answer is acceptable for this request.
     pub(crate) degrade_ok: bool,
+    /// The cache key this request missed on at admission; a non-degraded
+    /// answer populates the cache under it.
+    pub(crate) cache_key: Option<OracleKey>,
 }
 
 pub(crate) struct QueueState {
@@ -267,6 +281,10 @@ pub(crate) struct Shared {
     pub(crate) depth: AtomicUsize,
     pub(crate) ladder: Mutex<Ladder>,
     pub(crate) config: EngineConfig,
+    /// The serving cache tier; consulted before admission, populated by
+    /// workers. `None` keeps every path bit-identical to the cacheless
+    /// engine.
+    pub(crate) cache: Option<Arc<ServeCache>>,
 }
 
 /// A long-lived inference engine: [`EngineConfig::workers`] supervised
@@ -305,6 +323,23 @@ impl InferenceEngine {
         ds: Arc<CityDataset>,
         config: EngineConfig,
     ) -> InferenceEngine {
+        InferenceEngine::start_with_cache(backend, fallback, None, ctx, ds, config)
+    }
+
+    /// [`start_with_fallback`](InferenceEngine::start_with_fallback) plus
+    /// a serving cache tier (DESIGN.md §15): raw requests are looked up
+    /// in the cache *before* queue admission — a hit replies immediately
+    /// without consuming worker capacity — and every non-degraded model
+    /// answer populates the cache's LRU tier. `None` is the cacheless
+    /// engine, bit-identical to the historical behavior.
+    pub fn start_with_cache(
+        backend: Backend,
+        fallback: Option<RouteTtePredictor>,
+        cache_tier: Option<Arc<ServeCache>>,
+        ctx: FeatureContext,
+        ds: Arc<CityDataset>,
+        config: EngineConfig,
+    ) -> InferenceEngine {
         registry::counter_add("serve.requests", 0);
         registry::counter_add("serve.degraded", 0);
         registry::counter_add("serve.rejected", 0);
@@ -316,6 +351,7 @@ impl InferenceEngine {
         registry::register_gauge("serve.queue_depth");
         registry::register_histogram("serve.batch_size");
         registry::register_histogram("serve.request_latency_ms");
+        cache::register_metrics();
         let config = EngineConfig {
             max_batch: config.max_batch.max(1),
             queue_capacity: config.queue_capacity.max(1),
@@ -329,6 +365,7 @@ impl InferenceEngine {
             depth: AtomicUsize::new(0),
             ladder: Mutex::new(Ladder::new(LadderConfig::for_capacity(total_capacity))),
             config,
+            cache: cache_tier,
         });
         let master = Arc::new(Master {
             backend,
@@ -373,6 +410,10 @@ impl InferenceEngine {
     /// single-worker engine with deadlines and retries off behaves
     /// bit-identically to the historical design.
     pub fn submit(&self, req: PredictRequest) -> Result<ReplyHandle, ServeError> {
+        let cache_key = match self.consult_cache(&req) {
+            CacheOutcome::Hit(handle) => return Ok(handle),
+            CacheOutcome::Miss(key) => key,
+        };
         let Some(shard) = self.pick_shard() else {
             return Err(ServeError::ShuttingDown);
         };
@@ -386,7 +427,7 @@ impl InferenceEngine {
             }
             q = shard.space.wait(q).unwrap_or_else(|p| p.into_inner());
         }
-        Ok(self.enqueue(shard, q, req, false))
+        Ok(self.enqueue(shard, q, req, false, cache_key))
     }
 
     /// Enqueues a request without blocking, under the degradation ladder:
@@ -405,6 +446,12 @@ impl InferenceEngine {
         req: PredictRequest,
         priority: Priority,
     ) -> Result<ReplyHandle, ServeError> {
+        // The cache sits *above* the degradation ladder: a hit costs no
+        // queue slot, so it must not be shed even under full overload.
+        let cache_key = match self.consult_cache(&req) {
+            CacheOutcome::Hit(handle) => return Ok(handle),
+            CacheOutcome::Miss(key) => key,
+        };
         // Observe the ladder before touching any queue lock: the depth is
         // an atomic, so admission control never nests the ladder mutex
         // inside a shard lock.
@@ -439,7 +486,36 @@ impl InferenceEngine {
                 capacity: self.shared.capacity,
             });
         }
-        Ok(self.enqueue(shard, q, req, state >= LadderState::Degrade))
+        Ok(self.enqueue(shard, q, req, state >= LadderState::Degrade, cache_key))
+    }
+
+    /// Consults the cache tier for a raw request. A hit builds a
+    /// pre-resolved [`ReplyHandle`] — the caller returns it without
+    /// touching any queue. A miss carries the key forward so the worker
+    /// can populate the cache from the computed answer.
+    fn consult_cache(&self, req: &PredictRequest) -> CacheOutcome {
+        let Some(cache) = &self.shared.cache else {
+            return CacheOutcome::Miss(None);
+        };
+        let PredictRequest::Raw(od) = req else {
+            // Encoded requests carry pre-built features the keyer cannot
+            // see through; they always take the worker path.
+            return CacheOutcome::Miss(None);
+        };
+        let Some(key) = cache.key_of(od) else {
+            return CacheOutcome::Miss(None);
+        };
+        match cache.lookup(key, cache::now_epoch_s()) {
+            Some(eta_seconds) => {
+                let (tx, rx) = mpsc::channel();
+                let _ = tx.send(Ok(EngineReply {
+                    result: Ok(PredictResponse { eta_seconds }),
+                    degraded: false,
+                }));
+                CacheOutcome::Hit(ReplyHandle { rx })
+            }
+            None => CacheOutcome::Miss(Some(key)),
+        }
     }
 
     /// [`try_submit_with`](InferenceEngine::try_submit_with) plus a
@@ -480,6 +556,7 @@ impl InferenceEngine {
         mut q: std::sync::MutexGuard<'_, QueueState>,
         req: PredictRequest,
         degrade_ok: bool,
+        cache_key: Option<OracleKey>,
     ) -> ReplyHandle {
         let (tx, rx) = mpsc::channel();
         let deadline = if self.config.deadline_ms > 0 {
@@ -494,6 +571,7 @@ impl InferenceEngine {
             deadline,
             attempts: 0,
             degrade_ok,
+            cache_key,
         });
         self.shared.depth.fetch_add(1, Ordering::Relaxed);
         drop(q);

@@ -1,5 +1,5 @@
 //! deepod-serve — long-lived batched inference for DeepOD (DESIGN.md §11,
-//! §14).
+//! §14, §15).
 //!
 //! The training-side crates answer one query per call; serving wants the
 //! opposite shape: load the model **once**, then answer a stream of
@@ -32,20 +32,30 @@
 //!   (marked `degraded`) when the model file is unusable, instead of
 //!   taking the process down; with a ladder fallback, requests admitted
 //!   under load degrade individually.
+//! * [`cache`] — the serving cache tier (DESIGN.md §15): an optional
+//!   precomputed [`deepod_core::OdOracle`] plus a bounded in-process LRU
+//!   ([`ServeCache`]), consulted **before queue admission** — a hit
+//!   replies immediately with the model's own bit-identical answer and
+//!   never consumes worker capacity; entries expire on wall-clock
+//!   time-slot boundaries, and degraded answers are never cached.
 //! * [`protocol`] — the newline-delimited JSON wire format the
-//!   `deepod serve` subcommand speaks on stdin/stdout.
+//!   `deepod serve` subcommand speaks on stdin/stdout; pre-epoch
+//!   departures are rejected per request at this layer
+//!   ([`protocol::validate_depart`]) instead of aliasing slot 0.
 //!
 //! Everything is instrumented through `deepod_core::obs`: queue depth
 //! gauge, batch-size and request-latency histograms, request / degraded /
 //! rejected / restart / deadline / retry / shed counters — all registered
 //! eagerly so metric snapshots carry the keys even for an idle engine.
 
+pub mod cache;
 mod engine;
 pub mod protocol;
 pub mod shed;
 mod supervisor;
 mod worker;
 
+pub use cache::{CacheConfig, CacheStats, ServeCache};
 pub use engine::{
     Backend, EngineConfig, EngineReply, InferenceEngine, Priority, ReplyHandle, ServeError,
 };
@@ -78,7 +88,7 @@ mod tests {
             dtraf: 4,
             ..DeepOdConfig::default()
         };
-        let ctx = FeatureContext::build(&ds, cfg.slot_seconds);
+        let ctx = FeatureContext::build(&ds, cfg.slot_seconds).expect("valid slot size");
         let model = DeepOdModel::new(&cfg, &ds, &ctx).expect("valid test config");
         (Arc::new(ds), ctx, model)
     }
@@ -202,6 +212,114 @@ mod tests {
             .expect("blocked submit answered too")
             .result
             .expect("resolves");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn lru_cache_answers_repeat_requests_bit_identically() {
+        use deepod_core::oracle::OdKeyer;
+        let (ds, ctx, model) = tiny_setup();
+        let od = od_of(&ds, 0);
+        let direct = model
+            .estimate_batch(&ctx, &ds.net, &[PredictRequest::Raw(od)], 1)
+            .pop()
+            .expect("one answer")
+            .expect("train od resolves");
+        let keyer = OdKeyer::for_network(&ds.net, 500.0, *ctx.slots());
+        let cache = Arc::new(
+            ServeCache::new(
+                keyer,
+                None,
+                CacheConfig {
+                    capacity: 16,
+                    ttl_seconds: 300.0,
+                    shards: 2,
+                },
+            )
+            .expect("valid ttl"),
+        );
+        let engine = InferenceEngine::start_with_cache(
+            Backend::Model(Box::new(model)),
+            None,
+            Some(Arc::clone(&cache)),
+            ctx,
+            Arc::clone(&ds),
+            EngineConfig {
+                max_batch: 1,
+                max_wait_ms: 1,
+                ..EngineConfig::default()
+            },
+        );
+        // First pass: a miss that the worker's answer populates.
+        let first = engine
+            .submit(PredictRequest::Raw(od))
+            .expect("queue accepts")
+            .recv()
+            .expect("answered");
+        assert!(!first.degraded);
+        let first_eta = first.result.expect("resolves").eta_seconds;
+        assert_eq!(first_eta.to_bits(), direct.eta_seconds.to_bits());
+        assert_eq!(cache.stats().misses, 1);
+        // Second pass: served from cache, still bit-identical.
+        let second = engine
+            .submit(PredictRequest::Raw(od))
+            .expect("hit bypasses the queue")
+            .recv()
+            .expect("answered");
+        assert!(!second.degraded);
+        assert_eq!(
+            second.result.expect("resolves").eta_seconds.to_bits(),
+            first_eta.to_bits()
+        );
+        assert_eq!(cache.stats().hits, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn oracle_tier_serves_canonical_requests_without_workers() {
+        use deepod_core::oracle::{precompute, PrecomputeSpec};
+        let (ds, ctx, model) = tiny_setup();
+        let oracle = precompute(
+            &model,
+            &ctx,
+            &ds,
+            &PrecomputeSpec {
+                cells: 3,
+                slots: 3,
+                cell_meters: 500.0,
+            },
+            "fp".into(),
+            1,
+        );
+        assert!(!oracle.entries.is_empty());
+        let entry = oracle.entries[0];
+        let canonical = oracle.keyer.canonical_od(entry.key, &ds);
+        let keyer = oracle.keyer;
+        let cache = Arc::new(
+            ServeCache::new(keyer, Some(Arc::new(oracle)), CacheConfig::default())
+                .expect("valid ttl"),
+        );
+        let engine = InferenceEngine::start_with_cache(
+            Backend::Model(Box::new(model)),
+            None,
+            Some(Arc::clone(&cache)),
+            ctx,
+            Arc::clone(&ds),
+            EngineConfig::default(),
+        );
+        let reply = engine
+            .try_submit(PredictRequest::Raw(canonical))
+            .expect("oracle hit bypasses admission")
+            .recv()
+            .expect("answered");
+        assert!(!reply.degraded);
+        assert_eq!(
+            reply.result.expect("resolves").eta_seconds.to_bits(),
+            entry.eta_seconds.to_bits(),
+            "oracle answer must be the precomputed one"
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0, "no worker involved");
         engine.shutdown();
     }
 

@@ -101,6 +101,25 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
     })
 }
 
+/// Validates a parsed request's departure time against the dataset's
+/// time-slot contract: `depart` must be a finite timestamp at or after
+/// the dataset epoch (t = 0). Pre-epoch requests are rejected *here*,
+/// per request on the wire, instead of being clamped onto slot 0 deep in
+/// the feature encoder — a clamped slot would silently answer with the
+/// wrong time-of-week conditions (and alias the wrong cache entry).
+pub fn validate_depart(depart: f64) -> Result<(), String> {
+    if !depart.is_finite() {
+        return Err(format!("depart: expected a finite timestamp, got {depart}"));
+    }
+    if depart < 0.0 {
+        return Err(format!(
+            "depart: {depart} is before the dataset epoch (t >= 0); \
+             pre-epoch times cannot be attributed to a time slot"
+        ));
+    }
+    Ok(())
+}
+
 /// Renders a successful response line.
 pub fn render_ok(id: u64, eta_seconds: f32, degraded: bool) -> String {
     format!("{{\"id\":{id},\"eta_s\":{eta_seconds:.1},\"degraded\":{degraded}}}")
@@ -174,6 +193,16 @@ mod tests {
                 .unwrap_err()
                 .contains("integer"),
         );
+    }
+
+    #[test]
+    fn depart_validation_rejects_pre_epoch_and_non_finite() {
+        assert!(validate_depart(0.0).is_ok(), "the epoch itself is valid");
+        assert!(validate_depart(604_800.0).is_ok());
+        let err = validate_depart(-1.0).expect_err("pre-epoch");
+        assert!(err.contains("before the dataset epoch"), "got: {err}");
+        assert!(validate_depart(f64::NAN).is_err());
+        assert!(validate_depart(f64::INFINITY).is_err());
     }
 
     #[test]

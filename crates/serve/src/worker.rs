@@ -102,7 +102,14 @@ pub(crate) fn worker_loop(
         if batch.is_empty() {
             continue;
         }
-        process_batch(shard, backend, fallback, ctx, ds, config.threads, batch);
+        let env = BatchEnv {
+            shard,
+            cache: shared.cache.as_deref(),
+            ctx,
+            ds,
+            threads: config.threads,
+        };
+        process_batch(&env, backend, fallback, batch);
     }
 }
 
@@ -122,15 +129,23 @@ pub(crate) fn sweep_expired(batch: &mut Vec<Pending>, now: Instant) -> Vec<Pendi
     expired
 }
 
+/// Everything immutable a worker hands `process_batch` alongside the
+/// batch itself, bundled so the compute path has one environment rather
+/// than a parade of loose parameters.
+struct BatchEnv<'a> {
+    shard: &'a Shard,
+    cache: Option<&'a crate::cache::ServeCache>,
+    ctx: &'a FeatureContext,
+    ds: &'a CityDataset,
+    threads: usize,
+}
+
 /// Runs one swept batch: stash it as in-flight (crash recovery), hit the
 /// chaos failpoints, compute, take the batch back, reply in order.
 fn process_batch(
-    shard: &Shard,
+    env: &BatchEnv<'_>,
     backend: &mut Backend,
     fallback: &mut Option<RouteTtePredictor>,
-    ctx: &FeatureContext,
-    ds: &CityDataset,
-    threads: usize,
     batch: Vec<Pending>,
 ) {
     registry::observe("serve.batch_size", batch.len() as f64);
@@ -142,7 +157,11 @@ fn process_batch(
     // unwinds, the supervisor takes this slot and either requeues the
     // requests (retry budget left) or fails them with a typed error.
     {
-        let mut slot = shard.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        let mut slot = env
+            .shard
+            .in_flight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         *slot = Some(batch);
     }
 
@@ -151,10 +170,22 @@ fn process_batch(
     failpoint::hit("serve::slow_batch");
     failpoint::hit("serve::worker_batch");
 
-    let results = compute_results(backend, fallback, ctx, ds, threads, &reqs, &degrade_mask);
+    let results = compute_results(
+        backend,
+        fallback,
+        env.ctx,
+        env.ds,
+        env.threads,
+        &reqs,
+        &degrade_mask,
+    );
 
     let batch: Vec<Pending> = {
-        let mut slot = shard.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        let mut slot = env
+            .shard
+            .in_flight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         slot.take().unwrap_or_default()
     };
     for (pending, (result, degraded)) in batch.into_iter().zip(results) {
@@ -164,6 +195,17 @@ fn process_batch(
         );
         if degraded {
             registry::counter_inc("serve.degraded");
+        }
+        // Populate the cache from a clean model answer. Degraded (fallback)
+        // answers are deliberately not cached: they would outlive the
+        // overload that produced them and keep serving worse estimates
+        // after the ladder recovers.
+        if let (Some(cache), Some(key), false, Ok(resp)) =
+            (env.cache, pending.cache_key, degraded, &result)
+        {
+            // Bounded by ServeCache's own LRU capacity + TTL eviction.
+            // deepod-lint: allow(no-unbounded-cache)
+            cache.insert(key, resp.eta_seconds, crate::cache::now_epoch_s());
         }
         if failpoint::should_fire("serve::drop_reply") {
             // Poisoned-reply injection: drop the slot instead of sending,
@@ -284,6 +326,7 @@ mod tests {
             deadline,
             attempts: 0,
             degrade_ok: false,
+            cache_key: None,
         }
     }
 

@@ -1,0 +1,30 @@
+//! Fixture: cache insertions with no bounding evidence anywhere in the
+//! file — each marked line must fire `no-unbounded-cache`. The allowed
+//! insert and the test-module insert must not.
+
+fn remember(&mut self, k: Key, v: f32) {
+    self.cache.insert(k, v); // fires: cache receiver, no bound in file
+}
+
+fn remember_lru(&mut self, k: Key, v: f32) {
+    self.lru_entries.insert(k, v); // fires: lru receiver, no bound in file
+}
+
+fn remember_delegated(&mut self, k: Key, v: f32) {
+    // The callee enforces its own bound: annotated, does not fire.
+    self.cache.insert(k, v); // deepod-lint: allow(no-unbounded-cache)
+}
+
+fn remember_elsewhere(&mut self, k: Key, v: f32) {
+    // Fires too: a `*cache*.rs` file is a cache wholesale, whatever the
+    // local receiver is called.
+    self.index.insert(k, v);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeding_a_cache_in_tests_is_fine() {
+        cache.insert(k, v);
+    }
+}

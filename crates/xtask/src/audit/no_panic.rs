@@ -14,10 +14,12 @@ use crate::parser::PanicKind;
 use std::collections::BTreeMap;
 
 /// The declared hot-path roots: `DeepOdModel::estimate_batch`, the
-/// public kernel dispatchers, and the serve engine's worker loop plus
-/// its submit entry points. A missing root is itself a finding — the
-/// certification must never silently narrow because a function moved.
-pub const DEFAULT_ROOTS: [(&str, &str); 9] = [
+/// public kernel dispatchers, the serve engine's worker loop plus its
+/// submit entry points, and the serving cache tier's lookup/insert path
+/// (consulted before queue admission on every raw request). A missing
+/// root is itself a finding — the certification must never silently
+/// narrow because a function moved.
+pub const DEFAULT_ROOTS: [(&str, &str); 11] = [
     ("crates/core/src/model.rs", "estimate_batch"),
     ("crates/core/src/quantized.rs", "estimate_batch"),
     ("crates/tensor/src/kernels.rs", "matmul"),
@@ -27,6 +29,8 @@ pub const DEFAULT_ROOTS: [(&str, &str); 9] = [
     ("crates/serve/src/worker.rs", "worker_loop"),
     ("crates/serve/src/engine.rs", "submit"),
     ("crates/serve/src/engine.rs", "try_submit"),
+    ("crates/serve/src/cache.rs", "lookup"),
+    ("crates/serve/src/cache.rs", "insert"),
 ];
 
 struct Accum {

@@ -36,6 +36,9 @@
 //! | `no-unsupervised-spawn` | a bare `thread::spawn` / `.spawn(` in            |
 //! |                     | `deepod-serve` outside `supervisor.rs` (panics would |
 //! |                     | strand queued requests behind a dead shard)          |
+//! | `no-unbounded-cache`| a cache-named `.insert(` in a file with no capacity  |
+//! |                     | bound or eviction in sight (a cache that only grows  |
+//! |                     | is a slow memory leak)                               |
 //!
 //! The workspace-level *audit* rules (call-graph analyses, DESIGN.md §13)
 //! live under `crate::audit` but register here so both passes report
@@ -52,6 +55,7 @@ mod parallel_coverage;
 mod simd;
 mod spawn;
 mod truncating_cast;
+mod unbounded_cache;
 
 pub use parallel_coverage::check_parallel_coverage;
 
@@ -66,7 +70,7 @@ use std::fmt;
 pub const DETERMINISTIC_CRATES: [&str; 4] = ["core", "nn", "tensor", "graphembed"];
 
 /// All lint rule names, in report order.
-pub const ALL_RULES: [&str; 12] = [
+pub const ALL_RULES: [&str; 13] = [
     "unwrap",
     "expect",
     "panic",
@@ -79,6 +83,7 @@ pub const ALL_RULES: [&str; 12] = [
     "no-env-read-in-lib",
     "no-unchecked-simd",
     "no-unsupervised-spawn",
+    "no-unbounded-cache",
 ];
 
 /// All audit rule names, in report order (analyses live in `crate::audit`).
@@ -134,7 +139,7 @@ pub struct RuleInfo {
 
 /// The single registry shared by `lint` and `audit`: every rule either
 /// pass can report, with its default severity and description.
-pub const REGISTRY: [RuleInfo; 18] = [
+pub const REGISTRY: [RuleInfo; 19] = [
     RuleInfo {
         id: "unwrap",
         pass: Pass::Lint,
@@ -206,6 +211,12 @@ pub const REGISTRY: [RuleInfo; 18] = [
         pass: Pass::Lint,
         severity: Severity::Deny,
         description: "bare thread spawn in deepod-serve outside the supervisor module",
+    },
+    RuleInfo {
+        id: "no-unbounded-cache",
+        pass: Pass::Lint,
+        severity: Severity::Deny,
+        description: "cache-named insert in a file with no capacity bound or eviction evidence",
     },
     RuleInfo {
         id: "no-panic",
@@ -363,6 +374,7 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     simd::check(ctx, &state, out);
     spawn::check(ctx, out);
     truncating_cast::check(ctx, out);
+    unbounded_cache::check(ctx, out);
 }
 
 /// Collects the names of `#[test]` functions (and any `fn` defined inside

@@ -144,6 +144,19 @@ fn unsupervised_spawn_rule_blesses_the_supervisor_module() {
 }
 
 #[test]
+fn unbounded_cache_rule_fires() {
+    assert_eq!(
+        rules_fired("unbounded_cache.rs", "serve"),
+        vec![
+            "no-unbounded-cache", // cache-named receiver
+            "no-unbounded-cache", // lru-named receiver
+            "no-unbounded-cache", // any insert in a *cache*.rs file
+        ],
+        "allow-annotated and test-module inserts do not fire"
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_false_positives() {
     let findings = xtask::lint_file_as(&fixture("clean.rs"), "tensor").expect("fixture");
     assert!(findings.is_empty(), "false positives: {findings:#?}");

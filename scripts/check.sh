@@ -62,6 +62,13 @@ stage serve      cargo test -q -p deepod-cli --test serve
 # saturation) — exactly one reply per request, supervised restarts
 # counted, deadlines swept, and single-worker bit-identity preserved.
 stage chaos      cargo test -q -p deepod-cli --test serve_chaos
+# Cache stage: the serving-cache tier end to end (DESIGN.md §15) —
+# precompute writes a fingerprinted OD-oracle artifact, canonical
+# requests hit it without touching the queue, LRU repeats answer
+# bit-identically to the cacheless path, TTL slot rollover expires
+# entries, and a corrupt or mismatched oracle degrades to cacheless
+# serving instead of wrong answers.
+stage cache      cargo test -q -p deepod-cli --test serve_cache
 # Kernel stage: property tests proving the packed/SIMD matmul, matvec,
 # axpy, and int8 paths bit-identical to the scalar reference (DESIGN.md
 # §12 determinism contract), then the eval-side precision gate on a

@@ -46,7 +46,7 @@ fn corrupt_trajectories_fail_validation() {
 #[test]
 fn encoder_drops_orders_with_off_network_endpoints() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
-    let ctx = FeatureContext::build(&ds, 300.0);
+    let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
     let mut bad = ds.train[0].clone();
     bad.od.origin = Point::new(-1e9, -1e9);
     let encoded = ctx.encode_orders(&ds.net, &[bad]);
@@ -59,7 +59,7 @@ fn encoder_drops_orders_with_off_network_endpoints() {
 #[test]
 fn empty_trajectory_order_dropped_by_encoder() {
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
-    let ctx = FeatureContext::build(&ds, 300.0);
+    let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
     let mut bad = ds.train[0].clone();
     bad.trajectory = MatchedTrajectory {
         path: vec![],
@@ -132,7 +132,7 @@ fn zero_duration_steps_tolerated_end_to_end() {
     // Degenerate steps (enter == exit) occur for tiny partial segments;
     // the whole pipeline must accept them.
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 60));
-    let ctx = FeatureContext::build(&ds, 300.0);
+    let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
     let mut order = ds.train[0].clone();
     let first = order.trajectory.path[0];
     order.trajectory.path.insert(
@@ -155,7 +155,7 @@ fn prediction_for_unroutable_edge_ids_out_of_range_guarded() {
     // Gather with an out-of-range edge index must panic loudly (assert),
     // not read out of bounds.
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 40));
-    let ctx = FeatureContext::build(&ds, 300.0);
+    let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
     let mut sample = ctx.encode_order(&ds.net, &ds.train[0]).expect("encodable");
     sample.steps[0].edge = usize::MAX;
     let mut trainer = Trainer::new(&ds, tiny_cfg(), TrainOptions::default()).expect("trainer");

@@ -29,12 +29,12 @@ fn full_data_pipeline_produces_consistent_dataset() {
     }
 
     // Feature encoding over the whole dataset.
-    let ctx = FeatureContext::build(&ds, 300.0);
+    let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
     let train_enc = ctx.encode_orders(&ds.net, &ds.train);
     assert!(train_enc.len() * 10 >= ds.train.len() * 9);
 
     // Slot nodes round-trip through the shared discretization.
-    let slots = TimeSlots::new(0.0, 300.0);
+    let slots = TimeSlots::new(0.0, 300.0).expect("valid slot size");
     for (enc, raw) in train_enc.iter().zip(&ds.train) {
         assert_eq!(enc.od.depart_node, slots.week_node_of(raw.od.depart));
     }
@@ -81,7 +81,7 @@ fn speed_matrices_reflect_congestion() {
     // The traffic-condition feature should show lower speeds at rush hour
     // than overnight, averaged over the grid.
     let ds = DatasetBuilder::build(&DatasetConfig::for_profile(CityProfile::SynthChengdu, 400));
-    let ctx = FeatureContext::build(&ds, 300.0);
+    let ctx = FeatureContext::build(&ds, 300.0).expect("valid slot size");
 
     // Use encoded orders' speed matrices, averaged over ALL weekday
     // rush-hour vs overnight departures — each order's matrix covers its
