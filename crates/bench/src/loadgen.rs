@@ -1,0 +1,439 @@
+//! Open-loop load generation for the TCP serving front end
+//! (`deepod bench-serve`).
+//!
+//! Closed-loop benchmarks (send, wait, send) measure service time but
+//! hide queueing delay: the client politely slows down exactly when the
+//! server saturates, so the tail never shows. An **open-loop** generator
+//! schedules arrivals on the clock — request `i` is sent at
+//! `start + i / offered_rps`, whether or not earlier replies have come
+//! back — which is how independent users actually arrive, and which makes
+//! the saturation knee visible: past capacity, latency grows without
+//! bound and the typed per-client rejects kick in.
+//!
+//! The schedule is deterministic (fixed inter-arrival gaps, no Poisson
+//! jitter): run-to-run differences then come from the server, not the
+//! generator's RNG.
+//!
+//! Latency is measured **from the scheduled arrival**, not from the
+//! moment the sender thread managed to write the frame — if the sender
+//! falls behind the schedule, that lateness is queueing delay the client
+//! experienced and must count (the "coordinated omission" trap).
+
+use deepod_serve::client::ServeClient;
+use deepod_serve::protocol::WireRequest;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Nearest-rank percentile over ascending-sorted nanosecond latencies.
+pub fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * p).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One open-loop run to execute.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSpec {
+    /// Scheduled arrival rate, requests per second.
+    pub offered_rps: f64,
+    /// Requests sent in total (including warmup).
+    pub total: usize,
+    /// Leading requests excluded from the statistics (cold caches,
+    /// first-batch coalescing).
+    pub warmup: usize,
+}
+
+/// What one open-loop run measured.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// The scheduled arrival rate.
+    pub offered_rps: f64,
+    /// Completed responses per second over the measured window.
+    pub achieved_rps: f64,
+    /// Measured (post-warmup) requests.
+    pub sent: usize,
+    /// Measured requests answered with an ETA.
+    pub ok: usize,
+    /// Measured requests answered with a typed error (sheds, per-client
+    /// rejects — the overload signal).
+    pub errors: usize,
+    /// Latency percentiles over *answered* measured requests, in
+    /// nanoseconds from scheduled arrival to reply.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Fastest answered request (ns).
+    pub min_ns: u64,
+    /// Slowest answered request (ns).
+    pub max_ns: u64,
+    /// The knee detector: the run is past saturation when throughput
+    /// fell measurably short of the offered rate or the server started
+    /// shedding.
+    pub saturated: bool,
+}
+
+/// Requests kept in flight by the calibration client. Lock-step (window
+/// of 1) would measure the batching latency floor — one request per
+/// `max_wait_ms` coalescing window — not capacity; a pipelined window
+/// lets the server batch, like real concurrent clients do. Kept under
+/// the serve front end's default per-connection in-flight cap so
+/// calibration itself is never shed.
+const CALIBRATE_WINDOW: usize = 16;
+
+/// Closed-loop calibration: drives `total` requests with
+/// [`CALIBRATE_WINDOW`] of them pipelined (each reply immediately
+/// replaced by the next request) and returns the sustained service rate
+/// in requests/second — the capacity anchor the open-loop sweep
+/// expresses its offered loads against.
+pub fn calibrate(addr: &str, template: &[WireRequest], total: usize) -> io::Result<f64> {
+    if template.is_empty() || total == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "calibration needs at least one template request",
+        ));
+    }
+    let mut client = ServeClient::connect(addr)?;
+    client.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let req_at = |i: usize| {
+        let mut req = template[i % template.len()];
+        req.id = i as u64;
+        req
+    };
+    // Warm the path (connection, first coalesced batch) before timing.
+    for i in 0..template.len().min(8) {
+        client.send(&req_at(i))?;
+        client.recv()?;
+    }
+    let window = CALIBRATE_WINDOW.min(total);
+    let t0 = Instant::now();
+    for i in 0..window {
+        client.send(&req_at(i))?;
+    }
+    for i in window..total {
+        client.recv()?;
+        client.send(&req_at(i))?;
+    }
+    for _ in 0..window {
+        client.recv()?;
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    Ok(total as f64 / secs)
+}
+
+/// One open-loop run against a serving endpoint. Requests cycle through
+/// `template` with ids rewritten to the schedule index, the sender paces
+/// them on the fixed arrival schedule, and a receiver thread matches
+/// replies back to their scheduled instants. Exactly one reply per
+/// request is expected (the wire contract); a read timeout guards
+/// against a wedged server.
+pub fn run_open_loop(
+    addr: &str,
+    template: &[WireRequest],
+    spec: &LoadSpec,
+) -> io::Result<OpenLoopReport> {
+    if template.is_empty() || spec.total == 0 || spec.offered_rps <= 0.0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "open-loop run needs template requests, a positive total, and a positive rate",
+        ));
+    }
+    let client = ServeClient::connect(addr)?;
+    let (mut sender, mut receiver) = client.split();
+    receiver.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let interval = Duration::from_secs_f64(1.0 / spec.offered_rps);
+    let total = spec.total;
+    let start = Instant::now();
+
+    // Receiver thread: one reply per request, matched to its scheduled
+    // arrival by id. Latency from the *schedule*, not the send instant.
+    let collector = std::thread::spawn(move || {
+        let mut answered: Vec<(u64, bool, u64, Instant)> = Vec::with_capacity(total);
+        for _ in 0..total {
+            let resp = match receiver.recv() {
+                Ok(resp) => resp,
+                Err(_) => break, // timeout or server gone: report what we have
+            };
+            let now = Instant::now();
+            let Some(id) = resp.id() else {
+                // A reply without an id (a frame-level reject) cannot be
+                // matched to a schedule slot; count it as an error later
+                // via the missing-slot accounting.
+                continue;
+            };
+            let scheduled = start + interval * (id as u32);
+            let latency = now.saturating_duration_since(scheduled).as_nanos() as u64;
+            answered.push((id, resp.is_ok(), latency, now));
+        }
+        answered
+    });
+
+    for i in 0..total {
+        let due = start + interval * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let mut req = template[i % template.len()];
+        req.id = i as u64;
+        sender.send(&req)?;
+    }
+
+    let answered = collector
+        .join()
+        .map_err(|_| io::Error::other("open-loop collector thread panicked"))?;
+
+    let warmup = spec.warmup as u64;
+    let measured_sent = total.saturating_sub(spec.warmup);
+    let mut ok_lat: Vec<u64> = Vec::with_capacity(measured_sent);
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    let mut last_completion: Option<Instant> = None;
+    for &(id, is_ok, latency, at) in &answered {
+        if id < warmup {
+            continue;
+        }
+        if is_ok {
+            ok += 1;
+            ok_lat.push(latency);
+        } else {
+            errors += 1;
+        }
+        last_completion = Some(last_completion.map_or(at, |t| t.max(at)));
+    }
+    ok_lat.sort_unstable();
+    let mean_ns = if ok_lat.is_empty() {
+        0.0
+    } else {
+        ok_lat.iter().map(|&ns| ns as f64).sum::<f64>() / ok_lat.len() as f64
+    };
+    // Throughput window: from the first measured scheduled arrival to the
+    // last observed completion.
+    let window_start = start + interval * (warmup as u32);
+    let achieved_rps = match last_completion {
+        Some(end) => {
+            let secs = end.saturating_duration_since(window_start).as_secs_f64();
+            (ok + errors) as f64 / secs.max(1e-9)
+        }
+        None => 0.0,
+    };
+    // Knee detector: lost replies, shed replies, or throughput measurably
+    // below the offered rate all mean the server is past its capacity.
+    let lost = measured_sent.saturating_sub(ok + errors);
+    let err_fraction = (errors + lost) as f64 / (measured_sent.max(1)) as f64;
+    let saturated = err_fraction > 0.05 || achieved_rps < 0.95 * spec.offered_rps;
+    Ok(OpenLoopReport {
+        offered_rps: spec.offered_rps,
+        achieved_rps,
+        sent: measured_sent,
+        ok,
+        errors: errors + lost,
+        p50_ns: percentile(&ok_lat, 50),
+        p90_ns: percentile(&ok_lat, 90),
+        p99_ns: percentile(&ok_lat, 99),
+        mean_ns,
+        min_ns: ok_lat.first().copied().unwrap_or(0),
+        max_ns: ok_lat.last().copied().unwrap_or(0),
+        saturated,
+    })
+}
+
+/// One benchmark entry destined for a `BENCH_*.json` report — the
+/// criterion-compatible fields plus free-form extras (percentiles,
+/// offered/achieved rates) whose values are pre-rendered JSON.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Benchmark id, e.g. `serve/net_openloop_w4_u90`.
+    pub id: String,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Minimum latency (ns).
+    pub min_ns: f64,
+    /// Maximum latency (ns).
+    pub max_ns: f64,
+    /// Measurements behind the stats.
+    pub samples: usize,
+    /// Iterations per sample (1 for per-request measurements).
+    pub iters_per_sample: usize,
+    /// Extra `"key": value` pairs; values are already-rendered JSON
+    /// (numbers or booleans).
+    pub extra: Vec<(String, String)>,
+}
+
+impl From<&OpenLoopReport> for BenchEntry {
+    fn from(r: &OpenLoopReport) -> BenchEntry {
+        BenchEntry {
+            id: String::new(),
+            mean_ns: r.mean_ns,
+            min_ns: r.min_ns as f64,
+            max_ns: r.max_ns as f64,
+            samples: r.ok,
+            iters_per_sample: 1,
+            extra: vec![
+                ("p50_ns".into(), format!("{}", r.p50_ns)),
+                ("p90_ns".into(), format!("{}", r.p90_ns)),
+                ("p99_ns".into(), format!("{}", r.p99_ns)),
+                ("offered_rps".into(), format!("{:.1}", r.offered_rps)),
+                ("achieved_rps".into(), format!("{:.1}", r.achieved_rps)),
+                ("errors".into(), format!("{}", r.errors)),
+                ("saturated".into(), format!("{}", r.saturated)),
+            ],
+        }
+    }
+}
+
+fn render_value(v: &serde::json::Value, out: &mut String) {
+    use serde::json::Value;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{b}");
+        }
+        Value::Num(raw) => out.push_str(raw),
+        Value::Str(s) => serde::json::escape_str(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                serde::json::escape_str(k, out);
+                out.push_str(": ");
+                render_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Merges `entries` into an existing `BENCH_*.json` report: entries whose
+/// id starts with `own_prefix` are replaced wholesale, foreign entries
+/// (e.g. criterion's closed-loop numbers) are preserved verbatim, and an
+/// unreadable existing report is treated as empty rather than fatal.
+pub fn merge_bench_json(
+    existing: Option<&str>,
+    own_prefix: &str,
+    entries: &[BenchEntry],
+) -> String {
+    use serde::json::{self, Value};
+    let mut kept: Vec<String> = Vec::new();
+    if let Some(Ok(parsed)) = existing.map(json::parse) {
+        if let Ok(list) = json::obj_field(&parsed, "benchmarks").and_then(json::expect_arr) {
+            for entry in list {
+                let foreign = match json::obj_field(entry, "id") {
+                    Ok(Value::Str(id)) => !id.starts_with(own_prefix),
+                    _ => true,
+                };
+                if foreign {
+                    let mut line = String::new();
+                    render_value(entry, &mut line);
+                    kept.push(line);
+                }
+            }
+        }
+    }
+    for e in entries {
+        let mut line = format!(
+            "{{\"id\": {:?}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}",
+            e.id, e.mean_ns, e.min_ns, e.max_ns, e.samples, e.iters_per_sample
+        );
+        for (k, v) in &e.extra {
+            use std::fmt::Write as _;
+            let _ = write!(line, ", {k:?}: {v}");
+        }
+        line.push('}');
+        kept.push(line);
+    }
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, line) in kept.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    ");
+        out.push_str(line);
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&lat, 50), 50);
+        assert_eq!(percentile(&lat, 99), 99);
+        assert_eq!(percentile(&lat, 100), 100);
+        assert_eq!(percentile(&[42], 99), 42);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn merge_replaces_own_and_keeps_foreign() {
+        let existing = r#"{
+  "benchmarks": [
+    {"id": "serve/workload64_batch1", "mean_ns": 100.0, "min_ns": 90.0, "max_ns": 110.0, "samples": 20, "iters_per_sample": 3},
+    {"id": "serve/net_openloop_w1_u50", "mean_ns": 5.0, "min_ns": 5.0, "max_ns": 5.0, "samples": 1, "iters_per_sample": 1}
+  ]
+}"#;
+        let fresh = BenchEntry {
+            id: "serve/net_openloop_w1_u50".into(),
+            mean_ns: 7.5,
+            min_ns: 7.0,
+            max_ns: 8.0,
+            samples: 10,
+            iters_per_sample: 1,
+            extra: vec![
+                ("p99_ns".into(), "8".into()),
+                ("saturated".into(), "false".into()),
+            ],
+        };
+        let merged = merge_bench_json(Some(existing), "serve/net_openloop", &[fresh]);
+        assert!(
+            merged.contains("serve/workload64_batch1"),
+            "foreign kept: {merged}"
+        );
+        assert!(
+            merged.contains("\"mean_ns\": 7.5"),
+            "own replaced: {merged}"
+        );
+        assert!(
+            !merged.contains("\"mean_ns\": 5.0"),
+            "stale own dropped: {merged}"
+        );
+        assert!(
+            merged.contains("\"p99_ns\": 8"),
+            "extras rendered: {merged}"
+        );
+        // The merged report is itself parseable.
+        let parsed = serde::json::parse(&merged).expect("merged report parses");
+        let list = serde::json::obj_field(&parsed, "benchmarks")
+            .and_then(serde::json::expect_arr)
+            .expect("benchmarks array");
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn merge_tolerates_garbage_existing_report() {
+        let merged = merge_bench_json(Some("not json at all"), "serve/net_openloop", &[]);
+        assert!(serde::json::parse(&merged).is_ok());
+    }
+}

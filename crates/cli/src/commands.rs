@@ -30,14 +30,37 @@ USAGE:
                   [--retry-budget N] [--reject-when-full]
                   [--precision <f32|int8>] [--int8-mape-bound PP]
                   [--oracle FILE] [--cache-capacity N] [--cache-ttl-s S]
+                  [--listen ADDR] [--max-conns N] [--max-in-flight N]
+                  [--max-frame-bytes N]
+  deepod bench-serve --data FILE --model FILE [--out FILE] [--smoke]
   deepod info     --data FILE
   deepod help
 
 serve reads newline-delimited JSON requests on stdin —
-  {\"id\": 1, \"from\": [X, Y], \"to\": [X, Y], \"depart\": T}
+  {\"v\": 1, \"id\": 1, \"from\": [X, Y], \"to\": [X, Y], \"depart\": T}
 — coalesces them into micro-batches (up to --max-batch requests or
 --max-wait-ms of waiting), and answers in input order on stdout:
   {\"id\":1,\"eta_s\":412.5,\"degraded\":false}
+The \"v\" protocol-version field is optional (absent means v1); frames
+declaring any other version get a typed structured reject
+{\"id\":null,\"error\":{\"kind\":\"unsupported_version\",\"msg\":...}}.
+
+With --listen ADDR the same protocol is served over TCP instead (the
+first stdout line reports the bound address; the process serves until
+stdin closes). Each connection gets its own reader/writer pair and
+per-client admission control: --max-in-flight caps one connection's
+unanswered requests (typed in_flight_limit rejects beyond it, so a
+greedy client sheds itself instead of filling the shared queue),
+--max-conns caps concurrent connections (typed connection_limit), and
+--max-frame-bytes caps one request line (typed frame_too_large; the
+connection survives).
+
+bench-serve drives that TCP stack in-process with an open-loop load
+generator (deterministic arrival schedule — clients do not wait for
+replies): workers {1,4} x offered load {50,90,110}% of the measured
+closed-loop capacity, reporting p50/p90/p99 latency from *scheduled*
+arrival to reply plus a saturation flag, merged into --out (default
+BENCH_serve.json). --smoke shrinks the sweep for CI.
 By default a full queue blocks the reader (backpressure); with
 --reject-when-full admission runs through a degradation ladder driven by
 queue depth (healthy -> degrade-to-fallback -> shed \"priority\":\"low\"
@@ -137,6 +160,7 @@ pub fn dispatch(argv: &[String]) -> Result<Outcome, String> {
         "eval" => eval_cmd(&Args::parse(rest)?),
         "precompute" => precompute_cmd(&Args::parse(rest)?),
         "serve" => serve(&Args::parse(rest)?),
+        "bench-serve" => bench_serve(&Args::parse(rest)?),
         "info" => info(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -582,16 +606,9 @@ fn cache_tier(
     Ok(Some(Arc::new(cache)))
 }
 
-/// What the response writer thread consumes, in submission order: either
-/// a reply still in flight inside the engine, or a line that is already
-/// final (parse errors, queue-full rejections).
-enum OutItem {
-    Pending(u64, deepod_serve::ReplyHandle),
-    Ready(String),
-}
-
 fn serve(args: &Args) -> Result<Outcome, String> {
-    use deepod_serve::{Backend, EngineConfig, InferenceEngine, Priority};
+    use deepod_serve::net::{self, Submission};
+    use deepod_serve::{Backend, EngineConfig, InferenceEngine};
     use std::io::{BufRead, Write};
     use std::sync::Arc;
 
@@ -692,6 +709,9 @@ fn serve(args: &Args) -> Result<Outcome, String> {
         Arc::clone(&ds),
         config,
     );
+    if let Some(addr) = args.get("listen") {
+        return serve_listen(args, engine, ds, addr, degraded_backend);
+    }
     deepod_core::obs::info(
         "serve",
         "engine up; reading requests from stdin",
@@ -714,25 +734,17 @@ fn serve(args: &Args) -> Result<Outcome, String> {
 
     // Writer thread: prints responses strictly in submission order, so the
     // reader can keep enqueueing while earlier batches are still in flight.
-    let (out_tx, out_rx) = std::sync::mpsc::channel::<OutItem>();
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<Submission>();
     let writer = std::thread::spawn(move || {
         let stdout = std::io::stdout();
         let mut out = std::io::BufWriter::new(stdout.lock());
         for item in out_rx {
             let line = match item {
-                OutItem::Ready(line) => line,
-                OutItem::Pending(id, rx) => match rx.recv() {
-                    Ok(reply) => match reply.result {
-                        Ok(resp) => {
-                            deepod_serve::protocol::render_ok(id, resp.eta_seconds, reply.degraded)
-                        }
-                        Err(e) => deepod_serve::protocol::render_error(Some(id), &e.to_string()),
-                    },
-                    // Typed queueing failure: worker crash past its retry
-                    // budget, an expired deadline, or shutdown. The handle
-                    // resolves rather than hangs — exactly one line per id.
-                    Err(e) => deepod_serve::protocol::render_error(Some(id), &e.to_string()),
-                },
+                Submission::Ready(line) => line,
+                // The handle resolves rather than hangs — exactly one
+                // line per id, even for a worker crash past its retry
+                // budget, an expired deadline, or shutdown.
+                Submission::Pending(id, rx) => net::render_reply(id, rx.recv()),
             };
             if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
                 return; // stdout closed: the client is gone
@@ -740,58 +752,25 @@ fn serve(args: &Args) -> Result<Outcome, String> {
         }
     });
 
+    // Admission policy: by default a full queue blocks this reader
+    // (single-client backpressure); --reject-when-full runs the
+    // degradation ladder with queue-full retries up to --retry-budget.
+    let admission = if reject_when_full {
+        net::Admission::Shed
+    } else {
+        net::Admission::Block
+    };
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let item = match deepod_serve::protocol::parse_request(&line) {
-            // Pre-epoch (or non-finite) departures cannot be attributed
-            // to a time slot; reject them per request instead of letting
-            // the encoder clamp them onto slot 0's conditions.
-            Ok(wire) => match deepod_serve::protocol::validate_depart(wire.depart) {
-                Err(why) => {
-                    OutItem::Ready(deepod_serve::protocol::render_error(Some(wire.id), &why))
-                }
-                Ok(()) => {
-                    let od = OdInput {
-                        origin: Point::new(wire.from.0, wire.from.1),
-                        destination: Point::new(wire.to.0, wire.to.1),
-                        depart: wire.depart,
-                        weather: ds.traffic.weather().at(wire.depart),
-                    };
-                    let req = PredictRequest::Raw(od);
-                    let priority = if wire.low_priority {
-                        Priority::Low
-                    } else {
-                        Priority::Normal
-                    };
-                    // Submitting while the StdinLock is live is the intended
-                    // single-producer design: only this loop reads stdin, so
-                    // nothing can contend the guard, and the engine queue has
-                    // its own backpressure.
-                    let submitted = if reject_when_full {
-                        // Admission-controlled path: the degradation ladder
-                        // decides, and queue-full rejections retry on the
-                        // deterministic backoff up to --retry-budget.
-                        engine.try_submit_retry(req, priority)
-                    } else {
-                        // deepod-audit: allow(lock-across-send)
-                        engine.submit(req)
-                    };
-                    match submitted {
-                        Ok(rx) => OutItem::Pending(wire.id, rx),
-                        // Typed shed/reject/shutdown: answer immediately so
-                        // every request line still yields exactly one reply.
-                        Err(e) => OutItem::Ready(deepod_serve::protocol::render_error(
-                            Some(wire.id),
-                            &e.to_string(),
-                        )),
-                    }
-                }
-            },
-            Err(why) => OutItem::Ready(deepod_serve::protocol::render_error(None, &why)),
+        // Decoding and submission are the exact path the TCP front end
+        // runs — the two modes cannot drift. Submitting while the
+        // StdinLock is live is the intended single-producer design: only
+        // this loop reads stdin, so nothing can contend the guard, and
+        // the engine queue has its own backpressure.
+        // deepod-audit: allow(lock-across-send)
+        let Some(item) = net::process_line(&engine, &ds, &line, admission) else {
+            continue; // blank line: no reply owed
         };
         // Same single-producer stdin loop; the writer thread never takes
         // the StdinLock, so handing off under it cannot deadlock.
@@ -813,6 +792,155 @@ fn serve(args: &Args) -> Result<Outcome, String> {
     } else {
         Ok(Outcome::Ok)
     }
+}
+
+/// `serve --listen ADDR`: the TCP front end. The engine is shared with
+/// the listener's connection threads; the process serves until stdin
+/// reaches EOF (the lifecycle contract a supervising parent drives —
+/// close the child's stdin to stop it), then drains and exits.
+fn serve_listen(
+    args: &Args,
+    engine: deepod_serve::InferenceEngine,
+    ds: std::sync::Arc<deepod_traj::CityDataset>,
+    addr: &str,
+    degraded_backend: bool,
+) -> Result<Outcome, String> {
+    use deepod_serve::net::{NetConfig, NetServer};
+    use std::io::BufRead;
+    use std::sync::Arc;
+
+    let defaults = NetConfig::default();
+    let net_config = NetConfig {
+        max_connections: args.get_parsed("max-conns", defaults.max_connections)?,
+        max_in_flight: args.get_parsed("max-in-flight", defaults.max_in_flight)?,
+        max_frame_bytes: args.get_parsed("max-frame-bytes", defaults.max_frame_bytes)?,
+    };
+    let engine = Arc::new(engine);
+    let server = NetServer::start(Arc::clone(&engine), ds, addr, net_config)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    deepod_core::obs::info(
+        "serve",
+        "engine up; serving over TCP",
+        &[
+            ("addr", server.local_addr().to_string().as_str().into()),
+            ("workers", engine.config().workers.into()),
+            ("max_conns", net_config.max_connections.into()),
+            ("max_in_flight", net_config.max_in_flight.into()),
+            ("degraded", degraded_backend.into()),
+        ],
+    );
+    // First stdout line tells the parent where we actually bound (":0"
+    // resolves to an ephemeral port). Stdout is line-buffered, so the
+    // line is visible immediately.
+    println!("{{\"listening\":\"{}\"}}", server.local_addr());
+    for _ in std::io::stdin().lock().lines() {
+        // Serve until stdin closes; input lines are ignored in TCP mode.
+    }
+    server.shutdown();
+    if let Ok(engine) = Arc::try_unwrap(engine) {
+        engine.shutdown();
+    } // else: a straggler still holds a clone; its Drop closes the engine
+    if degraded_backend {
+        Ok(Outcome::Degraded)
+    } else {
+        Ok(Outcome::Ok)
+    }
+}
+
+/// `bench-serve`: open-loop load generation against an in-process TCP
+/// serving stack — workers {1, 4} × offered load {50, 90, 110}% of the
+/// measured closed-loop capacity — reporting p50/p90/p99 latency and the
+/// saturation knee into a BENCH-style JSON report.
+fn bench_serve(args: &Args) -> Result<Outcome, String> {
+    use deepod_bench::loadgen::{self, BenchEntry, LoadSpec};
+    use deepod_serve::net::{NetConfig, NetServer};
+    use deepod_serve::{Backend, EngineConfig, InferenceEngine, WireRequest};
+    use std::sync::Arc;
+
+    let ds = Arc::new(load_dataset(args.require("data")?)?);
+    let model = load_model(args.require("model")?).map_err(|e| format!("loading model: {e}"))?;
+    let smoke = args.has_switch("smoke");
+    let out_path = args.get("out").unwrap_or("BENCH_serve.json").to_string();
+    let (total, warmup, calibrate_n) = if smoke { (60, 10, 20) } else { (600, 100, 200) };
+
+    // Template requests drawn from the dataset's own orders: realistic
+    // OD pairs and departure times, ids rewritten per run.
+    let template: Vec<WireRequest> = ds
+        .train
+        .iter()
+        .take(64)
+        .map(|o| WireRequest {
+            id: 0,
+            from: (o.od.origin.x, o.od.origin.y),
+            to: (o.od.destination.x, o.od.destination.y),
+            depart: o.od.depart,
+            low_priority: false,
+        })
+        .collect();
+    if template.is_empty() {
+        return Err("dataset has no training orders to replay".into());
+    }
+
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    for workers in [1usize, 4] {
+        let slot_seconds = model.config.slot_seconds;
+        let ctx = FeatureContext::build(&ds, slot_seconds)
+            .map_err(|e| format!("slot configuration: {e}"))?;
+        let engine = Arc::new(InferenceEngine::start(
+            Backend::Model(Box::new(model.clone())),
+            ctx,
+            Arc::clone(&ds),
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+        ));
+        let server = NetServer::start(
+            Arc::clone(&engine),
+            Arc::clone(&ds),
+            "127.0.0.1:0",
+            NetConfig::default(),
+        )
+        .map_err(|e| format!("binding loopback: {e}"))?;
+        let addr = server.local_addr().to_string();
+
+        let capacity_rps = loadgen::calibrate(&addr, &template, calibrate_n)
+            .map_err(|e| format!("calibrating against {addr}: {e}"))?;
+        println!("workers={workers}: measured capacity {capacity_rps:.0} req/s");
+        for load_pct in [50u32, 90, 110] {
+            let spec = LoadSpec {
+                offered_rps: capacity_rps * f64::from(load_pct) / 100.0,
+                total,
+                warmup,
+            };
+            let report = loadgen::run_open_loop(&addr, &template, &spec)
+                .map_err(|e| format!("open-loop run against {addr}: {e}"))?;
+            println!(
+                "workers={workers} load={load_pct}%: offered {:.0} req/s, achieved {:.0} req/s, \
+                 p50 {:.2} ms, p99 {:.2} ms, errors {}{}",
+                report.offered_rps,
+                report.achieved_rps,
+                report.p50_ns as f64 / 1e6,
+                report.p99_ns as f64 / 1e6,
+                report.errors,
+                if report.saturated { " [saturated]" } else { "" },
+            );
+            let mut entry = BenchEntry::from(&report);
+            entry.id = format!("serve/net_openloop_w{workers}_u{load_pct}");
+            entries.push(entry);
+        }
+        server.shutdown();
+        if let Ok(engine) = Arc::try_unwrap(engine) {
+            engine.shutdown();
+        }
+    }
+
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let merged = loadgen::merge_bench_json(existing.as_deref(), "serve/net_openloop", &entries);
+    io_guard::atomic_write_str(Path::new(&out_path), &merged)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("wrote {} open-loop results to {out_path}", entries.len());
+    Ok(Outcome::Ok)
 }
 
 fn info(args: &Args) -> Result<Outcome, String> {

@@ -15,7 +15,7 @@ use deepod_nn::layers::{BatchNorm2d, Embedding, Mlp2};
 use deepod_nn::{Gradients, Graph, ParamStore, VarId};
 use deepod_roadnet::LineGraph;
 use deepod_tensor::Tensor;
-use deepod_traj::{CityDataset, OdInput, TaxiOrder};
+use deepod_traj::{CityDataset, OdInput};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -532,50 +532,6 @@ impl DeepOdModel {
         .into_iter()
         .flatten()
         .collect()
-    }
-
-    /// Online estimation of one pre-encoded OD.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `estimate_batch` with `PredictRequest::Encoded` — the single batched entry point"
-    )]
-    pub fn estimate_encoded(&mut self, od: &EncodedOd) -> f32 {
-        self.eval_encoded(od)
-    }
-
-    /// Estimates travel time for a raw OD input; `None` when the endpoints
-    /// cannot be matched to the road network.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `estimate_batch` with `PredictRequest::Raw` — the single batched entry point"
-    )]
-    pub fn estimate(
-        &mut self,
-        ctx: &FeatureContext,
-        net: &deepod_roadnet::RoadNetwork,
-        od: &OdInput,
-    ) -> Option<f32> {
-        let enc = ctx.encode_od(net, od)?;
-        Some(self.eval_encoded(&enc))
-    }
-
-    /// Estimates travel times for a batch of taxi orders (using only their
-    /// OD inputs); unmatchable orders yield `None`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `estimate_batch` over `PredictRequest::Raw` values — the single batched entry point"
-    )]
-    pub fn estimate_orders(
-        &mut self,
-        bundle: (&FeatureContext, &deepod_roadnet::RoadNetwork),
-        orders: &[TaxiOrder],
-    ) -> Vec<Option<f32>> {
-        let (ctx, net) = bundle;
-        let reqs: Vec<PredictRequest> = orders.iter().map(|o| PredictRequest::Raw(o.od)).collect();
-        self.estimate_batch(ctx, net, &reqs, 1)
-            .into_iter()
-            .map(|r| r.ok().map(|resp| resp.eta_seconds))
-            .collect()
     }
 
     /// The model's batch-norm layers in a fixed order (interval encoder,

@@ -53,20 +53,16 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-/// Sequential reference: one deprecated single-request call per request,
-/// in order, on one mutable model — exactly what callers did before the
-/// batched API existed.
+/// Sequential reference: one single-request `estimate_batch` call per
+/// request, in order, at one thread — the degenerate batching that any
+/// batched/threaded configuration must match bit for bit.
 fn sequential_answers(fx: &Fixture, reqs: &[PredictRequest]) -> Vec<Result<f32, ModelError>> {
-    let mut model = fx.model.clone();
     reqs.iter()
-        .map(|req| match req {
-            #[allow(deprecated)]
-            PredictRequest::Raw(od) => model
-                .estimate(&fx.ctx, &fx.ds.net, od)
-                .ok_or(ModelError::UnmatchedEndpoints),
-            #[allow(deprecated)]
-            PredictRequest::Encoded(enc) => Ok(model.estimate_encoded(enc)),
+        .flat_map(|req| {
+            fx.model
+                .estimate_batch(&fx.ctx, &fx.ds.net, std::slice::from_ref(req), 1)
         })
+        .map(|r| r.map(|resp| resp.eta_seconds))
         .collect()
 }
 

@@ -38,10 +38,18 @@
 //!   replies immediately with the model's own bit-identical answer and
 //!   never consumes worker capacity; entries expire on wall-clock
 //!   time-slot boundaries, and degraded answers are never cached.
-//! * [`protocol`] — the newline-delimited JSON wire format the
-//!   `deepod serve` subcommand speaks on stdin/stdout; pre-epoch
-//!   departures are rejected per request at this layer
-//!   ([`protocol::validate_depart`]) instead of aliasing slot 0.
+//! * [`protocol`] — the versioned newline-delimited JSON wire format
+//!   (`"v":1`) the `deepod serve` subcommand speaks, identically over
+//!   stdin/stdout and TCP; pre-epoch departures are rejected per request
+//!   at this layer ([`protocol::validate_depart`]) instead of aliasing
+//!   slot 0, and errors carry a typed [`protocol::ErrorKind`].
+//! * [`net`] — the TCP front end (`deepod serve --listen`): std-only
+//!   listener, one reader/writer pair per connection, per-client
+//!   admission control (per-connection in-flight caps plus a
+//!   max-connections gate) so a greedy client sheds itself, not everyone.
+//! * [`client`] — the blocking [`ServeClient`], the single client-side
+//!   implementation of the wire protocol, shared by `deepod bench-serve`
+//!   and the integration tests.
 //!
 //! Everything is instrumented through `deepod_core::obs`: queue depth
 //! gauge, batch-size and request-latency histograms, request / degraded /
@@ -49,17 +57,21 @@
 //! eagerly so metric snapshots carry the keys even for an idle engine.
 
 pub mod cache;
+pub mod client;
 mod engine;
+pub mod net;
 pub mod protocol;
 pub mod shed;
 mod supervisor;
 mod worker;
 
 pub use cache::{CacheConfig, CacheStats, ServeCache};
+pub use client::ServeClient;
 pub use engine::{
     Backend, EngineConfig, EngineReply, InferenceEngine, Priority, ReplyHandle, ServeError,
 };
-pub use protocol::WireRequest;
+pub use net::{NetConfig, NetServer};
+pub use protocol::{ErrorKind, WireError, WireRequest, WireResponse};
 pub use shed::{Ladder, LadderConfig, LadderState};
 
 #[cfg(test)]

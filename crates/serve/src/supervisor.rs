@@ -50,14 +50,36 @@ pub(crate) struct Master {
     pub(crate) ds: Arc<CityDataset>,
 }
 
-/// Spawns the supervised worker thread for one shard. This is the only
-/// `thread::spawn` in the crate (enforced by `no-unsupervised-spawn`).
+/// Spawns the supervised worker thread for one shard. Together with
+/// [`spawn_net`] these are the only `thread::spawn` sites in the crate
+/// (enforced by `no-unsupervised-spawn`).
 pub(crate) fn spawn_supervised(
     shared: Arc<Shared>,
     shard_idx: usize,
     master: Arc<Master>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || supervise(&shared, shard_idx, &master))
+}
+
+/// Spawns a supervised utility thread for the network front end
+/// ([`crate::net`]): the body runs under `catch_unwind`, so a bug in one
+/// connection's reader/writer loop takes down that connection only —
+/// counted (`serve.net_thread_panics`) and logged, never a silent unwind
+/// through the accept loop or a poisoned process.
+pub(crate) fn spawn_net(
+    label: &'static str,
+    body: impl FnOnce() + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        if catch_unwind(AssertUnwindSafe(body)).is_err() {
+            registry::counter_inc("serve.net_thread_panics");
+            obs::warn(
+                "serve",
+                "network thread panicked; its connection is gone",
+                &[("thread", label.into())],
+            );
+        }
+    })
 }
 
 /// The supervision loop: run the worker, and on panic recover the doomed

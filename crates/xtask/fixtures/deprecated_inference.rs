@@ -1,0 +1,40 @@
+//! Firing fixture for `no-deprecated-inference`: the deleted
+//! single-request shims declared again in an inference crate. All three
+//! names must fire; `estimate_batch`, call sites, the allow directive,
+//! and the test module must not.
+
+impl DeepOdModel {
+    pub fn estimate(&mut self) -> f32 {
+        0.0
+    }
+
+    pub fn estimate_encoded(&mut self) -> f32 {
+        0.0
+    }
+
+    pub fn estimate_orders(&mut self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    pub fn estimate_batch(&self) -> Vec<f32> {
+        Vec::new() // the blessed entry point
+    }
+}
+
+fn call_site_is_fine() {
+    let _ = estimate_batch();
+}
+
+fn blessed_declaration() {
+    // deepod-lint: allow(no-deprecated-inference)
+    fn estimate() {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_shims_are_fine() {
+        fn estimate() {}
+        estimate();
+    }
+}

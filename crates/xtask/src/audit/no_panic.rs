@@ -16,10 +16,11 @@ use std::collections::BTreeMap;
 /// The declared hot-path roots: `DeepOdModel::estimate_batch`, the
 /// public kernel dispatchers, the serve engine's worker loop plus its
 /// submit entry points, and the serving cache tier's lookup/insert path
-/// (consulted before queue admission on every raw request). A missing
-/// root is itself a finding — the certification must never silently
-/// narrow because a function moved.
-pub const DEFAULT_ROOTS: [(&str, &str); 11] = [
+/// (consulted before queue admission on every raw request), and the TCP
+/// front end's per-connection reader/writer loops. A missing root is
+/// itself a finding — the certification must never silently narrow
+/// because a function moved.
+pub const DEFAULT_ROOTS: [(&str, &str); 13] = [
     ("crates/core/src/model.rs", "estimate_batch"),
     ("crates/core/src/quantized.rs", "estimate_batch"),
     ("crates/tensor/src/kernels.rs", "matmul"),
@@ -31,6 +32,8 @@ pub const DEFAULT_ROOTS: [(&str, &str); 11] = [
     ("crates/serve/src/engine.rs", "try_submit"),
     ("crates/serve/src/cache.rs", "lookup"),
     ("crates/serve/src/cache.rs", "insert"),
+    ("crates/serve/src/net.rs", "conn_reader_loop"),
+    ("crates/serve/src/net.rs", "conn_writer_loop"),
 ];
 
 struct Accum {

@@ -1,0 +1,47 @@
+//! `no-deprecated-inference`: the single-request inference shims
+//! (`estimate`, `estimate_encoded`, `estimate_orders`) were deprecated in
+//! favor of `estimate_batch` — the one batched entry point every caller
+//! (trainer, eval, serving engine) now goes through — and then deleted.
+//! This rule keeps them deleted: a fresh `fn estimate(..)` in the
+//! inference crates would quietly fork the entry-point surface again,
+//! and batched/sequential bit-identity would stop being checkable from
+//! one seam.
+
+use super::{FileCtx, Finding};
+
+/// The deleted shim names; `estimate_batch` itself is the blessed API.
+const SHIMS: [&str; 3] = ["estimate", "estimate_encoded", "estimate_orders"];
+
+pub(super) fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    // Only the crates that perform model inference are in scope; a
+    // baseline predictor or a bench helper may name things freely.
+    if ctx.crate_name != "core" && ctx.crate_name != "serve" {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if SHIMS.iter().any(|s| name.is_ident(s)) {
+            ctx.push(
+                out,
+                "no-deprecated-inference",
+                name.line,
+                format!(
+                    "`fn {}` re-introduces a deprecated single-request inference \
+                     shim; all inference goes through `estimate_batch` (one \
+                     batched entry point, bit-identical at every thread count)",
+                    name.text
+                ),
+            );
+        }
+    }
+}
